@@ -1,0 +1,134 @@
+// Shared machinery for the figure/table benches: one Trace run per
+// (implementation, N, P) cell, returning the per-rank volume and the
+// alpha-beta-gamma time model's elapsed seconds.
+//
+// All benches print the same rows/series the paper reports; absolute times
+// come from the documented machine model (DESIGN.md), so EXPERIMENTS.md
+// compares *shapes* (who wins, crossovers, scaling slopes), not nanoseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/candmc.hpp"
+#include "baselines/scalapack2d.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "models/models.hpp"
+#include "support/table.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::bench {
+
+inline xsim::MachineSpec piz_daint_spec(int ranks, double memory_words) {
+  xsim::MachineSpec spec;  // defaults documented in xsim/machine.hpp
+  spec.num_ranks = ranks;
+  spec.memory_words = memory_words;
+  return spec;
+}
+
+struct RunResult {
+  double avg_volume_words = 0.0;  ///< per-rank received words (Score-P style)
+  double elapsed_s = 0.0;         ///< alpha-beta-gamma modeled time
+  double peak_fraction = 0.0;     ///< useful flops / (P * gamma * T)
+};
+
+enum class Impl { Conflux, Mkl, Slate, Candmc };
+enum class CholImpl { Confchox, Mkl2D, Slate2D, Capital };
+
+inline const char* impl_name(Impl i) {
+  switch (i) {
+    case Impl::Conflux: return "COnfLUX";
+    case Impl::Mkl: return "MKL";
+    case Impl::Slate: return "SLATE";
+    case Impl::Candmc: return "CANDMC";
+  }
+  return "?";
+}
+
+inline const char* impl_name(CholImpl i) {
+  switch (i) {
+    case CholImpl::Confchox: return "COnfCHOX";
+    case CholImpl::Mkl2D: return "MKL";
+    case CholImpl::Slate2D: return "SLATE";
+    case CholImpl::Capital: return "CAPITAL";
+  }
+  return "?";
+}
+
+/// Trace one LU implementation at (n, p) with the paper's memory policy.
+inline RunResult run_lu(Impl impl, index_t n, int p) {
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  xsim::Machine m(piz_daint_spec(p, mem), xsim::ExecMode::Trace);
+  switch (impl) {
+    case Impl::Conflux: {
+      const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+      factor::FactorOptions opt;
+      opt.block_size = factor::default_block_size(n, g);
+      factor::conflux_lu_trace(m, g, n, opt);
+      break;
+    }
+    case Impl::Mkl:
+      baselines::scalapack_lu_trace(m, grid::choose_grid_2d(p), n,
+                                    baselines::Baseline2DOptions{.block_size = 64});
+      break;
+    case Impl::Slate:
+      baselines::scalapack_lu_trace(m, grid::choose_grid_2d(p), n,
+                                    baselines::slate_defaults());
+      break;
+    case Impl::Candmc:
+      baselines::candmc_lu_trace(m, n, {});
+      break;
+  }
+  RunResult r;
+  r.avg_volume_words = m.avg_comm_volume();
+  r.elapsed_s = m.modeled_time_overlap();
+  r.peak_fraction = models::peak_fraction(models::lu_flops(static_cast<double>(n)),
+                                          m.spec(), r.elapsed_s);
+  return r;
+}
+
+/// Trace one Cholesky implementation at (n, p).
+inline RunResult run_cholesky(CholImpl impl, index_t n, int p) {
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  xsim::Machine m(piz_daint_spec(p, mem), xsim::ExecMode::Trace);
+  switch (impl) {
+    case CholImpl::Confchox: {
+      const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+      factor::FactorOptions opt;
+      opt.block_size = factor::default_block_size(n, g);
+      factor::confchox_trace(m, g, n, opt);
+      break;
+    }
+    case CholImpl::Mkl2D:
+      baselines::scalapack_cholesky_trace(m, grid::choose_grid_2d(p), n,
+                                          baselines::Baseline2DOptions{.block_size = 64});
+      break;
+    case CholImpl::Slate2D:
+      baselines::scalapack_cholesky_trace(m, grid::choose_grid_2d(p), n,
+                                          baselines::slate_defaults());
+      break;
+    case CholImpl::Capital:
+      baselines::capital_cholesky_trace(m, n, {});
+      break;
+  }
+  RunResult r;
+  r.avg_volume_words = m.avg_comm_volume();
+  r.elapsed_s = m.modeled_time_overlap();
+  r.peak_fraction = models::peak_fraction(
+      models::cholesky_flops(static_cast<double>(n)), m.spec(), r.elapsed_s);
+  return r;
+}
+
+/// Does one N x N double matrix fit in the machine's aggregate memory the
+/// paper grants (the grey "input does not fit" cells of Figures 1 and 11)?
+inline bool input_fits(index_t n, int p) {
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  return static_cast<double>(n) * static_cast<double>(n) <=
+         mem * static_cast<double>(p);
+}
+
+}  // namespace conflux::bench

@@ -1,0 +1,37 @@
+// Figure 8b: weak-scaling communication volume per node (constant work per
+// node: N = 3200 * P^{1/3}). The 2.5D algorithms (COnfLUX, CANDMC) keep the
+// per-node volume essentially constant; the 2D libraries grow.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/cli.hpp"
+
+namespace bench = conflux::bench;
+using conflux::index_t;
+
+int main(int argc, char** argv) {
+  const conflux::Cli cli(argc, argv);
+  const int max_p = static_cast<int>(cli.get_int("max_p", 1024));
+  cli.check_unused();
+
+  conflux::TextTable table(
+      "Figure 8b: weak scaling, N = 3200 * P^{1/3}, volume per node [MB]");
+  table.set_header({"nodes", "P", "N", "COnfLUX", "MKL", "SLATE", "CANDMC"});
+  const double to_mb = 2.0 * 8.0 / 1e6;
+  for (int p = 8; p <= max_p; p *= 2) {
+    const auto n = static_cast<index_t>(
+        std::llround(3200.0 * std::cbrt(static_cast<double>(p))));
+    table.add_row(
+        {static_cast<long long>(p / 2), static_cast<long long>(p),
+         static_cast<long long>(n),
+         bench::run_lu(bench::Impl::Conflux, n, p).avg_volume_words * to_mb,
+         bench::run_lu(bench::Impl::Mkl, n, p).avg_volume_words * to_mb,
+         bench::run_lu(bench::Impl::Slate, n, p).avg_volume_words * to_mb,
+         bench::run_lu(bench::Impl::Candmc, n, p).avg_volume_words * to_mb});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape check: 2.5D rows stay near-constant; 2D rows grow\n"
+               "with P (sub-optimal weak scaling).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 9: achieved % of machine peak for LU — strong scaling at
+// N = 2^17 and N = 2^14, and weak scaling at N = 8192 * sqrt(P).
+#include <cmath>
+#include <functional>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/cli.hpp"
+
+namespace bench = conflux::bench;
+using conflux::index_t;
+
+namespace {
+
+void scaling_table(const std::string& title, int max_p,
+                   const std::function<index_t(int)>& n_of_p) {
+  conflux::TextTable table(title);
+  table.set_header({"nodes", "P", "N", "COnfLUX_%", "MKL_%", "SLATE_%", "CANDMC_%"});
+  for (int p = 8; p <= max_p; p *= 2) {
+    const index_t n = n_of_p(p);
+    if (!bench::input_fits(n, p)) continue;
+    const auto cell = [&](bench::Impl impl) {
+      return 100.0 * bench::run_lu(impl, n, p).peak_fraction;
+    };
+    table.add_row({static_cast<long long>(p / 2), static_cast<long long>(p),
+                   static_cast<long long>(n), cell(bench::Impl::Conflux),
+                   cell(bench::Impl::Mkl), cell(bench::Impl::Slate),
+                   cell(bench::Impl::Candmc)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const conflux::Cli cli(argc, argv);
+  const int max_p = static_cast<int>(cli.get_int("max_p", 1024));
+  cli.check_unused();
+
+  scaling_table("Figure 9a: LU strong scaling, N = 131072 (% of peak)", max_p,
+                [](int) { return index_t{131072}; });
+  scaling_table("Figure 9b: LU strong scaling, N = 16384 (% of peak)", max_p,
+                [](int) { return index_t{16384}; });
+  scaling_table("Figure 9c: LU weak scaling, N = 8192*sqrt(P) (% of peak)", max_p,
+                [](int p) {
+                  return static_cast<index_t>(
+                      std::llround(8192.0 * std::sqrt(static_cast<double>(p))));
+                });
+  std::cout << "Paper shape check: COnfLUX leads in nearly all cells; all\n"
+               "implementations decay in strong scaling as local domains shrink\n"
+               "(latency-bound below N^2/P ~ 2^27).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Local-kernel throughput microbenchmarks (google-benchmark): the gemm /
+// trsm / getrf / potrf substrate whose flop counts feed the gamma term of
+// the time model. Not a paper figure; used to sanity-check that local
+// compute is not the bottleneck of the Real-mode test suite.
+#include <benchmark/benchmark.h>
+
+#include "blas/blas.hpp"
+#include "blas/lapack.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace xblas = conflux::xblas;
+using conflux::index_t;
+using conflux::MatrixD;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const MatrixD a = conflux::random_matrix(n, n, 1);
+  const MatrixD b = conflux::random_matrix(n, n, 2);
+  MatrixD c(n, n, 0.0);
+  for (auto _ : state) {
+    xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0, a.view(), b.view(),
+                0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Trsm(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  MatrixD t = conflux::random_matrix(n, n, 3);
+  for (index_t i = 0; i < n; ++i) t(i, i) += 4.0;
+  const MatrixD b0 = conflux::random_matrix(n, n, 4);
+  MatrixD b = b0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    b = b0;
+    state.ResumeTiming();
+    xblas::trsm(xblas::Side::Left, xblas::UpLo::Lower, xblas::Trans::None,
+                xblas::Diag::NonUnit, 1.0, t.view(), b.view());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n * n * n));
+}
+BENCHMARK(BM_Trsm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Getrf(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const MatrixD a0 = conflux::random_matrix(n, n, 5);
+  MatrixD a = a0;
+  std::vector<index_t> ipiv;
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(xblas::getrf(a.view(), ipiv));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(2 * n * n * n / 3));
+}
+BENCHMARK(BM_Getrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Potrf(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const MatrixD a0 = conflux::random_spd_matrix(n, 6);
+  MatrixD a = a0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(xblas::potrf(a.view()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n * n * n / 3));
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Section 7.4 / Lemma 10 reproduction: measured COnfLUX/COnfCHOX volumes
+// against the Section 6 lower bounds — the paper's near-optimality claim
+// (leading term 1.5x the LU bound; ~3x the Cholesky bound).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "daap/bounds.hpp"
+#include "support/cli.hpp"
+
+namespace bench = conflux::bench;
+namespace models = conflux::models;
+using conflux::index_t;
+
+int main(int argc, char** argv) {
+  const conflux::Cli cli(argc, argv);
+  cli.check_unused();
+
+  conflux::TextTable table(
+      "Near-optimality: measured volume / Section 6 lower bound");
+  table.set_header({"kernel", "N", "P", "measured", "lower_bound", "ratio"});
+  for (index_t n : {index_t{16384}, index_t{65536}}) {
+    for (int p : {256, 1024}) {
+      if (!bench::input_fits(n, p)) continue;
+      const double nn = static_cast<double>(n);
+      const double mem = models::paper_memory_words(nn, static_cast<double>(p));
+      const double lu = bench::run_lu(bench::Impl::Conflux, n, p).avg_volume_words;
+      const double lub = models::lu_lower_bound(nn, p, mem);
+      table.add_row({std::string("LU"), static_cast<long long>(n),
+                     static_cast<long long>(p), lu, lub, lu / lub});
+      const double ch =
+          bench::run_cholesky(bench::CholImpl::Confchox, n, p).avg_volume_words;
+      const double chb = models::cholesky_lower_bound(nn, p, mem);
+      table.add_row({std::string("Cholesky"), static_cast<long long>(n),
+                     static_cast<long long>(p), ch, chb, ch / chb});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper claims: leading-term ratio 1.5x for LU (Lemma 10) and ~3x\n"
+               "for Cholesky (Section 7.5); measured ratios sit above these by the\n"
+               "O(M) replication terms, shrinking with P at fixed N.\n";
+  return 0;
+}

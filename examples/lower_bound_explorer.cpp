@@ -1,0 +1,67 @@
+// The general lower-bound method as a tool (Sections 2-5): define a DAAP
+// statement for your own loop nest and get its parallel I/O lower bound —
+// the "general method for deriving parallel I/O lower bounds of a broad
+// range of linear algebra kernels" that is the paper's first contribution.
+//
+//   build/examples/lower_bound_explorer [--n=8192] [--p=64] [--m=1048576]
+//
+// Prints the per-statement analysis (chi, X0, rho) for the built-in kernels
+// and for a custom 4-variable tensor-contraction statement defined inline,
+// showing how to analyze a kernel the paper never mentions.
+#include <cmath>
+#include <iostream>
+
+#include "daap/bounds.hpp"
+#include "daap/statement.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace conflux;
+using namespace conflux::daap;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double n = cli.get_double("n", 8192.0);
+  const double p = cli.get_double("p", 64.0);
+  const double mem = cli.get_double("m", 1 << 20);
+  cli.check_unused();
+
+  TextTable table("Parallel I/O lower bounds (P = " + std::to_string((long long)p) +
+                  ", M = " + std::to_string((long long)mem) + ")");
+  table.set_header({"kernel", "Q_parallel_words", "leading_rho", "X0/M"});
+
+  const auto analyze = [&](const char* name, const KernelInstance& kernel) {
+    const ProgramBound b = derive_program_bound(kernel, p, mem);
+    // Report the update statement (the last one): the paper's leading term.
+    const auto& lead = b.per_statement.back();
+    table.add_row({std::string(name), b.q_parallel, lead.rho, lead.x0 / mem});
+  };
+  analyze("matmul", matmul_kernel(n));
+  analyze("LU", lu_kernel(n));
+  analyze("Cholesky", cholesky_kernel(n));
+  analyze("TRSM (nrhs=n)", trsm_kernel(n, n));
+  analyze("SYRK (k=n)", syrk_kernel(n, n));
+
+  // A custom kernel the paper never analyzed: the 4-index tensor contraction
+  // C[i,j,l] += A[i,k,l] * B[k,j]. Defining it takes five lines; the engine
+  // does the rest (KKT balance of |D_i||D_j||D_k||D_l| under the
+  // three-access dominator constraint).
+  StatementSpec tc;
+  tc.name = "TC4";
+  tc.num_vars = 4;  // i=0, j=1, k=2, l=3
+  tc.inputs = {AccessSpec{"C", {0, 1, 3}}, AccessSpec{"A", {0, 2, 3}},
+               AccessSpec{"B", {2, 1}}};
+  tc.output = AccessSpec{"C", {0, 1, 3}};
+  KernelInstance custom;
+  custom.program.name = "tensor-contraction";
+  custom.program.statements = {tc};
+  custom.statement_vertices = {n * n * n};  // I=J=K=n, L=1 slice count folded in
+  analyze("C[i,j,l]+=A[i,k,l]B[k,j]", custom);
+
+  table.print(std::cout);
+  std::cout << "\nReading the rows: rho is the computational intensity at the\n"
+               "optimal X0 (paper: sqrt(M)/2 for all the gemm-shaped updates,\n"
+               "X0 = 3M); Q = sum_i |V_i| / (P rho_i) after the Section 4 reuse\n"
+               "composition. Try your own loop nest by editing the TC4 block.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// ScaLAPACK interoperability (Section 8 / "out-of-the-box use"): a matrix
+// that lives in a caller-chosen ScaLAPACK block-cyclic layout is factored
+// through the pdgetrf-style wrapper, which transforms it to COnfLUX's
+// internal 2.5D layout with the COSTA-substitute redistribution, factors,
+// and hands the result back in the original layout.
+//
+//   build/examples/scalapack_compat [--n=384] [--p=8]
+#include <iostream>
+
+#include "blas/lapack.hpp"
+#include "factor/scalapack_api.hpp"
+#include "models/models.hpp"
+#include "support/cli.hpp"
+#include "tensor/random_matrix.hpp"
+
+using namespace conflux;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const index_t n = cli.get_int("n", 384);
+  const int p = static_cast<int>(cli.get_int("p", 8));
+  cli.check_unused();
+
+  // The caller's layout: ScaLAPACK-style 32x32 blocks on a 2x(P/2) grid,
+  // described by the familiar nine-integer descriptor.
+  layout::BlockCyclicLayout user_layout;
+  user_layout.rows = user_layout.cols = n;
+  user_layout.mb = user_layout.nb = 32;
+  user_layout.pr = 2;
+  user_layout.pc = p / 2;
+  const layout::ScalapackDesc desc = make_desc(user_layout, 0);
+  std::cout << "Caller layout: descriptor {m=" << desc.m << " n=" << desc.n
+            << " mb=" << desc.mb << " nb=" << desc.nb << " lld=" << desc.lld
+            << "} on a " << user_layout.pr << "x" << user_layout.pc << " grid\n";
+
+  const MatrixD a = random_matrix(n, n, 11);
+  const auto dist = layout::DistMatrix::from_global(a.view(), user_layout);
+
+  const double memory = 4.0 * static_cast<double>(n) * static_cast<double>(n) / p;
+  const grid::Grid3D g = models::best_conflux_grid(n, p, memory);
+  xsim::MachineSpec spec;
+  spec.num_ranks = p;
+  spec.memory_words = memory;
+  xsim::Machine machine(spec, xsim::ExecMode::Real);
+
+  const factor::PdgetrfResult result = factor::pdgetrf(machine, g, dist);
+  std::cout << "pdgetrf via COnfLUX: residual = "
+            << xblas::lu_residual(a.view(), result.lu.factors.view(), result.lu.perm)
+            << "\n";
+  std::cout << "Factors returned in the caller's layout: local block of process "
+               "(0,0) is "
+            << result.factors.local(0, 0).rows() << "x"
+            << result.factors.local(0, 0).cols() << "\n";
+  std::cout << "Redistribution moved " << result.redistribution_words
+            << " words total (O(N^2) = " << static_cast<double>(n) * n
+            << " words; sub-leading vs the factorization's "
+            << machine.total_words_received() << ")\n";
+  return 0;
+}

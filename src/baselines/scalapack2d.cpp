@@ -1,0 +1,382 @@
+#include "baselines/scalapack2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "blas/lapack.hpp"
+#include "support/check.hpp"
+#include "xsim/comm.hpp"
+
+namespace conflux::baselines {
+
+namespace {
+
+using xblas::Diag;
+using xblas::Side;
+using xblas::Trans;
+using xblas::UpLo;
+
+struct Run2D {
+  xsim::Machine& m;
+  const grid::Grid2D& g;
+  index_t n;
+  index_t nb;
+  bool real;
+  MatrixD a;    // Real mode: the global matrix, factored in place
+  Rng rng{42};  // Trace mode: pivot positions drawn uniformly
+
+  int prow_of_row(index_t i) const { return static_cast<int>((i / nb) % g.pr); }
+  int pcol_of_col(index_t j) const { return static_cast<int>((j / nb) % g.pc); }
+
+  /// Indices i < x with (i/nb) % procs == q, in O(1).
+  index_t owned_below(index_t x, int q, int procs) const {
+    const index_t blk = x / nb;
+    index_t count = grid::cyclic_local_count(0, blk, q, procs) * nb;
+    if (static_cast<int>(blk % procs) == q) count += x - blk * nb;
+    return count;
+  }
+
+  /// Rows i in [lo, n) owned by process row r.
+  index_t local_rows(index_t lo, int r) const {
+    return owned_below(n, r, g.pr) - owned_below(lo, r, g.pr);
+  }
+  index_t local_cols(index_t lo, int c) const {
+    return owned_below(n, c, g.pc) - owned_below(lo, c, g.pc);
+  }
+
+  std::vector<int> row_group(int prow) const {
+    std::vector<int> out;
+    for (int c = 0; c < g.pc; ++c) out.push_back(g.rank_of(prow, c));
+    return out;
+  }
+  std::vector<int> col_group(int pcol) const {
+    std::vector<int> out;
+    for (int r = 0; r < g.pr; ++r) out.push_back(g.rank_of(r, pcol));
+    return out;
+  }
+};
+
+// Panel factorization: nb columns, partial pivoting with per-column pivot
+// search over the process column (pdgetrf's PxGETF2 shape).
+void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
+              const Baseline2DOptions& opt) {
+  const int pcol = run.pcol_of_col(k0);
+  const auto col_ranks = run.col_group(pcol);
+  for (index_t j = k0; j < k0 + kb; ++j) {
+    // Pivot search: local iamax + allreduce of (value, row) over process rows.
+    if (run.g.pr > 1) {
+      xsim::comm::allreduce(run.m, col_ranks, 2.0, /*charge_combine_flops=*/false);
+    }
+    index_t piv = j;
+    if (run.real) {
+      double best = std::abs(run.a(j, j));
+      for (index_t i = j + 1; i < run.n; ++i) {
+        const double v = std::abs(run.a(i, j));
+        if (v > best) {
+          best = v;
+          piv = i;
+        }
+      }
+    } else {
+      // Trace mode: pivots land uniformly (the paper's w.h.p. assumption).
+      piv = j + static_cast<index_t>(run.rng.uniform_int(
+                    static_cast<std::uint64_t>(run.n - j)));
+    }
+    ipiv.push_back(piv);
+    // Swap rows j and piv within the panel (width kb).
+    const int pa = run.prow_of_row(j);
+    const int pb = run.prow_of_row(piv);
+    if (piv != j && pa != pb && !opt.local_swaps) {
+      xsim::comm::p2p(run.m, run.g.rank_of(pa, pcol), run.g.rank_of(pb, pcol),
+                      static_cast<double>(kb));
+      xsim::comm::p2p(run.m, run.g.rank_of(pb, pcol), run.g.rank_of(pa, pcol),
+                      static_cast<double>(kb));
+    }
+    if (run.real && piv != j) {
+      for (index_t c = k0; c < k0 + kb; ++c) std::swap(run.a(j, c), run.a(piv, c));
+    }
+    // Broadcast the pivot row segment down the process column, eliminate.
+    if (run.g.pr > 1) {
+      xsim::comm::broadcast(run.m, col_ranks, static_cast<std::size_t>(run.prow_of_row(j)),
+                            static_cast<double>(kb - (j - k0)));
+    }
+    for (int r = 0; r < run.g.pr; ++r) {
+      const auto rows = static_cast<double>(run.local_rows(j + 1, r));
+      run.m.charge_flops(run.g.rank_of(r, pcol),
+                         2.0 * rows * static_cast<double>(kb - (j - k0)));
+    }
+    if (run.real) {
+      const double pivval = run.a(j, j);
+      if (pivval != 0.0) {
+        for (index_t i = j + 1; i < run.n; ++i) {
+          const double lij = run.a(i, j) / pivval;
+          run.a(i, j) = lij;
+          for (index_t c = j + 1; c < k0 + kb; ++c) run.a(i, c) -= lij * run.a(j, c);
+        }
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// Apply the panel's row interchanges to the columns outside the panel
+// (pdlaswp): each cross-rank swap exchanges both rows' local segments in
+// every process column.
+void lu_apply_swaps(Run2D& run, index_t k0, index_t kb,
+                    const std::vector<index_t>& ipiv, const Baseline2DOptions& opt) {
+  if (opt.local_swaps) return;  // SLATE-like: pivots applied tile-locally
+  for (index_t j = k0; j < k0 + kb; ++j) {
+    const index_t piv = ipiv[static_cast<std::size_t>(j)];
+    if (piv == j) continue;
+    const int pa = run.prow_of_row(j);
+    const int pb = run.prow_of_row(piv);
+    if (pa != pb) {
+      const int pcol0 = run.pcol_of_col(k0);
+      for (int c = 0; c < run.g.pc; ++c) {
+        // Both rows' local segments outside the (already swapped) panel.
+        const index_t panel_cols = (c == pcol0) ? kb : 0;
+        const auto words = static_cast<double>(run.local_cols(0, c) - panel_cols);
+        if (words <= 0.0) continue;
+        xsim::comm::p2p(run.m, run.g.rank_of(pa, c), run.g.rank_of(pb, c), words);
+        xsim::comm::p2p(run.m, run.g.rank_of(pb, c), run.g.rank_of(pa, c), words);
+      }
+    }
+    if (run.real) {
+      for (index_t c = 0; c < k0; ++c) std::swap(run.a(j, c), run.a(piv, c));
+      for (index_t c = k0 + kb; c < run.n; ++c) std::swap(run.a(j, c), run.a(piv, c));
+    }
+  }
+  run.m.step_barrier();
+}
+
+// Trailing update: broadcast L11 along its process row, trsm U12 there,
+// broadcast L21 along process rows and U12 along process columns, gemm.
+void lu_update(Run2D& run, index_t k0, index_t kb) {
+  const index_t rest = run.n - (k0 + kb);
+  const int prow0 = run.prow_of_row(k0);
+  const int pcol0 = run.pcol_of_col(k0);
+  // L11 to the U12 owners.
+  if (run.g.pc > 1) {
+    xsim::comm::broadcast(run.m, run.row_group(prow0), static_cast<std::size_t>(pcol0),
+                          static_cast<double>(kb * kb));
+  }
+  if (rest > 0) {
+    // trsm U12 on the owner process row.
+    for (int c = 0; c < run.g.pc; ++c) {
+      const auto cols = static_cast<double>(run.local_cols(k0 + kb, c));
+      if (cols > 0) {
+        run.m.charge_flops(run.g.rank_of(prow0, c),
+                           static_cast<double>(kb * kb) * cols);
+      }
+    }
+    // L21 along process rows; U12 along process columns.
+    for (int r = 0; r < run.g.pr; ++r) {
+      const auto rows = static_cast<double>(run.local_rows(k0 + kb, r));
+      if (rows > 0 && run.g.pc > 1) {
+        xsim::comm::broadcast(run.m, run.row_group(r), static_cast<std::size_t>(pcol0),
+                              rows * static_cast<double>(kb));
+      }
+    }
+    for (int c = 0; c < run.g.pc; ++c) {
+      const auto cols = static_cast<double>(run.local_cols(k0 + kb, c));
+      if (cols > 0 && run.g.pr > 1) {
+        xsim::comm::broadcast(run.m, run.col_group(c), static_cast<std::size_t>(prow0),
+                              static_cast<double>(kb) * cols);
+      }
+    }
+    // Local gemm.
+    for (int r = 0; r < run.g.pr; ++r) {
+      for (int c = 0; c < run.g.pc; ++c) {
+        const auto rows = static_cast<double>(run.local_rows(k0 + kb, r));
+        const auto cols = static_cast<double>(run.local_cols(k0 + kb, c));
+        if (rows > 0 && cols > 0) {
+          run.m.charge_flops(run.g.rank_of(r, c),
+                             2.0 * rows * cols * static_cast<double>(kb));
+        }
+      }
+    }
+  }
+  if (run.real) {
+    ViewD a = run.a.view();
+    if (rest > 0) {
+      ViewD u12 = a.block(k0, k0 + kb, kb, rest);
+      xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
+                  a.block(k0, k0, kb, kb), u12);
+      xblas::gemm(Trans::None, Trans::None, -1.0, a.block(k0 + kb, k0, rest, kb),
+                  u12, 1.0, a.block(k0 + kb, k0 + kb, rest, rest));
+    }
+  }
+  run.m.step_barrier();
+}
+
+Lu2DResult run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD a,
+                  const Baseline2DOptions& opt) {
+  expects(g.ranks() == m.ranks(), "grid must match the machine");
+  expects(n >= 1, "matrix must be non-empty");
+  const index_t nb = opt.block_size > 0 ? opt.block_size : 64;
+
+  Run2D run{m, g, n, nb, m.real(), MatrixD()};
+  if (run.real) {
+    expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.a = MatrixD(n, n);
+    copy(a, run.a.view());
+  }
+  // Per-rank memory: the local 2D share plus panel buffers.
+  const double local_words =
+      static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(g.ranks()) +
+      2.0 * static_cast<double>(n * nb) / std::sqrt(static_cast<double>(g.ranks()));
+  for (int r = 0; r < m.ranks(); ++r) m.alloc(r, local_words);
+
+  // Latency chains: partial pivoting serializes one reduction + one
+  // broadcast per COLUMN (the O(N) latency the paper's tournament pivoting
+  // removes); the row swaps add one hop per pivot unless handled locally;
+  // the update adds the three panel broadcasts per step.
+  const double col_chain =
+      2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.pr)))) + 1.0;
+  const double update_chain =
+      2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.pc)))) +
+      std::ceil(std::log2(static_cast<double>(std::max(2, g.pr))));
+
+  Lu2DResult result;
+  for (index_t k0 = 0; k0 < n; k0 += nb) {
+    const index_t kb = std::min(nb, n - k0);
+    m.charge_chain(static_cast<double>(kb) * col_chain +
+                   (opt.local_swaps ? 0.0 : static_cast<double>(kb)) + update_chain);
+    lu_panel(run, k0, kb, result.ipiv, opt);
+    lu_apply_swaps(run, k0, kb, result.ipiv, opt);
+    lu_update(run, k0, kb);
+  }
+  for (int r = 0; r < m.ranks(); ++r) m.release(r, local_words);
+  if (run.real) result.factors = std::move(run.a);
+  return result;
+}
+
+void chol_update(Run2D& run, index_t k0, index_t kb) {
+  const index_t rest = run.n - (k0 + kb);
+  const int prow0 = run.prow_of_row(k0);
+  const int pcol0 = run.pcol_of_col(k0);
+  const int owner = run.g.rank_of(prow0, pcol0);
+  // potrf of the diagonal block on its owner, broadcast down the column for
+  // the panel trsm.
+  run.m.charge_flops(owner, static_cast<double>(kb * kb * kb) / 3.0);
+  if (run.g.pr > 1) {
+    xsim::comm::broadcast(run.m, run.col_group(pcol0), static_cast<std::size_t>(prow0),
+                          static_cast<double>(kb * kb));
+  }
+  if (run.real) {
+    check(xblas::potrf(run.a.block(k0, k0, kb, kb)) == 0,
+          "matrix is not positive definite at this block");
+  }
+  if (rest > 0) {
+    // Panel trsm L21 = A21 L11^{-T} on the owner process column.
+    for (int r = 0; r < run.g.pr; ++r) {
+      const auto rows = static_cast<double>(run.local_rows(k0 + kb, r));
+      if (rows > 0) {
+        run.m.charge_flops(run.g.rank_of(r, pcol0),
+                           rows * static_cast<double>(kb * kb));
+      }
+    }
+    if (run.real) {
+      ViewD l21 = run.a.block(k0 + kb, k0, rest, kb);
+      xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
+                  run.a.block(k0, k0, kb, kb), l21);
+    }
+    // L21 along process rows; L21^T along process columns (for the syrk).
+    for (int r = 0; r < run.g.pr; ++r) {
+      const auto rows = static_cast<double>(run.local_rows(k0 + kb, r));
+      if (rows > 0 && run.g.pc > 1) {
+        xsim::comm::broadcast(run.m, run.row_group(r), static_cast<std::size_t>(pcol0),
+                              rows * static_cast<double>(kb));
+      }
+    }
+    for (int c = 0; c < run.g.pc; ++c) {
+      const auto cols = static_cast<double>(run.local_cols(k0 + kb, c));
+      if (cols > 0 && run.g.pr > 1) {
+        xsim::comm::broadcast(run.m, run.col_group(c), static_cast<std::size_t>(prow0),
+                              static_cast<double>(kb) * cols);
+      }
+    }
+    // Symmetric local update (lower tiles only: half the gemm flops).
+    for (int r = 0; r < run.g.pr; ++r) {
+      for (int c = 0; c < run.g.pc; ++c) {
+        const auto rows = static_cast<double>(run.local_rows(k0 + kb, r));
+        const auto cols = static_cast<double>(run.local_cols(k0 + kb, c));
+        if (rows > 0 && cols > 0) {
+          run.m.charge_flops(run.g.rank_of(r, c), rows * cols * static_cast<double>(kb));
+        }
+      }
+    }
+    if (run.real) {
+      xblas::syrk(UpLo::Lower, Trans::None, -1.0, run.a.block(k0 + kb, k0, rest, kb),
+                  1.0, run.a.block(k0 + kb, k0 + kb, rest, rest));
+    }
+  }
+  run.m.step_barrier();
+}
+
+MatrixD run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD a,
+                 const Baseline2DOptions& opt) {
+  expects(g.ranks() == m.ranks(), "grid must match the machine");
+  expects(n >= 1, "matrix must be non-empty");
+  const index_t nb = opt.block_size > 0 ? opt.block_size : 64;
+  Run2D run{m, g, n, nb, m.real(), MatrixD()};
+  if (run.real) {
+    expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.a = MatrixD(n, n, 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) run.a(i, j) = a(i, j);
+    }
+  }
+  const double local_words =
+      static_cast<double>(n) * static_cast<double>(n) /
+          (2.0 * static_cast<double>(g.ranks())) +
+      2.0 * static_cast<double>(n * nb) / std::sqrt(static_cast<double>(g.ranks()));
+  for (int r = 0; r < m.ranks(); ++r) m.alloc(r, local_words);
+  // Cholesky has no pivot chain: just the per-panel broadcasts.
+  const double panel_chain =
+      2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.pr)))) +
+      std::ceil(std::log2(static_cast<double>(std::max(2, g.pc))));
+  for (index_t k0 = 0; k0 < n; k0 += nb) {
+    const index_t kb = std::min(nb, n - k0);
+    m.charge_chain(panel_chain);
+    chol_update(run, k0, kb);
+  }
+  for (int r = 0; r < m.ranks(); ++r) m.release(r, local_words);
+  MatrixD out;
+  if (run.real) {
+    out = MatrixD(n, n, 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) out(i, j) = run.a(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Lu2DResult scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
+                        const Baseline2DOptions& opt) {
+  expects(m.real(), "scalapack_lu with a matrix requires Real mode");
+  return run_lu(m, g, a.rows(), a, opt);
+}
+
+Lu2DResult scalapack_lu_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
+                              const Baseline2DOptions& opt) {
+  expects(!m.real(), "scalapack_lu_trace requires Trace mode");
+  return run_lu(m, g, n, ConstViewD(), opt);
+}
+
+MatrixD scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
+                           const Baseline2DOptions& opt) {
+  expects(m.real(), "scalapack_cholesky with a matrix requires Real mode");
+  return run_chol(m, g, a.rows(), a, opt);
+}
+
+void scalapack_cholesky_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
+                              const Baseline2DOptions& opt) {
+  expects(!m.real(), "scalapack_cholesky_trace requires Trace mode");
+  run_chol(m, g, n, ConstViewD(), opt);
+}
+
+}  // namespace conflux::baselines

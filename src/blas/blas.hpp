@@ -1,0 +1,61 @@
+// From-scratch sequential BLAS subset (level 3) used as the local-compute
+// substrate everywhere MKL was used in the paper.
+//
+// All routines operate on row-major views. Conventions follow the BLAS:
+//   gemm   C = alpha*op(A)*op(B) + beta*C
+//   trsm   solve op(T)*X = alpha*B (Side::Left) or X*op(T) = alpha*B (Right),
+//          overwriting B with X
+//   syrk   C = alpha*A*A^T + beta*C, only the Uplo triangle referenced
+//   gemmt  C = alpha*A*B + beta*C, only the Uplo triangle updated — this is
+//          the "triangular gemm" the paper's Table 1 uses for the Cholesky
+//          A11 (Schur complement) update.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace conflux::xblas {
+
+enum class Trans { None, Transpose };
+enum class Side { Left, Right };
+enum class UpLo { Lower, Upper };
+enum class Diag { NonUnit, Unit };
+
+/// General matrix-matrix multiply, cache-blocked.
+void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
+          double beta, ViewD c);
+
+/// Triangular solve with multiple right-hand sides (in-place in b).
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstViewD t, ViewD b);
+
+/// Symmetric rank-k update; only the `uplo` triangle of c is referenced.
+void syrk(UpLo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c);
+
+/// gemm restricted to the `uplo` triangle of the output.
+void gemmt(UpLo uplo, Trans transa, Trans transb, double alpha, ConstViewD a,
+           ConstViewD b, double beta, ViewD c);
+
+/// Triangular matrix-vector solve op(T) x = b, x overwrites b (length view).
+void trsv(UpLo uplo, Trans trans, Diag diag, ConstViewD t, double* b);
+
+/// Frobenius norm.
+double norm_frobenius(ConstViewD a);
+
+/// Max-abs-entry norm.
+double norm_max(ConstViewD a);
+
+/// Number of fused multiply-add flop pairs (counted as 2 flops each) a gemm
+/// of these dimensions performs; used by the simulator's time model.
+inline double gemm_flops(index_t m, index_t n, index_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+inline double trsm_flops(index_t m, index_t n, Side side) {
+  // Left: n RHS columns, each m^2 flops; Right: m rows each n^2.
+  return side == Side::Left
+             ? static_cast<double>(n) * static_cast<double>(m) * static_cast<double>(m)
+             : static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(n);
+}
+
+}  // namespace conflux::xblas

@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "support/check.hpp"
+
+namespace conflux::xblas {
+
+namespace {
+
+// Cache-blocking parameters chosen for typical 32 KiB L1 / 256 KiB+ L2:
+// a KC x NC panel of B (64*256*8 = 128 KiB) stays L2-resident while MC rows
+// of A stream through it.
+constexpr index_t kMC = 64;
+constexpr index_t kKC = 64;
+constexpr index_t kNC = 256;
+
+// Innermost kernel: C[mc x nc] += A[mc x kc] * B[kc x nc], everything
+// already limited to cache-block sizes. j innermost gives unit-stride
+// access on B and C, which the compiler vectorizes.
+void kernel_nn(index_t mc, index_t nc, index_t kc, const double* a, index_t lda,
+               const double* b, index_t ldb, double* c, index_t ldc) {
+  for (index_t i = 0; i < mc; ++i) {
+    for (index_t p = 0; p < kc; ++p) {
+      const double aip = a[i * lda + p];
+      if (aip == 0.0) continue;
+      const double* brow = b + p * ldb;
+      double* crow = c + i * ldc;
+      for (index_t j = 0; j < nc; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+// Materialize op(X) into a contiguous scratch buffer so the blocked kernel
+// only ever deals with the no-transpose case.
+Matrix<double> materialize(Trans trans, ConstViewD x) {
+  if (trans == Trans::None) {
+    Matrix<double> out(x.rows(), x.cols());
+    copy(x, out.view());
+    return out;
+  }
+  Matrix<double> out(x.cols(), x.rows());
+  for (index_t i = 0; i < x.rows(); ++i) {
+    for (index_t j = 0; j < x.cols(); ++j) out(j, i) = x(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
+          double beta, ViewD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = (transa == Trans::None) ? a.cols() : a.rows();
+  expects(((transa == Trans::None) ? a.rows() : a.cols()) == m, "gemm: A/C rows");
+  expects(((transb == Trans::None) ? b.rows() : b.cols()) == k, "gemm: A/B inner dim");
+  expects(((transb == Trans::None) ? b.cols() : b.rows()) == n, "gemm: B/C cols");
+
+  // Scale C by beta first; then accumulate alpha*A*B.
+  if (beta == 0.0) {
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) c(i, j) = 0.0;
+    }
+  } else if (beta != 1.0) {
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) c(i, j) *= beta;
+    }
+  }
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  // For transposed operands, work on packed copies (simplifies the kernel;
+  // the packing cost is O(mk + kn), negligible against the O(mnk) multiply).
+  Matrix<double> packed_a;
+  Matrix<double> packed_b;
+  const double* adata = a.data();
+  index_t lda = a.ld();
+  if (transa == Trans::Transpose) {
+    packed_a = materialize(transa, a);
+    adata = packed_a.data();
+    lda = packed_a.cols();
+  }
+  const double* bdata = b.data();
+  index_t ldb = b.ld();
+  if (transb == Trans::Transpose) {
+    packed_b = materialize(transb, b);
+    bdata = packed_b.data();
+    ldb = packed_b.cols();
+  }
+
+  // alpha is folded into a scaled copy of the A block row to keep the kernel
+  // a pure FMA loop.
+  std::vector<double> ablock(static_cast<std::size_t>(kMC * kKC));
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mc = std::min(kMC, m - ic);
+        for (index_t i = 0; i < mc; ++i) {
+          const double* src = adata + (ic + i) * lda + pc;
+          double* dst = ablock.data() + i * kc;
+          for (index_t p = 0; p < kc; ++p) dst[p] = alpha * src[p];
+        }
+        kernel_nn(mc, nc, kc, ablock.data(), kc, bdata + pc * ldb + jc, ldb,
+                  c.data() + ic * c.ld() + jc, c.ld());
+      }
+    }
+  }
+}
+
+}  // namespace conflux::xblas

@@ -1,0 +1,220 @@
+#include "blas/lapack.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace conflux::xblas {
+
+namespace {
+
+constexpr index_t kPanelWidth = 32;
+
+// Unblocked LU with partial pivoting on an m x n panel (n small).
+int getrf_unblocked(ViewD a, std::vector<index_t>& ipiv, index_t ipiv_offset) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t kmax = std::min(m, n);
+  int info = 0;
+  for (index_t k = 0; k < kmax; ++k) {
+    // Pivot: largest |a(i, k)| for i >= k; ties resolved to the smallest i so
+    // results are deterministic across schedules.
+    index_t piv = k;
+    double best = std::abs(a(k, k));
+    for (index_t i = k + 1; i < m; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    ipiv[static_cast<std::size_t>(ipiv_offset + k)] = piv;
+    if (best == 0.0) {
+      if (info == 0) info = static_cast<int>(ipiv_offset + k) + 1;
+      continue;  // singular column: skip elimination, as LAPACK does
+    }
+    if (piv != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+    }
+    const double inv = 1.0 / a(k, k);
+    for (index_t i = k + 1; i < m; ++i) {
+      const double lik = a(i, k) * inv;
+      a(i, k) = lik;
+      for (index_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+int getrf(ViewD a, std::vector<index_t>& ipiv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t kmax = std::min(m, n);
+  ipiv.assign(static_cast<std::size_t>(kmax), 0);
+  int info = 0;
+
+  for (index_t k0 = 0; k0 < kmax; k0 += kPanelWidth) {
+    const index_t kb = std::min(kPanelWidth, kmax - k0);
+    // Factor the panel a(k0:m, k0:k0+kb).
+    ViewD panel = a.block(k0, k0, m - k0, kb);
+    const int pinfo = getrf_unblocked(panel, ipiv, k0);
+    if (info == 0 && pinfo != 0) info = pinfo;
+    // Panel pivots are relative to row k0; rebase and apply the interchanges
+    // to the columns outside the panel.
+    for (index_t k = k0; k < k0 + kb; ++k) {
+      const index_t piv = ipiv[static_cast<std::size_t>(k)] + k0;
+      ipiv[static_cast<std::size_t>(k)] = piv;
+      if (piv != k) {
+        for (index_t j = 0; j < k0; ++j) std::swap(a(k, j), a(piv, j));
+        for (index_t j = k0 + kb; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      }
+    }
+    if (k0 + kb < n) {
+      // U block row: solve L11 * U12 = A12.
+      ViewD u12 = a.block(k0, k0 + kb, kb, n - (k0 + kb));
+      trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
+           a.block(k0, k0, kb, kb), u12);
+      if (k0 + kb < m) {
+        // Trailing update: A22 -= L21 * U12.
+        gemm(Trans::None, Trans::None, -1.0, a.block(k0 + kb, k0, m - (k0 + kb), kb),
+             u12, 1.0, a.block(k0 + kb, k0 + kb, m - (k0 + kb), n - (k0 + kb)));
+      }
+    }
+  }
+  return info;
+}
+
+int getrf_nopiv(ViewD a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t kmax = std::min(m, n);
+  for (index_t k = 0; k < kmax; ++k) {
+    if (a(k, k) == 0.0) return static_cast<int>(k) + 1;
+    const double inv = 1.0 / a(k, k);
+    for (index_t i = k + 1; i < m; ++i) {
+      const double lik = a(i, k) * inv;
+      a(i, k) = lik;
+      for (index_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
+    }
+  }
+  return 0;
+}
+
+int potrf(ViewD a) {
+  const index_t n = a.rows();
+  expects(a.cols() == n, "potrf: matrix must be square");
+  constexpr index_t nb = 32;
+  for (index_t k0 = 0; k0 < n; k0 += nb) {
+    const index_t kb = std::min(nb, n - k0);
+    // Diagonal block: unblocked Cholesky.
+    ViewD d = a.block(k0, k0, kb, kb);
+    for (index_t k = 0; k < kb; ++k) {
+      double diag = d(k, k);
+      for (index_t p = 0; p < k; ++p) diag -= d(k, p) * d(k, p);
+      if (diag <= 0.0) return static_cast<int>(k0 + k) + 1;
+      const double lkk = std::sqrt(diag);
+      d(k, k) = lkk;
+      const double inv = 1.0 / lkk;
+      for (index_t i = k + 1; i < kb; ++i) {
+        double v = d(i, k);
+        for (index_t p = 0; p < k; ++p) v -= d(i, p) * d(k, p);
+        d(i, k) = v * inv;
+      }
+    }
+    if (k0 + kb < n) {
+      // Panel below: L21 = A21 * L11^{-T}.
+      ViewD l21 = a.block(k0 + kb, k0, n - (k0 + kb), kb);
+      trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0, d, l21);
+      // Trailing symmetric update: A22 -= L21 * L21^T (lower only).
+      syrk(UpLo::Lower, Trans::None, -1.0, l21, 1.0,
+           a.block(k0 + kb, k0 + kb, n - (k0 + kb), n - (k0 + kb)));
+    }
+  }
+  return 0;
+}
+
+void laswp(ViewD a, const std::vector<index_t>& ipiv) {
+  for (std::size_t k = 0; k < ipiv.size(); ++k) {
+    const index_t piv = ipiv[k];
+    const index_t row = static_cast<index_t>(k);
+    if (piv != row) {
+      for (index_t j = 0; j < a.cols(); ++j) std::swap(a(row, j), a(piv, j));
+    }
+  }
+}
+
+std::vector<index_t> ipiv_to_permutation(const std::vector<index_t>& ipiv, index_t n) {
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (std::size_t k = 0; k < ipiv.size(); ++k) {
+    std::swap(perm[k], perm[static_cast<std::size_t>(ipiv[k])]);
+  }
+  return perm;
+}
+
+void getrs(ConstViewD a, const std::vector<index_t>& ipiv, ViewD b) {
+  expects(a.rows() == a.cols() && a.rows() == b.rows(), "getrs: shape mismatch");
+  laswp(b, ipiv);
+  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0, a, b);
+  trsm(Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0, a, b);
+}
+
+void potrs(ConstViewD a, ViewD b) {
+  expects(a.rows() == a.cols() && a.rows() == b.rows(), "potrs: shape mismatch");
+  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0, a, b);
+  trsm(Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0, a, b);
+}
+
+MatrixD extract_lower_unit(ConstViewD lu, index_t k) {
+  MatrixD l(lu.rows(), k);
+  for (index_t i = 0; i < lu.rows(); ++i) {
+    for (index_t j = 0; j < std::min(i, k); ++j) l(i, j) = lu(i, j);
+    if (i < k) l(i, i) = 1.0;
+  }
+  return l;
+}
+
+MatrixD extract_upper(ConstViewD lu, index_t k) {
+  MatrixD u(k, lu.cols());
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = i; j < lu.cols(); ++j) u(i, j) = lu(i, j);
+  }
+  return u;
+}
+
+double lu_residual(ConstViewD a, ConstViewD factored,
+                   const std::vector<index_t>& perm) {
+  const index_t n = a.rows();
+  expects(a.cols() == n && factored.rows() == n && factored.cols() == n &&
+              static_cast<index_t>(perm.size()) == n,
+          "lu_residual: shape mismatch");
+  const MatrixD l = extract_lower_unit(factored, n);
+  const MatrixD u = extract_upper(factored, n);
+  MatrixD pa(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) pa(i, j) = a(perm[static_cast<std::size_t>(i)], j);
+  }
+  gemm(Trans::None, Trans::None, -1.0, l.view(), u.view(), 1.0, pa.view());
+  const double denom = norm_frobenius(a) * static_cast<double>(n) *
+                       std::numeric_limits<double>::epsilon();
+  return norm_frobenius(pa.view()) / denom;
+}
+
+double cholesky_residual(ConstViewD a, ConstViewD factored) {
+  const index_t n = a.rows();
+  MatrixD l(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) l(i, j) = factored(i, j);
+  }
+  MatrixD res(n, n);
+  copy(a, res.view());
+  gemm(Trans::None, Trans::Transpose, -1.0, l.view(), l.view(), 1.0, res.view());
+  const double denom = norm_frobenius(a) * static_cast<double>(n) *
+                       std::numeric_limits<double>::epsilon();
+  return norm_frobenius(res.view()) / denom;
+}
+
+}  // namespace conflux::xblas

@@ -1,0 +1,59 @@
+// From-scratch LAPACK subset: in-place LU (partial pivoting) and Cholesky
+// factorizations plus the solve/permutation helpers built on them.
+//
+// These are the *local* kernels executed by each simulated rank (the paper
+// uses MKL's getrf/potrf/trsm locally); they are also the reference the
+// distributed factorizations are tested against.
+#pragma once
+
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "tensor/matrix.hpp"
+
+namespace conflux::xblas {
+
+/// In-place LU with partial pivoting, blocked right-looking.
+/// On return a holds L (unit diagonal, below) and U (on/above diagonal).
+/// ipiv is LAPACK-style: at step k, row k was swapped with row ipiv[k] >= k.
+/// Returns 0 on success, or k+1 if the k-th pivot is exactly zero (the
+/// factorization continues with the remaining columns untouched, LAPACK-style).
+int getrf(ViewD a, std::vector<index_t>& ipiv);
+
+/// In-place LU without pivoting (requires a "safe" matrix, e.g. diagonally
+/// dominant); returns 0 or k+1 on zero diagonal.
+int getrf_nopiv(ViewD a);
+
+/// In-place lower Cholesky: a(lower) := L with A = L*L^T. Only the lower
+/// triangle of a is referenced/written. Returns 0 or k+1 if not positive
+/// definite at step k.
+int potrf(ViewD a);
+
+/// Apply ipiv row interchanges (as produced by getrf) to a, forward order.
+void laswp(ViewD a, const std::vector<index_t>& ipiv);
+
+/// Convert LAPACK-style ipiv into the explicit row permutation `perm` such
+/// that (P A)(i, :) == A(perm[i], :).
+std::vector<index_t> ipiv_to_permutation(const std::vector<index_t>& ipiv, index_t n);
+
+/// Solve A x = b for nrhs right-hand sides given getrf output (a, ipiv);
+/// b is overwritten with x.
+void getrs(ConstViewD a, const std::vector<index_t>& ipiv, ViewD b);
+
+/// Solve A x = b given potrf output (lower triangle of a); b overwritten.
+void potrs(ConstViewD a, ViewD b);
+
+/// Extract explicit unit-lower L (m x k) and upper U (k x n) factors from an
+/// in-place LU result.
+MatrixD extract_lower_unit(ConstViewD lu, index_t k);
+MatrixD extract_upper(ConstViewD lu, index_t k);
+
+/// ||A[perm,:] - L*U||_F / (||A||_F * N * eps): the normwise LU residual.
+/// `factored` is the in-place LU of the permuted matrix; `perm` maps output
+/// row i to original row perm[i].
+double lu_residual(ConstViewD a, ConstViewD factored, const std::vector<index_t>& perm);
+
+/// ||A - L*L^T||_F / (||A||_F * N * eps) from an in-place potrf result.
+double cholesky_residual(ConstViewD a, ConstViewD factored);
+
+}  // namespace conflux::xblas

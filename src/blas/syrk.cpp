@@ -1,0 +1,73 @@
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "support/check.hpp"
+
+namespace conflux::xblas {
+
+void syrk(UpLo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
+  const index_t n = c.rows();
+  expects(c.cols() == n, "syrk: C must be square");
+  const index_t k = (trans == Trans::None) ? a.cols() : a.rows();
+  expects(((trans == Trans::None) ? a.rows() : a.cols()) == n, "syrk: A/C shape");
+
+  const auto elem = [&](index_t i, index_t p) {
+    return (trans == Trans::None) ? a(i, p) : a(p, i);
+  };
+  for (index_t i = 0; i < n; ++i) {
+    const index_t jlo = (uplo == UpLo::Lower) ? 0 : i;
+    const index_t jhi = (uplo == UpLo::Lower) ? i : n - 1;
+    for (index_t j = jlo; j <= jhi; ++j) {
+      double sum = 0.0;
+      for (index_t p = 0; p < k; ++p) sum += elem(i, p) * elem(j, p);
+      c(i, j) = alpha * sum + beta * c(i, j);
+    }
+  }
+}
+
+void gemmt(UpLo uplo, Trans transa, Trans transb, double alpha, ConstViewD a,
+           ConstViewD b, double beta, ViewD c) {
+  const index_t n = c.rows();
+  expects(c.cols() == n, "gemmt: C must be square");
+  const index_t k = (transa == Trans::None) ? a.cols() : a.rows();
+  expects(((transa == Trans::None) ? a.rows() : a.cols()) == n, "gemmt: A/C shape");
+  expects(((transb == Trans::None) ? b.rows() : b.cols()) == k, "gemmt: inner dim");
+  expects(((transb == Trans::None) ? b.cols() : b.rows()) == n, "gemmt: B/C shape");
+
+  const auto aelem = [&](index_t i, index_t p) {
+    return (transa == Trans::None) ? a(i, p) : a(p, i);
+  };
+  const auto belem = [&](index_t p, index_t j) {
+    return (transb == Trans::None) ? b(p, j) : b(j, p);
+  };
+  for (index_t i = 0; i < n; ++i) {
+    const index_t jlo = (uplo == UpLo::Lower) ? 0 : i;
+    const index_t jhi = (uplo == UpLo::Lower) ? i : n - 1;
+    for (index_t j = jlo; j <= jhi; ++j) {
+      double sum = 0.0;
+      for (index_t p = 0; p < k; ++p) sum += aelem(i, p) * belem(p, j);
+      c(i, j) = alpha * sum + beta * c(i, j);
+    }
+  }
+}
+
+double norm_frobenius(ConstViewD a) {
+  double sum = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
+  }
+  return std::sqrt(sum);
+}
+
+double norm_max(ConstViewD a) {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      const double v = a(i, j) < 0 ? -a(i, j) : a(i, j);
+      if (v > best) best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace conflux::xblas

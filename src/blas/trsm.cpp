@@ -1,0 +1,181 @@
+#include "blas/blas.hpp"
+#include "support/check.hpp"
+
+namespace conflux::xblas {
+
+namespace {
+
+// Left side, lower triangular, no transpose: solve L * X = B row by row
+// (forward substitution over block rows of B).
+void trsm_lln(Diag diag, ConstViewD t, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t p = 0; p < i; ++p) {
+      const double lip = t(i, p);
+      if (lip == 0.0) continue;
+      for (index_t j = 0; j < n; ++j) b(i, j) -= lip * b(p, j);
+    }
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(i, i);
+      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+    }
+  }
+}
+
+// Left, upper, no transpose: back substitution.
+void trsm_lun(Diag diag, ConstViewD t, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t i = m - 1; i >= 0; --i) {
+    for (index_t p = i + 1; p < m; ++p) {
+      const double uip = t(i, p);
+      if (uip == 0.0) continue;
+      for (index_t j = 0; j < n; ++j) b(i, j) -= uip * b(p, j);
+    }
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(i, i);
+      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+    }
+  }
+}
+
+// Right, lower, no transpose: X * L = B, solve column blocks right-to-left.
+void trsm_rln(Diag diag, ConstViewD t, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t j = n - 1; j >= 0; --j) {
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(j, j);
+      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+    }
+    for (index_t p = 0; p < j; ++p) {
+      const double ljp = t(j, p);
+      if (ljp == 0.0) continue;
+      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * ljp;
+    }
+  }
+}
+
+// Right, upper, no transpose: X * U = B, left-to-right.
+void trsm_run(Diag diag, ConstViewD t, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t j = 0; j < n; ++j) {
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(j, j);
+      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+    }
+    for (index_t p = j + 1; p < n; ++p) {
+      const double ujp = t(j, p);
+      if (ujp == 0.0) continue;
+      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * ujp;
+    }
+  }
+}
+
+// op(T)^T cases reduce to the opposite-triangle no-transpose case applied
+// with swapped substitution order; implement directly for clarity.
+void trsm_llt(Diag diag, ConstViewD t, ViewD b) {
+  // Solve L^T X = B: L^T is upper triangular with entries t(p, i).
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t i = m - 1; i >= 0; --i) {
+    for (index_t p = i + 1; p < m; ++p) {
+      const double lpi = t(p, i);
+      if (lpi == 0.0) continue;
+      for (index_t j = 0; j < n; ++j) b(i, j) -= lpi * b(p, j);
+    }
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(i, i);
+      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+    }
+  }
+}
+
+void trsm_lut(Diag diag, ConstViewD t, ViewD b) {
+  // Solve U^T X = B: U^T is lower triangular with entries t(p, i).
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t p = 0; p < i; ++p) {
+      const double upi = t(p, i);
+      if (upi == 0.0) continue;
+      for (index_t j = 0; j < n; ++j) b(i, j) -= upi * b(p, j);
+    }
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(i, i);
+      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+    }
+  }
+}
+
+void trsm_rlt(Diag diag, ConstViewD t, ViewD b) {
+  // Solve X L^T = B: process columns left-to-right since L^T is upper.
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t j = 0; j < n; ++j) {
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(j, j);
+      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+    }
+    for (index_t p = j + 1; p < n; ++p) {
+      const double lpj = t(p, j);
+      if (lpj == 0.0) continue;
+      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * lpj;
+    }
+  }
+}
+
+void trsm_rut(Diag diag, ConstViewD t, ViewD b) {
+  // Solve X U^T = B: U^T lower, process columns right-to-left.
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  for (index_t j = n - 1; j >= 0; --j) {
+    if (diag == Diag::NonUnit) {
+      const double inv = 1.0 / t(j, j);
+      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+    }
+    for (index_t p = 0; p < j; ++p) {
+      const double ujp = t(j, p);
+      if (ujp == 0.0) continue;
+      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * ujp;
+    }
+  }
+}
+
+}  // namespace
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstViewD t, ViewD b) {
+  const index_t dim = (side == Side::Left) ? b.rows() : b.cols();
+  expects(t.rows() == dim && t.cols() == dim, "trsm: triangle must match B side");
+
+  if (alpha != 1.0) {
+    for (index_t i = 0; i < b.rows(); ++i) {
+      for (index_t j = 0; j < b.cols(); ++j) b(i, j) *= alpha;
+    }
+  }
+  if (b.rows() == 0 || b.cols() == 0) return;
+
+  if (side == Side::Left) {
+    if (uplo == UpLo::Lower) {
+      (trans == Trans::None) ? trsm_lln(diag, t, b) : trsm_llt(diag, t, b);
+    } else {
+      (trans == Trans::None) ? trsm_lun(diag, t, b) : trsm_lut(diag, t, b);
+    }
+  } else {
+    if (uplo == UpLo::Lower) {
+      (trans == Trans::None) ? trsm_rln(diag, t, b) : trsm_rlt(diag, t, b);
+    } else {
+      (trans == Trans::None) ? trsm_run(diag, t, b) : trsm_rut(diag, t, b);
+    }
+  }
+}
+
+void trsv(UpLo uplo, Trans trans, Diag diag, ConstViewD t, double* b) {
+  ViewD bv(b, t.rows(), 1, 1);
+  trsm(Side::Left, uplo, trans, diag, 1.0, t, bv);
+}
+
+}  // namespace conflux::xblas

@@ -1,0 +1,89 @@
+// I/O lower-bound engine — Sections 3, 5 and 6 of the paper.
+//
+// For a statement, solves the Section 3.2 optimization problem
+//
+//     max prod_t |D_t|   s.t.   sum_j prod_{k in phi_j} |D_k| <= X,  |D_t| >= 1
+//
+// numerically (it is a geometric program: convex after the log substitution),
+// yielding chi(X) = |H_max|. Then searches X0 = argmin chi(X)/(X - M) and
+// reports the computational intensity rho and the I/O lower bounds
+//
+//     Q_seq >= |V| / rho            (Lemmas 1 and 2)
+//     Q_par >= |V| / (P * rho)      (Lemma 9)
+//
+// with rho additionally capped by 1/u for statements with u out-degree-one
+// graph-input predecessors (Lemma 6).
+#pragma once
+
+#include <vector>
+
+#include "daap/statement.hpp"
+
+namespace conflux::daap {
+
+/// Result of solving the chi(X) problem for one value of X.
+struct ChiResult {
+  double chi = 0.0;               ///< max |H| = prod |D_t|
+  std::vector<double> domain;     ///< the optimizing |D_t| values
+  std::vector<double> access_sizes;  ///< |A_j(D)| per input access
+};
+
+/// Solve the Section 3.2 problem for a statement at a given X.
+/// X must exceed the number of inputs m (otherwise no computation fits).
+ChiResult solve_chi(const StatementSpec& stmt, double x);
+
+/// Full bound derivation for one statement.
+struct StatementBound {
+  double x0 = 0.0;     ///< the X minimizing rho (maximizing the bound)
+  double chi_x0 = 0.0; ///< chi(X0)
+  double rho = 0.0;    ///< computational intensity at X0 (after Lemma 6 cap)
+  bool lemma6_capped = false;  ///< true when rho = 1/u was the binding bound
+  double q_sequential = 0.0;   ///< |V| / rho
+};
+
+/// Derive X0, rho and the sequential bound for `stmt` with |V| = vertices
+/// and fast memory M.
+StatementBound derive_statement_bound(const StatementSpec& stmt, double vertices,
+                                      double memory);
+
+/// Parallel bound (Lemma 9): Q >= |V| / (P rho).
+inline double parallel_bound(const StatementBound& b, double p) {
+  return b.q_sequential / p;
+}
+
+/// Reuse(A) for input overlap (Lemma 7 / Equation 6): the per-array upper
+/// bound on avoidable loads, min over the two statements of
+/// |A(R_max(X0))| * |V| / |V_max|.
+double input_reuse_bound(const StatementSpec& a, double vertices_a,
+                         const StatementSpec& b, double vertices_b,
+                         const std::string& array, double memory);
+
+/// Bound for a whole program on P processors: sum of per-statement bounds,
+/// minus input-reuse overlaps (Case I), with output overlaps handled per
+/// Section 4.2 (a producer with rho <= 1 leaves the consumer's dominator
+/// unchanged; a producer with rho > 1 scales the consumer's shared access by
+/// 1/rho — Corollary 1 — which this engine applies as a Q reduction factor
+/// only when it would matter).
+struct ProgramBound {
+  double q_parallel = 0.0;
+  std::vector<StatementBound> per_statement;
+};
+
+ProgramBound derive_program_bound(const KernelInstance& kernel, double p,
+                                  double memory);
+
+// ---------------------------------------------------------------------------
+// Closed forms from Section 6 (used by tests and by src/models): the engine
+// above must reproduce these numerically without knowing them.
+// ---------------------------------------------------------------------------
+
+/// LU: 2(N^3 - 3N^2 + 2N) / (3 P sqrt(M)) + N(N-1)/(2P).
+double lu_lower_bound_closed_form(double n, double p, double memory);
+
+/// Cholesky: (N^3 - 3N^2 + 2N) / (3 P sqrt(M)) + N(N-1)/(2P) + N/P.
+double cholesky_lower_bound_closed_form(double n, double p, double memory);
+
+/// Matmul: 2 N^3 / (P sqrt(M)).
+double matmul_lower_bound_closed_form(double n, double p, double memory);
+
+}  // namespace conflux::daap

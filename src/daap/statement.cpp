@@ -1,0 +1,146 @@
+#include "daap/statement.hpp"
+
+namespace conflux::daap {
+
+namespace {
+// Variable index conventions for the kernels below.
+constexpr int kVarK = 0;
+constexpr int kVarI = 1;
+constexpr int kVarJ = 2;
+}  // namespace
+
+KernelInstance matmul_kernel(double n) {
+  // C[i,j] <- C[i,j] + A[i,k] * B[k,j]; the previous version of C[i,j] is an
+  // input (accumulation chain), giving the three-access dominator of
+  // Section 3.2 with |Dom| = IJ + IK + KJ.
+  StatementSpec s;
+  s.name = "MM";
+  s.num_vars = 3;
+  s.inputs = {AccessSpec{"C", {kVarI, kVarJ}}, AccessSpec{"A", {kVarI, kVarK}},
+              AccessSpec{"B", {kVarK, kVarJ}}};
+  s.output = AccessSpec{"C", {kVarI, kVarJ}};
+  s.u_outdeg1_inputs = 0;
+  s.validate();
+  KernelInstance kernel;
+  kernel.program.name = "matmul";
+  kernel.program.statements = {s};
+  kernel.statement_vertices = {n * n * n};
+  return kernel;
+}
+
+KernelInstance lu_kernel(double n) {
+  // Figure 3. S1: A[i,k] <- A[i,k] / A[k,k]. The previous version of A[i,k]
+  // is a graph input of G_S1 with out-degree one => u = 1 (Lemma 6 applies,
+  // rho_S1 <= 1).
+  StatementSpec s1;
+  s1.name = "LU.S1";
+  s1.num_vars = 2;  // k, i
+  s1.inputs = {AccessSpec{"Aik", {kVarK, kVarI}}, AccessSpec{"Akk", {kVarK}}};
+  s1.output = AccessSpec{"Aik", {kVarK, kVarI}};
+  s1.u_outdeg1_inputs = 1;
+  s1.validate();
+
+  // S2: A[i,j] <- A[i,j] - A[i,k] * A[k,j]. All three accesses have
+  // dimension 2; the access A[i,k] is the output of S1 (output reuse), but
+  // since rho_S1 <= 1 this does not shrink the dominator (Section 6.1).
+  StatementSpec s2;
+  s2.name = "LU.S2";
+  s2.num_vars = 3;  // k, i, j
+  s2.inputs = {AccessSpec{"Aij", {kVarI, kVarJ}}, AccessSpec{"Aik", {kVarK, kVarI}},
+               AccessSpec{"Akj", {kVarK, kVarJ}}};
+  s2.output = AccessSpec{"Aij", {kVarI, kVarJ}};
+  s2.u_outdeg1_inputs = 0;
+  s2.validate();
+
+  KernelInstance kernel;
+  kernel.program.name = "lu";
+  kernel.program.statements = {s1, s2};
+  kernel.program.output_reuses = {OutputReuse{"Aik", 0, 1}};
+  kernel.statement_vertices = {n * (n - 1) / 2.0, n * (n - 1) * (n - 2) / 3.0};
+  return kernel;
+}
+
+KernelInstance cholesky_kernel(double n) {
+  // Listing 1. S1: L[k,k] <- sqrt(L[k,k]); single variable, u = 1.
+  StatementSpec s1;
+  s1.name = "CHOL.S1";
+  s1.num_vars = 1;  // k
+  s1.inputs = {AccessSpec{"Lkk", {kVarK}}};
+  s1.output = AccessSpec{"Lkk", {kVarK}};
+  s1.u_outdeg1_inputs = 1;
+  s1.validate();
+
+  // S2: L[i,k] <- L[i,k] / L[k,k]; u = 1 via the previous version of L[i,k].
+  StatementSpec s2;
+  s2.name = "CHOL.S2";
+  s2.num_vars = 2;  // k, i
+  s2.inputs = {AccessSpec{"Lik", {kVarK, kVarI}}, AccessSpec{"Lkk", {kVarK}}};
+  s2.output = AccessSpec{"Lik", {kVarK, kVarI}};
+  s2.u_outdeg1_inputs = 1;
+  s2.validate();
+
+  // S3: L[i,j] <- L[i,j] - L[i,k] * L[j,k]; same structure as LU.S2 but over
+  // the triangular iteration domain (|V3| = N(N-1)(N-2)/6).
+  StatementSpec s3;
+  s3.name = "CHOL.S3";
+  s3.num_vars = 3;  // k, i, j
+  s3.inputs = {AccessSpec{"Lij", {kVarI, kVarJ}}, AccessSpec{"Lik", {kVarK, kVarI}},
+               AccessSpec{"Ljk", {kVarK, kVarJ}}};
+  s3.output = AccessSpec{"Lij", {kVarI, kVarJ}};
+  s3.u_outdeg1_inputs = 0;
+  s3.validate();
+
+  KernelInstance kernel;
+  kernel.program.name = "cholesky";
+  kernel.program.statements = {s1, s2, s3};
+  kernel.program.output_reuses = {OutputReuse{"Lkk", 0, 1}, OutputReuse{"Lik", 1, 2}};
+  kernel.statement_vertices = {n, n * (n - 1) / 2.0, n * (n - 1) * (n - 2) / 6.0};
+  return kernel;
+}
+
+KernelInstance trsm_kernel(double n, double nrhs) {
+  // S1: B[k,j] <- B[k,j] / L[k,k]  (diagonal scale, u = 1). Variables are
+  // renumbered locally: 0 = k, 1 = j (each statement owns its index space).
+  StatementSpec s1;
+  s1.name = "TRSM.S1";
+  s1.num_vars = 2;
+  s1.inputs = {AccessSpec{"Bkj", {0, 1}}, AccessSpec{"Lkk", {0}}};
+  s1.output = AccessSpec{"Bkj", {0, 1}};
+  s1.u_outdeg1_inputs = 1;
+  s1.validate();
+
+  // S2: B[i,j] <- B[i,j] - L[i,k] * B[k,j]  (k < i): the LU.S2 shape.
+  StatementSpec s2;
+  s2.name = "TRSM.S2";
+  s2.num_vars = 3;  // k, i, j
+  s2.inputs = {AccessSpec{"Bij", {kVarI, kVarJ}}, AccessSpec{"Lik", {kVarK, kVarI}},
+               AccessSpec{"Bkj", {kVarK, kVarJ}}};
+  s2.output = AccessSpec{"Bij", {kVarI, kVarJ}};
+  s2.u_outdeg1_inputs = 0;
+  s2.validate();
+
+  KernelInstance kernel;
+  kernel.program.name = "trsm";
+  kernel.program.statements = {s1, s2};
+  kernel.program.output_reuses = {OutputReuse{"Bkj", 0, 1}};
+  kernel.statement_vertices = {n * nrhs, n * (n - 1) / 2.0 * nrhs};
+  return kernel;
+}
+
+KernelInstance syrk_kernel(double n, double k) {
+  StatementSpec s;
+  s.name = "SYRK";
+  s.num_vars = 3;  // k, i, j
+  s.inputs = {AccessSpec{"Cij", {kVarI, kVarJ}}, AccessSpec{"Aik", {kVarK, kVarI}},
+              AccessSpec{"Ajk", {kVarK, kVarJ}}};
+  s.output = AccessSpec{"Cij", {kVarI, kVarJ}};
+  s.u_outdeg1_inputs = 0;
+  s.validate();
+  KernelInstance kernel;
+  kernel.program.name = "syrk";
+  kernel.program.statements = {s};
+  kernel.statement_vertices = {n * (n + 1) / 2.0 * k};
+  return kernel;
+}
+
+}  // namespace conflux::daap

@@ -1,0 +1,102 @@
+// Disjoint Access Array Program (DAAP) representation — Section 2.2 of the
+// paper. A program is a list of statements; each statement is a loop nest
+// with an output array access and m input array accesses, each access
+// addressed by a subset of the iteration variables (the access function
+// vector; only the *set* of distinct variables matters for the bounds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace conflux::daap {
+
+/// One array access A_j[phi_j(psi)] inside a statement.
+struct AccessSpec {
+  std::string array;      ///< array name (used for cross-statement reuse)
+  std::vector<int> vars;  ///< distinct iteration-variable indices in phi_j
+
+  /// dim(A_j(phi_j)): number of distinct iteration variables (Section 2.2).
+  int access_dim() const { return static_cast<int>(vars.size()); }
+};
+
+/// One statement S: A_0[phi_0] <- f(A_1[phi_1], ..., A_m[phi_m]).
+struct StatementSpec {
+  std::string name;
+  int num_vars = 0;                  ///< loop-nest depth l
+  std::vector<AccessSpec> inputs;    ///< the m input accesses (dominator set)
+  AccessSpec output;                 ///< A_0 access (used for output reuse)
+  /// Number of input accesses whose vertices are graph inputs with
+  /// out-degree one (Lemma 6's u): e.g. the previous version of the output
+  /// element when the statement is analyzed in isolation.
+  int u_outdeg1_inputs = 0;
+
+  void validate() const {
+    expects(num_vars > 0, "statement needs at least one iteration variable");
+    for (const auto& acc : inputs) {
+      for (int v : acc.vars) {
+        expects(v >= 0 && v < num_vars, "access references unknown variable");
+      }
+    }
+    expects(u_outdeg1_inputs >= 0 &&
+                u_outdeg1_inputs <= static_cast<int>(inputs.size()),
+            "u must count a subset of the inputs");
+  }
+};
+
+/// A program: statements plus the reuse relations between them
+/// (Section 4: input overlap and output overlap).
+struct InputReuse {
+  std::string array;   ///< array shared as input by the two statements
+  int statement_a = 0; ///< indices into ProgramSpec::statements
+  int statement_b = 0;
+};
+
+struct OutputReuse {
+  std::string array;    ///< output of `producer`, input of `consumer`
+  int producer = 0;
+  int consumer = 0;
+};
+
+struct ProgramSpec {
+  std::string name;
+  std::vector<StatementSpec> statements;
+  std::vector<InputReuse> input_reuses;
+  std::vector<OutputReuse> output_reuses;
+};
+
+// ---------------------------------------------------------------------------
+// The paper's kernels (Figure 3, Listing 1), parameterized by N. The
+// `vertices` fields hold the exact |V_i| counts used in Section 6.
+// ---------------------------------------------------------------------------
+
+struct KernelInstance {
+  ProgramSpec program;
+  std::vector<double> statement_vertices;  ///< |V_i| for each statement
+};
+
+/// Matrix multiplication C[i,j] += A[i,k]*B[k,j]: one statement, l = 3.
+KernelInstance matmul_kernel(double n);
+
+/// In-place LU without pivoting (Figure 3): S1 (column scale, u=1) and
+/// S2 (trailing update), |V1| = N(N-1)/2, |V2| = N(N-1)(N-2)/3.
+KernelInstance lu_kernel(double n);
+
+/// Cholesky (Listing 1): S1 (sqrt, u=1), S2 (column scale, u=1),
+/// S3 (symmetric trailing update), |V3| = N(N-1)(N-2)/6.
+KernelInstance cholesky_kernel(double n);
+
+/// Triangular solve with nrhs right-hand sides (one of the "solvers" the
+/// paper's Section 4 closing remark covers): B[i,j] -= L[i,k] * B[k,j]
+/// plus the diagonal scale; the update statement has the same three-access
+/// structure as LU's S2, so rho = sqrt(M)/2 and Q ~ N^2 * nrhs / sqrt(M).
+KernelInstance trsm_kernel(double n, double nrhs);
+
+/// Symmetric rank-k update C[i,j] += A[i,k] * A[j,k] (i >= j): despite A
+/// appearing twice, the two accesses address disjoint vertex sets through
+/// different variable pairs, so DAAP's disjoint-access analysis applies
+/// unchanged; |V| = N(N+1)K/2.
+KernelInstance syrk_kernel(double n, double k);
+
+}  // namespace conflux::daap

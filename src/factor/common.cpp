@@ -1,0 +1,88 @@
+#include "factor/common.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace conflux::factor {
+
+index_t default_block_size(index_t n, const grid::Grid3D& g) {
+  const auto c = static_cast<index_t>(g.pz());
+  index_t v = std::max<index_t>(2 * c, 64);
+  v = (v / c) * c;  // keep v a multiple of c for the k-slice split
+  if (v > n) {
+    // Tiny matrices: one block, still a multiple of c via padding upstream.
+    v = ((n + c - 1) / c) * c;
+  }
+  return std::max<index_t>(v, c);
+}
+
+RowTracker::RowTracker(index_t num_rows, index_t block, int px)
+    : block_(block), px_(px) {
+  expects(num_rows >= 0 && block >= 1 && px >= 1, "bad tracker shape");
+  eliminated_.assign(static_cast<std::size_t>(num_rows), false);
+  active_.resize(static_cast<std::size_t>(num_rows));
+  for (index_t r = 0; r < num_rows; ++r) active_[static_cast<std::size_t>(r)] = r;
+  counts_x_.assign(static_cast<std::size_t>(px), 0);
+  for (index_t r = 0; r < num_rows; ++r) {
+    ++counts_x_[static_cast<std::size_t>(x_of_row(r))];
+  }
+}
+
+std::vector<index_t> RowTracker::rows_for_x(int x) const {
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(count_for_x(x)));
+  for (index_t r : active_) {
+    if (x_of_row(r) == x) out.push_back(r);
+  }
+  return out;
+}
+
+void RowTracker::eliminate(const std::vector<index_t>& rows) {
+  for (index_t r : rows) {
+    expects(r >= 0 && r < static_cast<index_t>(eliminated_.size()), "row out of range");
+    expects(!eliminated_[static_cast<std::size_t>(r)], "row eliminated twice");
+    eliminated_[static_cast<std::size_t>(r)] = true;
+    --counts_x_[static_cast<std::size_t>(x_of_row(r))];
+  }
+  std::erase_if(active_, [&](index_t r) {
+    return eliminated_[static_cast<std::size_t>(r)];
+  });
+}
+
+std::vector<index_t> RowTracker::sample_active(index_t count, Rng& rng) const {
+  expects(count <= active_count(), "cannot sample more rows than are active");
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count * 4 < active_count()) {
+    // Sparse draw: rejection sampling avoids copying the whole active set
+    // (Trace runs at N = 2^19 sample v rows out of hundreds of thousands).
+    std::set<index_t> seen;
+    while (static_cast<index_t>(seen.size()) < count) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(active_.size())));
+      seen.insert(active_[idx]);
+    }
+    out.assign(seen.begin(), seen.end());
+    return out;
+  }
+  // Dense draw: partial Fisher-Yates on a copy.
+  std::vector<index_t> pool = active_;
+  for (index_t k = 0; k < count; ++k) {
+    const auto pick =
+        k + static_cast<index_t>(rng.uniform_int(static_cast<std::uint64_t>(
+                static_cast<std::size_t>(active_count() - k))));
+    std::swap(pool[static_cast<std::size_t>(k)], pool[static_cast<std::size_t>(pick)]);
+    out.push_back(pool[static_cast<std::size_t>(k)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+index_t chunk_offset(index_t total, int parts, int r) {
+  expects(total >= 0 && parts >= 1 && r >= 0 && r <= parts, "bad chunk split");
+  return total * static_cast<index_t>(r) / static_cast<index_t>(parts);
+}
+
+}  // namespace conflux::factor

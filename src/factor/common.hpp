@@ -1,0 +1,140 @@
+// Shared infrastructure for the COnfLUX / COnfCHOX schedules: options,
+// per-step cost recording (Table 1), and the row bookkeeping used by the
+// row-masking pivot strategy (Section 7.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "support/rng.hpp"
+#include "tensor/matrix.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::factor {
+
+struct FactorOptions {
+  /// Panel/block width v (Section 7.2). 0 = auto: a small multiple of the
+  /// replication depth, clamped to the matrix size.
+  index_t block_size = 0;
+  /// Record the per-iteration cost breakdown (used by bench/table1).
+  bool record_step_costs = false;
+  /// Pivot-position seed for Trace mode, where the matrix values do not
+  /// exist: pivots are drawn uniformly among active rows, matching the
+  /// paper's "pivots evenly distributed w.h.p." assumption.
+  std::uint64_t trace_pivot_seed = 42;
+};
+
+/// Cost categories of one outer iteration, mapped to Table 1's rows.
+struct StepCosts {
+  double pivoting_words = 0.0;   ///< TournPivot butterfly (LU) / none (Chol)
+  double pivoting_flops = 0.0;
+  double a00_words = 0.0;        ///< A00 + pivot-index broadcast
+  double a00_flops = 0.0;        ///< getrf/potrf of the v x v block
+  double panels_words = 0.0;     ///< A10/A01 layer reduction + 1D scatter
+  double panels_flops = 0.0;     ///< the two panel trsms
+  double a11_words = 0.0;        ///< 2.5D distribution of the panels
+  double a11_flops = 0.0;        ///< local Schur-complement gemm/gemmt
+};
+
+/// LU factorization result. In Trace mode only `perm` (trace pivots) and the
+/// step costs are populated.
+struct LuResult {
+  /// Row permutation: output row i of the factored matrix corresponds to
+  /// input row perm[i] (A[perm, :] = L U).
+  std::vector<index_t> perm;
+  /// Real mode: the in-place factors of A[perm, :] (unit-lower L below the
+  /// diagonal, U on and above).
+  MatrixD factors;
+  std::vector<StepCosts> step_costs;
+};
+
+/// Cholesky result (no pivoting).
+struct CholResult {
+  /// Real mode: lower-triangular L with A = L L^T (upper triangle zero).
+  MatrixD factors;
+  std::vector<StepCosts> step_costs;
+};
+
+/// Pick the block size: v = a * c for a small constant a (Section 7.2 uses
+/// hardware-tuned multiples; we default to the largest of 2c and 64, rounded
+/// to a multiple of c and clamped to n).
+index_t default_block_size(index_t n, const grid::Grid3D& g);
+
+/// Active-row bookkeeping for row masking. Rows are never moved; choosing a
+/// row as a pivot eliminates it from the active set.
+class RowTracker {
+ public:
+  RowTracker(index_t num_rows, index_t block, int px);
+
+  index_t active_count() const { return static_cast<index_t>(active_.size()); }
+  const std::vector<index_t>& active_rows() const { return active_; }
+  bool is_active(index_t row) const { return !eliminated_[static_cast<std::size_t>(row)]; }
+
+  /// Number of active rows whose tile row maps to grid column x.
+  index_t count_for_x(int x) const { return counts_x_[static_cast<std::size_t>(x)]; }
+
+  /// Active rows owned by grid x (ascending global order).
+  std::vector<index_t> rows_for_x(int x) const;
+
+  /// Eliminate the given rows (they become this step's pivots).
+  void eliminate(const std::vector<index_t>& rows);
+
+  /// Draw `count` distinct active rows uniformly (Trace-mode pivots).
+  std::vector<index_t> sample_active(index_t count, Rng& rng) const;
+
+  int x_of_row(index_t row) const {
+    return static_cast<int>((row / block_) % static_cast<index_t>(px_));
+  }
+
+ private:
+  index_t block_;
+  int px_;
+  std::vector<bool> eliminated_;
+  std::vector<index_t> active_;  // sorted ascending
+  std::vector<index_t> counts_x_;
+};
+
+/// Balanced 1D split of `total` items over `parts` chunks: chunk r covers
+/// [offset(r), offset(r+1)).
+index_t chunk_offset(index_t total, int parts, int r);
+inline index_t chunk_size(index_t total, int parts, int r) {
+  return chunk_offset(total, parts, r + 1) - chunk_offset(total, parts, r);
+}
+
+/// Snapshot-based recorder: measures machine-total word/flop deltas around
+/// each phase and attributes them to a StepCosts field.
+class StepCostRecorder {
+ public:
+  StepCostRecorder(xsim::Machine& m, bool enabled) : m_(m), enabled_(enabled) {}
+
+  void begin_iteration() {
+    if (enabled_) current_ = StepCosts{};
+  }
+  void end_iteration(std::vector<StepCosts>& out) {
+    if (enabled_) out.push_back(current_);
+  }
+
+  /// Run `phase` and attribute its cost deltas to the given fields. All
+  /// words are counted as received words (each transfer counted once).
+  template <typename Phase>
+  void measure(double StepCosts::* words_field, double StepCosts::* flops_field,
+               Phase&& phase) {
+    if (!enabled_) {
+      phase();
+      return;
+    }
+    const double w0 = m_.total_words_received();
+    const double f0 = m_.total_flops();
+    phase();
+    current_.*words_field += m_.total_words_received() - w0;
+    current_.*flops_field += m_.total_flops() - f0;
+  }
+
+ private:
+  xsim::Machine& m_;
+  bool enabled_;
+  StepCosts current_;
+};
+
+}  // namespace conflux::factor

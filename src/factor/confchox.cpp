@@ -1,0 +1,319 @@
+#include "factor/confchox.hpp"
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "blas/lapack.hpp"
+#include "support/check.hpp"
+#include "xsim/comm.hpp"
+
+namespace conflux::factor {
+
+namespace {
+
+using xblas::Diag;
+using xblas::Side;
+using xblas::Trans;
+using xblas::UpLo;
+
+struct CholRun {
+  xsim::Machine& m;
+  const grid::Grid3D& g;
+  index_t n = 0;
+  index_t npad = 0;
+  index_t v = 0;
+  index_t num_tiles = 0;
+  bool real = false;
+  std::vector<int> all_ranks;
+  std::vector<MatrixD> partials;  // per-layer partial sums (lower triangle)
+  MatrixD lfac;                   // the factor, written block by block
+
+  CholRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size,
+          index_t block)
+      : m(machine), g(grid), n(size), v(block) {
+    npad = (n + v - 1) / v * v;
+    num_tiles = npad / v;
+    real = m.real();
+    all_ranks = g.all();
+  }
+
+  /// Active rows (>= tile `first`) whose tile row has grid residue q mod dim.
+  index_t rows_with_residue(index_t first, int q, int dim) const {
+    return grid::cyclic_local_count(first, num_tiles, q, dim) * v;
+  }
+};
+
+long long approx_msgs(index_t items, int peers) {
+  return std::min<long long>(static_cast<long long>(std::max<index_t>(items, 0)),
+                             static_cast<long long>(peers));
+}
+
+// Step 1: reduce the trailing block column (rows t*v.., width v) onto layer
+// l_t; charged per x-group like COnfLUX's column reduction.
+void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
+  const int pz = run.g.pz();
+  const int y_t = static_cast<int>(t) % run.g.py();
+  const int l_t = static_cast<int>(t) % pz;
+  const index_t nrows = run.npad - t * run.v;
+  if (pz > 1) {
+    for (int x = 0; x < run.g.px(); ++x) {
+      const index_t rows_x = run.rows_with_residue(t, x, run.g.px());
+      if (rows_x == 0) continue;
+      xsim::comm::reduce(run.m, run.g.z_line(x, y_t), static_cast<std::size_t>(l_t),
+                         static_cast<double>(rows_x * run.v));
+    }
+  }
+  if (run.real) {
+    *colblock = MatrixD(nrows, run.v);
+    for (index_t i = 0; i < nrows; ++i) {
+      for (index_t j = 0; j < run.v; ++j) {
+        double sum = 0.0;
+        for (int z = 0; z < pz; ++z) {
+          sum += run.partials[static_cast<std::size_t>(z)](t * run.v + i, t * run.v + j);
+        }
+        (*colblock)(i, j) = sum;
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// Steps 2-3: potrf of the diagonal block on its owner, broadcast to all.
+void factor_and_broadcast_a00(CholRun& run, index_t t, MatrixD* a00,
+                              const MatrixD& colblock) {
+  const int x_t = static_cast<int>(t) % run.g.px();
+  const int y_t = static_cast<int>(t) % run.g.py();
+  const int l_t = static_cast<int>(t) % run.g.pz();
+  const int owner = run.g.rank_of(x_t, y_t, l_t);
+  const auto vv = static_cast<double>(run.v);
+  run.m.charge_flops(owner, vv * vv * vv / 3.0);
+  xsim::comm::broadcast(run.m, run.all_ranks, static_cast<std::size_t>(owner),
+                        vv * vv);
+  if (run.real) {
+    *a00 = MatrixD(run.v, run.v, 0.0);
+    for (index_t i = 0; i < run.v; ++i) {
+      for (index_t j = 0; j <= i; ++j) (*a00)(i, j) = colblock(i, j);
+    }
+    check(xblas::potrf(a00->view()) == 0,
+          "matrix is not positive definite at this block");
+  }
+  run.m.step_barrier();
+}
+
+// Step 4: scatter the sub-diagonal panel into 1D row chunks over all ranks.
+void scatter_panel_1d(CholRun& run, index_t t, index_t panel_rows) {
+  const int p = run.m.ranks();
+  const int px = run.g.px();
+  const int y_t = static_cast<int>(t) % run.g.py();
+  const int l_t = static_cast<int>(t) % run.g.pz();
+  for (int x = 0; x < px; ++x) {
+    const index_t rows_x = run.rows_with_residue(t + 1, x, px);
+    if (rows_x == 0) continue;
+    run.m.charge_send(run.g.rank_of(x, y_t, l_t),
+                      static_cast<double>(rows_x * run.v), approx_msgs(rows_x, p / px));
+  }
+  for (int r = 0; r < p; ++r) {
+    const index_t mine = chunk_size(panel_rows, p, r);
+    if (mine == 0) continue;
+    run.m.charge_recv(r, static_cast<double>(mine * run.v), approx_msgs(mine, px));
+  }
+  run.m.step_barrier();
+}
+
+// Step 5: local trsm L10 = A10 * L00^{-T} on the 1D chunks.
+void trsm_panel(CholRun& run, index_t t, index_t panel_rows, const MatrixD& a00,
+                MatrixD* panel, const MatrixD& colblock) {
+  const auto vv = static_cast<double>(run.v);
+  for (int r = 0; r < run.m.ranks(); ++r) {
+    const double mine = static_cast<double>(chunk_size(panel_rows, run.m.ranks(), r));
+    if (mine > 0) run.m.charge_flops(r, mine * vv * vv);
+  }
+  if (run.real && panel_rows > 0) {
+    *panel = MatrixD(panel_rows, run.v);
+    copy<double>(colblock.view().block(run.v, 0, panel_rows, run.v), panel->view());
+    xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
+                a00.view(), panel->view());
+    for (index_t i = 0; i < panel_rows; ++i) {
+      for (index_t j = 0; j < run.v; ++j) {
+        run.lfac((t + 1) * run.v + i, t * run.v + j) = (*panel)(i, j);
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// Step 6: distribute L10's k-slices to the 2.5D tile owners. Unlike LU each
+// rank needs BOTH its tile rows' slices and its tile columns' slices (the
+// update is L10_i * L10_j^T), which is why Cholesky communicates as much as
+// LU here despite half the flops (Table 1).
+void distribute_panel_2p5d(CholRun& run, index_t t, index_t panel_rows) {
+  const int p = run.m.ranks();
+  const int px = run.g.px();
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const index_t slice = run.v / pz;
+  for (int r = 0; r < p; ++r) {
+    const index_t mine = chunk_size(panel_rows, p, r);
+    if (mine == 0) continue;
+    // Each row feeds the py*pz row-owners and the px*pz column-owners, a
+    // v/pz slice each: (px + py) * v words per row.
+    run.m.charge_send(r,
+                      static_cast<double>(mine) * static_cast<double>(py + px) *
+                          static_cast<double>(run.v),
+                      static_cast<long long>(py + px) * pz);
+  }
+  for (int x = 0; x < px; ++x) {
+    for (int y = 0; y < py; ++y) {
+      const index_t rows_x = run.rows_with_residue(t + 1, x, px);
+      const index_t cols_y = run.rows_with_residue(t + 1, y, py);
+      if (rows_x + cols_y == 0) continue;
+      for (int z = 0; z < pz; ++z) {
+        run.m.charge_recv(run.g.rank_of(x, y, z),
+                          static_cast<double>((rows_x + cols_y) * slice),
+                          approx_msgs(rows_x + cols_y, px + py));
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// Step 7: symmetric Schur update of each layer's partials: layer z applies
+// its k-slice of L10 * L10^T to the lower triangle.
+void update_a11(CholRun& run, index_t t, const MatrixD& panel, index_t panel_rows) {
+  const int px = run.g.px();
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const index_t slice = run.v / pz;
+  for (int x = 0; x < px; ++x) {
+    const auto rows_x = static_cast<double>(run.rows_with_residue(t + 1, x, px));
+    if (rows_x == 0.0) continue;
+    for (int y = 0; y < py; ++y) {
+      const auto cols_y = static_cast<double>(run.rows_with_residue(t + 1, y, py));
+      if (cols_y == 0.0) continue;
+      for (int z = 0; z < pz; ++z) {
+        // Half the tiles (lower triangle): 2 flops per madd on half the
+        // rows_x * cols_y area.
+        run.m.charge_flops(run.g.rank_of(x, y, z),
+                           rows_x * cols_y * static_cast<double>(slice));
+      }
+    }
+  }
+  if (run.real && panel_rows > 0) {
+    const index_t off = (t + 1) * run.v;
+    for (int z = 0; z < pz; ++z) {
+      const index_t k0 = static_cast<index_t>(z) * slice;
+      xblas::syrk(UpLo::Lower, Trans::None, -1.0,
+                  panel.view().block(0, k0, panel_rows, slice), 1.0,
+                  run.partials[static_cast<std::size_t>(z)].block(off, off, panel_rows,
+                                                                  panel_rows));
+    }
+  }
+  run.m.step_barrier();
+}
+
+CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                        ConstViewD a, const FactorOptions& opt) {
+  expects(g.ranks() == m.ranks(), "grid must match the machine");
+  expects(n >= 1, "matrix must be non-empty");
+  index_t v = opt.block_size > 0 ? opt.block_size : default_block_size(n, g);
+  expects(v % g.pz() == 0, "block size must be a multiple of the layer count");
+
+  CholRun run(m, g, n, v);
+  const index_t npad = run.npad;
+  const index_t num_tiles = run.num_tiles;
+
+  const double tile_words =
+      static_cast<double>(npad) * static_cast<double>(npad) /
+      (2.0 * static_cast<double>(g.px()) * static_cast<double>(g.py()));
+  const double panel_words =
+      2.0 * static_cast<double>(npad * v) / static_cast<double>(m.ranks()) +
+      static_cast<double>(v * v);
+  for (int r = 0; r < m.ranks(); ++r) m.alloc(r, tile_words + panel_words);
+
+  if (run.real) {
+    expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.partials.assign(static_cast<std::size_t>(g.pz()), MatrixD());
+    run.partials[0] = MatrixD(npad, npad, 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) run.partials[0](i, j) = a(i, j);
+    }
+    for (index_t r = n; r < npad; ++r) run.partials[0](r, r) = 1.0;
+    for (int z = 1; z < g.pz(); ++z) {
+      run.partials[static_cast<std::size_t>(z)] = MatrixD(npad, npad, 0.0);
+    }
+    run.lfac = MatrixD(npad, npad, 0.0);
+  }
+
+  CholResult result;
+  StepCostRecorder rec(m, opt.record_step_costs);
+
+  // Latency chain per iteration: one layer reduction, the A00 broadcast,
+  // and the two panel hops (no pivoting chain at all).
+  const double chain_per_step =
+      std::ceil(std::log2(static_cast<double>(std::max(2, g.pz())))) +
+      std::ceil(std::log2(static_cast<double>(std::max(2, m.ranks())))) + 3.0;
+
+  for (index_t t = 0; t < num_tiles; ++t) {
+    m.charge_chain(chain_per_step);
+    rec.begin_iteration();
+    const index_t panel_rows = npad - (t + 1) * v;
+
+    MatrixD colblock;
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
+                [&] { reduce_block_column(run, t, &colblock); });
+    MatrixD a00;
+    rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
+                [&] { factor_and_broadcast_a00(run, t, &a00, colblock); });
+    if (run.real) {
+      for (index_t i = 0; i < v; ++i) {
+        for (index_t j = 0; j <= i; ++j) run.lfac(t * v + i, t * v + j) = a00(i, j);
+      }
+    }
+    MatrixD panel;
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
+                [&] { scatter_panel_1d(run, t, panel_rows); });
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
+                [&] { trsm_panel(run, t, panel_rows, a00, &panel, colblock); });
+    rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
+                [&] { distribute_panel_2p5d(run, t, panel_rows); });
+    rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
+                [&] { update_a11(run, t, panel, panel_rows); });
+    rec.end_iteration(result.step_costs);
+  }
+
+  for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);
+
+  if (run.real) {
+    result.factors = MatrixD(n, n, 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j <= i; ++j) result.factors(i, j) = run.lfac(i, j);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CholResult confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                    const FactorOptions& opt) {
+  expects(m.real(), "confchox with a matrix requires Real mode");
+  return run_confchox(m, g, a.rows(), a, opt);
+}
+
+CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                          const FactorOptions& opt) {
+  expects(!m.real(), "confchox_trace requires Trace mode");
+  return run_confchox(m, g, n, ConstViewD(), opt);
+}
+
+void confchox_solve(const CholResult& chol, ViewD b) {
+  const index_t n = chol.factors.rows();
+  expects(n > 0, "solve requires Real-mode factors");
+  expects(b.rows() == n, "right-hand side must match the matrix");
+  xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0,
+              chol.factors.view(), b);
+  xblas::trsm(Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
+              chol.factors.view(), b);
+}
+
+}  // namespace conflux::factor

@@ -1,0 +1,27 @@
+// COnfCHOX — near-communication-optimal parallel Cholesky factorization
+// (Section 7.5). Shares COnfLUX's 2.5D decomposition and step structure but
+// needs no pivoting: the panel is the contiguous trailing block column, A00
+// is factored with potrf, and the Schur update is symmetric (gemmt/syrk on
+// the lower triangle), halving the computation at equal communication
+// (Table 1).
+#pragma once
+
+#include "factor/common.hpp"
+#include "grid/grid.hpp"
+#include "tensor/matrix.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::factor {
+
+/// Factor the SPD matrix `a` (lower triangle referenced) in Real mode.
+CholResult confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                    const FactorOptions& opt = {});
+
+/// Trace-mode run for an n x n factorization.
+CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                          const FactorOptions& opt = {});
+
+/// Solve A x = b given a confchox result; b is overwritten with x.
+void confchox_solve(const CholResult& chol, ViewD b);
+
+}  // namespace conflux::factor

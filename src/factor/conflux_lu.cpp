@@ -1,0 +1,624 @@
+#include "factor/conflux_lu.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "blas/lapack.hpp"
+#include "support/check.hpp"
+#include "xsim/comm.hpp"
+
+namespace conflux::factor {
+
+namespace {
+
+using xblas::Diag;
+using xblas::Side;
+using xblas::Trans;
+using xblas::UpLo;
+
+bool is_pow2(int n) { return std::has_single_bit(static_cast<unsigned>(n)); }
+
+/// Candidate set carried through the tournament: row indices plus their
+/// original (reduced) panel values, both in the current ranking order.
+struct Candidates {
+  std::vector<index_t> rows;
+  MatrixD values;  // rows.size() x v
+};
+
+/// Rank candidate rows of `panel_rows` by partial-pivoting LU and keep the
+/// top `keep`: the standard CALU local selection.
+Candidates select_candidates(const std::vector<index_t>& rows, const MatrixD& values,
+                             index_t keep) {
+  const auto nrows = static_cast<index_t>(rows.size());
+  const index_t v = values.cols();
+  Candidates out;
+  if (nrows == 0) return out;
+  MatrixD work = values;
+  std::vector<index_t> ipiv;
+  xblas::getrf(work.view(), ipiv);  // singular panels keep natural order
+  const auto order = xblas::ipiv_to_permutation(ipiv, nrows);
+  const index_t take = std::min(keep, nrows);
+  out.rows.reserve(static_cast<std::size_t>(take));
+  out.values = MatrixD(take, v);
+  for (index_t i = 0; i < take; ++i) {
+    const auto src = order[static_cast<std::size_t>(i)];
+    out.rows.push_back(rows[static_cast<std::size_t>(src)]);
+    for (index_t j = 0; j < v; ++j) out.values(i, j) = values(src, j);
+  }
+  return out;
+}
+
+Candidates merge_candidates(const Candidates& a, const Candidates& b, index_t keep) {
+  const auto na = static_cast<index_t>(a.rows.size());
+  const auto nb = static_cast<index_t>(b.rows.size());
+  if (na == 0) return b;
+  if (nb == 0) return a;
+  const index_t v = a.values.cols();
+  std::vector<index_t> rows = a.rows;
+  rows.insert(rows.end(), b.rows.begin(), b.rows.end());
+  MatrixD stacked(na + nb, v);
+  copy<double>(a.values.view(), stacked.block(0, 0, na, v));
+  copy<double>(b.values.view(), stacked.block(na, 0, nb, v));
+  return select_candidates(rows, stacked, keep);
+}
+
+/// The whole mutable state of one factorization run.
+struct LuRun {
+  xsim::Machine& m;
+  const grid::Grid3D& g;
+  index_t n = 0;     // original size
+  index_t npad = 0;  // padded size (multiple of v)
+  index_t v = 0;
+  index_t num_tiles = 0;  // npad / v
+  bool real = false;
+
+  RowTracker tracker;
+  Rng trace_rng;
+  std::vector<int> all_ranks;
+
+  // Real-mode data: per-layer partial sums, plus the final factors keyed by
+  // global row (Section 7.3's row masking writes results in place of the
+  // pivot bookkeeping, never moving rows).
+  std::vector<MatrixD> partials;
+  MatrixD lstore;
+
+  LuRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size, index_t block)
+      : m(machine),
+        g(grid),
+        n(size),
+        v(block),
+        tracker(0, 1, 1),
+        trace_rng(0) {
+    npad = (n + v - 1) / v * v;
+    num_tiles = npad / v;
+    real = m.real();
+    tracker = RowTracker(npad, v, g.px());
+    all_ranks = g.all();
+  }
+};
+
+// Approximate peer counts for the latency term of aggregated charges
+// (documented in DESIGN.md; only alpha-cost, not volume, depends on these).
+long long approx_msgs(index_t items, int peers) {
+  return std::min<long long>(static_cast<long long>(std::max<index_t>(items, 0)),
+                             static_cast<long long>(peers));
+}
+
+// ---------------------------------------------------------------------------
+// Step 1: reduce the current block column across the Pz layers onto layer
+// l_t. Per x-group the payload is that group's active rows times v.
+// ---------------------------------------------------------------------------
+void reduce_block_column(LuRun& run, index_t t, MatrixD* colblock) {
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const int y_t = static_cast<int>(t) % py;
+  const int l_t = static_cast<int>(t) % pz;
+  if (pz > 1) {
+    for (int x = 0; x < run.g.px(); ++x) {
+      const index_t rows_x = run.tracker.count_for_x(x);
+      if (rows_x == 0) continue;
+      const auto group = run.g.z_line(x, y_t);
+      xsim::comm::reduce(run.m, group, static_cast<std::size_t>(l_t),
+                         static_cast<double>(rows_x * run.v));
+    }
+  }
+  if (run.real) {
+    // colblock is indexed by global row; only active rows are meaningful.
+    *colblock = MatrixD(run.npad, run.v, 0.0);
+    for (index_t r : run.tracker.active_rows()) {
+      for (index_t j = 0; j < run.v; ++j) {
+        double sum = 0.0;
+        for (int z = 0; z < pz; ++z) {
+          sum += run.partials[static_cast<std::size_t>(z)](r, t * run.v + j);
+        }
+        (*colblock)(r, j) = sum;
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Step 2: tournament pivoting (butterfly over the Px column owners). Returns
+// the winners in pivot order and, in Real mode, the factored A00.
+// ---------------------------------------------------------------------------
+struct PivotResult {
+  std::vector<index_t> winners;
+  MatrixD a00;  // v x v in-place LU of the winner rows (Real mode)
+};
+
+PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
+  const int px = run.g.px();
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const int y_t = static_cast<int>(t) % py;
+  const int l_t = static_cast<int>(t) % pz;
+  const auto group = run.g.x_line(y_t, l_t);
+
+  // Communication: log2(Px) butterfly rounds of the v x v candidate block
+  // plus the v row indices; non-powers of two finish with a broadcast of the
+  // root's winners (rank 0 always accumulates full information).
+  const double payload = static_cast<double>(run.v * (run.v + 1));
+  xsim::comm::butterfly(run.m, group, payload);
+  if (!is_pow2(px) && px > 1) {
+    xsim::comm::broadcast(run.m, group, 0, payload);
+  }
+  // Computation: the initial local ranking plus one 2v x v re-ranking per
+  // butterfly round on every participant.
+  const double rounds = px > 1 ? std::ceil(std::log2(static_cast<double>(px))) : 0.0;
+  for (int x = 0; x < px; ++x) {
+    const auto rows_x = static_cast<double>(run.tracker.count_for_x(x));
+    const auto vv = static_cast<double>(run.v);
+    run.m.charge_flops(group[static_cast<std::size_t>(x)],
+                       rows_x * vv * vv + rounds * 2.0 * vv * vv * vv / 3.0);
+  }
+
+  PivotResult result;
+  if (!run.real) {
+    result.winners = run.tracker.sample_active(run.v, run.trace_rng);
+    run.m.step_barrier();
+    return result;
+  }
+
+  // Local candidate selection per x-group.
+  std::vector<Candidates> cand(static_cast<std::size_t>(px));
+  for (int x = 0; x < px; ++x) {
+    const auto rows = run.tracker.rows_for_x(x);
+    if (rows.empty()) continue;
+    MatrixD values(static_cast<index_t>(rows.size()), run.v);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (index_t j = 0; j < run.v; ++j) {
+        values(static_cast<index_t>(i), j) = colblock(rows[i], j);
+      }
+    }
+    cand[static_cast<std::size_t>(x)] = select_candidates(rows, values, run.v);
+  }
+  // Butterfly merge rounds; every rank with a live partner adopts the merge.
+  for (int mask = 1; mask < px; mask <<= 1) {
+    for (int x = 0; x < px; ++x) {
+      const int peer = x ^ mask;
+      if (peer > x && peer < px) {
+        Candidates merged = merge_candidates(cand[static_cast<std::size_t>(x)],
+                                             cand[static_cast<std::size_t>(peer)],
+                                             run.v);
+        cand[static_cast<std::size_t>(peer)] = merged;
+        cand[static_cast<std::size_t>(x)] = std::move(merged);
+      }
+    }
+  }
+  Candidates& final_set = cand[0];
+  check(static_cast<index_t>(final_set.rows.size()) == run.v,
+        "tournament must produce exactly v pivots");
+  // Final ranking doubles as the A00 factorization (Table 1: A00's getrf is
+  // free, it happens during TournPivot).
+  MatrixD a00 = final_set.values;
+  std::vector<index_t> ipiv;
+  xblas::getrf(a00.view(), ipiv);
+  const auto order = xblas::ipiv_to_permutation(ipiv, run.v);
+  result.winners.reserve(static_cast<std::size_t>(run.v));
+  for (index_t i = 0; i < run.v; ++i) {
+    result.winners.push_back(final_set.rows[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])]);
+  }
+  result.a00 = std::move(a00);
+  run.m.step_barrier();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Step 3: broadcast A00 (v^2 words) and the pivot indices (v words) to all.
+// ---------------------------------------------------------------------------
+void broadcast_a00(LuRun& run, index_t t) {
+  const int y_t = static_cast<int>(t) % run.g.py();
+  const int l_t = static_cast<int>(t) % run.g.pz();
+  const int root = run.g.rank_of(0, y_t, l_t);
+  xsim::comm::broadcast(run.m, run.all_ranks, static_cast<std::size_t>(root),
+                        static_cast<double>(run.v * run.v + run.v));
+  run.m.step_barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Steps 4 and 6: scatter the reduced panels into 1D distributions across all
+// P ranks. Senders are the layer-l_t owners; aggregate charges keep this
+// O(P) per step.
+// ---------------------------------------------------------------------------
+void scatter_panel_1d(LuRun& run, index_t t, bool row_panel, index_t items,
+                      const std::vector<index_t>& pivots_per_x) {
+  const int p = run.m.ranks();
+  const int px = run.g.px();
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const int y_t = static_cast<int>(t) % py;
+  const int l_t = static_cast<int>(t) % pz;
+  if (row_panel) {
+    // A10: items = active non-pivot rows, each of width v, leaving the
+    // column-owner ranks (x, y_t, l_t).
+    for (int x = 0; x < px; ++x) {
+      const index_t rows_x = run.tracker.count_for_x(x);
+      if (rows_x == 0) continue;
+      run.m.charge_send(run.g.rank_of(x, y_t, l_t),
+                        static_cast<double>(rows_x * run.v), approx_msgs(rows_x, p / px));
+    }
+  } else {
+    // A01: items = trailing columns of the v pivot rows, leaving the tile
+    // owners (x_piv, y, l_t): each pivot row's trailing segment lives on the
+    // rank whose x matches the pivot row's tile residue.
+    for (int x = 0; x < px; ++x) {
+      const index_t npiv_x = pivots_per_x[static_cast<std::size_t>(x)];
+      if (npiv_x == 0) continue;
+      for (int y = 0; y < py; ++y) {
+        const index_t cols_y =
+            grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v;
+        if (cols_y == 0) continue;
+        run.m.charge_send(run.g.rank_of(x, y, l_t),
+                          static_cast<double>(cols_y * npiv_x),
+                          approx_msgs(cols_y, p / py));
+      }
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    const index_t mine = chunk_size(items, p, r);
+    if (mine == 0) continue;
+    run.m.charge_recv(r, static_cast<double>(mine * run.v),
+                      approx_msgs(mine, row_panel ? px : py));
+  }
+  run.m.step_barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Step 5: reduce the v pivot rows' trailing columns across the layers.
+// ---------------------------------------------------------------------------
+void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winners,
+                       MatrixD* pivotrows) {
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const int l_t = static_cast<int>(t) % pz;
+  const index_t ncols = (run.num_tiles - t - 1) * run.v;
+  if (pz > 1 && ncols > 0) {
+    // Pivot rows grouped by their tile-row owner x.
+    std::vector<index_t> piv_per_x(static_cast<std::size_t>(run.g.px()), 0);
+    for (index_t w : winners) {
+      ++piv_per_x[static_cast<std::size_t>(run.tracker.x_of_row(w))];
+    }
+    for (int x = 0; x < run.g.px(); ++x) {
+      const index_t nrows = piv_per_x[static_cast<std::size_t>(x)];
+      if (nrows == 0) continue;
+      for (int y = 0; y < py; ++y) {
+        const index_t cols_y =
+            grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v;
+        if (cols_y == 0) continue;
+        xsim::comm::reduce(run.m, run.g.z_line(x, y), static_cast<std::size_t>(l_t),
+                           static_cast<double>(nrows * cols_y));
+      }
+    }
+  }
+  if (run.real && ncols > 0) {
+    *pivotrows = MatrixD(run.v, ncols);
+    for (index_t l = 0; l < run.v; ++l) {
+      const index_t row = winners[static_cast<std::size_t>(l)];
+      for (index_t j = 0; j < ncols; ++j) {
+        double sum = 0.0;
+        for (int z = 0; z < pz; ++z) {
+          sum += run.partials[static_cast<std::size_t>(z)](row, (t + 1) * run.v + j);
+        }
+        (*pivotrows)(l, j) = sum;
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Steps 8 and 10: distribute the factored panels' k-slices to the 2.5D tile
+// owners (aggregate charges; the dominant communication of the algorithm).
+// ---------------------------------------------------------------------------
+void distribute_panels_2p5d(LuRun& run, index_t t, index_t a10_rows) {
+  const int p = run.m.ranks();
+  const int px = run.g.px();
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const index_t slice = run.v / pz;
+  const index_t ncols = (run.num_tiles - t - 1) * run.v;
+
+  // A10 (step 8): every row travels to the py*pz owners of its tile row,
+  // each taking a v/pz slice.
+  for (int r = 0; r < p; ++r) {
+    const index_t mine = chunk_size(a10_rows, p, r);
+    if (mine == 0) continue;
+    run.m.charge_send(r, static_cast<double>(mine * run.v * py),
+                      static_cast<long long>(py) * pz);
+  }
+  for (int x = 0; x < px; ++x) {
+    const index_t rows_x = run.tracker.count_for_x(x);
+    if (rows_x == 0) continue;
+    for (int y = 0; y < py; ++y) {
+      for (int z = 0; z < pz; ++z) {
+        run.m.charge_recv(run.g.rank_of(x, y, z),
+                          static_cast<double>(rows_x * slice), approx_msgs(rows_x, px));
+      }
+    }
+  }
+  // A01 (step 10): every trailing column travels to the px*pz owners of its
+  // tile column.
+  for (int r = 0; r < p; ++r) {
+    const index_t mine = chunk_size(ncols, p, r);
+    if (mine == 0) continue;
+    run.m.charge_send(r, static_cast<double>(mine * run.v * px),
+                      static_cast<long long>(px) * pz);
+  }
+  for (int y = 0; y < py; ++y) {
+    const index_t cols_y = grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v;
+    if (cols_y == 0) continue;
+    for (int x = 0; x < px; ++x) {
+      for (int z = 0; z < pz; ++z) {
+        run.m.charge_recv(run.g.rank_of(x, y, z),
+                          static_cast<double>(cols_y * slice), approx_msgs(cols_y, py));
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Step 11: local Schur-complement update of each layer's partial sums.
+// Layer z applies only its k-slice of A10 * A01 (the reduction-dimension
+// parallelism of Figure 7).
+// ---------------------------------------------------------------------------
+void update_a11(LuRun& run, index_t t, const MatrixD& a10,
+                const std::vector<index_t>& rows, const MatrixD& a01) {
+  const int px = run.g.px();
+  const int py = run.g.py();
+  const int pz = run.g.pz();
+  const index_t slice = run.v / pz;
+  const index_t ncols = (run.num_tiles - t - 1) * run.v;
+
+  for (int x = 0; x < px; ++x) {
+    const auto rows_x = static_cast<double>(run.tracker.count_for_x(x));
+    if (rows_x == 0.0) continue;
+    for (int y = 0; y < py; ++y) {
+      const auto cols_y = static_cast<double>(
+          grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v);
+      if (cols_y == 0.0) continue;
+      for (int z = 0; z < pz; ++z) {
+        run.m.charge_flops(run.g.rank_of(x, y, z),
+                           2.0 * rows_x * cols_y * static_cast<double>(slice));
+      }
+    }
+  }
+
+  if (run.real && ncols > 0 && !rows.empty()) {
+    const auto nrows = static_cast<index_t>(rows.size());
+    MatrixD update(nrows, ncols);
+    for (int z = 0; z < pz; ++z) {
+      const index_t k0 = static_cast<index_t>(z) * slice;
+      xblas::gemm(Trans::None, Trans::None, 1.0,
+                  a10.view().block(0, k0, nrows, slice),
+                  a01.view().block(k0, 0, slice, ncols), 0.0, update.view());
+      MatrixD& layer = run.partials[static_cast<std::size_t>(z)];
+      for (index_t i = 0; i < nrows; ++i) {
+        const index_t row = rows[static_cast<std::size_t>(i)];
+        for (index_t j = 0; j < ncols; ++j) {
+          layer(row, (t + 1) * run.v + j) -= update(i, j);
+        }
+      }
+    }
+  }
+  run.m.step_barrier();
+}
+
+LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                        ConstViewD a, const FactorOptions& opt) {
+  expects(g.ranks() == m.ranks(), "grid must match the machine");
+  expects(n >= 1, "matrix must be non-empty");
+  index_t v = opt.block_size > 0 ? opt.block_size : default_block_size(n, g);
+  expects(v % g.pz() == 0, "block size must be a multiple of the layer count");
+
+  LuRun run(m, g, n, v);
+  run.trace_rng.reseed(opt.trace_pivot_seed);
+  const index_t npad = run.npad;
+  const index_t num_tiles = run.num_tiles;
+
+  // Memory accounting: every rank holds its layer's share of the tile grid
+  // (npad^2 * c / P words total across layers) plus panel buffers.
+  const double tile_words =
+      static_cast<double>(npad) * static_cast<double>(npad) /
+      (static_cast<double>(g.px()) * static_cast<double>(g.py()));
+  const double panel_words = 3.0 * static_cast<double>(npad * v) /
+                                 static_cast<double>(m.ranks()) +
+                             static_cast<double>(v * v);
+  for (int r = 0; r < m.ranks(); ++r) m.alloc(r, tile_words + panel_words);
+
+  if (run.real) {
+    expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.partials.assign(static_cast<std::size_t>(g.pz()), MatrixD());
+    run.partials[0] = MatrixD(npad, npad, 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) run.partials[0](i, j) = a(i, j);
+    }
+    for (index_t r = n; r < npad; ++r) run.partials[0](r, r) = 1.0;
+    for (int z = 1; z < g.pz(); ++z) {
+      run.partials[static_cast<std::size_t>(z)] = MatrixD(npad, npad, 0.0);
+    }
+    run.lstore = MatrixD(npad, npad, 0.0);
+  }
+
+  LuResult result;
+  StepCostRecorder rec(m, opt.record_step_costs);
+  std::vector<index_t> perm_pad;
+  perm_pad.reserve(static_cast<std::size_t>(npad));
+
+  // Dependency-chain rounds per outer iteration (latency model): two layer
+  // reductions, the tournament butterfly, the A00 broadcast, and the four
+  // panel scatter/distribute hops. O(N/v) total chain depth — the latency
+  // win of tournament pivoting over per-column partial pivoting.
+  const double chain_per_step =
+      2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.pz())))) +
+      2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.px())))) +
+      std::ceil(std::log2(static_cast<double>(std::max(2, m.ranks())))) + 4.0;
+
+  for (index_t t = 0; t < num_tiles; ++t) {
+    m.charge_chain(chain_per_step);
+    rec.begin_iteration();
+    MatrixD colblock;
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
+                [&] { reduce_block_column(run, t, &colblock); });
+
+    PivotResult piv;
+    rec.measure(&StepCosts::pivoting_words, &StepCosts::pivoting_flops,
+                [&] { piv = tournament_pivot(run, t, colblock); });
+    rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
+                [&] { broadcast_a00(run, t); });
+
+    if (run.real) {
+      // The winner rows' leading block is final: L below the diagonal and
+      // U on/above, both stored by global row (row masking, no swaps).
+      for (index_t l = 0; l < v; ++l) {
+        const index_t row = piv.winners[static_cast<std::size_t>(l)];
+        for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = piv.a00(l, j);
+      }
+    }
+    run.tracker.eliminate(piv.winners);
+    perm_pad.insert(perm_pad.end(), piv.winners.begin(), piv.winners.end());
+
+    const index_t a10_rows = run.tracker.active_count();
+    const index_t ncols = (num_tiles - t - 1) * v;
+    std::vector<index_t> pivots_per_x(static_cast<std::size_t>(g.px()), 0);
+    for (index_t w : piv.winners) {
+      ++pivots_per_x[static_cast<std::size_t>(run.tracker.x_of_row(w))];
+    }
+
+    // Step 4: scatter A10; step 5: reduce pivot rows; step 6: scatter A01.
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
+      scatter_panel_1d(run, t, /*row_panel=*/true, a10_rows, pivots_per_x);
+    });
+    MatrixD pivotrows;
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
+                [&] { reduce_pivot_rows(run, t, piv.winners, &pivotrows); });
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
+      scatter_panel_1d(run, t, /*row_panel=*/false, ncols, pivots_per_x);
+    });
+
+    // Steps 7 and 9: the 1D panel trsms.
+    MatrixD a10;
+    std::vector<index_t> a10_row_ids;
+    rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
+      for (int r = 0; r < m.ranks(); ++r) {
+        const double rows_r = static_cast<double>(chunk_size(a10_rows, m.ranks(), r));
+        const double cols_r = static_cast<double>(chunk_size(ncols, m.ranks(), r));
+        const auto vv = static_cast<double>(v);
+        if (rows_r > 0) m.charge_flops(r, rows_r * vv * vv);
+        if (cols_r > 0) m.charge_flops(r, cols_r * vv * vv);
+      }
+      if (run.real) {
+        a10_row_ids = run.tracker.active_rows();
+        a10 = MatrixD(a10_rows, v);
+        for (index_t i = 0; i < a10_rows; ++i) {
+          for (index_t j = 0; j < v; ++j) {
+            a10(i, j) = colblock(a10_row_ids[static_cast<std::size_t>(i)], j);
+          }
+        }
+        // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
+        xblas::trsm(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
+                    piv.a00.view(), a10.view());
+        for (index_t i = 0; i < a10_rows; ++i) {
+          const index_t row = a10_row_ids[static_cast<std::size_t>(i)];
+          for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
+        }
+        if (ncols > 0) {
+          // A01 <- L00^{-1} * A01: final U rows of the pivots.
+          xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
+                      piv.a00.view(), pivotrows.view());
+          for (index_t l = 0; l < v; ++l) {
+            const index_t row = piv.winners[static_cast<std::size_t>(l)];
+            for (index_t j = 0; j < ncols; ++j) {
+              run.lstore(row, (t + 1) * v + j) = pivotrows(l, j);
+            }
+          }
+        }
+      }
+      m.step_barrier();
+    });
+
+    // Steps 8 and 10: 2.5D distribution; step 11: the Schur update.
+    rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
+                [&] { distribute_panels_2p5d(run, t, a10_rows); });
+    rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
+                [&] { update_a11(run, t, a10, a10_row_ids, pivotrows); });
+    rec.end_iteration(result.step_costs);
+  }
+
+  for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);
+
+  // Assemble the user-facing permutation and factors (drop the padding).
+  result.perm.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < npad; ++i) {
+    const index_t row = perm_pad[static_cast<std::size_t>(i)];
+    if (row < n) result.perm.push_back(row);
+  }
+  check(static_cast<index_t>(result.perm.size()) == n, "permutation must cover all rows");
+  if (run.real) {
+    check(std::all_of(perm_pad.begin(), perm_pad.begin() + n,
+                      [&](index_t r) { return r < n; }),
+          "real rows must be eliminated before padding rows");
+    result.factors = MatrixD(n, n);
+    for (index_t i = 0; i < n; ++i) {
+      const index_t row = result.perm[static_cast<std::size_t>(i)];
+      for (index_t j = 0; j < n; ++j) result.factors(i, j) = run.lstore(row, j);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LuResult conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                    const FactorOptions& opt) {
+  expects(m.real(), "conflux_lu with a matrix requires Real mode");
+  return run_conflux_lu(m, g, a.rows(), a, opt);
+}
+
+LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                          const FactorOptions& opt) {
+  expects(!m.real(), "conflux_lu_trace requires Trace mode");
+  return run_conflux_lu(m, g, n, ConstViewD(), opt);
+}
+
+void conflux_lu_solve(const LuResult& lu, ViewD b) {
+  const index_t n = lu.factors.rows();
+  expects(n > 0, "solve requires Real-mode factors");
+  expects(b.rows() == n, "right-hand side must match the matrix");
+  // Apply the permutation, then the two triangular solves.
+  MatrixD pb(n, b.cols());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      pb(i, j) = b(lu.perm[static_cast<std::size_t>(i)], j);
+    }
+  }
+  xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
+              lu.factors.view(), pb.view());
+  xblas::trsm(Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
+              lu.factors.view(), pb.view());
+  copy<double>(pb.view(), b);
+}
+
+}  // namespace conflux::factor

@@ -1,0 +1,47 @@
+// COnfLUX — near-communication-optimal parallel LU factorization
+// (Algorithm 1 of the paper).
+//
+// The schedule follows the paper's eleven steps per outer iteration t:
+//   1. reduce the next block column across the c = Pz layers
+//   2. tournament pivoting over a butterfly among the Px column owners
+//   3. broadcast the factored A00 and the v pivot-row indices to all ranks
+//   4. scatter A10 into a 1D block-row distribution
+//   5. reduce the v pivot rows across the layers
+//   6. scatter A01 into a 1D block-column distribution
+//   7. local trsm on A10 (no communication)
+//   8. distribute A10 k-slices to the 2.5D tile owners
+//   9. local trsm on A01
+//  10. distribute A01 k-slices to the 2.5D tile owners
+//  11. local Schur-complement update of each layer's A11 partial sums
+//
+// Pivoted rows are masked, never swapped (Section 7.3): each rank tracks the
+// surviving rows, and communication payloads are compacted to active rows so
+// the volumes match the Section 7.4 cost analysis.
+//
+// Execution modes (DESIGN.md): in Real mode the same schedule additionally
+// computes the factorization on the layers' partial-sum buffers; in Trace
+// mode only the (identical) cost charges are made, with pivot positions
+// drawn uniformly at random, so paper-scale volumes are measurable.
+#pragma once
+
+#include "factor/common.hpp"
+#include "grid/grid.hpp"
+#include "tensor/matrix.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::factor {
+
+/// Factor the n x n matrix `a` on machine `m` over grid `g` (Real mode).
+/// The matrix is padded internally when the block size does not divide n.
+LuResult conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                    const FactorOptions& opt = {});
+
+/// Trace-mode run: charges the full communication/computation schedule for
+/// an n x n factorization without any matrix data.
+LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                          const FactorOptions& opt = {});
+
+/// Solve A x = b using a conflux_lu result; b is overwritten with x.
+void conflux_lu_solve(const LuResult& lu, ViewD b);
+
+}  // namespace conflux::factor

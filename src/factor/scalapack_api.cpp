@@ -1,0 +1,68 @@
+#include "factor/scalapack_api.hpp"
+
+#include "support/check.hpp"
+
+namespace conflux::factor {
+
+layout::BlockCyclicLayout conflux_internal_layout(const grid::Grid3D& g, index_t n,
+                                                  index_t v) {
+  layout::BlockCyclicLayout l;
+  l.rows = n;
+  l.cols = n;
+  l.mb = v;
+  l.nb = v;
+  l.pr = g.px();
+  l.pc = g.py();
+  l.rank_base = 0;  // layer 0 hosts the initial (non-replicated) input
+  l.validate();
+  return l;
+}
+
+PdgetrfResult pdgetrf(xsim::Machine& m, const grid::Grid3D& g,
+                      const layout::DistMatrix& a, const FactorOptions& opt) {
+  const index_t n = a.layout().rows;
+  expects(a.layout().cols == n, "matrix must be square");
+  FactorOptions options = opt;
+  if (options.block_size == 0) options.block_size = default_block_size(n, g);
+  const auto internal = conflux_internal_layout(g, n, options.block_size);
+
+  PdgetrfResult result;
+  result.redistribution_words += layout::redistribute_cost(m, a.layout(), internal);
+  if (m.real()) {
+    const MatrixD global = a.to_global();
+    result.lu = conflux_lu(m, g, global.view(), options);
+    result.redistribution_words += layout::redistribute_cost(m, internal, a.layout());
+    // Hand the factors back in the caller's layout (of the permuted matrix).
+    result.factors = layout::DistMatrix::from_global(result.lu.factors.view(),
+                                                     a.layout());
+  } else {
+    result.lu = conflux_lu_trace(m, g, n, options);
+    result.redistribution_words += layout::redistribute_cost(m, internal, a.layout());
+  }
+  return result;
+}
+
+PdpotrfResult pdpotrf(xsim::Machine& m, const grid::Grid3D& g,
+                      const layout::DistMatrix& a, const FactorOptions& opt) {
+  const index_t n = a.layout().rows;
+  expects(a.layout().cols == n, "matrix must be square");
+  FactorOptions options = opt;
+  if (options.block_size == 0) options.block_size = default_block_size(n, g);
+  const auto internal = conflux_internal_layout(g, n, options.block_size);
+
+  PdpotrfResult result;
+  result.redistribution_words += layout::redistribute_cost(m, a.layout(), internal);
+  if (m.real()) {
+    const MatrixD global = a.to_global();
+    result.chol = confchox(m, g, global.view(), options);
+    result.redistribution_words += layout::redistribute_cost(m, internal, a.layout());
+    result.factors = layout::DistMatrix::from_global(result.chol.factors.view(),
+                                                     a.layout());
+  } else {
+    result.chol = confchox_trace(m, g, n, options);
+    result.redistribution_words += layout::redistribute_cost(m, internal, a.layout());
+  }
+  return result;
+}
+
+}  // namespace conflux::factor

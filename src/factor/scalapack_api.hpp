@@ -1,0 +1,42 @@
+// ScaLAPACK-compatible entry points (Section 8, "Data distribution").
+//
+// COnfLUX/COnfCHOX accept matrices in any block-cyclic layout: the wrapper
+// transforms the input into the algorithm's internal 2.5D tile layout with
+// the COSTA-substitute redistribution (charging its true cost, which is
+// O(N^2/P) per rank and does not affect the leading-order term — Lemma 10's
+// opening remark), runs the factorization, and transforms back.
+#pragma once
+
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "layout/layout.hpp"
+
+namespace conflux::factor {
+
+struct PdgetrfResult {
+  LuResult lu;
+  /// The factors redistributed back into the caller's layout (Real mode).
+  layout::DistMatrix factors;
+  double redistribution_words = 0.0;  ///< total words moved by the transforms
+};
+
+/// LU-factor a block-cyclically distributed matrix (pdgetrf analogue).
+PdgetrfResult pdgetrf(xsim::Machine& m, const grid::Grid3D& g,
+                      const layout::DistMatrix& a, const FactorOptions& opt = {});
+
+struct PdpotrfResult {
+  CholResult chol;
+  layout::DistMatrix factors;
+  double redistribution_words = 0.0;
+};
+
+/// Cholesky-factor a distributed SPD matrix (pdpotrf analogue).
+PdpotrfResult pdpotrf(xsim::Machine& m, const grid::Grid3D& g,
+                      const layout::DistMatrix& a, const FactorOptions& opt = {});
+
+/// The internal layout the wrappers transform into: v x v tiles dealt
+/// block-cyclically over the grid's x-y plane (layer 0).
+layout::BlockCyclicLayout conflux_internal_layout(const grid::Grid3D& g, index_t n,
+                                                  index_t v);
+
+}  // namespace conflux::factor

@@ -1,0 +1,105 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace conflux::grid {
+
+std::vector<int> Grid3D::x_line(int y, int z) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(px_));
+  for (int x = 0; x < px_; ++x) out.push_back(rank_of(x, y, z));
+  return out;
+}
+
+std::vector<int> Grid3D::y_line(int x, int z) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(py_));
+  for (int y = 0; y < py_; ++y) out.push_back(rank_of(x, y, z));
+  return out;
+}
+
+std::vector<int> Grid3D::z_line(int x, int y) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(pz_));
+  for (int z = 0; z < pz_; ++z) out.push_back(rank_of(x, y, z));
+  return out;
+}
+
+std::vector<int> Grid3D::layer(int z) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(px_ * py_));
+  for (int y = 0; y < py_; ++y) {
+    for (int x = 0; x < px_; ++x) out.push_back(rank_of(x, y, z));
+  }
+  return out;
+}
+
+std::vector<int> Grid3D::all() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(ranks()));
+  for (int r = 0; r < ranks(); ++r) out.push_back(r);
+  return out;
+}
+
+Grid3D choose_grid(int p, double n, double memory) {
+  expects(p >= 1 && n >= 1.0 && memory > 0.0, "bad grid parameters");
+  // Target replication factor (Section 7.2): the extra memory beyond one
+  // matrix copy, capped by the memory-independent limit c = P^{1/3}.
+  const double c_target =
+      std::clamp(static_cast<double>(p) * memory / (n * n), 1.0,
+                 std::cbrt(static_cast<double>(p)));
+
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_pz = 1, best_px = 1, best_py = 1;
+  for (int pz = 1; pz <= p; ++pz) {
+    if (p % pz != 0) continue;
+    if (static_cast<double>(pz) > c_target * 2.0 && pz != 1) break;
+    const int plane = p / pz;
+    // Most square Px x Py factorization of the plane.
+    int px = 1;
+    for (int d = 1; d * d <= plane; ++d) {
+      if (plane % d == 0) px = d;
+    }
+    const int py = plane / px;
+    const double squareness =
+        std::abs(std::log(static_cast<double>(px) / static_cast<double>(py)));
+    const double c_fit =
+        std::abs(std::log(static_cast<double>(pz) / c_target));
+    // Squareness of the plane dominates; among similar planes prefer the
+    // replication closest to the target.
+    const double score = 2.0 * squareness + c_fit;
+    if (score < best_score) {
+      best_score = score;
+      best_pz = pz;
+      best_px = px;
+      best_py = py;
+    }
+  }
+  return Grid3D(best_px, best_py, best_pz);
+}
+
+Grid2D choose_grid_2d(int p) {
+  expects(p >= 1, "bad grid size");
+  Grid2D g;
+  for (int d = 1; d * d <= p; ++d) {
+    if (p % d == 0) g.pr = d;
+  }
+  g.pc = p / g.pr;
+  return g;
+}
+
+index_t cyclic_local_count(index_t first_tile, index_t num_tiles, int p, int procs) {
+  expects(first_tile >= 0 && num_tiles >= first_tile && p >= 0 && p < procs,
+          "bad cyclic range");
+  // Tiles t in [first_tile, num_tiles) with t % procs == p.
+  const auto count_below = [&](index_t hi) {
+    // tiles < hi owned by p: floor((hi - p - 1)/procs) + 1 when hi > p.
+    if (hi <= static_cast<index_t>(p)) return static_cast<index_t>(0);
+    return (hi - 1 - static_cast<index_t>(p)) / static_cast<index_t>(procs) + 1;
+  };
+  return count_below(num_tiles) - count_below(first_tile);
+}
+
+}  // namespace conflux::grid

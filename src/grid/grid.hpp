@@ -1,0 +1,97 @@
+// Processor grids for the 2.5D decomposition.
+//
+// COnfLUX/COnfCHOX decompose P ranks into a [Px, Py, Pz] grid: the x-y plane
+// tiles the matrix block-cyclically and the z dimension replicates it for
+// the reduction-dimension parallelism, with c = Pz = P*M/N^2 layers
+// (Section 7.2, capped at P^{1/3} per the memory-independent regime of
+// Section 6).
+#pragma once
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "tensor/matrix.hpp"
+
+namespace conflux::grid {
+
+struct Coord3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+class Grid3D {
+ public:
+  Grid3D(int px, int py, int pz) : px_(px), py_(py), pz_(pz) {
+    expects(px >= 1 && py >= 1 && pz >= 1, "grid dims must be positive");
+  }
+
+  int px() const { return px_; }
+  int py() const { return py_; }
+  int pz() const { return pz_; }
+  int ranks() const { return px_ * py_ * pz_; }
+
+  /// Rank layout: x fastest, then y, then z.
+  int rank_of(int x, int y, int z) const {
+    expects(x >= 0 && x < px_ && y >= 0 && y < py_ && z >= 0 && z < pz_,
+            "coordinate out of grid");
+    return (z * py_ + y) * px_ + x;
+  }
+  int rank_of(const Coord3& c) const { return rank_of(c.x, c.y, c.z); }
+
+  Coord3 coord_of(int rank) const {
+    expects(rank >= 0 && rank < ranks(), "rank out of grid");
+    Coord3 c;
+    c.x = rank % px_;
+    c.y = (rank / px_) % py_;
+    c.z = rank / (px_ * py_);
+    return c;
+  }
+
+  /// All ranks with fixed (y, z): the tournament-pivoting column group.
+  std::vector<int> x_line(int y, int z) const;
+  /// All ranks with fixed (x, z).
+  std::vector<int> y_line(int x, int z) const;
+  /// All ranks with fixed (x, y): the reduction-dimension group.
+  std::vector<int> z_line(int x, int y) const;
+  /// All ranks in layer z.
+  std::vector<int> layer(int z) const;
+  /// Every rank.
+  std::vector<int> all() const;
+
+ private:
+  int px_;
+  int py_;
+  int pz_;
+};
+
+/// Pick a [Px, Py, Pz] grid for P ranks factoring an N x N matrix with M
+/// words of memory per rank — the paper's "optimized defaults" (Table 2):
+/// target replication c = P*M/N^2 clamped to [1, P^{1/3}], then the most
+/// square x-y plane among the divisors of P.
+Grid3D choose_grid(int p, double n, double memory);
+
+/// Square-ish 2D grid for the ScaLAPACK-style baselines: Pr x Pc = P with
+/// Pr <= Pc and Pr the largest divisor <= sqrt(P).
+struct Grid2D {
+  int pr = 1;
+  int pc = 1;
+  int ranks() const { return pr * pc; }
+  int rank_of(int r, int c) const { return r * pc + c; }
+  int row_of(int rank) const { return rank / pc; }
+  int col_of(int rank) const { return rank % pc; }
+};
+
+Grid2D choose_grid_2d(int p);
+
+/// Block-cyclic 1D ownership helpers used by both the 2.5D and 2D layouts.
+/// Tiles t = 0.. are dealt round-robin to `procs` processes.
+inline int cyclic_owner(index_t tile, int procs) {
+  return static_cast<int>(tile % procs);
+}
+
+/// Number of tiles in [first_tile, num_tiles) owned by process p.
+index_t cyclic_local_count(index_t first_tile, index_t num_tiles, int p, int procs);
+
+}  // namespace conflux::grid

@@ -1,0 +1,183 @@
+#include "layout/layout.hpp"
+
+#include <map>
+
+namespace conflux::layout {
+
+index_t BlockCyclicLayout::numroc(index_t n, index_t blk, int p, int procs) {
+  expects(n >= 0 && blk >= 1 && p >= 0 && p < procs, "bad numroc arguments");
+  const index_t full_cycles = n / (blk * procs);
+  index_t count = full_cycles * blk;
+  const index_t remainder = n - full_cycles * blk * procs;
+  const index_t my_start = static_cast<index_t>(p) * blk;
+  if (remainder > my_start) {
+    count += std::min(blk, remainder - my_start);
+  }
+  return count;
+}
+
+ScalapackDesc make_desc(const BlockCyclicLayout& layout, int prow) {
+  layout.validate();
+  ScalapackDesc d;
+  d.m = static_cast<int>(layout.rows);
+  d.n = static_cast<int>(layout.cols);
+  d.mb = static_cast<int>(layout.mb);
+  d.nb = static_cast<int>(layout.nb);
+  d.rsrc = 0;
+  d.csrc = 0;
+  // Row-major local storage: lld is the number of local columns of the
+  // widest process column; ScaLAPACK (column-major) uses local rows — we
+  // keep the analogous quantity for our row-major locals.
+  d.lld = static_cast<int>(std::max<index_t>(1, layout.local_cols(0)));
+  (void)prow;
+  return d;
+}
+
+BlockCyclicLayout layout_from_desc(const ScalapackDesc& desc, int pr, int pc,
+                                   int rank_base) {
+  expects(desc.rsrc == 0 && desc.csrc == 0, "only rsrc = csrc = 0 supported");
+  BlockCyclicLayout layout;
+  layout.rows = desc.m;
+  layout.cols = desc.n;
+  layout.mb = desc.mb;
+  layout.nb = desc.nb;
+  layout.pr = pr;
+  layout.pc = pc;
+  layout.rank_base = rank_base;
+  layout.validate();
+  return layout;
+}
+
+DistMatrix::DistMatrix(BlockCyclicLayout layout) : layout_(layout) {
+  layout_.validate();
+  locals_.reserve(static_cast<std::size_t>(layout_.num_ranks()));
+  for (int r = 0; r < layout_.pr; ++r) {
+    for (int c = 0; c < layout_.pc; ++c) {
+      locals_.emplace_back(layout_.local_rows(r), layout_.local_cols(c));
+    }
+  }
+}
+
+MatrixD& DistMatrix::local(int prow, int pcol) {
+  expects(prow >= 0 && prow < layout_.pr && pcol >= 0 && pcol < layout_.pc,
+          "process out of grid");
+  return locals_[static_cast<std::size_t>(prow * layout_.pc + pcol)];
+}
+
+const MatrixD& DistMatrix::local(int prow, int pcol) const {
+  expects(prow >= 0 && prow < layout_.pr && pcol >= 0 && pcol < layout_.pc,
+          "process out of grid");
+  return locals_[static_cast<std::size_t>(prow * layout_.pc + pcol)];
+}
+
+double DistMatrix::get(index_t i, index_t j) const {
+  expects(i >= 0 && i < layout_.rows && j >= 0 && j < layout_.cols,
+          "element out of range");
+  return local(layout_.prow_of_row(i), layout_.pcol_of_col(j))(
+      layout_.local_row(i), layout_.local_col(j));
+}
+
+void DistMatrix::set(index_t i, index_t j, double value) {
+  expects(i >= 0 && i < layout_.rows && j >= 0 && j < layout_.cols,
+          "element out of range");
+  local(layout_.prow_of_row(i), layout_.pcol_of_col(j))(
+      layout_.local_row(i), layout_.local_col(j)) = value;
+}
+
+DistMatrix DistMatrix::from_global(ConstViewD a, BlockCyclicLayout layout) {
+  expects(a.rows() == layout.rows && a.cols() == layout.cols,
+          "global matrix must match the layout shape");
+  DistMatrix dist(layout);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) dist.set(i, j, a(i, j));
+  }
+  return dist;
+}
+
+MatrixD DistMatrix::to_global() const {
+  MatrixD a(layout_.rows, layout_.cols);
+  for (index_t i = 0; i < layout_.rows; ++i) {
+    for (index_t j = 0; j < layout_.cols; ++j) a(i, j) = get(i, j);
+  }
+  return a;
+}
+
+double DistMatrix::total_words() const {
+  double sum = 0.0;
+  for (const auto& l : locals_) sum += static_cast<double>(l.size());
+  return sum;
+}
+
+namespace {
+
+// Enumerate maximal contiguous column runs of rows that stay within one
+// (source rank, destination rank) pair, invoking fn(i, j0, j1, src, dst) for
+// the half-open column range [j0, j1) of row i. Aggregating runs keeps the
+// message counting closer to what a packed COSTA transfer would issue.
+template <typename Fn>
+void for_each_run(const BlockCyclicLayout& src, const BlockCyclicLayout& dst,
+                  Fn&& fn) {
+  for (index_t i = 0; i < src.rows; ++i) {
+    index_t j0 = 0;
+    int cur_src = src.rank_of(i, 0);
+    int cur_dst = dst.rank_of(i, 0);
+    for (index_t j = 1; j <= src.cols; ++j) {
+      int s = 0, d = 0;
+      if (j < src.cols) {
+        s = src.rank_of(i, j);
+        d = dst.rank_of(i, j);
+      }
+      if (j == src.cols || s != cur_src || d != cur_dst) {
+        fn(i, j0, j, cur_src, cur_dst);
+        if (j < src.cols) {
+          j0 = j;
+          cur_src = s;
+          cur_dst = d;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DistMatrix redistribute(xsim::Machine& m, const DistMatrix& src,
+                        const BlockCyclicLayout& target) {
+  expects(src.layout().rows == target.rows && src.layout().cols == target.cols,
+          "redistribution cannot reshape");
+  DistMatrix dst(target);
+  // Aggregate words per communicating pair so each pair is charged one
+  // message (COSTA packs all blocks for a peer into one transfer).
+  std::map<std::pair<int, int>, double> words;
+  for_each_run(src.layout(), target, [&](index_t i, index_t j0, index_t j1, int s,
+                                         int d) {
+    if (s != d) words[{s, d}] += static_cast<double>(j1 - j0);
+    if (m.real()) {
+      for (index_t j = j0; j < j1; ++j) dst.set(i, j, src.get(i, j));
+    }
+  });
+  for (const auto& [pair, count] : words) {
+    m.charge_transfer(pair.first, pair.second, count);
+  }
+  m.step_barrier();
+  return dst;
+}
+
+double redistribute_cost(xsim::Machine& m, const BlockCyclicLayout& src,
+                         const BlockCyclicLayout& target) {
+  expects(src.rows == target.rows && src.cols == target.cols,
+          "redistribution cannot reshape");
+  std::map<std::pair<int, int>, double> words;
+  for_each_run(src, target, [&](index_t, index_t j0, index_t j1, int s, int d) {
+    if (s != d) words[{s, d}] += static_cast<double>(j1 - j0);
+  });
+  double total = 0.0;
+  for (const auto& [pair, count] : words) {
+    m.charge_transfer(pair.first, pair.second, count);
+    total += count;
+  }
+  m.step_barrier();
+  return total;
+}
+
+}  // namespace conflux::layout

@@ -1,0 +1,121 @@
+// Block-cyclic matrix layouts, ScaLAPACK array descriptors, and a COSTA-like
+// redistribution engine (the paper's Section 8 "Data distribution": COnfLUX
+// exposes ScaLAPACK wrappers by transforming matrices between layouts).
+#pragma once
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "tensor/matrix.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::layout {
+
+/// A 2D block-cyclic distribution of an m x n matrix over a Pr x Pc process
+/// grid with mb x nb blocks (ScaLAPACK semantics; process grid is row-major:
+/// rank = prow * Pc + pcol, offset by rank_base for embedding into a larger
+/// machine).
+struct BlockCyclicLayout {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t mb = 1;
+  index_t nb = 1;
+  int pr = 1;
+  int pc = 1;
+  int rank_base = 0;  ///< machine rank of process (0, 0)
+
+  void validate() const {
+    expects(rows >= 0 && cols >= 0, "bad matrix shape");
+    expects(mb >= 1 && nb >= 1, "block sizes must be positive");
+    expects(pr >= 1 && pc >= 1, "process grid must be positive");
+  }
+
+  int num_ranks() const { return pr * pc; }
+
+  int prow_of_row(index_t i) const { return static_cast<int>((i / mb) % pr); }
+  int pcol_of_col(index_t j) const { return static_cast<int>((j / nb) % pc); }
+  int rank_of(index_t i, index_t j) const {
+    return rank_base + prow_of_row(i) * pc + pcol_of_col(j);
+  }
+
+  /// Local row index of global row i on its owning process row.
+  index_t local_row(index_t i) const {
+    return (i / (static_cast<index_t>(pr) * mb)) * mb + i % mb;
+  }
+  index_t local_col(index_t j) const {
+    return (j / (static_cast<index_t>(pc) * nb)) * nb + j % nb;
+  }
+
+  /// Number of local rows on process row `prow` (ScaLAPACK numroc).
+  index_t local_rows(int prow) const { return numroc(rows, mb, prow, pr); }
+  index_t local_cols(int pcol) const { return numroc(cols, nb, pcol, pc); }
+
+  /// ScaLAPACK's NUMROC: number of rows/cols of a block-cyclically
+  /// distributed dimension owned by process `p` of `procs`.
+  static index_t numroc(index_t n, index_t blk, int p, int procs);
+};
+
+/// The nine-integer ScaLAPACK array descriptor (DESC_), for out-of-the-box
+/// interface compatibility with codes that carry descriptors around.
+struct ScalapackDesc {
+  int dtype = 1;  ///< 1 = dense matrix
+  int ctxt = 0;   ///< BLACS context (the machine, in this simulator)
+  int m = 0;
+  int n = 0;
+  int mb = 0;
+  int nb = 0;
+  int rsrc = 0;
+  int csrc = 0;
+  int lld = 0;  ///< local leading dimension
+};
+
+/// Build a descriptor from a layout (rsrc/csrc fixed at 0 here).
+ScalapackDesc make_desc(const BlockCyclicLayout& layout, int prow);
+
+/// Layout described by a ScaLAPACK descriptor on a Pr x Pc grid.
+BlockCyclicLayout layout_from_desc(const ScalapackDesc& desc, int pr, int pc,
+                                   int rank_base = 0);
+
+/// A matrix physically distributed across the simulated machine: each rank
+/// holds its block-cyclic local part contiguously (ScaLAPACK local storage).
+class DistMatrix {
+ public:
+  DistMatrix() = default;
+  explicit DistMatrix(BlockCyclicLayout layout);
+
+  const BlockCyclicLayout& layout() const { return layout_; }
+
+  /// Local storage of one process (indexed by grid position, not machine rank).
+  MatrixD& local(int prow, int pcol);
+  const MatrixD& local(int prow, int pcol) const;
+
+  double get(index_t i, index_t j) const;
+  void set(index_t i, index_t j, double value);
+
+  /// Scatter a replicated global matrix into the distribution (test helper;
+  /// charges no communication).
+  static DistMatrix from_global(ConstViewD a, BlockCyclicLayout layout);
+
+  /// Gather to a replicated global matrix (test helper; no communication).
+  MatrixD to_global() const;
+
+  /// Total words of local storage across all ranks.
+  double total_words() const;
+
+ private:
+  BlockCyclicLayout layout_;
+  std::vector<MatrixD> locals_;  // pr * pc entries, row-major grid order
+};
+
+/// COSTA-substitute: redistribute src into a new DistMatrix with layout
+/// `target`, charging each inter-rank transfer on the machine (one message
+/// per communicating pair plus the exact word count). Shapes must match.
+DistMatrix redistribute(xsim::Machine& m, const DistMatrix& src,
+                        const BlockCyclicLayout& target);
+
+/// Communication cost of redistributing without moving data (Trace path):
+/// returns the total words that change ranks and charges the machine.
+double redistribute_cost(xsim::Machine& m, const BlockCyclicLayout& src,
+                         const BlockCyclicLayout& target);
+
+}  // namespace conflux::layout

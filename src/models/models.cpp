@@ -1,0 +1,187 @@
+#include "models/models.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace conflux::models {
+
+double mkl_lu_volume(double n, const grid::Grid2D& g) {
+  const double pr = g.pr;
+  const double pc = g.pc;
+  const double p = pr * pc;
+  // Panel broadcasts (leading) + expected cross-rank swap traffic.
+  return n * n / 2.0 * (1.0 / pr + 1.0 / pc) +
+         2.0 * n * n * (1.0 - 1.0 / pr) / p;
+}
+
+double slate_lu_volume(double n, const grid::Grid2D& g) {
+  const double pr = g.pr;
+  const double pc = g.pc;
+  return n * n / 2.0 * (1.0 / pr + 1.0 / pc);
+}
+
+double cholesky_2d_volume(double n, const grid::Grid2D& g) {
+  const double pr = g.pr;
+  const double pc = g.pc;
+  // One triangular panel per step instead of two full ones.
+  return n * n / 2.0 * (1.0 / pr + 1.0 / pc) / 2.0 * 2.0;  // L21 + L21^T bcasts
+}
+
+double candmc_lu_volume(double n, double p, double memory) {
+  return 5.0 * n * n * n / (p * std::sqrt(memory));
+}
+
+double capital_cholesky_volume(double n, double p, double memory) {
+  return 45.0 * n * n * n / (8.0 * p * std::sqrt(memory));
+}
+
+double conflux_volume(double n, double p, double memory) {
+  return n * n * n / (p * std::sqrt(memory));
+}
+
+double lu_lower_bound(double n, double p, double memory) {
+  return (2.0 * n * n * n - 6.0 * n * n + 4.0 * n) / (3.0 * p * std::sqrt(memory)) +
+         n * (n - 1.0) / (2.0 * p);
+}
+
+double cholesky_lower_bound(double n, double p, double memory) {
+  return (n * n * n - 3.0 * n * n + 2.0 * n) / (3.0 * p * std::sqrt(memory)) +
+         n * (n - 1.0) / (2.0 * p) + n / p;
+}
+
+double lu_lower_bound_memory_independent(double n, double p) {
+  return 2.0 * n * n / (3.0 * std::pow(p, 2.0 / 3.0)) + n * (n - 1.0) / (2.0 * p);
+}
+
+double cholesky_lower_bound_memory_independent(double n, double p) {
+  return n * n / (3.0 * std::pow(p, 2.0 / 3.0)) + n * (n - 1.0) / (2.0 * p) + n / p;
+}
+
+double lu_lower_bound_clamped(double n, double p, double memory) {
+  const double usable = std::min(memory, n * n / std::pow(p, 2.0 / 3.0));
+  return lu_lower_bound(n, p, usable);
+}
+
+namespace {
+
+// Butterfly transfer count among k participants: pairs over all rounds, two
+// transfers per pair (mirrors xsim::comm::butterfly).
+long long butterfly_transfers(int k) {
+  long long pairs = 0;
+  for (int mask = 1; mask < k; mask <<= 1) {
+    for (int x = 0; x < k; ++x) {
+      const int peer = x ^ mask;
+      if (peer > x && peer < k) ++pairs;
+    }
+  }
+  return 2 * pairs;
+}
+
+bool is_pow2(int x) { return std::has_single_bit(static_cast<unsigned>(x)); }
+
+}  // namespace
+
+double conflux_lu_volume_exact(index_t n, const grid::Grid3D& g, index_t v) {
+  expects(v >= 1 && v % g.pz() == 0, "block size must be a multiple of pz");
+  const index_t npad = (n + v - 1) / v * v;
+  const index_t steps = npad / v;
+  const double px = g.px();
+  const double py = g.py();
+  const double pz = g.pz();
+  const double p = g.ranks();
+  const double vv = static_cast<double>(v);
+  const double bfly =
+      static_cast<double>(butterfly_transfers(g.px())) * vv * (vv + 1.0) +
+      ((!is_pow2(g.px()) && g.px() > 1)
+           ? (px - 1.0) * vv * (vv + 1.0)
+           : 0.0);
+  double total = 0.0;
+  for (index_t t = 0; t < steps; ++t) {
+    const double n_t = static_cast<double>(npad - t * v);
+    const double a = n_t - vv;                               // A10 rows
+    const double c = static_cast<double>(steps - t - 1) * vv;  // trailing cols
+    if (g.pz() > 1) total += (pz - 1.0) * n_t * vv;          // step 1
+    total += bfly;                                           // step 2
+    total += (p - 1.0) * (vv * vv + vv);                     // step 3
+    total += a * vv + c * vv;                                // steps 4 + 6
+    if (g.pz() > 1) total += (pz - 1.0) * vv * c;            // step 5
+    total += py * a * vv + px * c * vv;                      // steps 8 + 10
+  }
+  return total / p;
+}
+
+double confchox_volume_exact(index_t n, const grid::Grid3D& g, index_t v) {
+  expects(v >= 1 && v % g.pz() == 0, "block size must be a multiple of pz");
+  const index_t npad = (n + v - 1) / v * v;
+  const index_t steps = npad / v;
+  const double px = g.px();
+  const double py = g.py();
+  const double pz = g.pz();
+  const double p = g.ranks();
+  const double vv = static_cast<double>(v);
+  double total = 0.0;
+  for (index_t t = 0; t < steps; ++t) {
+    const double r = static_cast<double>(npad - t * v);        // panel rows
+    const double b = static_cast<double>(npad - (t + 1) * v);  // below-diag rows
+    if (g.pz() > 1) total += (pz - 1.0) * r * vv;              // step 1
+    total += (p - 1.0) * vv * vv;                              // A00 bcast
+    total += b * vv;                                           // 1D scatter
+    total += (px + py) * b * vv;                               // 2.5D distribute
+  }
+  return total / p;
+}
+
+grid::Grid3D best_conflux_grid(index_t n, int p, double memory_words) {
+  expects(n >= 1 && p >= 1 && memory_words > 0.0, "bad grid-selection inputs");
+  const double nn = static_cast<double>(n);
+  double best_volume = std::numeric_limits<double>::infinity();
+  grid::Grid3D best(1, 1, std::max(1, p));  // overwritten below
+  bool found = false;
+  for (int pz = 1; pz <= p; ++pz) {
+    if (p % pz != 0) continue;
+    // Replicated matrix must fit: c * N^2 / P <= M.
+    if (static_cast<double>(pz) * nn * nn / static_cast<double>(p) > memory_words) {
+      break;  // pz only grows from here
+    }
+    const int plane = p / pz;
+    int px = 1;
+    for (int d = 1; d * d <= plane; ++d) {
+      if (plane % d == 0) px = d;
+    }
+    const int py = plane / px;
+    const grid::Grid3D g(px, py, pz);
+    index_t v = std::max<index_t>(2 * pz, 64);
+    v = (v / pz) * pz;
+    v = std::min<index_t>(v, std::max<index_t>(pz, (n / 4 / pz) * pz));
+    if (v < pz) v = pz;
+    const double volume = conflux_lu_volume_exact(n, g, v);
+    if (volume < best_volume) {
+      best_volume = volume;
+      best = g;
+      found = true;
+    }
+  }
+  expects(found, "no grid fits: one matrix copy exceeds aggregate memory");
+  return best;
+}
+
+double peak_fraction(double useful_flops, const xsim::MachineSpec& spec,
+                     double elapsed_s) {
+  expects(elapsed_s > 0.0, "elapsed time must be positive");
+  const double peak = static_cast<double>(spec.num_ranks) * spec.gamma_flops_per_s;
+  return useful_flops / (peak * elapsed_s);
+}
+
+double paper_memory_words(double n, double p, double node_memory_words) {
+  // Enough memory for maximum replication (c = P^{1/3}), capped by the
+  // physical node budget (Piz Daint XC40: 64 GiB per node, two ranks/node ->
+  // ~4e9 words; the default keeps some headroom for buffers).
+  const double max_replicated = std::cbrt(p) * n * n / p;
+  return std::min(max_replicated, node_memory_words);
+}
+
+}  // namespace conflux::models

@@ -1,0 +1,201 @@
+#include "pebbles/cdag.hpp"
+
+#include <string>
+
+namespace conflux::pebbles {
+
+int CDag::add_vertex(bool is_input, std::string label) {
+  preds_.emplace_back();
+  succs_.emplace_back();
+  is_input_.push_back(is_input);
+  labels_.push_back(std::move(label));
+  return num_vertices() - 1;
+}
+
+void CDag::add_edge(int u, int v) {
+  expects(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices(),
+          "edge endpoints must exist");
+  expects(u != v, "no self loops");
+  expects(!is_input_[static_cast<std::size_t>(v)], "inputs cannot have predecessors");
+  preds_[static_cast<std::size_t>(v)].push_back(u);
+  succs_[static_cast<std::size_t>(u)].push_back(v);
+}
+
+std::vector<int> CDag::inputs() const {
+  std::vector<int> result;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (is_input(v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<int> CDag::outputs() const {
+  std::vector<int> result;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (succs(v).empty()) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<int> CDag::topological_order() const {
+  std::vector<int> indeg(static_cast<std::size_t>(num_vertices()), 0);
+  for (int v = 0; v < num_vertices(); ++v) {
+    indeg[static_cast<std::size_t>(v)] = static_cast<int>(preds(v).size());
+  }
+  std::vector<int> queue;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_vertices()));
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int v = queue[head];
+    order.push_back(v);
+    for (int s : succs(v)) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  check(static_cast<int>(order.size()) == num_vertices(), "cDAG has a cycle");
+  return order;
+}
+
+int CDag::max_in_degree() const {
+  int best = 0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, static_cast<int>(preds(v).size()));
+  }
+  return best;
+}
+
+namespace {
+std::string idx2(const char* base, int i, int j) {
+  return std::string(base) + "[" + std::to_string(i) + "," + std::to_string(j) + "]";
+}
+}  // namespace
+
+CDag build_matmul_cdag(int n) {
+  expects(n >= 1, "n >= 1");
+  CDag g;
+  std::vector<std::vector<int>> a(static_cast<std::size_t>(n)),
+      b(static_cast<std::size_t>(n)), c(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i)].push_back(g.add_vertex(true, idx2("A", i, j)));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(i)].push_back(g.add_vertex(true, idx2("B", i, j)));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      c[static_cast<std::size_t>(i)].push_back(g.add_vertex(true, idx2("C", i, j)));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int cur = c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      for (int k = 0; k < n; ++k) {
+        const int v = g.add_vertex(false, idx2("C", i, j) + "@" + std::to_string(k));
+        g.add_edge(cur, v);
+        g.add_edge(a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)], v);
+        g.add_edge(b[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)], v);
+        cur = v;
+      }
+    }
+  }
+  return g;
+}
+
+CDag build_lu_cdag(int n) {
+  expects(n >= 1, "n >= 1");
+  CDag g;
+  // cur(i,j) = vertex holding the newest version of A[i,j].
+  std::vector<int> cur(static_cast<std::size_t>(n * n));
+  const auto at = [&](int i, int j) -> int& {
+    return cur[static_cast<std::size_t>(i * n + j)];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) at(i, j) = g.add_vertex(true, idx2("A", i, j));
+  }
+  for (int k = 0; k < n; ++k) {
+    // S1: A[i,k] /= A[k,k].
+    for (int i = k + 1; i < n; ++i) {
+      const int v = g.add_vertex(false, idx2("L", i, k));
+      g.add_edge(at(i, k), v);
+      g.add_edge(at(k, k), v);
+      at(i, k) = v;
+    }
+    // S2: A[i,j] -= A[i,k] * A[k,j].
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j < n; ++j) {
+        const int v = g.add_vertex(false, idx2("A", i, j) + "@" + std::to_string(k));
+        g.add_edge(at(i, j), v);
+        g.add_edge(at(i, k), v);
+        g.add_edge(at(k, j), v);
+        at(i, j) = v;
+      }
+    }
+  }
+  return g;
+}
+
+CDag build_cholesky_cdag(int n) {
+  expects(n >= 1, "n >= 1");
+  CDag g;
+  // Only the lower triangle is represented.
+  std::vector<int> cur(static_cast<std::size_t>(n * n), -1);
+  const auto at = [&](int i, int j) -> int& {
+    return cur[static_cast<std::size_t>(i * n + j)];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) at(i, j) = g.add_vertex(true, idx2("A", i, j));
+  }
+  for (int k = 0; k < n; ++k) {
+    // S1: L[k,k] = sqrt(L[k,k]).
+    const int dk = g.add_vertex(false, idx2("Ld", k, k));
+    g.add_edge(at(k, k), dk);
+    at(k, k) = dk;
+    // S2: L[i,k] /= L[k,k].
+    for (int i = k + 1; i < n; ++i) {
+      const int v = g.add_vertex(false, idx2("L", i, k));
+      g.add_edge(at(i, k), v);
+      g.add_edge(at(k, k), v);
+      at(i, k) = v;
+    }
+    // S3: L[i,j] -= L[i,k] * L[j,k] for k < j <= i.
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j <= i; ++j) {
+        const int v = g.add_vertex(false, idx2("A", i, j) + "@" + std::to_string(k));
+        g.add_edge(at(i, j), v);
+        g.add_edge(at(i, k), v);
+        g.add_edge(at(j, k), v);
+        at(i, j) = v;
+      }
+    }
+  }
+  return g;
+}
+
+StatementCounts lu_statement_counts(int n) {
+  StatementCounts c;
+  const long long nn = n;
+  c.s1 = nn * (nn - 1) / 2;
+  c.s2 = (nn - 1) * nn * (2 * nn - 1) / 6;  // sum_{k} (n-k-1)^2
+  return c;
+}
+
+StatementCounts cholesky_statement_counts(int n) {
+  StatementCounts c;
+  const long long nn = n;
+  c.s1 = nn;
+  c.s2 = nn * (nn - 1) / 2;
+  // sum over k of (n-k-1)(n-k)/2 = sum_{m=1}^{n-1} m(m+1)/2.
+  long long s3 = 0;
+  for (long long m = 1; m < nn; ++m) s3 += m * (m + 1) / 2;
+  c.s3 = s3;
+  return c;
+}
+
+}  // namespace conflux::pebbles

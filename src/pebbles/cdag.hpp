@@ -1,0 +1,71 @@
+// Computational DAGs and the red-blue pebble game (Section 2.3).
+//
+// Vertices are *versions* of array elements: a statement that overwrites
+// A[i,j] produces a fresh vertex with an edge from the previous version.
+// The builders below construct exactly the cDAGs of Figure 3 (LU),
+// Listing 1 (Cholesky) and the classic matmul accumulation-chain cDAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace conflux::pebbles {
+
+class CDag {
+ public:
+  /// Add a vertex; inputs have no predecessors by construction.
+  int add_vertex(bool is_input, std::string label = "");
+
+  /// Add a dependency edge u -> v (u must be pebbled before v is computed).
+  void add_edge(int u, int v);
+
+  int num_vertices() const { return static_cast<int>(preds_.size()); }
+  bool is_input(int v) const { return is_input_[static_cast<std::size_t>(v)]; }
+  const std::vector<int>& preds(int v) const { return preds_[static_cast<std::size_t>(v)]; }
+  const std::vector<int>& succs(int v) const { return succs_[static_cast<std::size_t>(v)]; }
+  const std::string& label(int v) const { return labels_[static_cast<std::size_t>(v)]; }
+
+  /// All vertices with no incoming edges (must coincide with is_input).
+  std::vector<int> inputs() const;
+
+  /// All vertices with no outgoing edges.
+  std::vector<int> outputs() const;
+
+  /// A topological order (Kahn); throws if the graph has a cycle.
+  std::vector<int> topological_order() const;
+
+  /// Largest in-degree: lower limit (plus one) on usable fast-memory size.
+  int max_in_degree() const;
+
+ private:
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<bool> is_input_;
+  std::vector<std::string> labels_;
+};
+
+/// Matmul C = A*B on n x n matrices: accumulation chain per C element;
+/// n^3 compute vertices, 2n^2 + n^2 inputs (A, B, C's initial versions).
+CDag build_matmul_cdag(int n);
+
+/// In-place LU without pivoting (Figure 3): statements S1 and S2.
+CDag build_lu_cdag(int n);
+
+/// Cholesky (Listing 1): statements S1, S2, S3 over the lower triangle.
+CDag build_cholesky_cdag(int n);
+
+/// Counts of compute vertices per statement for the builders above; used by
+/// tests to cross-check against the Section 6 |V_i| formulas.
+struct StatementCounts {
+  long long s1 = 0;
+  long long s2 = 0;
+  long long s3 = 0;
+  long long total() const { return s1 + s2 + s3; }
+};
+
+StatementCounts lu_statement_counts(int n);
+StatementCounts cholesky_statement_counts(int n);
+
+}  // namespace conflux::pebbles

@@ -1,0 +1,256 @@
+#include "pebbles/game.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace conflux::pebbles {
+
+GameStats run_sequential_game(const CDag& g, int memory,
+                              std::span<const Move> schedule) {
+  expects(memory >= 1, "need at least one red pebble");
+  const int n = g.num_vertices();
+  std::vector<bool> red(static_cast<std::size_t>(n), false);
+  std::vector<bool> blue(static_cast<std::size_t>(n), false);
+  std::vector<bool> computed(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    if (g.is_input(v)) blue[static_cast<std::size_t>(v)] = true;
+  }
+  int red_count = 0;
+  GameStats stats;
+
+  for (const Move& mv : schedule) {
+    const auto v = static_cast<std::size_t>(mv.vertex);
+    check(mv.vertex >= 0 && mv.vertex < n, "move references unknown vertex");
+    switch (mv.type) {
+      case MoveType::Load:
+        check(blue[v], "load requires a blue pebble");
+        if (!red[v]) {
+          check(red_count < memory, "fast memory overfull on load");
+          red[v] = true;
+          ++red_count;
+        }
+        ++stats.loads;
+        break;
+      case MoveType::Store:
+        check(red[v], "store requires a red pebble");
+        blue[v] = true;
+        ++stats.stores;
+        break;
+      case MoveType::Compute: {
+        check(!g.is_input(mv.vertex), "inputs are not computed");
+        for (int p : g.preds(mv.vertex)) {
+          check(red[static_cast<std::size_t>(p)], "compute with non-resident pred");
+        }
+        if (!red[v]) {
+          check(red_count < memory, "fast memory overfull on compute");
+          red[v] = true;
+          ++red_count;
+        }
+        computed[v] = true;
+        ++stats.computes;
+        break;
+      }
+      case MoveType::Discard:
+        check(red[v], "discard requires a red pebble");
+        red[v] = false;
+        --red_count;
+        break;
+      case MoveType::Receive:
+        unreachable("Receive is a parallel-game move");
+    }
+  }
+  for (int v : g.outputs()) {
+    check(blue[static_cast<std::size_t>(v)], "output must end with a blue pebble");
+  }
+  return stats;
+}
+
+GameStats run_parallel_game(const CDag& g, int num_procs, int memory,
+                            std::span<const int> owner, std::span<const Move> schedule,
+                            std::vector<long long>* rank_receives) {
+  expects(num_procs >= 1 && memory >= 1, "bad machine shape");
+  const int n = g.num_vertices();
+  expects(static_cast<int>(owner.size()) == n, "owner vector must cover all vertices");
+
+  // pebbled[p] is processor p's red set; no blue pebbles exist (Section 5).
+  std::vector<std::set<int>> pebbled(static_cast<std::size_t>(num_procs));
+  std::vector<bool> anywhere(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    if (g.is_input(v)) {
+      const int p = owner[static_cast<std::size_t>(v)];
+      check(p >= 0 && p < num_procs, "input owner out of range");
+      pebbled[static_cast<std::size_t>(p)].insert(v);
+      anywhere[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (int p = 0; p < num_procs; ++p) {
+    check(static_cast<int>(pebbled[static_cast<std::size_t>(p)].size()) <= memory,
+          "initial distribution exceeds local memory");
+  }
+
+  GameStats stats;
+  std::vector<long long> receives(static_cast<std::size_t>(num_procs), 0);
+  for (const Move& mv : schedule) {
+    check(mv.vertex >= 0 && mv.vertex < n, "move references unknown vertex");
+    check(mv.proc >= 0 && mv.proc < num_procs, "move references unknown processor");
+    auto& mine = pebbled[static_cast<std::size_t>(mv.proc)];
+    switch (mv.type) {
+      case MoveType::Compute: {
+        check(!g.is_input(mv.vertex), "inputs are not computed");
+        for (int p : g.preds(mv.vertex)) {
+          check(mine.contains(p), "compute with non-local pred");
+        }
+        if (!mine.contains(mv.vertex)) {
+          check(static_cast<int>(mine.size()) < memory, "local memory overfull");
+          mine.insert(mv.vertex);
+        }
+        anywhere[static_cast<std::size_t>(mv.vertex)] = true;
+        ++stats.computes;
+        break;
+      }
+      case MoveType::Receive: {
+        check(anywhere[static_cast<std::size_t>(mv.vertex)],
+              "receive requires the vertex pebbled somewhere");
+        if (!mine.contains(mv.vertex)) {
+          check(static_cast<int>(mine.size()) < memory, "local memory overfull");
+          mine.insert(mv.vertex);
+        }
+        ++stats.receives;
+        ++receives[static_cast<std::size_t>(mv.proc)];
+        break;
+      }
+      case MoveType::Discard:
+        check(mine.contains(mv.vertex), "discard requires a local pebble");
+        mine.erase(mv.vertex);
+        break;
+      case MoveType::Load:
+      case MoveType::Store:
+        unreachable("Load/Store are sequential-game moves");
+    }
+  }
+  for (int v : g.outputs()) {
+    bool held = false;
+    for (int p = 0; p < num_procs; ++p) {
+      if (pebbled[static_cast<std::size_t>(p)].contains(v)) held = true;
+    }
+    check(held, "output must be pebbled by some processor at the end");
+  }
+  if (rank_receives != nullptr) *rank_receives = std::move(receives);
+  return stats;
+}
+
+std::vector<Move> greedy_schedule(const CDag& g, int memory) {
+  expects(memory >= g.max_in_degree() + 1,
+          "fast memory too small for the widest compute");
+  const int n = g.num_vertices();
+  const std::vector<int> order = g.topological_order();
+
+  // position[v] = rank in the compute order (inputs get the position of
+  // their first use); next-use lists drive Belady eviction.
+  std::vector<long long> compute_pos(static_cast<std::size_t>(n), -1);
+  {
+    long long pos = 0;
+    for (int v : order) {
+      if (!g.is_input(v)) compute_pos[static_cast<std::size_t>(v)] = pos++;
+    }
+  }
+  std::vector<std::vector<long long>> uses(static_cast<std::size_t>(n));
+  for (int v : order) {
+    if (g.is_input(v)) continue;
+    for (int p : g.preds(v)) {
+      uses[static_cast<std::size_t>(p)].push_back(compute_pos[static_cast<std::size_t>(v)]);
+    }
+  }
+  for (auto& u : uses) std::sort(u.begin(), u.end());
+  std::vector<std::size_t> use_cursor(static_cast<std::size_t>(n), 0);
+  const auto next_use = [&](int v) -> long long {
+    const auto& u = uses[static_cast<std::size_t>(v)];
+    auto& cur = use_cursor[static_cast<std::size_t>(v)];
+    while (cur < u.size()) {
+      return u[cur];
+    }
+    return std::numeric_limits<long long>::max();
+  };
+
+  std::vector<Move> schedule;
+  std::vector<bool> red(static_cast<std::size_t>(n), false);
+  std::vector<bool> blue(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    if (g.is_input(v)) blue[static_cast<std::size_t>(v)] = true;
+  }
+  // Max-heap of (next_use, vertex) for eviction; entries are lazily
+  // invalidated when the cursor advances.
+  using Entry = std::pair<long long, int>;
+  std::priority_queue<Entry> evict_heap;
+  int red_count = 0;
+
+  const auto make_room = [&](int needed) {
+    while (red_count + needed > memory) {
+      check(!evict_heap.empty(), "nothing to evict");
+      const auto [use, v] = evict_heap.top();
+      evict_heap.pop();
+      if (!red[static_cast<std::size_t>(v)]) continue;   // stale entry
+      if (use != next_use(v)) {
+        evict_heap.emplace(next_use(v), v);  // refresh stale priority
+        continue;
+      }
+      // Victim: store first if it will be needed again (or is a terminal
+      // output) and has no blue pebble yet.
+      const bool needed_later = next_use(v) != std::numeric_limits<long long>::max();
+      const bool is_output = g.succs(v).empty();
+      if (!blue[static_cast<std::size_t>(v)] && (needed_later || is_output)) {
+        schedule.push_back({MoveType::Store, v, 0});
+        blue[static_cast<std::size_t>(v)] = true;
+      }
+      schedule.push_back({MoveType::Discard, v, 0});
+      red[static_cast<std::size_t>(v)] = false;
+      --red_count;
+    }
+  };
+
+  long long pos = 0;
+  for (int v : order) {
+    if (g.is_input(v)) continue;
+    // Bring all predecessors into fast memory.
+    for (int p : g.preds(v)) {
+      if (red[static_cast<std::size_t>(p)]) continue;
+      check(blue[static_cast<std::size_t>(p)], "greedy invariant: evicted values are stored");
+      make_room(1);
+      schedule.push_back({MoveType::Load, p, 0});
+      red[static_cast<std::size_t>(p)] = true;
+      ++red_count;
+      evict_heap.emplace(next_use(p), p);
+    }
+    make_room(1);
+    schedule.push_back({MoveType::Compute, v, 0});
+    red[static_cast<std::size_t>(v)] = true;
+    ++red_count;
+    ++pos;
+    // Advance use cursors of the predecessors past this position.
+    for (int p : g.preds(v)) {
+      auto& cur = use_cursor[static_cast<std::size_t>(p)];
+      const auto& u = uses[static_cast<std::size_t>(p)];
+      while (cur < u.size() && u[cur] < pos) ++cur;
+      if (red[static_cast<std::size_t>(p)]) evict_heap.emplace(next_use(p), p);
+    }
+    evict_heap.emplace(next_use(v), v);
+  }
+
+  // Store all outputs that are not yet in slow memory.
+  for (int v : g.outputs()) {
+    if (!blue[static_cast<std::size_t>(v)]) {
+      if (!red[static_cast<std::size_t>(v)]) {
+        // Must still be resident: outputs have no successors, so they are
+        // only evicted via make_room which stores them first.
+        unreachable("output evicted without store");
+      }
+      schedule.push_back({MoveType::Store, v, 0});
+      blue[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace conflux::pebbles

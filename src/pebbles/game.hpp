@@ -1,0 +1,60 @@
+// Red-blue pebble game executor and a greedy pebbling scheduler.
+//
+// The sequential game follows Hong & Kung's rules (Section 2.3.1): at most M
+// red pebbles, inputs start blue, loads require a blue pebble, computes
+// require all predecessors red, outputs must end blue. The parallel variant
+// implements the Section 5 rules: one private red-pebble set per processor,
+// no shared memory, and a communication move that copies a pebbled vertex
+// into another processor's fast memory at unit I/O cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pebbles/cdag.hpp"
+
+namespace conflux::pebbles {
+
+enum class MoveType {
+  Load,     ///< blue -> add red (sequential game)
+  Store,    ///< red -> add blue (sequential game)
+  Compute,  ///< all preds red -> add red
+  Discard,  ///< remove red (free)
+  Receive,  ///< parallel game: copy a vertex pebbled elsewhere (1 I/O)
+};
+
+struct Move {
+  MoveType type;
+  int vertex = 0;
+  int proc = 0;  ///< acting processor (parallel game only)
+};
+
+struct GameStats {
+  long long loads = 0;
+  long long stores = 0;
+  long long receives = 0;
+  long long computes = 0;
+  long long io() const { return loads + stores + receives; }
+};
+
+/// Validate and execute a sequential schedule with fast memory M.
+/// Throws contract_error on any rule violation (over-full memory, computing
+/// with a missing predecessor, loading a non-blue vertex, ...). Requires all
+/// graph outputs to carry a blue pebble when the schedule ends.
+GameStats run_sequential_game(const CDag& g, int memory, std::span<const Move> schedule);
+
+/// Validate and execute a parallel schedule: `owner[v]` gives the processor
+/// initially holding each input vertex. Requires every graph output to be
+/// pebbled by some processor at the end. Returns aggregate stats; per-rank
+/// receive counts are written to rank_receives if non-null.
+GameStats run_parallel_game(const CDag& g, int num_procs, int memory,
+                            std::span<const int> owner, std::span<const Move> schedule,
+                            std::vector<long long>* rank_receives = nullptr);
+
+/// Greedy sequential scheduler: computes vertices in topological order,
+/// loading missing predecessors and evicting with Belady's rule (farthest
+/// next use), storing evicted values that are still needed. Produces a valid
+/// schedule for any M >= max_in_degree + 1.
+std::vector<Move> greedy_schedule(const CDag& g, int memory);
+
+}  // namespace conflux::pebbles

@@ -1,0 +1,118 @@
+#include "pebbles/xpartition.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace conflux::pebbles {
+
+long long dominator_bound(const CDag& g, std::span<const int> part) {
+  std::set<int> in_part(part.begin(), part.end());
+  std::set<int> boundary;
+  for (int v : part) {
+    for (int p : g.preds(v)) {
+      if (!in_part.contains(p)) boundary.insert(p);
+    }
+  }
+  return static_cast<long long>(boundary.size());
+}
+
+long long min_set_size(const CDag& g, std::span<const int> part) {
+  std::set<int> in_part(part.begin(), part.end());
+  long long count = 0;
+  for (int v : part) {
+    bool has_internal_succ = false;
+    for (int s : g.succs(v)) {
+      if (in_part.contains(s)) {
+        has_internal_succ = true;
+        break;
+      }
+    }
+    if (!has_internal_succ) ++count;
+  }
+  return count;
+}
+
+bool validate_xpartition(const CDag& g, const XPartition& p, long long x,
+                         std::string* why) {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Disjoint cover of the compute vertices.
+  std::vector<int> part_of(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t s = 0; s < p.parts.size(); ++s) {
+    for (int v : p.parts[s]) {
+      if (v < 0 || v >= g.num_vertices()) return fail("vertex out of range");
+      if (g.is_input(v)) return fail("input vertex inside a part");
+      if (part_of[static_cast<std::size_t>(v)] != -1) return fail("parts overlap");
+      part_of[static_cast<std::size_t>(v)] = static_cast<int>(s);
+    }
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_input(v) && part_of[static_cast<std::size_t>(v)] == -1) {
+      return fail("compute vertex not covered: " + g.label(v));
+    }
+  }
+  // Size conditions.
+  for (std::size_t s = 0; s < p.parts.size(); ++s) {
+    if (dominator_bound(g, p.parts[s]) > x) {
+      return fail("dominator set exceeds X in part " + std::to_string(s));
+    }
+    if (min_set_size(g, p.parts[s]) > x) {
+      return fail("minimum set exceeds X in part " + std::to_string(s));
+    }
+  }
+  // Acyclic quotient graph: Kahn over part-level edges.
+  const auto nparts = p.parts.size();
+  std::vector<std::set<int>> out(nparts);
+  std::vector<int> indeg(nparts, 0);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.is_input(v)) continue;
+    const int sv = part_of[static_cast<std::size_t>(v)];
+    for (int t : g.succs(v)) {
+      if (g.is_input(t)) continue;
+      const int st = part_of[static_cast<std::size_t>(t)];
+      if (sv != st && out[static_cast<std::size_t>(sv)].insert(st).second) {
+        ++indeg[static_cast<std::size_t>(st)];
+      }
+    }
+  }
+  std::vector<int> queue;
+  for (std::size_t s = 0; s < nparts; ++s) {
+    if (indeg[s] == 0) queue.push_back(static_cast<int>(s));
+  }
+  std::size_t seen = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    ++seen;
+    for (int t : out[static_cast<std::size_t>(queue[head])]) {
+      if (--indeg[static_cast<std::size_t>(t)] == 0) queue.push_back(t);
+    }
+  }
+  if (seen != nparts) return fail("cyclic dependencies between parts");
+  return true;
+}
+
+XPartition partition_from_schedule(const CDag& g, std::span<const Move> schedule,
+                                   int memory, long long x) {
+  expects(x > memory, "X must exceed M");
+  XPartition result;
+  std::vector<int> current;
+  long long io_in_segment = 0;
+  const long long budget = x - memory;
+  for (const Move& mv : schedule) {
+    if (mv.type == MoveType::Load || mv.type == MoveType::Store) {
+      if (io_in_segment + 1 > budget && !current.empty()) {
+        result.parts.push_back(std::move(current));
+        current.clear();
+        io_in_segment = 0;
+      }
+      ++io_in_segment;
+    } else if (mv.type == MoveType::Compute) {
+      current.push_back(mv.vertex);
+    }
+  }
+  if (!current.empty()) result.parts.push_back(std::move(current));
+  return result;
+}
+
+}  // namespace conflux::pebbles

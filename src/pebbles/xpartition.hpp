@@ -1,0 +1,42 @@
+// X-partitions (Section 2.3.3): partitions of the compute vertices into
+// subcomputations with bounded dominator and minimum sets and acyclic
+// inter-part dependencies.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pebbles/cdag.hpp"
+#include "pebbles/game.hpp"
+
+namespace conflux::pebbles {
+
+struct XPartition {
+  /// parts[s] lists the compute (non-input) vertices of subcomputation H_s,
+  /// in schedule order.
+  std::vector<std::vector<int>> parts;
+};
+
+/// Upper bound on |Dom_min(H)|: the distinct predecessors of H outside H.
+/// (Any path from a graph input into H crosses this boundary, so it is a
+/// valid dominator set; Dom_min can only be smaller.)
+long long dominator_bound(const CDag& g, std::span<const int> part);
+
+/// |Min(H)|: vertices of H without a successor inside H.
+long long min_set_size(const CDag& g, std::span<const int> part);
+
+/// Check the X-partition conditions: the parts are disjoint, cover every
+/// compute vertex, have dominator and minimum sets of size <= X, and the
+/// quotient graph is acyclic. Returns true when valid; when `why` is
+/// non-null, stores a diagnostic for the first violated condition.
+bool validate_xpartition(const CDag& g, const XPartition& p, long long x,
+                         std::string* why = nullptr);
+
+/// Build an X-partition from a sequential schedule by cutting it into
+/// segments of at most X - M I/O operations ([45], Lemma 2's construction).
+/// The resulting partition is valid for any schedule that is itself valid.
+XPartition partition_from_schedule(const CDag& g, std::span<const Move> schedule,
+                                   int memory, long long x);
+
+}  // namespace conflux::pebbles

@@ -1,0 +1,15 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace conflux::detail {
+
+[[noreturn]] void contract_fail(std::string_view kind, std::string_view msg,
+                                const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " violation at " << loc.file_name() << ":" << loc.line() << " ("
+     << loc.function_name() << "): " << msg;
+  throw contract_error(os.str());
+}
+
+}  // namespace conflux::detail

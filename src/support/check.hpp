@@ -1,0 +1,48 @@
+// Runtime contract checking in the spirit of the C++ Core Guidelines
+// Expects/Ensures (I.6, I.8). Macro-free: uses std::source_location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace conflux {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(std::string_view kind, std::string_view msg,
+                                const std::source_location& loc);
+}  // namespace detail
+
+/// Precondition check: call at function entry to validate arguments.
+inline void expects(bool cond, std::string_view msg = "precondition failed",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Expects", msg, loc);
+}
+
+/// Postcondition check: call before returning to validate results.
+inline void ensures(bool cond, std::string_view msg = "postcondition failed",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Ensures", msg, loc);
+}
+
+/// Internal invariant check (algorithmic consistency, not caller misuse).
+inline void check(bool cond, std::string_view msg = "invariant violated",
+                  const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Check", msg, loc);
+}
+
+/// Unconditional failure for unreachable code paths.
+[[noreturn]] inline void unreachable(
+    std::string_view msg = "unreachable code reached",
+    const std::source_location loc = std::source_location::current()) {
+  detail::contract_fail("Unreachable", msg, loc);
+}
+
+}  // namespace conflux

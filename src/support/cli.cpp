@@ -1,0 +1,56 @@
+#include "support/cli.hpp"
+
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace conflux {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    expects(arg.starts_with("--"), "options must start with --");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      options_[std::string(arg)] = "1";
+    } else {
+      options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const auto v = get(name);
+  return v ? std::stoll(*v) : fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  return v ? std::stod(*v) : fallback;
+}
+
+std::string Cli::get_string(const std::string& name, std::string fallback) const {
+  const auto v = get(name);
+  return v ? *v : fallback;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const auto v = get(name);
+  return v.has_value() && *v != "0";
+}
+
+void Cli::check_unused() const {
+  for (const auto& [name, value] : options_) {
+    check(queried_.contains(name), "unknown option --" + name);
+  }
+}
+
+}  // namespace conflux

@@ -1,0 +1,36 @@
+// Tiny command-line option parser for bench/example binaries.
+//
+// Supports --key=value and --flag forms. Anything the binary does not ask
+// for is rejected, so typos in sweep parameters fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace conflux {
+
+class Cli {
+ public:
+  /// Parse argv; throws contract_error on malformed options.
+  Cli(int argc, const char* const* argv);
+
+  /// Value of --name=..., or std::nullopt if absent.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed getters with defaults.
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, std::string fallback) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Options present but never queried (reported by check_unused).
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace conflux

@@ -1,0 +1,24 @@
+// Minimal monotonic stopwatch used by examples and benches for wall time.
+#pragma once
+
+#include <chrono>
+
+namespace conflux {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace conflux

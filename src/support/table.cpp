@@ -1,0 +1,105 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace conflux {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.6g keeps tables compact while preserving enough digits for comparisons.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_cell(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  return format_double(std::get<double>(cell));
+}
+
+std::string human_count(double value) {
+  static constexpr const char* suffixes[] = {"", "Ki", "Mi", "Gi", "Ti", "Pi"};
+  int idx = 0;
+  while (value >= 1024.0 && idx < 5) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  return buf;
+}
+
+void TextTable::set_header(std::vector<std::string> names) {
+  expects(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(names);
+}
+
+void TextTable::add_row(std::vector<Cell> cells) {
+  expects(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  if (!title_.empty()) os << title_ << "\n";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << header_[c] << std::string(widths[c] - header_[c].size() + 2, ' ');
+  }
+  os << "\n";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c], '-') << "  ";
+  }
+  os << "\n";
+  for (const auto& r : rendered) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << r[c] << std::string(widths[c] - r[c].size() + 2, ' ');
+    }
+    os << "\n";
+  }
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c ? "," : "") << csv_escape(header_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << csv_escape(format_cell(row[c]));
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace conflux

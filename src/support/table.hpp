@@ -1,0 +1,55 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series the paper reports; this keeps
+// the formatting in one place so the outputs are uniform and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace conflux {
+
+/// A cell is a string, an integer, or a double (formatted with %.4g-style
+/// shortest-reasonable precision unless a column format overrides it).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-aligned text table with an optional title, e.g.
+///
+///   Table 2: model validation
+///   impl      N      P     measured   model      err%
+///   --------  -----  ----  ---------  ---------  -----
+///   conflux   16384  256   1.234e+08  1.250e+08  1.3
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> names);
+
+  /// Append one data row; must match the header width.
+  void add_row(std::vector<Cell> cells);
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish; quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Format a byte/element count with binary suffix, e.g. "1.50 Mi".
+std::string human_count(double value);
+
+/// Format a cell using the table's default rules.
+std::string format_cell(const Cell& cell);
+
+}  // namespace conflux

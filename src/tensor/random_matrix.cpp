@@ -1,0 +1,37 @@
+#include "tensor/random_matrix.hpp"
+
+#include "support/rng.hpp"
+
+namespace conflux {
+
+MatrixD random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixD a(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return a;
+}
+
+MatrixD random_dominant_matrix(index_t n, std::uint64_t seed) {
+  MatrixD a = random_matrix(n, n, seed);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+MatrixD random_spd_matrix(index_t n, std::uint64_t seed) {
+  const MatrixD b = random_matrix(n, n, seed);
+  MatrixD a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      for (index_t k = 0; k < n; ++k) sum += b(i, k) * b(j, k);
+      a(i, j) = sum;
+      a(j, i) = sum;
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+}  // namespace conflux

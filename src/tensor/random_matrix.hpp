@@ -1,0 +1,21 @@
+// Random test-matrix generators shared by tests, examples, and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace conflux {
+
+/// Uniform entries in [-1, 1); well-conditioned w.h.p. for LU with pivoting.
+MatrixD random_matrix(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Diagonally dominant matrix: random_matrix plus (cols) added to the
+/// diagonal, so LU without pivoting is also stable (used by baselines that
+/// skip pivoting and by Trace-vs-Real equivalence tests).
+MatrixD random_dominant_matrix(index_t n, std::uint64_t seed);
+
+/// Symmetric positive definite matrix: B*B^T + n*I with B = random_matrix.
+MatrixD random_spd_matrix(index_t n, std::uint64_t seed);
+
+}  // namespace conflux

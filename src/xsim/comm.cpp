@@ -1,0 +1,205 @@
+#include "xsim/comm.hpp"
+
+#include <bit>
+
+namespace conflux::xsim::comm {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return std::has_single_bit(n); }
+
+// Virtual rank helper: position relative to the root, wrapping around the
+// participant list (the standard binomial-tree rotation).
+std::size_t vrank(std::size_t idx, std::size_t root, std::size_t n) {
+  return (idx + n - root) % n;
+}
+std::size_t unvrank(std::size_t v, std::size_t root, std::size_t n) {
+  return (v + root) % n;
+}
+
+// Recursive half-split scatter over virtual ranks [lo, hi), root at lo.
+// Visit(a, b, subtree_size): edge sending `subtree_size` chunks from virtual
+// rank a to virtual rank b.
+template <typename Visit>
+void scatter_edges(std::size_t lo, std::size_t hi, Visit&& visit) {
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    visit(lo, mid, hi - mid);
+    // Recurse into the far half; continue iteratively on the near half.
+    scatter_edges(mid, hi, visit);
+    hi = mid;
+  }
+}
+
+}  // namespace
+
+void p2p(Machine& m, int src, int dst, double words) {
+  if (src == dst) return;  // local, free
+  m.charge_transfer(src, dst, words);
+}
+
+void broadcast(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+               double words) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1 && root_idx < n, "bad broadcast shape");
+  // Binomial tree: in round `mask`, ranks with vrank < mask send to
+  // vrank + mask.
+  for (std::size_t mask = 1; mask < n; mask <<= 1) {
+    for (std::size_t v = 0; v < mask; ++v) {
+      const std::size_t peer = v + mask;
+      if (peer >= n) continue;
+      p2p(m, ranks[unvrank(v, root_idx, n)], ranks[unvrank(peer, root_idx, n)], words);
+    }
+  }
+}
+
+void reduce(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+            double words, bool charge_combine_flops) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1 && root_idx < n, "bad reduce shape");
+  // Mirror of the binomial broadcast, edges reversed; the receiver combines.
+  std::size_t top_mask = 1;
+  while (top_mask < n) top_mask <<= 1;
+  for (std::size_t mask = top_mask >> 1; mask >= 1; mask >>= 1) {
+    for (std::size_t v = 0; v < mask; ++v) {
+      const std::size_t peer = v + mask;
+      if (peer >= n) continue;
+      const int receiver = ranks[unvrank(v, root_idx, n)];
+      p2p(m, ranks[unvrank(peer, root_idx, n)], receiver, words);
+      if (charge_combine_flops) m.charge_flops(receiver, words);
+    }
+    if (mask == 1) break;
+  }
+}
+
+void allreduce(Machine& m, std::span<const int> ranks, double words,
+               bool charge_combine_flops) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1, "allreduce needs participants");
+  if (n == 1) return;
+  // Standard MPI recursive doubling with a fold for non-powers of two:
+  // the first 2r ranks pair up (odd -> even), the remaining core of
+  // m = 2^k ranks runs k exchange rounds, then results flow back.
+  std::size_t core = std::size_t{1} << (std::bit_width(n) - 1);
+  const std::size_t r = n - core;
+  const auto charge_pair = [&](std::size_t a, std::size_t b) {
+    p2p(m, ranks[a], ranks[b], words);
+    p2p(m, ranks[b], ranks[a], words);
+    if (charge_combine_flops) {
+      m.charge_flops(ranks[a], words);
+      m.charge_flops(ranks[b], words);
+    }
+  };
+  // Fold: ranks 2i+1 (i < r) send into 2i.
+  for (std::size_t i = 0; i < r; ++i) {
+    p2p(m, ranks[2 * i + 1], ranks[2 * i], words);
+    if (charge_combine_flops) m.charge_flops(ranks[2 * i], words);
+  }
+  // Core participants: evens of the folded prefix, then the tail.
+  std::vector<std::size_t> core_idx;
+  core_idx.reserve(core);
+  for (std::size_t i = 0; i < r; ++i) core_idx.push_back(2 * i);
+  for (std::size_t i = 2 * r; i < n; ++i) core_idx.push_back(i);
+  for (std::size_t mask = 1; mask < core; mask <<= 1) {
+    for (std::size_t v = 0; v < core; ++v) {
+      const std::size_t peer = v ^ mask;
+      if (peer > v) charge_pair(core_idx[v], core_idx[peer]);
+    }
+  }
+  // Unfold: evens push the final value back to their odd partner.
+  for (std::size_t i = 0; i < r; ++i) {
+    p2p(m, ranks[2 * i], ranks[2 * i + 1], words);
+  }
+}
+
+void butterfly(Machine& m, std::span<const int> ranks, double words_per_round) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1, "butterfly needs participants");
+  for (std::size_t mask = 1; mask < n; mask <<= 1) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t peer = v ^ mask;
+      if (peer > v && peer < n) {
+        p2p(m, ranks[v], ranks[peer], words_per_round);
+        p2p(m, ranks[peer], ranks[v], words_per_round);
+      }
+    }
+  }
+}
+
+void scatter(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+             double words_per_rank) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1 && root_idx < n, "bad scatter shape");
+  scatter_edges(0, n, [&](std::size_t a, std::size_t b, std::size_t subtree) {
+    p2p(m, ranks[unvrank(a, root_idx, n)], ranks[unvrank(b, root_idx, n)],
+        words_per_rank * static_cast<double>(subtree));
+  });
+}
+
+void gather(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+            double words_per_rank) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1 && root_idx < n, "bad gather shape");
+  // Same tree as scatter with every edge reversed.
+  scatter_edges(0, n, [&](std::size_t a, std::size_t b, std::size_t subtree) {
+    p2p(m, ranks[unvrank(b, root_idx, n)], ranks[unvrank(a, root_idx, n)],
+        words_per_rank * static_cast<double>(subtree));
+  });
+}
+
+void allgather(Machine& m, std::span<const int> ranks, double words_per_rank) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1, "allgather needs participants");
+  if (n == 1) return;
+  if (is_pow2(n)) {
+    // Recursive doubling: round r exchanges blocks of 2^r * w.
+    for (std::size_t mask = 1; mask < n; mask <<= 1) {
+      const double block = words_per_rank * static_cast<double>(mask);
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t peer = v ^ mask;
+        if (peer > v) {
+          p2p(m, ranks[v], ranks[peer], block);
+          p2p(m, ranks[peer], ranks[v], block);
+        }
+      }
+    }
+    return;
+  }
+  // Ring: n-1 rounds, each rank forwarding one block per round.
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    for (std::size_t v = 0; v < n; ++v) {
+      p2p(m, ranks[v], ranks[(v + 1) % n], words_per_rank);
+    }
+  }
+}
+
+void reduce_scatter(Machine& m, std::span<const int> ranks, double words_per_rank,
+                    bool charge_combine_flops) {
+  const std::size_t n = ranks.size();
+  expects(n >= 1, "reduce_scatter needs participants");
+  if (n == 1) return;
+  if (is_pow2(n)) {
+    // Recursive halving: round r exchanges n/2^r * w words.
+    for (std::size_t half = n / 2; half >= 1; half /= 2) {
+      const double block = words_per_rank * static_cast<double>(half);
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t peer = v ^ half;
+        if (peer > v) {
+          p2p(m, ranks[v], ranks[peer], block);
+          p2p(m, ranks[peer], ranks[v], block);
+          if (charge_combine_flops) {
+            m.charge_flops(ranks[v], block);
+            m.charge_flops(ranks[peer], block);
+          }
+        }
+      }
+      if (half == 1) break;
+    }
+    return;
+  }
+  // General n: binomial reduce of the full payload, then scatter the chunks.
+  reduce(m, ranks, 0, words_per_rank * static_cast<double>(n), charge_combine_flops);
+  scatter(m, ranks, 0, words_per_rank);
+}
+
+}  // namespace conflux::xsim::comm

@@ -1,0 +1,126 @@
+// Simulated collectives with exact per-rank cost accounting.
+//
+// Each collective enumerates the point-to-point edges of the textbook MPI
+// algorithm (binomial trees, recursive doubling/halving, ring, butterfly)
+// and charges every edge through Machine::charge_transfer, so the per-rank
+// counters reflect what an MPI implementation of the schedule would move.
+//
+// The *_data variants additionally move real matrix data when the machine is
+// in Real mode; the payload size is always passed explicitly so Trace-mode
+// executions charge identical costs without touching any buffers (a test
+// asserts Trace == Real counter equality for the factorizations).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::xsim::comm {
+
+/// One point-to-point transfer of `words`.
+void p2p(Machine& m, int src, int dst, double words);
+
+/// Binomial-tree broadcast from ranks[root_idx] to all of `ranks`.
+void broadcast(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+               double words);
+
+/// Binomial-tree reduction onto ranks[root_idx]; charges one flop per
+/// combined word at each merge when charge_combine_flops is set.
+void reduce(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+            double words, bool charge_combine_flops = true);
+
+/// Recursive-doubling allreduce (with the standard non-power-of-two fold).
+void allreduce(Machine& m, std::span<const int> ranks, double words,
+               bool charge_combine_flops = true);
+
+/// Butterfly (hypercube) exchange: ceil(log2 n) rounds, each rank exchanging
+/// `words_per_round` with its partner — the tournament-pivoting pattern
+/// (Section 7.3, [55]). Ranks without a partner in a round sit out.
+void butterfly(Machine& m, std::span<const int> ranks, double words_per_round);
+
+/// Binomial scatter of `words_per_rank` chunks from ranks[root_idx].
+void scatter(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+             double words_per_rank);
+
+/// Binomial gather of `words_per_rank` chunks onto ranks[root_idx].
+void gather(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+            double words_per_rank);
+
+/// Allgather of `words_per_rank` per rank: recursive doubling when the
+/// participant count is a power of two, ring otherwise.
+void allgather(Machine& m, std::span<const int> ranks, double words_per_rank);
+
+/// Reduce-scatter leaving `words_per_rank` on each rank: recursive halving
+/// when power-of-two, reduce+scatter composition otherwise.
+void reduce_scatter(Machine& m, std::span<const int> ranks, double words_per_rank,
+                    bool charge_combine_flops = true);
+
+// ---------------------------------------------------------------------------
+// Data-carrying variants. `get(rank)` must return a std::span<double> of
+// exactly `words` elements; it is only invoked in Real mode.
+// ---------------------------------------------------------------------------
+
+template <typename GetBuf>
+void broadcast_data(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+                    double words, GetBuf&& get) {
+  broadcast(m, ranks, root_idx, words);
+  if (!m.real()) return;
+  const std::span<double> src = get(ranks[root_idx]);
+  expects(static_cast<double>(src.size()) == words, "broadcast payload size mismatch");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i == root_idx) continue;
+    const std::span<double> dst = get(ranks[i]);
+    expects(dst.size() == src.size(), "broadcast buffer size mismatch");
+    for (std::size_t k = 0; k < src.size(); ++k) dst[k] = src[k];
+  }
+}
+
+template <typename GetBuf>
+void reduce_sum_data(Machine& m, std::span<const int> ranks, std::size_t root_idx,
+                     double words, GetBuf&& get) {
+  reduce(m, ranks, root_idx, words);
+  if (!m.real()) return;
+  const std::span<double> dst = get(ranks[root_idx]);
+  expects(static_cast<double>(dst.size()) == words, "reduce payload size mismatch");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i == root_idx) continue;
+    const std::span<double> src = get(ranks[i]);
+    expects(src.size() == dst.size(), "reduce buffer size mismatch");
+    for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += src[k];
+  }
+}
+
+template <typename GetBuf>
+void allreduce_sum_data(Machine& m, std::span<const int> ranks, double words,
+                        GetBuf&& get) {
+  allreduce(m, ranks, words);
+  if (!m.real()) return;
+  expects(!ranks.empty(), "allreduce needs participants");
+  const std::span<double> first = get(ranks[0]);
+  expects(static_cast<double>(first.size()) == words, "allreduce payload size mismatch");
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    const std::span<double> src = get(ranks[i]);
+    for (std::size_t k = 0; k < first.size(); ++k) first[k] += src[k];
+  }
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    const std::span<double> dst = get(ranks[i]);
+    for (std::size_t k = 0; k < first.size(); ++k) dst[k] = first[k];
+  }
+}
+
+/// p2p with a data copy in Real mode.
+template <typename GetSrc, typename GetDst>
+void p2p_data(Machine& m, int src, int dst, double words, GetSrc&& get_src,
+              GetDst&& get_dst) {
+  p2p(m, src, dst, words);
+  if (!m.real()) return;
+  const std::span<const double> s = get_src();
+  const std::span<double> d = get_dst();
+  expects(static_cast<double>(s.size()) == words && d.size() == s.size(),
+          "p2p payload size mismatch");
+  for (std::size_t k = 0; k < s.size(); ++k) d[k] = s[k];
+}
+
+}  // namespace conflux::xsim::comm

@@ -1,0 +1,154 @@
+#include "xsim/machine.hpp"
+
+#include <algorithm>
+
+namespace conflux::xsim {
+
+Machine::Machine(MachineSpec spec, ExecMode mode) : spec_(spec), mode_(mode) {
+  expects(spec.num_ranks >= 1, "need at least one rank");
+  expects(spec.memory_words >= 0.0, "memory must be non-negative");
+  const auto n = static_cast<std::size_t>(spec.num_ranks);
+  totals_.resize(n);
+  step_.resize(n);
+  mem_in_use_.assign(n, 0.0);
+  mem_highwater_.assign(n, 0.0);
+  touched_flag_.assign(n, false);
+}
+
+void Machine::touch(int rank) {
+  if (!touched_flag_[static_cast<std::size_t>(rank)]) {
+    touched_flag_[static_cast<std::size_t>(rank)] = true;
+    touched_.push_back(rank);
+  }
+}
+
+void Machine::charge_flops(int rank, double flops) {
+  validate_rank(rank);
+  expects(flops >= 0.0, "flops must be non-negative");
+  totals_[static_cast<std::size_t>(rank)].flops += flops;
+  step_[static_cast<std::size_t>(rank)].flops += flops;
+  running_flops_ += flops;
+  touch(rank);
+}
+
+void Machine::charge_transfer(int src, int dst, double words) {
+  validate_rank(src);
+  validate_rank(dst);
+  expects(words >= 0.0, "words must be non-negative");
+  expects(src != dst, "self transfers are local copies, not communication");
+  auto& s_tot = totals_[static_cast<std::size_t>(src)];
+  auto& d_tot = totals_[static_cast<std::size_t>(dst)];
+  s_tot.words_sent += words;
+  s_tot.messages_sent += 1;
+  d_tot.words_received += words;
+  d_tot.messages_received += 1;
+  running_words_received_ += words;
+  auto& s_step = step_[static_cast<std::size_t>(src)];
+  auto& d_step = step_[static_cast<std::size_t>(dst)];
+  s_step.words_sent += words;
+  s_step.messages += 1;
+  d_step.words_received += words;
+  d_step.messages += 1;
+  touch(src);
+  touch(dst);
+}
+
+void Machine::charge_send(int rank, double words, long long messages) {
+  validate_rank(rank);
+  expects(words >= 0.0 && messages >= 0, "bad aggregate send");
+  auto& tot = totals_[static_cast<std::size_t>(rank)];
+  tot.words_sent += words;
+  tot.messages_sent += messages;
+  auto& st = step_[static_cast<std::size_t>(rank)];
+  st.words_sent += words;
+  st.messages += messages;
+  touch(rank);
+}
+
+void Machine::charge_recv(int rank, double words, long long messages) {
+  validate_rank(rank);
+  expects(words >= 0.0 && messages >= 0, "bad aggregate recv");
+  auto& tot = totals_[static_cast<std::size_t>(rank)];
+  tot.words_received += words;
+  tot.messages_received += messages;
+  running_words_received_ += words;
+  auto& st = step_[static_cast<std::size_t>(rank)];
+  st.words_received += words;
+  st.messages += messages;
+  touch(rank);
+}
+
+void Machine::alloc(int rank, double words) {
+  validate_rank(rank);
+  auto& used = mem_in_use_[static_cast<std::size_t>(rank)];
+  used += words;
+  auto& hw = mem_highwater_[static_cast<std::size_t>(rank)];
+  hw = std::max(hw, used);
+}
+
+void Machine::release(int rank, double words) {
+  validate_rank(rank);
+  auto& used = mem_in_use_[static_cast<std::size_t>(rank)];
+  used -= words;
+  check(used >= -1e-9, "released more memory than allocated");
+}
+
+double Machine::memory_in_use(int rank) const {
+  validate_rank(rank);
+  return mem_in_use_[static_cast<std::size_t>(rank)];
+}
+
+double Machine::memory_highwater(int rank) const {
+  validate_rank(rank);
+  return mem_highwater_[static_cast<std::size_t>(rank)];
+}
+
+double Machine::memory_highwater_max() const {
+  double best = 0.0;
+  for (double hw : mem_highwater_) best = std::max(best, hw);
+  return best;
+}
+
+void Machine::step_barrier() {
+  double step_time = 0.0;
+  for (int rank : touched_) {
+    auto& c = step_[static_cast<std::size_t>(rank)];
+    const double comm_words = std::max(c.words_sent, c.words_received);
+    const double t = spec_.alpha_s * static_cast<double>(c.messages) +
+                     comm_words / spec_.beta_words_per_s +
+                     c.flops / spec_.gamma_flops_per_s;
+    step_time = std::max(step_time, t);
+    c = StepCounters{};
+    touched_flag_[static_cast<std::size_t>(rank)] = false;
+  }
+  touched_.clear();
+  elapsed_ += step_time;
+  ++steps_;
+}
+
+double Machine::modeled_time_overlap() const {
+  double worst = 0.0;
+  for (const auto& c : totals_) {
+    const double t =
+        c.comm_volume() / spec_.beta_words_per_s + c.flops / spec_.gamma_flops_per_s;
+    worst = std::max(worst, t);
+  }
+  return worst + spec_.alpha_s * chain_rounds_;
+}
+
+const RankCounters& Machine::counters(int rank) const {
+  validate_rank(rank);
+  return totals_[static_cast<std::size_t>(rank)];
+}
+
+double Machine::max_comm_volume() const {
+  double best = 0.0;
+  for (const auto& c : totals_) best = std::max(best, c.comm_volume());
+  return best;
+}
+
+double Machine::total_words_received() const { return running_words_received_; }
+
+double Machine::total_flops() const { return running_flops_; }
+
+}  // namespace conflux::xsim

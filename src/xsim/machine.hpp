@@ -1,0 +1,155 @@
+// The simulated distributed machine (Section 2.1 / Section 5 of the paper):
+// P processors, each with a private fast memory of M words, no shared
+// memory, explicit message passing with uniform remote-access cost.
+//
+// This substitutes for the paper's Piz Daint + MPI + Score-P stack (see
+// DESIGN.md): every send/receive is charged to per-rank counters —
+// byte-exact, where Score-P sampled — and wall time is modeled per
+// superstep with an alpha-beta-gamma (latency-bandwidth-compute) model
+// evaluated on the critical path:
+//
+//   T = sum over supersteps of max_rank(alpha * msgs + words / beta + flops / gamma).
+//
+// Algorithms run in bulk-synchronous style: they charge per-rank costs while
+// (in Real mode) moving the actual matrix data, and call step_barrier() at
+// phase boundaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace conflux::xsim {
+
+/// Execution mode shared by all schedules in src/factor and src/baselines:
+/// Real moves matrix data (and costs), Trace charges costs only. A test
+/// asserts the two produce identical counters.
+enum class ExecMode { Real, Trace };
+
+/// Machine shape and time-model constants. Defaults approximate one XC40
+/// Piz Daint rank (half a dual-socket Xeon E5-2695v4 node, Aries NIC):
+///   gamma ~ 0.6 Tflop/s per rank (18 cores x 2.1 GHz x 16 flops/cycle),
+///   beta  ~ 1.25e9 words/s per rank (~10 GB/s of the Aries links),
+///   alpha ~ 2 microseconds per message.
+/// Only ratios matter for the reproduced figures (% of peak, speedups).
+struct MachineSpec {
+  int num_ranks = 1;
+  double memory_words = 0.0;  ///< M: fast-memory words per rank
+  double alpha_s = 2e-6;
+  double beta_words_per_s = 1.25e9;
+  double gamma_flops_per_s = 0.6e12;
+};
+
+/// Per-rank aggregate counters (the Score-P substitute).
+struct RankCounters {
+  double words_sent = 0.0;
+  double words_received = 0.0;
+  long long messages_sent = 0;
+  long long messages_received = 0;
+  double flops = 0.0;
+  /// Paper's "communication volume per rank": max of sent/received traffic
+  /// (symmetric schedules have them equal; counting one direction avoids
+  /// double counting a transfer).
+  double comm_volume() const { return words_sent > words_received ? words_sent : words_received; }
+};
+
+class Machine {
+ public:
+  Machine(MachineSpec spec, ExecMode mode);
+
+  int ranks() const { return spec_.num_ranks; }
+  double memory() const { return spec_.memory_words; }
+  ExecMode mode() const { return mode_; }
+  bool real() const { return mode_ == ExecMode::Real; }
+  const MachineSpec& spec() const { return spec_; }
+
+  // ----------------------------------------------------------- charging ----
+  void charge_flops(int rank, double flops);
+  /// Charge one transfer: `words` leave src, arrive at dst, one message each.
+  void charge_transfer(int src, int dst, double words);
+  /// Aggregate one-sided charges for all-to-all-like redistribution steps
+  /// where enumerating every (src, dst) pair would cost O(P^2): the caller
+  /// computes each rank's exact egress/ingress words and an approximate peer
+  /// count for the latency term. Global sent and received totals must still
+  /// balance across the step (callers charge both directions).
+  void charge_send(int rank, double words, long long messages);
+  void charge_recv(int rank, double words, long long messages);
+  /// Record `rounds` sequential communication rounds on the schedule's
+  /// dependency chain (e.g. log2(P) for a broadcast, one per pivot column
+  /// for partial pivoting). The overlap time model charges alpha per round:
+  /// this is what makes partial pivoting's O(N)-deep chain expensive and
+  /// tournament pivoting's O(N/v) chain cheap (Section 7.3's motivation).
+  void charge_chain(double rounds) { chain_rounds_ += rounds; }
+  double chain_rounds() const { return chain_rounds_; }
+
+  // ---------------------------------------------------- memory tracking ----
+  /// Register `words` of resident data on a rank (tiles, panels, buffers).
+  void alloc(int rank, double words);
+  void release(int rank, double words);
+  double memory_in_use(int rank) const;
+  double memory_highwater(int rank) const;
+  /// Largest high-water mark across ranks (tests compare this against M).
+  double memory_highwater_max() const;
+
+  // ----------------------------------------------------------- stepping ----
+  /// Close the current superstep: fold its critical-path time into
+  /// elapsed_time() and reset the per-step counters.
+  void step_barrier();
+  /// Strict BSP critical path: supersteps are serialized, each costing the
+  /// slowest rank's alpha-beta-gamma time. Pessimistic for schedules with
+  /// rotating per-step hotspots (no cross-step pipelining).
+  double elapsed_time() const { return elapsed_; }
+  /// Overlap (bulk-asynchronous) model: assumes steps pipeline perfectly,
+  /// so each rank's time is its own aggregate alpha-beta-gamma cost and the
+  /// run takes the slowest rank. This matches the paper's own volume-driven
+  /// cost models and its emphasis on asynchronous overlap (Section 8); the
+  /// performance figures (9, 10, 1, 11) use this model.
+  double modeled_time_overlap() const;
+  long long num_steps() const { return steps_; }
+
+  // ------------------------------------------------------------ results ----
+  const RankCounters& counters(int rank) const;
+  /// Max over ranks of per-rank communication volume.
+  double max_comm_volume() const;
+  /// Average received words per rank — the paper's "communication volume per
+  /// node" (Score-P aggregate divided by the node count).
+  double avg_comm_volume() const {
+    return running_words_received_ / static_cast<double>(spec_.num_ranks);
+  }
+  /// Running machine-wide totals (O(1); used by step-cost recorders).
+  double total_words_received() const;
+  double total_flops() const;
+
+ private:
+  struct StepCounters {
+    double words_sent = 0.0;
+    double words_received = 0.0;
+    long long messages = 0;
+    double flops = 0.0;
+  };
+
+  void validate_rank(int rank) const {
+    expects(rank >= 0 && rank < spec_.num_ranks, "rank out of range");
+  }
+
+  MachineSpec spec_;
+  ExecMode mode_;
+  std::vector<RankCounters> totals_;
+  std::vector<StepCounters> step_;
+  std::vector<double> mem_in_use_;
+  std::vector<double> mem_highwater_;
+  // Ranks touched in the current superstep: keeps step_barrier O(active)
+  // instead of O(P) so Trace runs with P = 2^18 stay fast.
+  std::vector<int> touched_;
+  std::vector<bool> touched_flag_;
+  double elapsed_ = 0.0;
+  long long steps_ = 0;
+  double chain_rounds_ = 0.0;
+  double running_words_received_ = 0.0;
+  double running_flops_ = 0.0;
+
+  void touch(int rank);
+};
+
+}  // namespace conflux::xsim

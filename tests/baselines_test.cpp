@@ -1,0 +1,254 @@
+// 2D ScaLAPACK/MKL-style baselines (full numerics) and the CANDMC/CAPITAL
+// 2.5D schedule traces: correctness, volume ordering vs COnfLUX, and
+// agreement with the Table 2 models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/candmc.hpp"
+#include "baselines/scalapack2d.hpp"
+#include "blas/lapack.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "models/models.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux::baselines {
+namespace {
+
+xsim::Machine make_machine(int ranks, double memory, xsim::ExecMode mode) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = memory;
+  return xsim::Machine(spec, mode);
+}
+
+// ---------------------------------------------------------- correctness ----
+
+struct Case2D {
+  index_t n;
+  int pr, pc;
+  index_t nb;
+};
+
+class ScalapackLuSweep : public ::testing::TestWithParam<Case2D> {};
+
+TEST_P(ScalapackLuSweep, ResidualIsSmall) {
+  const auto& p = GetParam();
+  const grid::Grid2D g{p.pr, p.pc};
+  xsim::Machine m = make_machine(g.ranks(), 1e9, xsim::ExecMode::Real);
+  const MatrixD a = random_matrix(p.n, p.n, 3000 + static_cast<std::uint64_t>(p.n));
+  const Lu2DResult lu =
+      scalapack_lu(m, g, a.view(), Baseline2DOptions{.block_size = p.nb});
+  ASSERT_EQ(static_cast<index_t>(lu.ipiv.size()), p.n);
+  const auto perm = xblas::ipiv_to_permutation(lu.ipiv, p.n);
+  EXPECT_LT(xblas::lu_residual(a.view(), lu.factors.view(), perm), 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScalapackLuSweep,
+                         ::testing::Values(Case2D{64, 1, 1, 16}, Case2D{64, 2, 2, 16},
+                                           Case2D{96, 2, 4, 16}, Case2D{100, 2, 2, 16},
+                                           Case2D{64, 4, 2, 8}, Case2D{65, 2, 2, 32},
+                                           Case2D{128, 3, 3, 16}));
+
+TEST(ScalapackLu, MatchesReferenceGetrf) {
+  const index_t n = 96;
+  const MatrixD a = random_matrix(n, n, 41);
+  const grid::Grid2D g{2, 2};
+  xsim::Machine m = make_machine(4, 1e9, xsim::ExecMode::Real);
+  const Lu2DResult lu = scalapack_lu(m, g, a.view(), Baseline2DOptions{.block_size = 16});
+  MatrixD ref = a;
+  std::vector<index_t> ref_ipiv;
+  ASSERT_EQ(xblas::getrf(ref.view(), ref_ipiv), 0);
+  // Same pivoting rule (largest magnitude, lowest index) => same factors.
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(lu.ipiv[static_cast<std::size_t>(i)], ref_ipiv[static_cast<std::size_t>(i)]);
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(lu.factors(i, j), ref(i, j), 1e-9 * static_cast<double>(n));
+    }
+  }
+}
+
+class ScalapackCholSweep : public ::testing::TestWithParam<Case2D> {};
+
+TEST_P(ScalapackCholSweep, ResidualIsSmall) {
+  const auto& p = GetParam();
+  const grid::Grid2D g{p.pr, p.pc};
+  xsim::Machine m = make_machine(g.ranks(), 1e9, xsim::ExecMode::Real);
+  const MatrixD a = random_spd_matrix(p.n, 4000 + static_cast<std::uint64_t>(p.n));
+  const MatrixD l =
+      scalapack_cholesky(m, g, a.view(), Baseline2DOptions{.block_size = p.nb});
+  EXPECT_LT(xblas::cholesky_residual(a.view(), l.view()), 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScalapackCholSweep,
+                         ::testing::Values(Case2D{64, 1, 1, 16}, Case2D{64, 2, 2, 16},
+                                           Case2D{96, 2, 4, 16}, Case2D{100, 2, 2, 16},
+                                           Case2D{80, 4, 2, 8}));
+
+// ------------------------------------------------------ volume vs model ----
+
+TEST(Volumes2D, ScalapackLuNearTable2Model) {
+  const index_t n = 4096;
+  const grid::Grid2D g{8, 8};
+  xsim::Machine m = make_machine(64, 1e9, xsim::ExecMode::Trace);
+  scalapack_lu_trace(m, g, n, Baseline2DOptions{.block_size = 64});
+  const double model = models::mkl_lu_volume(static_cast<double>(n), g);
+  double avg = 0.0;
+  for (int r = 0; r < 64; ++r) avg += m.counters(r).words_received;
+  avg /= 64.0;
+  EXPECT_NEAR(avg, model, 0.15 * model);
+}
+
+TEST(Volumes2D, SlateCommunicatesSlightlyLessThanMkl) {
+  const index_t n = 2048;
+  const grid::Grid2D g{4, 4};
+  xsim::Machine mkl = make_machine(16, 1e9, xsim::ExecMode::Trace);
+  xsim::Machine slate = make_machine(16, 1e9, xsim::ExecMode::Trace);
+  scalapack_lu_trace(mkl, g, n, Baseline2DOptions{.block_size = 64});
+  scalapack_lu_trace(slate, g, n, slate_defaults());
+  EXPECT_LT(slate.total_words_received(), mkl.total_words_received());
+  // ... but within the same 2D ballpark (paper: "mostly equal").
+  EXPECT_GT(slate.total_words_received(), 0.5 * mkl.total_words_received());
+}
+
+TEST(Volumes2D, CandmcMatchesAuthorsModel) {
+  const index_t n = 8192;
+  const int p = 64;
+  const double mem = 4.0 * static_cast<double>(n) * static_cast<double>(n) / p;
+  xsim::Machine m = make_machine(p, mem, xsim::ExecMode::Trace);
+  candmc_lu_trace(m, n, Candmc25DOptions{.replication = 4});
+  const double model = models::candmc_lu_volume(static_cast<double>(n), p, mem);
+  double avg = 0.0;
+  for (int r = 0; r < p; ++r) avg += m.counters(r).words_received;
+  avg /= p;
+  EXPECT_NEAR(avg, model, 0.05 * model);
+}
+
+TEST(Volumes2D, CapitalMatchesAuthorsModel) {
+  const index_t n = 8192;
+  const int p = 64;
+  const double mem = 4.0 * static_cast<double>(n) * static_cast<double>(n) / p;
+  xsim::Machine m = make_machine(p, mem, xsim::ExecMode::Trace);
+  capital_cholesky_trace(m, n, Candmc25DOptions{.replication = 4});
+  const double model =
+      models::capital_cholesky_volume(static_cast<double>(n), p, mem);
+  double avg = 0.0;
+  for (int r = 0; r < p; ++r) avg += m.counters(r).words_received;
+  avg /= p;
+  EXPECT_NEAR(avg, model, 0.05 * model);
+}
+
+// ---------------------------------------------- the paper's main claims ----
+
+TEST(Ordering, ConfluxCommunicatesLessThanAllBaselines) {
+  // Figure 8a's headline at its right edge (P = 1024, N = 16384): COnfLUX
+  // communicates the least (the paper measures up to 1.42x less than the
+  // second best there). At small P the O(M) replication terms make 2.5D and
+  // 2D comparable — also visible in the paper's Fig. 8c heatmap, where the
+  // reduction ratio approaches 1 toward small P.
+  const index_t n = 16384;
+  const int p = 1024;
+  const double node_mem = 4.0 * static_cast<double>(n) * static_cast<double>(n) / p;
+  const grid::Grid3D g3 = models::best_conflux_grid(n, p, node_mem);
+  const grid::Grid2D g2 = grid::choose_grid_2d(p);
+
+  xsim::Machine mc = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  factor::FactorOptions fopt;
+  fopt.block_size = 128 / g3.pz() * g3.pz();
+  factor::conflux_lu_trace(mc, g3, n, fopt);
+
+  xsim::Machine mm = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  scalapack_lu_trace(mm, g2, n, Baseline2DOptions{.block_size = 64});
+
+  xsim::Machine ms = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  scalapack_lu_trace(ms, g2, n, slate_defaults());
+
+  xsim::Machine md = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  candmc_lu_trace(md, n, Candmc25DOptions{.replication = g3.pz()});
+
+  EXPECT_LT(mc.avg_comm_volume(), mm.avg_comm_volume());
+  EXPECT_LT(mc.avg_comm_volume(), ms.avg_comm_volume());
+  EXPECT_LT(mc.avg_comm_volume(), md.avg_comm_volume());
+  // And CANDMC worse than the 2D libraries at this scale (paper, Fig. 8a).
+  EXPECT_GT(md.avg_comm_volume(), mm.avg_comm_volume());
+}
+
+TEST(Ordering, ConfchoxBeatsCapitalAndScalapackCholesky) {
+  const index_t n = 16384;
+  const int p = 1024;
+  const double node_mem = 4.0 * static_cast<double>(n) * static_cast<double>(n) / p;
+  const grid::Grid3D g3 = models::best_conflux_grid(n, p, node_mem);
+  const grid::Grid2D g2 = grid::choose_grid_2d(p);
+
+  xsim::Machine mc = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  factor::FactorOptions fopt;
+  fopt.block_size = 128 / g3.pz() * g3.pz();
+  factor::confchox_trace(mc, g3, n, fopt);
+
+  xsim::Machine m2 = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  scalapack_cholesky_trace(m2, g2, n, Baseline2DOptions{.block_size = 64});
+
+  xsim::Machine mk = make_machine(p, node_mem, xsim::ExecMode::Trace);
+  capital_cholesky_trace(mk, n, Candmc25DOptions{.replication = 4});
+
+  EXPECT_LT(mc.avg_comm_volume(), m2.avg_comm_volume());
+  EXPECT_LT(mc.avg_comm_volume(), mk.avg_comm_volume());
+}
+
+TEST(Ordering, WeakScaling2DGrowsWhile25DStaysFlat) {
+  // Figure 8b: per-rank volume under weak scaling (N = 3200 * P^{1/3}).
+  double prev_2d = 0.0;
+  double first_conflux = 0.0, last_conflux = 0.0;
+  for (const int p : {8, 64, 512}) {
+    const auto n = static_cast<index_t>(3200.0 * std::cbrt(static_cast<double>(p)));
+    const grid::Grid3D g3 = grid::choose_grid(p, static_cast<double>(n), 1e18);
+    const double mem = static_cast<double>(g3.pz()) * static_cast<double>(n) *
+                       static_cast<double>(n) / p;
+    xsim::Machine mc = make_machine(p, mem, xsim::ExecMode::Trace);
+    factor::FactorOptions fopt;
+    fopt.block_size = 8 * g3.pz();
+    factor::conflux_lu_trace(mc, g3, n, fopt);
+    xsim::Machine mm = make_machine(p, mem, xsim::ExecMode::Trace);
+    scalapack_lu_trace(mm, grid::choose_grid_2d(p), n,
+                       Baseline2DOptions{.block_size = 64});
+    if (first_conflux == 0.0) first_conflux = mc.avg_comm_volume();
+    last_conflux = mc.avg_comm_volume();
+    EXPECT_GT(mm.avg_comm_volume(), prev_2d);  // 2D volume keeps growing
+    prev_2d = mm.avg_comm_volume();
+  }
+  // 2.5D stays within a small factor across the sweep (paper: "retain
+  // constant communication volume per processor").
+  EXPECT_LT(last_conflux / first_conflux, 2.5);
+}
+
+TEST(TraceReal2D, ScalapackCholeskyCountersMatch) {
+  const index_t n = 96;
+  const grid::Grid2D g{2, 2};
+  xsim::Machine real = make_machine(4, 1e9, xsim::ExecMode::Real);
+  xsim::Machine trace = make_machine(4, 1e9, xsim::ExecMode::Trace);
+  const MatrixD a = random_spd_matrix(n, 51);
+  scalapack_cholesky(real, g, a.view(), Baseline2DOptions{.block_size = 16});
+  scalapack_cholesky_trace(trace, g, n, Baseline2DOptions{.block_size = 16});
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(real.counters(r).words_sent, trace.counters(r).words_sent);
+    EXPECT_DOUBLE_EQ(real.counters(r).flops, trace.counters(r).flops);
+  }
+}
+
+TEST(TraceReal2D, ScalapackLuTotalsMatchExceptSwapNoise) {
+  // LU swap traffic depends on pivot positions (data-driven vs random), so
+  // totals agree to the swap-volume scale, not exactly.
+  const index_t n = 128;
+  const grid::Grid2D g{2, 2};
+  xsim::Machine real = make_machine(4, 1e9, xsim::ExecMode::Real);
+  xsim::Machine trace = make_machine(4, 1e9, xsim::ExecMode::Trace);
+  const MatrixD a = random_matrix(n, n, 61);
+  scalapack_lu(real, g, a.view(), Baseline2DOptions{.block_size = 16});
+  scalapack_lu_trace(trace, g, n, Baseline2DOptions{.block_size = 16});
+  EXPECT_NEAR(real.total_words_received(), trace.total_words_received(),
+              0.2 * real.total_words_received());
+}
+
+}  // namespace
+}  // namespace conflux::baselines

@@ -1,0 +1,306 @@
+// Level-3 BLAS substrate vs. straightforward reference implementations,
+// swept over shapes, transposes, and alpha/beta combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "blas/blas.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux::xblas {
+namespace {
+
+MatrixD ref_gemm(Trans ta, Trans tb, double alpha, const MatrixD& a,
+                 const MatrixD& b, double beta, const MatrixD& c0) {
+  const index_t m = c0.rows(), n = c0.cols();
+  const index_t k = (ta == Trans::None) ? a.cols() : a.rows();
+  MatrixD c = c0;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        const double av = (ta == Trans::None) ? a(i, p) : a(p, i);
+        const double bv = (tb == Trans::None) ? b(p, j) : b(j, p);
+        sum += av * bv;
+      }
+      c(i, j) = alpha * sum + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+double max_diff(const MatrixD& x, const MatrixD& y) {
+  double d = 0.0;
+  for (index_t i = 0; i < x.rows(); ++i) {
+    for (index_t j = 0; j < x.cols(); ++j) {
+      d = std::max(d, std::abs(x(i, j) - y(i, j)));
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------- gemm ----
+
+struct GemmCase {
+  index_t m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+  const auto& p = GetParam();
+  const index_t ar = (p.ta == Trans::None) ? p.m : p.k;
+  const index_t ac = (p.ta == Trans::None) ? p.k : p.m;
+  const index_t br = (p.tb == Trans::None) ? p.k : p.n;
+  const index_t bc = (p.tb == Trans::None) ? p.n : p.k;
+  const MatrixD a = random_matrix(ar, ac, 1);
+  const MatrixD b = random_matrix(br, bc, 2);
+  const MatrixD c0 = random_matrix(p.m, p.n, 3);
+  const MatrixD want = ref_gemm(p.ta, p.tb, p.alpha, a, b, p.beta, c0);
+  MatrixD got = c0;
+  gemm(p.ta, p.tb, p.alpha, a.view(), b.view(), p.beta, got.view());
+  EXPECT_LT(max_diff(want, got), 1e-11 * static_cast<double>(p.k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTransposes, GemmSweep,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{5, 7, 3, Trans::None, Trans::None, 1.0, 1.0},
+        GemmCase{64, 64, 64, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{65, 67, 63, Trans::None, Trans::None, -0.5, 2.0},
+        GemmCase{128, 70, 129, Trans::None, Trans::None, 1.0, 1.0},
+        GemmCase{33, 45, 27, Trans::Transpose, Trans::None, 1.0, 0.0},
+        GemmCase{33, 45, 27, Trans::None, Trans::Transpose, 1.0, 0.0},
+        GemmCase{33, 45, 27, Trans::Transpose, Trans::Transpose, 2.0, -1.0},
+        GemmCase{100, 1, 100, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{1, 100, 100, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{257, 129, 65, Trans::None, Trans::None, 1.0, 1.0},
+        GemmCase{16, 16, 300, Trans::Transpose, Trans::None, 1.0, 0.5}));
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  const MatrixD a = random_matrix(8, 8, 1);
+  const MatrixD b = random_matrix(8, 8, 2);
+  MatrixD c = random_matrix(8, 8, 3);
+  const MatrixD c0 = c;
+  gemm(Trans::None, Trans::None, 0.0, a.view(), b.view(), 2.0, c.view());
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) EXPECT_DOUBLE_EQ(c(i, j), 2.0 * c0(i, j));
+  }
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageInC) {
+  const MatrixD a = random_matrix(4, 4, 1);
+  const MatrixD b = random_matrix(4, 4, 2);
+  MatrixD c(4, 4, std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 0.0, c.view());
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_FALSE(std::isnan(c(i, j)));
+  }
+}
+
+TEST(Gemm, WorksOnStridedSubviews) {
+  MatrixD big_a = random_matrix(10, 10, 1);
+  MatrixD big_b = random_matrix(10, 10, 2);
+  MatrixD big_c(10, 10, 0.0);
+  gemm(Trans::None, Trans::None, 1.0, big_a.block(2, 2, 4, 5),
+       big_b.block(1, 3, 5, 6), 0.0, big_c.block(0, 0, 4, 6));
+  // Reference on extracted dense copies.
+  MatrixD a(4, 5), b(5, 6), c0(4, 6, 0.0);
+  copy<double>(big_a.block(2, 2, 4, 5), a.view());
+  copy<double>(big_b.block(1, 3, 5, 6), b.view());
+  const MatrixD want = ref_gemm(Trans::None, Trans::None, 1.0, a, b, 0.0, c0);
+  MatrixD got(4, 6);
+  copy<double>(big_c.block(0, 0, 4, 6), got.view());
+  EXPECT_LT(max_diff(want, got), 1e-12);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  MatrixD a(3, 4), b(5, 6), c(3, 6);
+  EXPECT_THROW(
+      gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 0.0, c.view()),
+      contract_error);
+}
+
+TEST(Gemm, EmptyDimensionsAreNoOps) {
+  MatrixD a(0, 0), b(0, 0), c(0, 0);
+  EXPECT_NO_THROW(
+      gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 0.0, c.view()));
+  MatrixD a2(3, 0), b2(0, 4), c2 = random_matrix(3, 4, 1);
+  const MatrixD c2_before = c2;
+  gemm(Trans::None, Trans::None, 1.0, a2.view(), b2.view(), 1.0, c2.view());
+  EXPECT_EQ(c2, c2_before);
+}
+
+// ---------------------------------------------------------------- trsm ----
+
+struct TrsmCase {
+  Side side;
+  UpLo uplo;
+  Trans trans;
+  Diag diag;
+  index_t m, n;
+};
+
+class TrsmSweep : public ::testing::TestWithParam<TrsmCase> {};
+
+TEST_P(TrsmSweep, SolveThenMultiplyRoundTrips) {
+  const auto& p = GetParam();
+  const index_t dim = (p.side == Side::Left) ? p.m : p.n;
+  // Build a well-conditioned triangle.
+  MatrixD t = random_matrix(dim, dim, 4);
+  for (index_t i = 0; i < dim; ++i) t(i, i) = 4.0 + std::abs(t(i, i));
+  // Zero out the unused triangle to catch accidental references.
+  for (index_t i = 0; i < dim; ++i) {
+    for (index_t j = 0; j < dim; ++j) {
+      const bool in_tri = (p.uplo == UpLo::Lower) ? (j <= i) : (j >= i);
+      if (!in_tri) t(i, j) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  const MatrixD b = random_matrix(p.m, p.n, 5);
+  MatrixD x = b;
+  trsm(p.side, p.uplo, p.trans, p.diag, 1.0, t.view(), x.view());
+
+  // Multiply back: op(T) * X or X * op(T), with the diag convention applied.
+  MatrixD tt(dim, dim, 0.0);
+  for (index_t i = 0; i < dim; ++i) {
+    for (index_t j = 0; j < dim; ++j) {
+      const bool in_tri = (p.uplo == UpLo::Lower) ? (j <= i) : (j >= i);
+      if (in_tri) tt(i, j) = (i == j && p.diag == Diag::Unit) ? 1.0 : t(i, j);
+    }
+  }
+  MatrixD back(p.m, p.n, 0.0);
+  if (p.side == Side::Left) {
+    gemm(p.trans, Trans::None, 1.0, tt.view(), x.view(), 0.0, back.view());
+  } else {
+    gemm(Trans::None, p.trans, 1.0, x.view(), tt.view(), 0.0, back.view());
+  }
+  EXPECT_LT(max_diff(back, b), 1e-9 * static_cast<double>(dim));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmSweep,
+    ::testing::Values(
+        TrsmCase{Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 17, 9},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 17, 9},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 17, 9},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::Transpose, Diag::Unit, 33, 1},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, 17, 9},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::None, Diag::Unit, 8, 24},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::Transpose, Diag::NonUnit, 17, 9},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::Transpose, Diag::Unit, 17, 9},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::None, Diag::NonUnit, 9, 17},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::None, Diag::Unit, 9, 17},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 9, 17},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::Transpose, Diag::Unit, 1, 33},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 9, 17},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::None, Diag::Unit, 24, 8},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::Transpose, Diag::NonUnit, 9, 17},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::Transpose, Diag::Unit, 9, 17}));
+
+TEST(Trsm, AlphaScalesRhs) {
+  MatrixD t(3, 3, 0.0);
+  t(0, 0) = t(1, 1) = t(2, 2) = 1.0;  // identity triangle
+  MatrixD b = random_matrix(3, 4, 6);
+  const MatrixD b0 = b;
+  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 3.0, t.view(), b.view());
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(b(i, j), 3.0 * b0(i, j));
+  }
+}
+
+TEST(Trsm, WrongTriangleSizeThrows) {
+  MatrixD t(4, 4), b(5, 3);
+  EXPECT_THROW(trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0,
+                    t.view(), b.view()),
+               contract_error);
+}
+
+// -------------------------------------------------------- syrk / gemmt ----
+
+class SyrkSweep : public ::testing::TestWithParam<std::tuple<index_t, index_t, UpLo, Trans>> {};
+
+TEST_P(SyrkSweep, MatchesGemmOnReferencedTriangle) {
+  const auto [n, k, uplo, trans] = GetParam();
+  const MatrixD a =
+      (trans == Trans::None) ? random_matrix(n, k, 7) : random_matrix(k, n, 7);
+  const MatrixD c0 = random_matrix(n, n, 8);
+  MatrixD got = c0;
+  syrk(uplo, trans, 1.5, a.view(), 0.5, got.view());
+  const MatrixD full = ref_gemm(trans, trans == Trans::None ? Trans::Transpose : Trans::None,
+                                1.5, a, a, 0.5, c0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const bool in_tri = (uplo == UpLo::Lower) ? (j <= i) : (j >= i);
+      if (in_tri) {
+        EXPECT_NEAR(got(i, j), full(i, j), 1e-11 * static_cast<double>(k + 1));
+      } else {
+        EXPECT_DOUBLE_EQ(got(i, j), c0(i, j));  // untouched triangle
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SyrkSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 13, 40),
+                       ::testing::Values<index_t>(1, 7, 29),
+                       ::testing::Values(UpLo::Lower, UpLo::Upper),
+                       ::testing::Values(Trans::None, Trans::Transpose)));
+
+class GemmtSweep : public ::testing::TestWithParam<std::tuple<index_t, index_t, UpLo>> {};
+
+TEST_P(GemmtSweep, MatchesGemmOnReferencedTriangle) {
+  const auto [n, k, uplo] = GetParam();
+  const MatrixD a = random_matrix(n, k, 9);
+  const MatrixD b = random_matrix(k, n, 10);
+  const MatrixD c0 = random_matrix(n, n, 11);
+  MatrixD got = c0;
+  gemmt(uplo, Trans::None, Trans::None, -1.0, a.view(), b.view(), 1.0, got.view());
+  const MatrixD full = ref_gemm(Trans::None, Trans::None, -1.0, a, b, 1.0, c0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const bool in_tri = (uplo == UpLo::Lower) ? (j <= i) : (j >= i);
+      if (in_tri) {
+        EXPECT_NEAR(got(i, j), full(i, j), 1e-11 * static_cast<double>(k + 1));
+      } else {
+        EXPECT_DOUBLE_EQ(got(i, j), c0(i, j));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmtSweep,
+                         ::testing::Combine(::testing::Values<index_t>(1, 16, 37),
+                                            ::testing::Values<index_t>(1, 8, 32),
+                                            ::testing::Values(UpLo::Lower, UpLo::Upper)));
+
+// --------------------------------------------------------------- norms ----
+
+TEST(Norms, FrobeniusOfKnownMatrix) {
+  MatrixD a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 4.0;
+  a(1, 0) = 0.0;
+  a(1, 1) = 0.0;
+  EXPECT_DOUBLE_EQ(norm_frobenius(a.view()), 5.0);
+}
+
+TEST(Norms, MaxNormPicksLargestMagnitude) {
+  MatrixD a(2, 3, 0.5);
+  a(1, 2) = -7.25;
+  EXPECT_DOUBLE_EQ(norm_max(a.view()), 7.25);
+}
+
+TEST(Norms, FlopFormulas) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(trsm_flops(4, 5, Side::Left), 80.0);
+  EXPECT_DOUBLE_EQ(trsm_flops(4, 5, Side::Right), 100.0);
+}
+
+}  // namespace
+}  // namespace conflux::xblas

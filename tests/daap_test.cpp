@@ -1,0 +1,286 @@
+// Lower-bound engine vs. the paper's closed forms (Sections 3 and 6).
+// The engine must reproduce chi(X) = (X/3)^{3/2}, X0 = 3M, rho = sqrt(M)/2
+// and the LU / Cholesky / matmul parallel bounds numerically, without those
+// forms being hard-coded anywhere in src/daap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "daap/bounds.hpp"
+#include "daap/statement.hpp"
+#include "support/check.hpp"
+
+namespace conflux::daap {
+namespace {
+
+constexpr double kRelTol = 2e-3;
+
+double rel_err(double got, double want) {
+  return std::abs(got - want) / std::abs(want);
+}
+
+// ------------------------------------------------------------- solve_chi ----
+
+TEST(SolveChi, MatmulChiMatchesCubeRootForm) {
+  // max IJK s.t. IJ + IK + KJ <= X  ==>  chi = (X/3)^{3/2} at I=J=K=sqrt(X/3).
+  const auto kernel = matmul_kernel(1024);
+  for (double x : {30.0, 300.0, 3000.0, 3e6}) {
+    const ChiResult r = solve_chi(kernel.program.statements[0], x);
+    EXPECT_LT(rel_err(r.chi, std::pow(x / 3.0, 1.5)), kRelTol) << "X=" << x;
+    for (double d : r.domain) {
+      EXPECT_LT(rel_err(d, std::sqrt(x / 3.0)), kRelTol) << "X=" << x;
+    }
+  }
+}
+
+TEST(SolveChi, AccessSizesBalanceAtOptimum) {
+  const auto kernel = matmul_kernel(64);
+  const ChiResult r = solve_chi(kernel.program.statements[0], 3000.0);
+  ASSERT_EQ(r.access_sizes.size(), 3u);
+  // KKT: the three access sizes are equal and sum to X.
+  double sum = 0.0;
+  for (double a : r.access_sizes) sum += a;
+  EXPECT_LT(rel_err(sum, 3000.0), kRelTol);
+  EXPECT_LT(rel_err(r.access_sizes[0], r.access_sizes[1]), kRelTol);
+  EXPECT_LT(rel_err(r.access_sizes[1], r.access_sizes[2]), kRelTol);
+}
+
+TEST(SolveChi, TinyXGivesTrivialSubcomputation) {
+  const auto kernel = matmul_kernel(8);
+  const ChiResult r = solve_chi(kernel.program.statements[0], 2.0);  // X <= m
+  EXPECT_DOUBLE_EQ(r.chi, 1.0);
+}
+
+TEST(SolveChi, LuS1PushesAllGrowthIntoFreeVariable) {
+  // S1 accesses: A[i,k] (both vars) and A[k,k] (k only). With K = 1 the
+  // constraint is I*1 + 1 <= X, so chi ~ X - 1.
+  const auto kernel = lu_kernel(64);
+  const ChiResult r = solve_chi(kernel.program.statements[0], 1000.0);
+  EXPECT_LT(rel_err(r.chi, 999.0), kRelTol);
+}
+
+TEST(SolveChi, DotProductStatementHasLinearChi)
+{
+  // s = s + a[i] * b[i]: accesses a{i}, b{i}, s{} -> but s has no vars, so
+  // model as c[i] = a[i] * b[i]: two accesses over one variable; the
+  // constraint is 2I <= X => chi = X/2 (Figure 5b's structure).
+  StatementSpec s;
+  s.name = "dot";
+  s.num_vars = 1;
+  s.inputs = {AccessSpec{"a", {0}}, AccessSpec{"b", {0}}};
+  s.output = AccessSpec{"c", {0}};
+  s.u_outdeg1_inputs = 2;
+  const ChiResult r = solve_chi(s, 500.0);
+  EXPECT_LT(rel_err(r.chi, 250.0), kRelTol);
+}
+
+TEST(SolveChi, FourVariableContractionBalances) {
+  // C[i,j,l] += A[i,k,l] * B[k,j]: constraint IJL + IKL + KJ <= X.
+  StatementSpec s;
+  s.name = "tc";
+  s.num_vars = 4;  // i=0, j=1, k=2, l=3
+  s.inputs = {AccessSpec{"C", {0, 1, 3}}, AccessSpec{"A", {0, 2, 3}},
+              AccessSpec{"B", {2, 1}}};
+  s.output = AccessSpec{"C", {0, 1, 3}};
+  const double x = 3e6;
+  const ChiResult r = solve_chi(s, x);
+  // KKT balance: per-variable masses equal; verify feasibility and that the
+  // solution beats the naive symmetric guess by construction.
+  double mass = r.access_sizes[0] + r.access_sizes[1] + r.access_sizes[2];
+  EXPECT_LT(rel_err(mass, x), 5e-3);
+  const double naive = std::pow(x / 3.0, 4.0 / 3.0);  // I=J=K=L=(X/3)^{1/3}
+  EXPECT_GE(r.chi, 0.99 * naive);
+}
+
+// ------------------------------------------- derive_statement_bound --------
+
+TEST(StatementBound, MatmulX0IsThreeM) {
+  const auto kernel = matmul_kernel(512);
+  for (double memory : {64.0, 1024.0, 16384.0}) {
+    const StatementBound b = derive_statement_bound(
+        kernel.program.statements[0], 512.0 * 512 * 512, memory);
+    EXPECT_LT(rel_err(b.x0, 3.0 * memory), 5e-3) << "M=" << memory;
+    EXPECT_LT(rel_err(b.rho, std::sqrt(memory) / 2.0), 5e-3) << "M=" << memory;
+    EXPECT_FALSE(b.lemma6_capped);
+  }
+}
+
+TEST(StatementBound, MatmulSequentialBoundIsTwoNCubedOverSqrtM) {
+  const double n = 256, memory = 4096;
+  const auto kernel = matmul_kernel(n);
+  const StatementBound b =
+      derive_statement_bound(kernel.program.statements[0], n * n * n, memory);
+  EXPECT_LT(rel_err(b.q_sequential, 2.0 * n * n * n / std::sqrt(memory)), 5e-3);
+}
+
+TEST(StatementBound, LuS1CappedByLemma6) {
+  const auto kernel = lu_kernel(128);
+  const StatementBound b = derive_statement_bound(
+      kernel.program.statements[0], 128.0 * 127 / 2, 256.0);
+  EXPECT_TRUE(b.lemma6_capped);
+  EXPECT_DOUBLE_EQ(b.rho, 1.0);
+  EXPECT_DOUBLE_EQ(b.q_sequential, 128.0 * 127 / 2);
+}
+
+TEST(StatementBound, DotProductCappedAtHalf) {
+  StatementSpec s;
+  s.name = "dot";
+  s.num_vars = 1;
+  s.inputs = {AccessSpec{"a", {0}}, AccessSpec{"b", {0}}};
+  s.output = AccessSpec{"c", {0}};
+  s.u_outdeg1_inputs = 2;  // Figure 5b: u = 2 => rho <= 1/2
+  const StatementBound b = derive_statement_bound(s, 1000.0, 64.0);
+  EXPECT_TRUE(b.lemma6_capped);
+  EXPECT_DOUBLE_EQ(b.rho, 0.5);
+}
+
+TEST(StatementBound, MemoryTooSmallRejected) {
+  const auto kernel = matmul_kernel(8);
+  EXPECT_THROW(derive_statement_bound(kernel.program.statements[0], 512.0, 2.0),
+               contract_error);
+}
+
+// ----------------------------------------------------- program bounds ------
+
+TEST(ProgramBound, LuMatchesClosedForm) {
+  for (const double n : {512.0, 4096.0, 65536.0}) {
+    for (const double memory : {1024.0, 65536.0}) {
+      for (const double p : {1.0, 64.0}) {
+        const ProgramBound b = derive_program_bound(lu_kernel(n), p, memory);
+        const double want = lu_lower_bound_closed_form(n, p, memory);
+        EXPECT_LT(rel_err(b.q_parallel, want), 5e-3)
+            << "n=" << n << " M=" << memory << " P=" << p;
+      }
+    }
+  }
+}
+
+TEST(ProgramBound, CholeskyMatchesClosedForm) {
+  for (const double n : {512.0, 8192.0}) {
+    for (const double memory : {1024.0, 16384.0}) {
+      const ProgramBound b = derive_program_bound(cholesky_kernel(n), 16.0, memory);
+      const double want = cholesky_lower_bound_closed_form(n, 16.0, memory);
+      EXPECT_LT(rel_err(b.q_parallel, want), 5e-3) << "n=" << n << " M=" << memory;
+    }
+  }
+}
+
+TEST(ProgramBound, MatmulMatchesClosedForm) {
+  const double n = 2048, memory = 4096, p = 32;
+  const ProgramBound b = derive_program_bound(matmul_kernel(n), p, memory);
+  // The closed form keeps only the leading term; allow 1% slack.
+  EXPECT_LT(rel_err(b.q_parallel, matmul_lower_bound_closed_form(n, p, memory)), 1e-2);
+}
+
+TEST(ProgramBound, LuIsTwiceCholeskyLeadingTerm) {
+  const double n = 32768, memory = 16384, p = 8;
+  const double lu = derive_program_bound(lu_kernel(n), p, memory).q_parallel;
+  const double chol = derive_program_bound(cholesky_kernel(n), p, memory).q_parallel;
+  // Leading terms: 2N^3/(3P sqrt(M)) vs N^3/(3P sqrt(M)).
+  EXPECT_NEAR(lu / chol, 2.0, 0.05);
+}
+
+TEST(ProgramBound, ScalesInverselyWithP) {
+  const double n = 8192, memory = 4096;
+  const double q1 = derive_program_bound(lu_kernel(n), 1.0, memory).q_parallel;
+  const double q64 = derive_program_bound(lu_kernel(n), 64.0, memory).q_parallel;
+  EXPECT_LT(rel_err(q1 / q64, 64.0), 1e-9);
+}
+
+TEST(ProgramBound, LargerMemoryWeakensBound) {
+  const double n = 8192;
+  const double q_small = derive_program_bound(lu_kernel(n), 4.0, 1024.0).q_parallel;
+  const double q_large = derive_program_bound(lu_kernel(n), 4.0, 16384.0).q_parallel;
+  EXPECT_GT(q_small, q_large);
+}
+
+// -------------------------------------------------------- input reuse ------
+
+TEST(InputReuse, SharedArrayReuseIsPositiveAndBounded) {
+  // Two matmul-like statements sharing input array A.
+  const auto mm = matmul_kernel(256);
+  const auto& s = mm.program.statements[0];
+  const double v = 256.0 * 256 * 256;
+  const double reuse = input_reuse_bound(s, v, s, v, "A", 1024.0);
+  EXPECT_GT(reuse, 0.0);
+  // Cannot exceed either statement's total access volume to A.
+  const StatementBound b = derive_statement_bound(s, v, 1024.0);
+  EXPECT_LE(reuse, b.q_sequential);
+}
+
+TEST(InputReuse, UnreadArrayHasZeroReuse) {
+  const auto mm = matmul_kernel(64);
+  const auto& s = mm.program.statements[0];
+  EXPECT_DOUBLE_EQ(input_reuse_bound(s, 1000.0, s, 1000.0, "ZZZ", 256.0), 0.0);
+}
+
+TEST(InputReuse, ProgramWithInputOverlapSubtractsReuse) {
+  // A synthetic two-statement program sharing array A as input.
+  KernelInstance kernel = matmul_kernel(128);
+  kernel.program.statements.push_back(kernel.program.statements[0]);
+  kernel.statement_vertices.push_back(kernel.statement_vertices[0]);
+  KernelInstance no_reuse = kernel;
+  kernel.program.input_reuses = {InputReuse{"A", 0, 1}};
+  const double with_reuse = derive_program_bound(kernel, 1.0, 512.0).q_parallel;
+  const double without = derive_program_bound(no_reuse, 1.0, 512.0).q_parallel;
+  EXPECT_LT(with_reuse, without);
+  EXPECT_GT(with_reuse, 0.0);
+}
+
+// ------------------------------------------------------- kernel shapes -----
+
+TEST(Kernels, VertexCountsMatchSectionSix) {
+  const double n = 100;
+  const auto lu = lu_kernel(n);
+  EXPECT_DOUBLE_EQ(lu.statement_vertices[0], n * (n - 1) / 2);
+  EXPECT_DOUBLE_EQ(lu.statement_vertices[1], n * (n - 1) * (n - 2) / 3);
+  const auto chol = cholesky_kernel(n);
+  EXPECT_DOUBLE_EQ(chol.statement_vertices[0], n);
+  EXPECT_DOUBLE_EQ(chol.statement_vertices[1], n * (n - 1) / 2);
+  EXPECT_DOUBLE_EQ(chol.statement_vertices[2], n * (n - 1) * (n - 2) / 6);
+}
+
+TEST(Kernels, AccessDimensionsMatchPaper) {
+  const auto lu = lu_kernel(16);
+  // S1: dim(A[i,k]) = 2, dim(A[k,k]) = 1 (the Section 2.2 example).
+  EXPECT_EQ(lu.program.statements[0].inputs[0].access_dim(), 2);
+  EXPECT_EQ(lu.program.statements[0].inputs[1].access_dim(), 1);
+  // S2: all three accesses have dimension 2.
+  for (const auto& acc : lu.program.statements[1].inputs) {
+    EXPECT_EQ(acc.access_dim(), 2);
+  }
+}
+
+TEST(Kernels, TrsmBoundMatchesUpdateStatementForm) {
+  // The TRSM update statement has LU.S2's access structure, so the bound's
+  // leading term is 2|V2|/sqrt(M) = N^2 * nrhs / sqrt(M) (plus the O(N*nrhs)
+  // diagonal-scale term).
+  const double n = 4096, nrhs = 4096, memory = 16384, p = 8;
+  const ProgramBound b = derive_program_bound(trsm_kernel(n, nrhs), p, memory);
+  const double want =
+      (n * (n - 1) * nrhs / std::sqrt(memory) + n * nrhs) / p;
+  EXPECT_LT(rel_err(b.q_parallel, want), 5e-3);
+  EXPECT_TRUE(b.per_statement[0].lemma6_capped);
+  EXPECT_LT(rel_err(b.per_statement[1].rho, std::sqrt(memory) / 2.0), 5e-3);
+}
+
+TEST(Kernels, SyrkBoundMatchesMatmulIntensity) {
+  // SYRK's statement is access-isomorphic to matmul's: same rho, bound
+  // scaled by its (triangular) vertex count.
+  const double n = 2048, k = 1024, memory = 4096, p = 16;
+  const ProgramBound b = derive_program_bound(syrk_kernel(n, k), p, memory);
+  const double want = 2.0 * (n * (n + 1) / 2.0 * k) / (std::sqrt(memory) * p);
+  EXPECT_LT(rel_err(b.q_parallel, want), 5e-3);
+  EXPECT_LT(rel_err(b.per_statement[0].x0, 3.0 * memory), 5e-3);
+}
+
+TEST(Kernels, StatementValidationCatchesBadVariables) {
+  StatementSpec s;
+  s.name = "bad";
+  s.num_vars = 2;
+  s.inputs = {AccessSpec{"A", {0, 5}}};  // variable 5 does not exist
+  EXPECT_THROW(s.validate(), contract_error);
+}
+
+}  // namespace
+}  // namespace conflux::daap

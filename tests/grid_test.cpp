@@ -1,0 +1,153 @@
+// Processor grids, rank<->coordinate maps, cyclic ownership, and the
+// paper's grid-selection heuristic (c = P*M/N^2 capped at P^{1/3}).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grid/grid.hpp"
+
+namespace conflux::grid {
+namespace {
+
+TEST(Grid3DTest, RankCoordRoundTrip) {
+  const Grid3D g(3, 4, 2);
+  EXPECT_EQ(g.ranks(), 24);
+  std::set<int> seen;
+  for (int z = 0; z < 2; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 3; ++x) {
+        const int r = g.rank_of(x, y, z);
+        EXPECT_TRUE(seen.insert(r).second) << "rank collision";
+        const Coord3 c = g.coord_of(r);
+        EXPECT_EQ(c, (Coord3{x, y, z}));
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), 24);
+}
+
+TEST(Grid3DTest, LinesAndLayersHaveExpectedMembers) {
+  const Grid3D g(2, 3, 2);
+  EXPECT_EQ(g.x_line(1, 0).size(), 2u);
+  EXPECT_EQ(g.y_line(0, 1).size(), 3u);
+  EXPECT_EQ(g.z_line(1, 2).size(), 2u);
+  EXPECT_EQ(g.layer(1).size(), 6u);
+  EXPECT_EQ(g.all().size(), 12u);
+  for (int r : g.z_line(1, 2)) {
+    const Coord3 c = g.coord_of(r);
+    EXPECT_EQ(c.x, 1);
+    EXPECT_EQ(c.y, 2);
+  }
+  for (int r : g.layer(1)) EXPECT_EQ(g.coord_of(r).z, 1);
+}
+
+TEST(Grid3DTest, OutOfRangeRejected) {
+  const Grid3D g(2, 2, 2);
+  EXPECT_THROW(g.rank_of(2, 0, 0), contract_error);
+  EXPECT_THROW(g.coord_of(8), contract_error);
+  EXPECT_THROW(Grid3D(0, 1, 1), contract_error);
+}
+
+TEST(ChooseGrid, AmpleMemoryGivesMaxReplication) {
+  // P = 64, tiny matrix, huge memory: c should reach P^{1/3} = 4.
+  const Grid3D g = choose_grid(64, 256.0, 1 << 24);
+  EXPECT_EQ(g.ranks(), 64);
+  EXPECT_EQ(g.pz(), 4);
+  EXPECT_EQ(g.px(), 4);
+  EXPECT_EQ(g.py(), 4);
+}
+
+TEST(ChooseGrid, MinimalMemoryGivesFlatGrid) {
+  // Memory exactly one matrix copy: c = 1 -> 2D grid.
+  const int p = 64;
+  const double n = 4096;
+  const Grid3D g = choose_grid(p, n, n * n / p);
+  EXPECT_EQ(g.pz(), 1);
+  EXPECT_EQ(g.px(), 8);
+  EXPECT_EQ(g.py(), 8);
+}
+
+TEST(ChooseGrid, IntermediateMemoryPicksIntermediateC) {
+  // c_target = P*M/N^2 = 2.
+  const int p = 32;
+  const double n = 1024;
+  const Grid3D g = choose_grid(p, n, 2.0 * n * n / p);
+  EXPECT_EQ(g.ranks(), p);
+  EXPECT_EQ(g.pz(), 2);
+  EXPECT_EQ(g.px(), 4);
+  EXPECT_EQ(g.py(), 4);
+}
+
+TEST(ChooseGrid, NonPowerOfTwoStillCoversAllRanks) {
+  for (int p : {6, 12, 24, 48, 96, 100, 144}) {
+    const Grid3D g = choose_grid(p, 2048.0, 4.0 * 2048.0 * 2048.0 / p);
+    EXPECT_EQ(g.ranks(), p) << "P=" << p;
+  }
+}
+
+TEST(ChooseGrid2D, SquareForPerfectSquares) {
+  const Grid2D g = choose_grid_2d(64);
+  EXPECT_EQ(g.pr, 8);
+  EXPECT_EQ(g.pc, 8);
+}
+
+TEST(ChooseGrid2D, NearSquareOtherwise) {
+  const Grid2D g = choose_grid_2d(32);
+  EXPECT_EQ(g.pr, 4);
+  EXPECT_EQ(g.pc, 8);
+  EXPECT_EQ(choose_grid_2d(7).pr, 1);
+  EXPECT_EQ(choose_grid_2d(7).pc, 7);
+}
+
+TEST(Grid2DTest, RankMapRoundTrip) {
+  const Grid2D g{3, 5};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      const int rank = g.rank_of(r, c);
+      EXPECT_EQ(g.row_of(rank), r);
+      EXPECT_EQ(g.col_of(rank), c);
+    }
+  }
+}
+
+TEST(CyclicOwnership, RoundRobinAssignment) {
+  EXPECT_EQ(cyclic_owner(0, 4), 0);
+  EXPECT_EQ(cyclic_owner(5, 4), 1);
+  EXPECT_EQ(cyclic_owner(11, 4), 3);
+}
+
+TEST(CyclicOwnership, LocalCountsPartitionTheRange) {
+  for (const index_t total : {1, 7, 16, 33}) {
+    for (const int procs : {1, 3, 4, 7}) {
+      for (const index_t first : {index_t{0}, index_t{2}, total / 2}) {
+        if (first > total) continue;
+        index_t sum = 0;
+        for (int p = 0; p < procs; ++p) {
+          sum += cyclic_local_count(first, total, p, procs);
+        }
+        EXPECT_EQ(sum, total - first)
+            << "total=" << total << " procs=" << procs << " first=" << first;
+      }
+    }
+  }
+}
+
+TEST(CyclicOwnership, LocalCountMatchesBruteForce) {
+  for (const int procs : {2, 3, 5}) {
+    for (index_t first = 0; first < 10; ++first) {
+      for (index_t total = first; total < 25; ++total) {
+        for (int p = 0; p < procs; ++p) {
+          index_t brute = 0;
+          for (index_t t = first; t < total; ++t) {
+            if (t % procs == p) ++brute;
+          }
+          EXPECT_EQ(cyclic_local_count(first, total, p, procs), brute);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace conflux::grid

@@ -1,0 +1,291 @@
+// Cross-module integration and property tests: the algorithms, simulator,
+// models, and bound engine agreeing with each other on invariants that no
+// single module can check alone.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/candmc.hpp"
+#include "baselines/scalapack2d.hpp"
+#include "blas/lapack.hpp"
+#include "daap/bounds.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "models/models.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux {
+namespace {
+
+xsim::Machine make_machine(int ranks, double memory,
+                           xsim::ExecMode mode = xsim::ExecMode::Trace) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = memory;
+  return xsim::Machine(spec, mode);
+}
+
+// ------------------------------------------------ numerics cross-checks ----
+
+TEST(CrossImpl, ConfluxAndScalapackAgreeOnDominantMatrix) {
+  // No pivoting happens on a diagonally dominant matrix, so the 2.5D and 2D
+  // implementations must produce identical factors (up to roundoff).
+  const index_t n = 96;
+  const MatrixD a = random_dominant_matrix(n, 17);
+  const grid::Grid3D g3(2, 2, 2);
+  xsim::Machine m3 = make_machine(8, 1e9, xsim::ExecMode::Real);
+  factor::FactorOptions fopt;
+  fopt.block_size = 16;
+  const factor::LuResult conflux = factor::conflux_lu(m3, g3, a.view(), fopt);
+  xsim::Machine m2 = make_machine(4, 1e9, xsim::ExecMode::Real);
+  const auto scalapack = baselines::scalapack_lu(
+      m2, grid::Grid2D{2, 2}, a.view(), baselines::Baseline2DOptions{.block_size = 16});
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(conflux.factors(i, j), scalapack.factors(i, j), 1e-9 * n)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(CrossImpl, ConfchoxAndScalapackCholeskyAgree) {
+  const index_t n = 80;
+  const MatrixD a = random_spd_matrix(n, 19);
+  const grid::Grid3D g3(2, 2, 2);
+  xsim::Machine m3 = make_machine(8, 1e9, xsim::ExecMode::Real);
+  factor::FactorOptions fopt;
+  fopt.block_size = 16;
+  const factor::CholResult conflux = factor::confchox(m3, g3, a.view(), fopt);
+  xsim::Machine m2 = make_machine(4, 1e9, xsim::ExecMode::Real);
+  const MatrixD scalapack = baselines::scalapack_cholesky(
+      m2, grid::Grid2D{2, 2}, a.view(), baselines::Baseline2DOptions{.block_size = 16});
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(conflux.factors(i, j), scalapack(i, j), 1e-9 * n);
+    }
+  }
+}
+
+// ---------------------------------------------------- volume properties ----
+
+class VolumeProperties : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(VolumeProperties, FlopChargesConserveFactorizationWork) {
+  // Total charged flops must be the factorization's 2N^3/3 (+ lower-order
+  // panel/pivoting work): no implementation may "cheat" the time model by
+  // under-charging compute.
+  const index_t n = GetParam();
+  const double expect = 2.0 * std::pow(static_cast<double>(n), 3.0) / 3.0;
+
+  const grid::Grid3D g3(4, 2, 2);
+  xsim::Machine mc = make_machine(16, 1e18);
+  factor::FactorOptions fopt;
+  fopt.block_size = 32;
+  factor::conflux_lu_trace(mc, g3, n, fopt);
+  EXPECT_NEAR(mc.total_flops(), expect, 0.15 * expect) << "conflux";
+
+  xsim::Machine ms = make_machine(16, 1e18);
+  baselines::scalapack_lu_trace(ms, grid::choose_grid_2d(16), n,
+                                baselines::Baseline2DOptions{.block_size = 32});
+  EXPECT_NEAR(ms.total_flops(), expect, 0.15 * expect) << "scalapack";
+
+  xsim::Machine md = make_machine(16, 1e18);
+  baselines::candmc_lu_trace(md, n, baselines::Candmc25DOptions{.replication = 2});
+  EXPECT_NEAR(md.total_flops(), expect, 0.15 * expect) << "candmc";
+}
+
+TEST_P(VolumeProperties, CholeskyFlopsAreHalfOfLu) {
+  const index_t n = GetParam();
+  const grid::Grid3D g(4, 2, 2);
+  factor::FactorOptions fopt;
+  fopt.block_size = 32;
+  xsim::Machine mlu = make_machine(16, 1e18);
+  xsim::Machine mch = make_machine(16, 1e18);
+  factor::conflux_lu_trace(mlu, g, n, fopt);
+  factor::confchox_trace(mch, g, n, fopt);
+  EXPECT_NEAR(mlu.total_flops() / mch.total_flops(), 2.0, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VolumeProperties,
+                         ::testing::Values<index_t>(512, 1024, 1536));
+
+TEST(VolumeMonotonicity, MoreMemoryNeverHurtsBestGridVolume) {
+  // With the optimized grid selection, granting more memory can only reduce
+  // (or keep) the communication volume — the paper's memory-communication
+  // trade-off in monotone form.
+  const index_t n = 8192;
+  const int p = 256;
+  double prev = 1e300;
+  for (double factor_mem : {1.0, 2.0, 4.0, 8.0}) {
+    const double mem = factor_mem * static_cast<double>(n) * static_cast<double>(n) / p;
+    const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+    const index_t v = factor::default_block_size(n, g);
+    const double vol = models::conflux_lu_volume_exact(n, g, v);
+    EXPECT_LE(vol, prev * (1.0 + 1e-9)) << "mem factor " << factor_mem;
+    prev = vol;
+  }
+}
+
+TEST(VolumeMonotonicity, VolumeScalesDownWithP) {
+  const index_t n = 16384;
+  double prev = 1e300;
+  for (int p : {64, 256, 1024}) {
+    const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                  static_cast<double>(p));
+    const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+    const double vol =
+        models::conflux_lu_volume_exact(n, g, factor::default_block_size(n, g));
+    EXPECT_LT(vol, prev);
+    prev = vol;
+  }
+}
+
+// ----------------------------------------------------- latency chains ------
+
+TEST(LatencyChains, TournamentPivotingBeatsPartialPivotingChain) {
+  // Section 7.3's motivation: partial pivoting's dependency chain is O(N)
+  // collectives deep; tournament pivoting's is O(N/v). Assert a wide gap.
+  const index_t n = 8192;
+  const int p = 256;
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  xsim::Machine mc = make_machine(p, mem);
+  const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+  factor::FactorOptions fopt;
+  fopt.block_size = factor::default_block_size(n, g);
+  factor::conflux_lu_trace(mc, g, n, fopt);
+
+  xsim::Machine ms = make_machine(p, mem);
+  baselines::scalapack_lu_trace(ms, grid::choose_grid_2d(p), n,
+                                baselines::Baseline2DOptions{.block_size = 64});
+  EXPECT_GT(ms.chain_rounds(), 10.0 * mc.chain_rounds());
+}
+
+TEST(LatencyChains, CholeskyHasNoPivotChain) {
+  const index_t n = 4096;
+  const int p = 64;
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  xsim::Machine mlu = make_machine(p, mem);
+  xsim::Machine mch = make_machine(p, mem);
+  baselines::scalapack_lu_trace(mlu, grid::choose_grid_2d(p), n, {});
+  baselines::scalapack_cholesky_trace(mch, grid::choose_grid_2d(p), n, {});
+  EXPECT_LT(mch.chain_rounds(), 0.1 * mlu.chain_rounds());
+}
+
+TEST(TimeModels, OverlapNeverExceedsBspCriticalPath) {
+  const index_t n = 2048;
+  const grid::Grid3D g(4, 4, 2);
+  xsim::Machine m = make_machine(32, 1e18);
+  factor::FactorOptions fopt;
+  fopt.block_size = 32;
+  factor::conflux_lu_trace(m, g, n, fopt);
+  // The BSP model serializes supersteps; overlap pipelines them. (Chain
+  // latency is part of overlap only, so compare the bandwidth/flop parts.)
+  EXPECT_LE(m.modeled_time_overlap() - m.spec().alpha_s * m.chain_rounds(),
+            m.elapsed_time() * (1.0 + 1e-9));
+}
+
+// ---------------------------------------- bounds vs implementations --------
+
+TEST(BoundsVsImpl, NoImplementationBeatsTheLowerBound) {
+  // The Section 6 bound must hold for every implementation we simulate —
+  // a machine-checked consistency test between theory and schedules.
+  const index_t n = 4096;
+  const int p = 64;
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  const double bound = daap::derive_program_bound(
+      daap::lu_kernel(static_cast<double>(n)), p, mem).q_parallel;
+
+  const auto check_impl = [&](double volume, const char* name) {
+    EXPECT_GT(volume, bound) << name;
+  };
+  {
+    xsim::Machine m = make_machine(p, mem);
+    const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+    factor::FactorOptions fopt;
+    fopt.block_size = factor::default_block_size(n, g);
+    factor::conflux_lu_trace(m, g, n, fopt);
+    check_impl(m.avg_comm_volume(), "conflux");
+  }
+  {
+    xsim::Machine m = make_machine(p, mem);
+    baselines::scalapack_lu_trace(m, grid::choose_grid_2d(p), n, {});
+    check_impl(m.avg_comm_volume(), "scalapack");
+  }
+  {
+    xsim::Machine m = make_machine(p, mem);
+    baselines::candmc_lu_trace(m, n, {});
+    check_impl(m.avg_comm_volume(), "candmc");
+  }
+}
+
+TEST(BoundsVsImpl, CholeskyBoundHoldsToo) {
+  const index_t n = 4096;
+  const int p = 64;
+  const double mem = models::paper_memory_words(static_cast<double>(n),
+                                                static_cast<double>(p));
+  const double bound = daap::derive_program_bound(
+      daap::cholesky_kernel(static_cast<double>(n)), p, mem).q_parallel;
+  xsim::Machine m = make_machine(p, mem);
+  const grid::Grid3D g = models::best_conflux_grid(n, p, mem);
+  factor::FactorOptions fopt;
+  fopt.block_size = factor::default_block_size(n, g);
+  factor::confchox_trace(m, g, n, fopt);
+  EXPECT_GT(m.avg_comm_volume(), bound);
+}
+
+// --------------------------------------------------- failure injection -----
+
+TEST(FailureInjection, SingularMatrixStillTerminates) {
+  // A rank-deficient matrix must not hang or corrupt bookkeeping: the
+  // factorization completes (like LAPACK's getrf) and the permutation stays
+  // bijective even when pivots are zero.
+  const index_t n = 64;
+  MatrixD a = random_matrix(n, n, 23);
+  for (index_t j = 0; j < n; ++j) a(n / 2, j) = a(0, j);  // duplicate row
+  const grid::Grid3D g(2, 2, 2);
+  xsim::Machine m = make_machine(8, 1e9, xsim::ExecMode::Real);
+  factor::FactorOptions fopt;
+  fopt.block_size = 16;
+  const factor::LuResult lu = factor::conflux_lu(m, g, a.view(), fopt);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t r : lu.perm) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(r)]);
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+}
+
+TEST(FailureInjection, ZeroMatrixLuTerminates) {
+  const index_t n = 32;
+  const MatrixD a(n, n, 0.0);
+  const grid::Grid3D g(2, 2, 1);
+  xsim::Machine m = make_machine(4, 1e9, xsim::ExecMode::Real);
+  factor::FactorOptions fopt;
+  fopt.block_size = 8;
+  EXPECT_NO_THROW(factor::conflux_lu(m, g, a.view(), fopt));
+}
+
+TEST(FailureInjection, TinyMatrixOnBigGridWorks) {
+  // More ranks than block rows: most ranks idle, result still correct.
+  const index_t n = 24;
+  const grid::Grid3D g(4, 4, 2);
+  xsim::Machine m = make_machine(32, 1e9, xsim::ExecMode::Real);
+  const MatrixD a = random_matrix(n, n, 29);
+  factor::FactorOptions fopt;
+  fopt.block_size = 8;
+  const factor::LuResult lu = factor::conflux_lu(m, g, a.view(), fopt);
+  EXPECT_LT(xblas::lu_residual(a.view(), lu.factors.view(), lu.perm), 500.0);
+}
+
+TEST(FailureInjection, OneByOneMatrix) {
+  const MatrixD a = random_dominant_matrix(1, 31);
+  const grid::Grid3D g(1, 1, 1);
+  xsim::Machine m = make_machine(1, 1e6, xsim::ExecMode::Real);
+  const factor::LuResult lu = factor::conflux_lu(m, g, a.view(), {});
+  EXPECT_DOUBLE_EQ(lu.factors(0, 0), a(0, 0));
+}
+
+}  // namespace
+}  // namespace conflux

@@ -1,0 +1,204 @@
+// LU / Cholesky local kernels: factorization residuals, pivoting behaviour,
+// solve round-trips, and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/lapack.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux::xblas {
+namespace {
+
+class GetrfSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(GetrfSweep, ResidualIsSmall) {
+  const index_t n = GetParam();
+  const MatrixD a = random_matrix(n, n, 100 + static_cast<std::uint64_t>(n));
+  MatrixD fac = a;
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(fac.view(), ipiv), 0);
+  const auto perm = ipiv_to_permutation(ipiv, n);
+  EXPECT_LT(lu_residual(a.view(), fac.view(), perm), 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GetrfSweep,
+                         ::testing::Values<index_t>(1, 2, 3, 7, 16, 31, 32, 33, 64,
+                                                    96, 100, 150, 256));
+
+TEST(Getrf, RectangularTallPanel) {
+  const index_t m = 48, n = 8;
+  const MatrixD a = random_matrix(m, n, 77);
+  MatrixD fac = a;
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(fac.view(), ipiv), 0);
+  ASSERT_EQ(static_cast<index_t>(ipiv.size()), n);
+  // Check PA = LU on the panel.
+  MatrixD pa = a;
+  laswp(pa.view(), ipiv);
+  const MatrixD l = extract_lower_unit(fac.view(), n);
+  const MatrixD u = extract_upper(fac.view(), n);
+  MatrixD lu(m, n, 0.0);
+  gemm(Trans::None, Trans::None, 1.0, l.view(), u.view(), 0.0, lu.view());
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) EXPECT_NEAR(lu(i, j), pa(i, j), 1e-10);
+  }
+}
+
+TEST(Getrf, PivotingSelectsLargestMagnitude) {
+  // First column is [1; 4; -9; 2]: pivot must pick row 2.
+  MatrixD a(4, 4, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 0) = 4.0;
+  a(2, 0) = -9.0;
+  a(3, 0) = 2.0;
+  for (index_t i = 0; i < 4; ++i) a(i, i) += 1.0;  // keep non-singular
+  std::vector<index_t> ipiv;
+  MatrixD fac = a;
+  ASSERT_EQ(getrf(fac.view(), ipiv), 0);
+  EXPECT_EQ(ipiv[0], 2);
+}
+
+TEST(Getrf, SingularMatrixReportsColumn) {
+  MatrixD a(3, 3, 0.0);  // all-zero: first pivot already zero
+  std::vector<index_t> ipiv;
+  EXPECT_EQ(getrf(a.view(), ipiv), 1);
+}
+
+TEST(Getrf, StableOnIllScaledRows) {
+  // Without pivoting this loses all accuracy; with pivoting it must not.
+  const index_t n = 64;
+  MatrixD a = random_matrix(n, n, 3);
+  for (index_t j = 0; j < n; ++j) a(0, j) *= 1e-12;
+  const MatrixD a0 = a;
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(a.view(), ipiv), 0);
+  EXPECT_LT(lu_residual(a0.view(), a.view(), ipiv_to_permutation(ipiv, n)), 100.0);
+}
+
+TEST(GetrfNopiv, MatchesPivotedOnDominantMatrix) {
+  const index_t n = 80;
+  const MatrixD a = random_dominant_matrix(n, 4);
+  MatrixD fac = a;
+  ASSERT_EQ(getrf_nopiv(fac.view()), 0);
+  std::vector<index_t> identity_perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) identity_perm[static_cast<std::size_t>(i)] = i;
+  EXPECT_LT(lu_residual(a.view(), fac.view(), identity_perm), 50.0);
+}
+
+TEST(GetrfNopiv, ZeroPivotDetected) {
+  MatrixD a(2, 2, 0.0);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  EXPECT_EQ(getrf_nopiv(a.view()), 1);
+}
+
+class PotrfSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(PotrfSweep, ResidualIsSmall) {
+  const index_t n = GetParam();
+  const MatrixD a = random_spd_matrix(n, 200 + static_cast<std::uint64_t>(n));
+  MatrixD fac = a;
+  ASSERT_EQ(potrf(fac.view()), 0);
+  EXPECT_LT(cholesky_residual(a.view(), fac.view()), 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfSweep,
+                         ::testing::Values<index_t>(1, 2, 5, 16, 31, 32, 33, 64, 100,
+                                                    128, 200));
+
+TEST(Potrf, IndefiniteMatrixRejected) {
+  MatrixD a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_EQ(potrf(a.view()), 2);
+}
+
+TEST(Potrf, DoesNotTouchStrictUpperTriangle) {
+  const index_t n = 16;
+  MatrixD a = random_spd_matrix(n, 5);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) a(i, j) = -123.0;  // sentinel
+  }
+  ASSERT_EQ(potrf(a.view()), 0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) EXPECT_DOUBLE_EQ(a(i, j), -123.0);
+  }
+}
+
+TEST(Laswp, AppliesInterchangesInOrder) {
+  MatrixD a(3, 2);
+  for (index_t i = 0; i < 3; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = static_cast<double>(10 * i);
+  }
+  // Swap row0<->row2, then row1<->row2: final order rows [2, 0, 1].
+  laswp(a.view(), {2, 2});
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(2, 0), 1.0);
+}
+
+TEST(Laswp, PermutationVectorMatchesLaswp) {
+  const index_t n = 32;
+  const MatrixD a = random_matrix(n, n, 6);
+  MatrixD fac = a;
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(fac.view(), ipiv), 0);
+  MatrixD swapped = a;
+  laswp(swapped.view(), ipiv);
+  const auto perm = ipiv_to_permutation(ipiv, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(swapped(i, j), a(perm[static_cast<std::size_t>(i)], j));
+    }
+  }
+}
+
+TEST(Getrs, SolveRoundTrip) {
+  const index_t n = 96, nrhs = 5;
+  const MatrixD a = random_matrix(n, n, 7);
+  const MatrixD x_true = random_matrix(n, nrhs, 8);
+  MatrixD b(n, nrhs, 0.0);
+  gemm(Trans::None, Trans::None, 1.0, a.view(), x_true.view(), 0.0, b.view());
+  MatrixD fac = a;
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(fac.view(), ipiv), 0);
+  getrs(fac.view(), ipiv, b.view());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      EXPECT_NEAR(b(i, j), x_true(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(Potrs, SolveRoundTrip) {
+  const index_t n = 80, nrhs = 3;
+  const MatrixD a = random_spd_matrix(n, 9);
+  const MatrixD x_true = random_matrix(n, nrhs, 10);
+  MatrixD b(n, nrhs, 0.0);
+  gemm(Trans::None, Trans::None, 1.0, a.view(), x_true.view(), 0.0, b.view());
+  MatrixD fac = a;
+  ASSERT_EQ(potrf(fac.view()), 0);
+  potrs(fac.view(), b.view());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      EXPECT_NEAR(b(i, j), x_true(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(Extract, LowerAndUpperFactorsHaveExpectedStructure) {
+  const index_t n = 10;
+  MatrixD fac = random_matrix(n, n, 11);
+  const MatrixD l = extract_lower_unit(fac.view(), n);
+  const MatrixD u = extract_upper(fac.view(), n);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(l(i, i), 1.0);
+    for (index_t j = i + 1; j < n; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    for (index_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(u(i, j), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace conflux::xblas

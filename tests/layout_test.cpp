@@ -1,0 +1,186 @@
+// ScaLAPACK block-cyclic layouts, descriptors, DistMatrix storage, and the
+// COSTA-substitute redistribution (round trips, costs, degenerate cases).
+#include <gtest/gtest.h>
+
+#include "layout/layout.hpp"
+#include "tensor/random_matrix.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::layout {
+namespace {
+
+xsim::Machine make_machine(int ranks, xsim::ExecMode mode = xsim::ExecMode::Real) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = 1 << 22;
+  return xsim::Machine(spec, mode);
+}
+
+BlockCyclicLayout make_layout(index_t n, index_t mb, index_t nb, int pr, int pc,
+                              int base = 0) {
+  BlockCyclicLayout l;
+  l.rows = n;
+  l.cols = n;
+  l.mb = mb;
+  l.nb = nb;
+  l.pr = pr;
+  l.pc = pc;
+  l.rank_base = base;
+  return l;
+}
+
+TEST(Numroc, MatchesBruteForce) {
+  for (const index_t n : {0, 1, 5, 16, 37}) {
+    for (const index_t blk : {1, 2, 4, 5}) {
+      for (const int procs : {1, 2, 3, 4}) {
+        for (int p = 0; p < procs; ++p) {
+          index_t brute = 0;
+          for (index_t i = 0; i < n; ++i) {
+            if ((i / blk) % procs == p) ++brute;
+          }
+          EXPECT_EQ(BlockCyclicLayout::numroc(n, blk, p, procs), brute)
+              << "n=" << n << " blk=" << blk << " p=" << p << "/" << procs;
+        }
+      }
+    }
+  }
+}
+
+TEST(Layout, OwnershipAndLocalIndicesConsistent) {
+  const auto l = make_layout(20, 3, 4, 2, 3);
+  // Every element maps to an owner and a local slot; slots are unique per
+  // owner and within the local bounds.
+  std::vector<std::set<std::pair<index_t, index_t>>> used(
+      static_cast<std::size_t>(l.num_ranks()));
+  for (index_t i = 0; i < 20; ++i) {
+    for (index_t j = 0; j < 20; ++j) {
+      const int rank = l.rank_of(i, j);
+      ASSERT_GE(rank, 0);
+      ASSERT_LT(rank, 6);
+      const auto li = l.local_row(i);
+      const auto lj = l.local_col(j);
+      EXPECT_LT(li, l.local_rows(l.prow_of_row(i)));
+      EXPECT_LT(lj, l.local_cols(l.pcol_of_col(j)));
+      EXPECT_TRUE(used[static_cast<std::size_t>(rank)].insert({li, lj}).second)
+          << "local slot collision at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Layout, RankBaseOffsetsMachineRanks) {
+  const auto l = make_layout(8, 2, 2, 2, 2, /*base=*/10);
+  EXPECT_EQ(l.rank_of(0, 0), 10);
+  EXPECT_EQ(l.rank_of(0, 2), 11);
+  EXPECT_EQ(l.rank_of(2, 0), 12);
+  EXPECT_EQ(l.rank_of(2, 2), 13);
+}
+
+TEST(Desc, RoundTripThroughDescriptor) {
+  const auto l = make_layout(100, 8, 16, 3, 2);
+  const ScalapackDesc d = make_desc(l, 0);
+  EXPECT_EQ(d.m, 100);
+  EXPECT_EQ(d.nb, 16);
+  const BlockCyclicLayout back = layout_from_desc(d, 3, 2);
+  EXPECT_EQ(back.rows, l.rows);
+  EXPECT_EQ(back.mb, l.mb);
+  EXPECT_EQ(back.nb, l.nb);
+  EXPECT_EQ(back.pr, l.pr);
+}
+
+TEST(DistMatrixTest, FromGlobalToGlobalRoundTrip) {
+  const MatrixD a = random_matrix(33, 33, 7);
+  for (const auto& [mb, nb, pr, pc] :
+       {std::tuple{1, 1, 2, 2}, std::tuple{4, 4, 2, 3}, std::tuple{8, 2, 3, 1},
+        std::tuple{33, 33, 1, 1}, std::tuple{5, 7, 4, 4}}) {
+    const auto l = make_layout(33, mb, nb, pr, pc);
+    const DistMatrix d = DistMatrix::from_global(a.view(), l);
+    EXPECT_EQ(d.to_global(), a) << "mb=" << mb << " nb=" << nb;
+    EXPECT_DOUBLE_EQ(d.total_words(), 33.0 * 33.0);
+  }
+}
+
+TEST(DistMatrixTest, GetSetAddressSameStorage) {
+  const auto l = make_layout(10, 3, 3, 2, 2);
+  DistMatrix d(l);
+  d.set(7, 4, 42.0);
+  EXPECT_DOUBLE_EQ(d.get(7, 4), 42.0);
+  // The element lives in the owner's local block at the computed slot.
+  EXPECT_DOUBLE_EQ(d.local(l.prow_of_row(7), l.pcol_of_col(4))(l.local_row(7),
+                                                               l.local_col(4)),
+                   42.0);
+}
+
+TEST(Redistribute, PreservesContentAcrossLayoutChange) {
+  const MatrixD a = random_matrix(24, 24, 11);
+  const auto src_layout = make_layout(24, 2, 2, 2, 2);
+  const auto dst_layout = make_layout(24, 3, 4, 1, 4);
+  const DistMatrix src = DistMatrix::from_global(a.view(), src_layout);
+  xsim::Machine m = make_machine(4);
+  const DistMatrix dst = redistribute(m, src, dst_layout);
+  EXPECT_EQ(dst.to_global(), a);
+}
+
+TEST(Redistribute, IdentityLayoutMovesNothing) {
+  const MatrixD a = random_matrix(16, 16, 3);
+  const auto l = make_layout(16, 4, 4, 2, 2);
+  const DistMatrix src = DistMatrix::from_global(a.view(), l);
+  xsim::Machine m = make_machine(4);
+  const DistMatrix dst = redistribute(m, src, l);
+  EXPECT_EQ(dst.to_global(), a);
+  EXPECT_DOUBLE_EQ(m.total_words_received(), 0.0);
+}
+
+TEST(Redistribute, CostMatchesElementsThatChangeRanks) {
+  const index_t n = 12;
+  const auto src_layout = make_layout(n, 2, 2, 2, 2);
+  const auto dst_layout = make_layout(n, 3, 3, 2, 2);
+  // Brute-force count of elements whose owner changes.
+  double moved = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (src_layout.rank_of(i, j) != dst_layout.rank_of(i, j)) moved += 1.0;
+    }
+  }
+  xsim::Machine m = make_machine(4, xsim::ExecMode::Trace);
+  const double cost = redistribute_cost(m, src_layout, dst_layout);
+  EXPECT_DOUBLE_EQ(cost, moved);
+  EXPECT_DOUBLE_EQ(m.total_words_received(), moved);
+}
+
+TEST(Redistribute, TraceAndRealChargeIdenticalCosts) {
+  const index_t n = 20;
+  const auto src_layout = make_layout(n, 2, 5, 2, 2);
+  const auto dst_layout = make_layout(n, 4, 2, 4, 1);
+  const MatrixD a = random_matrix(n, n, 5);
+  xsim::Machine real = make_machine(4, xsim::ExecMode::Real);
+  xsim::Machine trace = make_machine(4, xsim::ExecMode::Trace);
+  const DistMatrix src = DistMatrix::from_global(a.view(), src_layout);
+  redistribute(real, src, dst_layout);
+  redistribute_cost(trace, src_layout, dst_layout);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(real.counters(r).words_sent, trace.counters(r).words_sent);
+    EXPECT_EQ(real.counters(r).messages_sent, trace.counters(r).messages_sent);
+  }
+}
+
+TEST(Redistribute, ShapeMismatchRejected) {
+  const auto a_layout = make_layout(8, 2, 2, 2, 2);
+  auto b_layout = make_layout(10, 2, 2, 2, 2);
+  const DistMatrix src(a_layout);
+  xsim::Machine m = make_machine(4);
+  EXPECT_THROW(redistribute(m, src, b_layout), contract_error);
+}
+
+TEST(Redistribute, DisjointRankBasesMoveEverything) {
+  // Same layout shape but hosted on different machine ranks: every element
+  // must travel.
+  const index_t n = 8;
+  const auto src_layout = make_layout(n, 2, 2, 2, 2, /*base=*/0);
+  const auto dst_layout = make_layout(n, 2, 2, 2, 2, /*base=*/4);
+  xsim::Machine m = make_machine(8, xsim::ExecMode::Trace);
+  const double cost = redistribute_cost(m, src_layout, dst_layout);
+  EXPECT_DOUBLE_EQ(cost, static_cast<double>(n * n));
+}
+
+}  // namespace
+}  // namespace conflux::layout

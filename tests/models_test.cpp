@@ -1,0 +1,169 @@
+// Cost models vs. traced measurements — the substance of Table 2's
+// validation column: the exact models must match the simulator to double
+// precision; the paper-form closed forms must be within a few percent at
+// paper-like scales.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "models/models.hpp"
+
+namespace conflux::models {
+namespace {
+
+xsim::Machine make_machine(int ranks, double memory) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = memory;
+  return xsim::Machine(spec, xsim::ExecMode::Trace);
+}
+
+struct ExactCase {
+  index_t n;
+  int px, py, pz;
+  index_t v;
+};
+
+class ConfluxExactModel : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(ConfluxExactModel, LuMatchesTraceToMachinePrecision) {
+  const auto& p = GetParam();
+  const grid::Grid3D g(p.px, p.py, p.pz);
+  const double mem = static_cast<double>(p.pz) * static_cast<double>(p.n) *
+                     static_cast<double>(p.n) / g.ranks();
+  xsim::Machine m = make_machine(g.ranks(), mem);
+  factor::FactorOptions opt;
+  opt.block_size = p.v;
+  factor::conflux_lu_trace(m, g, p.n, opt);
+  const double measured = m.total_words_received() / g.ranks();
+  const double model = conflux_lu_volume_exact(p.n, g, p.v);
+  EXPECT_NEAR(measured, model, 1e-9 * model + 1e-9)
+      << "n=" << p.n << " grid=" << p.px << "x" << p.py << "x" << p.pz;
+}
+
+TEST_P(ConfluxExactModel, CholeskyMatchesTraceToMachinePrecision) {
+  const auto& p = GetParam();
+  const grid::Grid3D g(p.px, p.py, p.pz);
+  const double mem = static_cast<double>(p.pz) * static_cast<double>(p.n) *
+                     static_cast<double>(p.n) / g.ranks();
+  xsim::Machine m = make_machine(g.ranks(), mem);
+  factor::FactorOptions opt;
+  opt.block_size = p.v;
+  factor::confchox_trace(m, g, p.n, opt);
+  const double measured = m.total_words_received() / g.ranks();
+  const double model = confchox_volume_exact(p.n, g, p.v);
+  EXPECT_NEAR(measured, model, 1e-9 * model + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfluxExactModel,
+    ::testing::Values(ExactCase{256, 2, 2, 2, 16}, ExactCase{256, 4, 4, 1, 32},
+                      ExactCase{512, 4, 4, 4, 32}, ExactCase{512, 3, 3, 3, 9},
+                      ExactCase{300, 2, 2, 2, 16},   // padded
+                      ExactCase{1024, 8, 8, 2, 64}, ExactCase{2048, 4, 2, 2, 128}));
+
+TEST(PaperFormModels, ConfluxLeadingTermWithinTensOfPercentAtScale) {
+  // At N = 16384, P = 256, c = 4 the leading term should carry most of the
+  // volume; the paper-form model N^3/(P sqrt(M)) plus the O(M)-class terms
+  // land within ~1.5x.
+  const index_t n = 16384;
+  const grid::Grid3D g(8, 8, 4);
+  const double mem = 4.0 * static_cast<double>(n) * static_cast<double>(n) / 256.0;
+  const double exact = conflux_lu_volume_exact(n, g, 256);
+  const double paper = conflux_volume(static_cast<double>(n), 256.0, mem);
+  EXPECT_GT(exact, paper);
+  EXPECT_LT(exact, 2.2 * paper);
+}
+
+TEST(PaperFormModels, Table2OrderingAtPaperScale) {
+  // Table 2 / Fig. 8a ordering at N = 16384 across P: conflux < slate <= mkl
+  // < candmc when c > 1.
+  const double n = 16384;
+  for (const double p : {64.0, 256.0, 1024.0}) {
+    const double mem = std::cbrt(p) * n * n / p;
+    const grid::Grid2D g2 = grid::choose_grid_2d(static_cast<int>(p));
+    const double conflux = conflux_volume(n, p, mem);
+    const double slate = slate_lu_volume(n, g2);
+    const double mkl = mkl_lu_volume(n, g2);
+    const double candmc = candmc_lu_volume(n, p, mem);
+    EXPECT_LT(conflux, slate) << "P=" << p;
+    EXPECT_LE(slate, mkl) << "P=" << p;
+    EXPECT_GT(candmc, mkl) << "P=" << p;
+  }
+}
+
+TEST(PaperFormModels, ConfluxFiveTimesLessThanCandmc) {
+  // "Compared to ... CANDMC ... COnfLUX communicates five times less."
+  const double ratio = candmc_lu_volume(1e5, 1024, 1e8) /
+                       conflux_volume(1e5, 1024, 1e8);
+  EXPECT_DOUBLE_EQ(ratio, 5.0);
+}
+
+TEST(PaperFormModels, LuWithinOnePointFiveOfLowerBound) {
+  // Section 7.4: the leading term is 1.5x the LU lower bound (the bound's
+  // N^2/(2P) term nudges the exact ratio slightly below/above depending on
+  // sqrt(M)/N).
+  const double n = 1e6, p = 4096, mem = 1e9;
+  const double ratio = conflux_volume(n, p, mem) / lu_lower_bound(n, p, mem);
+  EXPECT_NEAR(ratio, 1.5, 0.06);
+}
+
+TEST(PaperFormModels, CholeskyWithinThreeOfLowerBound) {
+  // COnfCHOX communicates ~N^3/(P sqrt(M)) against a N^3/(3 P sqrt(M)) bound.
+  const double n = 1e6, p = 4096, mem = 1e9;
+  const double ratio = conflux_volume(n, p, mem) / cholesky_lower_bound(n, p, mem);
+  EXPECT_NEAR(ratio, 3.0, 0.25);
+}
+
+TEST(PaperFormModels, LowerBoundsMatchDaapForms) {
+  EXPECT_NEAR(lu_lower_bound(4096, 64, 1 << 20),
+              (2.0 * std::pow(4096.0, 3) - 6.0 * 4096.0 * 4096.0 + 4.0 * 4096.0) /
+                      (3.0 * 64.0 * 1024.0) +
+                  4096.0 * 4095.0 / 128.0,
+              1e-6);
+}
+
+TEST(MemoryRegimes, IndependentBoundIsDependentBoundAtTheCap) {
+  // At M = N^2/P^{2/3} the two regimes coincide (Section 6, "Memory size").
+  const double n = 65536, p = 512;
+  const double cap = n * n / std::pow(p, 2.0 / 3.0);
+  EXPECT_NEAR(lu_lower_bound(n, p, cap), lu_lower_bound_memory_independent(n, p),
+              1e-3 * lu_lower_bound_memory_independent(n, p));
+  EXPECT_NEAR(cholesky_lower_bound(n, p, cap),
+              cholesky_lower_bound_memory_independent(n, p),
+              1e-3 * cholesky_lower_bound_memory_independent(n, p));
+}
+
+TEST(MemoryRegimes, ClampedBoundStopsImprovingBeyondTheCap) {
+  const double n = 16384, p = 64;
+  const double cap = n * n / std::pow(p, 2.0 / 3.0);
+  const double at_cap = lu_lower_bound_clamped(n, p, cap);
+  EXPECT_DOUBLE_EQ(lu_lower_bound_clamped(n, p, 10.0 * cap), at_cap);
+  EXPECT_GT(lu_lower_bound_clamped(n, p, 0.25 * cap), at_cap);
+}
+
+TEST(PeakModel, PeakFractionSane) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = 4;
+  spec.gamma_flops_per_s = 1e9;
+  // 4 Gflop of useful work in 2 s on 4 Gflop/s aggregate = 50%.
+  EXPECT_DOUBLE_EQ(peak_fraction(4e9, spec, 2.0), 0.5);
+  EXPECT_THROW(peak_fraction(1.0, spec, 0.0), contract_error);
+}
+
+TEST(PeakModel, FlopFormulas) {
+  EXPECT_DOUBLE_EQ(lu_flops(100.0), 2.0e6 / 3.0);
+  EXPECT_DOUBLE_EQ(cholesky_flops(100.0), 1.0e6 / 3.0);
+}
+
+TEST(PaperMemory, ReplicationCappedByNode) {
+  // Small problem: max replication fits.
+  EXPECT_DOUBLE_EQ(paper_memory_words(1024, 64), std::cbrt(64.0) * 1024.0 * 1024.0 / 64.0);
+  // Huge problem: the node budget caps it.
+  EXPECT_DOUBLE_EQ(paper_memory_words(1e6, 8, 1e9), 1e9);
+}
+
+}  // namespace
+}  // namespace conflux::models

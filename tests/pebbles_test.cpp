@@ -1,0 +1,355 @@
+// cDAG builders, red-blue pebble games, greedy schedules, and X-partitions.
+// The headline property: every valid schedule's I/O is lower-bounded by the
+// daap engine's Q for the same kernel and memory size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "daap/bounds.hpp"
+#include "daap/statement.hpp"
+#include "pebbles/cdag.hpp"
+#include "pebbles/game.hpp"
+#include "pebbles/xpartition.hpp"
+
+namespace conflux::pebbles {
+namespace {
+
+// ------------------------------------------------------------- builders ----
+
+TEST(Cdag, MatmulVertexAndEdgeCounts) {
+  const int n = 4;
+  const CDag g = build_matmul_cdag(n);
+  EXPECT_EQ(g.num_vertices(), 3 * n * n + n * n * n);
+  EXPECT_EQ(static_cast<int>(g.inputs().size()), 3 * n * n);
+  // Outputs: the last version of each C element.
+  EXPECT_EQ(static_cast<int>(g.outputs().size()), n * n);
+  EXPECT_EQ(g.max_in_degree(), 3);
+}
+
+TEST(Cdag, LuComputeCountsMatchFormulas) {
+  for (int n : {2, 3, 5, 8}) {
+    const CDag g = build_lu_cdag(n);
+    const auto counts = lu_statement_counts(n);
+    EXPECT_EQ(g.num_vertices(), n * n + counts.total()) << "n=" << n;
+    EXPECT_EQ(static_cast<int>(g.inputs().size()), n * n);
+  }
+}
+
+TEST(Cdag, CholeskyComputeCountsMatchFormulas) {
+  for (int n : {2, 3, 5, 8}) {
+    const CDag g = build_cholesky_cdag(n);
+    const auto counts = cholesky_statement_counts(n);
+    const int tri = n * (n + 1) / 2;
+    EXPECT_EQ(g.num_vertices(), tri + counts.total()) << "n=" << n;
+  }
+}
+
+TEST(Cdag, LuDependenciesRespectEliminationOrder) {
+  // In LU for n=3, the S2 vertex updating A[2,2] at k=0 must depend on the
+  // S1 vertex L[2,0]; no vertex of step k=1 may precede all of step k=0.
+  const CDag g = build_lu_cdag(3);
+  const auto order = g.topological_order();
+  EXPECT_EQ(static_cast<int>(order.size()), g.num_vertices());
+}
+
+TEST(Cdag, TopologicalOrderPlacesPredsFirst) {
+  const CDag g = build_cholesky_cdag(5);
+  const auto order = g.topological_order();
+  std::vector<int> pos(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int p : g.preds(v)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(p)], pos[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Cdag, EdgeToInputRejected) {
+  CDag g;
+  const int a = g.add_vertex(true);
+  const int b = g.add_vertex(true);
+  EXPECT_THROW(g.add_edge(a, b), contract_error);
+}
+
+// ----------------------------------------------------- sequential game -----
+
+TEST(SequentialGame, HandBuiltScheduleCounted) {
+  // c = a + b: load a, load b, compute c, store c.
+  CDag g;
+  const int a = g.add_vertex(true, "a");
+  const int b = g.add_vertex(true, "b");
+  const int c = g.add_vertex(false, "c");
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const std::vector<Move> sched = {{MoveType::Load, a, 0},
+                                   {MoveType::Load, b, 0},
+                                   {MoveType::Compute, c, 0},
+                                   {MoveType::Store, c, 0}};
+  const GameStats s = run_sequential_game(g, 3, sched);
+  EXPECT_EQ(s.loads, 2);
+  EXPECT_EQ(s.stores, 1);
+  EXPECT_EQ(s.computes, 1);
+  EXPECT_EQ(s.io(), 3);
+}
+
+TEST(SequentialGame, ComputeWithoutPredRejected) {
+  CDag g;
+  const int a = g.add_vertex(true, "a");
+  const int c = g.add_vertex(false, "c");
+  g.add_edge(a, c);
+  const std::vector<Move> sched = {{MoveType::Compute, c, 0}};
+  EXPECT_THROW(run_sequential_game(g, 4, sched), contract_error);
+}
+
+TEST(SequentialGame, MemoryLimitEnforced) {
+  CDag g;
+  const int a = g.add_vertex(true);
+  const int b = g.add_vertex(true);
+  const int c = g.add_vertex(false);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const std::vector<Move> sched = {{MoveType::Load, a, 0},
+                                   {MoveType::Load, b, 0},
+                                   {MoveType::Compute, c, 0},
+                                   {MoveType::Store, c, 0}};
+  EXPECT_THROW(run_sequential_game(g, 2, sched), contract_error);  // needs 3
+  EXPECT_NO_THROW(run_sequential_game(g, 3, sched));
+}
+
+TEST(SequentialGame, LoadOfUnstoredValueRejected) {
+  CDag g;
+  const int a = g.add_vertex(true);
+  const int c = g.add_vertex(false);
+  g.add_edge(a, c);
+  // c never stored, then "loaded": illegal.
+  const std::vector<Move> sched = {{MoveType::Load, a, 0},
+                                   {MoveType::Compute, c, 0},
+                                   {MoveType::Discard, c, 0},
+                                   {MoveType::Load, c, 0}};
+  EXPECT_THROW(run_sequential_game(g, 4, sched), contract_error);
+}
+
+TEST(SequentialGame, OutputMustEndBlue) {
+  CDag g;
+  const int a = g.add_vertex(true);
+  const int c = g.add_vertex(false);
+  g.add_edge(a, c);
+  const std::vector<Move> sched = {{MoveType::Load, a, 0}, {MoveType::Compute, c, 0}};
+  EXPECT_THROW(run_sequential_game(g, 4, sched), contract_error);
+}
+
+// ------------------------------------------------------ greedy schedule ----
+
+class GreedyKernelSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int, int>> {};
+
+CDag build_named(const char* name, int n) {
+  if (std::string(name) == "matmul") return build_matmul_cdag(n);
+  if (std::string(name) == "lu") return build_lu_cdag(n);
+  return build_cholesky_cdag(n);
+}
+
+TEST_P(GreedyKernelSweep, ScheduleIsValid) {
+  const auto [name, n, memory] = GetParam();
+  const CDag g = build_named(name, n);
+  const auto sched = greedy_schedule(g, memory);
+  const GameStats s = run_sequential_game(g, memory, sched);
+  // Every compute vertex computed exactly once by the greedy scheduler.
+  int computes = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) computes += !g.is_input(v);
+  EXPECT_EQ(s.computes, computes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, GreedyKernelSweep,
+    ::testing::Values(std::tuple{"matmul", 4, 8}, std::tuple{"matmul", 6, 16},
+                      std::tuple{"matmul", 8, 12}, std::tuple{"lu", 4, 8},
+                      std::tuple{"lu", 8, 16}, std::tuple{"lu", 12, 24},
+                      std::tuple{"cholesky", 4, 8}, std::tuple{"cholesky", 8, 16},
+                      std::tuple{"cholesky", 12, 12}));
+
+TEST(Greedy, LargeMemoryLoadsEachInputOnce) {
+  const int n = 6;
+  const CDag g = build_matmul_cdag(n);
+  const auto sched = greedy_schedule(g, g.num_vertices() + 1);
+  const GameStats s = run_sequential_game(g, g.num_vertices() + 1, sched);
+  EXPECT_EQ(s.loads, 3 * n * n);      // each input exactly once
+  EXPECT_EQ(s.stores, n * n);         // each output exactly once
+}
+
+TEST(Greedy, IoRespectsDaapLowerBound) {
+  // Q_greedy >= |V| / rho for the matmul statement: the machine-checked
+  // bridge between the pebbling world and the bound engine.
+  for (const int n : {6, 8, 10}) {
+    for (const int memory : {8, 16, 32}) {
+      const CDag g = build_matmul_cdag(n);
+      const auto sched = greedy_schedule(g, memory);
+      const GameStats s = run_sequential_game(g, memory, sched);
+      const auto kernel = daap::matmul_kernel(n);
+      const auto bound = daap::derive_statement_bound(
+          kernel.program.statements[0], static_cast<double>(n) * n * n,
+          static_cast<double>(memory));
+      EXPECT_GE(static_cast<double>(s.io()), bound.q_sequential * 0.999)
+          << "n=" << n << " M=" << memory;
+    }
+  }
+}
+
+TEST(Greedy, LuIoRespectsProgramLowerBound) {
+  for (const int n : {6, 10}) {
+    const int memory = 16;
+    const CDag g = build_lu_cdag(n);
+    const auto sched = greedy_schedule(g, memory);
+    const GameStats s = run_sequential_game(g, memory, sched);
+    const auto bound = daap::derive_program_bound(
+        daap::lu_kernel(n), 1.0, static_cast<double>(memory));
+    EXPECT_GE(static_cast<double>(s.io()), bound.q_parallel * 0.999) << "n=" << n;
+  }
+}
+
+TEST(Greedy, TooSmallMemoryRejected) {
+  const CDag g = build_matmul_cdag(4);
+  EXPECT_THROW(greedy_schedule(g, 3), contract_error);  // needs indeg+1 = 4
+}
+
+// ------------------------------------------------------- parallel game -----
+
+TEST(ParallelGame, TwoProcessorPipelineCountsReceives) {
+  // p0 computes c = f(a); p1 computes d = f(c) after receiving c.
+  CDag g;
+  const int a = g.add_vertex(true, "a");
+  const int c = g.add_vertex(false, "c");
+  const int d = g.add_vertex(false, "d");
+  g.add_edge(a, c);
+  g.add_edge(c, d);
+  const std::vector<int> owner = {0, 0, 0};
+  const std::vector<Move> sched = {{MoveType::Compute, c, 0},
+                                   {MoveType::Receive, c, 1},
+                                   {MoveType::Compute, d, 1}};
+  std::vector<long long> per_rank;
+  const GameStats s = run_parallel_game(g, 2, 4, owner, sched, &per_rank);
+  EXPECT_EQ(s.receives, 1);
+  EXPECT_EQ(per_rank[0], 0);
+  EXPECT_EQ(per_rank[1], 1);
+}
+
+TEST(ParallelGame, NoSharingWithoutReceive) {
+  CDag g;
+  const int a = g.add_vertex(true, "a");
+  const int c = g.add_vertex(false, "c");
+  g.add_edge(a, c);
+  const std::vector<int> owner = {0, 0};
+  // p1 tries to compute c without receiving a: must be rejected.
+  const std::vector<Move> sched = {{MoveType::Compute, c, 1}};
+  EXPECT_THROW(run_parallel_game(g, 2, 4, owner, sched), contract_error);
+}
+
+TEST(ParallelGame, ReceiveOfUncomputedVertexRejected) {
+  CDag g;
+  const int a = g.add_vertex(true, "a");
+  const int c = g.add_vertex(false, "c");
+  g.add_edge(a, c);
+  const std::vector<int> owner = {0, 0};
+  const std::vector<Move> sched = {{MoveType::Receive, c, 1}};
+  EXPECT_THROW(run_parallel_game(g, 2, 4, owner, sched), contract_error);
+}
+
+TEST(ParallelGame, LocalMemoryLimitPerProcessor) {
+  CDag g;
+  const int a = g.add_vertex(true);
+  const int b = g.add_vertex(true);
+  const int c = g.add_vertex(false);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const std::vector<int> owner = {0, 1, 0};
+  const std::vector<Move> sched = {{MoveType::Receive, b, 0}, {MoveType::Compute, c, 0}};
+  EXPECT_THROW(run_parallel_game(g, 2, 1, owner, sched), contract_error);
+  EXPECT_NO_THROW(run_parallel_game(g, 2, 3, owner, sched));
+}
+
+// --------------------------------------------------------- X-partition -----
+
+TEST(XPartitionTest, FromScheduleIsValid) {
+  for (const int n : {4, 6}) {
+    for (const int memory : {8, 16}) {
+      const CDag g = build_matmul_cdag(n);
+      const auto sched = greedy_schedule(g, memory);
+      const long long x = 2 * memory;
+      const XPartition part = partition_from_schedule(g, sched, memory, x);
+      std::string why;
+      EXPECT_TRUE(validate_xpartition(g, part, x, &why)) << why;
+    }
+  }
+}
+
+TEST(XPartitionTest, Lemma2CardinalityInequality) {
+  // |P(X)| <= (Q + X - M) / (X - M) for a partition cut from a schedule with
+  // I/O cost Q ([45], Lemma 2's shape, with our construction achieving it).
+  const int n = 6, memory = 12;
+  const CDag g = build_lu_cdag(n);
+  const auto sched = greedy_schedule(g, memory);
+  const GameStats s = run_sequential_game(g, memory, sched);
+  const long long x = 3 * memory;
+  const XPartition part = partition_from_schedule(g, sched, memory, x);
+  const double rhs =
+      (static_cast<double>(s.io()) + static_cast<double>(x - memory)) /
+      static_cast<double>(x - memory);
+  EXPECT_LE(static_cast<double>(part.parts.size()), rhs + 1.0);
+}
+
+TEST(XPartitionTest, OverlapDetected) {
+  const CDag g = build_matmul_cdag(2);
+  const auto computes = [&] {
+    std::vector<int> v;
+    for (int i = 0; i < g.num_vertices(); ++i) {
+      if (!g.is_input(i)) v.push_back(i);
+    }
+    return v;
+  }();
+  XPartition p;
+  p.parts = {computes, {computes[0]}};  // first vertex appears twice
+  std::string why;
+  EXPECT_FALSE(validate_xpartition(g, p, 1000, &why));
+  EXPECT_NE(why.find("overlap"), std::string::npos);
+}
+
+TEST(XPartitionTest, MissingVertexDetected) {
+  const CDag g = build_matmul_cdag(2);
+  XPartition p;
+  p.parts = {{g.num_vertices() - 1}};  // only one compute vertex covered
+  std::string why;
+  EXPECT_FALSE(validate_xpartition(g, p, 1000, &why));
+  EXPECT_NE(why.find("not covered"), std::string::npos);
+}
+
+TEST(XPartitionTest, DominatorBoundViolationDetected) {
+  const CDag g = build_matmul_cdag(3);
+  std::vector<int> all;
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    if (!g.is_input(i)) all.push_back(i);
+  }
+  XPartition p;
+  p.parts = {all};
+  // Dominator of the whole computation = all 27 inputs; X = 5 must fail.
+  std::string why;
+  EXPECT_FALSE(validate_xpartition(g, p, 5, &why));
+  EXPECT_NE(why.find("dominator"), std::string::npos);
+}
+
+TEST(XPartitionTest, DominatorAndMinSetSizes) {
+  // Single compute vertex with two input preds: dom = 2, min = 1.
+  CDag g;
+  const int a = g.add_vertex(true);
+  const int b = g.add_vertex(true);
+  const int c = g.add_vertex(false);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const std::vector<int> part = {c};
+  EXPECT_EQ(dominator_bound(g, part), 2);
+  EXPECT_EQ(min_set_size(g, part), 1);
+}
+
+}  // namespace
+}  // namespace conflux::pebbles

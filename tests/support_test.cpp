@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace conflux {
+namespace {
+
+TEST(Check, ExpectsPassesOnTrue) { EXPECT_NO_THROW(expects(true)); }
+
+TEST(Check, ExpectsThrowsContractErrorWithMessage) {
+  try {
+    expects(false, "bad argument");
+    FAIL() << "expects(false) must throw";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad argument"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("Expects"), std::string::npos);
+  }
+}
+
+TEST(Check, EnsuresAndCheckThrowDistinctKinds) {
+  try {
+    ensures(false, "post");
+    FAIL();
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Ensures"), std::string::npos);
+  }
+  try {
+    check(false, "inv");
+    FAIL();
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Check"), std::string::npos);
+  }
+}
+
+TEST(Check, UnreachableAlwaysThrows) {
+  EXPECT_THROW(unreachable("should not get here"), contract_error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntIsInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t n = 10;
+  std::array<int, n> counts{};
+  constexpr int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng.uniform_int(n);
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / static_cast<int>(n), draws / 100);
+  }
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(0), contract_error);
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  Rng rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ReseedReproducesStream) {
+  Rng rng(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng());
+  rng.reseed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Table, PrintsAlignedColumnsWithHeader) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({std::string("x"), 42LL});
+  t.add_row({std::string("longer"), 3.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.5"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchIsRejected) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), contract_error);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  TextTable t;
+  t.set_header({"k"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("q\"q")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(Table, HumanCountUsesBinarySuffixes) {
+  EXPECT_EQ(human_count(512), "512.00 ");
+  EXPECT_EQ(human_count(2048), "2.00 Ki");
+  EXPECT_EQ(human_count(3.0 * 1024 * 1024), "3.00 Mi");
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=128", "--verbose", "--ratio=0.5"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(cli.get_string("missing", "dflt"), "dflt");
+  EXPECT_NO_THROW(cli.check_unused());
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, argv), contract_error);
+}
+
+TEST(Cli, CheckUnusedFlagsUnknownOptions) {
+  const char* argv[] = {"prog", "--typo=3"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.check_unused(), contract_error);
+}
+
+}  // namespace
+}  // namespace conflux

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatrixD a;
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_EQ(a.cols(), 0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Matrix, FillConstructorAndIndexing) {
+  MatrixD a(3, 4, 2.5);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a(i, j), 2.5);
+  }
+  a(1, 2) = -1.0;
+  EXPECT_DOUBLE_EQ(a(1, 2), -1.0);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  MatrixD a(2, 3);
+  double v = 0;
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t j = 0; j < 3; ++j) a(i, j) = v++;
+  }
+  for (int k = 0; k < 6; ++k) EXPECT_DOUBLE_EQ(a.data()[k], k);
+}
+
+TEST(Matrix, EqualityComparesShapeAndValues) {
+  MatrixD a(2, 2, 1.0), b(2, 2, 1.0), c(2, 2, 2.0), d(1, 4, 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(MatrixView, BlockSeesAndMutatesParent) {
+  MatrixD a(4, 4, 0.0);
+  ViewD blk = a.block(1, 1, 2, 2);
+  EXPECT_EQ(blk.rows(), 2);
+  EXPECT_EQ(blk.ld(), 4);
+  blk(0, 0) = 7.0;
+  blk(1, 1) = 8.0;
+  EXPECT_DOUBLE_EQ(a(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 8.0);
+}
+
+TEST(MatrixView, NestedBlocksCompose) {
+  MatrixD a(6, 6);
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) a(i, j) = static_cast<double>(10 * i + j);
+  }
+  ViewD outer = a.block(1, 1, 4, 4);
+  ViewD inner = outer.block(1, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(inner(0, 0), a(2, 3));
+  EXPECT_DOUBLE_EQ(inner(1, 1), a(3, 4));
+}
+
+TEST(MatrixView, OutOfRangeBlockThrows) {
+  MatrixD a(3, 3);
+  EXPECT_THROW(a.block(0, 0, 4, 1), contract_error);
+  EXPECT_THROW(a.block(2, 2, 2, 2), contract_error);
+  EXPECT_THROW(a.block(-1, 0, 1, 1), contract_error);
+}
+
+TEST(MatrixView, ConstViewFromMutableView) {
+  MatrixD a(2, 2, 3.0);
+  ConstViewD cv = a.block(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(cv(1, 1), 3.0);
+}
+
+TEST(MatrixView, CopyBetweenStridedViews) {
+  MatrixD src(4, 4, 1.0);
+  src(1, 1) = 5.0;
+  MatrixD dst(6, 6, 0.0);
+  copy<double>(src.block(0, 0, 3, 3), dst.block(2, 2, 3, 3));
+  EXPECT_DOUBLE_EQ(dst(3, 3), 5.0);
+  EXPECT_DOUBLE_EQ(dst(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(dst(0, 0), 0.0);
+}
+
+TEST(MatrixView, CopyShapeMismatchThrows) {
+  MatrixD a(2, 2), b(3, 3);
+  EXPECT_THROW(copy<double>(a.view(), b.view()), contract_error);
+}
+
+TEST(RandomMatrix, DeterministicAndInRange) {
+  const MatrixD a = random_matrix(16, 8, 42);
+  const MatrixD b = random_matrix(16, 8, 42);
+  EXPECT_EQ(a, b);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_GE(a(i, j), -1.0);
+      EXPECT_LT(a(i, j), 1.0);
+    }
+  }
+}
+
+TEST(RandomMatrix, SeedChangesContent) {
+  EXPECT_FALSE(random_matrix(8, 8, 1) == random_matrix(8, 8, 2));
+}
+
+TEST(RandomMatrix, DominantMatrixHasLargeDiagonal) {
+  const MatrixD a = random_dominant_matrix(32, 5);
+  for (index_t i = 0; i < 32; ++i) {
+    double offsum = 0.0;
+    for (index_t j = 0; j < 32; ++j) {
+      if (j != i) offsum += std::abs(a(i, j));
+    }
+    EXPECT_GT(std::abs(a(i, i)), offsum);
+  }
+}
+
+TEST(RandomMatrix, SpdMatrixIsSymmetric) {
+  const MatrixD a = random_spd_matrix(24, 9);
+  for (index_t i = 0; i < 24; ++i) {
+    for (index_t j = 0; j < 24; ++j) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+  }
+}
+
+}  // namespace
+}  // namespace conflux

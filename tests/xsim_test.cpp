@@ -1,0 +1,343 @@
+// Machine accounting and collective cost/data correctness. Collective costs
+// are checked against the textbook formulas (binomial trees move n-1
+// messages; recursive doubling moves W log2 n per rank; ...).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "xsim/comm.hpp"
+#include "xsim/machine.hpp"
+
+namespace conflux::xsim {
+namespace {
+
+std::vector<int> iota_ranks(int n) {
+  std::vector<int> r(static_cast<std::size_t>(n));
+  std::iota(r.begin(), r.end(), 0);
+  return r;
+}
+
+Machine make_machine(int ranks, ExecMode mode = ExecMode::Trace) {
+  MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = 1 << 20;
+  return Machine(spec, mode);
+}
+
+// ------------------------------------------------------------- machine ----
+
+TEST(Machine, TransferUpdatesBothEndpoints) {
+  Machine m = make_machine(4);
+  m.charge_transfer(0, 2, 100.0);
+  EXPECT_DOUBLE_EQ(m.counters(0).words_sent, 100.0);
+  EXPECT_EQ(m.counters(0).messages_sent, 1);
+  EXPECT_DOUBLE_EQ(m.counters(2).words_received, 100.0);
+  EXPECT_EQ(m.counters(2).messages_received, 1);
+  EXPECT_DOUBLE_EQ(m.counters(1).words_sent, 0.0);
+}
+
+TEST(Machine, SelfTransferRejected) {
+  Machine m = make_machine(2);
+  EXPECT_THROW(m.charge_transfer(1, 1, 8.0), contract_error);
+}
+
+TEST(Machine, RankRangeValidated) {
+  Machine m = make_machine(2);
+  EXPECT_THROW(m.charge_transfer(0, 2, 8.0), contract_error);
+  EXPECT_THROW(m.charge_flops(-1, 8.0), contract_error);
+}
+
+TEST(Machine, StepTimeIsCriticalPathOverRanks) {
+  MachineSpec spec;
+  spec.num_ranks = 3;
+  spec.memory_words = 1024;
+  spec.alpha_s = 1.0;             // 1 s per message
+  spec.beta_words_per_s = 10.0;   // 10 words/s
+  spec.gamma_flops_per_s = 100.0; // 100 flop/s
+  Machine m(spec, ExecMode::Trace);
+  // Rank 0 sends 20 words (1 msg): its time = 1 + 2 = 3 s.
+  // Rank 2 computes 500 flops: 5 s. Critical path = 5 s.
+  m.charge_transfer(0, 1, 20.0);
+  m.charge_flops(2, 500.0);
+  m.step_barrier();
+  EXPECT_DOUBLE_EQ(m.elapsed_time(), 5.0);
+  // Next step: only rank 0's message latency.
+  m.charge_transfer(0, 1, 0.0);
+  m.step_barrier();
+  EXPECT_DOUBLE_EQ(m.elapsed_time(), 6.0);
+  EXPECT_EQ(m.num_steps(), 2);
+}
+
+TEST(Machine, StepsAccumulateSequentially) {
+  MachineSpec spec;
+  spec.num_ranks = 2;
+  spec.memory_words = 64;
+  spec.alpha_s = 0.0;
+  spec.beta_words_per_s = 1.0;
+  spec.gamma_flops_per_s = 1.0;
+  Machine m(spec, ExecMode::Trace);
+  // Two supersteps of 10 words each cost 20 s even though different ranks
+  // send (no overlap across a barrier).
+  m.charge_transfer(0, 1, 10.0);
+  m.step_barrier();
+  m.charge_transfer(1, 0, 10.0);
+  m.step_barrier();
+  EXPECT_DOUBLE_EQ(m.elapsed_time(), 20.0);
+}
+
+TEST(Machine, MemoryHighWaterTracksPeak) {
+  Machine m = make_machine(2);
+  m.alloc(0, 100.0);
+  m.alloc(0, 50.0);
+  m.release(0, 120.0);
+  m.alloc(0, 10.0);
+  EXPECT_DOUBLE_EQ(m.memory_in_use(0), 40.0);
+  EXPECT_DOUBLE_EQ(m.memory_highwater(0), 150.0);
+  EXPECT_DOUBLE_EQ(m.memory_highwater_max(), 150.0);
+  EXPECT_THROW(m.release(0, 1000.0), contract_error);
+}
+
+TEST(Machine, CommVolumeIsMaxDirection) {
+  Machine m = make_machine(2);
+  m.charge_transfer(0, 1, 30.0);
+  m.charge_transfer(1, 0, 10.0);
+  EXPECT_DOUBLE_EQ(m.counters(0).comm_volume(), 30.0);
+  EXPECT_DOUBLE_EQ(m.counters(1).comm_volume(), 30.0);
+  EXPECT_DOUBLE_EQ(m.max_comm_volume(), 30.0);
+}
+
+// ---------------------------------------------------------- collectives ----
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BroadcastMovesNMinusOneMessages) {
+  const int n = GetParam();
+  Machine m = make_machine(n);
+  const auto ranks = iota_ranks(n);
+  comm::broadcast(m, ranks, 0, 64.0);
+  long long msgs = 0;
+  double recv = 0.0;
+  for (int r = 0; r < n; ++r) {
+    msgs += m.counters(r).messages_received;
+    recv += m.counters(r).words_received;
+  }
+  EXPECT_EQ(msgs, n - 1);
+  EXPECT_DOUBLE_EQ(recv, 64.0 * (n - 1));
+  // Every non-root received exactly once.
+  for (int r = 1; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_received, 64.0);
+  }
+}
+
+TEST_P(CollectiveSizes, ReduceMirrorsBroadcast) {
+  const int n = GetParam();
+  Machine m = make_machine(n);
+  const auto ranks = iota_ranks(n);
+  comm::reduce(m, ranks, 0, 32.0, /*charge_combine_flops=*/false);
+  long long msgs = 0;
+  for (int r = 0; r < n; ++r) msgs += m.counters(r).messages_sent;
+  EXPECT_EQ(msgs, n - 1);
+  // Every non-root sent exactly once; the root only receives.
+  for (int r = 1; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent, 32.0);
+  }
+  EXPECT_DOUBLE_EQ(m.counters(0).words_sent, 0.0);
+}
+
+TEST_P(CollectiveSizes, ScatterDeliversOneChunkPerRank) {
+  const int n = GetParam();
+  Machine m = make_machine(n);
+  comm::scatter(m, iota_ranks(n), 0, 16.0);
+  // Total root egress = (n-1) chunks (its own stays local); every rank's
+  // *final* chunk is 16 words, intermediate ranks forward subtree payloads.
+  double total_recv = 0.0;
+  for (int r = 0; r < n; ++r) total_recv += m.counters(r).words_received;
+  // Tree edges carry sum of subtree sizes = total "transit" volume; at
+  // minimum each non-root receives its own chunk once.
+  EXPECT_GE(total_recv, 16.0 * (n - 1));
+  for (int r = 1; r < n; ++r) {
+    EXPECT_GE(m.counters(r).words_received, 16.0);
+  }
+  EXPECT_DOUBLE_EQ(m.counters(0).words_received, 0.0);
+}
+
+TEST_P(CollectiveSizes, GatherIsScatterReversed) {
+  const int n = GetParam();
+  Machine ms = make_machine(n);
+  Machine mg = make_machine(n);
+  comm::scatter(ms, iota_ranks(n), 0, 16.0);
+  comm::gather(mg, iota_ranks(n), 0, 16.0);
+  double ssent = 0.0, grecv = 0.0;
+  for (int r = 0; r < n; ++r) {
+    ssent += ms.counters(r).words_sent;
+    grecv += mg.counters(r).words_received;
+  }
+  EXPECT_DOUBLE_EQ(ssent, grecv);
+  EXPECT_DOUBLE_EQ(mg.counters(0).words_received,
+                   ms.counters(0).words_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, CollectiveSizes, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 32));
+
+TEST(Collectives, AllreducePowerOfTwoCostPerRank) {
+  const int n = 8;
+  Machine m = make_machine(n);
+  comm::allreduce(m, iota_ranks(n), 100.0, false);
+  // Recursive doubling: every rank sends and receives W log2(n).
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent, 100.0 * 3);
+    EXPECT_DOUBLE_EQ(m.counters(r).words_received, 100.0 * 3);
+  }
+}
+
+TEST(Collectives, AllreduceNonPowerOfTwoStillUniformResult) {
+  // After the fold, all ranks must have participated; spot-check volumes.
+  const int n = 6;
+  Machine m = make_machine(n);
+  comm::allreduce(m, iota_ranks(n), 10.0, false);
+  // Folded ranks (odd of first 2r) send once and receive once: 20 words total
+  // traffic; core ranks do log2(4) = 2 rounds.
+  double total = 0.0;
+  for (int r = 0; r < n; ++r) total += m.counters(r).words_sent;
+  // 2 folds + 2 rounds * 4 ranks + 2 unfolds = 2+8+2 = 12 transfers of 10.
+  EXPECT_DOUBLE_EQ(total, 120.0);
+}
+
+TEST(Collectives, ButterflyRoundsAndVolume) {
+  const int n = 8;
+  Machine m = make_machine(n);
+  comm::butterfly(m, iota_ranks(n), 25.0);  // v^2 block per round
+  // log2(8) = 3 rounds, each rank sends and receives 25 words per round.
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent, 75.0);
+    EXPECT_DOUBLE_EQ(m.counters(r).words_received, 75.0);
+    EXPECT_EQ(m.counters(r).messages_sent, 3);
+  }
+}
+
+TEST(Collectives, AllgatherPowerOfTwoVolume) {
+  const int n = 4;
+  Machine m = make_machine(n);
+  comm::allgather(m, iota_ranks(n), 10.0);
+  // Recursive doubling: per rank sent = 10 * (1 + 2) = (n-1)*10.
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent, 30.0);
+    EXPECT_DOUBLE_EQ(m.counters(r).words_received, 30.0);
+  }
+}
+
+TEST(Collectives, AllgatherRingVolume) {
+  const int n = 5;
+  Machine m = make_machine(n);
+  comm::allgather(m, iota_ranks(n), 10.0);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent, 40.0);  // (n-1) * w
+    EXPECT_DOUBLE_EQ(m.counters(r).words_received, 40.0);
+  }
+}
+
+TEST(Collectives, ReduceScatterPowerOfTwoVolume) {
+  const int n = 8;
+  Machine m = make_machine(n);
+  comm::reduce_scatter(m, iota_ranks(n), 10.0, false);
+  // Recursive halving: per rank sent = 10 * (4 + 2 + 1) = (n-1) * w.
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent, 70.0);
+  }
+}
+
+TEST(Collectives, SubsetOfRanksOnlyTouchesParticipants) {
+  Machine m = make_machine(10);
+  const std::vector<int> group = {2, 5, 7};
+  comm::broadcast(m, group, 1, 8.0);  // root = rank 5
+  for (int r : {0, 1, 3, 4, 6, 8, 9}) {
+    EXPECT_DOUBLE_EQ(m.counters(r).words_sent + m.counters(r).words_received, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(m.counters(2).words_received, 8.0);
+  EXPECT_DOUBLE_EQ(m.counters(7).words_received, 8.0);
+}
+
+// -------------------------------------------------------- data variants ----
+
+TEST(DataCollectives, BroadcastDataCopiesInRealMode) {
+  Machine m = make_machine(4, ExecMode::Real);
+  std::vector<std::vector<double>> bufs(4, std::vector<double>(8, 0.0));
+  for (int k = 0; k < 8; ++k) bufs[2][static_cast<std::size_t>(k)] = k + 1.0;
+  const std::vector<int> ranks = iota_ranks(4);
+  comm::broadcast_data(m, ranks, 2, 8.0, [&](int r) {
+    return std::span<double>(bufs[static_cast<std::size_t>(r)]);
+  });
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      EXPECT_DOUBLE_EQ(bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)],
+                       k + 1.0);
+    }
+  }
+}
+
+TEST(DataCollectives, BroadcastDataSkipsBuffersInTraceMode) {
+  Machine m = make_machine(4, ExecMode::Trace);
+  const std::vector<int> ranks = iota_ranks(4);
+  bool touched = false;
+  comm::broadcast_data(m, ranks, 0, 8.0, [&](int) {
+    touched = true;
+    return std::span<double>();
+  });
+  EXPECT_FALSE(touched);
+  EXPECT_DOUBLE_EQ(m.counters(3).words_received, 8.0);  // costs still charged
+}
+
+TEST(DataCollectives, ReduceSumDataAccumulatesIntoRoot) {
+  Machine m = make_machine(3, ExecMode::Real);
+  std::vector<std::vector<double>> bufs = {{1.0, 2.0}, {10.0, 20.0}, {100.0, 200.0}};
+  const std::vector<int> ranks = iota_ranks(3);
+  comm::reduce_sum_data(m, ranks, 0, 2.0, [&](int r) {
+    return std::span<double>(bufs[static_cast<std::size_t>(r)]);
+  });
+  EXPECT_DOUBLE_EQ(bufs[0][0], 111.0);
+  EXPECT_DOUBLE_EQ(bufs[0][1], 222.0);
+}
+
+TEST(DataCollectives, AllreduceSumDataUniformAcrossRanks) {
+  Machine m = make_machine(4, ExecMode::Real);
+  std::vector<std::vector<double>> bufs(4, std::vector<double>(3));
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] =
+          static_cast<double>(r + 1);
+    }
+  }
+  comm::allreduce_sum_data(m, iota_ranks(4), 3.0, [&](int r) {
+    return std::span<double>(bufs[static_cast<std::size_t>(r)]);
+  });
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)],
+                       10.0);
+    }
+  }
+}
+
+TEST(DataCollectives, P2pDataCopies) {
+  Machine m = make_machine(2, ExecMode::Real);
+  std::vector<double> src = {5.0, 6.0};
+  std::vector<double> dst = {0.0, 0.0};
+  comm::p2p_data(m, 0, 1, 2.0, [&] { return std::span<const double>(src); },
+                 [&] { return std::span<double>(dst); });
+  EXPECT_DOUBLE_EQ(dst[0], 5.0);
+  EXPECT_DOUBLE_EQ(dst[1], 6.0);
+  EXPECT_DOUBLE_EQ(m.counters(1).words_received, 2.0);
+}
+
+TEST(DataCollectives, PayloadSizeMismatchCaught) {
+  Machine m = make_machine(2, ExecMode::Real);
+  std::vector<double> buf(4);
+  const std::vector<int> ranks = iota_ranks(2);
+  EXPECT_THROW(comm::broadcast_data(m, ranks, 0, 8.0,
+                                    [&](int) { return std::span<double>(buf); }),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace conflux::xsim
