@@ -1,5 +1,11 @@
-// From-scratch sequential BLAS subset (level 3) used as the local-compute
-// substrate everywhere MKL was used in the paper.
+// From-scratch level-3 BLAS substrate used everywhere MKL was used in the
+// paper. gemm is a BLIS-style packed, register-tiled, OpenMP-parallel
+// implementation; trsm/syrk/gemmt are blocked algorithms that confine
+// O(db^3) work to small diagonal blocks and push all panel updates through
+// gemm. Cache/block sizes are runtime-tunable via xblas::tuning()
+// (src/blas/tuning.hpp; XBLAS_* environment overrides). Multi-threaded
+// results are bitwise identical to single-threaded ones: threads partition
+// the output, never a reduction.
 //
 // All routines operate on row-major views. Conventions follow the BLAS:
 //   gemm   C = alpha*op(A)*op(B) + beta*C

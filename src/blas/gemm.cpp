@@ -1,50 +1,173 @@
+// BLIS-style blocked gemm: pack operands into contiguous micro-panel
+// buffers, then drive a register-tiled microkernel over them.
+//
+// Loop structure (outer to inner), following Goto/BLIS:
+//   jc over columns of C in steps of nc   (packed B panel: kc x nc)
+//   pc over the k dimension in steps of kc
+//     pack op(B)(pc:, jc:) into micro-panels of kNR columns
+//   ic over rows of C in steps of mc      (packed A block: mc x kc)
+//     pack alpha*op(A)(ic:, pc:) into micro-panels of kMR rows
+//     jr/ir over micro-tiles, each handled by the kMR x kNR microkernel
+//
+// OpenMP: threads cooperate on packing B (worksharing over micro-panels)
+// and then split the ic loop, each thread packing A into its own
+// thread-local buffer. Every C element is accumulated in the same fixed
+// pc-then-p order regardless of thread count, and the ic partition is
+// disjoint, so multi-threaded results are bitwise identical run to run.
 #include <algorithm>
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "blas/tuning.hpp"
 #include "support/check.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace conflux::xblas {
 
 namespace {
 
-// Cache-blocking parameters chosen for typical 32 KiB L1 / 256 KiB+ L2:
-// a KC x NC panel of B (64*256*8 = 128 KiB) stays L2-resident while MC rows
-// of A stream through it.
-constexpr index_t kMC = 64;
-constexpr index_t kKC = 64;
-constexpr index_t kNC = 256;
+inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+inline index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
 
-// Innermost kernel: C[mc x nc] += A[mc x kc] * B[kc x nc], everything
-// already limited to cache-block sizes. j innermost gives unit-stride
-// access on B and C, which the compiler vectorizes.
-void kernel_nn(index_t mc, index_t nc, index_t kc, const double* a, index_t lda,
-               const double* b, index_t ldb, double* c, index_t ldc) {
-  for (index_t i = 0; i < mc; ++i) {
-    for (index_t p = 0; p < kc; ++p) {
-      const double aip = a[i * lda + p];
-      if (aip == 0.0) continue;
-      const double* brow = b + p * ldb;
-      double* crow = c + i * ldc;
-      for (index_t j = 0; j < nc; ++j) crow[j] += aip * brow[j];
+// C[mr x nr] += packed-A micro-panel * packed-B micro-panel, kc deep.
+//   ap: kc slices of kMR values (column of op(A), zero-padded past mr)
+//   bp: kc slices of kNR values (row of op(B), zero-padded past nr)
+// The fixed-size accumulator plus the compile-time kMR/kNR trip counts let
+// the compiler keep acc[][] entirely in vector registers and emit an FMA
+// per element; there are no branches in the flop loop.
+#if defined(__GNUC__) || defined(__clang__)
+
+// GCC/Clang portable vector extension: one "register" of kMR doubles. The
+// compiler lowers it to whatever the target has (1 zmm on AVX-512, 2 ymm on
+// AVX2, plain scalars elsewhere), and vector*scalar broadcasts the scalar,
+// so each p step below is one unaligned load of a plus kNR broadcast-FMAs.
+// This sidesteps the auto-vectorizer entirely: the accumulator layout is
+// the vector layout, so no shuffles appear in the loop.
+typedef double vreg __attribute__((vector_size(kMR * sizeof(double))));
+
+inline vreg load_vreg(const double* p) {
+  vreg v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void micro_kernel(index_t kc, const double* __restrict ap,
+                  const double* __restrict bp, double* __restrict c,
+                  index_t ldc, index_t mr, index_t nr) {
+  // acc[j] holds column j of the kMR x kNR C tile.
+  vreg acc[kNR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const vreg av = load_vreg(ap + p * kMR);
+    const double* __restrict b = bp + p * kNR;
+    for (index_t j = 0; j < kNR; ++j) acc[j] += av * b[j];
+  }
+  // Transposed store back into row-major C; O(kMR*kNR) work against
+  // O(kc*kMR*kNR) flops, so it stays off the critical path.
+  for (index_t i = 0; i < mr; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
+  }
+}
+
+#else  // portable fallback, written so the j loop auto-vectorizes
+
+void micro_kernel(index_t kc, const double* __restrict ap,
+                  const double* __restrict bp, double* __restrict c,
+                  index_t ldc, index_t mr, index_t nr) {
+  double acc[kNR][kMR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* __restrict a = ap + p * kMR;
+    const double* __restrict b = bp + p * kNR;
+    for (index_t j = 0; j < kNR; ++j) {
+      const double bj = b[j];
+      for (index_t i = 0; i < kMR; ++i) acc[j][i] += a[i] * bj;
+    }
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
+  }
+}
+
+#endif
+
+// Pack alpha*op(A)(ic:ic+mc, pc:pc+kc) as ceil(mc/kMR) micro-panels, each
+// kc slices of kMR contiguous values, zero-padded in the last panel.
+void pack_a(Trans trans, double alpha, ConstViewD a, index_t ic, index_t pc,
+            index_t mc, index_t kc, double* buf) {
+  for (index_t ir = 0; ir < mc; ir += kMR) {
+    const index_t mr = std::min(kMR, mc - ir);
+    double* dst = buf + (ir / kMR) * (kMR * kc);
+    if (mr < kMR) std::fill(dst, dst + kMR * kc, 0.0);
+    if (trans == Trans::None) {
+      // Rows of A are contiguous: iterate i outer for streaming reads.
+      for (index_t i = 0; i < mr; ++i) {
+        const double* src = a.row(ic + ir + i) + pc;
+        for (index_t p = 0; p < kc; ++p) dst[p * kMR + i] = alpha * src[p];
+      }
+    } else {
+      // op(A)(r, c) = A(c, r): a row of A supplies one k-slice.
+      for (index_t p = 0; p < kc; ++p) {
+        const double* src = a.row(pc + p) + ic + ir;
+        for (index_t i = 0; i < mr; ++i) dst[p * kMR + i] = alpha * src[i];
+      }
     }
   }
 }
 
-// Materialize op(X) into a contiguous scratch buffer so the blocked kernel
-// only ever deals with the no-transpose case.
-Matrix<double> materialize(Trans trans, ConstViewD x) {
+// Pack one micro-panel (kNR columns starting at jc+jr) of op(B)(pc:, jc:),
+// kc slices of kNR contiguous values, zero-padded past nr.
+void pack_b_panel(Trans trans, ConstViewD b, index_t pc, index_t jc,
+                  index_t jr, index_t nc, index_t kc, double* dst) {
+  const index_t nr = std::min(kNR, nc - jr);
+  if (nr < kNR) std::fill(dst, dst + kNR * kc, 0.0);
   if (trans == Trans::None) {
-    Matrix<double> out(x.rows(), x.cols());
-    copy(x, out.view());
-    return out;
+    for (index_t p = 0; p < kc; ++p) {
+      const double* src = b.row(pc + p) + jc + jr;
+      for (index_t j = 0; j < nr; ++j) dst[p * kNR + j] = src[j];
+    }
+  } else {
+    // op(B)(r, c) = B(c, r): column j of the panel is a row of B.
+    for (index_t j = 0; j < nr; ++j) {
+      const double* src = b.row(jc + jr + j) + pc;
+      for (index_t p = 0; p < kc; ++p) dst[p * kNR + j] = src[p];
+    }
   }
-  Matrix<double> out(x.cols(), x.rows());
-  for (index_t i = 0; i < x.rows(); ++i) {
-    for (index_t j = 0; j < x.cols(); ++j) out(j, i) = x(i, j);
-  }
-  return out;
 }
+
+// Direct strided kernel for problems too small to amortize packing.
+void gemm_small(Trans transa, Trans transb, double alpha, ConstViewD a,
+                ConstViewD b, ViewD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = (transa == Trans::None) ? a.cols() : a.rows();
+  for (index_t i = 0; i < m; ++i) {
+    double* crow = c.row(i);
+    for (index_t p = 0; p < k; ++p) {
+      const double aip =
+          alpha * ((transa == Trans::None) ? a(i, p) : a(p, i));
+      if (transb == Trans::None) {
+        const double* brow = b.row(p);
+        for (index_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      } else {
+        for (index_t j = 0; j < n; ++j) crow[j] += aip * b(j, p);
+      }
+    }
+  }
+}
+
+// Per-thread packing buffer for A blocks; persists across gemm calls so
+// medium-size factorization updates do not pay an allocation per call.
+thread_local std::vector<double> tls_apack;
+
+// Packed-B buffer, also cached across calls (it can reach nc*kc doubles).
+// It belongs to the *calling* thread: gemm grabs the reference before
+// entering the parallel region, so the OpenMP workers all share one buffer
+// while concurrent gemm calls from different caller threads stay isolated.
+thread_local std::vector<double> tls_bpack;
 
 }  // namespace
 
@@ -57,53 +180,87 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
   expects(((transb == Trans::None) ? b.rows() : b.cols()) == k, "gemm: A/B inner dim");
   expects(((transb == Trans::None) ? b.cols() : b.rows()) == n, "gemm: B/C cols");
 
-  // Scale C by beta first; then accumulate alpha*A*B.
+  // Scale C by beta first; the blocked path below only ever accumulates.
   if (beta == 0.0) {
     for (index_t i = 0; i < m; ++i) {
-      for (index_t j = 0; j < n; ++j) c(i, j) = 0.0;
+      double* crow = c.row(i);
+      for (index_t j = 0; j < n; ++j) crow[j] = 0.0;
     }
   } else if (beta != 1.0) {
     for (index_t i = 0; i < m; ++i) {
-      for (index_t j = 0; j < n; ++j) c(i, j) *= beta;
+      double* crow = c.row(i);
+      for (index_t j = 0; j < n; ++j) crow[j] *= beta;
     }
   }
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
 
-  // For transposed operands, work on packed copies (simplifies the kernel;
-  // the packing cost is O(mk + kn), negligible against the O(mnk) multiply).
-  Matrix<double> packed_a;
-  Matrix<double> packed_b;
-  const double* adata = a.data();
-  index_t lda = a.ld();
-  if (transa == Trans::Transpose) {
-    packed_a = materialize(transa, a);
-    adata = packed_a.data();
-    lda = packed_a.cols();
-  }
-  const double* bdata = b.data();
-  index_t ldb = b.ld();
-  if (transb == Trans::Transpose) {
-    packed_b = materialize(transb, b);
-    bdata = packed_b.data();
-    ldb = packed_b.cols();
+  // Work from a sanitized copy: tuning() is documented as mutable for
+  // sweeps, and a degenerate value (kc = 0) must not hang the pc loop.
+  Tuning tu = tuning();
+  tu.sanitize();
+  if (gemm_flops(m, n, k) <= tu.small_gemm_flops) {
+    gemm_small(transa, transb, alpha, a, b, c);
+    return;
   }
 
-  // alpha is folded into a scaled copy of the A block row to keep the kernel
-  // a pure FMA loop.
-  std::vector<double> ablock(static_cast<std::size_t>(kMC * kKC));
-  for (index_t jc = 0; jc < n; jc += kNC) {
-    const index_t nc = std::min(kNC, n - jc);
-    for (index_t pc = 0; pc < k; pc += kKC) {
-      const index_t kc = std::min(kKC, k - pc);
-      for (index_t ic = 0; ic < m; ic += kMC) {
-        const index_t mc = std::min(kMC, m - ic);
-        for (index_t i = 0; i < mc; ++i) {
-          const double* src = adata + (ic + i) * lda + pc;
-          double* dst = ablock.data() + i * kc;
-          for (index_t p = 0; p < kc; ++p) dst[p] = alpha * src[p];
+  const index_t mc_blk = round_up(std::min(tu.mc, m), kMR);
+  const index_t kc_blk = std::min(tu.kc, k);
+  const index_t nc_blk = round_up(std::min(tu.nc, n), kNR);
+
+  // B panel is shared by all threads within one (jc, pc) iteration.
+  std::vector<double>& bpack = tls_bpack;
+  if (static_cast<index_t>(bpack.size()) < nc_blk * kc_blk)
+    bpack.resize(static_cast<std::size_t>(nc_blk * kc_blk));
+  const index_t apack_size = mc_blk * kc_blk;
+
+  int nthreads = 1;
+#ifdef _OPENMP
+  nthreads = (tu.threads > 0) ? tu.threads : omp_get_max_threads();
+  if (nthreads < 1) nthreads = 1;
+#endif
+
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nthreads) if (nthreads > 1)
+#endif
+  {
+    std::vector<double>& apack = tls_apack;
+    if (static_cast<index_t>(apack.size()) < apack_size)
+      apack.resize(static_cast<std::size_t>(apack_size));
+
+    for (index_t jc = 0; jc < n; jc += nc_blk) {
+      const index_t nc = std::min(nc_blk, n - jc);
+      for (index_t pc = 0; pc < k; pc += kc_blk) {
+        const index_t kc = std::min(kc_blk, k - pc);
+
+        const index_t nb_panels = ceil_div(nc, kNR);
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t jp = 0; jp < nb_panels; ++jp) {
+          pack_b_panel(transb, b, pc, jc, jp * kNR, nc, kc,
+                       bpack.data() + jp * (kNR * kc));
         }
-        kernel_nn(mc, nc, kc, ablock.data(), kc, bdata + pc * ldb + jc, ldb,
-                  c.data() + ic * c.ld() + jc, c.ld());
+        // (implicit barrier: the packed B panel is complete here)
+
+        const index_t ni_blocks = ceil_div(m, mc_blk);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+        for (index_t ib = 0; ib < ni_blocks; ++ib) {
+          const index_t ic = ib * mc_blk;
+          const index_t mc = std::min(mc_blk, m - ic);
+          pack_a(transa, alpha, a, ic, pc, mc, kc, apack.data());
+          for (index_t jr = 0; jr < nc; jr += kNR) {
+            const index_t nr = std::min(kNR, nc - jr);
+            const double* bp = bpack.data() + (jr / kNR) * (kNR * kc);
+            for (index_t ir = 0; ir < mc; ir += kMR) {
+              micro_kernel(kc, apack.data() + (ir / kMR) * (kMR * kc), bp,
+                           c.row(ic + ir) + jc + jr, c.ld(),
+                           std::min(kMR, mc - ir), nr);
+            }
+          }
+        }
+        // (implicit barrier: everyone is done reading bpack before repack)
       }
     }
   }

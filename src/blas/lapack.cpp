@@ -3,13 +3,12 @@
 #include <cmath>
 #include <limits>
 
+#include "blas/tuning.hpp"
 #include "support/check.hpp"
 
 namespace conflux::xblas {
 
 namespace {
-
-constexpr index_t kPanelWidth = 32;
 
 // Unblocked LU with partial pivoting on an m x n panel (n small).
 int getrf_unblocked(ViewD a, std::vector<index_t>& ipiv, index_t ipiv_offset) {
@@ -56,8 +55,9 @@ int getrf(ViewD a, std::vector<index_t>& ipiv) {
   ipiv.assign(static_cast<std::size_t>(kmax), 0);
   int info = 0;
 
-  for (index_t k0 = 0; k0 < kmax; k0 += kPanelWidth) {
-    const index_t kb = std::min(kPanelWidth, kmax - k0);
+  const index_t panel_nb = std::max<index_t>(1, tuning().lu_nb);
+  for (index_t k0 = 0; k0 < kmax; k0 += panel_nb) {
+    const index_t kb = std::min(panel_nb, kmax - k0);
     // Factor the panel a(k0:m, k0:k0+kb).
     ViewD panel = a.block(k0, k0, m - k0, kb);
     const int pinfo = getrf_unblocked(panel, ipiv, k0);
@@ -106,7 +106,7 @@ int getrf_nopiv(ViewD a) {
 int potrf(ViewD a) {
   const index_t n = a.rows();
   expects(a.cols() == n, "potrf: matrix must be square");
-  constexpr index_t nb = 32;
+  const index_t nb = std::max<index_t>(1, tuning().lu_nb);
   for (index_t k0 = 0; k0 < n; k0 += nb) {
     const index_t kb = std::min(nb, n - k0);
     // Diagonal block: unblocked Cholesky.

@@ -1,29 +1,29 @@
+// Blocked syrk / gemmt: partition C into db x db diagonal blocks; every
+// off-diagonal panel update is a plain gemm (level-3 speed), and each
+// diagonal block is computed by gemm into a small scratch tile whose
+// referenced triangle is then merged into C. Only the `uplo` triangle of C
+// is ever read or written.
 #include <cmath>
 
 #include "blas/blas.hpp"
+#include "blas/tuning.hpp"
 #include "support/check.hpp"
 
 namespace conflux::xblas {
 
-void syrk(UpLo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
-  const index_t n = c.rows();
-  expects(c.cols() == n, "syrk: C must be square");
-  const index_t k = (trans == Trans::None) ? a.cols() : a.rows();
-  expects(((trans == Trans::None) ? a.rows() : a.cols()) == n, "syrk: A/C shape");
+namespace {
 
-  const auto elem = [&](index_t i, index_t p) {
-    return (trans == Trans::None) ? a(i, p) : a(p, i);
-  };
-  for (index_t i = 0; i < n; ++i) {
-    const index_t jlo = (uplo == UpLo::Lower) ? 0 : i;
-    const index_t jhi = (uplo == UpLo::Lower) ? i : n - 1;
-    for (index_t j = jlo; j <= jhi; ++j) {
-      double sum = 0.0;
-      for (index_t p = 0; p < k; ++p) sum += elem(i, p) * elem(j, p);
-      c(i, j) = alpha * sum + beta * c(i, j);
-    }
-  }
+// View of the ib rows of op(A) starting at row i0 (k columns deep).
+ConstViewD op_rows(Trans trans, ConstViewD a, index_t i0, index_t ib, index_t k) {
+  return (trans == Trans::None) ? a.block(i0, 0, ib, k) : a.block(0, i0, k, ib);
 }
+
+// View of the jb columns of op(B) starting at column j0 (k rows deep).
+ConstViewD op_cols(Trans trans, ConstViewD b, index_t j0, index_t jb, index_t k) {
+  return (trans == Trans::None) ? b.block(0, j0, k, jb) : b.block(j0, 0, jb, k);
+}
+
+}  // namespace
 
 void gemmt(UpLo uplo, Trans transa, Trans transb, double alpha, ConstViewD a,
            ConstViewD b, double beta, ViewD c) {
@@ -33,22 +33,52 @@ void gemmt(UpLo uplo, Trans transa, Trans transb, double alpha, ConstViewD a,
   expects(((transa == Trans::None) ? a.rows() : a.cols()) == n, "gemmt: A/C shape");
   expects(((transb == Trans::None) ? b.rows() : b.cols()) == k, "gemmt: inner dim");
   expects(((transb == Trans::None) ? b.cols() : b.rows()) == n, "gemmt: B/C shape");
+  if (n == 0) return;
 
-  const auto aelem = [&](index_t i, index_t p) {
-    return (transa == Trans::None) ? a(i, p) : a(p, i);
-  };
-  const auto belem = [&](index_t p, index_t j) {
-    return (transb == Trans::None) ? b(p, j) : b(j, p);
-  };
-  for (index_t i = 0; i < n; ++i) {
-    const index_t jlo = (uplo == UpLo::Lower) ? 0 : i;
-    const index_t jhi = (uplo == UpLo::Lower) ? i : n - 1;
-    for (index_t j = jlo; j <= jhi; ++j) {
-      double sum = 0.0;
-      for (index_t p = 0; p < k; ++p) sum += aelem(i, p) * belem(p, j);
-      c(i, j) = alpha * sum + beta * c(i, j);
+  const index_t nb = std::max<index_t>(1, tuning().db);
+  MatrixD diag(std::min(nb, n), std::min(nb, n));
+  for (index_t i0 = 0; i0 < n; i0 += nb) {
+    const index_t ib = std::min(nb, n - i0);
+    const ConstViewD arows = op_rows(transa, a, i0, ib, k);
+    // Off-diagonal panel of this block row: full rectangle, plain gemm.
+    if (uplo == UpLo::Lower) {
+      if (i0 > 0) {
+        gemm(transa, transb, alpha, arows, op_cols(transb, b, 0, i0, k), beta,
+             c.block(i0, 0, ib, i0));
+      }
+    } else {
+      const index_t j1 = i0 + ib;
+      if (j1 < n) {
+        gemm(transa, transb, alpha, arows, op_cols(transb, b, j1, n - j1, k),
+             beta, c.block(i0, j1, ib, n - j1));
+      }
+    }
+    // Diagonal block: gemm into scratch, merge the referenced triangle.
+    ViewD d = diag.block(0, 0, ib, ib);
+    gemm(transa, transb, alpha, arows, op_cols(transb, b, i0, ib, k), 0.0, d);
+    ViewD cd = c.block(i0, i0, ib, ib);
+    for (index_t i = 0; i < ib; ++i) {
+      const index_t jlo = (uplo == UpLo::Lower) ? 0 : i;
+      const index_t jhi = (uplo == UpLo::Lower) ? i : ib - 1;
+      if (beta == 0.0) {
+        for (index_t j = jlo; j <= jhi; ++j) cd(i, j) = d(i, j);
+      } else {
+        for (index_t j = jlo; j <= jhi; ++j)
+          cd(i, j) = beta * cd(i, j) + d(i, j);
+      }
     }
   }
+}
+
+void syrk(UpLo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
+  const index_t n = c.rows();
+  expects(c.cols() == n, "syrk: C must be square");
+  expects(((trans == Trans::None) ? a.rows() : a.cols()) == n, "syrk: A/C shape");
+  // C = alpha*op(A)*op(A)^T + beta*C is gemmt with B = A and the opposite
+  // transposition on the B side.
+  const Trans transb =
+      (trans == Trans::None) ? Trans::Transpose : Trans::None;
+  gemmt(uplo, trans, transb, alpha, a, a, beta, c);
 }
 
 double norm_frobenius(ConstViewD a) {

@@ -1,24 +1,37 @@
+// Blocked triangular solve: the triangle is processed in db x db diagonal
+// blocks. Each diagonal block is solved by a small branch-free substitution
+// kernel (O(db^2 n) work), and the remaining right-hand-side panel is
+// updated with a rank-db gemm — so asymptotically all trsm flops run at
+// gemm speed. Only the stored triangle of T is ever referenced.
+#include <algorithm>
+#include <vector>
+
 #include "blas/blas.hpp"
+#include "blas/tuning.hpp"
 #include "support/check.hpp"
 
 namespace conflux::xblas {
 
 namespace {
 
-// Left side, lower triangular, no transpose: solve L * X = B row by row
-// (forward substitution over block rows of B).
+// ---- small diagonal-block kernels (unblocked substitution) ---------------
+// The inner j/i loops are pure axpy/scale updates over the RHS with no
+// data-dependent branches, so they auto-vectorize.
+
+// Left, lower, no transpose: forward substitution.
 void trsm_lln(Diag diag, ConstViewD t, ViewD b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
   for (index_t i = 0; i < m; ++i) {
+    double* bi = b.row(i);
     for (index_t p = 0; p < i; ++p) {
       const double lip = t(i, p);
-      if (lip == 0.0) continue;
-      for (index_t j = 0; j < n; ++j) b(i, j) -= lip * b(p, j);
+      const double* bp = b.row(p);
+      for (index_t j = 0; j < n; ++j) bi[j] -= lip * bp[j];
     }
     if (diag == Diag::NonUnit) {
       const double inv = 1.0 / t(i, i);
-      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+      for (index_t j = 0; j < n; ++j) bi[j] *= inv;
     }
   }
 }
@@ -28,118 +41,219 @@ void trsm_lun(Diag diag, ConstViewD t, ViewD b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
   for (index_t i = m - 1; i >= 0; --i) {
+    double* bi = b.row(i);
     for (index_t p = i + 1; p < m; ++p) {
       const double uip = t(i, p);
-      if (uip == 0.0) continue;
-      for (index_t j = 0; j < n; ++j) b(i, j) -= uip * b(p, j);
+      const double* bp = b.row(p);
+      for (index_t j = 0; j < n; ++j) bi[j] -= uip * bp[j];
     }
     if (diag == Diag::NonUnit) {
       const double inv = 1.0 / t(i, i);
-      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+      for (index_t j = 0; j < n; ++j) bi[j] *= inv;
     }
   }
 }
 
-// Right, lower, no transpose: X * L = B, solve column blocks right-to-left.
-void trsm_rln(Diag diag, ConstViewD t, ViewD b) {
-  const index_t m = b.rows();
-  const index_t n = b.cols();
-  for (index_t j = n - 1; j >= 0; --j) {
-    if (diag == Diag::NonUnit) {
-      const double inv = 1.0 / t(j, j);
-      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
-    }
-    for (index_t p = 0; p < j; ++p) {
-      const double ljp = t(j, p);
-      if (ljp == 0.0) continue;
-      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * ljp;
-    }
-  }
-}
-
-// Right, upper, no transpose: X * U = B, left-to-right.
-void trsm_run(Diag diag, ConstViewD t, ViewD b) {
-  const index_t m = b.rows();
-  const index_t n = b.cols();
-  for (index_t j = 0; j < n; ++j) {
-    if (diag == Diag::NonUnit) {
-      const double inv = 1.0 / t(j, j);
-      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
-    }
-    for (index_t p = j + 1; p < n; ++p) {
-      const double ujp = t(j, p);
-      if (ujp == 0.0) continue;
-      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * ujp;
-    }
-  }
-}
-
-// op(T)^T cases reduce to the opposite-triangle no-transpose case applied
-// with swapped substitution order; implement directly for clarity.
+// Left, lower, transpose: L^T is upper triangular with entries t(p, i).
 void trsm_llt(Diag diag, ConstViewD t, ViewD b) {
-  // Solve L^T X = B: L^T is upper triangular with entries t(p, i).
   const index_t m = b.rows();
   const index_t n = b.cols();
   for (index_t i = m - 1; i >= 0; --i) {
+    double* bi = b.row(i);
     for (index_t p = i + 1; p < m; ++p) {
       const double lpi = t(p, i);
-      if (lpi == 0.0) continue;
-      for (index_t j = 0; j < n; ++j) b(i, j) -= lpi * b(p, j);
+      const double* bp = b.row(p);
+      for (index_t j = 0; j < n; ++j) bi[j] -= lpi * bp[j];
     }
     if (diag == Diag::NonUnit) {
       const double inv = 1.0 / t(i, i);
-      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+      for (index_t j = 0; j < n; ++j) bi[j] *= inv;
     }
   }
 }
 
+// Left, upper, transpose: U^T is lower triangular with entries t(p, i).
 void trsm_lut(Diag diag, ConstViewD t, ViewD b) {
-  // Solve U^T X = B: U^T is lower triangular with entries t(p, i).
   const index_t m = b.rows();
   const index_t n = b.cols();
   for (index_t i = 0; i < m; ++i) {
+    double* bi = b.row(i);
     for (index_t p = 0; p < i; ++p) {
       const double upi = t(p, i);
-      if (upi == 0.0) continue;
-      for (index_t j = 0; j < n; ++j) b(i, j) -= upi * b(p, j);
+      const double* bp = b.row(p);
+      for (index_t j = 0; j < n; ++j) bi[j] -= upi * bp[j];
     }
     if (diag == Diag::NonUnit) {
       const double inv = 1.0 / t(i, i);
-      for (index_t j = 0; j < n; ++j) b(i, j) *= inv;
+      for (index_t j = 0; j < n; ++j) bi[j] *= inv;
     }
   }
 }
 
+// Right-side solves are independent per row of B, so all four kernels walk
+// B row by row: every access to the B row is contiguous, which keeps a tall
+// panel (e.g. potrf's n x nb L21 solve) streaming instead of striding
+// column-wise through it. The transpose variants still read the triangle
+// column-wise, but T is at most db x db and stays cache-resident across
+// rows. Diagonal inverses are hoisted so each row does multiplies only.
+void fill_inv_diag(ConstViewD t, std::vector<double>& inv) {
+  inv.resize(static_cast<std::size_t>(t.rows()));
+  for (index_t j = 0; j < t.rows(); ++j)
+    inv[static_cast<std::size_t>(j)] = 1.0 / t(j, j);
+}
+
+// Right, lower, no transpose: X * L = B, per row right-to-left.
+void trsm_rln(Diag diag, ConstViewD t, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  std::vector<double> inv;
+  if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
+  for (index_t i = 0; i < m; ++i) {
+    double* bi = b.row(i);
+    for (index_t j = n - 1; j >= 0; --j) {
+      const double xj = (diag == Diag::NonUnit)
+                            ? (bi[j] *= inv[static_cast<std::size_t>(j)])
+                            : bi[j];
+      const double* trow = t.row(j);
+      for (index_t p = 0; p < j; ++p) bi[p] -= xj * trow[p];
+    }
+  }
+}
+
+// Right, upper, no transpose: X * U = B, per row left-to-right.
+void trsm_run(Diag diag, ConstViewD t, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  std::vector<double> inv;
+  if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
+  for (index_t i = 0; i < m; ++i) {
+    double* bi = b.row(i);
+    for (index_t j = 0; j < n; ++j) {
+      const double xj = (diag == Diag::NonUnit)
+                            ? (bi[j] *= inv[static_cast<std::size_t>(j)])
+                            : bi[j];
+      const double* trow = t.row(j);
+      for (index_t p = j + 1; p < n; ++p) bi[p] -= xj * trow[p];
+    }
+  }
+}
+
+// Right, lower, transpose: X * L^T = B; L^T is upper, per row left-to-right.
 void trsm_rlt(Diag diag, ConstViewD t, ViewD b) {
-  // Solve X L^T = B: process columns left-to-right since L^T is upper.
   const index_t m = b.rows();
   const index_t n = b.cols();
-  for (index_t j = 0; j < n; ++j) {
-    if (diag == Diag::NonUnit) {
-      const double inv = 1.0 / t(j, j);
-      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
-    }
-    for (index_t p = j + 1; p < n; ++p) {
-      const double lpj = t(p, j);
-      if (lpj == 0.0) continue;
-      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * lpj;
+  std::vector<double> inv;
+  if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
+  for (index_t i = 0; i < m; ++i) {
+    double* bi = b.row(i);
+    for (index_t j = 0; j < n; ++j) {
+      const double xj = (diag == Diag::NonUnit)
+                            ? (bi[j] *= inv[static_cast<std::size_t>(j)])
+                            : bi[j];
+      for (index_t p = j + 1; p < n; ++p) bi[p] -= xj * t(p, j);
     }
   }
 }
 
+// Right, upper, transpose: X * U^T = B; U^T is lower, per row right-to-left.
 void trsm_rut(Diag diag, ConstViewD t, ViewD b) {
-  // Solve X U^T = B: U^T lower, process columns right-to-left.
   const index_t m = b.rows();
   const index_t n = b.cols();
-  for (index_t j = n - 1; j >= 0; --j) {
-    if (diag == Diag::NonUnit) {
-      const double inv = 1.0 / t(j, j);
-      for (index_t i = 0; i < m; ++i) b(i, j) *= inv;
+  std::vector<double> inv;
+  if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
+  for (index_t i = 0; i < m; ++i) {
+    double* bi = b.row(i);
+    for (index_t j = n - 1; j >= 0; --j) {
+      const double xj = (diag == Diag::NonUnit)
+                            ? (bi[j] *= inv[static_cast<std::size_t>(j)])
+                            : bi[j];
+      for (index_t p = 0; p < j; ++p) bi[p] -= xj * t(p, j);
     }
-    for (index_t p = 0; p < j; ++p) {
-      const double ujp = t(j, p);
-      if (ujp == 0.0) continue;
-      for (index_t i = 0; i < m; ++i) b(i, p) -= b(i, j) * ujp;
+  }
+}
+
+void small_solve(Side side, UpLo uplo, Trans trans, Diag diag, ConstViewD t,
+                 ViewD b) {
+  if (side == Side::Left) {
+    if (uplo == UpLo::Lower) {
+      (trans == Trans::None) ? trsm_lln(diag, t, b) : trsm_llt(diag, t, b);
+    } else {
+      (trans == Trans::None) ? trsm_lun(diag, t, b) : trsm_lut(diag, t, b);
+    }
+  } else {
+    if (uplo == UpLo::Lower) {
+      (trans == Trans::None) ? trsm_rln(diag, t, b) : trsm_rlt(diag, t, b);
+    } else {
+      (trans == Trans::None) ? trsm_run(diag, t, b) : trsm_rut(diag, t, b);
+    }
+  }
+}
+
+// ---- blocked drivers ------------------------------------------------------
+// Right-looking: solve one db-wide diagonal block, then downdate every
+// still-unsolved block of B with a single gemm against the corresponding
+// off-diagonal panel of the stored triangle. The traversal direction per
+// case matches the substitution order of the small kernels above.
+
+void blocked_left(UpLo uplo, Trans trans, Diag diag, ConstViewD t, ViewD b,
+                  index_t db) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t nblocks = (m + db - 1) / db;
+  // Forward traversal for LLN/LUT, backward for LUN/LLT.
+  const bool forward =
+      (uplo == UpLo::Lower) == (trans == Trans::None);
+  for (index_t s = 0; s < nblocks; ++s) {
+    const index_t bi = forward ? s : nblocks - 1 - s;
+    const index_t k0 = bi * db;
+    const index_t kb = std::min(db, m - k0);
+    const index_t k1 = k0 + kb;
+    ViewD bk = b.block(k0, 0, kb, n);
+    small_solve(Side::Left, uplo, trans, diag, t.block(k0, k0, kb, kb), bk);
+    if (uplo == UpLo::Lower && trans == Trans::None && k1 < m) {
+      gemm(Trans::None, Trans::None, -1.0, t.block(k1, k0, m - k1, kb), bk,
+           1.0, b.block(k1, 0, m - k1, n));
+    } else if (uplo == UpLo::Upper && trans == Trans::None && k0 > 0) {
+      gemm(Trans::None, Trans::None, -1.0, t.block(0, k0, k0, kb), bk, 1.0,
+           b.block(0, 0, k0, n));
+    } else if (uplo == UpLo::Lower && trans == Trans::Transpose && k0 > 0) {
+      gemm(Trans::Transpose, Trans::None, -1.0, t.block(k0, 0, kb, k0), bk,
+           1.0, b.block(0, 0, k0, n));
+    } else if (uplo == UpLo::Upper && trans == Trans::Transpose && k1 < m) {
+      gemm(Trans::Transpose, Trans::None, -1.0, t.block(k0, k1, kb, m - k1),
+           bk, 1.0, b.block(k1, 0, m - k1, n));
+    }
+  }
+}
+
+void blocked_right(UpLo uplo, Trans trans, Diag diag, ConstViewD t, ViewD b,
+                   index_t db) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t nblocks = (n + db - 1) / db;
+  // Forward traversal for RUN/RLT, backward for RLN/RUT.
+  const bool forward =
+      (uplo == UpLo::Upper) == (trans == Trans::None);
+  for (index_t s = 0; s < nblocks; ++s) {
+    const index_t bj = forward ? s : nblocks - 1 - s;
+    const index_t j0 = bj * db;
+    const index_t jb = std::min(db, n - j0);
+    const index_t j1 = j0 + jb;
+    ViewD bj_view = b.block(0, j0, m, jb);
+    small_solve(Side::Right, uplo, trans, diag, t.block(j0, j0, jb, jb),
+                bj_view);
+    if (uplo == UpLo::Upper && trans == Trans::None && j1 < n) {
+      gemm(Trans::None, Trans::None, -1.0, bj_view, t.block(j0, j1, jb, n - j1),
+           1.0, b.block(0, j1, m, n - j1));
+    } else if (uplo == UpLo::Lower && trans == Trans::None && j0 > 0) {
+      gemm(Trans::None, Trans::None, -1.0, bj_view, t.block(j0, 0, jb, j0),
+           1.0, b.block(0, 0, m, j0));
+    } else if (uplo == UpLo::Lower && trans == Trans::Transpose && j1 < n) {
+      gemm(Trans::None, Trans::Transpose, -1.0, bj_view,
+           t.block(j1, j0, n - j1, jb), 1.0, b.block(0, j1, m, n - j1));
+    } else if (uplo == UpLo::Upper && trans == Trans::Transpose && j0 > 0) {
+      gemm(Trans::None, Trans::Transpose, -1.0, bj_view,
+           t.block(0, j0, j0, jb), 1.0, b.block(0, 0, m, j0));
     }
   }
 }
@@ -153,23 +267,19 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
 
   if (alpha != 1.0) {
     for (index_t i = 0; i < b.rows(); ++i) {
-      for (index_t j = 0; j < b.cols(); ++j) b(i, j) *= alpha;
+      double* bi = b.row(i);
+      for (index_t j = 0; j < b.cols(); ++j) bi[j] *= alpha;
     }
   }
   if (b.rows() == 0 || b.cols() == 0) return;
 
-  if (side == Side::Left) {
-    if (uplo == UpLo::Lower) {
-      (trans == Trans::None) ? trsm_lln(diag, t, b) : trsm_llt(diag, t, b);
-    } else {
-      (trans == Trans::None) ? trsm_lun(diag, t, b) : trsm_lut(diag, t, b);
-    }
+  const index_t db = std::max<index_t>(1, tuning().db);
+  if (dim <= db) {
+    small_solve(side, uplo, trans, diag, t, b);
+  } else if (side == Side::Left) {
+    blocked_left(uplo, trans, diag, t, b, db);
   } else {
-    if (uplo == UpLo::Lower) {
-      (trans == Trans::None) ? trsm_rln(diag, t, b) : trsm_rlt(diag, t, b);
-    } else {
-      (trans == Trans::None) ? trsm_run(diag, t, b) : trsm_rut(diag, t, b);
-    }
+    blocked_right(uplo, trans, diag, t, b, db);
   }
 }
 

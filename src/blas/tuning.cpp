@@ -1,0 +1,52 @@
+#include "blas/tuning.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace conflux::xblas {
+
+namespace {
+
+// Unset, malformed, or non-positive values all fall back to the default
+// (a clamped-to-1 block size from a typo'd negative would be a silent
+// performance cliff). XBLAS_THREADS is the one knob where 0 is meaningful.
+index_t env_index(const char* name, index_t fallback, index_t minimum = 1) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return fallback;
+  if (v < minimum) return fallback;
+  return static_cast<index_t>(v);
+}
+
+}  // namespace
+
+void Tuning::sanitize() {
+  if (mc < kMR) mc = kMR;
+  if (kc < 1) kc = 1;
+  if (nc < kNR) nc = kNR;
+  if (db < 1) db = 1;
+  if (lu_nb < 1) lu_nb = 1;
+  if (threads < 0) threads = 0;
+  if (small_gemm_flops < 0.0) small_gemm_flops = 0.0;
+}
+
+Tuning tuning_from_env() {
+  Tuning t;
+  t.mc = env_index("XBLAS_MC", t.mc);
+  t.kc = env_index("XBLAS_KC", t.kc);
+  t.nc = env_index("XBLAS_NC", t.nc);
+  t.db = env_index("XBLAS_DB", t.db);
+  t.lu_nb = env_index("XBLAS_LU_NB", t.lu_nb);
+  t.threads = static_cast<int>(env_index("XBLAS_THREADS", t.threads, 0));
+  t.sanitize();
+  return t;
+}
+
+Tuning& tuning() {
+  static Tuning t = tuning_from_env();
+  return t;
+}
+
+}  // namespace conflux::xblas

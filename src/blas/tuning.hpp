@@ -1,0 +1,62 @@
+// Cache/register blocking parameters for the level-3 BLAS substrate.
+//
+// The gemm driver (src/blas/gemm.cpp) is a BLIS-style five-loop algorithm:
+// the three cache-blocking sizes (nc, kc, mc) pick the footprint of the
+// packed B panel (kc x nc, L3/L2 resident) and packed A block (mc x kc,
+// L2/L1 resident); the register tile (MR x NR) is fixed at compile time so
+// the microkernel's accumulator array lowers to vector registers.
+//
+// All runtime sizes live in one Tuning struct so benches can sweep them
+// (bench/micro_blas_kernels.cpp --sweep, bench/ablation_block_size.cpp) and
+// users can override them via environment variables without rebuilding:
+//
+//   XBLAS_MC, XBLAS_KC, XBLAS_NC   gemm cache block sizes
+//   XBLAS_DB                       trsm/syrk/gemmt diagonal block size
+//   XBLAS_LU_NB                    getrf/potrf panel width
+//   XBLAS_THREADS                  OpenMP thread count (0 = library default)
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace conflux::xblas {
+
+/// Register tile shape of the gemm microkernel (compile-time: the MR x NR
+/// accumulator must be a fixed-size array for the compiler to keep it in
+/// vector registers). 8x8 doubles = 8 zmm accumulators on AVX-512, 16 ymm
+/// on AVX2; both auto-vectorize to FMA under -O3 -march=native.
+inline constexpr index_t kMR = 8;
+inline constexpr index_t kNR = 8;
+
+struct Tuning {
+  /// Rows of A packed per block (rounded up to a multiple of kMR).
+  /// Defaults picked by `micro_blas_kernels --sweep` on AVX-512 hardware;
+  /// override per machine via XBLAS_MC / XBLAS_KC / XBLAS_NC.
+  index_t mc = 64;
+  /// Inner (reduction) dimension of both packed panels.
+  index_t kc = 512;
+  /// Columns of B packed per panel (rounded up to a multiple of kNR).
+  index_t nc = 2048;
+  /// Diagonal block size for blocked trsm / syrk / gemmt: O(db^3) work runs
+  /// in the small scalar kernels, everything else goes through gemm.
+  index_t db = 64;
+  /// Panel width for the blocked getrf / potrf in src/blas/lapack.cpp.
+  index_t lu_nb = 32;
+  /// OpenMP thread count for gemm-family routines; 0 means "whatever
+  /// omp_get_max_threads() says". Ignored in non-OpenMP builds.
+  int threads = 0;
+  /// Problems with 2*m*n*k at or below this skip packing entirely and use a
+  /// direct strided kernel (packing overhead dominates for tiny blocks).
+  double small_gemm_flops = 65536.0;
+
+  /// Clamp every field to a sane value (>= 1 sizes, >= 0 threads).
+  void sanitize();
+};
+
+/// The process-wide tuning, initialized once from the environment. Mutable
+/// so sweeps can adjust it between (not during) BLAS calls.
+Tuning& tuning();
+
+/// Read XBLAS_* environment overrides on top of the defaults.
+Tuning tuning_from_env();
+
+}  // namespace conflux::xblas

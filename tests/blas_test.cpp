@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <tuple>
 
 #include "blas/blas.hpp"
+#include "blas/tuning.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random_matrix.hpp"
 
@@ -81,6 +83,45 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{1, 100, 100, Trans::None, Trans::None, 1.0, 0.0},
         GemmCase{257, 129, 65, Trans::None, Trans::None, 1.0, 1.0},
         GemmCase{16, 16, 300, Trans::Transpose, Trans::None, 1.0, 0.5}));
+
+// Ragged sizes around the blocked-algorithm boundaries: with the default
+// diagonal block b = 64 these are {1, b-1, b, b+1, 3b+5}, and 197/300 also
+// cross the gemm register-tile (8) and cache-block (mc/kc) edges.
+INSTANTIATE_TEST_SUITE_P(
+    RaggedBlockEdges, GemmSweep,
+    ::testing::Values(
+        GemmCase{63, 65, 197, Trans::None, Trans::None, 1.0, 1.0},
+        GemmCase{63, 65, 197, Trans::Transpose, Trans::None, 1.0, 0.0},
+        GemmCase{63, 65, 197, Trans::None, Trans::Transpose, -1.0, 1.0},
+        GemmCase{63, 65, 197, Trans::Transpose, Trans::Transpose, 2.0, 0.5},
+        GemmCase{197, 197, 197, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{197, 197, 197, Trans::Transpose, Trans::None, 1.0, 1.0},
+        GemmCase{197, 197, 197, Trans::None, Trans::Transpose, 1.0, 0.0},
+        GemmCase{197, 197, 197, Trans::Transpose, Trans::Transpose, 1.0, 1.0},
+        GemmCase{197, 1, 65, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{1, 197, 64, Trans::Transpose, Trans::None, 1.0, 1.0},
+        GemmCase{65, 197, 1, Trans::None, Trans::Transpose, 1.0, 0.0},
+        GemmCase{64, 63, 65, Trans::Transpose, Trans::Transpose, 1.0, 1.0},
+        GemmCase{300, 300, 300, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{300, 130, 200, Trans::Transpose, Trans::None, -0.5, 2.0}));
+
+TEST(Gemm, PackedPathWorksOnStridedSubviews) {
+  // Large enough to take the packed/blocked path, with ld > cols on every
+  // operand so the packing routines see genuine strides.
+  MatrixD big_a = random_matrix(260, 260, 21);
+  MatrixD big_b = random_matrix(260, 260, 22);
+  MatrixD big_c(260, 260, 0.0);
+  const index_t m = 200, n = 150, k = 180;
+  gemm(Trans::None, Trans::None, 1.0, big_a.block(3, 5, m, k),
+       big_b.block(7, 2, k, n), 0.0, big_c.block(11, 13, m, n));
+  MatrixD a(m, k), b(k, n), c0(m, n, 0.0);
+  copy<double>(big_a.block(3, 5, m, k), a.view());
+  copy<double>(big_b.block(7, 2, k, n), b.view());
+  const MatrixD want = ref_gemm(Trans::None, Trans::None, 1.0, a, b, 0.0, c0);
+  MatrixD got(m, n);
+  copy<double>(big_c.block(11, 13, m, n), got.view());
+  EXPECT_LT(max_diff(want, got), 1e-11 * static_cast<double>(k));
+}
 
 TEST(Gemm, AlphaZeroOnlyScalesC) {
   const MatrixD a = random_matrix(8, 8, 1);
@@ -202,6 +243,29 @@ INSTANTIATE_TEST_SUITE_P(
         TrsmCase{Side::Right, UpLo::Upper, Trans::Transpose, Diag::NonUnit, 9, 17},
         TrsmCase{Side::Right, UpLo::Upper, Trans::Transpose, Diag::Unit, 9, 17}));
 
+// Triangle sizes past the blocked-trsm diagonal block (default b = 64):
+// every side/uplo/trans combination exercises the small-kernel + gemm-update
+// driver, at b-1, b, b+1 and 3b+5 with ragged RHS widths.
+INSTANTIATE_TEST_SUITE_P(
+    BlockedDriver, TrsmSweep,
+    ::testing::Values(
+        TrsmCase{Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 197, 65},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 65, 63},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 197, 65},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::Transpose, Diag::Unit, 64, 197},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, 197, 65},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::None, Diag::Unit, 63, 64},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::Transpose, Diag::NonUnit, 197, 65},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::Transpose, Diag::Unit, 65, 1},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::None, Diag::NonUnit, 65, 197},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::None, Diag::Unit, 63, 65},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 65, 197},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::Transpose, Diag::Unit, 197, 64},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 65, 197},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::None, Diag::Unit, 64, 63},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::Transpose, Diag::NonUnit, 65, 197},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::Transpose, Diag::Unit, 1, 65}));
+
 TEST(Trsm, AlphaScalesRhs) {
   MatrixD t(3, 3, 0.0);
   t(0, 0) = t(1, 1) = t(2, 2) = 1.0;  // identity triangle
@@ -252,6 +316,15 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(UpLo::Lower, UpLo::Upper),
                        ::testing::Values(Trans::None, Trans::Transpose)));
 
+// Sizes at and past the blocked diagonal (default b = 64): b-1, b, b+1,
+// 3b+5, with k values that cross the gemm cache-block boundaries.
+INSTANTIATE_TEST_SUITE_P(
+    RaggedBlockEdges, SyrkSweep,
+    ::testing::Combine(::testing::Values<index_t>(63, 64, 65, 197),
+                       ::testing::Values<index_t>(1, 64, 197),
+                       ::testing::Values(UpLo::Lower, UpLo::Upper),
+                       ::testing::Values(Trans::None, Trans::Transpose)));
+
 class GemmtSweep : public ::testing::TestWithParam<std::tuple<index_t, index_t, UpLo>> {};
 
 TEST_P(GemmtSweep, MatchesGemmOnReferencedTriangle) {
@@ -278,6 +351,202 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmtSweep,
                          ::testing::Combine(::testing::Values<index_t>(1, 16, 37),
                                             ::testing::Values<index_t>(1, 8, 32),
                                             ::testing::Values(UpLo::Lower, UpLo::Upper)));
+
+// gemmt across all transpose combinations and blocked-boundary sizes.
+class GemmtTransSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, UpLo, Trans, Trans>> {};
+
+TEST_P(GemmtTransSweep, MatchesGemmOnReferencedTriangle) {
+  const auto [n, k, uplo, ta, tb] = GetParam();
+  const MatrixD a = (ta == Trans::None) ? random_matrix(n, k, 12)
+                                        : random_matrix(k, n, 12);
+  const MatrixD b = (tb == Trans::None) ? random_matrix(k, n, 13)
+                                        : random_matrix(n, k, 13);
+  const MatrixD c0 = random_matrix(n, n, 14);
+  MatrixD got = c0;
+  gemmt(uplo, ta, tb, 2.0, a.view(), b.view(), -0.5, got.view());
+  const MatrixD full = ref_gemm(ta, tb, 2.0, a, b, -0.5, c0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const bool in_tri = (uplo == UpLo::Lower) ? (j <= i) : (j >= i);
+      if (in_tri) {
+        EXPECT_NEAR(got(i, j), full(i, j), 1e-11 * static_cast<double>(k + 1));
+      } else {
+        EXPECT_DOUBLE_EQ(got(i, j), c0(i, j));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaggedBlockEdges, GemmtTransSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 63, 65, 197),
+                       ::testing::Values<index_t>(1, 64, 197),
+                       ::testing::Values(UpLo::Lower, UpLo::Upper),
+                       ::testing::Values(Trans::None, Trans::Transpose),
+                       ::testing::Values(Trans::None, Trans::Transpose)));
+
+// --------------------------------------------------------- determinism ----
+
+// The substrate guarantees bitwise-identical results run to run and across
+// thread counts: threads partition the output (never a reduction), and the
+// accumulation order per C element is fixed by the loop structure.
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(tuning().threads) {
+    tuning().threads = n;
+  }
+  ~ScopedThreads() { tuning().threads = saved_; }
+
+ private:
+  int saved_;
+};
+
+TEST(Determinism, GemmBitwiseStableAcrossRunsAndThreadCounts) {
+  const index_t n = 197;
+  const MatrixD a = random_matrix(n, n, 31);
+  const MatrixD b = random_matrix(n, n, 32);
+  MatrixD base(n, n);
+  {
+    ScopedThreads one(1);
+    gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 0.0, base.view());
+  }
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    ScopedThreads scoped(threads);
+    for (int rep = 0; rep < 2; ++rep) {
+      MatrixD c(n, n);
+      gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 0.0, c.view());
+      EXPECT_EQ(c, base) << "threads=" << threads << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Determinism, SyrkAndTrsmBitwiseStableAcrossThreadCounts) {
+  const index_t n = 197;
+  const MatrixD a = random_matrix(n, n, 33);
+  MatrixD t = random_matrix(n, n, 34);
+  for (index_t i = 0; i < n; ++i) t(i, i) += 4.0;
+  const MatrixD rhs = random_matrix(n, n, 35);
+
+  MatrixD syrk_base(n, n, 0.0);
+  MatrixD trsm_base = rhs;
+  {
+    ScopedThreads one(1);
+    syrk(UpLo::Lower, Trans::None, 1.0, a.view(), 0.0, syrk_base.view());
+    trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0, t.view(),
+         trsm_base.view());
+  }
+  for (const int threads : {2, 5}) {
+    ScopedThreads scoped(threads);
+    MatrixD c(n, n, 0.0);
+    syrk(UpLo::Lower, Trans::None, 1.0, a.view(), 0.0, c.view());
+    EXPECT_EQ(c, syrk_base) << "threads=" << threads;
+    MatrixD x = rhs;
+    trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0, t.view(),
+         x.view());
+    EXPECT_EQ(x, trsm_base) << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------------------------- tuning -----
+
+TEST(Tuning, SanitizeClampsDegenerateValues) {
+  Tuning t;
+  t.mc = 0;
+  t.kc = -5;
+  t.nc = 1;
+  t.db = 0;
+  t.threads = -2;
+  t.sanitize();
+  EXPECT_GE(t.mc, kMR);
+  EXPECT_GE(t.kc, 1);
+  EXPECT_GE(t.nc, kNR);
+  EXPECT_GE(t.db, 1);
+  EXPECT_EQ(t.threads, 0);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Tuning, EnvironmentOverridesAreHonored) {
+  // Clear every variable the assertions depend on, so a tuned caller
+  // environment (e.g. XBLAS_NC=... ctest) cannot fail the test.
+  for (const char* var : {"XBLAS_MC", "XBLAS_KC", "XBLAS_NC", "XBLAS_DB",
+                          "XBLAS_LU_NB", "XBLAS_THREADS"}) {
+    ::unsetenv(var);
+  }
+  ::setenv("XBLAS_MC", "96", 1);
+  ::setenv("XBLAS_KC", "160", 1);
+  ::setenv("XBLAS_DB", "48", 1);
+  const Tuning t = tuning_from_env();
+  ::unsetenv("XBLAS_MC");
+  ::unsetenv("XBLAS_KC");
+  ::unsetenv("XBLAS_DB");
+  EXPECT_EQ(t.mc, 96);
+  EXPECT_EQ(t.kc, 160);
+  EXPECT_EQ(t.db, 48);
+  // Unset variables fall back to defaults.
+  EXPECT_EQ(t.nc, Tuning{}.nc);
+}
+#endif
+
+TEST(Tuning, ResultsAgreeAcrossBlockSizes) {
+  // Different cache/diagonal block sizes change the summation *tiling* but
+  // must still produce results equal to the reference within tolerance.
+  const index_t n = 150;
+  const MatrixD a = random_matrix(n, n, 36);
+  const MatrixD b = random_matrix(n, n, 37);
+  const MatrixD c0 = random_matrix(n, n, 38);
+  const MatrixD want = ref_gemm(Trans::None, Trans::None, 1.0, a, b, 1.0, c0);
+  const Tuning saved = tuning();
+  for (const index_t blk : {16, 40, 64}) {
+    tuning().mc = blk;
+    tuning().kc = blk;
+    tuning().nc = blk;
+    tuning().db = blk;
+    tuning().small_gemm_flops = 0.0;  // force the packed path
+    MatrixD got = c0;
+    gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 1.0, got.view());
+    EXPECT_LT(max_diff(want, got), 1e-11 * static_cast<double>(n)) << "blk=" << blk;
+  }
+  tuning() = saved;
+}
+
+TEST(Tuning, DegenerateRuntimeValuesDoNotHangOrCrash) {
+  // tuning() is mutable at runtime; kernels must clamp, not loop forever
+  // (kc = 0 would otherwise stall gemm's pc loop) or divide by zero (db = 0
+  // in the blocked trsm driver).
+  const Tuning saved = tuning();
+  tuning().mc = 0;
+  tuning().kc = 0;
+  tuning().nc = 0;
+  tuning().db = 0;
+  tuning().lu_nb = 0;
+  tuning().small_gemm_flops = 0.0;  // force the packed path
+
+  const index_t n = 70;
+  const MatrixD a = random_matrix(n, n, 41);
+  const MatrixD b = random_matrix(n, n, 42);
+  MatrixD c(n, n, 0.0);
+  gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 0.0, c.view());
+  const MatrixD want =
+      ref_gemm(Trans::None, Trans::None, 1.0, a, b, 0.0, MatrixD(n, n, 0.0));
+  EXPECT_LT(max_diff(want, c), 1e-11 * static_cast<double>(n));
+
+  MatrixD t = random_matrix(n, n, 43);
+  for (index_t i = 0; i < n; ++i) t(i, i) += 4.0;
+  MatrixD x = b;
+  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0, t.view(),
+       x.view());
+  MatrixD back(n, n, 0.0);
+  MatrixD tl(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) tl(i, j) = t(i, j);
+  }
+  gemm(Trans::None, Trans::None, 1.0, tl.view(), x.view(), 0.0, back.view());
+  EXPECT_LT(max_diff(back, b), 1e-9 * static_cast<double>(n));
+
+  tuning() = saved;
+}
 
 // --------------------------------------------------------------- norms ----
 
