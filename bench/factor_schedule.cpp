@@ -1,0 +1,224 @@
+// Factorization schedule benchmark: Real-mode wall time plus all three
+// modeled times (strict BSP, bounded-overlap timeline, perfect overlap) for
+// COnfLUX and COnfCHOX over a small (n, grid) sweep, written to
+// BENCH_factor.json so factorization performance is tracked across PRs the
+// same way BENCH_blas.json tracks the local kernels.
+//
+// Each cell runs the schedule twice:
+//   - Real mode, timed with a wall clock (the multithreaded rank execution
+//     path: panel trsms and Schur updates fan out across host threads);
+//   - Trace mode with event recording, replayed through sched::Timeline for
+//     the three model times (identical charges, no matrix data).
+//
+// Usage:
+//   factor_schedule [--out=BENCH_factor.json] [--large] [--serial-baseline]
+//                   [--trace=conflux_lu_trace.json] [--reps=1]
+//   --large            adds the n=2048, P=64 acceptance cell
+//   --serial-baseline  re-times Real mode with 1 OpenMP thread and reports
+//                      the rank-parallel speedup per cell
+//   --trace=FILE       writes a Chrome trace (about:tracing) of the last
+//                      LU cell's bounded-overlap timeline
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "sched/chrome_trace.hpp"
+#include "sched/event.hpp"
+#include "sched/timeline.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "tensor/random_matrix.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+using namespace conflux;
+
+namespace {
+
+struct Cell {
+  index_t n;
+  int px, py, pz;
+  index_t v;
+};
+
+struct Row {
+  std::string algo;
+  Cell cell;
+  double real_wall_s = 0.0;
+  double serial_wall_s = 0.0;  // 0 when --serial-baseline is off
+  double t_bsp = 0.0;
+  double t_timeline = 0.0;
+  double t_overlap = 0.0;
+  int threads = 1;
+};
+
+xsim::MachineSpec spec_for(const Cell& c) {
+  xsim::MachineSpec spec;  // Piz Daint-like defaults (xsim/machine.hpp)
+  spec.num_ranks = c.px * c.py * c.pz;
+  spec.memory_words = static_cast<double>(c.pz) * static_cast<double>(c.n) *
+                      static_cast<double>(c.n) / static_cast<double>(spec.num_ranks);
+  return spec;
+}
+
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+double best_wall(int reps, const auto& run) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    run();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+Row run_cell(const std::string& algo, const Cell& c, int reps, bool serial_baseline,
+             sched::EventLog* trace_log, xsim::MachineSpec* trace_spec) {
+  const grid::Grid3D g(c.px, c.py, c.pz);
+  const xsim::MachineSpec spec = spec_for(c);
+  factor::FactorOptions opt;
+  opt.block_size = c.v;
+  const bool lu = algo == "conflux_lu";
+
+  Row row{algo, c};
+  row.threads = max_threads();
+
+  // Real mode: actual numerics, wall-clocked.
+  const MatrixD a = lu ? random_matrix(c.n, c.n, 1) : random_spd_matrix(c.n, 2);
+  const auto real_run = [&] {
+    xsim::Machine m(spec, xsim::ExecMode::Real);
+    if (lu) {
+      factor::conflux_lu(m, g, a.view(), opt);
+    } else {
+      factor::confchox(m, g, a.view(), opt);
+    }
+  };
+  row.real_wall_s = best_wall(reps, real_run);
+#ifdef _OPENMP
+  if (serial_baseline) {
+    const int saved = omp_get_max_threads();
+    omp_set_num_threads(1);
+    row.serial_wall_s = best_wall(reps, real_run);
+    omp_set_num_threads(saved);
+  }
+#else
+  (void)serial_baseline;
+#endif
+
+  // Trace mode with event recording: the three model times.
+  xsim::Machine m(spec, xsim::ExecMode::Trace);
+  sched::EventLog log;
+  {
+    sched::ScopedRecord rec(m, log);
+    if (lu) {
+      factor::conflux_lu_trace(m, g, c.n, opt);
+    } else {
+      factor::confchox_trace(m, g, c.n, opt);
+    }
+  }
+  const sched::Timeline tl(log, spec);
+  row.t_bsp = m.elapsed_time();
+  row.t_timeline = tl.modeled_time();
+  row.t_overlap = m.modeled_time_overlap();
+  if (lu && trace_log != nullptr) {
+    *trace_log = std::move(log);
+    *trace_spec = spec;
+  }
+  return row;
+}
+
+void print_row(const Row& r) {
+  std::printf(
+      "%-11s n=%-5lld grid %dx%dx%d v=%-3lld  wall %.3fs", r.algo.c_str(),
+      static_cast<long long>(r.cell.n), r.cell.px, r.cell.py, r.cell.pz,
+      static_cast<long long>(r.cell.v), r.real_wall_s);
+  if (r.serial_wall_s > 0.0) {
+    std::printf(" (1-thread %.3fs, %.2fx)", r.serial_wall_s,
+                r.serial_wall_s / r.real_wall_s);
+  }
+  std::printf("  model BSP %.4fs >= timeline %.4fs >= overlap %.4fs\n", r.t_bsp,
+              r.t_timeline, r.t_overlap);
+}
+
+bool write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"algo\": \"" << r.algo << "\", \"n\": " << r.cell.n
+        << ", \"px\": " << r.cell.px << ", \"py\": " << r.cell.py
+        << ", \"pz\": " << r.cell.pz << ", \"v\": " << r.cell.v
+        << ", \"real_wall_s\": " << r.real_wall_s
+        << ", \"serial_wall_s\": " << r.serial_wall_s
+        << ", \"model_bsp_s\": " << r.t_bsp
+        << ", \"model_timeline_s\": " << r.t_timeline
+        << ", \"model_overlap_s\": " << r.t_overlap
+        << ", \"threads\": " << r.threads << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string out_path = cli.get_string("out", "BENCH_factor.json");
+  const std::string trace_path = cli.get_string("trace", "");
+  const bool large = cli.get_flag("large");
+  const bool serial_baseline = cli.get_flag("serial-baseline");
+  const int reps = static_cast<int>(cli.get_int("reps", 1));
+  cli.check_unused();
+
+  std::vector<Cell> cells = {
+      {512, 2, 2, 1, 32},
+      {512, 2, 2, 2, 32},
+      {1024, 4, 4, 2, 32},
+      {1024, 2, 2, 4, 32},
+  };
+  if (large) cells.push_back({2048, 4, 4, 4, 64});  // the n=2048, P=64 cell
+
+  std::vector<Row> rows;
+  sched::EventLog last_lu_log;
+  xsim::MachineSpec last_lu_spec;
+  for (const Cell& c : cells) {
+    for (const char* algo : {"conflux_lu", "confchox"}) {
+      rows.push_back(run_cell(algo, c, reps, serial_baseline,
+                              trace_path.empty() ? nullptr : &last_lu_log,
+                              &last_lu_spec));
+      print_row(rows.back());
+    }
+  }
+
+  if (!trace_path.empty() && !last_lu_log.events().empty()) {
+    sched::TimelineOptions opt;
+    opt.record_slices = true;
+    const sched::Timeline tl(last_lu_log, last_lu_spec, opt);
+    if (sched::write_chrome_trace_file(trace_path, tl)) {
+      std::printf("wrote Chrome trace %s (%zu slices; open in about:tracing)\n",
+                  trace_path.c_str(), tl.slices().size());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
+  if (!write_json(out_path, rows)) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  return 0;
+}

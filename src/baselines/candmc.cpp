@@ -58,19 +58,21 @@ void run_25d_schedule(xsim::Machine& m, index_t n, int c, const PhaseShape& shap
     const double n_t = nn - static_cast<double>(t) * big_block;
     const double w = k * n_t * big_block;
     const double flops = kf * n_t * n_t * big_block;
-    const auto phase = [&](double frac, long long msgs) {
+    const auto phase = [&](const char* label, double frac, long long msgs) {
+      m.annotate(label);
       for (int r = 0; r < m.ranks(); ++r) {
         m.charge_send(r, frac * w, msgs);
         m.charge_recv(r, frac * w, msgs);
       }
       m.step_barrier();
     };
-    phase(shape.pivot_frac, static_cast<long long>(log_p));
-    phase(shape.panel_frac, static_cast<long long>(log_p));
-    phase(shape.update_frac, 2);
+    phase("pivot", shape.pivot_frac, static_cast<long long>(log_p));
+    phase("panel", shape.panel_frac, static_cast<long long>(log_p));
+    phase("update", shape.update_frac, 2);
+    m.annotate("compute");
     for (int r = 0; r < m.ranks(); ++r) m.charge_flops(r, flops);
     m.step_barrier();
-    phase(shape.reduce_frac, static_cast<long long>(c > 1 ? c - 1 : 0));
+    phase("reduce", shape.reduce_frac, static_cast<long long>(c > 1 ? c - 1 : 0));
   }
   for (int r = 0; r < m.ranks(); ++r) m.release(r, mem_words);
 }

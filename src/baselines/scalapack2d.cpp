@@ -61,6 +61,7 @@ struct Run2D {
 // search over the process column (pdgetrf's PxGETF2 shape).
 void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
               const Baseline2DOptions& opt) {
+  run.m.annotate("lu-panel");
   const int pcol = run.pcol_of_col(k0);
   const auto col_ranks = run.col_group(pcol);
   for (index_t j = k0; j < k0 + kb; ++j) {
@@ -126,6 +127,7 @@ void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
 void lu_apply_swaps(Run2D& run, index_t k0, index_t kb,
                     const std::vector<index_t>& ipiv, const Baseline2DOptions& opt) {
   if (opt.local_swaps) return;  // SLATE-like: pivots applied tile-locally
+  run.m.annotate("row-swaps");
   for (index_t j = k0; j < k0 + kb; ++j) {
     const index_t piv = ipiv[static_cast<std::size_t>(j)];
     if (piv == j) continue;
@@ -153,6 +155,7 @@ void lu_apply_swaps(Run2D& run, index_t k0, index_t kb,
 // Trailing update: broadcast L11 along its process row, trsm U12 there,
 // broadcast L21 along process rows and U12 along process columns, gemm.
 void lu_update(Run2D& run, index_t k0, index_t kb) {
+  run.m.annotate("trailing-update");
   const index_t rest = run.n - (k0 + kb);
   const int prow0 = run.prow_of_row(k0);
   const int pcol0 = run.pcol_of_col(k0);
@@ -253,6 +256,7 @@ Lu2DResult run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD
 }
 
 void chol_update(Run2D& run, index_t k0, index_t kb) {
+  run.m.annotate("chol-panel-update");
   const index_t rest = run.n - (k0 + kb);
   const int prow0 = run.prow_of_row(k0);
   const int pcol0 = run.pcol_of_col(k0);

@@ -4,6 +4,7 @@
 
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
+#include "sched/rank_parallel.hpp"
 #include "support/check.hpp"
 #include "xsim/comm.hpp"
 
@@ -51,6 +52,7 @@ long long approx_msgs(index_t items, int peers) {
 // Step 1: reduce the trailing block column (rows t*v.., width v) onto layer
 // l_t; charged per x-group like COnfLUX's column reduction.
 void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
+  run.m.annotate("reduce-column");
   const int pz = run.g.pz();
   const int y_t = static_cast<int>(t) % run.g.py();
   const int l_t = static_cast<int>(t) % pz;
@@ -65,7 +67,7 @@ void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
   }
   if (run.real) {
     *colblock = MatrixD(nrows, run.v);
-    for (index_t i = 0; i < nrows; ++i) {
+    sched::parallel_ranks(nrows, [&](index_t i) {
       for (index_t j = 0; j < run.v; ++j) {
         double sum = 0.0;
         for (int z = 0; z < pz; ++z) {
@@ -73,7 +75,7 @@ void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
         }
         (*colblock)(i, j) = sum;
       }
-    }
+    });
   }
   run.m.step_barrier();
 }
@@ -81,6 +83,7 @@ void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
 // Steps 2-3: potrf of the diagonal block on its owner, broadcast to all.
 void factor_and_broadcast_a00(CholRun& run, index_t t, MatrixD* a00,
                               const MatrixD& colblock) {
+  run.m.annotate("potrf-a00");
   const int x_t = static_cast<int>(t) % run.g.px();
   const int y_t = static_cast<int>(t) % run.g.py();
   const int l_t = static_cast<int>(t) % run.g.pz();
@@ -102,6 +105,7 @@ void factor_and_broadcast_a00(CholRun& run, index_t t, MatrixD* a00,
 
 // Step 4: scatter the sub-diagonal panel into 1D row chunks over all ranks.
 void scatter_panel_1d(CholRun& run, index_t t, index_t panel_rows) {
+  run.m.annotate("scatter-panel");
   const int p = run.m.ranks();
   const int px = run.g.px();
   const int y_t = static_cast<int>(t) % run.g.py();
@@ -123,21 +127,32 @@ void scatter_panel_1d(CholRun& run, index_t t, index_t panel_rows) {
 // Step 5: local trsm L10 = A10 * L00^{-T} on the 1D chunks.
 void trsm_panel(CholRun& run, index_t t, index_t panel_rows, const MatrixD& a00,
                 MatrixD* panel, const MatrixD& colblock) {
+  run.m.annotate("panel-trsm");
   const auto vv = static_cast<double>(run.v);
-  for (int r = 0; r < run.m.ranks(); ++r) {
-    const double mine = static_cast<double>(chunk_size(panel_rows, run.m.ranks(), r));
+  const int p = run.m.ranks();
+  for (int r = 0; r < p; ++r) {
+    const double mine = static_cast<double>(chunk_size(panel_rows, p, r));
     if (mine > 0) run.m.charge_flops(r, mine * vv * vv);
   }
   if (run.real && panel_rows > 0) {
+    // Execute the solve the way the schedule distributes it: one 1D row
+    // chunk per simulated rank, fanned out across host threads (Right-side
+    // solves are row-independent, so chunking is exact).
     *panel = MatrixD(panel_rows, run.v);
-    copy<double>(colblock.view().block(run.v, 0, panel_rows, run.v), panel->view());
-    xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
-                a00.view(), panel->view());
-    for (index_t i = 0; i < panel_rows; ++i) {
-      for (index_t j = 0; j < run.v; ++j) {
-        run.lfac((t + 1) * run.v + i, t * run.v + j) = (*panel)(i, j);
+    sched::parallel_ranks(p, [&](index_t r) {
+      const index_t lo = chunk_offset(panel_rows, p, static_cast<int>(r));
+      const index_t cnt = chunk_size(panel_rows, p, static_cast<int>(r));
+      if (cnt == 0) return;
+      copy<double>(colblock.view().block(run.v + lo, 0, cnt, run.v),
+                   panel->block(lo, 0, cnt, run.v));
+      xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
+                  a00.view(), panel->block(lo, 0, cnt, run.v));
+      for (index_t i = lo; i < lo + cnt; ++i) {
+        for (index_t j = 0; j < run.v; ++j) {
+          run.lfac((t + 1) * run.v + i, t * run.v + j) = (*panel)(i, j);
+        }
       }
-    }
+    });
   }
   run.m.step_barrier();
 }
@@ -147,6 +162,7 @@ void trsm_panel(CholRun& run, index_t t, index_t panel_rows, const MatrixD& a00,
 // update is L10_i * L10_j^T), which is why Cholesky communicates as much as
 // LU here despite half the flops (Table 1).
 void distribute_panel_2p5d(CholRun& run, index_t t, index_t panel_rows) {
+  run.m.annotate("distribute-2.5d");
   const int p = run.m.ranks();
   const int px = run.g.px();
   const int py = run.g.py();
@@ -180,6 +196,7 @@ void distribute_panel_2p5d(CholRun& run, index_t t, index_t panel_rows) {
 // Step 7: symmetric Schur update of each layer's partials: layer z applies
 // its k-slice of L10 * L10^T to the lower triangle.
 void update_a11(CholRun& run, index_t t, const MatrixD& panel, index_t panel_rows) {
+  run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -199,14 +216,30 @@ void update_a11(CholRun& run, index_t t, const MatrixD& panel, index_t panel_row
     }
   }
   if (run.real && panel_rows > 0) {
+    // One task per (layer, fixed row block) of the symmetric update: the
+    // block's strictly-sub-diagonal stripe is a gemm against the earlier
+    // panel rows and its diagonal block a small syrk, so every lower-triangle
+    // element is written by exactly one task with the same k-order arithmetic
+    // the whole-panel syrk performs (disjoint writes, fixed decomposition —
+    // bitwise-deterministic across thread counts, DESIGN.md).
     const index_t off = (t + 1) * run.v;
-    for (int z = 0; z < pz; ++z) {
+    const index_t nblocks = sched::num_row_blocks(panel_rows);
+    sched::parallel_ranks(static_cast<index_t>(pz) * nblocks, [&](index_t task) {
+      const int z = static_cast<int>(task / nblocks);
+      const index_t i0 = (task % nblocks) * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
       const index_t k0 = static_cast<index_t>(z) * slice;
+      MatrixD& layer = run.partials[static_cast<std::size_t>(z)];
+      if (i0 > 0) {
+        xblas::gemm(Trans::None, Trans::Transpose, -1.0,
+                    panel.view().block(i0, k0, bn, slice),
+                    panel.view().block(0, k0, i0, slice), 1.0,
+                    layer.block(off + i0, off, bn, i0));
+      }
       xblas::syrk(UpLo::Lower, Trans::None, -1.0,
-                  panel.view().block(0, k0, panel_rows, slice), 1.0,
-                  run.partials[static_cast<std::size_t>(z)].block(off, off, panel_rows,
-                                                                  panel_rows));
-    }
+                  panel.view().block(i0, k0, bn, slice), 1.0,
+                  layer.block(off + i0, off + i0, bn, bn));
+    });
   }
   run.m.step_barrier();
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "blas/lapack.hpp"
+#include "sched/rank_parallel.hpp"
 #include "support/check.hpp"
 #include "xsim/comm.hpp"
 
@@ -110,6 +111,7 @@ long long approx_msgs(index_t items, int peers) {
 // l_t. Per x-group the payload is that group's active rows times v.
 // ---------------------------------------------------------------------------
 void reduce_block_column(LuRun& run, index_t t, MatrixD* colblock) {
+  run.m.annotate("reduce-column");
   const int py = run.g.py();
   const int pz = run.g.pz();
   const int y_t = static_cast<int>(t) % py;
@@ -125,8 +127,11 @@ void reduce_block_column(LuRun& run, index_t t, MatrixD* colblock) {
   }
   if (run.real) {
     // colblock is indexed by global row; only active rows are meaningful.
+    // Rows are disjoint, so the layer reduction fans out across threads.
     *colblock = MatrixD(run.npad, run.v, 0.0);
-    for (index_t r : run.tracker.active_rows()) {
+    const auto& active = run.tracker.active_rows();
+    sched::parallel_ranks(static_cast<index_t>(active.size()), [&](index_t i) {
+      const index_t r = active[static_cast<std::size_t>(i)];
       for (index_t j = 0; j < run.v; ++j) {
         double sum = 0.0;
         for (int z = 0; z < pz; ++z) {
@@ -134,7 +139,7 @@ void reduce_block_column(LuRun& run, index_t t, MatrixD* colblock) {
         }
         (*colblock)(r, j) = sum;
       }
-    }
+    });
   }
   run.m.step_barrier();
 }
@@ -149,6 +154,7 @@ struct PivotResult {
 };
 
 PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
+  run.m.annotate("tournament-pivot");
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -181,11 +187,12 @@ PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
     return result;
   }
 
-  // Local candidate selection per x-group.
+  // Local candidate selection per x-group: one simulated column owner per
+  // task, each ranking its own rows (disjoint outputs).
   std::vector<Candidates> cand(static_cast<std::size_t>(px));
-  for (int x = 0; x < px; ++x) {
-    const auto rows = run.tracker.rows_for_x(x);
-    if (rows.empty()) continue;
+  sched::parallel_ranks(px, [&](index_t x) {
+    const auto rows = run.tracker.rows_for_x(static_cast<int>(x));
+    if (rows.empty()) return;
     MatrixD values(static_cast<index_t>(rows.size()), run.v);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       for (index_t j = 0; j < run.v; ++j) {
@@ -193,7 +200,7 @@ PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
       }
     }
     cand[static_cast<std::size_t>(x)] = select_candidates(rows, values, run.v);
-  }
+  });
   // Butterfly merge rounds; every rank with a live partner adopts the merge.
   for (int mask = 1; mask < px; mask <<= 1) {
     for (int x = 0; x < px; ++x) {
@@ -229,6 +236,7 @@ PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
 // Step 3: broadcast A00 (v^2 words) and the pivot indices (v words) to all.
 // ---------------------------------------------------------------------------
 void broadcast_a00(LuRun& run, index_t t) {
+  run.m.annotate("bcast-a00");
   const int y_t = static_cast<int>(t) % run.g.py();
   const int l_t = static_cast<int>(t) % run.g.pz();
   const int root = run.g.rank_of(0, y_t, l_t);
@@ -244,6 +252,7 @@ void broadcast_a00(LuRun& run, index_t t) {
 // ---------------------------------------------------------------------------
 void scatter_panel_1d(LuRun& run, index_t t, bool row_panel, index_t items,
                       const std::vector<index_t>& pivots_per_x) {
+  run.m.annotate(row_panel ? "scatter-a10" : "scatter-a01");
   const int p = run.m.ranks();
   const int px = run.g.px();
   const int py = run.g.py();
@@ -290,6 +299,7 @@ void scatter_panel_1d(LuRun& run, index_t t, bool row_panel, index_t items,
 // ---------------------------------------------------------------------------
 void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winners,
                        MatrixD* pivotrows) {
+  run.m.annotate("reduce-pivot-rows");
   const int py = run.g.py();
   const int pz = run.g.pz();
   const int l_t = static_cast<int>(t) % pz;
@@ -314,7 +324,7 @@ void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winner
   }
   if (run.real && ncols > 0) {
     *pivotrows = MatrixD(run.v, ncols);
-    for (index_t l = 0; l < run.v; ++l) {
+    sched::parallel_ranks(run.v, [&](index_t l) {
       const index_t row = winners[static_cast<std::size_t>(l)];
       for (index_t j = 0; j < ncols; ++j) {
         double sum = 0.0;
@@ -323,7 +333,7 @@ void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winner
         }
         (*pivotrows)(l, j) = sum;
       }
-    }
+    });
   }
   run.m.step_barrier();
 }
@@ -333,6 +343,7 @@ void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winner
 // owners (aggregate charges; the dominant communication of the algorithm).
 // ---------------------------------------------------------------------------
 void distribute_panels_2p5d(LuRun& run, index_t t, index_t a10_rows) {
+  run.m.annotate("distribute-2.5d");
   const int p = run.m.ranks();
   const int px = run.g.px();
   const int py = run.g.py();
@@ -386,6 +397,7 @@ void distribute_panels_2p5d(LuRun& run, index_t t, index_t a10_rows) {
 // ---------------------------------------------------------------------------
 void update_a11(LuRun& run, index_t t, const MatrixD& a10,
                 const std::vector<index_t>& rows, const MatrixD& a01) {
+  run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -407,21 +419,29 @@ void update_a11(LuRun& run, index_t t, const MatrixD& a10,
   }
 
   if (run.real && ncols > 0 && !rows.empty()) {
+    // One task per (layer, fixed row block): each layer applies only its
+    // k-slice of A10 * A01 to its own partial-sum buffer, and row blocks
+    // partition the output — disjoint writes, fixed decomposition, so the
+    // fan-out over host threads is bitwise-deterministic (DESIGN.md).
     const auto nrows = static_cast<index_t>(rows.size());
-    MatrixD update(nrows, ncols);
-    for (int z = 0; z < pz; ++z) {
+    const index_t nblocks = sched::num_row_blocks(nrows);
+    sched::parallel_ranks(static_cast<index_t>(pz) * nblocks, [&](index_t task) {
+      const int z = static_cast<int>(task / nblocks);
+      const index_t i0 = (task % nblocks) * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, nrows - i0);
       const index_t k0 = static_cast<index_t>(z) * slice;
+      MatrixD update(bn, ncols);
       xblas::gemm(Trans::None, Trans::None, 1.0,
-                  a10.view().block(0, k0, nrows, slice),
+                  a10.view().block(i0, k0, bn, slice),
                   a01.view().block(k0, 0, slice, ncols), 0.0, update.view());
       MatrixD& layer = run.partials[static_cast<std::size_t>(z)];
-      for (index_t i = 0; i < nrows; ++i) {
-        const index_t row = rows[static_cast<std::size_t>(i)];
+      for (index_t i = 0; i < bn; ++i) {
+        const index_t row = rows[static_cast<std::size_t>(i0 + i)];
         for (index_t j = 0; j < ncols; ++j) {
           layer(row, (t + 1) * run.v + j) -= update(i, j);
         }
       }
-    }
+    });
   }
   run.m.step_barrier();
 }
@@ -518,10 +538,15 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       scatter_panel_1d(run, t, /*row_panel=*/false, ncols, pivots_per_x);
     });
 
-    // Steps 7 and 9: the 1D panel trsms.
+    // Steps 7 and 9: the 1D panel trsms. In Real mode the work is executed
+    // the way the schedule distributes it — one chunk of A10 rows and one
+    // chunk of A01 columns per simulated rank — and the chunks run across
+    // host threads (row/column chunks of a triangular solve are exact:
+    // Right-side solves are row-independent, Left-side column-independent).
     MatrixD a10;
     std::vector<index_t> a10_row_ids;
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
+      m.annotate("panel-trsm");
       for (int r = 0; r < m.ranks(); ++r) {
         const double rows_r = static_cast<double>(chunk_size(a10_rows, m.ranks(), r));
         const double cols_r = static_cast<double>(chunk_size(ncols, m.ranks(), r));
@@ -530,30 +555,41 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
         if (cols_r > 0) m.charge_flops(r, cols_r * vv * vv);
       }
       if (run.real) {
+        const int p = m.ranks();
         a10_row_ids = run.tracker.active_rows();
         a10 = MatrixD(a10_rows, v);
-        for (index_t i = 0; i < a10_rows; ++i) {
-          for (index_t j = 0; j < v; ++j) {
-            a10(i, j) = colblock(a10_row_ids[static_cast<std::size_t>(i)], j);
+        sched::parallel_ranks(p, [&](index_t r) {
+          const index_t lo = chunk_offset(a10_rows, p, static_cast<int>(r));
+          const index_t cnt = chunk_size(a10_rows, p, static_cast<int>(r));
+          if (cnt == 0) return;
+          for (index_t i = lo; i < lo + cnt; ++i) {
+            for (index_t j = 0; j < v; ++j) {
+              a10(i, j) = colblock(a10_row_ids[static_cast<std::size_t>(i)], j);
+            }
           }
-        }
-        // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
-        xblas::trsm(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
-                    piv.a00.view(), a10.view());
-        for (index_t i = 0; i < a10_rows; ++i) {
-          const index_t row = a10_row_ids[static_cast<std::size_t>(i)];
-          for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
-        }
+          // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
+          xblas::trsm(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
+                      piv.a00.view(), a10.view().block(lo, 0, cnt, v));
+          for (index_t i = lo; i < lo + cnt; ++i) {
+            const index_t row = a10_row_ids[static_cast<std::size_t>(i)];
+            for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
+          }
+        });
         if (ncols > 0) {
           // A01 <- L00^{-1} * A01: final U rows of the pivots.
-          xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
-                      piv.a00.view(), pivotrows.view());
-          for (index_t l = 0; l < v; ++l) {
+          sched::parallel_ranks(p, [&](index_t r) {
+            const index_t lo = chunk_offset(ncols, p, static_cast<int>(r));
+            const index_t cnt = chunk_size(ncols, p, static_cast<int>(r));
+            if (cnt == 0) return;
+            xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
+                        piv.a00.view(), pivotrows.view().block(0, lo, v, cnt));
+          });
+          sched::parallel_ranks(v, [&](index_t l) {
             const index_t row = piv.winners[static_cast<std::size_t>(l)];
             for (index_t j = 0; j < ncols; ++j) {
               run.lstore(row, (t + 1) * v + j) = pivotrows(l, j);
             }
-          }
+          });
         }
       }
       m.step_barrier();

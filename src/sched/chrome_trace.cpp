@@ -1,0 +1,127 @@
+#include "sched/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace conflux::sched {
+
+namespace {
+
+constexpr double kSecondsToUs = 1e6;
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop control chars
+        os << c;
+    }
+  }
+}
+
+int tid_of(Slice::Track track) {
+  switch (track) {
+    case Slice::Track::Cpu: return 0;
+    case Slice::Track::Out: return 1;
+    case Slice::Track::In: return 2;
+  }
+  return 0;
+}
+
+const char* track_name(Slice::Track track) {
+  switch (track) {
+    case Slice::Track::Cpu: return "cpu";
+    case Slice::Track::Out: return "net-out";
+    case Slice::Track::In: return "net-in";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t write_chrome_trace(std::ostream& os, const Timeline& timeline) {
+  const int p = timeline.spec().num_ranks;
+  const int machine_pid = p;  // the step markers' synthetic process
+  const auto old_precision = os.precision(15);
+  std::size_t count = 0;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const auto sep = [&] { os << (count == 0 ? "\n" : ",\n"); };
+
+  // Metadata: name only the processes/threads that actually have slices.
+  std::vector<bool> seen(static_cast<std::size_t>(p) * 3, false);
+  bool machine_seen = false;
+  for (const Slice& s : timeline.slices()) {
+    if (s.rank < 0) {
+      machine_seen = true;
+      continue;
+    }
+    seen[static_cast<std::size_t>(s.rank) * 3 +
+         static_cast<std::size_t>(tid_of(s.track))] = true;
+  }
+  for (int r = 0; r < p; ++r) {
+    bool any = false;
+    for (int t = 0; t < 3; ++t) any = any || seen[static_cast<std::size_t>(r) * 3 + t];
+    if (!any) continue;
+    sep();
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << r
+       << ", \"tid\": 0, \"args\": {\"name\": \"rank " << r << "\"}}";
+    ++count;
+    for (int t = 0; t < 3; ++t) {
+      if (!seen[static_cast<std::size_t>(r) * 3 + t]) continue;
+      sep();
+      os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << r
+         << ", \"tid\": " << t << ", \"args\": {\"name\": \""
+         << track_name(static_cast<Slice::Track>(t)) << "\"}}";
+      ++count;
+    }
+  }
+  if (machine_seen) {
+    sep();
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << machine_pid
+       << ", \"tid\": 0, \"args\": {\"name\": \"machine\"}}";
+    ++count;
+  }
+
+  const auto& labels = timeline.labels();
+  for (const Slice& s : timeline.slices()) {
+    if (s.rank < 0) {
+      // Superstep barrier: a machine-global instant marker.
+      sep();
+      os << "  {\"name\": \"step " << s.step << "\", \"ph\": \"i\", \"s\": \"g\", "
+         << "\"pid\": " << machine_pid << ", \"tid\": 0, \"ts\": "
+         << s.start_s * kSecondsToUs << "}";
+      ++count;
+      continue;
+    }
+    sep();
+    os << "  {\"name\": \"";
+    if (s.label >= 0 && static_cast<std::size_t>(s.label) < labels.size()) {
+      write_escaped(os, labels[static_cast<std::size_t>(s.label)]);
+    } else {
+      os << kind_name(s.kind);
+    }
+    os << "\", \"cat\": \"" << kind_name(s.kind) << "\", \"ph\": \"X\", \"pid\": "
+       << s.rank << ", \"tid\": " << tid_of(s.track) << ", \"ts\": "
+       << s.start_s * kSecondsToUs << ", \"dur\": " << s.duration_s * kSecondsToUs
+       << ", \"args\": {\"step\": " << s.step << ", \"words\": " << s.words
+       << ", \"flops\": " << s.flops << "}}";
+    ++count;
+  }
+  os << "\n]}\n";
+  os.precision(old_precision);
+  return count;
+}
+
+bool write_chrome_trace_file(const std::string& path, const Timeline& timeline) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, timeline);
+  return out.good();
+}
+
+}  // namespace conflux::sched

@@ -1,0 +1,26 @@
+// Chrome trace-event JSON export of a replayed Timeline (load the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Layout: one trace "process" per simulated rank with three "threads" —
+// cpu (compute slices), net-out (egress-link occupancy) and net-in
+// (ingress-link occupancy) — plus machine-wide instant markers at every
+// superstep barrier. Slice names are the schedule's phase annotations
+// (Machine::annotate), falling back to the event kind.
+//
+// The Timeline must have been built with TimelineOptions::record_slices.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/timeline.hpp"
+
+namespace conflux::sched {
+
+/// Stream the trace JSON; returns the number of trace events written.
+std::size_t write_chrome_trace(std::ostream& os, const Timeline& timeline);
+
+/// Write to a file; false if the file could not be written.
+bool write_chrome_trace_file(const std::string& path, const Timeline& timeline);
+
+}  // namespace conflux::sched

@@ -1,0 +1,100 @@
+#include "sched/event.hpp"
+
+namespace conflux::sched {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Compute: return "compute";
+    case EventKind::Transfer: return "transfer";
+    case EventKind::Send: return "send";
+    case EventKind::Recv: return "recv";
+    case EventKind::Chain: return "chain";
+    case EventKind::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+void EventLog::on_flops(int rank, double flops) {
+  Event e;
+  e.kind = EventKind::Compute;
+  e.rank = rank;
+  e.label = current_label_;
+  e.flops = flops;
+  events_.push_back(e);
+}
+
+void EventLog::on_transfer(int src, int dst, double words) {
+  Event e;
+  e.kind = EventKind::Transfer;
+  e.rank = src;
+  e.peer = dst;
+  e.label = current_label_;
+  e.words = words;
+  e.messages = 1;
+  events_.push_back(e);
+}
+
+void EventLog::on_send(int rank, double words, long long messages) {
+  Event e;
+  e.kind = EventKind::Send;
+  e.rank = rank;
+  e.label = current_label_;
+  e.words = words;
+  e.messages = messages;
+  events_.push_back(e);
+}
+
+void EventLog::on_recv(int rank, double words, long long messages) {
+  Event e;
+  e.kind = EventKind::Recv;
+  e.rank = rank;
+  e.label = current_label_;
+  e.words = words;
+  e.messages = messages;
+  events_.push_back(e);
+}
+
+void EventLog::on_chain(double rounds) {
+  Event e;
+  e.kind = EventKind::Chain;
+  e.label = current_label_;
+  e.rounds = rounds;
+  events_.push_back(e);
+}
+
+void EventLog::on_barrier() {
+  Event e;
+  e.kind = EventKind::Barrier;
+  e.label = current_label_;
+  events_.push_back(e);
+  ++num_barriers_;
+}
+
+void EventLog::on_annotation(const char* label) {
+  // Intern: phases repeat every outer iteration, so linear search over the
+  // handful of distinct labels beats a map.
+  const std::string name(label);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == name) {
+      current_label_ = static_cast<std::int32_t>(i);
+      return;
+    }
+  }
+  labels_.push_back(name);
+  current_label_ = static_cast<std::int32_t>(labels_.size() - 1);
+}
+
+const std::string& EventLog::label_of(const Event& e) const {
+  static const std::string none;
+  if (e.label < 0 || static_cast<std::size_t>(e.label) >= labels_.size()) return none;
+  return labels_[static_cast<std::size_t>(e.label)];
+}
+
+void EventLog::clear() {
+  events_.clear();
+  labels_.clear();
+  current_label_ = -1;
+  num_barriers_ = 0;
+}
+
+}  // namespace conflux::sched

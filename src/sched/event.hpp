@@ -1,0 +1,89 @@
+// Typed event stream of one simulated run (the front half of the
+// discrete-event timeline engine, DESIGN.md).
+//
+// EventLog implements xsim::EventSink: attach it to a Machine and every
+// charge_flops / charge_transfer / charge_send / charge_recv / charge_chain
+// / step_barrier call is mirrored as one Event in program order. The
+// recorded order is a valid topological order of the schedule's dependency
+// DAG — each rank's events appear in its program order, and a transfer is
+// recorded when the algorithm charges it, i.e. before anything that consumes
+// the received data — so sched::Timeline can replay the stream in one pass.
+//
+// Events are value types with exact (==) comparison: the Trace == Real
+// event-stream equality test in tests/sched_test.cpp compares whole logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xsim/machine.hpp"
+
+namespace conflux::sched {
+
+enum class EventKind : std::uint8_t {
+  Compute,   ///< charge_flops(rank, flops)
+  Transfer,  ///< charge_transfer(rank -> peer, words), one message each way
+  Send,      ///< charge_send(rank, words, messages): aggregate egress
+  Recv,      ///< charge_recv(rank, words, messages): aggregate ingress
+  Chain,     ///< charge_chain(rounds): latency-chain rounds (no rank)
+  Barrier,   ///< step_barrier(): closes the superstep across all ranks
+};
+
+const char* kind_name(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::Barrier;
+  std::int32_t rank = -1;   ///< acting rank (Transfer: the sender)
+  std::int32_t peer = -1;   ///< Transfer: the receiver
+  std::int32_t label = -1;  ///< index into EventLog::labels(), -1 = none
+  double words = 0.0;
+  double flops = 0.0;
+  double rounds = 0.0;
+  long long messages = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventLog final : public xsim::EventSink {
+ public:
+  void on_flops(int rank, double flops) override;
+  void on_transfer(int src, int dst, double words) override;
+  void on_send(int rank, double words, long long messages) override;
+  void on_recv(int rank, double words, long long messages) override;
+  void on_chain(double rounds) override;
+  void on_barrier() override;
+  void on_annotation(const char* label) override;
+
+  const std::vector<Event>& events() const { return events_; }
+  /// Interned phase labels; Event::label indexes into this.
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::string& label_of(const Event& e) const;
+
+  long long num_barriers() const { return num_barriers_; }
+  void clear();
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::string> labels_;
+  std::int32_t current_label_ = -1;
+  long long num_barriers_ = 0;
+};
+
+/// Attach a log to a machine for the current scope (restores the previous
+/// sink on destruction, so recordings nest).
+class ScopedRecord {
+ public:
+  ScopedRecord(xsim::Machine& m, EventLog& log) : m_(m), prev_(m.event_sink()) {
+    m_.set_event_sink(&log);
+  }
+  ~ScopedRecord() { m_.set_event_sink(prev_); }
+  ScopedRecord(const ScopedRecord&) = delete;
+  ScopedRecord& operator=(const ScopedRecord&) = delete;
+
+ private:
+  xsim::Machine& m_;
+  xsim::EventSink* prev_;
+};
+
+}  // namespace conflux::sched

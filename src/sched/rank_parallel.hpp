@@ -1,0 +1,47 @@
+// Deterministic OpenMP fan-out over simulated-rank (or layer) tasks.
+//
+// Real-mode execution keeps one OS process for all P simulated ranks, so
+// per-rank local compute — the 1D panel trsms and the per-layer Schur
+// updates, which operate on disjoint buffers — can run across host threads.
+// Two rules keep results bitwise-identical for every thread count
+// (DESIGN.md):
+//   1. the task decomposition is fixed by the schedule (per simulated rank
+//      / per layer / fixed row blocks), never by omp_get_num_threads();
+//   2. each output element is written by exactly one task, with the same
+//      arithmetic the serial loop performs.
+// Threads then only change *who* executes a task, not what it computes.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace conflux::sched {
+
+/// Run body(i) for i in [0, n). Tasks must be independent (disjoint writes).
+/// Falls back to the serial loop when OpenMP is absent, nested inside
+/// another parallel region, or pointless (n < 2).
+template <typename Body>
+void parallel_ranks(index_t n, Body&& body) {
+#ifdef _OPENMP
+  if (n > 1 && !omp_in_parallel() && omp_get_max_threads() > 1) {
+#pragma omp parallel for schedule(static)
+    for (index_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+#endif
+  for (index_t i = 0; i < n; ++i) body(i);
+}
+
+/// Fixed row-block width for blocked per-task updates: a multiple of the
+/// gemm register tile so block boundaries never change microkernel edge
+/// handling, and therefore never change results across thread counts.
+inline constexpr index_t kRowBlock = 128;
+
+inline index_t num_row_blocks(index_t rows) {
+  return rows > 0 ? (rows + kRowBlock - 1) / kRowBlock : 0;
+}
+
+}  // namespace conflux::sched

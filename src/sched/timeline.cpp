@@ -1,0 +1,248 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace conflux::sched {
+
+namespace {
+
+/// Per-rank replay state: a CPU clock (program order), one clock per link
+/// direction, the bounded in-flight send window, plus the step and total
+/// accumulators used to re-derive the two machine bounds.
+struct RankState {
+  double cpu = 0.0;
+  double nic_out = 0.0;
+  double nic_in = 0.0;
+  std::deque<double> inflight;  // completion times of in-flight sends
+
+  // Superstep accumulators (mirror Machine::StepCounters).
+  double step_sent = 0.0;
+  double step_recv = 0.0;
+  double step_flops = 0.0;
+  long long step_msgs = 0;
+  bool touched = false;
+
+  // Run totals (mirror xsim::RankCounters for the overlap bound).
+  double total_sent = 0.0;
+  double total_recv = 0.0;
+  double total_flops = 0.0;
+};
+
+}  // namespace
+
+Timeline::Timeline(const EventLog& log, const xsim::MachineSpec& spec,
+                   TimelineOptions opt)
+    : spec_(spec) {
+  expects(spec.num_ranks >= 1, "need at least one rank");
+  usage_.assign(static_cast<std::size_t>(spec.num_ranks), RankUsage{});
+  labels_ = log.labels();
+  replay(log, opt);
+}
+
+void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
+  const double alpha = spec_.alpha_s;
+  const double beta = spec_.beta_words_per_s;
+  const double gamma = spec_.gamma_flops_per_s;
+  const int p = spec_.num_ranks;
+
+  std::vector<RankState> rank(static_cast<std::size_t>(p));
+  std::vector<int> touched;
+  touched.reserve(static_cast<std::size_t>(p));
+  // Completion frontier of the current superstep's sends: aggregate recvs
+  // (whose matching senders are not identified) cannot finish before it.
+  // Recvs may be recorded before their peers' sends within a step, so they
+  // are deferred and replayed at the step's barrier, once the frontier is
+  // complete — sound because within a superstep send/compute timing never
+  // depends on same-step recvs (nic_in feeds back into cpu only at the
+  // barrier).
+  double send_frontier = 0.0;
+  std::vector<Event> deferred_recvs;
+  // With global barriers, the release time of the last closed superstep;
+  // applied lazily when a rank is first touched in the next step.
+  double global_floor = 0.0;
+  double chain_rounds = 0.0;
+
+  const auto touch = [&](int r) -> RankState& {
+    expects(r >= 0 && r < p, "event rank out of range");
+    RankState& s = rank[static_cast<std::size_t>(r)];
+    if (!s.touched) {
+      s.touched = true;
+      touched.push_back(r);
+      if (opt.global_barriers) s.cpu = std::max(s.cpu, global_floor);
+    }
+    return s;
+  };
+
+  const auto add_slice = [&](std::int32_t r, Slice::Track track, const Event& e,
+                             double start, double dur) {
+    if (!opt.record_slices) return;
+    Slice s;
+    s.rank = r;
+    s.track = track;
+    s.kind = e.kind;
+    s.label = e.label;
+    s.start_s = start;
+    s.duration_s = dur;
+    s.words = e.words;
+    s.flops = e.flops;
+    s.step = steps_;
+    slices_.push_back(s);
+  };
+
+  // A send of `cost` seconds leaves rank r's egress link; the CPU stalls
+  // only when the in-flight window overflows. Returns the completion time.
+  const auto push_send = [&](RankState& s, double cost) {
+    const double start = std::max(s.nic_out, s.cpu);
+    const double done = start + cost;
+    s.nic_out = done;
+    if (opt.max_outstanding <= 0) {
+      s.cpu = std::max(s.cpu, done);
+    } else {
+      s.inflight.push_back(done);
+      while (static_cast<int>(s.inflight.size()) > opt.max_outstanding) {
+        s.cpu = std::max(s.cpu, s.inflight.front());
+        s.inflight.pop_front();
+      }
+    }
+    send_frontier = std::max(send_frontier, done);
+    return done;
+  };
+
+  // Replay the step's deferred aggregate recvs against the completed send
+  // frontier, in recorded order (preserves each rank's ingress ordering).
+  const auto flush_recvs = [&] {
+    for (const Event& e : deferred_recvs) {
+      RankState& s = touch(e.rank);
+      const double cost = alpha * static_cast<double>(e.messages) + e.words / beta;
+      const double start = std::max(s.nic_in, send_frontier);
+      s.nic_in = start + cost;
+      add_slice(e.rank, Slice::Track::In, e, start, cost);
+      usage_[static_cast<std::size_t>(e.rank)].recv_busy_s += cost;
+      s.step_recv += e.words;
+      s.step_msgs += e.messages;
+      s.total_recv += e.words;
+    }
+    deferred_recvs.clear();
+  };
+
+  for (const Event& e : log.events()) {
+    switch (e.kind) {
+      case EventKind::Compute: {
+        RankState& s = touch(e.rank);
+        const double cost = e.flops / gamma;
+        add_slice(e.rank, Slice::Track::Cpu, e, s.cpu, cost);
+        s.cpu += cost;
+        s.step_flops += e.flops;
+        s.total_flops += e.flops;
+        usage_[static_cast<std::size_t>(e.rank)].compute_busy_s += cost;
+        break;
+      }
+      case EventKind::Transfer: {
+        RankState& src = touch(e.rank);
+        RankState& dst = touch(e.peer);
+        const double cost = alpha + e.words / beta;
+        const double send_start = std::max(src.nic_out, src.cpu);
+        const double done = push_send(src, cost);
+        add_slice(e.rank, Slice::Track::Out, e, send_start, cost);
+        usage_[static_cast<std::size_t>(e.rank)].send_busy_s += cost;
+        // Matched ingress, cut-through: the receiver's link streams the
+        // words while the sender pushes them (first byte after alpha), so an
+        // uncontended receive finishes with the send; a busy ingress link
+        // delays it.
+        const double in_cost = e.words / beta;
+        const double in_start = std::max(dst.nic_in, send_start + alpha);
+        const double in_done = std::max(in_start + in_cost, done);
+        dst.nic_in = in_done;
+        add_slice(e.peer, Slice::Track::In, e, in_start, in_done - in_start);
+        usage_[static_cast<std::size_t>(e.peer)].recv_busy_s += in_cost;
+        src.step_sent += e.words;
+        src.step_msgs += 1;
+        dst.step_recv += e.words;
+        dst.step_msgs += 1;
+        src.total_sent += e.words;
+        dst.total_recv += e.words;
+        break;
+      }
+      case EventKind::Send: {
+        RankState& s = touch(e.rank);
+        const double cost = alpha * static_cast<double>(e.messages) + e.words / beta;
+        const double start = std::max(s.nic_out, s.cpu);
+        push_send(s, cost);
+        add_slice(e.rank, Slice::Track::Out, e, start, cost);
+        usage_[static_cast<std::size_t>(e.rank)].send_busy_s += cost;
+        s.step_sent += e.words;
+        s.step_msgs += e.messages;
+        s.total_sent += e.words;
+        break;
+      }
+      case EventKind::Recv: {
+        deferred_recvs.push_back(e);
+        break;
+      }
+      case EventKind::Chain: {
+        chain_rounds += e.rounds;
+        break;
+      }
+      case EventKind::Barrier: {
+        flush_recvs();
+        double step_bsp = 0.0;
+        double step_end = 0.0;
+        for (int r : touched) {
+          RankState& s = rank[static_cast<std::size_t>(r)];
+          // Strict-BSP cost of this rank's step (Machine::step_barrier).
+          const double comm_words = std::max(s.step_sent, s.step_recv);
+          const double t = alpha * static_cast<double>(s.step_msgs) +
+                           comm_words / beta + s.step_flops / gamma;
+          step_bsp = std::max(step_bsp, t);
+          // Event semantics: the rank drains its own links, then proceeds.
+          s.cpu = std::max({s.cpu, s.nic_out, s.nic_in});
+          s.inflight.clear();
+          step_end = std::max(step_end, s.cpu);
+          s.step_sent = s.step_recv = s.step_flops = 0.0;
+          s.step_msgs = 0;
+          s.touched = false;
+        }
+        touched.clear();
+        bsp_ += step_bsp;
+        if (opt.global_barriers) global_floor = std::max(global_floor, step_end);
+        send_frontier = 0.0;
+        if (opt.record_slices) {
+          Slice s;
+          s.rank = -1;  // machine-wide step marker
+          s.kind = EventKind::Barrier;
+          s.label = e.label;
+          s.start_s = step_end;
+          s.step = steps_;
+          slices_.push_back(s);
+        }
+        ++steps_;
+        break;
+      }
+    }
+  }
+
+  // Leftover charges after the last barrier enter the raw time and the
+  // totals, mirroring the Machine (which folds nothing for them).
+  flush_recvs();
+
+  // Finish times and the two analytic bounds.
+  double overlap_worst = 0.0;
+  for (int r = 0; r < p; ++r) {
+    const RankState& s = rank[static_cast<std::size_t>(r)];
+    RankUsage& u = usage_[static_cast<std::size_t>(r)];
+    u.finish_s = std::max({s.cpu, s.nic_out, s.nic_in});
+    raw_ = std::max(raw_, u.finish_s);
+    const double vol = std::max(s.total_sent, s.total_recv);
+    overlap_worst = std::max(overlap_worst, vol / beta + s.total_flops / gamma);
+  }
+  overlap_ = overlap_worst + alpha * chain_rounds;
+
+  const double lo = std::min(overlap_, bsp_);
+  const double hi = std::max(overlap_, bsp_);
+  modeled_ = std::clamp(raw_, lo, hi);
+}
+
+}  // namespace conflux::sched

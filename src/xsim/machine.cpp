@@ -29,6 +29,7 @@ void Machine::charge_flops(int rank, double flops) {
   step_[static_cast<std::size_t>(rank)].flops += flops;
   running_flops_ += flops;
   touch(rank);
+  if (sink_ != nullptr) sink_->on_flops(rank, flops);
 }
 
 void Machine::charge_transfer(int src, int dst, double words) {
@@ -51,6 +52,7 @@ void Machine::charge_transfer(int src, int dst, double words) {
   d_step.messages += 1;
   touch(src);
   touch(dst);
+  if (sink_ != nullptr) sink_->on_transfer(src, dst, words);
 }
 
 void Machine::charge_send(int rank, double words, long long messages) {
@@ -63,6 +65,7 @@ void Machine::charge_send(int rank, double words, long long messages) {
   st.words_sent += words;
   st.messages += messages;
   touch(rank);
+  if (sink_ != nullptr) sink_->on_send(rank, words, messages);
 }
 
 void Machine::charge_recv(int rank, double words, long long messages) {
@@ -76,6 +79,7 @@ void Machine::charge_recv(int rank, double words, long long messages) {
   st.words_received += words;
   st.messages += messages;
   touch(rank);
+  if (sink_ != nullptr) sink_->on_recv(rank, words, messages);
 }
 
 void Machine::alloc(int rank, double words) {
@@ -124,6 +128,7 @@ void Machine::step_barrier() {
   touched_.clear();
   elapsed_ += step_time;
   ++steps_;
+  if (sink_ != nullptr) sink_->on_barrier();
 }
 
 double Machine::modeled_time_overlap() const {

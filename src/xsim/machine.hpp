@@ -27,6 +27,25 @@ namespace conflux::xsim {
 /// asserts the two produce identical counters.
 enum class ExecMode { Real, Trace };
 
+/// Event-recording hook for the discrete-event timeline engine (src/sched/,
+/// DESIGN.md): when a sink is attached, every charge and barrier is mirrored
+/// as a typed event in program order, so the aggregate counters can be
+/// replayed at event granularity (bounded-overlap time model, Chrome-trace
+/// export). Defined here so xsim stays independent of src/sched; the
+/// callbacks mirror the charging API one-to-one.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_flops(int rank, double flops) = 0;
+  virtual void on_transfer(int src, int dst, double words) = 0;
+  virtual void on_send(int rank, double words, long long messages) = 0;
+  virtual void on_recv(int rank, double words, long long messages) = 0;
+  virtual void on_chain(double rounds) = 0;
+  virtual void on_barrier() = 0;
+  /// Phase label applied to subsequent events (schedule step names).
+  virtual void on_annotation(const char* label) = 0;
+};
+
 /// Machine shape and time-model constants. Defaults approximate one XC40
 /// Piz Daint rank (half a dual-socket Xeon E5-2695v4 node, Aries NIC):
 ///   gamma ~ 0.6 Tflop/s per rank (18 cores x 2.1 GHz x 16 flops/cycle),
@@ -80,8 +99,26 @@ class Machine {
   /// for partial pivoting). The overlap time model charges alpha per round:
   /// this is what makes partial pivoting's O(N)-deep chain expensive and
   /// tournament pivoting's O(N/v) chain cheap (Section 7.3's motivation).
-  void charge_chain(double rounds) { chain_rounds_ += rounds; }
+  /// A single-rank machine has no messages — like every other communication
+  /// charge, chains are free there (this keeps modeled_time_overlap() a
+  /// lower bound of elapsed_time() at P = 1 too).
+  void charge_chain(double rounds) {
+    if (spec_.num_ranks == 1) return;
+    chain_rounds_ += rounds;
+    if (sink_ != nullptr) sink_->on_chain(rounds);
+  }
   double chain_rounds() const { return chain_rounds_; }
+
+  // ----------------------------------------------------- event recording ----
+  /// Attach (or detach with nullptr) an event sink; every subsequent charge
+  /// and barrier is mirrored to it. The sink must outlive its attachment.
+  void set_event_sink(EventSink* sink) { sink_ = sink; }
+  EventSink* event_sink() const { return sink_; }
+  /// Name the current schedule phase (no-op without a sink). Labels flow
+  /// into recorded events and the Chrome-trace export.
+  void annotate(const char* label) {
+    if (sink_ != nullptr) sink_->on_annotation(label);
+  }
 
   // ---------------------------------------------------- memory tracking ----
   /// Register `words` of resident data on a rank (tiles, panels, buffers).
@@ -143,6 +180,7 @@ class Machine {
   // instead of O(P) so Trace runs with P = 2^18 stay fast.
   std::vector<int> touched_;
   std::vector<bool> touched_flag_;
+  EventSink* sink_ = nullptr;
   double elapsed_ = 0.0;
   long long steps_ = 0;
   double chain_rounds_ = 0.0;

@@ -1,0 +1,600 @@
+// The discrete-event timeline engine (src/sched/):
+//  - replay semantics on hand-built event logs (serial CPUs, link
+//    occupancy, the bounded in-flight window, barrier policies)
+//  - the two analytic bounds re-derived from events match the Machine's
+//    elapsed_time() / modeled_time_overlap() exactly, for every schedule
+//  - the model-ordering invariant: perfect overlap <= bounded-overlap
+//    timeline <= strict BSP on factorizations and baselines, including
+//    figure-style configurations
+//  - Trace == Real event-stream equality (exact for Cholesky, which has no
+//    pivoting; per-kind aggregates for LU) — extending the counter-equality
+//    test in factor_test
+//  - Chrome-trace export is syntactically valid JSON (checked with a small
+//    JSON parser) carrying the schedules' phase labels
+//  - Real-mode execution is bitwise identical across OpenMP thread counts
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "baselines/candmc.hpp"
+#include "baselines/scalapack2d.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "sched/chrome_trace.hpp"
+#include "sched/event.hpp"
+#include "sched/timeline.hpp"
+#include "tensor/random_matrix.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace conflux::sched {
+namespace {
+
+xsim::MachineSpec simple_spec(int ranks, double alpha, double beta, double gamma) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = 1 << 20;
+  spec.alpha_s = alpha;
+  spec.beta_words_per_s = beta;
+  spec.gamma_flops_per_s = gamma;
+  return spec;
+}
+
+xsim::MachineSpec paper_spec(int ranks, double memory) {
+  xsim::MachineSpec spec;  // default alpha/beta/gamma (Piz Daint-like)
+  spec.num_ranks = ranks;
+  spec.memory_words = memory;
+  return spec;
+}
+
+double grid_memory(index_t n, const grid::Grid3D& g) {
+  return static_cast<double>(g.pz()) * static_cast<double>(n) *
+         static_cast<double>(n) / static_cast<double>(g.ranks());
+}
+
+// ------------------------------------------------------ replay semantics ----
+
+TEST(Replay, ComputeSerializesPerRankAndRanksRunConcurrently) {
+  EventLog log;
+  log.on_flops(0, 3.0);
+  log.on_flops(0, 4.0);
+  log.on_flops(1, 5.0);
+  const Timeline tl(log, simple_spec(2, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(tl.raw_event_time(), 7.0);  // rank 0: 3+4; rank 1: 5
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[0].compute_busy_s, 7.0);
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[1].compute_busy_s, 5.0);
+}
+
+TEST(Replay, TransferStreamsThroughBothLinks) {
+  EventLog log;
+  log.on_transfer(0, 1, 10.0);
+  log.on_barrier();
+  const Timeline tl(log, simple_spec(2, 1.0, 1.0, 1.0));
+  // Egress: alpha + 10 = 11; cut-through ingress finishes with the send.
+  EXPECT_DOUBLE_EQ(tl.raw_event_time(), 11.0);
+  // Strict BSP charges the max direction once per rank: 1 + 10 = 11.
+  EXPECT_DOUBLE_EQ(tl.strict_bsp_time(), 11.0);
+  EXPECT_DOUBLE_EQ(tl.perfect_overlap_time(), 10.0);
+  EXPECT_DOUBLE_EQ(tl.modeled_time(), 11.0);
+  EXPECT_LE(tl.perfect_overlap_time(), tl.modeled_time());
+  EXPECT_LE(tl.modeled_time(), tl.strict_bsp_time());
+}
+
+TEST(Replay, BusyIngressLinkDelaysTheReceive) {
+  EventLog log;
+  log.on_transfer(0, 2, 10.0);  // occupies rank 2's ingress until t=10
+  log.on_transfer(1, 2, 10.0);  // must queue behind it
+  const Timeline tl(log, simple_spec(3, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[2].finish_s, 20.0);
+}
+
+TEST(Replay, SmallerOutstandingWindowStallsTheCpu) {
+  EventLog log;
+  for (int i = 0; i < 4; ++i) log.on_transfer(0, 1, 10.0);
+  log.on_flops(0, 100.0);
+  TimelineOptions wide;
+  wide.max_outstanding = 4;
+  TimelineOptions narrow;
+  narrow.max_outstanding = 1;
+  const auto spec = simple_spec(2, 0.0, 1.0, 1.0);
+  const Timeline t_wide(log, spec, wide);
+  const Timeline t_narrow(log, spec, narrow);
+  // Wide window: the CPU never waits for the NIC, compute ends at 100.
+  EXPECT_DOUBLE_EQ(t_wide.rank_usage()[0].finish_s, 100.0);
+  // Window of 1: the CPU stalls on all but the last send (completions at
+  // 10, 20, 30), so compute ends at 130.
+  EXPECT_DOUBLE_EQ(t_narrow.rank_usage()[0].finish_s, 130.0);
+  EXPECT_GT(t_narrow.raw_event_time(), t_wide.raw_event_time());
+}
+
+TEST(Replay, SynchronousSendsBlockTheCpu) {
+  EventLog log;
+  log.on_send(0, 10.0, 2);
+  log.on_flops(0, 1.0);
+  TimelineOptions sync;
+  sync.max_outstanding = 0;
+  const Timeline tl(log, simple_spec(1, 1.0, 1.0, 1.0), sync);
+  // Send: 2*alpha + 10 = 12 on the CPU too; compute lands after.
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[0].finish_s, 13.0);
+}
+
+TEST(Replay, AggregateRecvWaitsForTheStepSendFrontier) {
+  EventLog log;
+  log.on_send(0, 30.0, 1);  // completes at 30
+  log.on_recv(1, 5.0, 1);   // may not finish before the senders pushed
+  log.on_barrier();
+  const Timeline tl(log, simple_spec(2, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[1].finish_s, 35.0);
+}
+
+TEST(Replay, RecvRecordedBeforeItsSendStillWaitsForTheFrontier) {
+  // Schedules may charge a rank's aggregate recv before its peers' sends
+  // within the same superstep; the frontier must still cover those sends.
+  EventLog log;
+  log.on_recv(1, 5.0, 1);
+  log.on_send(0, 30.0, 1);
+  log.on_barrier();
+  const Timeline tl(log, simple_spec(2, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[1].finish_s, 35.0);
+  // The next step's frontier starts fresh: an identical recv with no sends
+  // in its own step only pays its own cost (after the rank's barrier sync).
+  log.on_recv(1, 5.0, 1);
+  log.on_barrier();
+  const Timeline tl2(log, simple_spec(2, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(tl2.rank_usage()[1].finish_s, 40.0);
+}
+
+TEST(Replay, GlobalBarriersSerializeSupersteps) {
+  EventLog log;
+  log.on_flops(0, 10.0);
+  log.on_flops(1, 1.0);
+  log.on_barrier();
+  log.on_flops(1, 1.0);
+  log.on_barrier();
+  const auto spec = simple_spec(2, 0.0, 1.0, 1.0);
+  TimelineOptions local;
+  TimelineOptions global;
+  global.global_barriers = true;
+  // Local barriers: rank 1 pipelines past rank 0's long step (finish 2);
+  // global barriers: its second step starts at 10.
+  EXPECT_DOUBLE_EQ(Timeline(log, spec, local).raw_event_time(), 10.0);
+  EXPECT_DOUBLE_EQ(Timeline(log, spec, global).raw_event_time(), 11.0);
+}
+
+TEST(Replay, ChainRoundsEnterThePerfectOverlapBound) {
+  EventLog log;
+  log.on_chain(5.0);
+  const Timeline tl(log, simple_spec(1, 2.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(tl.perfect_overlap_time(), 10.0);
+}
+
+TEST(Replay, UsageBreakdownAccountsAllBusyTime) {
+  EventLog log;
+  log.on_flops(0, 6.0);
+  log.on_transfer(0, 1, 4.0);
+  log.on_barrier();
+  const Timeline tl(log, simple_spec(2, 1.0, 2.0, 3.0));
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[0].compute_busy_s, 2.0);
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[0].send_busy_s, 3.0);  // alpha + 4/2
+  EXPECT_DOUBLE_EQ(tl.rank_usage()[1].recv_busy_s, 2.0);
+  EXPECT_GE(tl.rank_usage()[1].idle_s(), 0.0);
+}
+
+// -------------------------------- bounds re-derived from the event stream ----
+
+// Replaying the recorded events must reproduce the Machine's two analytic
+// times exactly: this is the proof that the event stream captures everything
+// the aggregate counters did.
+void expect_bounds_match(const xsim::Machine& m, const EventLog& log) {
+  const Timeline tl(log, m.spec());
+  EXPECT_DOUBLE_EQ(tl.strict_bsp_time(), m.elapsed_time());
+  EXPECT_DOUBLE_EQ(tl.perfect_overlap_time(), m.modeled_time_overlap());
+  EXPECT_EQ(tl.num_steps(), m.num_steps());
+  EXPECT_LE(tl.perfect_overlap_time(), tl.modeled_time());
+  EXPECT_LE(tl.modeled_time(), tl.strict_bsp_time());
+}
+
+TEST(EventStream, ConfluxLuBoundsMatchMachine) {
+  const index_t n = 96;
+  const grid::Grid3D g(2, 2, 2);
+  xsim::Machine m(paper_spec(g.ranks(), grid_memory(n, g)), xsim::ExecMode::Trace);
+  EventLog log;
+  ScopedRecord rec(m, log);
+  factor::conflux_lu_trace(m, g, n, factor::FactorOptions{.block_size = 16});
+  expect_bounds_match(m, log);
+}
+
+TEST(EventStream, ConfchoxBoundsMatchMachine) {
+  const index_t n = 96;
+  const grid::Grid3D g(3, 2, 2);
+  xsim::Machine m(paper_spec(g.ranks(), grid_memory(n, g)), xsim::ExecMode::Trace);
+  EventLog log;
+  ScopedRecord rec(m, log);
+  factor::confchox_trace(m, g, n, factor::FactorOptions{.block_size = 16});
+  expect_bounds_match(m, log);
+}
+
+TEST(EventStream, Scalapack2DBoundsMatchMachine) {
+  xsim::Machine m(paper_spec(16, 1 << 20), xsim::ExecMode::Trace);
+  EventLog log;
+  ScopedRecord rec(m, log);
+  baselines::scalapack_lu_trace(m, grid::choose_grid_2d(16), 128,
+                                baselines::Baseline2DOptions{.block_size = 32});
+  expect_bounds_match(m, log);
+}
+
+TEST(EventStream, CandmcBoundsMatchMachine) {
+  xsim::Machine m(paper_spec(64, 1 << 22), xsim::ExecMode::Trace);
+  EventLog log;
+  ScopedRecord rec(m, log);
+  baselines::candmc_lu_trace(m, 1024, {});
+  expect_bounds_match(m, log);
+}
+
+TEST(EventStream, ScopedRecordRestoresThePreviousSink) {
+  xsim::Machine m(paper_spec(2, 1 << 10), xsim::ExecMode::Trace);
+  EventLog outer;
+  m.set_event_sink(&outer);
+  {
+    EventLog inner;
+    ScopedRecord rec(m, inner);
+    m.charge_flops(0, 1.0);
+    EXPECT_EQ(inner.events().size(), 1u);
+  }
+  m.charge_flops(1, 1.0);
+  EXPECT_EQ(m.event_sink(), &outer);
+  EXPECT_EQ(outer.events().size(), 1u);
+}
+
+// ------------------------------------------- the model-ordering invariant ----
+
+struct OrderingCase {
+  std::string name;
+  index_t n;
+  int px, py, pz;
+};
+
+class ModelOrdering : public ::testing::TestWithParam<OrderingCase> {};
+
+// Figure-style configurations (the grids behind fig01/08/09/10/11 cells,
+// scaled to test size): the bounded-overlap time must sit between the
+// strict-BSP and perfect-overlap models for both factorizations.
+TEST_P(ModelOrdering, TimelineLiesBetweenTheBounds) {
+  const auto& p = GetParam();
+  const grid::Grid3D g(p.px, p.py, p.pz);
+  const double mem = grid_memory(p.n, g);
+  for (const bool cholesky : {false, true}) {
+    xsim::Machine m(paper_spec(g.ranks(), mem), xsim::ExecMode::Trace);
+    EventLog log;
+    {
+      ScopedRecord rec(m, log);
+      if (cholesky) {
+        factor::confchox_trace(m, g, p.n, {});
+      } else {
+        factor::conflux_lu_trace(m, g, p.n, {});
+      }
+    }
+    const Timeline tl(log, m.spec());
+    EXPECT_GT(tl.modeled_time(), 0.0);
+    EXPECT_LE(m.modeled_time_overlap(), tl.modeled_time())
+        << p.name << (cholesky ? " chol" : " lu");
+    EXPECT_LE(tl.modeled_time(), m.elapsed_time())
+        << p.name << (cholesky ? " chol" : " lu");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ModelOrdering,
+    ::testing::Values(OrderingCase{"seq", 256, 1, 1, 1},
+                      OrderingCase{"plane2d", 512, 8, 8, 1},
+                      OrderingCase{"square25d", 512, 4, 4, 4},
+                      OrderingCase{"shallow25d", 512, 4, 4, 2},
+                      OrderingCase{"wide", 768, 8, 4, 2},
+                      OrderingCase{"nonpow2", 384, 3, 3, 3}),
+    [](const ::testing::TestParamInfo<OrderingCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ModelOrderingBaselines, Scalapack2DAndCandmc) {
+  const index_t n = 512;
+  const int p = 16;
+  for (int variant = 0; variant < 4; ++variant) {
+    xsim::Machine m(paper_spec(p, 1 << 22), xsim::ExecMode::Trace);
+    EventLog log;
+    {
+      ScopedRecord rec(m, log);
+      switch (variant) {
+        case 0:
+          baselines::scalapack_lu_trace(m, grid::choose_grid_2d(p), n,
+                                        baselines::Baseline2DOptions{.block_size = 64});
+          break;
+        case 1:
+          baselines::scalapack_cholesky_trace(m, grid::choose_grid_2d(p), n,
+                                              baselines::slate_defaults());
+          break;
+        case 2: baselines::candmc_lu_trace(m, n, {}); break;
+        case 3: baselines::capital_cholesky_trace(m, n, {}); break;
+      }
+    }
+    const Timeline tl(log, m.spec());
+    EXPECT_LE(m.modeled_time_overlap(), tl.modeled_time()) << "variant " << variant;
+    EXPECT_LE(tl.modeled_time(), m.elapsed_time()) << "variant " << variant;
+  }
+}
+
+// --------------------------------------- Trace == Real event-stream match ----
+
+TEST(TraceRealEvents, CholeskyEventStreamsIdentical) {
+  // No pivoting: a Real and a Trace run must emit the *same events in the
+  // same order* — the event-level strengthening of the per-rank counter
+  // equality asserted in factor_test.
+  const index_t n = 80;
+  const grid::Grid3D g(2, 2, 2);
+  const double mem = grid_memory(n, g);
+  const MatrixD a = random_spd_matrix(n, 17);
+  const factor::FactorOptions opt{.block_size = 16};
+
+  xsim::Machine real(paper_spec(g.ranks(), mem), xsim::ExecMode::Real);
+  EventLog real_log;
+  {
+    ScopedRecord rec(real, real_log);
+    factor::confchox(real, g, a.view(), opt);
+  }
+  xsim::Machine trace(paper_spec(g.ranks(), mem), xsim::ExecMode::Trace);
+  EventLog trace_log;
+  {
+    ScopedRecord rec(trace, trace_log);
+    factor::confchox_trace(trace, g, n, opt);
+  }
+  ASSERT_EQ(real_log.events().size(), trace_log.events().size());
+  EXPECT_TRUE(real_log.events() == trace_log.events());
+  EXPECT_EQ(real_log.labels(), trace_log.labels());
+}
+
+struct KindAggregate {
+  std::size_t count = 0;
+  double words = 0.0;
+  double flops = 0.0;
+};
+
+std::map<EventKind, KindAggregate> aggregate_by_kind(const EventLog& log) {
+  std::map<EventKind, KindAggregate> out;
+  for (const Event& e : log.events()) {
+    KindAggregate& a = out[e.kind];
+    ++a.count;
+    a.words += e.words;
+    a.flops += e.flops;
+  }
+  return out;
+}
+
+TEST(TraceRealEvents, LuPerKindTotalsMatch) {
+  // LU pivot *positions* differ between Real (data-driven) and Trace
+  // (random), so individual events differ — but each event kind's total
+  // volume and flops are pivot-invariant, like the machine-wide totals.
+  const index_t n = 96;
+  const grid::Grid3D g(2, 2, 2);
+  const double mem = grid_memory(n, g);
+  const MatrixD a = random_matrix(n, n, 19);
+  const factor::FactorOptions opt{.block_size = 16};
+
+  xsim::Machine real(paper_spec(g.ranks(), mem), xsim::ExecMode::Real);
+  EventLog real_log;
+  {
+    ScopedRecord rec(real, real_log);
+    factor::conflux_lu(real, g, a.view(), opt);
+  }
+  xsim::Machine trace(paper_spec(g.ranks(), mem), xsim::ExecMode::Trace);
+  EventLog trace_log;
+  {
+    ScopedRecord rec(trace, trace_log);
+    factor::conflux_lu_trace(trace, g, n, opt);
+  }
+  const auto real_agg = aggregate_by_kind(real_log);
+  const auto trace_agg = aggregate_by_kind(trace_log);
+  ASSERT_EQ(real_agg.size(), trace_agg.size());
+  for (const auto& [kind, ra] : real_agg) {
+    ASSERT_TRUE(trace_agg.count(kind)) << kind_name(kind);
+    const KindAggregate& ta = trace_agg.at(kind);
+    EXPECT_NEAR(ra.words, ta.words, 1e-9 * ra.words + 1e-9) << kind_name(kind);
+    EXPECT_NEAR(ra.flops, ta.flops, 1e-9 * ra.flops + 1e-9) << kind_name(kind);
+  }
+  EXPECT_EQ(real_log.num_barriers(), trace_log.num_barriers());
+  EXPECT_EQ(real_log.labels(), trace_log.labels());
+}
+
+// ----------------------------------------------------- Chrome-trace JSON ----
+
+// Minimal recursive-descent JSON syntax checker: enough to guarantee
+// about:tracing / Perfetto can load the file.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    const auto digit_run = [&] {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    digit_run();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      digit_run();
+    }
+    if (digits && pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      bool exp_digits = false;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return false;
+    }
+    return digits && pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string_view want(lit);
+    if (s_.substr(pos_, want.size()) != want) return false;
+    pos_ += want.size();
+    return true;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ChromeTrace, ExportIsValidJsonWithPhaseLabels) {
+  const index_t n = 64;
+  const grid::Grid3D g(2, 2, 2);
+  xsim::Machine m(paper_spec(g.ranks(), grid_memory(n, g)), xsim::ExecMode::Trace);
+  EventLog log;
+  {
+    ScopedRecord rec(m, log);
+    factor::conflux_lu_trace(m, g, n, factor::FactorOptions{.block_size = 16});
+  }
+  TimelineOptions opt;
+  opt.record_slices = true;
+  const Timeline tl(log, m.spec(), opt);
+  ASSERT_FALSE(tl.slices().empty());
+
+  std::ostringstream os;
+  const std::size_t written = write_chrome_trace(os, tl);
+  const std::string json = os.str();
+  EXPECT_GT(written, 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("tournament-pivot"), std::string::npos);
+  EXPECT_NE(json.find("schur-update"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+}
+
+TEST(ChromeTrace, SlicesAreOffWithoutOptIn) {
+  EventLog log;
+  log.on_flops(0, 1.0);
+  const Timeline tl(log, simple_spec(1, 0.0, 1.0, 1.0));
+  EXPECT_TRUE(tl.slices().empty());
+}
+
+// -------------------------------------------------- OpenMP determinism ----
+
+TEST(RankParallel, RealModeResultsBitwiseIdenticalAcrossThreadCounts) {
+  const index_t n = 128;
+  const grid::Grid3D g(2, 2, 2);
+  const double mem = grid_memory(n, g);
+  const MatrixD a = random_matrix(n, n, 29);
+  const MatrixD spd = random_spd_matrix(n, 31);
+  const factor::FactorOptions opt{.block_size = 16};
+
+  const auto run_lu = [&] {
+    xsim::Machine m(paper_spec(g.ranks(), mem), xsim::ExecMode::Real);
+    return factor::conflux_lu(m, g, a.view(), opt);
+  };
+  const auto run_chol = [&] {
+    xsim::Machine m(paper_spec(g.ranks(), mem), xsim::ExecMode::Real);
+    return factor::confchox(m, g, spd.view(), opt);
+  };
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const factor::LuResult lu1 = run_lu();
+  const factor::CholResult ch1 = run_chol();
+#ifdef _OPENMP
+  omp_set_num_threads(4);
+#endif
+  const factor::LuResult lu4 = run_lu();
+  const factor::CholResult ch4 = run_chol();
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+
+  EXPECT_EQ(lu1.perm, lu4.perm);
+  EXPECT_EQ(lu1.factors, lu4.factors);
+  EXPECT_EQ(ch1.factors, ch4.factors);
+}
+
+}  // namespace
+}  // namespace conflux::sched
