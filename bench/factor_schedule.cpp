@@ -18,6 +18,7 @@
 //                      the rank-parallel speedup per cell
 //   --trace=FILE       writes a Chrome trace (about:tracing) of the last
 //                      LU cell's bounded-overlap timeline
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -51,6 +52,8 @@ struct Row {
   Cell cell;
   double real_wall_s = 0.0;
   double serial_wall_s = 0.0;  // 0 when --serial-baseline is off
+  double real_gflops = 0.0;    // factorization flops / real_wall_s
+  double workspace_peak_words = 0.0;  // Real-mode resident data-path words
   double t_bsp = 0.0;
   double t_timeline = 0.0;
   double t_overlap = 0.0;
@@ -99,12 +102,15 @@ Row run_cell(const std::string& algo, const Cell& c, int reps, bool serial_basel
   const auto real_run = [&] {
     xsim::Machine m(spec, xsim::ExecMode::Real);
     if (lu) {
-      factor::conflux_lu(m, g, a.view(), opt);
+      row.workspace_peak_words = factor::conflux_lu(m, g, a.view(), opt).workspace_words;
     } else {
-      factor::confchox(m, g, a.view(), opt);
+      row.workspace_peak_words = factor::confchox(m, g, a.view(), opt).workspace_words;
     }
   };
   row.real_wall_s = best_wall(reps, real_run);
+  const double nd = static_cast<double>(c.n);
+  const double factor_flops = lu ? 2.0 * nd * nd * nd / 3.0 : nd * nd * nd / 3.0;
+  row.real_gflops = factor_flops / row.real_wall_s / 1e9;
 #ifdef _OPENMP
   if (serial_baseline) {
     const int saved = omp_get_max_threads();
@@ -140,9 +146,10 @@ Row run_cell(const std::string& algo, const Cell& c, int reps, bool serial_basel
 
 void print_row(const Row& r) {
   std::printf(
-      "%-11s n=%-5lld grid %dx%dx%d v=%-3lld  wall %.3fs", r.algo.c_str(),
-      static_cast<long long>(r.cell.n), r.cell.px, r.cell.py, r.cell.pz,
-      static_cast<long long>(r.cell.v), r.real_wall_s);
+      "%-11s n=%-5lld grid %dx%dx%d v=%-3lld  wall %.3fs (%.2f GF/s, ws %.2fM words)",
+      r.algo.c_str(), static_cast<long long>(r.cell.n), r.cell.px, r.cell.py,
+      r.cell.pz, static_cast<long long>(r.cell.v), r.real_wall_s, r.real_gflops,
+      r.workspace_peak_words / 1e6);
   if (r.serial_wall_s > 0.0) {
     std::printf(" (1-thread %.3fs, %.2fx)", r.serial_wall_s,
                 r.serial_wall_s / r.real_wall_s);
@@ -161,6 +168,8 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
         << ", \"pz\": " << r.cell.pz << ", \"v\": " << r.cell.v
         << ", \"real_wall_s\": " << r.real_wall_s
         << ", \"serial_wall_s\": " << r.serial_wall_s
+        << ", \"real_gflops\": " << r.real_gflops
+        << ", \"workspace_peak_words\": " << r.workspace_peak_words
         << ", \"model_bsp_s\": " << r.t_bsp
         << ", \"model_timeline_s\": " << r.t_timeline
         << ", \"model_overlap_s\": " << r.t_overlap
@@ -211,6 +220,20 @@ int main(int argc, char** argv) {
                   trace_path.c_str(), tl.slices().size());
     } else {
       std::fprintf(stderr, "error: could not write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
+  // Sanity gate for CI's perf-smoke job: a hung clock, NaN time, or NaN
+  // model output must fail the run, not silently land in the record.
+  for (const Row& r : rows) {
+    const bool ok = std::isfinite(r.real_wall_s) && r.real_wall_s > 0.0 &&
+                    std::isfinite(r.real_gflops) && std::isfinite(r.t_bsp) &&
+                    std::isfinite(r.t_timeline) && std::isfinite(r.t_overlap) &&
+                    std::isfinite(r.workspace_peak_words);
+    if (!ok) {
+      std::fprintf(stderr, "error: non-finite measurement for %s n=%lld\n",
+                   r.algo.c_str(), static_cast<long long>(r.cell.n));
       return 1;
     }
   }

@@ -9,11 +9,25 @@
 //     pack alpha*op(A)(ic:, pc:) into micro-panels of kMR rows
 //     jr/ir over micro-tiles, each handled by the kMR x kNR microkernel
 //
+// Two departures from the textbook loop nest, both motivated by the
+// factorization workloads (Schur updates with k = v in the tens, panel
+// updates with m <= one cache block):
+//   - small-k fast path: when k <= Tuning::small_k and B is untransposed,
+//     B is never packed — a strided microkernel streams op(B) rows in
+//     place. Packing B costs a full extra pass over B per (jc, pc) block,
+//     which is pure overhead when the k loop is a handful of iterations.
+//   - jr parallelization: when there are fewer A row blocks than threads
+//     (panel updates: m <= mc means ONE block), threads cooperatively pack
+//     the A block and then split the jr stripe loop, so small-m updates
+//     still use the whole machine.
+//
 // OpenMP: threads cooperate on packing B (worksharing over micro-panels)
-// and then split the ic loop, each thread packing A into its own
-// thread-local buffer. Every C element is accumulated in the same fixed
-// pc-then-p order regardless of thread count, and the ic partition is
-// disjoint, so multi-threaded results are bitwise identical run to run.
+// and then either split the ic loop (each thread packing A into its own
+// buffer) or, when the ic loop is too short, split the jr loop against a
+// cooperatively packed shared A block. Every C element is accumulated in
+// the same fixed pc-then-p order regardless of thread count or path, and
+// every C tile is written by exactly one thread, so results are bitwise
+// identical run to run and across thread counts.
 #include <algorithm>
 #include <vector>
 
@@ -32,12 +46,18 @@ namespace {
 inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 inline index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
 
-// C[mr x nr] += packed-A micro-panel * packed-B micro-panel, kc deep.
+// C[mr x nr] += packed-A micro-panel * op(B) stripe, kc deep.
 //   ap: kc slices of kMR values (column of op(A), zero-padded past mr)
-//   bp: kc slices of kNR values (row of op(B), zero-padded past nr)
+//   bp: kc rows of B lanes, `bstride` apart — kNR for a packed micro-panel
+//       (zero-padded past nr), or the matrix leading dimension when the
+//       small-k path streams op(B) rows in place (full stripes only:
+//       the flop loop reads kNR lanes unconditionally, so a strided call
+//       requires nr == kNR)
 // The fixed-size accumulator plus the compile-time kMR/kNR trip counts let
 // the compiler keep acc[][] entirely in vector registers and emit an FMA
-// per element; there are no branches in the flop loop.
+// per element; there are no branches in the flop loop, and the packed and
+// strided callers perform the identical multiply-accumulate sequence on
+// identical values, so their tiles are bitwise equal.
 #if defined(__GNUC__) || defined(__clang__)
 
 // GCC/Clang portable vector extension: one "register" of kMR doubles. The
@@ -55,13 +75,13 @@ inline vreg load_vreg(const double* p) {
 }
 
 void micro_kernel(index_t kc, const double* __restrict ap,
-                  const double* __restrict bp, double* __restrict c,
-                  index_t ldc, index_t mr, index_t nr) {
+                  const double* __restrict bp, index_t bstride,
+                  double* __restrict c, index_t ldc, index_t mr, index_t nr) {
   // acc[j] holds column j of the kMR x kNR C tile.
   vreg acc[kNR] = {};
   for (index_t p = 0; p < kc; ++p) {
     const vreg av = load_vreg(ap + p * kMR);
-    const double* __restrict b = bp + p * kNR;
+    const double* __restrict b = bp + p * bstride;
     for (index_t j = 0; j < kNR; ++j) acc[j] += av * b[j];
   }
   // Transposed store back into row-major C; O(kMR*kNR) work against
@@ -75,12 +95,12 @@ void micro_kernel(index_t kc, const double* __restrict ap,
 #else  // portable fallback, written so the j loop auto-vectorizes
 
 void micro_kernel(index_t kc, const double* __restrict ap,
-                  const double* __restrict bp, double* __restrict c,
-                  index_t ldc, index_t mr, index_t nr) {
+                  const double* __restrict bp, index_t bstride,
+                  double* __restrict c, index_t ldc, index_t mr, index_t nr) {
   double acc[kNR][kMR] = {};
   for (index_t p = 0; p < kc; ++p) {
     const double* __restrict a = ap + p * kMR;
-    const double* __restrict b = bp + p * kNR;
+    const double* __restrict b = bp + p * bstride;
     for (index_t j = 0; j < kNR; ++j) {
       const double bj = b[j];
       for (index_t i = 0; i < kMR; ++i) acc[j][i] += a[i] * bj;
@@ -169,6 +189,14 @@ thread_local std::vector<double> tls_apack;
 // while concurrent gemm calls from different caller threads stay isolated.
 thread_local std::vector<double> tls_bpack;
 
+// Shared packed-A block for the jr-parallel path (same caller-thread
+// ownership scheme as tls_bpack).
+thread_local std::vector<double> tls_ashared;
+
+// Per-thread zero-padded stripe for the strided-B path's edge stripe
+// (nr < kNR), where the strided microkernel would over-read B.
+thread_local std::vector<double> tls_bedge;
+
 }  // namespace
 
 void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
@@ -206,10 +234,15 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
   const index_t mc_blk = round_up(std::min(tu.mc, m), kMR);
   const index_t kc_blk = std::min(tu.kc, k);
   const index_t nc_blk = round_up(std::min(tu.nc, n), kNR);
+  const index_t ni_blocks = ceil_div(m, mc_blk);
 
-  // B panel is shared by all threads within one (jc, pc) iteration.
+  // Small-k fast path: stream op(B) rows through the strided microkernel
+  // instead of packing them (transb == None keeps rows contiguous).
+  const bool strided_b =
+      transb == Trans::None && tu.small_k > 0 && k <= tu.small_k;
+
   std::vector<double>& bpack = tls_bpack;
-  if (static_cast<index_t>(bpack.size()) < nc_blk * kc_blk)
+  if (!strided_b && static_cast<index_t>(bpack.size()) < nc_blk * kc_blk)
     bpack.resize(static_cast<std::size_t>(nc_blk * kc_blk));
   const index_t apack_size = mc_blk * kc_blk;
 
@@ -219,48 +252,115 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
   if (nthreads < 1) nthreads = 1;
 #endif
 
+  // With fewer A row blocks than threads (panel updates: often exactly one
+  // block), the ic loop cannot feed the machine; switch to a shared packed
+  // A block and split the jr loop instead. Either way every C tile is
+  // computed from the same packed/streamed values in the same order, so
+  // the choice never changes results.
+  const bool shared_a = nthreads > 1 && ni_blocks < nthreads;
+  std::vector<double>& ashared = tls_ashared;
+  if (shared_a && static_cast<index_t>(ashared.size()) < apack_size)
+    ashared.resize(static_cast<std::size_t>(apack_size));
+
 #ifdef _OPENMP
 #pragma omp parallel num_threads(nthreads) if (nthreads > 1)
 #endif
   {
     std::vector<double>& apack = tls_apack;
-    if (static_cast<index_t>(apack.size()) < apack_size)
+    if (!shared_a && static_cast<index_t>(apack.size()) < apack_size)
       apack.resize(static_cast<std::size_t>(apack_size));
+    std::vector<double>& bedge = tls_bedge;
+    if (strided_b && static_cast<index_t>(bedge.size()) < kNR * kc_blk)
+      bedge.resize(static_cast<std::size_t>(kNR * kc_blk));
+    // (jc, pc) for which this thread's bedge holds the packed edge stripe:
+    // at most one stripe per (jc, pc) block has nr < kNR, so one key pair
+    // avoids repacking it once per A row block.
+    index_t bedge_jc = -1, bedge_pc = -1;
 
     for (index_t jc = 0; jc < n; jc += nc_blk) {
       const index_t nc = std::min(nc_blk, n - jc);
       for (index_t pc = 0; pc < k; pc += kc_blk) {
         const index_t kc = std::min(kc_blk, k - pc);
 
-        const index_t nb_panels = ceil_div(nc, kNR);
+        if (!strided_b) {
+          const index_t nb_panels = ceil_div(nc, kNR);
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
-        for (index_t jp = 0; jp < nb_panels; ++jp) {
-          pack_b_panel(transb, b, pc, jc, jp * kNR, nc, kc,
-                       bpack.data() + jp * (kNR * kc));
+          for (index_t jp = 0; jp < nb_panels; ++jp) {
+            pack_b_panel(transb, b, pc, jc, jp * kNR, nc, kc,
+                         bpack.data() + jp * (kNR * kc));
+          }
+          // (implicit barrier: the packed B panel is complete here)
         }
-        // (implicit barrier: the packed B panel is complete here)
 
-        const index_t ni_blocks = ceil_div(m, mc_blk);
+        // One kNR-wide stripe of C micro-tiles from a packed A block.
+        const auto do_stripe = [&](const double* ap, index_t ic, index_t mc,
+                                   index_t jr) {
+          const index_t nr = std::min(kNR, nc - jr);
+          double* c0 = c.row(ic) + jc + jr;
+          const double* bp;
+          index_t bstride;
+          if (strided_b && nr == kNR) {
+            bp = b.row(pc) + jc + jr;
+            bstride = b.ld();
+          } else if (strided_b) {
+            // Edge stripe of the strided path: zero-pad into the per-thread
+            // scratch so the microkernel can read full kNR lanes.
+            if (bedge_jc != jc || bedge_pc != pc) {
+              pack_b_panel(transb, b, pc, jc, jr, nc, kc, bedge.data());
+              bedge_jc = jc;
+              bedge_pc = pc;
+            }
+            bp = bedge.data();
+            bstride = kNR;
+          } else {
+            bp = bpack.data() + (jr / kNR) * (kNR * kc);
+            bstride = kNR;
+          }
+          for (index_t ir = 0; ir < mc; ir += kMR) {
+            micro_kernel(kc, ap + (ir / kMR) * (kMR * kc), bp, bstride,
+                         c0 + ir * c.ld(), c.ld(), std::min(kMR, mc - ir), nr);
+          }
+        };
+
+        if (!shared_a) {
 #ifdef _OPENMP
 #pragma omp for schedule(dynamic, 1)
 #endif
-        for (index_t ib = 0; ib < ni_blocks; ++ib) {
-          const index_t ic = ib * mc_blk;
-          const index_t mc = std::min(mc_blk, m - ic);
-          pack_a(transa, alpha, a, ic, pc, mc, kc, apack.data());
-          for (index_t jr = 0; jr < nc; jr += kNR) {
-            const index_t nr = std::min(kNR, nc - jr);
-            const double* bp = bpack.data() + (jr / kNR) * (kNR * kc);
-            for (index_t ir = 0; ir < mc; ir += kMR) {
-              micro_kernel(kc, apack.data() + (ir / kMR) * (kMR * kc), bp,
-                           c.row(ic + ir) + jc + jr, c.ld(),
-                           std::min(kMR, mc - ir), nr);
+          for (index_t ib = 0; ib < ni_blocks; ++ib) {
+            const index_t ic = ib * mc_blk;
+            const index_t mc = std::min(mc_blk, m - ic);
+            pack_a(transa, alpha, a, ic, pc, mc, kc, apack.data());
+            for (index_t jr = 0; jr < nc; jr += kNR) {
+              do_stripe(apack.data(), ic, mc, jr);
             }
           }
+          // (implicit barrier: everyone is done reading bpack before repack)
+        } else {
+          for (index_t ib = 0; ib < ni_blocks; ++ib) {
+            const index_t ic = ib * mc_blk;
+            const index_t mc = std::min(mc_blk, m - ic);
+            const index_t na_panels = ceil_div(mc, kMR);
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+            for (index_t ip = 0; ip < na_panels; ++ip) {
+              pack_a(transa, alpha, a, ic + ip * kMR, pc,
+                     std::min(kMR, mc - ip * kMR), kc,
+                     ashared.data() + ip * (kMR * kc));
+            }
+            // (implicit barrier: the shared A block is complete here)
+            const index_t nj_stripes = ceil_div(nc, kNR);
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+            for (index_t js = 0; js < nj_stripes; ++js) {
+              do_stripe(ashared.data(), ic, mc, js * kNR);
+            }
+            // (implicit barrier: stripes done before the A block repacks)
+          }
         }
-        // (implicit barrier: everyone is done reading bpack before repack)
       }
     }
   }

@@ -30,6 +30,7 @@ void Tuning::sanitize() {
   if (lu_nb < 1) lu_nb = 1;
   if (threads < 0) threads = 0;
   if (small_gemm_flops < 0.0) small_gemm_flops = 0.0;
+  if (small_k < 0) small_k = 0;
 }
 
 Tuning tuning_from_env() {
@@ -40,6 +41,7 @@ Tuning tuning_from_env() {
   t.db = env_index("XBLAS_DB", t.db);
   t.lu_nb = env_index("XBLAS_LU_NB", t.lu_nb);
   t.threads = static_cast<int>(env_index("XBLAS_THREADS", t.threads, 0));
+  t.small_k = env_index("XBLAS_SMALL_K", t.small_k, 0);  // 0 disables
   t.sanitize();
   return t;
 }

@@ -47,6 +47,11 @@ struct Tuning {
   /// Problems with 2*m*n*k at or below this skip packing entirely and use a
   /// direct strided kernel (packing overhead dominates for tiny blocks).
   double small_gemm_flops = 65536.0;
+  /// k at or below this takes the small-k fast path: B is read through a
+  /// strided microkernel instead of being packed (one saved pass over B per
+  /// block, which dominates when k is far below kc — the factorizations'
+  /// Schur updates run at k = v, typically 8..64). 0 disables the path.
+  index_t small_k = 64;
 
   /// Clamp every field to a sane value (>= 1 sizes, >= 0 threads).
   void sanitize();

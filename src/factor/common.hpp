@@ -47,6 +47,10 @@ struct LuResult {
   /// diagonal, U on and above).
   MatrixD factors;
   std::vector<StepCosts> step_costs;
+  /// Real mode: peak resident words of the factorization's host-side data
+  /// path (packed trailing workspace + factor store + scratch arena). The
+  /// per-layer dense scheme this replaced held (pz + 1) * npad^2 words.
+  double workspace_words = 0.0;
 };
 
 /// Cholesky result (no pivoting).
@@ -54,6 +58,8 @@ struct CholResult {
   /// Real mode: lower-triangular L with A = L L^T (upper triangle zero).
   MatrixD factors;
   std::vector<StepCosts> step_costs;
+  /// Real mode: peak resident words of the data path (see LuResult).
+  double workspace_words = 0.0;
 };
 
 /// Pick the block size: v = a * c for a small constant a (Section 7.2 uses

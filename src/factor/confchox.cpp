@@ -6,6 +6,7 @@
 #include "blas/lapack.hpp"
 #include "sched/rank_parallel.hpp"
 #include "support/check.hpp"
+#include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
 
 namespace conflux::factor {
@@ -17,6 +18,21 @@ using xblas::Side;
 using xblas::Trans;
 using xblas::UpLo;
 
+/// Workspace slot ids (tensor/workspace.hpp arena).
+enum WsSlot : std::size_t { kA00 = 0 };
+
+/// The whole mutable state of one factorization run.
+///
+/// Real-mode data path (DESIGN.md "Packed trailing workspace"): ONE
+/// npad x npad buffer `fac` is both the trailing accumulator and the factor
+/// store. Cholesky retires rows and columns in natural order, so the live
+/// trailing workspace at step t is simply the block (t*v.., t*v..) — already
+/// contiguous, no row index map needed — and everything to its left IS the
+/// finished factor: the panel trsm solves in place and its output never
+/// moves again. The pz layered partial sums of the simulated machine are
+/// realized inside gemm/syrk's fixed k-order (one beta=1 update with k = v
+/// accumulates the k-slices in ascending z), so per-layer buffers and the
+/// separate factor matrix of the previous scheme never exist.
 struct CholRun {
   xsim::Machine& m;
   const grid::Grid3D& g;
@@ -26,8 +42,8 @@ struct CholRun {
   index_t num_tiles = 0;
   bool real = false;
   std::vector<int> all_ranks;
-  std::vector<MatrixD> partials;  // per-layer partial sums (lower triangle)
-  MatrixD lfac;                   // the factor, written block by block
+  MatrixD fac;  // trailing accumulator left of the frontier, factor right
+  Workspace ws;
 
   CholRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size,
           index_t block)
@@ -50,13 +66,13 @@ long long approx_msgs(index_t items, int peers) {
 }
 
 // Step 1: reduce the trailing block column (rows t*v.., width v) onto layer
-// l_t; charged per x-group like COnfLUX's column reduction.
-void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
+// l_t; charged per x-group like COnfLUX's column reduction. Real mode has
+// nothing to execute: the trailing accumulator already holds the sums.
+void reduce_block_column(CholRun& run, index_t t) {
   run.m.annotate("reduce-column");
   const int pz = run.g.pz();
   const int y_t = static_cast<int>(t) % run.g.py();
   const int l_t = static_cast<int>(t) % pz;
-  const index_t nrows = run.npad - t * run.v;
   if (pz > 1) {
     for (int x = 0; x < run.g.px(); ++x) {
       const index_t rows_x = run.rows_with_residue(t, x, run.g.px());
@@ -65,24 +81,13 @@ void reduce_block_column(CholRun& run, index_t t, MatrixD* colblock) {
                          static_cast<double>(rows_x * run.v));
     }
   }
-  if (run.real) {
-    *colblock = MatrixD(nrows, run.v);
-    sched::parallel_ranks(nrows, [&](index_t i) {
-      for (index_t j = 0; j < run.v; ++j) {
-        double sum = 0.0;
-        for (int z = 0; z < pz; ++z) {
-          sum += run.partials[static_cast<std::size_t>(z)](t * run.v + i, t * run.v + j);
-        }
-        (*colblock)(i, j) = sum;
-      }
-    });
-  }
   run.m.step_barrier();
 }
 
 // Steps 2-3: potrf of the diagonal block on its owner, broadcast to all.
-void factor_and_broadcast_a00(CholRun& run, index_t t, MatrixD* a00,
-                              const MatrixD& colblock) {
+// The factored block is written back into the trailing buffer: that slot is
+// the finished factor from here on.
+void factor_and_broadcast_a00(CholRun& run, index_t t, ViewD* a00) {
   run.m.annotate("potrf-a00");
   const int x_t = static_cast<int>(t) % run.g.px();
   const int y_t = static_cast<int>(t) % run.g.py();
@@ -93,12 +98,16 @@ void factor_and_broadcast_a00(CholRun& run, index_t t, MatrixD* a00,
   xsim::comm::broadcast(run.m, run.all_ranks, static_cast<std::size_t>(owner),
                         vv * vv);
   if (run.real) {
-    *a00 = MatrixD(run.v, run.v, 0.0);
+    const index_t o = t * run.v;
+    *a00 = run.ws.zeroed(kA00, run.v, run.v);
     for (index_t i = 0; i < run.v; ++i) {
-      for (index_t j = 0; j <= i; ++j) (*a00)(i, j) = colblock(i, j);
+      for (index_t j = 0; j <= i; ++j) (*a00)(i, j) = run.fac(o + i, o + j);
     }
-    check(xblas::potrf(a00->view()) == 0,
+    check(xblas::potrf(*a00) == 0,
           "matrix is not positive definite at this block");
+    for (index_t i = 0; i < run.v; ++i) {
+      for (index_t j = 0; j <= i; ++j) run.fac(o + i, o + j) = (*a00)(i, j);
+    }
   }
   run.m.step_barrier();
 }
@@ -124,9 +133,10 @@ void scatter_panel_1d(CholRun& run, index_t t, index_t panel_rows) {
   run.m.step_barrier();
 }
 
-// Step 5: local trsm L10 = A10 * L00^{-T} on the 1D chunks.
-void trsm_panel(CholRun& run, index_t t, index_t panel_rows, const MatrixD& a00,
-                MatrixD* panel, const MatrixD& colblock) {
+// Step 5: local trsm L10 = A10 * L00^{-T} on the 1D chunks, IN PLACE in the
+// trailing buffer: the solved panel is simultaneously the factor's column
+// block and the Schur update's operand.
+void trsm_panel(CholRun& run, index_t t, index_t panel_rows, ConstViewD a00) {
   run.m.annotate("panel-trsm");
   const auto vv = static_cast<double>(run.v);
   const int p = run.m.ranks();
@@ -138,20 +148,13 @@ void trsm_panel(CholRun& run, index_t t, index_t panel_rows, const MatrixD& a00,
     // Execute the solve the way the schedule distributes it: one 1D row
     // chunk per simulated rank, fanned out across host threads (Right-side
     // solves are row-independent, so chunking is exact).
-    *panel = MatrixD(panel_rows, run.v);
+    ViewD panel = run.fac.block((t + 1) * run.v, t * run.v, panel_rows, run.v);
     sched::parallel_ranks(p, [&](index_t r) {
       const index_t lo = chunk_offset(panel_rows, p, static_cast<int>(r));
       const index_t cnt = chunk_size(panel_rows, p, static_cast<int>(r));
       if (cnt == 0) return;
-      copy<double>(colblock.view().block(run.v + lo, 0, cnt, run.v),
-                   panel->block(lo, 0, cnt, run.v));
       xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
-                  a00.view(), panel->block(lo, 0, cnt, run.v));
-      for (index_t i = lo; i < lo + cnt; ++i) {
-        for (index_t j = 0; j < run.v; ++j) {
-          run.lfac((t + 1) * run.v + i, t * run.v + j) = (*panel)(i, j);
-        }
-      }
+                  a00, panel.block(lo, 0, cnt, run.v));
     });
   }
   run.m.step_barrier();
@@ -193,9 +196,10 @@ void distribute_panel_2p5d(CholRun& run, index_t t, index_t panel_rows) {
   run.m.step_barrier();
 }
 
-// Step 7: symmetric Schur update of each layer's partials: layer z applies
-// its k-slice of L10 * L10^T to the lower triangle.
-void update_a11(CholRun& run, index_t t, const MatrixD& panel, index_t panel_rows) {
+// Step 7: symmetric Schur update of the trailing accumulator: layer z's
+// k-slice contribution is realized inside the fixed k-order of one beta=1
+// gemm/syrk per fixed row block (k = v spans the slices in ascending z).
+void update_a11(CholRun& run, index_t t, index_t panel_rows) {
   run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -216,29 +220,25 @@ void update_a11(CholRun& run, index_t t, const MatrixD& panel, index_t panel_row
     }
   }
   if (run.real && panel_rows > 0) {
-    // One task per (layer, fixed row block) of the symmetric update: the
-    // block's strictly-sub-diagonal stripe is a gemm against the earlier
-    // panel rows and its diagonal block a small syrk, so every lower-triangle
-    // element is written by exactly one task with the same k-order arithmetic
-    // the whole-panel syrk performs (disjoint writes, fixed decomposition —
-    // bitwise-deterministic across thread counts, DESIGN.md).
+    // One task per fixed row block of the symmetric update: the block's
+    // strictly-sub-diagonal stripe is a gemm against the earlier panel rows
+    // and its diagonal block a small syrk, accumulating straight into the
+    // trailing buffer (beta = 1 strided views; no update temporary). Every
+    // lower-triangle element is written by exactly one task with a fixed
+    // k-order — bitwise-deterministic across thread counts (DESIGN.md).
     const index_t off = (t + 1) * run.v;
+    ConstViewD panel = run.fac.block(off, t * run.v, panel_rows, run.v);
     const index_t nblocks = sched::num_row_blocks(panel_rows);
-    sched::parallel_ranks(static_cast<index_t>(pz) * nblocks, [&](index_t task) {
-      const int z = static_cast<int>(task / nblocks);
-      const index_t i0 = (task % nblocks) * sched::kRowBlock;
+    sched::parallel_ranks(nblocks, [&](index_t blk) {
+      const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
-      const index_t k0 = static_cast<index_t>(z) * slice;
-      MatrixD& layer = run.partials[static_cast<std::size_t>(z)];
       if (i0 > 0) {
         xblas::gemm(Trans::None, Trans::Transpose, -1.0,
-                    panel.view().block(i0, k0, bn, slice),
-                    panel.view().block(0, k0, i0, slice), 1.0,
-                    layer.block(off + i0, off, bn, i0));
+                    panel.block(i0, 0, bn, run.v), panel.block(0, 0, i0, run.v),
+                    1.0, run.fac.block(off + i0, off, bn, i0));
       }
-      xblas::syrk(UpLo::Lower, Trans::None, -1.0,
-                  panel.view().block(i0, k0, bn, slice), 1.0,
-                  layer.block(off + i0, off + i0, bn, bn));
+      xblas::syrk(UpLo::Lower, Trans::None, -1.0, panel.block(i0, 0, bn, run.v),
+                  1.0, run.fac.block(off + i0, off + i0, bn, bn));
     });
   }
   run.m.step_barrier();
@@ -265,16 +265,11 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.partials.assign(static_cast<std::size_t>(g.pz()), MatrixD());
-    run.partials[0] = MatrixD(npad, npad, 0.0);
+    run.fac = MatrixD(npad, npad, 0.0);
     for (index_t i = 0; i < n; ++i) {
-      for (index_t j = 0; j <= i; ++j) run.partials[0](i, j) = a(i, j);
+      for (index_t j = 0; j <= i; ++j) run.fac(i, j) = a(i, j);
     }
-    for (index_t r = n; r < npad; ++r) run.partials[0](r, r) = 1.0;
-    for (int z = 1; z < g.pz(); ++z) {
-      run.partials[static_cast<std::size_t>(z)] = MatrixD(npad, npad, 0.0);
-    }
-    run.lfac = MatrixD(npad, npad, 0.0);
+    for (index_t r = n; r < npad; ++r) run.fac(r, r) = 1.0;
   }
 
   CholResult result;
@@ -291,26 +286,19 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.begin_iteration();
     const index_t panel_rows = npad - (t + 1) * v;
 
-    MatrixD colblock;
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
-                [&] { reduce_block_column(run, t, &colblock); });
-    MatrixD a00;
+                [&] { reduce_block_column(run, t); });
+    ViewD a00;
     rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
-                [&] { factor_and_broadcast_a00(run, t, &a00, colblock); });
-    if (run.real) {
-      for (index_t i = 0; i < v; ++i) {
-        for (index_t j = 0; j <= i; ++j) run.lfac(t * v + i, t * v + j) = a00(i, j);
-      }
-    }
-    MatrixD panel;
+                [&] { factor_and_broadcast_a00(run, t, &a00); });
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { scatter_panel_1d(run, t, panel_rows); });
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
-                [&] { trsm_panel(run, t, panel_rows, a00, &panel, colblock); });
+                [&] { trsm_panel(run, t, panel_rows, a00); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { distribute_panel_2p5d(run, t, panel_rows); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
-                [&] { update_a11(run, t, panel, panel_rows); });
+                [&] { update_a11(run, t, panel_rows); });
     rec.end_iteration(result.step_costs);
   }
 
@@ -319,8 +307,10 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
   if (run.real) {
     result.factors = MatrixD(n, n, 0.0);
     for (index_t i = 0; i < n; ++i) {
-      for (index_t j = 0; j <= i; ++j) result.factors(i, j) = run.lfac(i, j);
+      for (index_t j = 0; j <= i; ++j) result.factors(i, j) = run.fac(i, j);
     }
+    result.workspace_words =
+        static_cast<double>(run.fac.size()) + run.ws.words();
   }
   return result;
 }

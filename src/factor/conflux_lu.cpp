@@ -7,6 +7,7 @@
 #include "blas/lapack.hpp"
 #include "sched/rank_parallel.hpp"
 #include "support/check.hpp"
+#include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
 
 namespace conflux::factor {
@@ -27,7 +28,17 @@ struct Candidates {
   MatrixD values;  // rows.size() x v
 };
 
-/// Rank candidate rows of `panel_rows` by partial-pivoting LU and keep the
+/// Buffers reused across every butterfly round of every step: the stacked
+/// 2v x v candidate block and its getrf scratch (allocated once per
+/// factorization, not once per merge).
+struct MergeScratch {
+  std::vector<index_t> rows;
+  MatrixD stacked;
+  MatrixD ranked;  // getrf scratch (the ranking destroys its copy)
+  std::vector<index_t> ipiv;
+};
+
+/// Rank candidate rows of `values` by partial-pivoting LU and keep the
 /// top `keep`: the standard CALU local selection.
 Candidates select_candidates(const std::vector<index_t>& rows, const MatrixD& values,
                              index_t keep) {
@@ -50,21 +61,61 @@ Candidates select_candidates(const std::vector<index_t>& rows, const MatrixD& va
   return out;
 }
 
-Candidates merge_candidates(const Candidates& a, const Candidates& b, index_t keep) {
+/// One tournament round: stack `b` under `a`, re-rank, keep the top `keep`
+/// rows in `a`. The merge adoptee is updated in place (no copy-then-move)
+/// and the stacked buffer lives in `s` across rounds.
+void merge_candidates(Candidates& a, const Candidates& b, index_t keep,
+                      MergeScratch& s) {
   const auto na = static_cast<index_t>(a.rows.size());
   const auto nb = static_cast<index_t>(b.rows.size());
-  if (na == 0) return b;
-  if (nb == 0) return a;
+  if (na == 0) {
+    a = b;
+    return;
+  }
+  if (nb == 0) return;
   const index_t v = a.values.cols();
-  std::vector<index_t> rows = a.rows;
-  rows.insert(rows.end(), b.rows.begin(), b.rows.end());
-  MatrixD stacked(na + nb, v);
-  copy<double>(a.values.view(), stacked.block(0, 0, na, v));
-  copy<double>(b.values.view(), stacked.block(na, 0, nb, v));
-  return select_candidates(rows, stacked, keep);
+  if (s.stacked.rows() < na + nb || s.stacked.cols() != v) {
+    s.stacked = MatrixD(na + nb, v);
+    s.ranked = MatrixD(na + nb, v);
+  }
+  s.rows.assign(a.rows.begin(), a.rows.end());
+  s.rows.insert(s.rows.end(), b.rows.begin(), b.rows.end());
+  copy<double>(a.values.view(), s.stacked.block(0, 0, na, v));
+  copy<double>(b.values.view(), s.stacked.block(na, 0, nb, v));
+  // Re-rank a copy of the stacked block (getrf destroys it); both buffers
+  // persist across rounds and steps.
+  ViewD ranked = s.ranked.block(0, 0, na + nb, v);
+  copy<double>(s.stacked.block(0, 0, na + nb, v), ranked);
+  xblas::getrf(ranked, s.ipiv);
+  const auto order = xblas::ipiv_to_permutation(s.ipiv, na + nb);
+  const index_t take = std::min(keep, na + nb);
+  a.rows.resize(static_cast<std::size_t>(take));
+  if (a.values.rows() != take) a.values = MatrixD(take, v);
+  for (index_t i = 0; i < take; ++i) {
+    const auto src = order[static_cast<std::size_t>(i)];
+    a.rows[static_cast<std::size_t>(i)] = s.rows[static_cast<std::size_t>(src)];
+    for (index_t j = 0; j < v; ++j) a.values(i, j) = s.stacked(src, j);
+  }
 }
 
+/// Workspace slot ids (tensor/workspace.hpp arena, one buffer each).
+enum WsSlot : std::size_t { kPivotRows = 0 };
+
 /// The whole mutable state of one factorization run.
+///
+/// Real-mode data path (DESIGN.md "Packed trailing workspace"): instead of
+/// pz + 1 full npad x npad matrices, the run keeps
+///   - `trail`, ONE row-compacted trailing accumulator: packed row i holds
+///     global row rowmap[i], live columns are [t*v, npad) at step t. The
+///     layered partial sums of the simulated machine are realized inside
+///     gemm's fixed k-order: one beta=1 update with k = v accumulates the
+///     pz k-slices in ascending z exactly as an ordered layer reduction
+///     would, so the per-layer buffers never need to exist.
+///   - `lstore`, the final factors keyed by global row (Section 7.3's row
+///     masking writes results in place, never moving rows).
+/// Eliminated rows retire once per step by swapping the tail row into their
+/// slot (O(v * trailing) per step), so every Schur update, reduction read,
+/// and panel solve runs on a contiguous packed block.
 struct LuRun {
   xsim::Machine& m;
   const grid::Grid3D& g;
@@ -78,11 +129,14 @@ struct LuRun {
   Rng trace_rng;
   std::vector<int> all_ranks;
 
-  // Real-mode data: per-layer partial sums, plus the final factors keyed by
-  // global row (Section 7.3's row masking writes results in place of the
-  // pivot bookkeeping, never moving rows).
-  std::vector<MatrixD> partials;
+  // Real-mode packed trailing workspace + factor store.
+  MatrixD trail;
   MatrixD lstore;
+  std::vector<index_t> rowmap;  // packed index -> global row
+  std::vector<index_t> rowpos;  // global row -> packed index (-1 = retired)
+  index_t nact = 0;             // live packed rows
+  Workspace ws;
+  MergeScratch merge_scratch;
 
   LuRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size, index_t block)
       : m(machine),
@@ -97,6 +151,26 @@ struct LuRun {
     tracker = RowTracker(npad, v, g.px());
     all_ranks = g.all();
   }
+
+  /// Retire this step's pivot rows from the packed workspace: move the tail
+  /// row into each winner's slot (trailing columns [col0, npad) only — the
+  /// retired columns to the left are dead). Winners' own trailing values
+  /// must have been gathered (pivotrows) before this runs.
+  void retire_rows(const std::vector<index_t>& winners, index_t col0) {
+    for (index_t w : winners) {
+      const index_t i = rowpos[static_cast<std::size_t>(w)];
+      const index_t last = --nact;
+      if (i != last) {
+        const index_t moved = rowmap[static_cast<std::size_t>(last)];
+        const double* src = &trail(last, col0);
+        std::copy(src, src + (npad - col0), &trail(i, col0));
+        rowmap[static_cast<std::size_t>(i)] = moved;
+        rowpos[static_cast<std::size_t>(moved)] = i;
+      }
+      rowpos[static_cast<std::size_t>(w)] = -1;
+      rowmap[static_cast<std::size_t>(last)] = -1;
+    }
+  }
 };
 
 // Approximate peer counts for the latency term of aggregated charges
@@ -110,7 +184,7 @@ long long approx_msgs(index_t items, int peers) {
 // Step 1: reduce the current block column across the Pz layers onto layer
 // l_t. Per x-group the payload is that group's active rows times v.
 // ---------------------------------------------------------------------------
-void reduce_block_column(LuRun& run, index_t t, MatrixD* colblock) {
+void reduce_block_column(LuRun& run, index_t t) {
   run.m.annotate("reduce-column");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -125,22 +199,9 @@ void reduce_block_column(LuRun& run, index_t t, MatrixD* colblock) {
                          static_cast<double>(rows_x * run.v));
     }
   }
-  if (run.real) {
-    // colblock is indexed by global row; only active rows are meaningful.
-    // Rows are disjoint, so the layer reduction fans out across threads.
-    *colblock = MatrixD(run.npad, run.v, 0.0);
-    const auto& active = run.tracker.active_rows();
-    sched::parallel_ranks(static_cast<index_t>(active.size()), [&](index_t i) {
-      const index_t r = active[static_cast<std::size_t>(i)];
-      for (index_t j = 0; j < run.v; ++j) {
-        double sum = 0.0;
-        for (int z = 0; z < pz; ++z) {
-          sum += run.partials[static_cast<std::size_t>(z)](r, t * run.v + j);
-        }
-        (*colblock)(r, j) = sum;
-      }
-    });
-  }
+  // Real mode: nothing to execute — the packed workspace already holds the
+  // reduced sums (the layer reduction is fused into the Schur update's
+  // k-order), so the block column is simply trail columns [t*v, t*v + v).
   run.m.step_barrier();
 }
 
@@ -153,7 +214,7 @@ struct PivotResult {
   MatrixD a00;  // v x v in-place LU of the winner rows (Real mode)
 };
 
-PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
+PivotResult tournament_pivot(LuRun& run, index_t t) {
   run.m.annotate("tournament-pivot");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -188,30 +249,31 @@ PivotResult tournament_pivot(LuRun& run, index_t t, const MatrixD& colblock) {
   }
 
   // Local candidate selection per x-group: one simulated column owner per
-  // task, each ranking its own rows (disjoint outputs).
+  // task, each ranking its own rows (disjoint outputs). Panel values are
+  // read straight out of the packed workspace.
   std::vector<Candidates> cand(static_cast<std::size_t>(px));
   sched::parallel_ranks(px, [&](index_t x) {
     const auto rows = run.tracker.rows_for_x(static_cast<int>(x));
     if (rows.empty()) return;
     MatrixD values(static_cast<index_t>(rows.size()), run.v);
     for (std::size_t i = 0; i < rows.size(); ++i) {
+      const index_t pi = run.rowpos[static_cast<std::size_t>(rows[i])];
       for (index_t j = 0; j < run.v; ++j) {
-        values(static_cast<index_t>(i), j) = colblock(rows[i], j);
+        values(static_cast<index_t>(i), j) = run.trail(pi, t * run.v + j);
       }
     }
     cand[static_cast<std::size_t>(x)] = select_candidates(rows, values, run.v);
   });
-  // Butterfly merge rounds; every rank with a live partner adopts the merge.
+  // Merge rounds along the accumulation tree of rank 0. The full butterfly
+  // computes px/2 merges per round on every rank, but only the binomial
+  // tree rooted at rank 0 ever reaches the final candidate set, and each
+  // kept merge consumes exactly the sub-merges the butterfly would have fed
+  // it — so the winners are identical and the dead merges are skipped.
   for (int mask = 1; mask < px; mask <<= 1) {
-    for (int x = 0; x < px; ++x) {
-      const int peer = x ^ mask;
-      if (peer > x && peer < px) {
-        Candidates merged = merge_candidates(cand[static_cast<std::size_t>(x)],
-                                             cand[static_cast<std::size_t>(peer)],
-                                             run.v);
-        cand[static_cast<std::size_t>(peer)] = merged;
-        cand[static_cast<std::size_t>(x)] = std::move(merged);
-      }
+    for (int x = 0; x + mask < px; x += 2 * mask) {
+      merge_candidates(cand[static_cast<std::size_t>(x)],
+                       cand[static_cast<std::size_t>(x + mask)], run.v,
+                       run.merge_scratch);
     }
   }
   Candidates& final_set = cand[0];
@@ -295,10 +357,12 @@ void scatter_panel_1d(LuRun& run, index_t t, bool row_panel, index_t items,
 }
 
 // ---------------------------------------------------------------------------
-// Step 5: reduce the v pivot rows' trailing columns across the layers.
+// Step 5: reduce the v pivot rows' trailing columns across the layers. In
+// Real mode this gathers the winners' packed rows into the step-reusable
+// pivot-row workspace (the last read of those rows before they retire).
 // ---------------------------------------------------------------------------
 void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winners,
-                       MatrixD* pivotrows) {
+                       ViewD* pivotrows) {
   run.m.annotate("reduce-pivot-rows");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -323,16 +387,12 @@ void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winner
     }
   }
   if (run.real && ncols > 0) {
-    *pivotrows = MatrixD(run.v, ncols);
+    *pivotrows = run.ws.mat(kPivotRows, run.v, ncols);
     sched::parallel_ranks(run.v, [&](index_t l) {
-      const index_t row = winners[static_cast<std::size_t>(l)];
-      for (index_t j = 0; j < ncols; ++j) {
-        double sum = 0.0;
-        for (int z = 0; z < pz; ++z) {
-          sum += run.partials[static_cast<std::size_t>(z)](row, (t + 1) * run.v + j);
-        }
-        (*pivotrows)(l, j) = sum;
-      }
+      const index_t pi =
+          run.rowpos[static_cast<std::size_t>(winners[static_cast<std::size_t>(l)])];
+      const double* src = &run.trail(pi, (t + 1) * run.v);
+      std::copy(src, src + ncols, pivotrows->row(l));
     });
   }
   run.m.step_barrier();
@@ -393,10 +453,13 @@ void distribute_panels_2p5d(LuRun& run, index_t t, index_t a10_rows) {
 // ---------------------------------------------------------------------------
 // Step 11: local Schur-complement update of each layer's partial sums.
 // Layer z applies only its k-slice of A10 * A01 (the reduction-dimension
-// parallelism of Figure 7).
+// parallelism of Figure 7). Real mode runs the whole update as ONE gemm
+// straight into the packed trailing workspace (beta = 1, alpha = -1 on
+// strided views): gemm's ordered k loop accumulates the pz k-slices in
+// ascending z, which is exactly the layered partial-sum arithmetic, and the
+// per-task update temporary plus its subtract-scatter pass are gone.
 // ---------------------------------------------------------------------------
-void update_a11(LuRun& run, index_t t, const MatrixD& a10,
-                const std::vector<index_t>& rows, const MatrixD& a01) {
+void update_a11(LuRun& run, index_t t, ConstViewD pivotrows) {
   run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -418,30 +481,10 @@ void update_a11(LuRun& run, index_t t, const MatrixD& a10,
     }
   }
 
-  if (run.real && ncols > 0 && !rows.empty()) {
-    // One task per (layer, fixed row block): each layer applies only its
-    // k-slice of A10 * A01 to its own partial-sum buffer, and row blocks
-    // partition the output — disjoint writes, fixed decomposition, so the
-    // fan-out over host threads is bitwise-deterministic (DESIGN.md).
-    const auto nrows = static_cast<index_t>(rows.size());
-    const index_t nblocks = sched::num_row_blocks(nrows);
-    sched::parallel_ranks(static_cast<index_t>(pz) * nblocks, [&](index_t task) {
-      const int z = static_cast<int>(task / nblocks);
-      const index_t i0 = (task % nblocks) * sched::kRowBlock;
-      const index_t bn = std::min(sched::kRowBlock, nrows - i0);
-      const index_t k0 = static_cast<index_t>(z) * slice;
-      MatrixD update(bn, ncols);
-      xblas::gemm(Trans::None, Trans::None, 1.0,
-                  a10.view().block(i0, k0, bn, slice),
-                  a01.view().block(k0, 0, slice, ncols), 0.0, update.view());
-      MatrixD& layer = run.partials[static_cast<std::size_t>(z)];
-      for (index_t i = 0; i < bn; ++i) {
-        const index_t row = rows[static_cast<std::size_t>(i0 + i)];
-        for (index_t j = 0; j < ncols; ++j) {
-          layer(row, (t + 1) * run.v + j) -= update(i, j);
-        }
-      }
-    });
+  if (run.real && ncols > 0 && run.nact > 0) {
+    xblas::gemm(Trans::None, Trans::None, -1.0,
+                run.trail.block(0, t * run.v, run.nact, run.v), pivotrows, 1.0,
+                run.trail.block(0, (t + 1) * run.v, run.nact, ncols));
   }
   run.m.step_barrier();
 }
@@ -470,16 +513,19 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.partials.assign(static_cast<std::size_t>(g.pz()), MatrixD());
-    run.partials[0] = MatrixD(npad, npad, 0.0);
+    run.trail = MatrixD(npad, npad, 0.0);
     for (index_t i = 0; i < n; ++i) {
-      for (index_t j = 0; j < n; ++j) run.partials[0](i, j) = a(i, j);
+      for (index_t j = 0; j < n; ++j) run.trail(i, j) = a(i, j);
     }
-    for (index_t r = n; r < npad; ++r) run.partials[0](r, r) = 1.0;
-    for (int z = 1; z < g.pz(); ++z) {
-      run.partials[static_cast<std::size_t>(z)] = MatrixD(npad, npad, 0.0);
-    }
+    for (index_t r = n; r < npad; ++r) run.trail(r, r) = 1.0;
     run.lstore = MatrixD(npad, npad, 0.0);
+    run.nact = npad;
+    run.rowmap.resize(static_cast<std::size_t>(npad));
+    run.rowpos.resize(static_cast<std::size_t>(npad));
+    for (index_t i = 0; i < npad; ++i) {
+      run.rowmap[static_cast<std::size_t>(i)] = i;
+      run.rowpos[static_cast<std::size_t>(i)] = i;
+    }
   }
 
   LuResult result;
@@ -499,13 +545,12 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
   for (index_t t = 0; t < num_tiles; ++t) {
     m.charge_chain(chain_per_step);
     rec.begin_iteration();
-    MatrixD colblock;
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
-                [&] { reduce_block_column(run, t, &colblock); });
+                [&] { reduce_block_column(run, t); });
 
     PivotResult piv;
     rec.measure(&StepCosts::pivoting_words, &StepCosts::pivoting_flops,
-                [&] { piv = tournament_pivot(run, t, colblock); });
+                [&] { piv = tournament_pivot(run, t); });
     rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
                 [&] { broadcast_a00(run, t); });
 
@@ -531,9 +576,16 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
       scatter_panel_1d(run, t, /*row_panel=*/true, a10_rows, pivots_per_x);
     });
-    MatrixD pivotrows;
+    ViewD pivotrows;
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { reduce_pivot_rows(run, t, piv.winners, &pivotrows); });
+    if (run.real) {
+      // The winners' packed rows are fully consumed (a00 via the tournament,
+      // trailing columns via pivotrows): compact them out so the panel solve
+      // and Schur update below see one contiguous block of survivor rows.
+      run.retire_rows(piv.winners, t * v);
+      check(run.nact == a10_rows, "packed workspace out of sync with tracker");
+    }
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
       scatter_panel_1d(run, t, /*row_panel=*/false, ncols, pivots_per_x);
     });
@@ -543,8 +595,9 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     // chunk of A01 columns per simulated rank — and the chunks run across
     // host threads (row/column chunks of a triangular solve are exact:
     // Right-side solves are row-independent, Left-side column-independent).
-    MatrixD a10;
-    std::vector<index_t> a10_row_ids;
+    // A10 is solved IN PLACE in the packed workspace: the solved values are
+    // both this step's L columns (copied to lstore) and the Schur update's
+    // left operand, with no gather/scatter copies.
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
       m.annotate("panel-trsm");
       for (int r = 0; r < m.ranks(); ++r) {
@@ -556,22 +609,16 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       }
       if (run.real) {
         const int p = m.ranks();
-        a10_row_ids = run.tracker.active_rows();
-        a10 = MatrixD(a10_rows, v);
+        ViewD a10 = run.trail.block(0, t * v, run.nact, v);
         sched::parallel_ranks(p, [&](index_t r) {
           const index_t lo = chunk_offset(a10_rows, p, static_cast<int>(r));
           const index_t cnt = chunk_size(a10_rows, p, static_cast<int>(r));
           if (cnt == 0) return;
-          for (index_t i = lo; i < lo + cnt; ++i) {
-            for (index_t j = 0; j < v; ++j) {
-              a10(i, j) = colblock(a10_row_ids[static_cast<std::size_t>(i)], j);
-            }
-          }
           // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
           xblas::trsm(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
-                      piv.a00.view(), a10.view().block(lo, 0, cnt, v));
+                      piv.a00.view(), a10.block(lo, 0, cnt, v));
           for (index_t i = lo; i < lo + cnt; ++i) {
-            const index_t row = a10_row_ids[static_cast<std::size_t>(i)];
+            const index_t row = run.rowmap[static_cast<std::size_t>(i)];
             for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
           }
         });
@@ -582,7 +629,7 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
             const index_t cnt = chunk_size(ncols, p, static_cast<int>(r));
             if (cnt == 0) return;
             xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
-                        piv.a00.view(), pivotrows.view().block(0, lo, v, cnt));
+                        piv.a00.view(), pivotrows.block(0, lo, v, cnt));
           });
           sched::parallel_ranks(v, [&](index_t l) {
             const index_t row = piv.winners[static_cast<std::size_t>(l)];
@@ -599,7 +646,7 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { distribute_panels_2p5d(run, t, a10_rows); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
-                [&] { update_a11(run, t, a10, a10_row_ids, pivotrows); });
+                [&] { update_a11(run, t, pivotrows); });
     rec.end_iteration(result.step_costs);
   }
 
@@ -621,6 +668,9 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       const index_t row = result.perm[static_cast<std::size_t>(i)];
       for (index_t j = 0; j < n; ++j) result.factors(i, j) = run.lstore(row, j);
     }
+    result.workspace_words = static_cast<double>(run.trail.size()) +
+                             static_cast<double>(run.lstore.size()) +
+                             run.ws.words();
   }
   return result;
 }

@@ -1,0 +1,59 @@
+// Step-reusable workspace arena for the Real-mode factorization data path.
+//
+// The factorization schedules need a handful of scratch matrices whose shapes
+// change every outer iteration (pivot-row panels, candidate stacks, small
+// factored blocks). Allocating them per step costs an O(n*v) heap round trip
+// per iteration and, worse, loses page warmth between steps. A Workspace
+// owns one growable buffer per named slot: requesting a view reuses the
+// slot's storage whenever it is already large enough, so the buffers routed
+// through it are allocated once per factorization, not once per step.
+//
+// Rules:
+//   - a slot hands out ONE live view at a time: re-requesting a slot may
+//     reallocate and invalidates previous views of that slot;
+//   - contents are unspecified unless the zeroed() variant is used;
+//   - slots never shrink, so words() is also the high-water mark.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace conflux {
+
+class Workspace {
+ public:
+  /// A rows x cols view (ld == cols) over slot `slot`; contents unspecified.
+  ViewD mat(std::size_t slot, index_t rows, index_t cols) {
+    return ViewD(ensure(slot, rows * cols), rows, cols, cols);
+  }
+
+  /// Like mat(), but with every element set to zero.
+  ViewD zeroed(std::size_t slot, index_t rows, index_t cols) {
+    ViewD v = mat(slot, rows, cols);
+    std::fill_n(v.data(), static_cast<std::size_t>(rows * cols), 0.0);
+    return v;
+  }
+
+  /// Total doubles held across all slots (monotone: also the peak).
+  double words() const {
+    double total = 0.0;
+    for (const auto& s : slots_) total += static_cast<double>(s.size());
+    return total;
+  }
+
+ private:
+  double* ensure(std::size_t slot, index_t count) {
+    expects(count >= 0, "workspace request must be non-negative");
+    if (slot >= slots_.size()) slots_.resize(slot + 1);
+    auto& buf = slots_[slot];
+    if (buf.size() < static_cast<std::size_t>(count)) {
+      buf.resize(static_cast<std::size_t>(count));
+    }
+    return buf.data();
+  }
+
+  std::vector<std::vector<double>> slots_;
+};
+
+}  // namespace conflux

@@ -105,6 +105,68 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{300, 300, 300, Trans::None, Trans::None, 1.0, 0.0},
         GemmCase{300, 130, 200, Trans::Transpose, Trans::None, -0.5, 2.0}));
 
+// Small-k fast path (k <= Tuning::small_k, default 64): B is streamed
+// through the strided microkernel instead of packed. These shapes are big
+// enough to clear the small_gemm_flops cutoff, so they exercise the fast
+// path (transb == None) and the packed fallback (transb == Transpose), and
+// 300/68/61 cross the register-tile and cache-block edges.
+INSTANTIATE_TEST_SUITE_P(
+    SmallK, GemmSweep,
+    ::testing::Values(
+        GemmCase{256, 300, 8, Trans::None, Trans::None, 1.0, 0.0},
+        GemmCase{256, 300, 8, Trans::None, Trans::Transpose, 1.0, 1.0},
+        GemmCase{193, 261, 16, Trans::None, Trans::None, -1.0, 1.0},
+        GemmCase{193, 261, 16, Trans::Transpose, Trans::None, 1.0, 0.0},
+        GemmCase{130, 68, 32, Trans::None, Trans::None, 2.0, -0.5},
+        GemmCase{130, 68, 32, Trans::Transpose, Trans::Transpose, 1.0, 1.0},
+        GemmCase{61, 517, 16, Trans::None, Trans::None, 1.0, 1.0},
+        GemmCase{900, 61, 8, Trans::None, Trans::None, 1.0, 0.0}));
+
+TEST(Gemm, SmallKPathMatchesPackedPathBitwise) {
+  // The strided-B microkernel performs the identical multiply-accumulate
+  // sequence on the identical values as the packed one, so toggling the
+  // path via tuning().small_k must not change one bit of the result.
+  const index_t m = 160, n = 230, k = 24;
+  const MatrixD a = random_matrix(m, k, 81);
+  const MatrixD b = random_matrix(k, n, 82);
+  const MatrixD c0 = random_matrix(m, n, 83);
+  const Tuning saved = tuning();
+  tuning().small_k = 64;  // fast path on
+  MatrixD fast = c0;
+  gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 1.0, fast.view());
+  tuning().small_k = 0;  // fast path off: classic packed-B route
+  MatrixD packed = c0;
+  gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 1.0, packed.view());
+  tuning() = saved;
+  EXPECT_EQ(fast, packed);
+}
+
+TEST(Gemm, JrParallelPathBitwiseIdenticalAcrossThreadCounts) {
+  // Panel-update shapes (m <= one cache block) used to pin the whole gemm
+  // to one thread; the jr-parallel path splits the stripe loop instead.
+  // Whatever the thread count, every C tile is computed from the same
+  // packed/streamed values in the same order: results must be bitwise equal.
+  const Tuning saved = tuning();
+  tuning().small_gemm_flops = 0.0;  // keep even small shapes on the blocked path
+  for (const index_t k : {16, 128}) {       // strided-B and packed-B variants
+    for (const auto tb : {Trans::None, Trans::Transpose}) {
+      const index_t m = 64, n = 520;
+      const MatrixD a = random_matrix(m, k, 84);
+      const MatrixD b = tb == Trans::None ? random_matrix(k, n, 85)
+                                          : random_matrix(n, k, 85);
+      const MatrixD c0 = random_matrix(m, n, 86);
+      tuning().threads = 1;
+      MatrixD one = c0;
+      gemm(Trans::None, tb, -1.0, a.view(), b.view(), 1.0, one.view());
+      tuning().threads = 4;  // m/mc = 1 block << 4 threads: jr-parallel path
+      MatrixD four = c0;
+      gemm(Trans::None, tb, -1.0, a.view(), b.view(), 1.0, four.view());
+      EXPECT_EQ(one, four) << "k=" << k;
+    }
+  }
+  tuning() = saved;
+}
+
 TEST(Gemm, PackedPathWorksOnStridedSubviews) {
   // Large enough to take the packed/blocked path, with ld > cols on every
   // operand so the packing routines see genuine strides.

@@ -1,0 +1,289 @@
+// Regression coverage for the packed trailing-workspace Real-mode data path
+// (DESIGN.md "Packed trailing workspace"):
+//  - factors are bitwise identical to a serial golden-path recomputation
+//    that mirrors the schedule's arithmetic step by step (dominant matrices
+//    pin the tournament to the natural pivot order, so the golden path is
+//    an ordinary blocked right-looking factorization with the schedule's
+//    exact call shapes);
+//  - factors are bitwise identical across OMP thread counts and across
+//    replication depths pz (the packed path's arithmetic is z-fused, so pz
+//    affects only the cost counters);
+//  - the recorded peak workspace stays near npad^2-scale (LU: trail +
+//    lstore; Cholesky: the single fused buffer), not (pz + 1) * npad^2.
+// Shapes are deliberately ragged (n not a multiple of v) and pz in {1,2,4}.
+#include <gtest/gtest.h>
+
+#include "blas/blas.hpp"
+#include "blas/lapack.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "sched/rank_parallel.hpp"
+#include "tensor/random_matrix.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace conflux::factor {
+namespace {
+
+using xblas::Diag;
+using xblas::Side;
+using xblas::Trans;
+using xblas::UpLo;
+
+xsim::Machine make_machine(const grid::Grid3D& g, index_t n) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = g.ranks();
+  spec.memory_words = static_cast<double>(g.pz()) * static_cast<double>(n) *
+                      static_cast<double>(n) / static_cast<double>(g.ranks());
+  return xsim::Machine(spec, xsim::ExecMode::Real);
+}
+
+// Serial recomputation of the packed LU data path for a matrix whose
+// tournament keeps the natural pivot order (diagonally dominant): the same
+// getrf / per-rank-chunked trsm / single beta=1 gemm sequence the schedule
+// executes, on naturally ordered rows. Bitwise comparable because every
+// BLAS call has the schedule's exact operand shapes, and gemm/trsm results
+// are row- and column-lane independent (a row permutation of A and C
+// permutes the output rows without changing any element's arithmetic).
+MatrixD golden_lu(const MatrixD& a, index_t n, index_t v, int ranks) {
+  const index_t npad = (n + v - 1) / v * v;
+  const index_t num_tiles = npad / v;
+  MatrixD w(npad, npad, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) w(i, j) = a(i, j);
+  }
+  for (index_t r = n; r < npad; ++r) w(r, r) = 1.0;
+
+  for (index_t t = 0; t < num_tiles; ++t) {
+    const index_t o = t * v;
+    const index_t arows = npad - o - v;  // surviving rows below the block
+    const index_t ncols = npad - o - v;  // trailing columns
+    MatrixD a00(v, v);
+    copy<double>(w.block(o, o, v, v), a00.view());
+    std::vector<index_t> ipiv;
+    xblas::getrf(a00.view(), ipiv);
+    copy<double>(a00.view(), w.block(o, o, v, v));
+    if (arows == 0) continue;
+    for (int r = 0; r < ranks; ++r) {
+      const index_t lo = chunk_offset(arows, ranks, r);
+      const index_t cnt = chunk_size(arows, ranks, r);
+      if (cnt == 0) continue;
+      xblas::trsm(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
+                  a00.view(), w.block(o + v + lo, o, cnt, v));
+    }
+    for (int r = 0; r < ranks; ++r) {
+      const index_t lo = chunk_offset(ncols, ranks, r);
+      const index_t cnt = chunk_size(ncols, ranks, r);
+      if (cnt == 0) continue;
+      xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
+                  a00.view(), w.block(o, o + v + lo, v, cnt));
+    }
+    xblas::gemm(Trans::None, Trans::None, -1.0, w.block(o + v, o, arows, v),
+                w.block(o, o + v, v, ncols), 1.0,
+                w.block(o + v, o + v, arows, ncols));
+  }
+  MatrixD out(n, n);
+  copy<double>(w.block(0, 0, n, n), out.view());
+  return out;
+}
+
+// Serial recomputation of the packed Cholesky data path (no pivoting, so
+// any SPD input is bitwise comparable): potrf of the zero-padded diagonal
+// copy, per-rank-chunked in-place panel trsm, and the fixed kRowBlock
+// gemm + syrk update decomposition.
+MatrixD golden_chol(const MatrixD& a, index_t n, index_t v, int ranks) {
+  const index_t npad = (n + v - 1) / v * v;
+  const index_t num_tiles = npad / v;
+  MatrixD w(npad, npad, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) w(i, j) = a(i, j);
+  }
+  for (index_t r = n; r < npad; ++r) w(r, r) = 1.0;
+
+  for (index_t t = 0; t < num_tiles; ++t) {
+    const index_t o = t * v;
+    const index_t panel_rows = npad - o - v;
+    MatrixD a00(v, v, 0.0);
+    for (index_t i = 0; i < v; ++i) {
+      for (index_t j = 0; j <= i; ++j) a00(i, j) = w(o + i, o + j);
+    }
+    EXPECT_EQ(xblas::potrf(a00.view()), 0);
+    for (index_t i = 0; i < v; ++i) {
+      for (index_t j = 0; j <= i; ++j) w(o + i, o + j) = a00(i, j);
+    }
+    if (panel_rows == 0) continue;
+    for (int r = 0; r < ranks; ++r) {
+      const index_t lo = chunk_offset(panel_rows, ranks, r);
+      const index_t cnt = chunk_size(panel_rows, ranks, r);
+      if (cnt == 0) continue;
+      xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit,
+                  1.0, a00.view(), w.block(o + v + lo, o, cnt, v));
+    }
+    const index_t off = o + v;
+    const index_t nblocks = sched::num_row_blocks(panel_rows);
+    for (index_t blk = 0; blk < nblocks; ++blk) {
+      const index_t i0 = blk * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
+      if (i0 > 0) {
+        xblas::gemm(Trans::None, Trans::Transpose, -1.0,
+                    w.block(off + i0, o, bn, v), w.block(off, o, i0, v), 1.0,
+                    w.block(off + i0, off, bn, i0));
+      }
+      xblas::syrk(UpLo::Lower, Trans::None, -1.0, w.block(off + i0, o, bn, v),
+                  1.0, w.block(off + i0, off + i0, bn, bn));
+    }
+  }
+  MatrixD out(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) out(i, j) = w(i, j);
+  }
+  return out;
+}
+
+struct PackedCase {
+  index_t n;
+  index_t v;
+  int pz;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PackedCase>& info) {
+  return "n" + std::to_string(info.param.n) + "_v" + std::to_string(info.param.v) +
+         "_pz" + std::to_string(info.param.pz);
+}
+
+// Ragged shapes (n % v != 0) at every replication depth.
+const PackedCase kCases[] = {
+    {100, 16, 1}, {100, 16, 2}, {100, 16, 4}, {72, 16, 2}, {64, 16, 4},
+};
+
+// --------------------------------------------------- golden-path bitwise ----
+
+class PackedGolden : public ::testing::TestWithParam<PackedCase> {};
+
+TEST_P(PackedGolden, LuFactorsMatchSerialRecomputationBitwise) {
+  const auto& p = GetParam();
+  const grid::Grid3D g(2, 2, p.pz);
+  xsim::Machine m = make_machine(g, p.n);
+  const MatrixD a = random_dominant_matrix(p.n, 900 + static_cast<std::uint64_t>(p.n));
+  const LuResult lu = conflux_lu(m, g, a.view(), FactorOptions{.block_size = p.v});
+  for (index_t i = 0; i < p.n; ++i) {
+    ASSERT_EQ(lu.perm[static_cast<std::size_t>(i)], i)
+        << "dominant matrix repivoted; golden path not comparable";
+  }
+  const MatrixD want = golden_lu(a, p.n, p.v, g.ranks());
+  EXPECT_EQ(lu.factors, want);
+}
+
+TEST_P(PackedGolden, CholFactorsMatchSerialRecomputationBitwise) {
+  const auto& p = GetParam();
+  const grid::Grid3D g(2, 2, p.pz);
+  xsim::Machine m = make_machine(g, p.n);
+  const MatrixD a = random_spd_matrix(p.n, 700 + static_cast<std::uint64_t>(p.n));
+  const CholResult chol = confchox(m, g, a.view(), FactorOptions{.block_size = p.v});
+  const MatrixD want = golden_chol(a, p.n, p.v, g.ranks());
+  EXPECT_EQ(chol.factors, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(RaggedShapes, PackedGolden, ::testing::ValuesIn(kCases),
+                         case_name);
+
+// ------------------------------------------------ thread-count invariance ----
+
+class PackedThreads : public ::testing::TestWithParam<PackedCase> {};
+
+TEST_P(PackedThreads, FactorsBitwiseIdenticalAtOneAndFourThreads) {
+  const auto& p = GetParam();
+  const grid::Grid3D g(2, 2, p.pz);
+  const MatrixD a = random_matrix(p.n, p.n, 47);
+  const MatrixD spd = random_spd_matrix(p.n, 53);
+  const FactorOptions opt{.block_size = p.v};
+
+  const auto run_both = [&] {
+    xsim::Machine mlu = make_machine(g, p.n);
+    xsim::Machine mch = make_machine(g, p.n);
+    return std::make_pair(conflux_lu(mlu, g, a.view(), opt),
+                          confchox(mch, g, spd.view(), opt));
+  };
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const auto [lu1, ch1] = run_both();
+#ifdef _OPENMP
+  omp_set_num_threads(4);
+#endif
+  const auto [lu4, ch4] = run_both();
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+
+  EXPECT_EQ(lu1.perm, lu4.perm);
+  EXPECT_EQ(lu1.factors, lu4.factors);
+  EXPECT_EQ(ch1.factors, ch4.factors);
+}
+
+INSTANTIATE_TEST_SUITE_P(RaggedShapes, PackedThreads, ::testing::ValuesIn(kCases),
+                         case_name);
+
+// -------------------------------------------------------- pz invariance ----
+
+TEST(PackedWorkspace, FactorsBitwiseIdenticalAcrossReplicationDepths) {
+  // The packed path fuses the layered partial sums into gemm's ordered
+  // k loop, so pz changes the cost counters but not one bit of arithmetic.
+  const index_t n = 100, v = 16;
+  const MatrixD a = random_matrix(n, n, 61);
+  const MatrixD spd = random_spd_matrix(n, 67);
+  LuResult lu_ref;
+  CholResult ch_ref;
+  for (const int pz : {1, 2, 4}) {
+    const grid::Grid3D g(2, 2, pz);
+    xsim::Machine mlu = make_machine(g, n);
+    xsim::Machine mch = make_machine(g, n);
+    LuResult lu = conflux_lu(mlu, g, a.view(), FactorOptions{.block_size = v});
+    CholResult ch = confchox(mch, g, spd.view(), FactorOptions{.block_size = v});
+    if (pz == 1) {
+      lu_ref = std::move(lu);
+      ch_ref = std::move(ch);
+      continue;
+    }
+    EXPECT_EQ(lu_ref.perm, lu.perm) << "pz=" << pz;
+    EXPECT_EQ(lu_ref.factors, lu.factors) << "pz=" << pz;
+    EXPECT_EQ(ch_ref.factors, ch.factors) << "pz=" << pz;
+  }
+}
+
+// ----------------------------------------------------- workspace budget ----
+
+TEST(PackedWorkspace, PeakWordsStayNearTwoMatricesForLu) {
+  // Old data path: (pz + 1) * npad^2 resident words. Packed path: trail +
+  // lstore + the pivot-row arena, independent of pz.
+  const index_t n = 96, v = 16;
+  const double npad2 = static_cast<double>(n) * static_cast<double>(n);
+  for (const int pz : {1, 4}) {
+    const grid::Grid3D g(2, 2, pz);
+    xsim::Machine m = make_machine(g, n);
+    const MatrixD a = random_matrix(n, n, 71);
+    const LuResult lu = conflux_lu(m, g, a.view(), FactorOptions{.block_size = v});
+    EXPECT_GE(lu.workspace_words, 2.0 * npad2) << "pz=" << pz;
+    EXPECT_LE(lu.workspace_words, 2.2 * npad2) << "pz=" << pz;
+  }
+}
+
+TEST(PackedWorkspace, PeakWordsStayNearOneMatrixForCholesky) {
+  const index_t n = 96, v = 16;
+  const double npad2 = static_cast<double>(n) * static_cast<double>(n);
+  for (const int pz : {1, 4}) {
+    const grid::Grid3D g(2, 2, pz);
+    xsim::Machine m = make_machine(g, n);
+    const MatrixD a = random_spd_matrix(n, 73);
+    const CholResult ch = confchox(m, g, a.view(), FactorOptions{.block_size = v});
+    EXPECT_GE(ch.workspace_words, npad2) << "pz=" << pz;
+    EXPECT_LE(ch.workspace_words, 1.1 * npad2) << "pz=" << pz;
+  }
+}
+
+}  // namespace
+}  // namespace conflux::factor
