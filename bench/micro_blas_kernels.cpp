@@ -248,6 +248,31 @@ int main(int argc, char** argv) {
         min_time));
     print_result(results.back());
 
+    // fp32 rows: same shapes, converted inputs. The fp32/fp64 gemm ratio at
+    // the largest shape is the throughput half of the mixed-precision story
+    // (the other half, refinement convergence, lives in BENCH_factor.json).
+    conflux::MatrixF af(n, n), bf(n, n), cf(n, n, 0.0f);
+    conflux::convert<double, float>(a.view(), af.view());
+    conflux::convert<double, float>(b.view(), bf.view());
+    results.push_back(time_kernel("gemm_f32", n, gemm_fl, timed_run([&] {
+      xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0f, af.view(),
+                  bf.view(), 0.0f, cf.view());
+    }), min_time));
+    print_result(results.back());
+
+    conflux::MatrixF tf(n, n), xf(n, n, 0.0f);
+    conflux::convert<double, float>(t.view(), tf.view());
+    results.push_back(time_kernel(
+        "trsm_f32", n, xblas::trsm_flops(n, n, xblas::Side::Left),
+        timed_run([&] { conflux::convert<double, float>(b.view(), xf.view()); },
+                  [&] {
+                    xblas::trsm(xblas::Side::Left, xblas::UpLo::Lower,
+                                xblas::Trans::None, xblas::Diag::NonUnit, 1.0f,
+                                tf.view(), xf.view());
+                  }),
+        min_time));
+    print_result(results.back());
+
     MatrixD lu(n, n);
     std::vector<index_t> ipiv;
     results.push_back(time_kernel(
@@ -312,11 +337,13 @@ int main(int argc, char** argv) {
   const double gemm_gf = find_gflops(results, "gemm", nmax);
   const double syrk_gf = find_gflops(results, "syrk", nmax);
   const double trsm_gf = find_gflops(results, "trsm", nmax);
+  const double gemm_f32_gf = find_gflops(results, "gemm_f32", nmax);
   if (seed_gf > 0.0 && gemm_gf > 0.0) {
     std::printf("\ngemm speedup vs seed kernel @ n=%lld: %.2fx\n",
                 static_cast<long long>(nmax), gemm_gf / seed_gf);
     std::printf("syrk/gemm throughput ratio: %.2f   trsm/gemm: %.2f\n",
                 syrk_gf / gemm_gf, trsm_gf / gemm_gf);
+    std::printf("fp32/fp64 gemm throughput ratio: %.2fx\n", gemm_f32_gf / gemm_gf);
   }
 
   if (!write_json(out_path, results)) {

@@ -17,13 +17,17 @@ using xblas::Side;
 using xblas::Trans;
 using xblas::UpLo;
 
+// Templated on the Real-mode scalar; Trace mode instantiates double with no
+// data. The charge logic never depends on T — both precisions replay the
+// identical schedule, which is what lets the conformance suite compare them.
+template <typename T>
 struct Run2D {
   xsim::Machine& m;
   const grid::Grid2D& g;
   index_t n;
   index_t nb;
   bool real;
-  MatrixD a;    // Real mode: the global matrix, factored in place
+  Matrix<T> a;  // Real mode: the global matrix, factored in place
   Rng rng{42};  // Trace mode: pivot positions drawn uniformly
 
   int prow_of_row(index_t i) const { return static_cast<int>((i / nb) % g.pr); }
@@ -59,7 +63,8 @@ struct Run2D {
 
 // Panel factorization: nb columns, partial pivoting with per-column pivot
 // search over the process column (pdgetrf's PxGETF2 shape).
-void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
+template <typename T>
+void lu_panel(Run2D<T>& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
               const Baseline2DOptions& opt) {
   run.m.annotate("lu-panel");
   const int pcol = run.pcol_of_col(k0);
@@ -71,9 +76,9 @@ void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
     }
     index_t piv = j;
     if (run.real) {
-      double best = std::abs(run.a(j, j));
+      T best = std::abs(run.a(j, j));
       for (index_t i = j + 1; i < run.n; ++i) {
-        const double v = std::abs(run.a(i, j));
+        const T v = std::abs(run.a(i, j));
         if (v > best) {
           best = v;
           piv = i;
@@ -108,10 +113,10 @@ void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
                          2.0 * rows * static_cast<double>(kb - (j - k0)));
     }
     if (run.real) {
-      const double pivval = run.a(j, j);
-      if (pivval != 0.0) {
+      const T pivval = run.a(j, j);
+      if (pivval != T{}) {
         for (index_t i = j + 1; i < run.n; ++i) {
-          const double lij = run.a(i, j) / pivval;
+          const T lij = run.a(i, j) / pivval;
           run.a(i, j) = lij;
           for (index_t c = j + 1; c < k0 + kb; ++c) run.a(i, c) -= lij * run.a(j, c);
         }
@@ -124,7 +129,8 @@ void lu_panel(Run2D& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
 // Apply the panel's row interchanges to the columns outside the panel
 // (pdlaswp): each cross-rank swap exchanges both rows' local segments in
 // every process column.
-void lu_apply_swaps(Run2D& run, index_t k0, index_t kb,
+template <typename T>
+void lu_apply_swaps(Run2D<T>& run, index_t k0, index_t kb,
                     const std::vector<index_t>& ipiv, const Baseline2DOptions& opt) {
   if (opt.local_swaps) return;  // SLATE-like: pivots applied tile-locally
   run.m.annotate("row-swaps");
@@ -154,7 +160,8 @@ void lu_apply_swaps(Run2D& run, index_t k0, index_t kb,
 
 // Trailing update: broadcast L11 along its process row, trsm U12 there,
 // broadcast L21 along process rows and U12 along process columns, gemm.
-void lu_update(Run2D& run, index_t k0, index_t kb) {
+template <typename T>
+void lu_update(Run2D<T>& run, index_t k0, index_t kb) {
   run.m.annotate("trailing-update");
   const index_t rest = run.n - (k0 + kb);
   const int prow0 = run.prow_of_row(k0);
@@ -201,29 +208,31 @@ void lu_update(Run2D& run, index_t k0, index_t kb) {
     }
   }
   if (run.real) {
-    ViewD a = run.a.view();
+    MatrixView<T> a = run.a.view();
     if (rest > 0) {
-      ViewD u12 = a.block(k0, k0 + kb, kb, rest);
-      xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
-                  a.block(k0, k0, kb, kb), u12);
-      xblas::gemm(Trans::None, Trans::None, -1.0, a.block(k0 + kb, k0, rest, kb),
-                  u12, 1.0, a.block(k0 + kb, k0 + kb, rest, rest));
+      MatrixView<T> u12 = a.block(k0, k0 + kb, kb, rest);
+      xblas::trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, T{1},
+                     a.block(k0, k0, kb, kb), u12);
+      xblas::gemm<T>(Trans::None, Trans::None, T{-1},
+                     a.block(k0 + kb, k0, rest, kb), u12, T{1},
+                     a.block(k0 + kb, k0 + kb, rest, rest));
     }
   }
   run.m.step_barrier();
 }
 
-Lu2DResult run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD a,
-                  const Baseline2DOptions& opt) {
+template <typename T>
+Lu2DResultT<T> run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n,
+                      ConstMatrixView<T> a, const Baseline2DOptions& opt) {
   expects(g.ranks() == m.ranks(), "grid must match the machine");
   expects(n >= 1, "matrix must be non-empty");
   const index_t nb = opt.block_size > 0 ? opt.block_size : 64;
 
-  Run2D run{m, g, n, nb, m.real(), MatrixD()};
+  Run2D<T> run{m, g, n, nb, m.real(), Matrix<T>()};
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.a = MatrixD(n, n);
-    copy(a, run.a.view());
+    run.a = Matrix<T>(n, n);
+    copy<T>(a, run.a.view());
   }
   // Per-rank memory: the local 2D share plus panel buffers.
   const double local_words =
@@ -241,7 +250,7 @@ Lu2DResult run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD
       2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.pc)))) +
       std::ceil(std::log2(static_cast<double>(std::max(2, g.pr))));
 
-  Lu2DResult result;
+  Lu2DResultT<T> result;
   for (index_t k0 = 0; k0 < n; k0 += nb) {
     const index_t kb = std::min(nb, n - k0);
     m.charge_chain(static_cast<double>(kb) * col_chain +
@@ -255,7 +264,8 @@ Lu2DResult run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD
   return result;
 }
 
-void chol_update(Run2D& run, index_t k0, index_t kb) {
+template <typename T>
+void chol_update(Run2D<T>& run, index_t k0, index_t kb) {
   run.m.annotate("chol-panel-update");
   const index_t rest = run.n - (k0 + kb);
   const int prow0 = run.prow_of_row(k0);
@@ -269,7 +279,7 @@ void chol_update(Run2D& run, index_t k0, index_t kb) {
                           static_cast<double>(kb * kb));
   }
   if (run.real) {
-    check(xblas::potrf(run.a.block(k0, k0, kb, kb)) == 0,
+    check(xblas::potrf<T>(run.a.block(k0, k0, kb, kb)) == 0,
           "matrix is not positive definite at this block");
   }
   if (rest > 0) {
@@ -282,9 +292,9 @@ void chol_update(Run2D& run, index_t k0, index_t kb) {
       }
     }
     if (run.real) {
-      ViewD l21 = run.a.block(k0 + kb, k0, rest, kb);
-      xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
-                  run.a.block(k0, k0, kb, kb), l21);
+      MatrixView<T> l21 = run.a.block(k0 + kb, k0, rest, kb);
+      xblas::trsm<T>(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit,
+                     T{1}, run.a.block(k0, k0, kb, kb), l21);
     }
     // L21 along process rows; L21^T along process columns (for the syrk).
     for (int r = 0; r < run.g.pr; ++r) {
@@ -312,22 +322,24 @@ void chol_update(Run2D& run, index_t k0, index_t kb) {
       }
     }
     if (run.real) {
-      xblas::syrk(UpLo::Lower, Trans::None, -1.0, run.a.block(k0 + kb, k0, rest, kb),
-                  1.0, run.a.block(k0 + kb, k0 + kb, rest, rest));
+      xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
+                     run.a.block(k0 + kb, k0, rest, kb), T{1},
+                     run.a.block(k0 + kb, k0 + kb, rest, rest));
     }
   }
   run.m.step_barrier();
 }
 
-MatrixD run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD a,
-                 const Baseline2DOptions& opt) {
+template <typename T>
+Matrix<T> run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n,
+                   ConstMatrixView<T> a, const Baseline2DOptions& opt) {
   expects(g.ranks() == m.ranks(), "grid must match the machine");
   expects(n >= 1, "matrix must be non-empty");
   const index_t nb = opt.block_size > 0 ? opt.block_size : 64;
-  Run2D run{m, g, n, nb, m.real(), MatrixD()};
+  Run2D<T> run{m, g, n, nb, m.real(), Matrix<T>()};
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.a = MatrixD(n, n, 0.0);
+    run.a = Matrix<T>(n, n, T{});
     for (index_t i = 0; i < n; ++i) {
       for (index_t j = 0; j <= i; ++j) run.a(i, j) = a(i, j);
     }
@@ -347,9 +359,9 @@ MatrixD run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD 
     chol_update(run, k0, kb);
   }
   for (int r = 0; r < m.ranks(); ++r) m.release(r, local_words);
-  MatrixD out;
+  Matrix<T> out;
   if (run.real) {
-    out = MatrixD(n, n, 0.0);
+    out = Matrix<T>(n, n, T{});
     for (index_t i = 0; i < n; ++i) {
       for (index_t j = 0; j <= i; ++j) out(i, j) = run.a(i, j);
     }
@@ -362,25 +374,37 @@ MatrixD run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n, ConstViewD 
 Lu2DResult scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
                         const Baseline2DOptions& opt) {
   expects(m.real(), "scalapack_lu with a matrix requires Real mode");
-  return run_lu(m, g, a.rows(), a, opt);
+  return run_lu<double>(m, g, a.rows(), a, opt);
+}
+
+Lu2DResultF scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
+                         const Baseline2DOptions& opt) {
+  expects(m.real(), "scalapack_lu with a matrix requires Real mode");
+  return run_lu<float>(m, g, a.rows(), a, opt);
 }
 
 Lu2DResult scalapack_lu_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
                               const Baseline2DOptions& opt) {
   expects(!m.real(), "scalapack_lu_trace requires Trace mode");
-  return run_lu(m, g, n, ConstViewD(), opt);
+  return run_lu<double>(m, g, n, ConstViewD(), opt);
 }
 
 MatrixD scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
                            const Baseline2DOptions& opt) {
   expects(m.real(), "scalapack_cholesky with a matrix requires Real mode");
-  return run_chol(m, g, a.rows(), a, opt);
+  return run_chol<double>(m, g, a.rows(), a, opt);
+}
+
+MatrixF scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
+                           const Baseline2DOptions& opt) {
+  expects(m.real(), "scalapack_cholesky with a matrix requires Real mode");
+  return run_chol<float>(m, g, a.rows(), a, opt);
 }
 
 void scalapack_cholesky_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
                               const Baseline2DOptions& opt) {
   expects(!m.real(), "scalapack_cholesky_trace requires Trace mode");
-  run_chol(m, g, n, ConstViewD(), opt);
+  run_chol<double>(m, g, n, ConstViewD(), opt);
 }
 
 }  // namespace conflux::baselines

@@ -22,14 +22,22 @@ struct Baseline2DOptions {
   bool local_swaps = false;
 };
 
-struct Lu2DResult {
+template <typename T>
+struct Lu2DResultT {
   std::vector<index_t> ipiv;  ///< LAPACK-style interchanges
-  MatrixD factors;            ///< Real mode: in-place LU after swaps
+  Matrix<T> factors;          ///< Real mode: in-place LU after swaps
 };
 
-/// 2D block-cyclic LU with partial pivoting (Real mode).
+using Lu2DResult = Lu2DResultT<double>;
+using Lu2DResultF = Lu2DResultT<float>;
+
+/// 2D block-cyclic LU with partial pivoting (Real mode). The fp32 overload
+/// runs the identical schedule on narrowed local arithmetic — the reference
+/// the conformance suite compares the fp32 COnfLUX path against.
 Lu2DResult scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
                         const Baseline2DOptions& opt = {});
+Lu2DResultF scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
+                         const Baseline2DOptions& opt = {});
 
 /// Trace-mode LU: charges the identical schedule without data.
 Lu2DResult scalapack_lu_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
@@ -37,6 +45,8 @@ Lu2DResult scalapack_lu_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n
 
 /// 2D block-cyclic Cholesky (lower).
 MatrixD scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
+                           const Baseline2DOptions& opt = {});
+MatrixF scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
                            const Baseline2DOptions& opt = {});
 void scalapack_cholesky_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
                               const Baseline2DOptions& opt = {});

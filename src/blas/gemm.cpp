@@ -4,10 +4,15 @@
 // Loop structure (outer to inner), following Goto/BLIS:
 //   jc over columns of C in steps of nc   (packed B panel: kc x nc)
 //   pc over the k dimension in steps of kc
-//     pack op(B)(pc:, jc:) into micro-panels of kNR columns
+//     pack op(B)(pc:, jc:) into micro-panels of NR columns
 //   ic over rows of C in steps of mc      (packed A block: mc x kc)
-//     pack alpha*op(A)(ic:, pc:) into micro-panels of kMR rows
-//     jr/ir over micro-tiles, each handled by the kMR x kNR microkernel
+//     pack alpha*op(A)(ic:, pc:) into micro-panels of MR rows
+//     jr/ir over micro-tiles, each handled by the MR x NR microkernel
+//
+// The whole driver is a template over the scalar type. The register tile is
+// per-scalar (RegTile<T> in tuning.hpp): fp64 runs 8x8, fp32 runs 16x8 with
+// the same 64-byte vector register holding twice the scalars, and fp32 also
+// doubles the runtime kc so the packed panels keep their byte footprint.
 //
 // Two departures from the textbook loop nest, both motivated by the
 // factorization workloads (Schur updates with k = v in the tens, panel
@@ -27,7 +32,7 @@
 // cooperatively packed shared A block. Every C element is accumulated in
 // the same fixed pc-then-p order regardless of thread count or path, and
 // every C tile is written by exactly one thread, so results are bitwise
-// identical run to run and across thread counts.
+// identical run to run and across thread counts — in both precisions.
 #include <algorithm>
 #include <vector>
 
@@ -47,130 +52,155 @@ inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 inline index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
 
 // C[mr x nr] += packed-A micro-panel * op(B) stripe, kc deep.
-//   ap: kc slices of kMR values (column of op(A), zero-padded past mr)
-//   bp: kc rows of B lanes, `bstride` apart — kNR for a packed micro-panel
+//   ap: kc slices of MR values (column of op(A), zero-padded past mr)
+//   bp: kc rows of B lanes, `bstride` apart — NR for a packed micro-panel
 //       (zero-padded past nr), or the matrix leading dimension when the
 //       small-k path streams op(B) rows in place (full stripes only:
-//       the flop loop reads kNR lanes unconditionally, so a strided call
-//       requires nr == kNR)
-// The fixed-size accumulator plus the compile-time kMR/kNR trip counts let
+//       the flop loop reads NR lanes unconditionally, so a strided call
+//       requires nr == NR)
+// The fixed-size accumulator plus the compile-time MR/NR trip counts let
 // the compiler keep acc[][] entirely in vector registers and emit an FMA
 // per element; there are no branches in the flop loop, and the packed and
 // strided callers perform the identical multiply-accumulate sequence on
 // identical values, so their tiles are bitwise equal.
 #if defined(__GNUC__) || defined(__clang__)
+#define CONFLUX_HAVE_VREG 1
 
-// GCC/Clang portable vector extension: one "register" of kMR doubles. The
-// compiler lowers it to whatever the target has (1 zmm on AVX-512, 2 ymm on
-// AVX2, plain scalars elsewhere), and vector*scalar broadcasts the scalar,
-// so each p step below is one unaligned load of a plus kNR broadcast-FMAs.
-// This sidesteps the auto-vectorizer entirely: the accumulator layout is
-// the vector layout, so no shuffles appear in the loop.
-typedef double vreg __attribute__((vector_size(kMR * sizeof(double))));
+// GCC/Clang portable vector extension: one 64-byte "register" of MR scalars
+// (8 doubles or 16 floats). The compiler lowers it to whatever the target
+// has (1 zmm on AVX-512, 2 ymm on AVX2, plain scalars elsewhere), and
+// vector*scalar broadcasts the scalar, so each p step below is one unaligned
+// load of a plus NR broadcast-FMAs. This sidesteps the auto-vectorizer
+// entirely: the accumulator layout is the vector layout, so no shuffles
+// appear in the loop. The attribute needs a literal size, hence the
+// per-scalar specializations instead of a dependent vector_size.
+template <typename T>
+struct VecOf;
+template <>
+struct VecOf<double> {
+  typedef double type __attribute__((vector_size(64)));
+};
+template <>
+struct VecOf<float> {
+  typedef float type __attribute__((vector_size(64)));
+};
 
-inline vreg load_vreg(const double* p) {
-  vreg v;
+template <typename T>
+typename VecOf<T>::type load_vreg(const T* p) {
+  typename VecOf<T>::type v;
   __builtin_memcpy(&v, p, sizeof(v));
   return v;
 }
 
-void micro_kernel(index_t kc, const double* __restrict ap,
-                  const double* __restrict bp, index_t bstride,
-                  double* __restrict c, index_t ldc, index_t mr, index_t nr) {
-  // acc[j] holds column j of the kMR x kNR C tile.
-  vreg acc[kNR] = {};
+template <typename T>
+void micro_kernel(index_t kc, const T* __restrict ap, const T* __restrict bp,
+                  index_t bstride, T* __restrict c, index_t ldc, index_t mr,
+                  index_t nr) {
+  using vreg = typename VecOf<T>::type;
+  constexpr index_t MR = RegTile<T>::mr;
+  constexpr index_t NR = RegTile<T>::nr;
+  static_assert(sizeof(vreg) == MR * sizeof(T), "tile must fill the vreg");
+  // acc[j] holds column j of the MR x NR C tile.
+  vreg acc[NR] = {};
   for (index_t p = 0; p < kc; ++p) {
-    const vreg av = load_vreg(ap + p * kMR);
-    const double* __restrict b = bp + p * bstride;
-    for (index_t j = 0; j < kNR; ++j) acc[j] += av * b[j];
+    const vreg av = load_vreg<T>(ap + p * MR);
+    const T* __restrict b = bp + p * bstride;
+    for (index_t j = 0; j < NR; ++j) acc[j] += av * b[j];
   }
-  // Transposed store back into row-major C; O(kMR*kNR) work against
-  // O(kc*kMR*kNR) flops, so it stays off the critical path.
+  // Transposed store back into row-major C; O(MR*NR) work against
+  // O(kc*MR*NR) flops, so it stays off the critical path.
   for (index_t i = 0; i < mr; ++i) {
-    double* __restrict crow = c + i * ldc;
+    T* __restrict crow = c + i * ldc;
     for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
   }
 }
 
 #else  // portable fallback, written so the j loop auto-vectorizes
 
-void micro_kernel(index_t kc, const double* __restrict ap,
-                  const double* __restrict bp, index_t bstride,
-                  double* __restrict c, index_t ldc, index_t mr, index_t nr) {
-  double acc[kNR][kMR] = {};
+template <typename T>
+void micro_kernel(index_t kc, const T* __restrict ap, const T* __restrict bp,
+                  index_t bstride, T* __restrict c, index_t ldc, index_t mr,
+                  index_t nr) {
+  constexpr index_t MR = RegTile<T>::mr;
+  constexpr index_t NR = RegTile<T>::nr;
+  T acc[NR][MR] = {};
   for (index_t p = 0; p < kc; ++p) {
-    const double* __restrict a = ap + p * kMR;
-    const double* __restrict b = bp + p * bstride;
-    for (index_t j = 0; j < kNR; ++j) {
-      const double bj = b[j];
-      for (index_t i = 0; i < kMR; ++i) acc[j][i] += a[i] * bj;
+    const T* __restrict a = ap + p * MR;
+    const T* __restrict b = bp + p * bstride;
+    for (index_t j = 0; j < NR; ++j) {
+      const T bj = b[j];
+      for (index_t i = 0; i < MR; ++i) acc[j][i] += a[i] * bj;
     }
   }
   for (index_t i = 0; i < mr; ++i) {
-    double* __restrict crow = c + i * ldc;
+    T* __restrict crow = c + i * ldc;
     for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
   }
 }
 
 #endif
 
-// Pack alpha*op(A)(ic:ic+mc, pc:pc+kc) as ceil(mc/kMR) micro-panels, each
-// kc slices of kMR contiguous values, zero-padded in the last panel.
-void pack_a(Trans trans, double alpha, ConstViewD a, index_t ic, index_t pc,
-            index_t mc, index_t kc, double* buf) {
-  for (index_t ir = 0; ir < mc; ir += kMR) {
-    const index_t mr = std::min(kMR, mc - ir);
-    double* dst = buf + (ir / kMR) * (kMR * kc);
-    if (mr < kMR) std::fill(dst, dst + kMR * kc, 0.0);
+// Pack alpha*op(A)(ic:ic+mc, pc:pc+kc) as ceil(mc/MR) micro-panels, each
+// kc slices of MR contiguous values, zero-padded in the last panel.
+template <typename T>
+void pack_a(Trans trans, T alpha, ConstMatrixView<T> a, index_t ic, index_t pc,
+            index_t mc, index_t kc, T* buf) {
+  constexpr index_t MR = RegTile<T>::mr;
+  for (index_t ir = 0; ir < mc; ir += MR) {
+    const index_t mr = std::min(MR, mc - ir);
+    T* dst = buf + (ir / MR) * (MR * kc);
+    if (mr < MR) std::fill(dst, dst + MR * kc, T{});
     if (trans == Trans::None) {
       // Rows of A are contiguous: iterate i outer for streaming reads.
       for (index_t i = 0; i < mr; ++i) {
-        const double* src = a.row(ic + ir + i) + pc;
-        for (index_t p = 0; p < kc; ++p) dst[p * kMR + i] = alpha * src[p];
+        const T* src = a.row(ic + ir + i) + pc;
+        for (index_t p = 0; p < kc; ++p) dst[p * MR + i] = alpha * src[p];
       }
     } else {
       // op(A)(r, c) = A(c, r): a row of A supplies one k-slice.
       for (index_t p = 0; p < kc; ++p) {
-        const double* src = a.row(pc + p) + ic + ir;
-        for (index_t i = 0; i < mr; ++i) dst[p * kMR + i] = alpha * src[i];
+        const T* src = a.row(pc + p) + ic + ir;
+        for (index_t i = 0; i < mr; ++i) dst[p * MR + i] = alpha * src[i];
       }
     }
   }
 }
 
-// Pack one micro-panel (kNR columns starting at jc+jr) of op(B)(pc:, jc:),
-// kc slices of kNR contiguous values, zero-padded past nr.
-void pack_b_panel(Trans trans, ConstViewD b, index_t pc, index_t jc,
-                  index_t jr, index_t nc, index_t kc, double* dst) {
-  const index_t nr = std::min(kNR, nc - jr);
-  if (nr < kNR) std::fill(dst, dst + kNR * kc, 0.0);
+// Pack one micro-panel (NR columns starting at jc+jr) of op(B)(pc:, jc:),
+// kc slices of NR contiguous values, zero-padded past nr.
+template <typename T>
+void pack_b_panel(Trans trans, ConstMatrixView<T> b, index_t pc, index_t jc,
+                  index_t jr, index_t nc, index_t kc, T* dst) {
+  constexpr index_t NR = RegTile<T>::nr;
+  const index_t nr = std::min(NR, nc - jr);
+  if (nr < NR) std::fill(dst, dst + NR * kc, T{});
   if (trans == Trans::None) {
     for (index_t p = 0; p < kc; ++p) {
-      const double* src = b.row(pc + p) + jc + jr;
-      for (index_t j = 0; j < nr; ++j) dst[p * kNR + j] = src[j];
+      const T* src = b.row(pc + p) + jc + jr;
+      for (index_t j = 0; j < nr; ++j) dst[p * NR + j] = src[j];
     }
   } else {
     // op(B)(r, c) = B(c, r): column j of the panel is a row of B.
     for (index_t j = 0; j < nr; ++j) {
-      const double* src = b.row(jc + jr + j) + pc;
-      for (index_t p = 0; p < kc; ++p) dst[p * kNR + j] = src[p];
+      const T* src = b.row(jc + jr + j) + pc;
+      for (index_t p = 0; p < kc; ++p) dst[p * NR + j] = src[p];
     }
   }
 }
 
 // Direct strided kernel for problems too small to amortize packing.
-void gemm_small(Trans transa, Trans transb, double alpha, ConstViewD a,
-                ConstViewD b, ViewD c) {
+template <typename T>
+void gemm_small(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+                ConstMatrixView<T> b, MatrixView<T> c) {
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = (transa == Trans::None) ? a.cols() : a.rows();
   for (index_t i = 0; i < m; ++i) {
-    double* crow = c.row(i);
+    T* crow = c.row(i);
     for (index_t p = 0; p < k; ++p) {
-      const double aip =
-          alpha * ((transa == Trans::None) ? a(i, p) : a(p, i));
+      const T aip = alpha * ((transa == Trans::None) ? a(i, p) : a(p, i));
       if (transb == Trans::None) {
-        const double* brow = b.row(p);
+        const T* brow = b.row(p);
         for (index_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
       } else {
         for (index_t j = 0; j < n; ++j) crow[j] += aip * b(j, p);
@@ -179,28 +209,54 @@ void gemm_small(Trans transa, Trans transb, double alpha, ConstViewD a,
   }
 }
 
-// Per-thread packing buffer for A blocks; persists across gemm calls so
-// medium-size factorization updates do not pay an allocation per call.
-thread_local std::vector<double> tls_apack;
+// Per-scalar thread-local packing buffers, persisting across gemm calls so
+// medium-size factorization updates do not pay an allocation per call:
+//   apack    per-thread packed A block
+//   bpack    packed B panel (can reach nc*kc scalars) — owned by the
+//            *calling* thread: gemm grabs the reference before entering the
+//            parallel region, so the OpenMP workers all share one buffer
+//            while concurrent gemm calls from different caller threads stay
+//            isolated
+//   ashared  shared packed A block for the jr-parallel path (same
+//            caller-thread ownership scheme as bpack)
+//   bedge    per-thread zero-padded stripe for the strided-B path's edge
+//            stripe (nr < NR), where the strided microkernel would
+//            over-read B
+// Deliberately concrete namespace-scope thread_locals behind a traits
+// accessor, NOT thread_local variable templates: libgomp pool threads never
+// run TLS destructors, and template-instantiated TLS is invisible to
+// LeakSanitizer's root scan, so the variable-template form reports the
+// workers' buffers as leaks under ASan.
+thread_local std::vector<double> tls_apack_d, tls_bpack_d, tls_ashared_d,
+    tls_bedge_d;
+thread_local std::vector<float> tls_apack_f, tls_bpack_f, tls_ashared_f,
+    tls_bedge_f;
 
-// Packed-B buffer, also cached across calls (it can reach nc*kc doubles).
-// It belongs to the *calling* thread: gemm grabs the reference before
-// entering the parallel region, so the OpenMP workers all share one buffer
-// while concurrent gemm calls from different caller threads stay isolated.
-thread_local std::vector<double> tls_bpack;
-
-// Shared packed-A block for the jr-parallel path (same caller-thread
-// ownership scheme as tls_bpack).
-thread_local std::vector<double> tls_ashared;
-
-// Per-thread zero-padded stripe for the strided-B path's edge stripe
-// (nr < kNR), where the strided microkernel would over-read B.
-thread_local std::vector<double> tls_bedge;
+template <typename T>
+struct TlsBufs;
+template <>
+struct TlsBufs<double> {
+  static std::vector<double>& apack() { return tls_apack_d; }
+  static std::vector<double>& bpack() { return tls_bpack_d; }
+  static std::vector<double>& ashared() { return tls_ashared_d; }
+  static std::vector<double>& bedge() { return tls_bedge_d; }
+};
+template <>
+struct TlsBufs<float> {
+  static std::vector<float>& apack() { return tls_apack_f; }
+  static std::vector<float>& bpack() { return tls_bpack_f; }
+  static std::vector<float>& ashared() { return tls_ashared_f; }
+  static std::vector<float>& bedge() { return tls_bedge_f; }
+};
 
 }  // namespace
 
-void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
-          double beta, ViewD c) {
+template <typename T>
+void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
+          ConstMatrixView<T> a, ConstMatrixView<T> b,
+          std::type_identity_t<T> beta, MatrixView<T> c) {
+  constexpr index_t MR = RegTile<T>::mr;
+  constexpr index_t NR = RegTile<T>::nr;
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = (transa == Trans::None) ? a.cols() : a.rows();
@@ -209,31 +265,31 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
   expects(((transb == Trans::None) ? b.cols() : b.rows()) == n, "gemm: B/C cols");
 
   // Scale C by beta first; the blocked path below only ever accumulates.
-  if (beta == 0.0) {
+  if (beta == T{}) {
     for (index_t i = 0; i < m; ++i) {
-      double* crow = c.row(i);
-      for (index_t j = 0; j < n; ++j) crow[j] = 0.0;
+      T* crow = c.row(i);
+      for (index_t j = 0; j < n; ++j) crow[j] = T{};
     }
-  } else if (beta != 1.0) {
+  } else if (beta != T{1}) {
     for (index_t i = 0; i < m; ++i) {
-      double* crow = c.row(i);
+      T* crow = c.row(i);
       for (index_t j = 0; j < n; ++j) crow[j] *= beta;
     }
   }
-  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  if (alpha == T{} || m == 0 || n == 0 || k == 0) return;
 
   // Work from a sanitized copy: tuning() is documented as mutable for
   // sweeps, and a degenerate value (kc = 0) must not hang the pc loop.
   Tuning tu = tuning();
   tu.sanitize();
   if (gemm_flops(m, n, k) <= tu.small_gemm_flops) {
-    gemm_small(transa, transb, alpha, a, b, c);
+    gemm_small<T>(transa, transb, alpha, a, b, c);
     return;
   }
 
-  const index_t mc_blk = round_up(std::min(tu.mc, m), kMR);
-  const index_t kc_blk = std::min(tu.kc, k);
-  const index_t nc_blk = round_up(std::min(tu.nc, n), kNR);
+  const index_t mc_blk = round_up(std::min(tu.mc, m), MR);
+  const index_t kc_blk = std::min(tu.kc * kc_scale<T>(), k);
+  const index_t nc_blk = round_up(std::min(tu.nc, n), NR);
   const index_t ni_blocks = ceil_div(m, mc_blk);
 
   // Small-k fast path: stream op(B) rows through the strided microkernel
@@ -241,7 +297,7 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
   const bool strided_b =
       transb == Trans::None && tu.small_k > 0 && k <= tu.small_k;
 
-  std::vector<double>& bpack = tls_bpack;
+  std::vector<T>& bpack = TlsBufs<T>::bpack();
   if (!strided_b && static_cast<index_t>(bpack.size()) < nc_blk * kc_blk)
     bpack.resize(static_cast<std::size_t>(nc_blk * kc_blk));
   const index_t apack_size = mc_blk * kc_blk;
@@ -258,7 +314,7 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
   // computed from the same packed/streamed values in the same order, so
   // the choice never changes results.
   const bool shared_a = nthreads > 1 && ni_blocks < nthreads;
-  std::vector<double>& ashared = tls_ashared;
+  std::vector<T>& ashared = TlsBufs<T>::ashared();
   if (shared_a && static_cast<index_t>(ashared.size()) < apack_size)
     ashared.resize(static_cast<std::size_t>(apack_size));
 
@@ -266,14 +322,14 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
 #pragma omp parallel num_threads(nthreads) if (nthreads > 1)
 #endif
   {
-    std::vector<double>& apack = tls_apack;
+    std::vector<T>& apack = TlsBufs<T>::apack();
     if (!shared_a && static_cast<index_t>(apack.size()) < apack_size)
       apack.resize(static_cast<std::size_t>(apack_size));
-    std::vector<double>& bedge = tls_bedge;
-    if (strided_b && static_cast<index_t>(bedge.size()) < kNR * kc_blk)
-      bedge.resize(static_cast<std::size_t>(kNR * kc_blk));
+    std::vector<T>& bedge = TlsBufs<T>::bedge();
+    if (strided_b && static_cast<index_t>(bedge.size()) < NR * kc_blk)
+      bedge.resize(static_cast<std::size_t>(NR * kc_blk));
     // (jc, pc) for which this thread's bedge holds the packed edge stripe:
-    // at most one stripe per (jc, pc) block has nr < kNR, so one key pair
+    // at most one stripe per (jc, pc) block has nr < NR, so one key pair
     // avoids repacking it once per A row block.
     index_t bedge_jc = -1, bedge_pc = -1;
 
@@ -283,44 +339,44 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
         const index_t kc = std::min(kc_blk, k - pc);
 
         if (!strided_b) {
-          const index_t nb_panels = ceil_div(nc, kNR);
+          const index_t nb_panels = ceil_div(nc, NR);
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
           for (index_t jp = 0; jp < nb_panels; ++jp) {
-            pack_b_panel(transb, b, pc, jc, jp * kNR, nc, kc,
-                         bpack.data() + jp * (kNR * kc));
+            pack_b_panel<T>(transb, b, pc, jc, jp * NR, nc, kc,
+                            bpack.data() + jp * (NR * kc));
           }
           // (implicit barrier: the packed B panel is complete here)
         }
 
-        // One kNR-wide stripe of C micro-tiles from a packed A block.
-        const auto do_stripe = [&](const double* ap, index_t ic, index_t mc,
+        // One NR-wide stripe of C micro-tiles from a packed A block.
+        const auto do_stripe = [&](const T* ap, index_t ic, index_t mc,
                                    index_t jr) {
-          const index_t nr = std::min(kNR, nc - jr);
-          double* c0 = c.row(ic) + jc + jr;
-          const double* bp;
+          const index_t nr = std::min(NR, nc - jr);
+          T* c0 = c.row(ic) + jc + jr;
+          const T* bp;
           index_t bstride;
-          if (strided_b && nr == kNR) {
+          if (strided_b && nr == NR) {
             bp = b.row(pc) + jc + jr;
             bstride = b.ld();
           } else if (strided_b) {
             // Edge stripe of the strided path: zero-pad into the per-thread
-            // scratch so the microkernel can read full kNR lanes.
+            // scratch so the microkernel can read full NR lanes.
             if (bedge_jc != jc || bedge_pc != pc) {
-              pack_b_panel(transb, b, pc, jc, jr, nc, kc, bedge.data());
+              pack_b_panel<T>(transb, b, pc, jc, jr, nc, kc, bedge.data());
               bedge_jc = jc;
               bedge_pc = pc;
             }
             bp = bedge.data();
-            bstride = kNR;
+            bstride = NR;
           } else {
-            bp = bpack.data() + (jr / kNR) * (kNR * kc);
-            bstride = kNR;
+            bp = bpack.data() + (jr / NR) * (NR * kc);
+            bstride = NR;
           }
-          for (index_t ir = 0; ir < mc; ir += kMR) {
-            micro_kernel(kc, ap + (ir / kMR) * (kMR * kc), bp, bstride,
-                         c0 + ir * c.ld(), c.ld(), std::min(kMR, mc - ir), nr);
+          for (index_t ir = 0; ir < mc; ir += MR) {
+            micro_kernel<T>(kc, ap + (ir / MR) * (MR * kc), bp, bstride,
+                            c0 + ir * c.ld(), c.ld(), std::min(MR, mc - ir), nr);
           }
         };
 
@@ -331,8 +387,8 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
           for (index_t ib = 0; ib < ni_blocks; ++ib) {
             const index_t ic = ib * mc_blk;
             const index_t mc = std::min(mc_blk, m - ic);
-            pack_a(transa, alpha, a, ic, pc, mc, kc, apack.data());
-            for (index_t jr = 0; jr < nc; jr += kNR) {
+            pack_a<T>(transa, alpha, a, ic, pc, mc, kc, apack.data());
+            for (index_t jr = 0; jr < nc; jr += NR) {
               do_stripe(apack.data(), ic, mc, jr);
             }
           }
@@ -341,22 +397,22 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
           for (index_t ib = 0; ib < ni_blocks; ++ib) {
             const index_t ic = ib * mc_blk;
             const index_t mc = std::min(mc_blk, m - ic);
-            const index_t na_panels = ceil_div(mc, kMR);
+            const index_t na_panels = ceil_div(mc, MR);
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
             for (index_t ip = 0; ip < na_panels; ++ip) {
-              pack_a(transa, alpha, a, ic + ip * kMR, pc,
-                     std::min(kMR, mc - ip * kMR), kc,
-                     ashared.data() + ip * (kMR * kc));
+              pack_a<T>(transa, alpha, a, ic + ip * MR, pc,
+                        std::min(MR, mc - ip * MR), kc,
+                        ashared.data() + ip * (MR * kc));
             }
             // (implicit barrier: the shared A block is complete here)
-            const index_t nj_stripes = ceil_div(nc, kNR);
+            const index_t nj_stripes = ceil_div(nc, NR);
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
             for (index_t js = 0; js < nj_stripes; ++js) {
-              do_stripe(ashared.data(), ic, mc, js * kNR);
+              do_stripe(ashared.data(), ic, mc, js * NR);
             }
             // (implicit barrier: stripes done before the A block repacks)
           }
@@ -365,5 +421,10 @@ void gemm(Trans transa, Trans transb, double alpha, ConstViewD a, ConstViewD b,
     }
   }
 }
+
+template void gemm<float>(Trans, Trans, float, ConstViewF, ConstViewF, float,
+                          ViewF);
+template void gemm<double>(Trans, Trans, double, ConstViewD, ConstViewD, double,
+                           ViewD);
 
 }  // namespace conflux::xblas

@@ -11,7 +11,9 @@ namespace conflux::xblas {
 namespace {
 
 // Unblocked LU with partial pivoting on an m x n panel (n small).
-int getrf_unblocked(ViewD a, std::vector<index_t>& ipiv, index_t ipiv_offset) {
+template <typename T>
+int getrf_unblocked(MatrixView<T> a, std::vector<index_t>& ipiv,
+                    index_t ipiv_offset) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t kmax = std::min(m, n);
@@ -20,25 +22,25 @@ int getrf_unblocked(ViewD a, std::vector<index_t>& ipiv, index_t ipiv_offset) {
     // Pivot: largest |a(i, k)| for i >= k; ties resolved to the smallest i so
     // results are deterministic across schedules.
     index_t piv = k;
-    double best = std::abs(a(k, k));
+    T best = std::abs(a(k, k));
     for (index_t i = k + 1; i < m; ++i) {
-      const double v = std::abs(a(i, k));
+      const T v = std::abs(a(i, k));
       if (v > best) {
         best = v;
         piv = i;
       }
     }
     ipiv[static_cast<std::size_t>(ipiv_offset + k)] = piv;
-    if (best == 0.0) {
+    if (best == T{}) {
       if (info == 0) info = static_cast<int>(ipiv_offset + k) + 1;
       continue;  // singular column: skip elimination, as LAPACK does
     }
     if (piv != k) {
       for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
     }
-    const double inv = 1.0 / a(k, k);
+    const T inv = T{1} / a(k, k);
     for (index_t i = k + 1; i < m; ++i) {
-      const double lik = a(i, k) * inv;
+      const T lik = a(i, k) * inv;
       a(i, k) = lik;
       for (index_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
     }
@@ -48,7 +50,8 @@ int getrf_unblocked(ViewD a, std::vector<index_t>& ipiv, index_t ipiv_offset) {
 
 }  // namespace
 
-int getrf(ViewD a, std::vector<index_t>& ipiv) {
+template <typename T>
+int getrf(MatrixView<T> a, std::vector<index_t>& ipiv) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t kmax = std::min(m, n);
@@ -59,8 +62,8 @@ int getrf(ViewD a, std::vector<index_t>& ipiv) {
   for (index_t k0 = 0; k0 < kmax; k0 += panel_nb) {
     const index_t kb = std::min(panel_nb, kmax - k0);
     // Factor the panel a(k0:m, k0:k0+kb).
-    ViewD panel = a.block(k0, k0, m - k0, kb);
-    const int pinfo = getrf_unblocked(panel, ipiv, k0);
+    MatrixView<T> panel = a.block(k0, k0, m - k0, kb);
+    const int pinfo = getrf_unblocked<T>(panel, ipiv, k0);
     if (info == 0 && pinfo != 0) info = pinfo;
     // Panel pivots are relative to row k0; rebase and apply the interchanges
     // to the columns outside the panel.
@@ -74,28 +77,30 @@ int getrf(ViewD a, std::vector<index_t>& ipiv) {
     }
     if (k0 + kb < n) {
       // U block row: solve L11 * U12 = A12.
-      ViewD u12 = a.block(k0, k0 + kb, kb, n - (k0 + kb));
-      trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
-           a.block(k0, k0, kb, kb), u12);
+      MatrixView<T> u12 = a.block(k0, k0 + kb, kb, n - (k0 + kb));
+      trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, T{1},
+              a.block(k0, k0, kb, kb), u12);
       if (k0 + kb < m) {
         // Trailing update: A22 -= L21 * U12.
-        gemm(Trans::None, Trans::None, -1.0, a.block(k0 + kb, k0, m - (k0 + kb), kb),
-             u12, 1.0, a.block(k0 + kb, k0 + kb, m - (k0 + kb), n - (k0 + kb)));
+        gemm<T>(Trans::None, Trans::None, T{-1},
+                a.block(k0 + kb, k0, m - (k0 + kb), kb), u12, T{1},
+                a.block(k0 + kb, k0 + kb, m - (k0 + kb), n - (k0 + kb)));
       }
     }
   }
   return info;
 }
 
-int getrf_nopiv(ViewD a) {
+template <typename T>
+int getrf_nopiv(MatrixView<T> a) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t kmax = std::min(m, n);
   for (index_t k = 0; k < kmax; ++k) {
-    if (a(k, k) == 0.0) return static_cast<int>(k) + 1;
-    const double inv = 1.0 / a(k, k);
+    if (a(k, k) == T{}) return static_cast<int>(k) + 1;
+    const T inv = T{1} / a(k, k);
     for (index_t i = k + 1; i < m; ++i) {
-      const double lik = a(i, k) * inv;
+      const T lik = a(i, k) * inv;
       a(i, k) = lik;
       for (index_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
     }
@@ -103,40 +108,43 @@ int getrf_nopiv(ViewD a) {
   return 0;
 }
 
-int potrf(ViewD a) {
+template <typename T>
+int potrf(MatrixView<T> a) {
   const index_t n = a.rows();
   expects(a.cols() == n, "potrf: matrix must be square");
   const index_t nb = std::max<index_t>(1, tuning().lu_nb);
   for (index_t k0 = 0; k0 < n; k0 += nb) {
     const index_t kb = std::min(nb, n - k0);
     // Diagonal block: unblocked Cholesky.
-    ViewD d = a.block(k0, k0, kb, kb);
+    MatrixView<T> d = a.block(k0, k0, kb, kb);
     for (index_t k = 0; k < kb; ++k) {
-      double diag = d(k, k);
+      T diag = d(k, k);
       for (index_t p = 0; p < k; ++p) diag -= d(k, p) * d(k, p);
-      if (diag <= 0.0) return static_cast<int>(k0 + k) + 1;
-      const double lkk = std::sqrt(diag);
+      if (diag <= T{}) return static_cast<int>(k0 + k) + 1;
+      const T lkk = std::sqrt(diag);
       d(k, k) = lkk;
-      const double inv = 1.0 / lkk;
+      const T inv = T{1} / lkk;
       for (index_t i = k + 1; i < kb; ++i) {
-        double v = d(i, k);
+        T v = d(i, k);
         for (index_t p = 0; p < k; ++p) v -= d(i, p) * d(k, p);
         d(i, k) = v * inv;
       }
     }
     if (k0 + kb < n) {
       // Panel below: L21 = A21 * L11^{-T}.
-      ViewD l21 = a.block(k0 + kb, k0, n - (k0 + kb), kb);
-      trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0, d, l21);
+      MatrixView<T> l21 = a.block(k0 + kb, k0, n - (k0 + kb), kb);
+      trsm<T>(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, T{1},
+              d, l21);
       // Trailing symmetric update: A22 -= L21 * L21^T (lower only).
-      syrk(UpLo::Lower, Trans::None, -1.0, l21, 1.0,
-           a.block(k0 + kb, k0 + kb, n - (k0 + kb), n - (k0 + kb)));
+      syrk<T>(UpLo::Lower, Trans::None, T{-1}, l21, T{1},
+              a.block(k0 + kb, k0 + kb, n - (k0 + kb), n - (k0 + kb)));
     }
   }
   return 0;
 }
 
-void laswp(ViewD a, const std::vector<index_t>& ipiv) {
+template <typename T>
+void laswp(MatrixView<T> a, const std::vector<index_t>& ipiv) {
   for (std::size_t k = 0; k < ipiv.size(); ++k) {
     const index_t piv = ipiv[k];
     const index_t row = static_cast<index_t>(k);
@@ -155,66 +163,99 @@ std::vector<index_t> ipiv_to_permutation(const std::vector<index_t>& ipiv, index
   return perm;
 }
 
-void getrs(ConstViewD a, const std::vector<index_t>& ipiv, ViewD b) {
+template <typename T>
+void getrs(ConstMatrixView<T> a, const std::vector<index_t>& ipiv,
+           MatrixView<T> b) {
   expects(a.rows() == a.cols() && a.rows() == b.rows(), "getrs: shape mismatch");
-  laswp(b, ipiv);
-  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0, a, b);
-  trsm(Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0, a, b);
+  laswp<T>(b, ipiv);
+  trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, T{1}, a, b);
+  trsm<T>(Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, T{1}, a, b);
 }
 
-void potrs(ConstViewD a, ViewD b) {
+template <typename T>
+void potrs(ConstMatrixView<T> a, MatrixView<T> b) {
   expects(a.rows() == a.cols() && a.rows() == b.rows(), "potrs: shape mismatch");
-  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0, a, b);
-  trsm(Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0, a, b);
+  trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, T{1}, a, b);
+  trsm<T>(Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, T{1}, a, b);
 }
 
-MatrixD extract_lower_unit(ConstViewD lu, index_t k) {
-  MatrixD l(lu.rows(), k);
+template <typename T>
+Matrix<T> extract_lower_unit(ConstMatrixView<T> lu, index_t k) {
+  Matrix<T> l(lu.rows(), k);
   for (index_t i = 0; i < lu.rows(); ++i) {
     for (index_t j = 0; j < std::min(i, k); ++j) l(i, j) = lu(i, j);
-    if (i < k) l(i, i) = 1.0;
+    if (i < k) l(i, i) = T{1};
   }
   return l;
 }
 
-MatrixD extract_upper(ConstViewD lu, index_t k) {
-  MatrixD u(k, lu.cols());
+template <typename T>
+Matrix<T> extract_upper(ConstMatrixView<T> lu, index_t k) {
+  Matrix<T> u(k, lu.cols());
   for (index_t i = 0; i < k; ++i) {
     for (index_t j = i; j < lu.cols(); ++j) u(i, j) = lu(i, j);
   }
   return u;
 }
 
-double lu_residual(ConstViewD a, ConstViewD factored,
+template <typename T>
+double lu_residual(ConstMatrixView<T> a, ConstMatrixView<T> factored,
                    const std::vector<index_t>& perm) {
   const index_t n = a.rows();
   expects(a.cols() == n && factored.rows() == n && factored.cols() == n &&
               static_cast<index_t>(perm.size()) == n,
           "lu_residual: shape mismatch");
-  const MatrixD l = extract_lower_unit(factored, n);
-  const MatrixD u = extract_upper(factored, n);
-  MatrixD pa(n, n);
+  const Matrix<T> l = extract_lower_unit<T>(factored, n);
+  const Matrix<T> u = extract_upper<T>(factored, n);
+  Matrix<T> pa(n, n);
   for (index_t i = 0; i < n; ++i) {
     for (index_t j = 0; j < n; ++j) pa(i, j) = a(perm[static_cast<std::size_t>(i)], j);
   }
-  gemm(Trans::None, Trans::None, -1.0, l.view(), u.view(), 1.0, pa.view());
-  const double denom = norm_frobenius(a) * static_cast<double>(n) *
-                       std::numeric_limits<double>::epsilon();
-  return norm_frobenius(pa.view()) / denom;
+  gemm<T>(Trans::None, Trans::None, T{-1}, l.view(), u.view(), T{1}, pa.view());
+  const double denom = norm_frobenius<T>(a) * static_cast<double>(n) *
+                       static_cast<double>(std::numeric_limits<T>::epsilon());
+  return norm_frobenius<T>(pa.view()) / denom;
 }
 
-double cholesky_residual(ConstViewD a, ConstViewD factored) {
+template <typename T>
+double cholesky_residual(ConstMatrixView<T> a, ConstMatrixView<T> factored) {
   const index_t n = a.rows();
-  MatrixD l(n, n);
+  Matrix<T> l(n, n);
   for (index_t i = 0; i < n; ++i) {
     for (index_t j = 0; j <= i; ++j) l(i, j) = factored(i, j);
   }
-  MatrixD res(n, n);
-  copy(a, res.view());
-  gemm(Trans::None, Trans::Transpose, -1.0, l.view(), l.view(), 1.0, res.view());
-  const double denom = norm_frobenius(a) * static_cast<double>(n) *
-                       std::numeric_limits<double>::epsilon();
-  return norm_frobenius(res.view()) / denom;
+  Matrix<T> res(n, n);
+  copy<T>(a, res.view());
+  gemm<T>(Trans::None, Trans::Transpose, T{-1}, l.view(), l.view(), T{1},
+          res.view());
+  const double denom = norm_frobenius<T>(a) * static_cast<double>(n) *
+                       static_cast<double>(std::numeric_limits<T>::epsilon());
+  return norm_frobenius<T>(res.view()) / denom;
 }
+
+// ---- explicit instantiations ----------------------------------------------
+
+template int getrf<float>(ViewF, std::vector<index_t>&);
+template int getrf<double>(ViewD, std::vector<index_t>&);
+template int getrf_nopiv<float>(ViewF);
+template int getrf_nopiv<double>(ViewD);
+template int potrf<float>(ViewF);
+template int potrf<double>(ViewD);
+template void laswp<float>(ViewF, const std::vector<index_t>&);
+template void laswp<double>(ViewD, const std::vector<index_t>&);
+template void getrs<float>(ConstViewF, const std::vector<index_t>&, ViewF);
+template void getrs<double>(ConstViewD, const std::vector<index_t>&, ViewD);
+template void potrs<float>(ConstViewF, ViewF);
+template void potrs<double>(ConstViewD, ViewD);
+template MatrixF extract_lower_unit<float>(ConstViewF, index_t);
+template MatrixD extract_lower_unit<double>(ConstViewD, index_t);
+template MatrixF extract_upper<float>(ConstViewF, index_t);
+template MatrixD extract_upper<double>(ConstViewD, index_t);
+template double lu_residual<float>(ConstViewF, ConstViewF,
+                                   const std::vector<index_t>&);
+template double lu_residual<double>(ConstViewD, ConstViewD,
+                                    const std::vector<index_t>&);
+template double cholesky_residual<float>(ConstViewF, ConstViewF);
+template double cholesky_residual<double>(ConstViewD, ConstViewD);
 
 }  // namespace conflux::xblas

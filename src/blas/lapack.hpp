@@ -3,9 +3,13 @@
 //
 // These are the *local* kernels executed by each simulated rank (the paper
 // uses MKL's getrf/potrf/trsm locally); they are also the reference the
-// distributed factorizations are tested against.
+// distributed factorizations are tested against. Like the level-3 BLAS they
+// are templates over the scalar type with float/double instantiations; the
+// residual helpers scale by the *instantiating* type's epsilon, so an fp32
+// factorization is judged against fp32 backward-error bounds.
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
 #include "blas/blas.hpp"
@@ -18,19 +22,23 @@ namespace conflux::xblas {
 /// ipiv is LAPACK-style: at step k, row k was swapped with row ipiv[k] >= k.
 /// Returns 0 on success, or k+1 if the k-th pivot is exactly zero (the
 /// factorization continues with the remaining columns untouched, LAPACK-style).
-int getrf(ViewD a, std::vector<index_t>& ipiv);
+template <typename T>
+int getrf(MatrixView<T> a, std::vector<index_t>& ipiv);
 
 /// In-place LU without pivoting (requires a "safe" matrix, e.g. diagonally
 /// dominant); returns 0 or k+1 on zero diagonal.
-int getrf_nopiv(ViewD a);
+template <typename T>
+int getrf_nopiv(MatrixView<T> a);
 
 /// In-place lower Cholesky: a(lower) := L with A = L*L^T. Only the lower
 /// triangle of a is referenced/written. Returns 0 or k+1 if not positive
 /// definite at step k.
-int potrf(ViewD a);
+template <typename T>
+int potrf(MatrixView<T> a);
 
 /// Apply ipiv row interchanges (as produced by getrf) to a, forward order.
-void laswp(ViewD a, const std::vector<index_t>& ipiv);
+template <typename T>
+void laswp(MatrixView<T> a, const std::vector<index_t>& ipiv);
 
 /// Convert LAPACK-style ipiv into the explicit row permutation `perm` such
 /// that (P A)(i, :) == A(perm[i], :).
@@ -38,22 +46,75 @@ std::vector<index_t> ipiv_to_permutation(const std::vector<index_t>& ipiv, index
 
 /// Solve A x = b for nrhs right-hand sides given getrf output (a, ipiv);
 /// b is overwritten with x.
-void getrs(ConstViewD a, const std::vector<index_t>& ipiv, ViewD b);
+template <typename T>
+void getrs(ConstMatrixView<T> a, const std::vector<index_t>& ipiv,
+           MatrixView<T> b);
 
 /// Solve A x = b given potrf output (lower triangle of a); b overwritten.
-void potrs(ConstViewD a, ViewD b);
+template <typename T>
+void potrs(ConstMatrixView<T> a, MatrixView<T> b);
 
 /// Extract explicit unit-lower L (m x k) and upper U (k x n) factors from an
 /// in-place LU result.
-MatrixD extract_lower_unit(ConstViewD lu, index_t k);
-MatrixD extract_upper(ConstViewD lu, index_t k);
+template <typename T>
+Matrix<T> extract_lower_unit(ConstMatrixView<T> lu, index_t k);
+template <typename T>
+Matrix<T> extract_upper(ConstMatrixView<T> lu, index_t k);
 
-/// ||A[perm,:] - L*U||_F / (||A||_F * N * eps): the normwise LU residual.
-/// `factored` is the in-place LU of the permuted matrix; `perm` maps output
-/// row i to original row perm[i].
-double lu_residual(ConstViewD a, ConstViewD factored, const std::vector<index_t>& perm);
+/// ||A[perm,:] - L*U||_F / (||A||_F * N * eps_T): the normwise LU residual,
+/// scaled by the scalar type's epsilon. `factored` is the in-place LU of the
+/// permuted matrix; `perm` maps output row i to original row perm[i].
+template <typename T>
+double lu_residual(ConstMatrixView<T> a, ConstMatrixView<T> factored,
+                   const std::vector<index_t>& perm);
 
-/// ||A - L*L^T||_F / (||A||_F * N * eps) from an in-place potrf result.
-double cholesky_residual(ConstViewD a, ConstViewD factored);
+/// ||A - L*L^T||_F / (||A||_F * N * eps_T) from an in-place potrf result.
+template <typename T>
+double cholesky_residual(ConstMatrixView<T> a, ConstMatrixView<T> factored);
+
+// ---- concrete-type overloads (deduction helpers; see blas.hpp) ------------
+
+inline int getrf(ViewD a, std::vector<index_t>& ipiv) { return getrf<double>(a, ipiv); }
+inline int getrf(ViewF a, std::vector<index_t>& ipiv) { return getrf<float>(a, ipiv); }
+inline int getrf_nopiv(ViewD a) { return getrf_nopiv<double>(a); }
+inline int getrf_nopiv(ViewF a) { return getrf_nopiv<float>(a); }
+inline int potrf(ViewD a) { return potrf<double>(a); }
+inline int potrf(ViewF a) { return potrf<float>(a); }
+inline void laswp(ViewD a, const std::vector<index_t>& ipiv) { laswp<double>(a, ipiv); }
+inline void laswp(ViewF a, const std::vector<index_t>& ipiv) { laswp<float>(a, ipiv); }
+inline void getrs(ConstViewD a, const std::vector<index_t>& ipiv, ViewD b) {
+  getrs<double>(a, ipiv, b);
+}
+inline void getrs(ConstViewF a, const std::vector<index_t>& ipiv, ViewF b) {
+  getrs<float>(a, ipiv, b);
+}
+inline void potrs(ConstViewD a, ViewD b) { potrs<double>(a, b); }
+inline void potrs(ConstViewF a, ViewF b) { potrs<float>(a, b); }
+inline MatrixD extract_lower_unit(ConstViewD lu, index_t k) {
+  return extract_lower_unit<double>(lu, k);
+}
+inline MatrixF extract_lower_unit(ConstViewF lu, index_t k) {
+  return extract_lower_unit<float>(lu, k);
+}
+inline MatrixD extract_upper(ConstViewD lu, index_t k) {
+  return extract_upper<double>(lu, k);
+}
+inline MatrixF extract_upper(ConstViewF lu, index_t k) {
+  return extract_upper<float>(lu, k);
+}
+inline double lu_residual(ConstViewD a, ConstViewD factored,
+                          const std::vector<index_t>& perm) {
+  return lu_residual<double>(a, factored, perm);
+}
+inline double lu_residual(ConstViewF a, ConstViewF factored,
+                          const std::vector<index_t>& perm) {
+  return lu_residual<float>(a, factored, perm);
+}
+inline double cholesky_residual(ConstViewD a, ConstViewD factored) {
+  return cholesky_residual<double>(a, factored);
+}
+inline double cholesky_residual(ConstViewF a, ConstViewF factored) {
+  return cholesky_residual<float>(a, factored);
+}
 
 }  // namespace conflux::xblas

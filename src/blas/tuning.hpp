@@ -20,12 +20,37 @@
 
 namespace conflux::xblas {
 
-/// Register tile shape of the gemm microkernel (compile-time: the MR x NR
-/// accumulator must be a fixed-size array for the compiler to keep it in
-/// vector registers). 8x8 doubles = 8 zmm accumulators on AVX-512, 16 ymm
-/// on AVX2; both auto-vectorize to FMA under -O3 -march=native.
-inline constexpr index_t kMR = 8;
-inline constexpr index_t kNR = 8;
+/// Register tile shape of the gemm microkernel, per scalar type
+/// (compile-time: the MR x NR accumulator must be a fixed-size array for the
+/// compiler to keep it in vector registers). Both tiles hold MR scalars in
+/// one 64-byte "register" (1 zmm on AVX-512, 2 ymm on AVX2), so fp32's
+/// 16x8 tile has the identical register pressure and instruction count as
+/// fp64's 8x8 while moving twice the scalars per FMA — the source of the
+/// fp32 throughput doubling the mixed-precision drivers rely on.
+template <typename T>
+struct RegTile;
+template <>
+struct RegTile<double> {
+  static constexpr index_t mr = 8;
+  static constexpr index_t nr = 8;
+};
+template <>
+struct RegTile<float> {
+  static constexpr index_t mr = 16;
+  static constexpr index_t nr = 8;
+};
+
+/// Legacy names for the fp64 tile (sweeps and tests key off these).
+inline constexpr index_t kMR = RegTile<double>::mr;
+inline constexpr index_t kNR = RegTile<double>::nr;
+
+/// Runtime kc scaling per scalar: the Tuning::kc default is sized so a
+/// kc x nc fp64 B panel fits the L2/L3 budget; narrower scalars double kc to
+/// keep the same byte footprint (and halve the per-panel loop overhead).
+template <typename T>
+constexpr index_t kc_scale() {
+  return static_cast<index_t>(sizeof(double) / sizeof(T));
+}
 
 struct Tuning {
   /// Rows of A packed per block (rounded up to a multiple of kMR).

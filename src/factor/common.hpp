@@ -37,30 +37,50 @@ struct StepCosts {
   double a11_flops = 0.0;        ///< local Schur-complement gemm/gemmt
 };
 
-/// LU factorization result. In Trace mode only `perm` (trace pivots) and the
-/// step costs are populated.
-struct LuResult {
+/// Fraction of an 8-byte word one scalar of type T occupies. The results'
+/// workspace accounting is in fp64-equivalent (8-byte) words — the same
+/// unit as Workspace::words() — so an fp32 run reports half the fp64
+/// footprint; both factor cores must scale element counts through this one
+/// helper to stay comparable.
+template <typename T>
+constexpr double words_per_scalar() {
+  return static_cast<double>(sizeof(T)) / static_cast<double>(sizeof(double));
+}
+
+/// LU factorization result, parameterized on the factor scalar (the
+/// schedule is precision-agnostic; Real mode exists for float and double).
+/// In Trace mode only `perm` (trace pivots) and the step costs are populated.
+template <typename T>
+struct LuResultT {
   /// Row permutation: output row i of the factored matrix corresponds to
   /// input row perm[i] (A[perm, :] = L U).
   std::vector<index_t> perm;
   /// Real mode: the in-place factors of A[perm, :] (unit-lower L below the
   /// diagonal, U on and above).
-  MatrixD factors;
+  Matrix<T> factors;
   std::vector<StepCosts> step_costs;
-  /// Real mode: peak resident words of the factorization's host-side data
-  /// path (packed trailing workspace + factor store + scratch arena). The
-  /// per-layer dense scheme this replaced held (pz + 1) * npad^2 words.
+  /// Real mode: peak resident size of the factorization's host-side data
+  /// path (packed trailing workspace + factor store + scratch arena), in
+  /// 8-byte words — fp32 runs report half the fp64 footprint. The per-layer
+  /// dense scheme this replaced held (pz + 1) * npad^2 fp64 words.
   double workspace_words = 0.0;
 };
 
+using LuResult = LuResultT<double>;
+using LuResultF = LuResultT<float>;
+
 /// Cholesky result (no pivoting).
-struct CholResult {
+template <typename T>
+struct CholResultT {
   /// Real mode: lower-triangular L with A = L L^T (upper triangle zero).
-  MatrixD factors;
+  Matrix<T> factors;
   std::vector<StepCosts> step_costs;
-  /// Real mode: peak resident words of the data path (see LuResult).
+  /// Real mode: peak resident 8-byte words of the data path (see LuResultT).
   double workspace_words = 0.0;
 };
+
+using CholResult = CholResultT<double>;
+using CholResultF = CholResultT<float>;
 
 /// Pick the block size: v = a * c for a small constant a (Section 7.2 uses
 /// hardware-tuned multiples; we default to the largest of 2c and 64, rounded

@@ -21,7 +21,8 @@ using xblas::UpLo;
 /// Workspace slot ids (tensor/workspace.hpp arena).
 enum WsSlot : std::size_t { kA00 = 0 };
 
-/// The whole mutable state of one factorization run.
+/// The whole mutable state of one factorization run, templated on the
+/// factor scalar.
 ///
 /// Real-mode data path (DESIGN.md "Packed trailing workspace"): ONE
 /// npad x npad buffer `fac` is both the trailing accumulator and the factor
@@ -33,6 +34,7 @@ enum WsSlot : std::size_t { kA00 = 0 };
 /// realized inside gemm/syrk's fixed k-order (one beta=1 update with k = v
 /// accumulates the k-slices in ascending z), so per-layer buffers and the
 /// separate factor matrix of the previous scheme never exist.
+template <typename T>
 struct CholRun {
   xsim::Machine& m;
   const grid::Grid3D& g;
@@ -42,7 +44,7 @@ struct CholRun {
   index_t num_tiles = 0;
   bool real = false;
   std::vector<int> all_ranks;
-  MatrixD fac;  // trailing accumulator left of the frontier, factor right
+  Matrix<T> fac;  // trailing accumulator left of the frontier, factor right
   Workspace ws;
 
   CholRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size,
@@ -68,7 +70,8 @@ long long approx_msgs(index_t items, int peers) {
 // Step 1: reduce the trailing block column (rows t*v.., width v) onto layer
 // l_t; charged per x-group like COnfLUX's column reduction. Real mode has
 // nothing to execute: the trailing accumulator already holds the sums.
-void reduce_block_column(CholRun& run, index_t t) {
+template <typename T>
+void reduce_block_column(CholRun<T>& run, index_t t) {
   run.m.annotate("reduce-column");
   const int pz = run.g.pz();
   const int y_t = static_cast<int>(t) % run.g.py();
@@ -87,7 +90,8 @@ void reduce_block_column(CholRun& run, index_t t) {
 // Steps 2-3: potrf of the diagonal block on its owner, broadcast to all.
 // The factored block is written back into the trailing buffer: that slot is
 // the finished factor from here on.
-void factor_and_broadcast_a00(CholRun& run, index_t t, ViewD* a00) {
+template <typename T>
+void factor_and_broadcast_a00(CholRun<T>& run, index_t t, MatrixView<T>* a00) {
   run.m.annotate("potrf-a00");
   const int x_t = static_cast<int>(t) % run.g.px();
   const int y_t = static_cast<int>(t) % run.g.py();
@@ -99,11 +103,11 @@ void factor_and_broadcast_a00(CholRun& run, index_t t, ViewD* a00) {
                         vv * vv);
   if (run.real) {
     const index_t o = t * run.v;
-    *a00 = run.ws.zeroed(kA00, run.v, run.v);
+    *a00 = run.ws.template zeroed<T>(kA00, run.v, run.v);
     for (index_t i = 0; i < run.v; ++i) {
       for (index_t j = 0; j <= i; ++j) (*a00)(i, j) = run.fac(o + i, o + j);
     }
-    check(xblas::potrf(*a00) == 0,
+    check(xblas::potrf<T>(*a00) == 0,
           "matrix is not positive definite at this block");
     for (index_t i = 0; i < run.v; ++i) {
       for (index_t j = 0; j <= i; ++j) run.fac(o + i, o + j) = (*a00)(i, j);
@@ -113,7 +117,8 @@ void factor_and_broadcast_a00(CholRun& run, index_t t, ViewD* a00) {
 }
 
 // Step 4: scatter the sub-diagonal panel into 1D row chunks over all ranks.
-void scatter_panel_1d(CholRun& run, index_t t, index_t panel_rows) {
+template <typename T>
+void scatter_panel_1d(CholRun<T>& run, index_t t, index_t panel_rows) {
   run.m.annotate("scatter-panel");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -136,7 +141,9 @@ void scatter_panel_1d(CholRun& run, index_t t, index_t panel_rows) {
 // Step 5: local trsm L10 = A10 * L00^{-T} on the 1D chunks, IN PLACE in the
 // trailing buffer: the solved panel is simultaneously the factor's column
 // block and the Schur update's operand.
-void trsm_panel(CholRun& run, index_t t, index_t panel_rows, ConstViewD a00) {
+template <typename T>
+void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
+                ConstMatrixView<T> a00) {
   run.m.annotate("panel-trsm");
   const auto vv = static_cast<double>(run.v);
   const int p = run.m.ranks();
@@ -148,13 +155,13 @@ void trsm_panel(CholRun& run, index_t t, index_t panel_rows, ConstViewD a00) {
     // Execute the solve the way the schedule distributes it: one 1D row
     // chunk per simulated rank, fanned out across host threads (Right-side
     // solves are row-independent, so chunking is exact).
-    ViewD panel = run.fac.block((t + 1) * run.v, t * run.v, panel_rows, run.v);
+    MatrixView<T> panel = run.fac.block((t + 1) * run.v, t * run.v, panel_rows, run.v);
     sched::parallel_ranks(p, [&](index_t r) {
       const index_t lo = chunk_offset(panel_rows, p, static_cast<int>(r));
       const index_t cnt = chunk_size(panel_rows, p, static_cast<int>(r));
       if (cnt == 0) return;
-      xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
-                  a00, panel.block(lo, 0, cnt, run.v));
+      xblas::trsm<T>(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit,
+                     T{1}, a00, panel.block(lo, 0, cnt, run.v));
     });
   }
   run.m.step_barrier();
@@ -164,7 +171,8 @@ void trsm_panel(CholRun& run, index_t t, index_t panel_rows, ConstViewD a00) {
 // rank needs BOTH its tile rows' slices and its tile columns' slices (the
 // update is L10_i * L10_j^T), which is why Cholesky communicates as much as
 // LU here despite half the flops (Table 1).
-void distribute_panel_2p5d(CholRun& run, index_t t, index_t panel_rows) {
+template <typename T>
+void distribute_panel_2p5d(CholRun<T>& run, index_t t, index_t panel_rows) {
   run.m.annotate("distribute-2.5d");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -199,7 +207,8 @@ void distribute_panel_2p5d(CholRun& run, index_t t, index_t panel_rows) {
 // Step 7: symmetric Schur update of the trailing accumulator: layer z's
 // k-slice contribution is realized inside the fixed k-order of one beta=1
 // gemm/syrk per fixed row block (k = v spans the slices in ascending z).
-void update_a11(CholRun& run, index_t t, index_t panel_rows) {
+template <typename T>
+void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
   run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -227,31 +236,33 @@ void update_a11(CholRun& run, index_t t, index_t panel_rows) {
     // lower-triangle element is written by exactly one task with a fixed
     // k-order — bitwise-deterministic across thread counts (DESIGN.md).
     const index_t off = (t + 1) * run.v;
-    ConstViewD panel = run.fac.block(off, t * run.v, panel_rows, run.v);
+    ConstMatrixView<T> panel = run.fac.block(off, t * run.v, panel_rows, run.v);
     const index_t nblocks = sched::num_row_blocks(panel_rows);
     sched::parallel_ranks(nblocks, [&](index_t blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
       if (i0 > 0) {
-        xblas::gemm(Trans::None, Trans::Transpose, -1.0,
-                    panel.block(i0, 0, bn, run.v), panel.block(0, 0, i0, run.v),
-                    1.0, run.fac.block(off + i0, off, bn, i0));
+        xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
+                       panel.block(i0, 0, bn, run.v), panel.block(0, 0, i0, run.v),
+                       T{1}, run.fac.block(off + i0, off, bn, i0));
       }
-      xblas::syrk(UpLo::Lower, Trans::None, -1.0, panel.block(i0, 0, bn, run.v),
-                  1.0, run.fac.block(off + i0, off + i0, bn, bn));
+      xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
+                     panel.block(i0, 0, bn, run.v), T{1},
+                     run.fac.block(off + i0, off + i0, bn, bn));
     });
   }
   run.m.step_barrier();
 }
 
-CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
-                        ConstViewD a, const FactorOptions& opt) {
+template <typename T>
+CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                            ConstMatrixView<T> a, const FactorOptions& opt) {
   expects(g.ranks() == m.ranks(), "grid must match the machine");
   expects(n >= 1, "matrix must be non-empty");
   index_t v = opt.block_size > 0 ? opt.block_size : default_block_size(n, g);
   expects(v % g.pz() == 0, "block size must be a multiple of the layer count");
 
-  CholRun run(m, g, n, v);
+  CholRun<T> run(m, g, n, v);
   const index_t npad = run.npad;
   const index_t num_tiles = run.num_tiles;
 
@@ -265,14 +276,14 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.fac = MatrixD(npad, npad, 0.0);
+    run.fac = Matrix<T>(npad, npad, T{});
     for (index_t i = 0; i < n; ++i) {
       for (index_t j = 0; j <= i; ++j) run.fac(i, j) = a(i, j);
     }
-    for (index_t r = n; r < npad; ++r) run.fac(r, r) = 1.0;
+    for (index_t r = n; r < npad; ++r) run.fac(r, r) = T{1};
   }
 
-  CholResult result;
+  CholResultT<T> result;
   StepCostRecorder rec(m, opt.record_step_costs);
 
   // Latency chain per iteration: one layer reduction, the A00 broadcast,
@@ -288,13 +299,13 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { reduce_block_column(run, t); });
-    ViewD a00;
+    MatrixView<T> a00;
     rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
                 [&] { factor_and_broadcast_a00(run, t, &a00); });
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { scatter_panel_1d(run, t, panel_rows); });
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
-                [&] { trsm_panel(run, t, panel_rows, a00); });
+                [&] { trsm_panel<T>(run, t, panel_rows, a00); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { distribute_panel_2p5d(run, t, panel_rows); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
@@ -305,12 +316,13 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
   for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);
 
   if (run.real) {
-    result.factors = MatrixD(n, n, 0.0);
+    result.factors = Matrix<T>(n, n, T{});
     for (index_t i = 0; i < n; ++i) {
       for (index_t j = 0; j <= i; ++j) result.factors(i, j) = run.fac(i, j);
     }
     result.workspace_words =
-        static_cast<double>(run.fac.size()) + run.ws.words();
+        static_cast<double>(run.fac.size()) * words_per_scalar<T>() +
+        run.ws.words();
   }
   return result;
 }
@@ -320,23 +332,34 @@ CholResult run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 CholResult confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
                     const FactorOptions& opt) {
   expects(m.real(), "confchox with a matrix requires Real mode");
-  return run_confchox(m, g, a.rows(), a, opt);
+  return run_confchox<double>(m, g, a.rows(), a, opt);
+}
+
+CholResultF confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
+                     const FactorOptions& opt) {
+  expects(m.real(), "confchox with a matrix requires Real mode");
+  return run_confchox<float>(m, g, a.rows(), a, opt);
 }
 
 CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                           const FactorOptions& opt) {
   expects(!m.real(), "confchox_trace requires Trace mode");
-  return run_confchox(m, g, n, ConstViewD(), opt);
+  return run_confchox<double>(m, g, n, ConstViewD(), opt);
 }
 
-void confchox_solve(const CholResult& chol, ViewD b) {
+template <typename T>
+void confchox_solve(const CholResultT<T>& chol, MatrixView<T> b) {
   const index_t n = chol.factors.rows();
   expects(n > 0, "solve requires Real-mode factors");
   expects(b.rows() == n, "right-hand side must match the matrix");
-  xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0,
-              chol.factors.view(), b);
-  xblas::trsm(Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, 1.0,
-              chol.factors.view(), b);
+  // One pair of blocked trsm panel solves over the whole multi-RHS panel.
+  xblas::trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, T{1},
+                 chol.factors.view(), b);
+  xblas::trsm<T>(Side::Left, UpLo::Lower, Trans::Transpose, Diag::NonUnit, T{1},
+                 chol.factors.view(), b);
 }
+
+template void confchox_solve<float>(const CholResultF&, ViewF);
+template void confchox_solve<double>(const CholResult&, ViewD);
 
 }  // namespace conflux::factor

@@ -14,14 +14,20 @@
 namespace conflux::factor {
 
 /// Factor the SPD matrix `a` (lower triangle referenced) in Real mode.
+/// The schedule is identical in both precisions; only the local arithmetic
+/// narrows.
 CholResult confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
                     const FactorOptions& opt = {});
+CholResultF confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
+                     const FactorOptions& opt = {});
 
 /// Trace-mode run for an n x n factorization.
 CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                           const FactorOptions& opt = {});
 
-/// Solve A x = b given a confchox result; b is overwritten with x.
-void confchox_solve(const CholResult& chol, ViewD b);
+/// Solve A X = B for a multi-RHS panel given a confchox result: one pair of
+/// blocked trsm panel solves over all columns at once. B overwritten with X.
+template <typename T>
+void confchox_solve(const CholResultT<T>& chol, MatrixView<T> b);
 
 }  // namespace conflux::factor

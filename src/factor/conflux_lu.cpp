@@ -23,36 +23,39 @@ bool is_pow2(int n) { return std::has_single_bit(static_cast<unsigned>(n)); }
 
 /// Candidate set carried through the tournament: row indices plus their
 /// original (reduced) panel values, both in the current ranking order.
+template <typename T>
 struct Candidates {
   std::vector<index_t> rows;
-  MatrixD values;  // rows.size() x v
+  Matrix<T> values;  // rows.size() x v
 };
 
 /// Buffers reused across every butterfly round of every step: the stacked
 /// 2v x v candidate block and its getrf scratch (allocated once per
 /// factorization, not once per merge).
+template <typename T>
 struct MergeScratch {
   std::vector<index_t> rows;
-  MatrixD stacked;
-  MatrixD ranked;  // getrf scratch (the ranking destroys its copy)
+  Matrix<T> stacked;
+  Matrix<T> ranked;  // getrf scratch (the ranking destroys its copy)
   std::vector<index_t> ipiv;
 };
 
 /// Rank candidate rows of `values` by partial-pivoting LU and keep the
 /// top `keep`: the standard CALU local selection.
-Candidates select_candidates(const std::vector<index_t>& rows, const MatrixD& values,
-                             index_t keep) {
+template <typename T>
+Candidates<T> select_candidates(const std::vector<index_t>& rows,
+                                const Matrix<T>& values, index_t keep) {
   const auto nrows = static_cast<index_t>(rows.size());
   const index_t v = values.cols();
-  Candidates out;
+  Candidates<T> out;
   if (nrows == 0) return out;
-  MatrixD work = values;
+  Matrix<T> work = values;
   std::vector<index_t> ipiv;
-  xblas::getrf(work.view(), ipiv);  // singular panels keep natural order
+  xblas::getrf<T>(work.view(), ipiv);  // singular panels keep natural order
   const auto order = xblas::ipiv_to_permutation(ipiv, nrows);
   const index_t take = std::min(keep, nrows);
   out.rows.reserve(static_cast<std::size_t>(take));
-  out.values = MatrixD(take, v);
+  out.values = Matrix<T>(take, v);
   for (index_t i = 0; i < take; ++i) {
     const auto src = order[static_cast<std::size_t>(i)];
     out.rows.push_back(rows[static_cast<std::size_t>(src)]);
@@ -64,8 +67,9 @@ Candidates select_candidates(const std::vector<index_t>& rows, const MatrixD& va
 /// One tournament round: stack `b` under `a`, re-rank, keep the top `keep`
 /// rows in `a`. The merge adoptee is updated in place (no copy-then-move)
 /// and the stacked buffer lives in `s` across rounds.
-void merge_candidates(Candidates& a, const Candidates& b, index_t keep,
-                      MergeScratch& s) {
+template <typename T>
+void merge_candidates(Candidates<T>& a, const Candidates<T>& b, index_t keep,
+                      MergeScratch<T>& s) {
   const auto na = static_cast<index_t>(a.rows.size());
   const auto nb = static_cast<index_t>(b.rows.size());
   if (na == 0) {
@@ -75,22 +79,22 @@ void merge_candidates(Candidates& a, const Candidates& b, index_t keep,
   if (nb == 0) return;
   const index_t v = a.values.cols();
   if (s.stacked.rows() < na + nb || s.stacked.cols() != v) {
-    s.stacked = MatrixD(na + nb, v);
-    s.ranked = MatrixD(na + nb, v);
+    s.stacked = Matrix<T>(na + nb, v);
+    s.ranked = Matrix<T>(na + nb, v);
   }
   s.rows.assign(a.rows.begin(), a.rows.end());
   s.rows.insert(s.rows.end(), b.rows.begin(), b.rows.end());
-  copy<double>(a.values.view(), s.stacked.block(0, 0, na, v));
-  copy<double>(b.values.view(), s.stacked.block(na, 0, nb, v));
+  copy<T>(a.values.view(), s.stacked.block(0, 0, na, v));
+  copy<T>(b.values.view(), s.stacked.block(na, 0, nb, v));
   // Re-rank a copy of the stacked block (getrf destroys it); both buffers
   // persist across rounds and steps.
-  ViewD ranked = s.ranked.block(0, 0, na + nb, v);
-  copy<double>(s.stacked.block(0, 0, na + nb, v), ranked);
-  xblas::getrf(ranked, s.ipiv);
+  MatrixView<T> ranked = s.ranked.block(0, 0, na + nb, v);
+  copy<T>(s.stacked.block(0, 0, na + nb, v), ranked);
+  xblas::getrf<T>(ranked, s.ipiv);
   const auto order = xblas::ipiv_to_permutation(s.ipiv, na + nb);
   const index_t take = std::min(keep, na + nb);
   a.rows.resize(static_cast<std::size_t>(take));
-  if (a.values.rows() != take) a.values = MatrixD(take, v);
+  if (a.values.rows() != take) a.values = Matrix<T>(take, v);
   for (index_t i = 0; i < take; ++i) {
     const auto src = order[static_cast<std::size_t>(i)];
     a.rows[static_cast<std::size_t>(i)] = s.rows[static_cast<std::size_t>(src)];
@@ -101,7 +105,9 @@ void merge_candidates(Candidates& a, const Candidates& b, index_t keep,
 /// Workspace slot ids (tensor/workspace.hpp arena, one buffer each).
 enum WsSlot : std::size_t { kPivotRows = 0 };
 
-/// The whole mutable state of one factorization run.
+/// The whole mutable state of one factorization run, templated on the
+/// factor scalar (the Trace entry point instantiates the double core with
+/// no data; Real mode exists for float and double).
 ///
 /// Real-mode data path (DESIGN.md "Packed trailing workspace"): instead of
 /// pz + 1 full npad x npad matrices, the run keeps
@@ -116,6 +122,7 @@ enum WsSlot : std::size_t { kPivotRows = 0 };
 /// Eliminated rows retire once per step by swapping the tail row into their
 /// slot (O(v * trailing) per step), so every Schur update, reduction read,
 /// and panel solve runs on a contiguous packed block.
+template <typename T>
 struct LuRun {
   xsim::Machine& m;
   const grid::Grid3D& g;
@@ -130,13 +137,13 @@ struct LuRun {
   std::vector<int> all_ranks;
 
   // Real-mode packed trailing workspace + factor store.
-  MatrixD trail;
-  MatrixD lstore;
+  Matrix<T> trail;
+  Matrix<T> lstore;
   std::vector<index_t> rowmap;  // packed index -> global row
   std::vector<index_t> rowpos;  // global row -> packed index (-1 = retired)
   index_t nact = 0;             // live packed rows
   Workspace ws;
-  MergeScratch merge_scratch;
+  MergeScratch<T> merge_scratch;
 
   LuRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size, index_t block)
       : m(machine),
@@ -162,7 +169,7 @@ struct LuRun {
       const index_t last = --nact;
       if (i != last) {
         const index_t moved = rowmap[static_cast<std::size_t>(last)];
-        const double* src = &trail(last, col0);
+        const T* src = &trail(last, col0);
         std::copy(src, src + (npad - col0), &trail(i, col0));
         rowmap[static_cast<std::size_t>(i)] = moved;
         rowpos[static_cast<std::size_t>(moved)] = i;
@@ -184,7 +191,8 @@ long long approx_msgs(index_t items, int peers) {
 // Step 1: reduce the current block column across the Pz layers onto layer
 // l_t. Per x-group the payload is that group's active rows times v.
 // ---------------------------------------------------------------------------
-void reduce_block_column(LuRun& run, index_t t) {
+template <typename T>
+void reduce_block_column(LuRun<T>& run, index_t t) {
   run.m.annotate("reduce-column");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -209,12 +217,14 @@ void reduce_block_column(LuRun& run, index_t t) {
 // Step 2: tournament pivoting (butterfly over the Px column owners). Returns
 // the winners in pivot order and, in Real mode, the factored A00.
 // ---------------------------------------------------------------------------
+template <typename T>
 struct PivotResult {
   std::vector<index_t> winners;
-  MatrixD a00;  // v x v in-place LU of the winner rows (Real mode)
+  Matrix<T> a00;  // v x v in-place LU of the winner rows (Real mode)
 };
 
-PivotResult tournament_pivot(LuRun& run, index_t t) {
+template <typename T>
+PivotResult<T> tournament_pivot(LuRun<T>& run, index_t t) {
   run.m.annotate("tournament-pivot");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -241,7 +251,7 @@ PivotResult tournament_pivot(LuRun& run, index_t t) {
                        rows_x * vv * vv + rounds * 2.0 * vv * vv * vv / 3.0);
   }
 
-  PivotResult result;
+  PivotResult<T> result;
   if (!run.real) {
     result.winners = run.tracker.sample_active(run.v, run.trace_rng);
     run.m.step_barrier();
@@ -251,18 +261,18 @@ PivotResult tournament_pivot(LuRun& run, index_t t) {
   // Local candidate selection per x-group: one simulated column owner per
   // task, each ranking its own rows (disjoint outputs). Panel values are
   // read straight out of the packed workspace.
-  std::vector<Candidates> cand(static_cast<std::size_t>(px));
+  std::vector<Candidates<T>> cand(static_cast<std::size_t>(px));
   sched::parallel_ranks(px, [&](index_t x) {
     const auto rows = run.tracker.rows_for_x(static_cast<int>(x));
     if (rows.empty()) return;
-    MatrixD values(static_cast<index_t>(rows.size()), run.v);
+    Matrix<T> values(static_cast<index_t>(rows.size()), run.v);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const index_t pi = run.rowpos[static_cast<std::size_t>(rows[i])];
       for (index_t j = 0; j < run.v; ++j) {
         values(static_cast<index_t>(i), j) = run.trail(pi, t * run.v + j);
       }
     }
-    cand[static_cast<std::size_t>(x)] = select_candidates(rows, values, run.v);
+    cand[static_cast<std::size_t>(x)] = select_candidates<T>(rows, values, run.v);
   });
   // Merge rounds along the accumulation tree of rank 0. The full butterfly
   // computes px/2 merges per round on every rank, but only the binomial
@@ -271,19 +281,19 @@ PivotResult tournament_pivot(LuRun& run, index_t t) {
   // it — so the winners are identical and the dead merges are skipped.
   for (int mask = 1; mask < px; mask <<= 1) {
     for (int x = 0; x + mask < px; x += 2 * mask) {
-      merge_candidates(cand[static_cast<std::size_t>(x)],
-                       cand[static_cast<std::size_t>(x + mask)], run.v,
-                       run.merge_scratch);
+      merge_candidates<T>(cand[static_cast<std::size_t>(x)],
+                          cand[static_cast<std::size_t>(x + mask)], run.v,
+                          run.merge_scratch);
     }
   }
-  Candidates& final_set = cand[0];
+  Candidates<T>& final_set = cand[0];
   check(static_cast<index_t>(final_set.rows.size()) == run.v,
         "tournament must produce exactly v pivots");
   // Final ranking doubles as the A00 factorization (Table 1: A00's getrf is
   // free, it happens during TournPivot).
-  MatrixD a00 = final_set.values;
+  Matrix<T> a00 = final_set.values;
   std::vector<index_t> ipiv;
-  xblas::getrf(a00.view(), ipiv);
+  xblas::getrf<T>(a00.view(), ipiv);
   const auto order = xblas::ipiv_to_permutation(ipiv, run.v);
   result.winners.reserve(static_cast<std::size_t>(run.v));
   for (index_t i = 0; i < run.v; ++i) {
@@ -297,7 +307,8 @@ PivotResult tournament_pivot(LuRun& run, index_t t) {
 // ---------------------------------------------------------------------------
 // Step 3: broadcast A00 (v^2 words) and the pivot indices (v words) to all.
 // ---------------------------------------------------------------------------
-void broadcast_a00(LuRun& run, index_t t) {
+template <typename T>
+void broadcast_a00(LuRun<T>& run, index_t t) {
   run.m.annotate("bcast-a00");
   const int y_t = static_cast<int>(t) % run.g.py();
   const int l_t = static_cast<int>(t) % run.g.pz();
@@ -312,7 +323,8 @@ void broadcast_a00(LuRun& run, index_t t) {
 // P ranks. Senders are the layer-l_t owners; aggregate charges keep this
 // O(P) per step.
 // ---------------------------------------------------------------------------
-void scatter_panel_1d(LuRun& run, index_t t, bool row_panel, index_t items,
+template <typename T>
+void scatter_panel_1d(LuRun<T>& run, index_t t, bool row_panel, index_t items,
                       const std::vector<index_t>& pivots_per_x) {
   run.m.annotate(row_panel ? "scatter-a10" : "scatter-a01");
   const int p = run.m.ranks();
@@ -361,8 +373,9 @@ void scatter_panel_1d(LuRun& run, index_t t, bool row_panel, index_t items,
 // Real mode this gathers the winners' packed rows into the step-reusable
 // pivot-row workspace (the last read of those rows before they retire).
 // ---------------------------------------------------------------------------
-void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winners,
-                       ViewD* pivotrows) {
+template <typename T>
+void reduce_pivot_rows(LuRun<T>& run, index_t t, const std::vector<index_t>& winners,
+                       MatrixView<T>* pivotrows) {
   run.m.annotate("reduce-pivot-rows");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -387,11 +400,11 @@ void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winner
     }
   }
   if (run.real && ncols > 0) {
-    *pivotrows = run.ws.mat(kPivotRows, run.v, ncols);
+    *pivotrows = run.ws.template mat<T>(kPivotRows, run.v, ncols);
     sched::parallel_ranks(run.v, [&](index_t l) {
       const index_t pi =
           run.rowpos[static_cast<std::size_t>(winners[static_cast<std::size_t>(l)])];
-      const double* src = &run.trail(pi, (t + 1) * run.v);
+      const T* src = &run.trail(pi, (t + 1) * run.v);
       std::copy(src, src + ncols, pivotrows->row(l));
     });
   }
@@ -402,7 +415,8 @@ void reduce_pivot_rows(LuRun& run, index_t t, const std::vector<index_t>& winner
 // Steps 8 and 10: distribute the factored panels' k-slices to the 2.5D tile
 // owners (aggregate charges; the dominant communication of the algorithm).
 // ---------------------------------------------------------------------------
-void distribute_panels_2p5d(LuRun& run, index_t t, index_t a10_rows) {
+template <typename T>
+void distribute_panels_2p5d(LuRun<T>& run, index_t t, index_t a10_rows) {
   run.m.annotate("distribute-2.5d");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -459,7 +473,8 @@ void distribute_panels_2p5d(LuRun& run, index_t t, index_t a10_rows) {
 // ascending z, which is exactly the layered partial-sum arithmetic, and the
 // per-task update temporary plus its subtract-scatter pass are gone.
 // ---------------------------------------------------------------------------
-void update_a11(LuRun& run, index_t t, ConstViewD pivotrows) {
+template <typename T>
+void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
   run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -482,21 +497,22 @@ void update_a11(LuRun& run, index_t t, ConstViewD pivotrows) {
   }
 
   if (run.real && ncols > 0 && run.nact > 0) {
-    xblas::gemm(Trans::None, Trans::None, -1.0,
-                run.trail.block(0, t * run.v, run.nact, run.v), pivotrows, 1.0,
-                run.trail.block(0, (t + 1) * run.v, run.nact, ncols));
+    xblas::gemm<T>(Trans::None, Trans::None, T{-1},
+                   run.trail.block(0, t * run.v, run.nact, run.v), pivotrows,
+                   T{1}, run.trail.block(0, (t + 1) * run.v, run.nact, ncols));
   }
   run.m.step_barrier();
 }
 
-LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
-                        ConstViewD a, const FactorOptions& opt) {
+template <typename T>
+LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
+                            ConstMatrixView<T> a, const FactorOptions& opt) {
   expects(g.ranks() == m.ranks(), "grid must match the machine");
   expects(n >= 1, "matrix must be non-empty");
   index_t v = opt.block_size > 0 ? opt.block_size : default_block_size(n, g);
   expects(v % g.pz() == 0, "block size must be a multiple of the layer count");
 
-  LuRun run(m, g, n, v);
+  LuRun<T> run(m, g, n, v);
   run.trace_rng.reseed(opt.trace_pivot_seed);
   const index_t npad = run.npad;
   const index_t num_tiles = run.num_tiles;
@@ -513,12 +529,12 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.trail = MatrixD(npad, npad, 0.0);
+    run.trail = Matrix<T>(npad, npad, T{});
     for (index_t i = 0; i < n; ++i) {
       for (index_t j = 0; j < n; ++j) run.trail(i, j) = a(i, j);
     }
-    for (index_t r = n; r < npad; ++r) run.trail(r, r) = 1.0;
-    run.lstore = MatrixD(npad, npad, 0.0);
+    for (index_t r = n; r < npad; ++r) run.trail(r, r) = T{1};
+    run.lstore = Matrix<T>(npad, npad, T{});
     run.nact = npad;
     run.rowmap.resize(static_cast<std::size_t>(npad));
     run.rowpos.resize(static_cast<std::size_t>(npad));
@@ -528,7 +544,7 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     }
   }
 
-  LuResult result;
+  LuResultT<T> result;
   StepCostRecorder rec(m, opt.record_step_costs);
   std::vector<index_t> perm_pad;
   perm_pad.reserve(static_cast<std::size_t>(npad));
@@ -548,7 +564,7 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { reduce_block_column(run, t); });
 
-    PivotResult piv;
+    PivotResult<T> piv;
     rec.measure(&StepCosts::pivoting_words, &StepCosts::pivoting_flops,
                 [&] { piv = tournament_pivot(run, t); });
     rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
@@ -576,7 +592,7 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
       scatter_panel_1d(run, t, /*row_panel=*/true, a10_rows, pivots_per_x);
     });
-    ViewD pivotrows;
+    MatrixView<T> pivotrows;
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { reduce_pivot_rows(run, t, piv.winners, &pivotrows); });
     if (run.real) {
@@ -609,14 +625,14 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       }
       if (run.real) {
         const int p = m.ranks();
-        ViewD a10 = run.trail.block(0, t * v, run.nact, v);
+        MatrixView<T> a10 = run.trail.block(0, t * v, run.nact, v);
         sched::parallel_ranks(p, [&](index_t r) {
           const index_t lo = chunk_offset(a10_rows, p, static_cast<int>(r));
           const index_t cnt = chunk_size(a10_rows, p, static_cast<int>(r));
           if (cnt == 0) return;
           // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
-          xblas::trsm(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
-                      piv.a00.view(), a10.block(lo, 0, cnt, v));
+          xblas::trsm<T>(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit,
+                         T{1}, piv.a00.view(), a10.block(lo, 0, cnt, v));
           for (index_t i = lo; i < lo + cnt; ++i) {
             const index_t row = run.rowmap[static_cast<std::size_t>(i)];
             for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
@@ -628,8 +644,8 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
             const index_t lo = chunk_offset(ncols, p, static_cast<int>(r));
             const index_t cnt = chunk_size(ncols, p, static_cast<int>(r));
             if (cnt == 0) return;
-            xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
-                        piv.a00.view(), pivotrows.block(0, lo, v, cnt));
+            xblas::trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::Unit,
+                           T{1}, piv.a00.view(), pivotrows.block(0, lo, v, cnt));
           });
           sched::parallel_ranks(v, [&](index_t l) {
             const index_t row = piv.winners[static_cast<std::size_t>(l)];
@@ -646,7 +662,7 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { distribute_panels_2p5d(run, t, a10_rows); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
-                [&] { update_a11(run, t, pivotrows); });
+                [&] { update_a11<T>(run, t, pivotrows); });
     rec.end_iteration(result.step_costs);
   }
 
@@ -663,14 +679,15 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     check(std::all_of(perm_pad.begin(), perm_pad.begin() + n,
                       [&](index_t r) { return r < n; }),
           "real rows must be eliminated before padding rows");
-    result.factors = MatrixD(n, n);
+    result.factors = Matrix<T>(n, n);
     for (index_t i = 0; i < n; ++i) {
       const index_t row = result.perm[static_cast<std::size_t>(i)];
       for (index_t j = 0; j < n; ++j) result.factors(i, j) = run.lstore(row, j);
     }
-    result.workspace_words = static_cast<double>(run.trail.size()) +
-                             static_cast<double>(run.lstore.size()) +
-                             run.ws.words();
+    result.workspace_words =
+        (static_cast<double>(run.trail.size()) +
+         static_cast<double>(run.lstore.size())) * words_per_scalar<T>() +
+        run.ws.words();
   }
   return result;
 }
@@ -680,31 +697,42 @@ LuResult run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 LuResult conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
                     const FactorOptions& opt) {
   expects(m.real(), "conflux_lu with a matrix requires Real mode");
-  return run_conflux_lu(m, g, a.rows(), a, opt);
+  return run_conflux_lu<double>(m, g, a.rows(), a, opt);
+}
+
+LuResultF conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
+                     const FactorOptions& opt) {
+  expects(m.real(), "conflux_lu with a matrix requires Real mode");
+  return run_conflux_lu<float>(m, g, a.rows(), a, opt);
 }
 
 LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                           const FactorOptions& opt) {
   expects(!m.real(), "conflux_lu_trace requires Trace mode");
-  return run_conflux_lu(m, g, n, ConstViewD(), opt);
+  return run_conflux_lu<double>(m, g, n, ConstViewD(), opt);
 }
 
-void conflux_lu_solve(const LuResult& lu, ViewD b) {
+template <typename T>
+void conflux_lu_solve(const LuResultT<T>& lu, MatrixView<T> b) {
   const index_t n = lu.factors.rows();
   expects(n > 0, "solve requires Real-mode factors");
   expects(b.rows() == n, "right-hand side must match the matrix");
-  // Apply the permutation, then the two triangular solves.
-  MatrixD pb(n, b.cols());
+  // Apply the permutation, then one pair of blocked trsm panel solves over
+  // the whole multi-RHS panel.
+  Matrix<T> pb(n, b.cols());
   for (index_t i = 0; i < n; ++i) {
     for (index_t j = 0; j < b.cols(); ++j) {
       pb(i, j) = b(lu.perm[static_cast<std::size_t>(i)], j);
     }
   }
-  xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
-              lu.factors.view(), pb.view());
-  xblas::trsm(Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, 1.0,
-              lu.factors.view(), pb.view());
-  copy<double>(pb.view(), b);
+  xblas::trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, T{1},
+                 lu.factors.view(), pb.view());
+  xblas::trsm<T>(Side::Left, UpLo::Upper, Trans::None, Diag::NonUnit, T{1},
+                 lu.factors.view(), pb.view());
+  copy<T>(pb.view(), b);
 }
+
+template void conflux_lu_solve<float>(const LuResultF&, ViewF);
+template void conflux_lu_solve<double>(const LuResult&, ViewD);
 
 }  // namespace conflux::factor

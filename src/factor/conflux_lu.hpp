@@ -33,15 +33,22 @@ namespace conflux::factor {
 
 /// Factor the n x n matrix `a` on machine `m` over grid `g` (Real mode).
 /// The matrix is padded internally when the block size does not divide n.
+/// The schedule (and therefore every charge the simulator records) is
+/// identical in both precisions; only the local arithmetic narrows.
 LuResult conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
                     const FactorOptions& opt = {});
+LuResultF conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
+                     const FactorOptions& opt = {});
 
 /// Trace-mode run: charges the full communication/computation schedule for
 /// an n x n factorization without any matrix data.
 LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                           const FactorOptions& opt = {});
 
-/// Solve A x = b using a conflux_lu result; b is overwritten with x.
-void conflux_lu_solve(const LuResult& lu, ViewD b);
+/// Solve A X = B for a multi-RHS panel using a conflux_lu result: apply the
+/// row permutation, then one pair of blocked trsm panel solves over all
+/// columns of B at once. B is overwritten with X.
+template <typename T>
+void conflux_lu_solve(const LuResultT<T>& lu, MatrixView<T> b);
 
 }  // namespace conflux::factor

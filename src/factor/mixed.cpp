@@ -1,0 +1,184 @@
+#include "factor/mixed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "blas/blas.hpp"
+#include "support/check.hpp"
+
+namespace conflux::factor {
+
+namespace {
+
+using xblas::Trans;
+
+/// ||A||_inf (max absolute row sum).
+double norm_inf(ConstViewD a) {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    double sum = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) sum += std::abs(row[j]);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+/// Per-column infinity norms of a panel, written into out[0..cols).
+void col_norms_inf(ConstViewD m, std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(m.cols()), 0.0);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row(i);
+    for (index_t j = 0; j < m.cols(); ++j) {
+      out[static_cast<std::size_t>(j)] =
+          std::max(out[static_cast<std::size_t>(j)], std::abs(row[j]));
+    }
+  }
+}
+
+bool all_finite(ConstViewD m) {
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row(i);
+    for (index_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(row[j])) return false;
+    }
+  }
+  return true;
+}
+
+double backward_error(double anorm, ConstViewD x, ConstViewD b, ConstViewD r) {
+  std::vector<double> xn, bn, rn;
+  col_norms_inf(x, xn);
+  col_norms_inf(b, bn);
+  col_norms_inf(r, rn);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < rn.size(); ++j) {
+    const double denom = anorm * xn[j] + bn[j];
+    if (denom > 0.0) worst = std::max(worst, rn[j] / denom);
+    else if (rn[j] > 0.0) worst = std::numeric_limits<double>::infinity();
+  }
+  return worst;
+}
+
+/// The shared refinement loop; `solve32` solves the fp32 system for a whole
+/// multi-RHS fp32 panel in place.
+template <typename Solve32>
+RefineReport refine(ConstViewD a, ViewD b, const RefineOptions& opt,
+                    Solve32&& solve32) {
+  const index_t n = a.rows();
+  const index_t nrhs = b.cols();
+  expects(a.cols() == n && b.rows() == n, "refine: shape mismatch");
+
+  const double tol = opt.tolerance > 0.0
+                         ? opt.tolerance
+                         : 2.0 * std::sqrt(static_cast<double>(n)) *
+                               std::numeric_limits<double>::epsilon();
+  const double anorm = norm_inf(a);
+
+  MatrixD x(n, nrhs, 0.0);     // fp64 solution accumulator
+  MatrixD best(n, nrhs, 0.0);  // best iterate so far (corrections can overshoot)
+  MatrixD r(n, nrhs);          // fp64 residual B - A X (initially B)
+  MatrixD d(n, nrhs);          // fp64 copy of each correction
+  MatrixF rf(n, nrhs);         // fp32 staging panel for the solves
+  copy<double>(b, r.view());
+
+  RefineReport report;
+  double prev = std::numeric_limits<double>::infinity();
+  double best_err = std::numeric_limits<double>::infinity();
+  // Iteration 0 is the initial fp32 solve (steps = 0); each further pass is
+  // one refinement correction. Every pass: demote the residual, solve the
+  // whole panel in fp32, promote, accumulate, and re-form the fp64 residual
+  // with one gemm.
+  for (int pass = 0; pass <= opt.max_steps; ++pass) {
+    convert<double, float>(r.view(), rf.view());
+    solve32(rf.view());
+    convert<float, double>(rf.view(), d.view());
+    for (index_t i = 0; i < n; ++i) {
+      const double* di = d.view().row(i);
+      double* xi = x.view().row(i);
+      for (index_t j = 0; j < nrhs; ++j) xi[j] += di[j];
+    }
+    copy<double>(b, r.view());
+    xblas::gemm(Trans::None, Trans::None, -1.0, a, x.view(), 1.0, r.view());
+
+    // A singular (or fp32-overflowed) factorization poisons x with inf/NaN.
+    // The max-based norms inside backward_error silently DROP NaNs
+    // (std::max(0, NaN) is 0), so the error metric cannot be trusted to
+    // flag the poisoning — scan the residual itself and stop immediately;
+    // the best-iterate logic decides what the caller gets.
+    if (!all_finite(x.view()) || !all_finite(r.view())) break;
+    // Near the cond(A)*eps_fp32 ~ 1 edge a correction can overshoot and
+    // WORSEN the solution; the caller must never receive such an iterate,
+    // so the report tracks the best one, not the last one.
+    const double err = backward_error(anorm, x.view(), b, r.view());
+    if (err < best_err) {
+      best_err = err;
+      report.steps = pass;  // corrections applied to reach the best iterate
+      copy<double>(x.view(), best.view());
+    }
+    if (err <= tol) {
+      report.converged = true;
+      break;
+    }
+    // Stagnation guard (LAPACK dsgesv-style): if a correction failed to
+    // shrink the backward error by at least 2x, fp32 information is
+    // exhausted (cond(A) * eps_fp32 too large) — stop rather than loop.
+    if (pass > 0 && err > 0.5 * prev) break;
+    prev = err;
+  }
+  report.backward_error = best_err;
+  // No finite iterate at all (e.g. the fp32 factors are exactly singular):
+  // leave the caller's RHS panel untouched rather than overwriting it with
+  // the zero/NaN wreckage; report.converged stays false and
+  // backward_error is inf, which is the caller's signal.
+  if (std::isfinite(best_err)) copy<double>(best.view(), b);
+  return report;
+}
+
+}  // namespace
+
+double solve_backward_error(ConstViewD a, ConstViewD x, ConstViewD b) {
+  expects(a.rows() == a.cols() && x.rows() == a.rows() && b.rows() == a.rows() &&
+              x.cols() == b.cols(),
+          "solve_backward_error: shape mismatch");
+  MatrixD r(b.rows(), b.cols());
+  copy<double>(b, r.view());
+  xblas::gemm(Trans::None, Trans::None, -1.0, a, x, 1.0, r.view());
+  return backward_error(norm_inf(a), x, b, r.view());
+}
+
+RefineReport refine_lu(const LuResultF& lu, ConstViewD a, ViewD b,
+                       const RefineOptions& opt) {
+  expects(lu.factors.rows() == a.rows(), "refine_lu: factorization size mismatch");
+  return refine(a, b, opt, [&](ViewF panel) { conflux_lu_solve(lu, panel); });
+}
+
+RefineReport refine_cholesky(const CholResultF& chol, ConstViewD a, ViewD b,
+                             const RefineOptions& opt) {
+  expects(chol.factors.rows() == a.rows(),
+          "refine_cholesky: factorization size mismatch");
+  return refine(a, b, opt, [&](ViewF panel) { confchox_solve(chol, panel); });
+}
+
+RefineReport conflux_lu_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
+                                    ConstViewD a, ViewD b,
+                                    const FactorOptions& fopt,
+                                    const RefineOptions& ropt) {
+  MatrixF af(a.rows(), a.cols());
+  convert<double, float>(a, af.view());
+  const LuResultF lu = conflux_lu(m, g, af.view(), fopt);
+  return refine_lu(lu, a, b, ropt);
+}
+
+RefineReport confchox_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
+                                  ConstViewD a, ViewD b,
+                                  const FactorOptions& fopt,
+                                  const RefineOptions& ropt) {
+  MatrixF af(a.rows(), a.cols());
+  convert<double, float>(a, af.view());
+  const CholResultF chol = confchox(m, g, af.view(), fopt);
+  return refine_cholesky(chol, a, b, ropt);
+}
+
+}  // namespace conflux::factor

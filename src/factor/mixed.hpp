@@ -1,0 +1,74 @@
+// Mixed-precision solve drivers: factor in fp32 through the
+// communication-optimal schedules, then recover fp64 accuracy with blocked
+// multi-RHS iterative refinement (the classical Wilkinson/LAPACK *sgesv
+// scheme).
+//
+// Why this pays: the COnfLUX/COnfCHOX schedules are precision-agnostic —
+// the simulator's charges are word COUNTS and stay identical across
+// precisions (conflux_lu.hpp), but every charged word is half the bytes on
+// a real wire, and the fp32 microkernel roughly doubles local throughput
+// (BENCH_blas.json) — while the
+// O(n^2)-per-step refinement loop runs in fp64 and restores the fp64
+// backward error in a handful of steps for reasonably conditioned systems
+// (convergence requires roughly cond(A) * eps_fp32 < 1).
+//
+// All refinement arithmetic is panel-shaped: the fp32 correction solves and
+// the fp64 residual updates each run over the whole multi-RHS block through
+// one trsm / gemm call, never per column.
+#pragma once
+
+#include "factor/common.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+
+namespace conflux::factor {
+
+struct RefineOptions {
+  /// Maximum refinement corrections after the initial fp32 solve.
+  int max_steps = 10;
+  /// Convergence threshold on the normwise backward error
+  /// max_j ||b_j - A x_j||_inf / (||A||_inf ||x_j||_inf + ||b_j||_inf).
+  /// 0 = auto: 2 * sqrt(n) * eps_fp64 — the dsgesv-style criterion, tight
+  /// enough that a converged refinement matches a plain fp64 solve's
+  /// backward error to a small factor (DESIGN.md "Precision policy").
+  double tolerance = 0.0;
+};
+
+struct RefineReport {
+  /// Refinement corrections applied after the initial fp32 solve.
+  int steps = 0;
+  /// Achieved normwise backward error (the convergence metric above).
+  double backward_error = 0.0;
+  /// True when backward_error <= the (auto or explicit) tolerance; false
+  /// when the loop hit max_steps or stagnated first (ill conditioning).
+  bool converged = false;
+};
+
+/// Normwise backward error of X against A X = B: the refinement convergence
+/// metric, exposed so benches/tests judge direct solves by the same yardstick.
+double solve_backward_error(ConstViewD a, ConstViewD x, ConstViewD b);
+
+/// Refine an existing fp32 LU factorization of `a` to fp64 accuracy:
+/// B (n x nrhs) is overwritten with X. Pure host-side — no Machine involved.
+RefineReport refine_lu(const LuResultF& lu, ConstViewD a, ViewD b,
+                       const RefineOptions& opt = {});
+
+/// Same against an fp32 Cholesky factorization of the SPD `a`.
+RefineReport refine_cholesky(const CholResultF& chol, ConstViewD a, ViewD b,
+                             const RefineOptions& opt = {});
+
+/// One-call driver: factor `a` in fp32 via conflux_lu on machine `m` (the
+/// schedule's charges are recorded as usual), then solve A X = B with fp64
+/// refinement. B is overwritten with X.
+RefineReport conflux_lu_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
+                                    ConstViewD a, ViewD b,
+                                    const FactorOptions& fopt = {},
+                                    const RefineOptions& ropt = {});
+
+/// Cholesky counterpart via confchox.
+RefineReport confchox_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
+                                  ConstViewD a, ViewD b,
+                                  const FactorOptions& fopt = {},
+                                  const RefineOptions& ropt = {});
+
+}  // namespace conflux::factor

@@ -169,8 +169,27 @@ void copy(ConstMatrixView<T> src, MatrixView<T> dst) {
   }
 }
 
+/// Convert src into dst element by element (value-preserving widening, or
+/// round-to-nearest narrowing); shapes must match. The mixed-precision
+/// drivers use this to move panels between the fp32 factors and the fp64
+/// refinement iterate.
+template <typename S, typename D>
+void convert(ConstMatrixView<S> src, MatrixView<D> dst) {
+  expects(src.rows() == dst.rows() && src.cols() == dst.cols(),
+          "convert requires matching shapes");
+  for (index_t i = 0; i < src.rows(); ++i) {
+    const S* s = src.row(i);
+    D* d = dst.row(i);
+    for (index_t j = 0; j < src.cols(); ++j) d[j] = static_cast<D>(s[j]);
+  }
+}
+
 using MatrixD = Matrix<double>;
 using ViewD = MatrixView<double>;
 using ConstViewD = ConstMatrixView<double>;
+
+using MatrixF = Matrix<float>;
+using ViewF = MatrixView<float>;
+using ConstViewF = ConstMatrixView<float>;
 
 }  // namespace conflux

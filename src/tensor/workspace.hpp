@@ -8,6 +8,15 @@
 // slot's storage whenever it is already large enough, so the buffers routed
 // through it are allocated once per factorization, not once per step.
 //
+// The arena is type-erased at the API: mat<T>() serves any scalar from one
+// Workspace object, so the fp32 and fp64 factorization cores share a single
+// arena type. Underneath, each scalar type gets its own typed slot store —
+// deliberately NOT one byte buffer reinterpret_cast per request, which
+// would read/write T lvalues where no T objects were ever created (UB under
+// the C++ object-lifetime rules, even though every current compiler
+// tolerates it). A run only ever uses one scalar, so the per-type stores
+// cost nothing extra in practice.
+//
 // Rules:
 //   - a slot hands out ONE live view at a time: re-requesting a slot may
 //     reallocate and invalidates previous views of that slot;
@@ -24,36 +33,56 @@ namespace conflux {
 class Workspace {
  public:
   /// A rows x cols view (ld == cols) over slot `slot`; contents unspecified.
-  ViewD mat(std::size_t slot, index_t rows, index_t cols) {
-    return ViewD(ensure(slot, rows * cols), rows, cols, cols);
+  template <typename T = double>
+  MatrixView<T> mat(std::size_t slot, index_t rows, index_t cols) {
+    return MatrixView<T>(ensure(store<T>(), slot, rows * cols), rows, cols, cols);
   }
 
   /// Like mat(), but with every element set to zero.
-  ViewD zeroed(std::size_t slot, index_t rows, index_t cols) {
-    ViewD v = mat(slot, rows, cols);
-    std::fill_n(v.data(), static_cast<std::size_t>(rows * cols), 0.0);
+  template <typename T = double>
+  MatrixView<T> zeroed(std::size_t slot, index_t rows, index_t cols) {
+    MatrixView<T> v = mat<T>(slot, rows, cols);
+    std::fill_n(v.data(), static_cast<std::size_t>(rows * cols), T{});
     return v;
   }
 
-  /// Total doubles held across all slots (monotone: also the peak).
+  /// Total size held across all slots in 8-byte words (monotone: also the
+  /// peak). Counted in fp64-equivalent words so the workspace accounting of
+  /// fp32 runs reflects their halved byte footprint.
   double words() const {
-    double total = 0.0;
-    for (const auto& s : slots_) total += static_cast<double>(s.size());
-    return total;
+    double bytes = 0.0;
+    for (const auto& s : dslots_) bytes += static_cast<double>(s.size() * sizeof(double));
+    for (const auto& s : fslots_) bytes += static_cast<double>(s.size() * sizeof(float));
+    return bytes / static_cast<double>(sizeof(double));
   }
 
  private:
-  double* ensure(std::size_t slot, index_t count) {
+  template <typename T>
+  std::vector<std::vector<T>>& store();
+
+  template <typename T>
+  static T* ensure(std::vector<std::vector<T>>& slots, std::size_t slot,
+                   index_t count) {
     expects(count >= 0, "workspace request must be non-negative");
-    if (slot >= slots_.size()) slots_.resize(slot + 1);
-    auto& buf = slots_[slot];
+    if (slot >= slots.size()) slots.resize(slot + 1);
+    auto& buf = slots[slot];
     if (buf.size() < static_cast<std::size_t>(count)) {
       buf.resize(static_cast<std::size_t>(count));
     }
     return buf.data();
   }
 
-  std::vector<std::vector<double>> slots_;
+  std::vector<std::vector<double>> dslots_;
+  std::vector<std::vector<float>> fslots_;
 };
+
+template <>
+inline std::vector<std::vector<double>>& Workspace::store<double>() {
+  return dslots_;
+}
+template <>
+inline std::vector<std::vector<float>>& Workspace::store<float>() {
+  return fslots_;
+}
 
 }  // namespace conflux

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "blas/blas.hpp"
+#include "blas/lapack.hpp"
 #include "blas/tuning.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random_matrix.hpp"
@@ -509,6 +510,140 @@ TEST(Determinism, SyrkAndTrsmBitwiseStableAcrossThreadCounts) {
          x.view());
     EXPECT_EQ(x, trsm_base) << "threads=" << threads;
   }
+}
+
+// --------------------------------------------------------------- fp32 -----
+// The scalar-templated stack: fp32 instantiations must match the fp64
+// reference to fp32 accuracy and keep the same bitwise-determinism
+// guarantees (the fp32 register tile is wider, but the accumulation order
+// per C element is identical across thread counts and paths).
+
+MatrixF to_f32(const MatrixD& a) {
+  MatrixF out(a.rows(), a.cols());
+  convert<double, float>(a.view(), out.view());
+  return out;
+}
+
+TEST(Fp32, RegisterTileIsWiderThanFp64) {
+  // Both tiles fill one 64-byte vector register with MR scalars: fp32 moves
+  // twice the scalars per FMA, which is where the throughput ratio in
+  // BENCH_blas.json comes from.
+  static_assert(RegTile<float>::mr == 2 * RegTile<double>::mr);
+  static_assert(RegTile<float>::nr == RegTile<double>::nr);
+  static_assert(RegTile<float>::mr * sizeof(float) ==
+                RegTile<double>::mr * sizeof(double));
+  EXPECT_EQ(kc_scale<float>(), 2);
+  EXPECT_EQ(kc_scale<double>(), 1);
+}
+
+TEST(Fp32, GemmMatchesFp64ReferenceToFp32Accuracy) {
+  const std::tuple<index_t, index_t, index_t> shapes[] = {
+      {129, 67, 200}, {64, 64, 64}, {17, 300, 5}};
+  for (const auto& [m, n, k] : shapes) {
+    const MatrixD a = random_matrix(m, k, 41);
+    const MatrixD b = random_matrix(k, n, 42);
+    const MatrixD c0 = random_matrix(m, n, 43);
+    const MatrixD want = ref_gemm(Trans::None, Trans::None, 1.0, a, b, 0.5, c0);
+    MatrixF got = to_f32(c0);
+    gemm(Trans::None, Trans::None, 1.0f, to_f32(a).view(), to_f32(b).view(),
+         0.5f, got.view());
+    double worst = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(got(i, j)) - want(i, j)));
+      }
+    }
+    EXPECT_LT(worst, 1e-4 * static_cast<double>(k + 1)) << m << "x" << n;
+  }
+}
+
+TEST(Fp32, GemmTransposedOperandsMatchReference) {
+  const index_t m = 96, n = 80, k = 112;
+  const MatrixD a = random_matrix(k, m, 44);  // transposed A
+  const MatrixD b = random_matrix(n, k, 45);  // transposed B
+  const MatrixD c0 = random_matrix(m, n, 46);
+  const MatrixD want =
+      ref_gemm(Trans::Transpose, Trans::Transpose, -1.0, a, b, 1.0, c0);
+  MatrixF got = to_f32(c0);
+  gemm(Trans::Transpose, Trans::Transpose, -1.0f, to_f32(a).view(),
+       to_f32(b).view(), 1.0f, got.view());
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(static_cast<double>(got(i, j)), want(i, j),
+                  1e-4 * static_cast<double>(k));
+    }
+  }
+}
+
+TEST(Fp32, GemmBitwiseStableAcrossThreadCountsAndSmallKPath) {
+  const index_t n = 197;
+  const MatrixF a = to_f32(random_matrix(n, n, 51));
+  const MatrixF b = to_f32(random_matrix(n, n, 52));
+  MatrixF base(n, n);
+  {
+    ScopedThreads one(1);
+    gemm(Trans::None, Trans::None, 1.0f, a.view(), b.view(), 0.0f, base.view());
+  }
+  for (const int threads : {2, 3, 7}) {
+    ScopedThreads scoped(threads);
+    MatrixF c(n, n);
+    gemm(Trans::None, Trans::None, 1.0f, a.view(), b.view(), 0.0f, c.view());
+    EXPECT_EQ(c, base) << "threads=" << threads;
+  }
+  // Small-k strided path vs packed path, same bitwise guarantee as fp64.
+  const index_t ksmall = 24;
+  const MatrixF a2 = to_f32(random_matrix(n, ksmall, 53));
+  const MatrixF b2 = to_f32(random_matrix(ksmall, n, 54));
+  const Tuning saved = tuning();
+  MatrixF small(n, n), packed(n, n);
+  tuning().small_k = 64;
+  gemm(Trans::None, Trans::None, 1.0f, a2.view(), b2.view(), 0.0f, small.view());
+  tuning().small_k = 0;
+  gemm(Trans::None, Trans::None, 1.0f, a2.view(), b2.view(), 0.0f, packed.view());
+  tuning() = saved;
+  EXPECT_EQ(small, packed);
+}
+
+TEST(Fp32, TrsmSolveThenMultiplyRoundTrips) {
+  const index_t n = 160, nrhs = 48;
+  MatrixD t64 = random_matrix(n, n, 55);
+  for (index_t i = 0; i < n; ++i) t64(i, i) += 4.0;
+  const MatrixF t = to_f32(t64);
+  const MatrixF b = to_f32(random_matrix(n, nrhs, 56));
+  MatrixF x = b;
+  trsm(Side::Left, UpLo::Lower, Trans::None, Diag::NonUnit, 1.0f, t.view(),
+       x.view());
+  // Multiply back with the stored lower triangle.
+  MatrixF tl(n, n, 0.0f);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) tl(i, j) = t(i, j);
+  }
+  MatrixF back(n, nrhs, 0.0f);
+  gemm(Trans::None, Trans::None, 1.0f, tl.view(), x.view(), 0.0f, back.view());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      ASSERT_NEAR(static_cast<double>(back(i, j)),
+                  static_cast<double>(b(i, j)), 1e-3);
+    }
+  }
+}
+
+TEST(Fp32, GetrfAndPotrfResidualsWithinFp32Bounds) {
+  const index_t n = 120;
+  const MatrixD a64 = random_matrix(n, n, 57);
+  MatrixF fac = to_f32(a64);
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(fac.view(), ipiv), 0);
+  // lu_residual<float> scales by eps_f32: same yardstick as the fp64 tests.
+  EXPECT_LT(lu_residual(to_f32(a64).view(), fac.view(),
+                        ipiv_to_permutation(ipiv, n)),
+            50.0);
+
+  const MatrixD spd = random_spd_matrix(n, 58);
+  MatrixF chol = to_f32(spd);
+  ASSERT_EQ(potrf(chol.view()), 0);
+  EXPECT_LT(cholesky_residual(to_f32(spd).view(), chol.view()), 50.0);
 }
 
 // ------------------------------------------------------------- tuning -----

@@ -1,0 +1,275 @@
+// Randomized cross-implementation conformance suite (ISSUE 4).
+//
+// A seeded sweep over (n ragged/aligned, 3D grid shapes with pz in {1,2,4},
+// block sizes, 1 and 4 BLAS threads) asserting that the communication-
+// optimal factorizations and the 2D baselines AGREE: in both precisions,
+//   - conflux_lu / scalapack_lu factors satisfy the normwise backward-error
+//     bound ||PA - LU||_F <= C * n * eps_T * ||A||_F,
+//   - confchox / scalapack_cholesky factors satisfy the analogous bound,
+//   - multi-RHS solves through either implementation's factors satisfy the
+//     componentwise (Oettli-Prager) backward-error bound
+//     max_ij |b - A x|_ij / (|A||x| + |b|)_ij <= C * n * eps_T.
+// Agreement is asserted through bounds, never bitwise: the two schedules
+// pick different pivots (tournament vs per-column partial pivoting), so
+// their factors differ legitimately while both must be backward stable.
+//
+// The fp32 legs run the identical schedule objects — only eps_T changes in
+// the bounds — which is exactly the precision-agnosticism the scalar-
+// templated stack claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baselines/scalapack2d.hpp"
+#include "blas/lapack.hpp"
+#include "blas/tuning.hpp"
+#include "factor/confchox.hpp"
+#include "factor/conflux_lu.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux {
+namespace {
+
+xsim::Machine real_machine(int ranks) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = 1e9;
+  return xsim::Machine(spec, xsim::ExecMode::Real);
+}
+
+struct ConfCase {
+  index_t n;       // ragged and aligned sizes
+  int px, py, pz;  // 3D grid for conflux/confchox
+  int pr, pc;      // 2D grid for the baselines
+  index_t v;       // conflux block size (multiple of pz)
+  index_t nb;      // baseline block size
+  int threads;     // xblas thread count for this case
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ConfCase>& info) {
+  const auto& p = info.param;
+  return "n" + std::to_string(p.n) + "_g" + std::to_string(p.px) +
+         std::to_string(p.py) + std::to_string(p.pz) + "_v" + std::to_string(p.v) +
+         "_t" + std::to_string(p.threads);
+}
+
+// The sweep: ragged (33, 70, 100, 130) and aligned (64, 96, 128, 160) sizes,
+// pz in {1, 2, 4}, square and skewed grids, 1 and 4 threads. Seeds vary per
+// case so the sweep touches different random matrices every row.
+std::vector<ConfCase> sweep() {
+  return {
+      {64, 1, 1, 1, 1, 1, 16, 16, 1, 101},    // serial corner
+      {64, 2, 2, 1, 2, 2, 16, 16, 4, 102},    // aligned, square grids
+      {70, 2, 2, 2, 2, 2, 16, 16, 1, 103},    // ragged + layered
+      {96, 4, 2, 1, 4, 2, 8, 32, 4, 104},     // skewed grid, small v
+      {100, 2, 2, 4, 2, 4, 16, 16, 1, 105},   // ragged + pz=4
+      {128, 4, 4, 2, 4, 4, 32, 16, 4, 106},   // aligned, larger machine
+      {130, 2, 4, 1, 4, 2, 16, 8, 1, 107},    // ragged, skewed both ways
+      {160, 2, 2, 4, 2, 2, 32, 64, 4, 108},   // aligned + pz=4, wide blocks
+      {33, 2, 2, 2, 2, 2, 8, 8, 1, 109},      // tiny ragged corner
+  };
+}
+
+/// Scoped override of the xblas thread count.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) : saved_(xblas::tuning().threads) {
+    xblas::tuning().threads = threads;
+  }
+  ~ThreadGuard() { xblas::tuning().threads = saved_; }
+
+ private:
+  int saved_;
+};
+
+/// Componentwise (Oettli-Prager) backward error of A X = B, computed in
+/// fp64: max over entries of |B - A X| ./ (|A| |X| + |B|). fp32 solutions
+/// are promoted first; the |A| rounding they carry is O(eps32) and covered
+/// by the fp32 bound.
+double oettli_prager(ConstViewD a, ConstViewD x, ConstViewD b) {
+  const index_t n = a.rows();
+  const index_t nrhs = x.cols();
+  MatrixD r(n, nrhs);
+  copy<double>(b, r.view());
+  xblas::gemm(xblas::Trans::None, xblas::Trans::None, -1.0, a, x, 1.0, r.view());
+  // denom = |A| |X| + |B|, formed row by row.
+  double worst = 0.0;
+  std::vector<double> denom(static_cast<std::size_t>(nrhs));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      denom[static_cast<std::size_t>(j)] = std::abs(b(i, j));
+    }
+    for (index_t k = 0; k < n; ++k) {
+      const double aik = std::abs(a(i, k));
+      if (aik == 0.0) continue;
+      for (index_t j = 0; j < nrhs; ++j) {
+        denom[static_cast<std::size_t>(j)] += aik * std::abs(x(k, j));
+      }
+    }
+    for (index_t j = 0; j < nrhs; ++j) {
+      const double d = denom[static_cast<std::size_t>(j)];
+      const double num = std::abs(r(i, j));
+      if (d > 0.0) {
+        worst = std::max(worst, num / d);
+      } else if (num > 0.0) {
+        worst = std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  return worst;
+}
+
+/// Componentwise bound C * n * eps for the scalar the system was solved in.
+template <typename T>
+double solve_bound(index_t n) {
+  return 100.0 * static_cast<double>(n) *
+         static_cast<double>(std::numeric_limits<T>::epsilon());
+}
+
+constexpr double kResidualBound = 300.0;  // normwise, already n*eps_T-scaled
+constexpr index_t kNrhs = 3;
+
+// ------------------------------------------------------------------- LU ----
+
+template <typename T>
+void run_lu_conformance(const ConfCase& p) {
+  ThreadGuard guard(p.threads);
+  const MatrixD a64 = random_matrix(p.n, p.n, p.seed);
+  const MatrixD b64 = random_matrix(p.n, kNrhs, p.seed + 7);
+  Matrix<T> a(p.n, p.n);
+  convert<double, T>(a64.view(), a.view());
+
+  // Communication-optimal factorization.
+  const grid::Grid3D g3(p.px, p.py, p.pz);
+  xsim::Machine m3 = real_machine(g3.ranks());
+  factor::FactorOptions opt;
+  opt.block_size = p.v;
+  const auto lu = factor::conflux_lu(m3, g3, a.view(), opt);
+  ASSERT_EQ(static_cast<index_t>(lu.perm.size()), p.n);
+  EXPECT_LT(xblas::lu_residual(a.view(), lu.factors.view(), lu.perm),
+            kResidualBound);
+
+  // 2D baseline on the same matrix.
+  const grid::Grid2D g2{p.pr, p.pc};
+  xsim::Machine m2 = real_machine(g2.ranks());
+  const auto base = baselines::scalapack_lu(
+      m2, g2, a.view(), baselines::Baseline2DOptions{.block_size = p.nb});
+  const auto base_perm = xblas::ipiv_to_permutation(base.ipiv, p.n);
+  EXPECT_LT(xblas::lu_residual(a.view(), base.factors.view(), base_perm),
+            kResidualBound);
+
+  // Multi-RHS solves through BOTH factorizations must satisfy the same
+  // componentwise backward-error bound against the fp64 statement.
+  Matrix<T> bx(p.n, kNrhs);
+  convert<double, T>(b64.view(), bx.view());
+  factor::conflux_lu_solve(lu, bx.view());
+  MatrixD x64(p.n, kNrhs);
+  convert<T, double>(bx.view(), x64.view());
+  EXPECT_LT(oettli_prager(a64.view(), x64.view(), b64.view()), solve_bound<T>(p.n))
+      << "conflux_lu solve backward error out of bounds";
+
+  Matrix<T> bs(p.n, kNrhs);
+  convert<double, T>(b64.view(), bs.view());
+  xblas::getrs(base.factors.view(), base.ipiv, bs.view());
+  convert<T, double>(bs.view(), x64.view());
+  EXPECT_LT(oettli_prager(a64.view(), x64.view(), b64.view()), solve_bound<T>(p.n))
+      << "scalapack_lu solve backward error out of bounds";
+}
+
+class LuConformance : public ::testing::TestWithParam<ConfCase> {};
+
+TEST_P(LuConformance, Fp64) { run_lu_conformance<double>(GetParam()); }
+TEST_P(LuConformance, Fp32) { run_lu_conformance<float>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuConformance, ::testing::ValuesIn(sweep()),
+                         case_name);
+
+// ------------------------------------------------------------- Cholesky ----
+
+template <typename T>
+void run_cholesky_conformance(const ConfCase& p) {
+  ThreadGuard guard(p.threads);
+  const MatrixD a64 = random_spd_matrix(p.n, p.seed);
+  const MatrixD b64 = random_matrix(p.n, kNrhs, p.seed + 13);
+  Matrix<T> a(p.n, p.n);
+  convert<double, T>(a64.view(), a.view());
+
+  const grid::Grid3D g3(p.px, p.py, p.pz);
+  xsim::Machine m3 = real_machine(g3.ranks());
+  factor::FactorOptions opt;
+  opt.block_size = p.v;
+  const auto chol = factor::confchox(m3, g3, a.view(), opt);
+  EXPECT_LT(xblas::cholesky_residual(a.view(), chol.factors.view()),
+            kResidualBound);
+
+  const grid::Grid2D g2{p.pr, p.pc};
+  xsim::Machine m2 = real_machine(g2.ranks());
+  const Matrix<T> base = baselines::scalapack_cholesky(
+      m2, g2, a.view(), baselines::Baseline2DOptions{.block_size = p.nb});
+  EXPECT_LT(xblas::cholesky_residual(a.view(), base.view()), kResidualBound);
+
+  Matrix<T> bx(p.n, kNrhs);
+  convert<double, T>(b64.view(), bx.view());
+  factor::confchox_solve(chol, bx.view());
+  MatrixD x64(p.n, kNrhs);
+  convert<T, double>(bx.view(), x64.view());
+  EXPECT_LT(oettli_prager(a64.view(), x64.view(), b64.view()), solve_bound<T>(p.n))
+      << "confchox solve backward error out of bounds";
+
+  Matrix<T> bs(p.n, kNrhs);
+  convert<double, T>(b64.view(), bs.view());
+  xblas::potrs(base.view(), bs.view());
+  convert<T, double>(bs.view(), x64.view());
+  EXPECT_LT(oettli_prager(a64.view(), x64.view(), b64.view()), solve_bound<T>(p.n))
+      << "scalapack_cholesky solve backward error out of bounds";
+}
+
+class CholeskyConformance : public ::testing::TestWithParam<ConfCase> {};
+
+TEST_P(CholeskyConformance, Fp64) { run_cholesky_conformance<double>(GetParam()); }
+TEST_P(CholeskyConformance, Fp32) { run_cholesky_conformance<float>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholeskyConformance, ::testing::ValuesIn(sweep()),
+                         case_name);
+
+// ------------------------------------------------- cross-precision sanity ----
+// The fp32 and fp64 paths run the same schedule on the same input: their
+// factors must agree to fp32 accuracy (this catches a template divergence —
+// e.g. a path that silently computes in the wrong precision — that the
+// per-precision bounds alone would miss).
+
+TEST(CrossPrecision, LuFactorsAgreeToFp32Accuracy) {
+  const index_t n = 96;
+  const MatrixD a64 = random_dominant_matrix(n, 77);
+  MatrixF a32(n, n);
+  convert<double, float>(a64.view(), a32.view());
+
+  const grid::Grid3D g(2, 2, 2);
+  factor::FactorOptions opt;
+  opt.block_size = 16;
+  xsim::Machine md = real_machine(g.ranks());
+  const auto lud = factor::conflux_lu(md, g, a64.view(), opt);
+  xsim::Machine mf = real_machine(g.ranks());
+  const auto luf = factor::conflux_lu(mf, g, a32.view(), opt);
+
+  // Diagonal dominance keeps both pivot tournaments on the same winners, so
+  // the factors are directly comparable entry by entry.
+  ASSERT_EQ(lud.perm, luf.perm);
+  double worst = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const double d = lud.factors(i, j);
+      const double f = static_cast<double>(luf.factors(i, j));
+      worst = std::max(worst, std::abs(d - f) / std::max(1.0, std::abs(d)));
+    }
+  }
+  EXPECT_LT(worst, 100.0 * static_cast<double>(n) *
+                       static_cast<double>(std::numeric_limits<float>::epsilon()));
+}
+
+}  // namespace
+}  // namespace conflux

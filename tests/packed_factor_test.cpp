@@ -255,6 +255,68 @@ TEST(PackedWorkspace, FactorsBitwiseIdenticalAcrossReplicationDepths) {
   }
 }
 
+// -------------------------------------------------- fp32 determinism ----
+// The scalar-templated core must keep both bitwise-determinism guarantees
+// (thread count, pz) in fp32: the fused z-order and the fixed task
+// decompositions are precision-independent.
+
+TEST(PackedFp32, FactorsBitwiseIdenticalAcrossThreadsAndReplication) {
+  const index_t n = 100, v = 16;
+  const MatrixD a64 = random_matrix(n, n, 81);
+  const MatrixD spd64 = random_spd_matrix(n, 83);
+  MatrixF a(n, n), spd(n, n);
+  convert<double, float>(a64.view(), a.view());
+  convert<double, float>(spd64.view(), spd.view());
+
+  LuResultF lu_ref;
+  CholResultF ch_ref;
+  bool have_ref = false;
+  for (const int pz : {1, 2, 4}) {
+    for (const int threads : {1, 4}) {
+      const grid::Grid3D g(2, 2, pz);
+#ifdef _OPENMP
+      const int saved = omp_get_max_threads();
+      omp_set_num_threads(threads);
+#else
+      (void)threads;
+#endif
+      xsim::Machine mlu = make_machine(g, n);
+      xsim::Machine mch = make_machine(g, n);
+      LuResultF lu = conflux_lu(mlu, g, a.view(), FactorOptions{.block_size = v});
+      CholResultF ch = confchox(mch, g, spd.view(), FactorOptions{.block_size = v});
+#ifdef _OPENMP
+      omp_set_num_threads(saved);
+#endif
+      if (!have_ref) {
+        lu_ref = std::move(lu);
+        ch_ref = std::move(ch);
+        have_ref = true;
+        continue;
+      }
+      EXPECT_EQ(lu_ref.perm, lu.perm) << "pz=" << pz << " threads=" << threads;
+      EXPECT_EQ(lu_ref.factors, lu.factors)
+          << "pz=" << pz << " threads=" << threads;
+      EXPECT_EQ(ch_ref.factors, ch.factors)
+          << "pz=" << pz << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PackedFp32, WorkspaceReportsHalvedFootprint) {
+  // workspace_words counts 8-byte words: an fp32 run's trail + lstore must
+  // come in at half the fp64 budget (one npad^2 for LU instead of two).
+  const index_t n = 96, v = 16;
+  const double npad2 = static_cast<double>(n) * static_cast<double>(n);
+  const grid::Grid3D g(2, 2, 2);
+  const MatrixD a64 = random_matrix(n, n, 85);
+  MatrixF a(n, n);
+  convert<double, float>(a64.view(), a.view());
+  xsim::Machine m = make_machine(g, n);
+  const LuResultF lu = conflux_lu(m, g, a.view(), FactorOptions{.block_size = v});
+  EXPECT_GE(lu.workspace_words, 1.0 * npad2);
+  EXPECT_LE(lu.workspace_words, 1.2 * npad2);
+}
+
 // ----------------------------------------------------- workspace budget ----
 
 TEST(PackedWorkspace, PeakWordsStayNearTwoMatricesForLu) {

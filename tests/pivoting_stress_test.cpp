@@ -1,0 +1,230 @@
+// Backward-error / growth-factor stress tests for tournament pivoting
+// (ISSUE 4): adversarial inputs where naive pivoting falls over —
+// Wilkinson's growth matrix (element growth 2^(n-1) under partial
+// pivoting), near-singular systems, and badly row-scaled systems. All
+// assertions are residual/growth BOUNDS, never bitwise comparisons: the
+// tournament legitimately picks different pivots than partial pivoting, and
+// on these matrices even tiny pivot differences reshuffle the factors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/lapack.hpp"
+#include "factor/conflux_lu.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux {
+namespace {
+
+using factor::FactorOptions;
+using factor::LuResultT;
+
+xsim::Machine real_machine(int ranks) {
+  xsim::MachineSpec spec;
+  spec.num_ranks = ranks;
+  spec.memory_words = 1e9;
+  return xsim::Machine(spec, xsim::ExecMode::Real);
+}
+
+/// Wilkinson's growth matrix: unit diagonal, -1 strictly below, last column
+/// +1. Partial pivoting never swaps and the last column doubles every step:
+/// element growth 2^(n-1), the classical worst case.
+MatrixD wilkinson_matrix(index_t n) {
+  MatrixD w(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    w(i, i) = 1.0;
+    for (index_t j = 0; j < i; ++j) w(i, j) = -1.0;
+    w(i, n - 1) = 1.0;
+  }
+  return w;
+}
+
+/// Growth factor of an LU result: max |u_ij| / max |a_ij| over the upper
+/// factor (the standard g_pp definition restricted to U, which is where the
+/// growth shows up).
+template <typename T>
+double growth_factor(ConstMatrixView<T> a, ConstMatrixView<T> factors) {
+  double amax = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      amax = std::max(amax, std::abs(static_cast<double>(a(i, j))));
+    }
+  }
+  double umax = 0.0;
+  for (index_t i = 0; i < factors.rows(); ++i) {
+    for (index_t j = i; j < factors.cols(); ++j) {
+      umax = std::max(umax, std::abs(static_cast<double>(factors(i, j))));
+    }
+  }
+  return amax > 0.0 ? umax / amax : 0.0;
+}
+
+/// ||PA - LU||_F / ||A||_F, unscaled by eps (the growth tests need the raw
+/// relative residual so they can charge it against the measured growth).
+template <typename T>
+double relative_residual(ConstMatrixView<T> a, const LuResultT<T>& lu) {
+  return xblas::lu_residual(a, lu.factors.view(), lu.perm) *
+         static_cast<double>(a.rows()) *
+         static_cast<double>(std::numeric_limits<T>::epsilon());
+}
+
+template <typename T>
+LuResultT<T> factor_3d(ConstMatrixView<T> a, int px, int py, int pz, index_t v) {
+  const grid::Grid3D g(px, py, pz);
+  xsim::Machine m = real_machine(g.ranks());
+  FactorOptions opt;
+  opt.block_size = v;
+  return factor::conflux_lu(m, g, a, opt);
+}
+
+// ----------------------------------------------------- Wilkinson growth ----
+
+TEST(PivotingStress, WilkinsonGrowthFp64) {
+  const index_t n = 40;  // growth 2^39 ~ 5.5e11: large but far from 1/eps64
+  const MatrixD a = wilkinson_matrix(n);
+  const auto lu = factor_3d<double>(a.view(), 2, 2, 1, 8);
+
+  const double growth = growth_factor<double>(a.view(), lu.factors.view());
+  // Tournament pivoting's theoretical growth bound is exponential like
+  // partial pivoting's; what we pin is that it does not EXCEED the 2^(n-1)
+  // envelope by more than a small factor on the canonical worst case.
+  EXPECT_LE(growth, 4.0 * std::ldexp(1.0, static_cast<int>(n - 1)));
+  EXPECT_GE(growth, 1.0);
+
+  // Backward stability with growth factored in: the raw relative residual
+  // is bounded by c * n * eps * growth.
+  const double bound = 50.0 * static_cast<double>(n) *
+                       std::numeric_limits<double>::epsilon() * std::max(growth, 1.0);
+  EXPECT_LE(relative_residual<double>(a.view(), lu), bound);
+}
+
+TEST(PivotingStress, WilkinsonGrowthFp32) {
+  const index_t n = 16;  // growth 2^15 ~ 3.3e4: survivable in fp32
+  MatrixF a(n, n);
+  const MatrixD a64 = wilkinson_matrix(n);
+  convert<double, float>(a64.view(), a.view());
+  const auto lu = factor_3d<float>(a.view(), 2, 2, 1, 8);
+
+  const double growth = growth_factor<float>(a.view(), lu.factors.view());
+  EXPECT_LE(growth, 4.0 * std::ldexp(1.0, static_cast<int>(n - 1)));
+  const double bound = 50.0 * static_cast<double>(n) *
+                       static_cast<double>(std::numeric_limits<float>::epsilon()) *
+                       std::max(growth, 1.0);
+  EXPECT_LE(relative_residual<float>(a.view(), lu), bound);
+}
+
+// ------------------------------------------------------- near-singular ----
+
+TEST(PivotingStress, NearSingularStaysBackwardStable) {
+  // Row n-1 is a linear combination of two other rows plus an O(1e-13)
+  // perturbation: cond(A) ~ 1e13. Backward stability does NOT depend on
+  // conditioning — the residual bound must hold even though any forward
+  // error bound is vacuous here.
+  const index_t n = 96;
+  MatrixD a = random_matrix(n, n, 4242);
+  for (index_t j = 0; j < n; ++j) {
+    a(n - 1, j) = 0.5 * a(0, j) - 2.0 * a(1, j) + 1e-13 * a(2, j);
+  }
+  for (const int px : {2, 4}) {
+    const auto lu = factor_3d<double>(a.view(), px, 2, 1, 16);
+    ASSERT_EQ(static_cast<index_t>(lu.perm.size()), n);
+    EXPECT_LT(xblas::lu_residual(a.view(), lu.factors.view(), lu.perm), 500.0)
+        << "px=" << px;
+  }
+}
+
+TEST(PivotingStress, ExactlySingularStillFactors) {
+  // Duplicate row: the matrix is exactly rank n-1. The factorization must
+  // complete with a bijective permutation and a finite, backward-stable
+  // residual (the zero pivot lands in U's last diagonal entry).
+  const index_t n = 64;
+  MatrixD a = random_matrix(n, n, 555);
+  for (index_t j = 0; j < n; ++j) a(n - 1, j) = a(3, j);
+  const auto lu = factor_3d<double>(a.view(), 2, 2, 2, 16);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t r : lu.perm) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, n);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(r)]);
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+  EXPECT_LT(xblas::lu_residual(a.view(), lu.factors.view(), lu.perm), 500.0);
+}
+
+// ---------------------------------------------------- badly scaled rows ----
+
+TEST(PivotingStress, BadlyScaledRowsRowwiseResidual) {
+  // Rows scaled across 16 orders of magnitude. The normwise residual is
+  // meaningless (the big rows drown it); the per-ROW relative residual
+  // ||(PA - LU)_i|| / ||A_perm[i]|| is the honest backward-error metric and
+  // must hold at c * n * eps for every row.
+  const index_t n = 80;
+  MatrixD a = random_matrix(n, n, 99);
+  for (index_t i = 0; i < n; ++i) {
+    const double scale = std::pow(10.0, (i % 2 == 0) ? 8.0 : -8.0);
+    for (index_t j = 0; j < n; ++j) a(i, j) *= scale;
+  }
+  const auto lu = factor_3d<double>(a.view(), 2, 2, 2, 16);
+
+  const MatrixD l = xblas::extract_lower_unit(lu.factors.view(), n);
+  const MatrixD u = xblas::extract_upper(lu.factors.view(), n);
+  MatrixD pa(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      pa(i, j) = a(lu.perm[static_cast<std::size_t>(i)], j);
+    }
+  }
+  MatrixD arows = pa;  // keep PA for the per-row denominators
+  xblas::gemm(xblas::Trans::None, xblas::Trans::None, -1.0, l.view(), u.view(),
+              1.0, pa.view());
+  const double bound =
+      100.0 * static_cast<double>(n) * std::numeric_limits<double>::epsilon();
+  for (index_t i = 0; i < n; ++i) {
+    double rnorm = 0.0;
+    double anorm = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      rnorm = std::max(rnorm, std::abs(pa(i, j)));
+      anorm = std::max(anorm, std::abs(arows(i, j)));
+    }
+    ASSERT_GT(anorm, 0.0);
+    EXPECT_LT(rnorm / anorm, bound) << "row " << i;
+  }
+}
+
+// -------------------------------------------- solve on stressed systems ----
+
+TEST(PivotingStress, SolveOnScaledSystemBackwardStable) {
+  // End-to-end: factor + multi-RHS solve of a scaled system; the solve's
+  // residual scaled against |A||x| + |b| must stay at the eps level.
+  const index_t n = 64;
+  MatrixD a = random_matrix(n, n, 2026);
+  for (index_t i = 0; i < n; ++i) {
+    const double scale = std::pow(10.0, (i % 4 == 0) ? 6.0 : 0.0);
+    for (index_t j = 0; j < n; ++j) a(i, j) *= scale;
+  }
+  MatrixD b = random_matrix(n, 2, 31);
+  const MatrixD b0 = b;
+  const auto lu = factor_3d<double>(a.view(), 2, 2, 1, 16);
+  factor::conflux_lu_solve(lu, b.view());
+
+  MatrixD r = b0;
+  xblas::gemm(xblas::Trans::None, xblas::Trans::None, -1.0, a.view(), b.view(),
+              1.0, r.view());
+  for (index_t j = 0; j < 2; ++j) {
+    double rn = 0.0, scale = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      rn = std::max(rn, std::abs(r(i, j)));
+      double ax = std::abs(b0(i, j));
+      for (index_t k = 0; k < n; ++k) ax += std::abs(a(i, k)) * std::abs(b(k, j));
+      scale = std::max(scale, ax);
+    }
+    EXPECT_LT(rn / scale,
+              100.0 * static_cast<double>(n) * std::numeric_limits<double>::epsilon())
+        << "rhs " << j;
+  }
+}
+
+}  // namespace
+}  // namespace conflux
