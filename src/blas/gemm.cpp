@@ -306,6 +306,10 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
 #ifdef _OPENMP
   nthreads = (tu.threads > 0) ? tu.threads : omp_get_max_threads();
   if (nthreads < 1) nthreads = 1;
+  // Per-thread cap (tuning.hpp): task-pool work must not fork nested teams
+  // even under an XBLAS_THREADS override — the pool is the parallelism.
+  const int cap = tls_thread_cap();
+  if (cap > 0 && nthreads > cap) nthreads = cap;
 #endif
 
   // With fewer A row blocks than threads (panel updates: often exactly one

@@ -155,12 +155,18 @@ void laswp(MatrixView<T> a, const std::vector<index_t>& ipiv) {
 }
 
 std::vector<index_t> ipiv_to_permutation(const std::vector<index_t>& ipiv, index_t n) {
-  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::vector<index_t> perm;
+  ipiv_to_permutation(ipiv, n, perm);
+  return perm;
+}
+
+void ipiv_to_permutation(const std::vector<index_t>& ipiv, index_t n,
+                         std::vector<index_t>& perm) {
+  perm.resize(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
   for (std::size_t k = 0; k < ipiv.size(); ++k) {
     std::swap(perm[k], perm[static_cast<std::size_t>(ipiv[k])]);
   }
-  return perm;
 }
 
 template <typename T>

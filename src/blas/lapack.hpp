@@ -44,6 +44,12 @@ void laswp(MatrixView<T> a, const std::vector<index_t>& ipiv);
 /// that (P A)(i, :) == A(perm[i], :).
 std::vector<index_t> ipiv_to_permutation(const std::vector<index_t>& ipiv, index_t n);
 
+/// In-place variant reusing the caller's buffer (allocation-free once the
+/// buffer's capacity covers n — the factor schedules' per-step tournaments
+/// route through this).
+void ipiv_to_permutation(const std::vector<index_t>& ipiv, index_t n,
+                         std::vector<index_t>& perm);
+
 /// Solve A x = b for nrhs right-hand sides given getrf output (a, ipiv);
 /// b is overwritten with x.
 template <typename T>

@@ -28,6 +28,22 @@ ConstMatrixView<T> op_cols(Trans trans, ConstMatrixView<T> b, index_t j0,
   return (trans == Trans::None) ? b.block(0, j0, k, jb) : b.block(j0, 0, jb, k);
 }
 
+// Per-scalar thread-local diagonal-block scratch (at most db x db), so
+// per-step Schur updates are allocation-free in steady state; concrete
+// thread_locals for the LeakSanitizer reason documented in gemm.cpp.
+thread_local std::vector<double> tls_diag_d;
+thread_local std::vector<float> tls_diag_f;
+template <typename T>
+std::vector<T>& tls_diag();
+template <>
+std::vector<double>& tls_diag<double>() {
+  return tls_diag_d;
+}
+template <>
+std::vector<float>& tls_diag<float>() {
+  return tls_diag_f;
+}
+
 }  // namespace
 
 template <typename T>
@@ -43,7 +59,11 @@ void gemmt(UpLo uplo, Trans transa, Trans transb, std::type_identity_t<T> alpha,
   if (n == 0) return;
 
   const index_t nb = std::max<index_t>(1, tuning().db);
-  Matrix<T> diag(std::min(nb, n), std::min(nb, n));
+  const index_t db = std::min(nb, n);
+  std::vector<T>& diag_buf = tls_diag<T>();
+  if (static_cast<index_t>(diag_buf.size()) < db * db)
+    diag_buf.resize(static_cast<std::size_t>(db * db));
+  MatrixView<T> diag(diag_buf.data(), db, db, db);
   for (index_t i0 = 0; i0 < n; i0 += nb) {
     const index_t ib = std::min(nb, n - i0);
     const ConstMatrixView<T> arows = op_rows<T>(transa, a, i0, ib, k);

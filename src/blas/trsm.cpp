@@ -103,6 +103,24 @@ void trsm_lut(Diag diag, ConstMatrixView<T> t, MatrixView<T> b) {
 // column-wise through it. The transpose variants still read the triangle
 // column-wise, but T is at most db x db and stays cache-resident across
 // rows. Diagonal inverses are hoisted so each row does multiplies only.
+// Per-scalar thread-local inverse-diagonal scratch, persisting across calls
+// so per-step panel solves are allocation-free in steady state (the pool's
+// workers and the master each get their own buffer). Concrete thread_locals
+// behind a traits accessor for the same LeakSanitizer reason as gemm's pack
+// buffers (see gemm.cpp).
+thread_local std::vector<double> tls_inv_d;
+thread_local std::vector<float> tls_inv_f;
+template <typename T>
+std::vector<T>& tls_inv();
+template <>
+std::vector<double>& tls_inv<double>() {
+  return tls_inv_d;
+}
+template <>
+std::vector<float>& tls_inv<float>() {
+  return tls_inv_f;
+}
+
 template <typename T>
 void fill_inv_diag(ConstMatrixView<T> t, std::vector<T>& inv) {
   inv.resize(static_cast<std::size_t>(t.rows()));
@@ -115,7 +133,7 @@ template <typename T>
 void trsm_rln(Diag diag, ConstMatrixView<T> t, MatrixView<T> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
-  std::vector<T> inv;
+  std::vector<T>& inv = tls_inv<T>();
   if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
   for (index_t i = 0; i < m; ++i) {
     T* bi = b.row(i);
@@ -134,7 +152,7 @@ template <typename T>
 void trsm_run(Diag diag, ConstMatrixView<T> t, MatrixView<T> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
-  std::vector<T> inv;
+  std::vector<T>& inv = tls_inv<T>();
   if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
   for (index_t i = 0; i < m; ++i) {
     T* bi = b.row(i);
@@ -153,7 +171,7 @@ template <typename T>
 void trsm_rlt(Diag diag, ConstMatrixView<T> t, MatrixView<T> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
-  std::vector<T> inv;
+  std::vector<T>& inv = tls_inv<T>();
   if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
   for (index_t i = 0; i < m; ++i) {
     T* bi = b.row(i);
@@ -171,7 +189,7 @@ template <typename T>
 void trsm_rut(Diag diag, ConstMatrixView<T> t, MatrixView<T> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
-  std::vector<T> inv;
+  std::vector<T>& inv = tls_inv<T>();
   if (diag == Diag::NonUnit) fill_inv_diag(t, inv);
   for (index_t i = 0; i < m; ++i) {
     T* bi = b.row(i);

@@ -51,4 +51,11 @@ Tuning& tuning() {
   return t;
 }
 
+namespace {
+thread_local int tls_thread_cap_value = 0;
+}  // namespace
+
+int tls_thread_cap() { return tls_thread_cap_value; }
+void set_tls_thread_cap(int cap) { tls_thread_cap_value = cap > 0 ? cap : 0; }
+
 }  // namespace conflux::xblas

@@ -89,4 +89,28 @@ Tuning& tuning();
 /// Read XBLAS_* environment overrides on top of the defaults.
 Tuning tuning_from_env();
 
+/// Per-thread cap on the gemm-family OpenMP team width (0 = no cap). The
+/// task pool (src/sched/taskpool.hpp) sets this to 1 around every task and
+/// parallel_for chunk it executes — on its workers AND on the helping
+/// master thread — so BLAS calls inside pool work never fork nested teams,
+/// regardless of the caller's OpenMP ICV or an XBLAS_THREADS override: the
+/// pool itself is the parallelism there. Direct BLAS calls from ordinary
+/// threads are unaffected.
+int tls_thread_cap();
+void set_tls_thread_cap(int cap);
+
+/// RAII guard for tls_thread_cap.
+class ScopedThreadCap {
+ public:
+  explicit ScopedThreadCap(int cap) : saved_(tls_thread_cap()) {
+    set_tls_thread_cap(cap);
+  }
+  ~ScopedThreadCap() { set_tls_thread_cap(saved_); }
+  ScopedThreadCap(const ScopedThreadCap&) = delete;
+  ScopedThreadCap& operator=(const ScopedThreadCap&) = delete;
+
+ private:
+  int saved_;
+};
+
 }  // namespace conflux::xblas

@@ -1,11 +1,22 @@
 #include "factor/common.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "support/check.hpp"
 
 namespace conflux::factor {
+
+bool lookahead_enabled(const FactorOptions& opt) {
+  if (opt.lookahead >= 0) return opt.lookahead > 0;
+  static const bool env_on = [] {
+    const char* s = std::getenv("CONFLUX_LOOKAHEAD");
+    return s != nullptr && *s != '\0' && std::strcmp(s, "0") != 0;
+  }();
+  return env_on;
+}
 
 index_t default_block_size(index_t n, const grid::Grid3D& g) {
   const auto c = static_cast<index_t>(g.pz());
@@ -37,6 +48,13 @@ std::vector<index_t> RowTracker::rows_for_x(int x) const {
     if (x_of_row(r) == x) out.push_back(r);
   }
   return out;
+}
+
+void RowTracker::rows_for_x_into(int x, std::vector<index_t>& out) const {
+  out.clear();
+  for (index_t r : active_) {
+    if (x_of_row(r) == x) out.push_back(r);
+  }
 }
 
 void RowTracker::eliminate(const std::vector<index_t>& rows) {

@@ -23,7 +23,17 @@ struct FactorOptions {
   /// exist: pivots are drawn uniformly among active rows, matching the
   /// paper's "pivots evenly distributed w.h.p." assumption.
   std::uint64_t trace_pivot_seed = 42;
+  /// Real-mode lookahead pipelining (DESIGN.md "Pipelined execution"):
+  /// 1 = run the urgent/lazy Schur split on the persistent task pool with
+  /// cross-step overlap, 0 = step-synchronous execution, -1 = follow the
+  /// CONFLUX_LOOKAHEAD environment variable (off when unset). Either way
+  /// the task decomposition — and therefore every factor bit — is
+  /// identical; only the execution schedule changes.
+  int lookahead = -1;
 };
+
+/// Resolve FactorOptions::lookahead against CONFLUX_LOOKAHEAD.
+bool lookahead_enabled(const FactorOptions& opt);
 
 /// Cost categories of one outer iteration, mapped to Table 1's rows.
 struct StepCosts {
@@ -103,6 +113,11 @@ class RowTracker {
   /// Active rows owned by grid x (ascending global order).
   std::vector<index_t> rows_for_x(int x) const;
 
+  /// As rows_for_x, but filling a caller-owned buffer (clear + push_back):
+  /// with a reserved buffer this is allocation-free, which is what lets the
+  /// per-step tournament gathers run out of per-run scratch (DESIGN.md).
+  void rows_for_x_into(int x, std::vector<index_t>& out) const;
+
   /// Eliminate the given rows (they become this step's pivots).
   void eliminate(const std::vector<index_t>& rows);
 
@@ -119,6 +134,32 @@ class RowTracker {
   std::vector<bool> eliminated_;
   std::vector<index_t> active_;  // sorted ascending
   std::vector<index_t> counts_x_;
+};
+
+/// Lazily-filled cache of grid communicator lines, keyed (a, b) over an
+/// a_dim x b_dim index space. The schedules cycle through a bounded set of
+/// z-lines / x-lines every step; caching them keeps the charge path free
+/// of per-step allocations (the zero-steady-state-allocation guarantee
+/// asserted in packed_factor_test). Lines are never empty, so an empty
+/// entry means "not fetched yet".
+class GridLineCache {
+ public:
+  GridLineCache() = default;
+  GridLineCache(int a_dim, int b_dim)
+      : b_dim_(b_dim),
+        lines_(static_cast<std::size_t>(a_dim) * static_cast<std::size_t>(b_dim)) {}
+
+  template <typename Fetch>
+  const std::vector<int>& get(int a, int b, Fetch&& fetch) {
+    auto& e = lines_[static_cast<std::size_t>(a) * static_cast<std::size_t>(b_dim_) +
+                     static_cast<std::size_t>(b)];
+    if (e.empty()) e = fetch(a, b);
+    return e;
+  }
+
+ private:
+  int b_dim_ = 1;
+  std::vector<std::vector<int>> lines_;
 };
 
 /// Balanced 1D split of `total` items over `parts` chunks: chunk r covers

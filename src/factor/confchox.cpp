@@ -5,6 +5,7 @@
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
 #include "sched/rank_parallel.hpp"
+#include "sched/taskpool.hpp"
 #include "support/check.hpp"
 #include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
@@ -32,8 +33,17 @@ enum WsSlot : std::size_t { kA00 = 0 };
 /// finished factor: the panel trsm solves in place and its output never
 /// moves again. The pz layered partial sums of the simulated machine are
 /// realized inside gemm/syrk's fixed k-order (one beta=1 update with k = v
-/// accumulates the k-slices in ascending z), so per-layer buffers and the
-/// separate factor matrix of the previous scheme never exist.
+/// accumulates the k-slices in ascending z), so per-layer buffers never
+/// exist.
+///
+/// Execution (DESIGN.md "Pipelined execution"): each fixed kRowBlock row
+/// block of the symmetric Schur update is split into an URGENT piece (its
+/// contribution to the next panel — tile column t+1) and a LAZY remainder.
+/// The decomposition is identical in both execution modes (bitwise-equal
+/// factors); with lookahead the pieces run on the persistent TaskPool with
+/// explicit dependencies (urgent/lazy after this step's panel trsm chunks
+/// and the previous lazy remainder), so step t+1's potrf and panel solve
+/// overlap step t's trailing update.
 template <typename T>
 struct CholRun {
   xsim::Machine& m;
@@ -43,9 +53,17 @@ struct CholRun {
   index_t v = 0;
   index_t num_tiles = 0;
   bool real = false;
+  bool la = false;
   std::vector<int> all_ranks;
   Matrix<T> fac;  // trailing accumulator left of the frontier, factor right
   Workspace ws;
+
+  // Lookahead task handles (empty when la == false).
+  std::vector<sched::TaskId> trsm_ids, urgent_ids, lazy_ids;
+  std::vector<sched::TaskId> dep_scratch;
+
+  // Grid-line cache (common.hpp): at most px*py z-lines, fetched once each.
+  GridLineCache zlines;
 
   CholRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size,
           index_t block)
@@ -54,6 +72,11 @@ struct CholRun {
     num_tiles = npad / v;
     real = m.real();
     all_ranks = g.all();
+    zlines = GridLineCache(g.px(), g.py());
+  }
+
+  const std::vector<int>& z_line(int x, int y) {
+    return zlines.get(x, y, [this](int a, int b) { return g.z_line(a, b); });
   }
 
   /// Active rows (>= tile `first`) whose tile row has grid residue q mod dim.
@@ -80,7 +103,7 @@ void reduce_block_column(CholRun<T>& run, index_t t) {
     for (int x = 0; x < run.g.px(); ++x) {
       const index_t rows_x = run.rows_with_residue(t, x, run.g.px());
       if (rows_x == 0) continue;
-      xsim::comm::reduce(run.m, run.g.z_line(x, y_t), static_cast<std::size_t>(l_t),
+      xsim::comm::reduce(run.m, run.z_line(x, y_t), static_cast<std::size_t>(l_t),
                          static_cast<double>(rows_x * run.v));
     }
   }
@@ -89,9 +112,12 @@ void reduce_block_column(CholRun<T>& run, index_t t) {
 
 // Steps 2-3: potrf of the diagonal block on its owner, broadcast to all.
 // The factored block is written back into the trailing buffer: that slot is
-// the finished factor from here on.
+// the finished factor from here on. With lookahead the previous step's
+// urgent tasks — the producers of this diagonal block — are drained first;
+// the previous lazy remainder keeps running on the pool.
 template <typename T>
 void factor_and_broadcast_a00(CholRun<T>& run, index_t t, MatrixView<T>* a00) {
+  if (run.la) sched::TaskPool::instance().wait(run.urgent_ids);
   run.m.annotate("potrf-a00");
   const int x_t = static_cast<int>(t) % run.g.px();
   const int y_t = static_cast<int>(t) % run.g.py();
@@ -140,7 +166,11 @@ void scatter_panel_1d(CholRun<T>& run, index_t t, index_t panel_rows) {
 
 // Step 5: local trsm L10 = A10 * L00^{-T} on the 1D chunks, IN PLACE in the
 // trailing buffer: the solved panel is simultaneously the factor's column
-// block and the Schur update's operand.
+// block and the Schur update's operand. The chunk decomposition is one
+// piece per simulated rank in both execution modes (Right-side solves are
+// row-independent, so chunking is exact); with lookahead the chunks are
+// pool tasks overlapping the previous step's lazy remainder, whose writes
+// are disjoint from this panel's column block.
 template <typename T>
 void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
                 ConstMatrixView<T> a00) {
@@ -151,18 +181,27 @@ void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
     const double mine = static_cast<double>(chunk_size(panel_rows, p, r));
     if (mine > 0) run.m.charge_flops(r, mine * vv * vv);
   }
+  run.trsm_ids.clear();
   if (run.real && panel_rows > 0) {
-    // Execute the solve the way the schedule distributes it: one 1D row
-    // chunk per simulated rank, fanned out across host threads (Right-side
-    // solves are row-independent, so chunking is exact).
     MatrixView<T> panel = run.fac.block((t + 1) * run.v, t * run.v, panel_rows, run.v);
-    sched::parallel_ranks(p, [&](index_t r) {
+    const index_t v = run.v;
+    const auto chunk = [panel, a00, panel_rows, p, v](index_t r) {
       const index_t lo = chunk_offset(panel_rows, p, static_cast<int>(r));
       const index_t cnt = chunk_size(panel_rows, p, static_cast<int>(r));
       if (cnt == 0) return;
       xblas::trsm<T>(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit,
-                     T{1}, a00, panel.block(lo, 0, cnt, run.v));
-    });
+                     T{1}, a00, panel.block(lo, 0, cnt, v));
+    };
+    if (run.la) {
+      sched::TaskPool& pool = sched::TaskPool::instance();
+      for (int r = 0; r < p; ++r) {
+        run.trsm_ids.push_back(pool.submit(
+            [chunk, r] { chunk(static_cast<index_t>(r)); }, "panel-trsm",
+            sched::TaskCategory::Other, static_cast<long long>(t), nullptr, 0));
+      }
+    } else {
+      sched::parallel_ranks(p, chunk);
+    }
   }
   run.m.step_barrier();
 }
@@ -205,51 +244,152 @@ void distribute_panel_2p5d(CholRun<T>& run, index_t t, index_t panel_rows) {
 }
 
 // Step 7: symmetric Schur update of the trailing accumulator: layer z's
-// k-slice contribution is realized inside the fixed k-order of one beta=1
-// gemm/syrk per fixed row block (k = v spans the slices in ascending z).
+// k-slice contribution is realized inside the fixed k-order of the beta=1
+// gemm/syrk calls (k = v spans the slices in ascending z).
+//
+// Decomposition (identical in both execution modes, so the factors agree
+// bitwise): one URGENT and one LAZY piece per fixed kRowBlock row block.
+// The urgent piece is the block's contribution to tile column t+1 — the
+// next step's diagonal block and panel column — and the lazy piece is the
+// rest; every lower-triangle element is written by exactly one piece with
+// a fixed k-order (DESIGN.md). Requires v <= kRowBlock (enforced upstream
+// by default_block_size; asserted here), so the urgent cut never lands
+// inside a later block's diagonal.
 template <typename T>
 void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
-  run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
   const index_t slice = run.v / pz;
+  const int y_u = static_cast<int>(t + 1) % py;  // owner of tile column t+1
+
+  run.m.annotate("schur-update-urgent");
+  if (panel_rows > 0) {
+    for (int x = 0; x < px; ++x) {
+      const auto rows_x = static_cast<double>(run.rows_with_residue(t + 1, x, px));
+      if (rows_x == 0.0) continue;
+      for (int z = 0; z < pz; ++z) {
+        run.m.charge_flops(run.g.rank_of(x, y_u, z),
+                           rows_x * static_cast<double>(run.v) *
+                               static_cast<double>(slice));
+      }
+    }
+  }
+  run.m.annotate("schur-update-lazy");
   for (int x = 0; x < px; ++x) {
     const auto rows_x = static_cast<double>(run.rows_with_residue(t + 1, x, px));
     if (rows_x == 0.0) continue;
     for (int y = 0; y < py; ++y) {
-      const auto cols_y = static_cast<double>(run.rows_with_residue(t + 1, y, py));
-      if (cols_y == 0.0) continue;
+      const index_t cols_y = run.rows_with_residue(t + 1, y, py);
+      const index_t lazy_cols = cols_y - (y == y_u ? run.v : 0);
+      if (lazy_cols <= 0) continue;
       for (int z = 0; z < pz; ++z) {
-        // Half the tiles (lower triangle): 2 flops per madd on half the
-        // rows_x * cols_y area.
         run.m.charge_flops(run.g.rank_of(x, y, z),
-                           rows_x * cols_y * static_cast<double>(slice));
+                           rows_x * static_cast<double>(lazy_cols) *
+                               static_cast<double>(slice));
       }
     }
   }
+
+  std::vector<sched::TaskId> prev_lazy = std::move(run.lazy_ids);
+  run.urgent_ids.clear();
+  run.lazy_ids.clear();
   if (run.real && panel_rows > 0) {
-    // One task per fixed row block of the symmetric update: the block's
-    // strictly-sub-diagonal stripe is a gemm against the earlier panel rows
-    // and its diagonal block a small syrk, accumulating straight into the
-    // trailing buffer (beta = 1 strided views; no update temporary). Every
-    // lower-triangle element is written by exactly one task with a fixed
-    // k-order — bitwise-deterministic across thread counts (DESIGN.md).
+    // The urgent cut at column v assumes v <= kRowBlock (true for
+    // default_block_size and every practical configuration). For larger
+    // hand-picked blocks the cut would land inside later blocks' diagonal
+    // syrks, so each row block degrades to one unsplit urgent piece —
+    // still a fixed decomposition, just with nothing to pipeline.
+    const bool split = run.v <= sched::kRowBlock;
     const index_t off = (t + 1) * run.v;
-    ConstMatrixView<T> panel = run.fac.block(off, t * run.v, panel_rows, run.v);
+    const index_t v = run.v;
+    ConstMatrixView<T> panel = run.fac.block(off, t * run.v, panel_rows, v);
     const index_t nblocks = sched::num_row_blocks(panel_rows);
-    sched::parallel_ranks(nblocks, [&](index_t blk) {
+
+    // Urgent piece of row block blk: its cells in columns [off, off + v)
+    // (the whole block when the split is off).
+    const auto urgent_block = [&run, panel, panel_rows, off, v,
+                               split](index_t blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
-      if (i0 > 0) {
-        xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
-                       panel.block(i0, 0, bn, run.v), panel.block(0, 0, i0, run.v),
-                       T{1}, run.fac.block(off + i0, off, bn, i0));
+      if (!split) {
+        if (i0 > 0) {
+          xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
+                         panel.block(i0, 0, bn, v), panel.block(0, 0, i0, v),
+                         T{1}, run.fac.block(off + i0, off, bn, i0));
+        }
+        xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
+                       panel.block(i0, 0, bn, v), T{1},
+                       run.fac.block(off + i0, off + i0, bn, bn));
+        return;
       }
-      xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
-                     panel.block(i0, 0, bn, run.v), T{1},
-                     run.fac.block(off + i0, off + i0, bn, bn));
-    });
+      if (i0 == 0) {
+        const index_t dn = std::min(v, bn);
+        xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
+                       panel.block(0, 0, dn, v), T{1},
+                       run.fac.block(off, off, dn, dn));
+        if (bn > v) {
+          xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
+                         panel.block(v, 0, bn - v, v), panel.block(0, 0, v, v),
+                         T{1}, run.fac.block(off + v, off, bn - v, v));
+        }
+      } else {
+        xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
+                       panel.block(i0, 0, bn, v), panel.block(0, 0, v, v),
+                       T{1}, run.fac.block(off + i0, off, bn, v));
+      }
+    };
+    // Lazy piece of row block blk: everything right of the urgent cut —
+    // the remaining sub-diagonal stripe plus the block's diagonal syrk.
+    // Empty when the split is off.
+    const auto lazy_block = [&run, panel, panel_rows, off, v](index_t blk) {
+      const index_t i0 = blk * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
+      if (i0 == 0) {
+        if (bn > v) {
+          xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
+                         panel.block(v, 0, bn - v, v), T{1},
+                         run.fac.block(off + v, off + v, bn - v, bn - v));
+        }
+      } else {
+        if (i0 > v) {
+          xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
+                         panel.block(i0, 0, bn, v), panel.block(v, 0, i0 - v, v),
+                         T{1}, run.fac.block(off + i0, off + v, bn, i0 - v));
+        }
+        xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
+                       panel.block(i0, 0, bn, v), T{1},
+                       run.fac.block(off + i0, off + i0, bn, bn));
+      }
+    };
+
+    if (run.la) {
+      // Dependencies: both pieces read this step's solved panel (all trsm
+      // chunks) and write trailing cells the previous lazy remainder also
+      // writes — express both instead of waiting.
+      sched::TaskPool& pool = sched::TaskPool::instance();
+      run.dep_scratch.assign(run.trsm_ids.begin(), run.trsm_ids.end());
+      run.dep_scratch.insert(run.dep_scratch.end(), prev_lazy.begin(),
+                             prev_lazy.end());
+      for (index_t blk = 0; blk < nblocks; ++blk) {
+        run.urgent_ids.push_back(
+            pool.submit([urgent_block, blk] { urgent_block(blk); },
+                        "schur-urgent", sched::TaskCategory::Urgent,
+                        static_cast<long long>(t), run.dep_scratch));
+      }
+      if (split) {
+        for (index_t blk = 0; blk < nblocks; ++blk) {
+          if (blk == 0 && panel_rows <= v) continue;  // empty lazy piece
+          run.lazy_ids.push_back(
+              pool.submit([lazy_block, blk] { lazy_block(blk); }, "schur-lazy",
+                          sched::TaskCategory::Lazy, static_cast<long long>(t),
+                          run.dep_scratch));
+        }
+      }
+    } else {
+      sched::parallel_ranks(nblocks, urgent_block);
+      if (split) sched::parallel_ranks(nblocks, lazy_block);
+    }
   }
   run.m.step_barrier();
 }
@@ -263,8 +403,10 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
   expects(v % g.pz() == 0, "block size must be a multiple of the layer count");
 
   CholRun<T> run(m, g, n, v);
+  run.la = run.real && lookahead_enabled(opt);
   const index_t npad = run.npad;
   const index_t num_tiles = run.num_tiles;
+  sched::TaskPool& pool = sched::TaskPool::instance();
 
   const double tile_words =
       static_cast<double>(npad) * static_cast<double>(npad) /
@@ -311,6 +453,12 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { update_a11(run, t, panel_rows); });
     rec.end_iteration(result.step_costs);
+  }
+
+  if (run.la) {
+    pool.wait(run.trsm_ids);
+    pool.wait(run.urgent_ids);
+    pool.wait(run.lazy_ids);
   }
 
   for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);

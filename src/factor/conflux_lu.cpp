@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <utility>
 
 #include "blas/lapack.hpp"
 #include "sched/rank_parallel.hpp"
+#include "sched/taskpool.hpp"
 #include "support/check.hpp"
 #include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
@@ -22,88 +24,95 @@ using xblas::UpLo;
 bool is_pow2(int n) { return std::has_single_bit(static_cast<unsigned>(n)); }
 
 /// Candidate set carried through the tournament: row indices plus their
-/// original (reduced) panel values, both in the current ranking order.
+/// original (reduced) panel values. Buffers are sized once per run (rows
+/// capacity v, values a fixed v x v matrix with rows.size() live rows), so
+/// the per-step tournament rounds allocate nothing.
 template <typename T>
-struct Candidates {
+struct CandSet {
   std::vector<index_t> rows;
-  Matrix<T> values;  // rows.size() x v
+  Matrix<T> values;  // v x v buffer; rows.size() x v live
 };
 
-/// Buffers reused across every butterfly round of every step: the stacked
-/// 2v x v candidate block and its getrf scratch (allocated once per
-/// factorization, not once per merge).
+/// Per-run tournament scratch (DESIGN.md: the per-x candidate gathers used
+/// to be the last per-step allocations of the schedule; they now live in
+/// per-run buffers reserved at their step-0 high-water sizes, and
+/// packed_factor_test asserts the steady state allocates nothing).
 template <typename T>
-struct MergeScratch {
-  std::vector<index_t> rows;
-  Matrix<T> stacked;
-  Matrix<T> ranked;  // getrf scratch (the ranking destroys its copy)
-  std::vector<index_t> ipiv;
+struct PivotScratch {
+  // Per-x gather + local selection buffers (selection runs one task per
+  // simulated column owner, so each x owns its scratch).
+  std::vector<std::vector<index_t>> xrows;
+  std::vector<Matrix<T>> gather;    // rows_x x v panel values
+  std::vector<Matrix<T>> rankwork;  // getrf copy (the ranking destroys it)
+  std::vector<std::vector<index_t>> xipiv;
+  std::vector<std::vector<index_t>> xperm;
+  std::vector<CandSet<T>> sets;
+  // Butterfly-merge scratch, shared across rounds (master-side, serial).
+  std::vector<index_t> mrows;
+  Matrix<T> stacked;  // 2v x v
+  Matrix<T> ranked;   // 2v x v getrf copy
+  std::vector<index_t> mipiv;
+  std::vector<index_t> mperm;
+  // Final ranking scratch.
+  std::vector<index_t> fipiv;
+  std::vector<index_t> fperm;
 };
 
-/// Rank candidate rows of `values` by partial-pivoting LU and keep the
-/// top `keep`: the standard CALU local selection.
+/// Rank the candidate rows in `gather` (nrows x v live) by partial-pivoting
+/// LU and keep the top `keep` in `out`: the standard CALU local selection.
 template <typename T>
-Candidates<T> select_candidates(const std::vector<index_t>& rows,
-                                const Matrix<T>& values, index_t keep) {
-  const auto nrows = static_cast<index_t>(rows.size());
-  const index_t v = values.cols();
-  Candidates<T> out;
-  if (nrows == 0) return out;
-  Matrix<T> work = values;
-  std::vector<index_t> ipiv;
-  xblas::getrf<T>(work.view(), ipiv);  // singular panels keep natural order
-  const auto order = xblas::ipiv_to_permutation(ipiv, nrows);
+void select_candidates(const std::vector<index_t>& rows, index_t nrows,
+                       index_t v, index_t keep, Matrix<T>& gather,
+                       Matrix<T>& work, std::vector<index_t>& ipiv,
+                       std::vector<index_t>& perm, CandSet<T>& out) {
+  out.rows.clear();
+  if (nrows == 0) return;
+  copy<T>(gather.block(0, 0, nrows, v), work.block(0, 0, nrows, v));
+  xblas::getrf<T>(work.block(0, 0, nrows, v), ipiv);  // singular: natural order
+  xblas::ipiv_to_permutation(ipiv, nrows, perm);
   const index_t take = std::min(keep, nrows);
-  out.rows.reserve(static_cast<std::size_t>(take));
-  out.values = Matrix<T>(take, v);
   for (index_t i = 0; i < take; ++i) {
-    const auto src = order[static_cast<std::size_t>(i)];
+    const auto src = perm[static_cast<std::size_t>(i)];
     out.rows.push_back(rows[static_cast<std::size_t>(src)]);
-    for (index_t j = 0; j < v; ++j) out.values(i, j) = values(src, j);
+    for (index_t j = 0; j < v; ++j) out.values(i, j) = gather(src, j);
   }
-  return out;
 }
 
 /// One tournament round: stack `b` under `a`, re-rank, keep the top `keep`
-/// rows in `a`. The merge adoptee is updated in place (no copy-then-move)
-/// and the stacked buffer lives in `s` across rounds.
+/// rows in `a`. All buffers persist across rounds and steps.
 template <typename T>
-void merge_candidates(Candidates<T>& a, const Candidates<T>& b, index_t keep,
-                      MergeScratch<T>& s) {
+void merge_candidates(CandSet<T>& a, const CandSet<T>& b, index_t v,
+                      index_t keep, PivotScratch<T>& s) {
   const auto na = static_cast<index_t>(a.rows.size());
   const auto nb = static_cast<index_t>(b.rows.size());
   if (na == 0) {
-    a = b;
+    a.rows.assign(b.rows.begin(), b.rows.end());
+    copy<T>(b.values.block(0, 0, nb, v), a.values.block(0, 0, nb, v));
     return;
   }
   if (nb == 0) return;
-  const index_t v = a.values.cols();
-  if (s.stacked.rows() < na + nb || s.stacked.cols() != v) {
-    s.stacked = Matrix<T>(na + nb, v);
-    s.ranked = Matrix<T>(na + nb, v);
-  }
-  s.rows.assign(a.rows.begin(), a.rows.end());
-  s.rows.insert(s.rows.end(), b.rows.begin(), b.rows.end());
-  copy<T>(a.values.view(), s.stacked.block(0, 0, na, v));
-  copy<T>(b.values.view(), s.stacked.block(na, 0, nb, v));
-  // Re-rank a copy of the stacked block (getrf destroys it); both buffers
-  // persist across rounds and steps.
+  s.mrows.assign(a.rows.begin(), a.rows.end());
+  s.mrows.insert(s.mrows.end(), b.rows.begin(), b.rows.end());
+  copy<T>(a.values.block(0, 0, na, v), s.stacked.block(0, 0, na, v));
+  copy<T>(b.values.block(0, 0, nb, v), s.stacked.block(na, 0, nb, v));
+  // Re-rank a copy of the stacked block (getrf destroys it).
   MatrixView<T> ranked = s.ranked.block(0, 0, na + nb, v);
   copy<T>(s.stacked.block(0, 0, na + nb, v), ranked);
-  xblas::getrf<T>(ranked, s.ipiv);
-  const auto order = xblas::ipiv_to_permutation(s.ipiv, na + nb);
+  xblas::getrf<T>(ranked, s.mipiv);
+  xblas::ipiv_to_permutation(s.mipiv, na + nb, s.mperm);
   const index_t take = std::min(keep, na + nb);
   a.rows.resize(static_cast<std::size_t>(take));
-  if (a.values.rows() != take) a.values = Matrix<T>(take, v);
   for (index_t i = 0; i < take; ++i) {
-    const auto src = order[static_cast<std::size_t>(i)];
-    a.rows[static_cast<std::size_t>(i)] = s.rows[static_cast<std::size_t>(src)];
+    const auto src = s.mperm[static_cast<std::size_t>(i)];
+    a.rows[static_cast<std::size_t>(i)] = s.mrows[static_cast<std::size_t>(src)];
     for (index_t j = 0; j < v; ++j) a.values(i, j) = s.stacked(src, j);
   }
 }
 
-/// Workspace slot ids (tensor/workspace.hpp arena, one buffer each).
-enum WsSlot : std::size_t { kPivotRows = 0 };
+/// Workspace slot ids (tensor/workspace.hpp arena). The pivot-row panel is
+/// double-buffered: with lookahead, step t's lazy Schur tasks still read
+/// slot t%2 while step t+1 gathers into the other slot.
+enum WsSlot : std::size_t { kPivotRows0 = 0, kPivotRows1 = 1 };
 
 /// The whole mutable state of one factorization run, templated on the
 /// factor scalar (the Trace entry point instantiates the double core with
@@ -114,14 +123,23 @@ enum WsSlot : std::size_t { kPivotRows = 0 };
 ///   - `trail`, ONE row-compacted trailing accumulator: packed row i holds
 ///     global row rowmap[i], live columns are [t*v, npad) at step t. The
 ///     layered partial sums of the simulated machine are realized inside
-///     gemm's fixed k-order: one beta=1 update with k = v accumulates the
-///     pz k-slices in ascending z exactly as an ordered layer reduction
-///     would, so the per-layer buffers never need to exist.
+///     gemm's fixed k-order: the Schur update accumulates with beta = 1 and
+///     k = v, realizing the pz k-slices in ascending z exactly as an
+///     ordered layer reduction would, so the per-layer buffers never exist.
 ///   - `lstore`, the final factors keyed by global row (Section 7.3's row
 ///     masking writes results in place, never moving rows).
 /// Eliminated rows retire once per step by swapping the tail row into their
-/// slot (O(v * trailing) per step), so every Schur update, reduction read,
-/// and panel solve runs on a contiguous packed block.
+/// slot; with lookahead the retirement is split into an urgent pass (the
+/// next panel's columns, unblocked by the previous step's urgent stripe)
+/// and a lazy pass replaying the same swaps on the remaining columns once
+/// the previous step's lazy remainder has landed.
+///
+/// Execution (DESIGN.md "Pipelined execution"): the Schur update is always
+/// decomposed into an URGENT stripe (the next panel's v columns) and a LAZY
+/// remainder, both in fixed kRowBlock row-block tasks — the decomposition,
+/// and therefore every factor bit, is identical whether the tasks run
+/// step-synchronously (parallel_ranks) or pipelined on the persistent
+/// TaskPool with cross-step dependencies (lookahead_enabled).
 template <typename T>
 struct LuRun {
   xsim::Machine& m;
@@ -131,6 +149,7 @@ struct LuRun {
   index_t v = 0;
   index_t num_tiles = 0;  // npad / v
   bool real = false;
+  bool la = false;  // lookahead pipelining on the task pool
 
   RowTracker tracker;
   Rng trace_rng;
@@ -143,7 +162,22 @@ struct LuRun {
   std::vector<index_t> rowpos;  // global row -> packed index (-1 = retired)
   index_t nact = 0;             // live packed rows
   Workspace ws;
-  MergeScratch<T> merge_scratch;
+
+  // Per-step results and scratch, all sized once per run.
+  std::vector<index_t> winners;       // this step's pivots, pivot order
+  Matrix<T> a00;                      // v x v in-place LU of the winner rows
+  std::vector<index_t> winner_slots;  // packed slots captured pre-retirement
+  std::vector<std::pair<index_t, index_t>> retire_pairs;  // (dst, src) swaps
+  std::vector<index_t> pivots_per_x;
+  PivotScratch<T> scr;
+
+  // Lookahead task handles (empty when la == false).
+  std::vector<sched::TaskId> a10_ids, urgent_ids, lazy_ids;
+
+  // Grid-line caches (common.hpp): at most px*py z-lines and py*pz
+  // x-lines, fetched once each.
+  GridLineCache zlines;
+  GridLineCache xlines;
 
   LuRun(xsim::Machine& machine, const grid::Grid3D& grid, index_t size, index_t block)
       : m(machine),
@@ -157,25 +191,47 @@ struct LuRun {
     real = m.real();
     tracker = RowTracker(npad, v, g.px());
     all_ranks = g.all();
+    zlines = GridLineCache(g.px(), g.py());
+    xlines = GridLineCache(g.py(), g.pz());
   }
 
-  /// Retire this step's pivot rows from the packed workspace: move the tail
-  /// row into each winner's slot (trailing columns [col0, npad) only — the
-  /// retired columns to the left are dead). Winners' own trailing values
-  /// must have been gathered (pivotrows) before this runs.
-  void retire_rows(const std::vector<index_t>& winners, index_t col0) {
+  const std::vector<int>& z_line(int x, int y) {
+    return zlines.get(x, y, [this](int a, int b) { return g.z_line(a, b); });
+  }
+  const std::vector<int>& x_line(int y, int l) {
+    return xlines.get(y, l, [this](int a, int b) { return g.x_line(a, b); });
+  }
+
+  /// Retirement pass 1 (urgent columns [col0, col0 + v)): move the tail row
+  /// into each winner's slot, update the maps, and record the swap sequence
+  /// so pass 2 can replay it on the lazy columns. Winners' urgent values
+  /// must have been consumed (tournament gather) before this runs.
+  void retire_rows_urgent(index_t col0) {
+    retire_pairs.clear();
     for (index_t w : winners) {
       const index_t i = rowpos[static_cast<std::size_t>(w)];
       const index_t last = --nact;
       if (i != last) {
         const index_t moved = rowmap[static_cast<std::size_t>(last)];
         const T* src = &trail(last, col0);
-        std::copy(src, src + (npad - col0), &trail(i, col0));
+        std::copy(src, src + v, &trail(i, col0));
         rowmap[static_cast<std::size_t>(i)] = moved;
         rowpos[static_cast<std::size_t>(moved)] = i;
+        retire_pairs.emplace_back(i, last);
       }
       rowpos[static_cast<std::size_t>(w)] = -1;
       rowmap[static_cast<std::size_t>(last)] = -1;
+    }
+  }
+
+  /// Retirement pass 2: replay the recorded swaps, in order, on the lazy
+  /// columns [col1, npad). Must run after the previous step's lazy Schur
+  /// tasks (which write those columns) and after the pivot-row gather
+  /// (which reads the winners' lazy values from their original slots).
+  void retire_rows_lazy(index_t col1) {
+    for (const auto& [dst, src] : retire_pairs) {
+      const T* s = &trail(src, col1);
+      std::copy(s, s + (npad - col1), &trail(dst, col1));
     }
   }
 };
@@ -202,8 +258,7 @@ void reduce_block_column(LuRun<T>& run, index_t t) {
     for (int x = 0; x < run.g.px(); ++x) {
       const index_t rows_x = run.tracker.count_for_x(x);
       if (rows_x == 0) continue;
-      const auto group = run.g.z_line(x, y_t);
-      xsim::comm::reduce(run.m, group, static_cast<std::size_t>(l_t),
+      xsim::comm::reduce(run.m, run.z_line(x, y_t), static_cast<std::size_t>(l_t),
                          static_cast<double>(rows_x * run.v));
     }
   }
@@ -214,24 +269,21 @@ void reduce_block_column(LuRun<T>& run, index_t t) {
 }
 
 // ---------------------------------------------------------------------------
-// Step 2: tournament pivoting (butterfly over the Px column owners). Returns
-// the winners in pivot order and, in Real mode, the factored A00.
+// Step 2: tournament pivoting (butterfly over the Px column owners). Fills
+// run.winners (pivot order) and, in Real mode, run.a00 with the factored
+// leading block. With lookahead the caller has already waited for the
+// previous step's urgent stripe — the only data this step reads — so this
+// runs while the previous lazy remainder is still in flight.
 // ---------------------------------------------------------------------------
 template <typename T>
-struct PivotResult {
-  std::vector<index_t> winners;
-  Matrix<T> a00;  // v x v in-place LU of the winner rows (Real mode)
-};
-
-template <typename T>
-PivotResult<T> tournament_pivot(LuRun<T>& run, index_t t) {
+void tournament_pivot(LuRun<T>& run, index_t t) {
   run.m.annotate("tournament-pivot");
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
   const int y_t = static_cast<int>(t) % py;
   const int l_t = static_cast<int>(t) % pz;
-  const auto group = run.g.x_line(y_t, l_t);
+  const auto& group = run.x_line(y_t, l_t);
 
   // Communication: log2(Px) butterfly rounds of the v x v candidate block
   // plus the v row indices; non-powers of two finish with a broadcast of the
@@ -251,28 +303,38 @@ PivotResult<T> tournament_pivot(LuRun<T>& run, index_t t) {
                        rows_x * vv * vv + rounds * 2.0 * vv * vv * vv / 3.0);
   }
 
-  PivotResult<T> result;
+  run.winners.clear();
   if (!run.real) {
-    result.winners = run.tracker.sample_active(run.v, run.trace_rng);
+    run.winners = run.tracker.sample_active(run.v, run.trace_rng);
     run.m.step_barrier();
-    return result;
+    return;
   }
 
   // Local candidate selection per x-group: one simulated column owner per
-  // task, each ranking its own rows (disjoint outputs). Panel values are
-  // read straight out of the packed workspace.
-  std::vector<Candidates<T>> cand(static_cast<std::size_t>(px));
+  // task, each ranking its own rows out of its per-run scratch (disjoint
+  // outputs, zero steady-state allocations). Panel values are read straight
+  // out of the packed workspace.
+  PivotScratch<T>& s = run.scr;
+  for (int x = 0; x < px; ++x) {
+    run.tracker.rows_for_x_into(x, s.xrows[static_cast<std::size_t>(x)]);
+  }
   sched::parallel_ranks(px, [&](index_t x) {
-    const auto rows = run.tracker.rows_for_x(static_cast<int>(x));
-    if (rows.empty()) return;
-    Matrix<T> values(static_cast<index_t>(rows.size()), run.v);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const index_t pi = run.rowpos[static_cast<std::size_t>(rows[i])];
+    const auto xi = static_cast<std::size_t>(x);
+    const auto& rows = s.xrows[xi];
+    const auto nrows = static_cast<index_t>(rows.size());
+    if (nrows == 0) {
+      s.sets[xi].rows.clear();
+      return;
+    }
+    Matrix<T>& gather = s.gather[xi];
+    for (index_t i = 0; i < nrows; ++i) {
+      const index_t pi = run.rowpos[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])];
       for (index_t j = 0; j < run.v; ++j) {
-        values(static_cast<index_t>(i), j) = run.trail(pi, t * run.v + j);
+        gather(i, j) = run.trail(pi, t * run.v + j);
       }
     }
-    cand[static_cast<std::size_t>(x)] = select_candidates<T>(rows, values, run.v);
+    select_candidates<T>(rows, nrows, run.v, run.v, gather, s.rankwork[xi],
+                         s.xipiv[xi], s.xperm[xi], s.sets[xi]);
   });
   // Merge rounds along the accumulation tree of rank 0. The full butterfly
   // computes px/2 merges per round on every rank, but only the binomial
@@ -281,27 +343,24 @@ PivotResult<T> tournament_pivot(LuRun<T>& run, index_t t) {
   // it — so the winners are identical and the dead merges are skipped.
   for (int mask = 1; mask < px; mask <<= 1) {
     for (int x = 0; x + mask < px; x += 2 * mask) {
-      merge_candidates<T>(cand[static_cast<std::size_t>(x)],
-                          cand[static_cast<std::size_t>(x + mask)], run.v,
-                          run.merge_scratch);
+      merge_candidates<T>(s.sets[static_cast<std::size_t>(x)],
+                          s.sets[static_cast<std::size_t>(x + mask)], run.v,
+                          run.v, s);
     }
   }
-  Candidates<T>& final_set = cand[0];
+  CandSet<T>& final_set = s.sets[0];
   check(static_cast<index_t>(final_set.rows.size()) == run.v,
         "tournament must produce exactly v pivots");
   // Final ranking doubles as the A00 factorization (Table 1: A00's getrf is
   // free, it happens during TournPivot).
-  Matrix<T> a00 = final_set.values;
-  std::vector<index_t> ipiv;
-  xblas::getrf<T>(a00.view(), ipiv);
-  const auto order = xblas::ipiv_to_permutation(ipiv, run.v);
-  result.winners.reserve(static_cast<std::size_t>(run.v));
+  copy<T>(final_set.values.block(0, 0, run.v, run.v), run.a00.view());
+  xblas::getrf<T>(run.a00.view(), s.fipiv);
+  xblas::ipiv_to_permutation(s.fipiv, run.v, s.fperm);
   for (index_t i = 0; i < run.v; ++i) {
-    result.winners.push_back(final_set.rows[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])]);
+    run.winners.push_back(
+        final_set.rows[static_cast<std::size_t>(s.fperm[static_cast<std::size_t>(i)])]);
   }
-  result.a00 = std::move(a00);
   run.m.step_barrier();
-  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -370,12 +429,13 @@ void scatter_panel_1d(LuRun<T>& run, index_t t, bool row_panel, index_t items,
 
 // ---------------------------------------------------------------------------
 // Step 5: reduce the v pivot rows' trailing columns across the layers. In
-// Real mode this gathers the winners' packed rows into the step-reusable
-// pivot-row workspace (the last read of those rows before they retire).
+// Real mode this gathers the winners' packed rows into this step's
+// pivot-row workspace (the last read of those rows before they retire);
+// with lookahead it first drains the previous step's lazy Schur tasks,
+// which are the producers of those trailing values.
 // ---------------------------------------------------------------------------
 template <typename T>
-void reduce_pivot_rows(LuRun<T>& run, index_t t, const std::vector<index_t>& winners,
-                       MatrixView<T>* pivotrows) {
+void reduce_pivot_rows(LuRun<T>& run, index_t t, MatrixView<T>* pivotrows) {
   run.m.annotate("reduce-pivot-rows");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -383,27 +443,24 @@ void reduce_pivot_rows(LuRun<T>& run, index_t t, const std::vector<index_t>& win
   const index_t ncols = (run.num_tiles - t - 1) * run.v;
   if (pz > 1 && ncols > 0) {
     // Pivot rows grouped by their tile-row owner x.
-    std::vector<index_t> piv_per_x(static_cast<std::size_t>(run.g.px()), 0);
-    for (index_t w : winners) {
-      ++piv_per_x[static_cast<std::size_t>(run.tracker.x_of_row(w))];
-    }
     for (int x = 0; x < run.g.px(); ++x) {
-      const index_t nrows = piv_per_x[static_cast<std::size_t>(x)];
+      const index_t nrows = run.pivots_per_x[static_cast<std::size_t>(x)];
       if (nrows == 0) continue;
       for (int y = 0; y < py; ++y) {
         const index_t cols_y =
             grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v;
         if (cols_y == 0) continue;
-        xsim::comm::reduce(run.m, run.g.z_line(x, y), static_cast<std::size_t>(l_t),
+        xsim::comm::reduce(run.m, run.z_line(x, y), static_cast<std::size_t>(l_t),
                            static_cast<double>(nrows * cols_y));
       }
     }
   }
   if (run.real && ncols > 0) {
-    *pivotrows = run.ws.template mat<T>(kPivotRows, run.v, ncols);
+    if (run.la) sched::TaskPool::instance().wait(run.lazy_ids);
+    *pivotrows = run.ws.template mat<T>(
+        (t & 1) != 0 ? kPivotRows1 : kPivotRows0, run.v, ncols);
     sched::parallel_ranks(run.v, [&](index_t l) {
-      const index_t pi =
-          run.rowpos[static_cast<std::size_t>(winners[static_cast<std::size_t>(l)])];
+      const index_t pi = run.winner_slots[static_cast<std::size_t>(l)];
       const T* src = &run.trail(pi, (t + 1) * run.v);
       std::copy(src, src + ncols, pivotrows->row(l));
     });
@@ -467,39 +524,101 @@ void distribute_panels_2p5d(LuRun<T>& run, index_t t, index_t a10_rows) {
 // ---------------------------------------------------------------------------
 // Step 11: local Schur-complement update of each layer's partial sums.
 // Layer z applies only its k-slice of A10 * A01 (the reduction-dimension
-// parallelism of Figure 7). Real mode runs the whole update as ONE gemm
-// straight into the packed trailing workspace (beta = 1, alpha = -1 on
-// strided views): gemm's ordered k loop accumulates the pz k-slices in
-// ascending z, which is exactly the layered partial-sum arithmetic, and the
-// per-task update temporary plus its subtract-scatter pass are gone.
+// parallelism of Figure 7). Real mode accumulates straight into the packed
+// trailing workspace (beta = 1, alpha = -1 on strided views): gemm's
+// ordered k loop realizes the pz k-slices in ascending z, which is exactly
+// the layered partial-sum arithmetic.
+//
+// The update is decomposed — in the charges AND in the executed tasks, in
+// both execution modes — into the URGENT stripe (the next panel's v
+// columns, the only data step t+1's tournament needs) and the LAZY
+// remainder, each in fixed kRowBlock row-block tasks. With lookahead the
+// tasks go to the pool, depending only on this step's A10 solve; without,
+// the identical tasks run synchronously, so the factors agree bitwise.
 // ---------------------------------------------------------------------------
 template <typename T>
 void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
-  run.m.annotate("schur-update");
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
   const index_t slice = run.v / pz;
   const index_t ncols = (run.num_tiles - t - 1) * run.v;
+  const int y_u = static_cast<int>(t + 1) % py;  // owner of tile column t+1
 
+  run.m.annotate("schur-update-urgent");
+  if (ncols > 0) {
+    for (int x = 0; x < px; ++x) {
+      const auto rows_x = static_cast<double>(run.tracker.count_for_x(x));
+      if (rows_x == 0.0) continue;
+      for (int z = 0; z < pz; ++z) {
+        run.m.charge_flops(run.g.rank_of(x, y_u, z),
+                           2.0 * rows_x * static_cast<double>(run.v) *
+                               static_cast<double>(slice));
+      }
+    }
+  }
+  run.m.annotate("schur-update-lazy");
   for (int x = 0; x < px; ++x) {
     const auto rows_x = static_cast<double>(run.tracker.count_for_x(x));
     if (rows_x == 0.0) continue;
     for (int y = 0; y < py; ++y) {
-      const auto cols_y = static_cast<double>(
-          grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v);
-      if (cols_y == 0.0) continue;
+      const index_t cols_y =
+          grid::cyclic_local_count(t + 1, run.num_tiles, y, py) * run.v;
+      const index_t lazy_cols = cols_y - (y == y_u ? run.v : 0);
+      if (lazy_cols <= 0) continue;
       for (int z = 0; z < pz; ++z) {
         run.m.charge_flops(run.g.rank_of(x, y, z),
-                           2.0 * rows_x * cols_y * static_cast<double>(slice));
+                           2.0 * rows_x * static_cast<double>(lazy_cols) *
+                               static_cast<double>(slice));
       }
     }
   }
 
+  run.urgent_ids.clear();
+  run.lazy_ids.clear();
   if (run.real && ncols > 0 && run.nact > 0) {
-    xblas::gemm<T>(Trans::None, Trans::None, T{-1},
-                   run.trail.block(0, t * run.v, run.nact, run.v), pivotrows,
-                   T{1}, run.trail.block(0, (t + 1) * run.v, run.nact, ncols));
+    const index_t nact = run.nact;
+    ConstMatrixView<T> a10 = run.trail.block(0, t * run.v, nact, run.v);
+    const index_t nblocks = sched::num_row_blocks(nact);
+    const index_t lcols = ncols - run.v;
+    const auto urgent_block = [&run, t, a10, pivotrows, nact](index_t blk) {
+      const index_t i0 = blk * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, nact - i0);
+      xblas::gemm<T>(Trans::None, Trans::None, T{-1},
+                     a10.block(i0, 0, bn, run.v),
+                     pivotrows.block(0, 0, run.v, run.v), T{1},
+                     run.trail.block(i0, (t + 1) * run.v, bn, run.v));
+    };
+    const auto lazy_block = [&run, t, a10, pivotrows, nact, lcols](index_t blk) {
+      const index_t i0 = blk * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, nact - i0);
+      xblas::gemm<T>(Trans::None, Trans::None, T{-1},
+                     a10.block(i0, 0, bn, run.v),
+                     pivotrows.block(0, run.v, run.v, lcols), T{1},
+                     run.trail.block(i0, (t + 1) * run.v + run.v, bn, lcols));
+    };
+    if (run.la) {
+      sched::TaskPool& pool = sched::TaskPool::instance();
+      for (index_t blk = 0; blk < nblocks; ++blk) {
+        run.urgent_ids.push_back(pool.submit([urgent_block, blk] { urgent_block(blk); },
+                                             "schur-urgent",
+                                             sched::TaskCategory::Urgent,
+                                             static_cast<long long>(t),
+                                             run.a10_ids));
+      }
+      if (lcols > 0) {
+        for (index_t blk = 0; blk < nblocks; ++blk) {
+          run.lazy_ids.push_back(pool.submit([lazy_block, blk] { lazy_block(blk); },
+                                             "schur-lazy",
+                                             sched::TaskCategory::Lazy,
+                                             static_cast<long long>(t),
+                                             run.a10_ids));
+        }
+      }
+    } else {
+      sched::parallel_ranks(nblocks, urgent_block);
+      if (lcols > 0) sched::parallel_ranks(nblocks, lazy_block);
+    }
   }
   run.m.step_barrier();
 }
@@ -514,8 +633,10 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
   LuRun<T> run(m, g, n, v);
   run.trace_rng.reseed(opt.trace_pivot_seed);
+  run.la = run.real && lookahead_enabled(opt);
   const index_t npad = run.npad;
   const index_t num_tiles = run.num_tiles;
+  sched::TaskPool& pool = sched::TaskPool::instance();
 
   // Memory accounting: every rank holds its layer's share of the tile grid
   // (npad^2 * c / P words total across layers) plus panel buffers.
@@ -542,7 +663,41 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       run.rowmap[static_cast<std::size_t>(i)] = i;
       run.rowpos[static_cast<std::size_t>(i)] = i;
     }
+    // Size every per-step scratch buffer at its step-0 high-water mark:
+    // the steady state of the factorization allocates nothing (asserted in
+    // packed_factor_test).
+    run.winners.reserve(static_cast<std::size_t>(v));
+    run.winner_slots.reserve(static_cast<std::size_t>(v));
+    run.retire_pairs.reserve(static_cast<std::size_t>(v));
+    run.a00 = Matrix<T>(v, v);
+    const auto px = static_cast<std::size_t>(g.px());
+    PivotScratch<T>& s = run.scr;
+    s.xrows.resize(px);
+    s.gather.resize(px);
+    s.rankwork.resize(px);
+    s.xipiv.resize(px);
+    s.xperm.resize(px);
+    s.sets.resize(px);
+    for (std::size_t x = 0; x < px; ++x) {
+      const index_t cap =
+          std::max<index_t>(run.tracker.count_for_x(static_cast<int>(x)), 1);
+      s.xrows[x].reserve(static_cast<std::size_t>(cap));
+      s.gather[x] = Matrix<T>(cap, v);
+      s.rankwork[x] = Matrix<T>(cap, v);
+      s.xipiv[x].reserve(static_cast<std::size_t>(v));
+      s.xperm[x].reserve(static_cast<std::size_t>(cap));
+      s.sets[x].rows.reserve(static_cast<std::size_t>(v));
+      s.sets[x].values = Matrix<T>(v, v);
+    }
+    s.mrows.reserve(static_cast<std::size_t>(2 * v));
+    s.stacked = Matrix<T>(2 * v, v);
+    s.ranked = Matrix<T>(2 * v, v);
+    s.mipiv.reserve(static_cast<std::size_t>(v));
+    s.mperm.reserve(static_cast<std::size_t>(2 * v));
+    s.fipiv.reserve(static_cast<std::size_t>(v));
+    s.fperm.reserve(static_cast<std::size_t>(v));
   }
+  run.pivots_per_x.assign(static_cast<std::size_t>(g.px()), 0);
 
   LuResultT<T> result;
   StepCostRecorder rec(m, opt.record_step_costs);
@@ -564,9 +719,11 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { reduce_block_column(run, t); });
 
-    PivotResult<T> piv;
+    // The tournament reads only the urgent stripe the previous step's
+    // urgent tasks produced; the previous lazy remainder keeps running.
+    if (run.la) pool.wait(run.urgent_ids);
     rec.measure(&StepCosts::pivoting_words, &StepCosts::pivoting_flops,
-                [&] { piv = tournament_pivot(run, t); });
+                [&] { tournament_pivot(run, t); });
     rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
                 [&] { broadcast_a00(run, t); });
 
@@ -574,70 +731,99 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       // The winner rows' leading block is final: L below the diagonal and
       // U on/above, both stored by global row (row masking, no swaps).
       for (index_t l = 0; l < v; ++l) {
-        const index_t row = piv.winners[static_cast<std::size_t>(l)];
-        for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = piv.a00(l, j);
+        const index_t row = run.winners[static_cast<std::size_t>(l)];
+        for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = run.a00(l, j);
       }
+      // Capture the winners' packed slots (the pivot-row gather reads their
+      // lazy columns from here), then run the urgent retirement pass: the
+      // next panel's columns are complete, so the A10 solve can start while
+      // the previous step's lazy remainder is still landing.
+      run.winner_slots.clear();
+      for (index_t w : run.winners) {
+        run.winner_slots.push_back(run.rowpos[static_cast<std::size_t>(w)]);
+      }
+      run.retire_rows_urgent(t * v);
     }
-    run.tracker.eliminate(piv.winners);
-    perm_pad.insert(perm_pad.end(), piv.winners.begin(), piv.winners.end());
+    run.tracker.eliminate(run.winners);
+    perm_pad.insert(perm_pad.end(), run.winners.begin(), run.winners.end());
 
     const index_t a10_rows = run.tracker.active_count();
     const index_t ncols = (num_tiles - t - 1) * v;
-    std::vector<index_t> pivots_per_x(static_cast<std::size_t>(g.px()), 0);
-    for (index_t w : piv.winners) {
-      ++pivots_per_x[static_cast<std::size_t>(run.tracker.x_of_row(w))];
+    std::fill(run.pivots_per_x.begin(), run.pivots_per_x.end(), 0);
+    for (index_t w : run.winners) {
+      ++run.pivots_per_x[static_cast<std::size_t>(run.tracker.x_of_row(w))];
+    }
+    if (run.real) {
+      check(run.nact == a10_rows, "packed workspace out of sync with tracker");
+    }
+
+    // Steps 7 and 9 (real work): the 1D panel trsms, decomposed the way the
+    // schedule distributes them — one chunk of A10 rows and one chunk of
+    // A01 columns per simulated rank (row/column chunks of a triangular
+    // solve are exact: Right-side solves are row-independent, Left-side
+    // column-independent). A10 is solved IN PLACE in the packed workspace:
+    // the solved values are both this step's L columns (copied to lstore)
+    // and the Schur update's left operand. With lookahead the A10 chunks go
+    // to the pool NOW — before the master blocks on the previous lazy
+    // remainder — because they only touch the urgent stripe.
+    const int p = m.ranks();
+    MatrixView<T> a10 = run.real
+                            ? run.trail.block(0, t * v, run.nact, v)
+                            : MatrixView<T>();
+    const auto a10_chunk = [&run, a10, a10_rows, p, t, v](index_t r) {
+      const index_t lo = chunk_offset(a10_rows, p, static_cast<int>(r));
+      const index_t cnt = chunk_size(a10_rows, p, static_cast<int>(r));
+      if (cnt == 0) return;
+      // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
+      xblas::trsm<T>(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit,
+                     T{1}, run.a00.view(), a10.block(lo, 0, cnt, v));
+      for (index_t i = lo; i < lo + cnt; ++i) {
+        const index_t row = run.rowmap[static_cast<std::size_t>(i)];
+        for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
+      }
+    };
+    run.a10_ids.clear();
+    if (run.real && run.la && a10_rows > 0) {
+      for (int r = 0; r < p; ++r) {
+        run.a10_ids.push_back(pool.submit(
+            [a10_chunk, r] { a10_chunk(static_cast<index_t>(r)); },
+            "panel-trsm-a10", sched::TaskCategory::Other,
+            static_cast<long long>(t), nullptr, 0));
+      }
     }
 
     // Step 4: scatter A10; step 5: reduce pivot rows; step 6: scatter A01.
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
-      scatter_panel_1d(run, t, /*row_panel=*/true, a10_rows, pivots_per_x);
+      scatter_panel_1d(run, t, /*row_panel=*/true, a10_rows, run.pivots_per_x);
     });
     MatrixView<T> pivotrows;
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
-                [&] { reduce_pivot_rows(run, t, piv.winners, &pivotrows); });
+                [&] { reduce_pivot_rows(run, t, &pivotrows); });
     if (run.real) {
-      // The winners' packed rows are fully consumed (a00 via the tournament,
-      // trailing columns via pivotrows): compact them out so the panel solve
-      // and Schur update below see one contiguous block of survivor rows.
-      run.retire_rows(piv.winners, t * v);
-      check(run.nact == a10_rows, "packed workspace out of sync with tracker");
+      // The winners' packed rows are fully consumed (a00 via the
+      // tournament, trailing columns via the gather above): replay the
+      // retirement swaps on the lazy columns, so the Schur update below
+      // sees one contiguous block of survivor rows.
+      run.retire_rows_lazy((t + 1) * v);
     }
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
-      scatter_panel_1d(run, t, /*row_panel=*/false, ncols, pivots_per_x);
+      scatter_panel_1d(run, t, /*row_panel=*/false, ncols, run.pivots_per_x);
     });
 
-    // Steps 7 and 9: the 1D panel trsms. In Real mode the work is executed
-    // the way the schedule distributes it — one chunk of A10 rows and one
-    // chunk of A01 columns per simulated rank — and the chunks run across
-    // host threads (row/column chunks of a triangular solve are exact:
-    // Right-side solves are row-independent, Left-side column-independent).
-    // A10 is solved IN PLACE in the packed workspace: the solved values are
-    // both this step's L columns (copied to lstore) and the Schur update's
-    // left operand, with no gather/scatter copies.
+    // Steps 7 and 9 (charges): the two panel trsms.
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
       m.annotate("panel-trsm");
-      for (int r = 0; r < m.ranks(); ++r) {
-        const double rows_r = static_cast<double>(chunk_size(a10_rows, m.ranks(), r));
-        const double cols_r = static_cast<double>(chunk_size(ncols, m.ranks(), r));
+      for (int r = 0; r < p; ++r) {
+        const double rows_r = static_cast<double>(chunk_size(a10_rows, p, r));
+        const double cols_r = static_cast<double>(chunk_size(ncols, p, r));
         const auto vv = static_cast<double>(v);
         if (rows_r > 0) m.charge_flops(r, rows_r * vv * vv);
         if (cols_r > 0) m.charge_flops(r, cols_r * vv * vv);
       }
       if (run.real) {
-        const int p = m.ranks();
-        MatrixView<T> a10 = run.trail.block(0, t * v, run.nact, v);
-        sched::parallel_ranks(p, [&](index_t r) {
-          const index_t lo = chunk_offset(a10_rows, p, static_cast<int>(r));
-          const index_t cnt = chunk_size(a10_rows, p, static_cast<int>(r));
-          if (cnt == 0) return;
-          // A10 <- A10 * U00^{-1}: final L columns of the surviving rows.
-          xblas::trsm<T>(Side::Right, UpLo::Upper, Trans::None, Diag::NonUnit,
-                         T{1}, piv.a00.view(), a10.block(lo, 0, cnt, v));
-          for (index_t i = lo; i < lo + cnt; ++i) {
-            const index_t row = run.rowmap[static_cast<std::size_t>(i)];
-            for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
-          }
-        });
+        if (!run.la && a10_rows > 0) {
+          sched::parallel_ranks(p, a10_chunk);
+        }
         if (ncols > 0) {
           // A01 <- L00^{-1} * A01: final U rows of the pivots.
           sched::parallel_ranks(p, [&](index_t r) {
@@ -645,10 +831,10 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
             const index_t cnt = chunk_size(ncols, p, static_cast<int>(r));
             if (cnt == 0) return;
             xblas::trsm<T>(Side::Left, UpLo::Lower, Trans::None, Diag::Unit,
-                           T{1}, piv.a00.view(), pivotrows.block(0, lo, v, cnt));
+                           T{1}, run.a00.view(), pivotrows.block(0, lo, v, cnt));
           });
           sched::parallel_ranks(v, [&](index_t l) {
-            const index_t row = piv.winners[static_cast<std::size_t>(l)];
+            const index_t row = run.winners[static_cast<std::size_t>(l)];
             for (index_t j = 0; j < ncols; ++j) {
               run.lstore(row, (t + 1) * v + j) = pivotrows(l, j);
             }
@@ -664,6 +850,12 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { update_a11<T>(run, t, pivotrows); });
     rec.end_iteration(result.step_costs);
+  }
+
+  if (run.la) {
+    pool.wait(run.a10_ids);
+    pool.wait(run.urgent_ids);
+    pool.wait(run.lazy_ids);
   }
 
   for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);

@@ -1,5 +1,6 @@
 #include "sched/chrome_trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <vector>
@@ -121,6 +122,69 @@ bool write_chrome_trace_file(const std::string& path, const Timeline& timeline) 
   std::ofstream out(path);
   if (!out) return false;
   write_chrome_trace(out, timeline);
+  return out.good();
+}
+
+namespace {
+
+const char* category_name(TaskCategory c) {
+  switch (c) {
+    case TaskCategory::Urgent: return "urgent";
+    case TaskCategory::Lazy: return "lazy";
+    case TaskCategory::Other: return "other";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t write_task_trace(std::ostream& os,
+                             const std::vector<TaskSlice>& slices) {
+  const auto old_precision = os.precision(15);
+  std::size_t count = 0;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const auto sep = [&] { os << (count == 0 ? "\n" : ",\n"); };
+
+  int max_worker = 0;
+  for (const TaskSlice& s : slices) max_worker = std::max(max_worker, s.worker);
+  sep();
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, "
+     << "\"args\": {\"name\": \"task pool\"}}";
+  ++count;
+  for (int w = 0; w <= max_worker; ++w) {
+    sep();
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << w << ", \"args\": {\"name\": \"";
+    if (w == 0) {
+      os << "master";
+    } else {
+      os << "worker " << w;
+    }
+    os << "\"}}";
+    ++count;
+  }
+
+  for (const TaskSlice& s : slices) {
+    sep();
+    os << "  {\"name\": \"";
+    write_escaped(os, s.name);
+    os << "\", \"cat\": \"" << category_name(s.category)
+       << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << s.worker
+       << ", \"ts\": " << s.start_s * kSecondsToUs
+       << ", \"dur\": " << (s.end_s - s.start_s) * kSecondsToUs
+       << ", \"args\": {\"step\": " << s.step << "}}";
+    ++count;
+  }
+  os << "\n]}\n";
+  os.precision(old_precision);
+  return count;
+}
+
+bool write_task_trace_file(const std::string& path,
+                           const std::vector<TaskSlice>& slices) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_task_trace(out, slices);
   return out.good();
 }
 

@@ -12,7 +12,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "sched/taskpool.hpp"
 #include "sched/timeline.hpp"
 
 namespace conflux::sched {
@@ -22,5 +24,16 @@ std::size_t write_chrome_trace(std::ostream& os, const Timeline& timeline);
 
 /// Write to a file; false if the file could not be written.
 bool write_chrome_trace_file(const std::string& path, const Timeline& timeline);
+
+/// Chrome trace of REAL (wall-clock) task-pool execution: one trace thread
+/// per pool worker (tid 0 = the master thread), slices named by task with
+/// the urgent/lazy category and schedule step in args. This is the view
+/// that shows the lookahead pipeline actually overlapping — step t+1's
+/// panel tasks running while step t's lazy remainder is still on another
+/// worker (asserted in sched_test).
+std::size_t write_task_trace(std::ostream& os,
+                             const std::vector<TaskSlice>& slices);
+bool write_task_trace_file(const std::string& path,
+                           const std::vector<TaskSlice>& slices);
 
 }  // namespace conflux::sched

@@ -1,0 +1,341 @@
+#include "sched/taskpool.hpp"
+
+#include <cstdlib>
+
+#include "blas/tuning.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace conflux::sched {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+int env_pool_threads() {
+  static const int value = [] {
+    const char* s = std::getenv("CONFLUX_POOL_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    const long v = std::strtol(s, nullptr, 10);
+    return v > 0 ? static_cast<int>(v) : 0;
+  }();
+  return value;
+}
+
+}  // namespace
+
+TaskPool& TaskPool::instance() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int TaskPool::width() const {
+  const int env = env_pool_threads();
+  if (env > 0) return env;
+#ifdef _OPENMP
+  const int w = omp_get_max_threads();
+  return w > 0 ? w : 1;
+#else
+  return 1;
+#endif
+}
+
+bool TaskPool::on_worker_thread() { return tls_on_worker; }
+
+void TaskPool::ensure_workers(int want) {
+  while (static_cast<int>(workers_.size()) < want) {
+    const int index = static_cast<int>(workers_.size()) + 1;  // 0 = master
+    workers_.emplace_back([this, index] { worker_main(index); });
+  }
+}
+
+TaskId TaskPool::submit(std::function<void()> fn, const char* name,
+                        TaskCategory category, long long step,
+                        const TaskId* deps, std::size_t ndeps) {
+  const int w = width();
+  if (w <= 1 && !on_worker_thread()) {
+    // Single-thread fast path: honor the dependencies (they may still be
+    // running on workers spawned under an earlier, wider configuration),
+    // then run inline with no queue traffic at all.
+    wait(deps, ndeps);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      xblas::ScopedThreadCap cap(1);
+      fn();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    Task done;
+    done.name = name;
+    done.category = category;
+    done.step = step;
+    TaskId id;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      id = next_id_++;
+      ++live_tasks_;
+      auto [it, inserted] = tasks_.emplace(id, std::move(done));
+      finish_task(id, it->second, /*worker_index=*/0,
+                  std::chrono::duration<double>(t0 - record_t0_).count(),
+                  std::chrono::duration<double>(t1 - record_t0_).count());
+    }
+    done_cv_.notify_all();
+    return id;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ensure_workers(w - 1);
+  const TaskId id = next_id_++;
+  Task task;
+  task.fn = std::move(fn);
+  task.name = name;
+  task.category = category;
+  task.step = step;
+  for (std::size_t i = 0; i < ndeps; ++i) {
+    // A still-pending or currently-running dependency blocks the new task
+    // (running tasks keep their map entry until finish_task); a completed
+    // or unknown id is simply ignored.
+    auto it = tasks_.find(deps[i]);
+    if (it != tasks_.end()) {
+      it->second.dependents.push_back(id);
+      ++task.pending_deps;
+    }
+  }
+  const bool ready = task.pending_deps == 0;
+  ++live_tasks_;
+  tasks_.emplace(id, std::move(task));
+  if (ready) {
+    (category == TaskCategory::Lazy ? ready_lazy_ : ready_).push_back(id);
+    lock.unlock();
+    work_cv_.notify_one();
+  }
+  return id;
+}
+
+TaskId TaskPool::pop_ready(bool allow_lazy) {
+  if (!ready_.empty()) {
+    const TaskId id = ready_.front();
+    ready_.pop_front();
+    return id;
+  }
+  if (allow_lazy && !ready_lazy_.empty()) {
+    const TaskId id = ready_lazy_.front();
+    ready_lazy_.pop_front();
+    return id;
+  }
+  return 0;
+}
+
+void TaskPool::finish_task(TaskId id, Task& task, int worker_index, double t0,
+                           double t1) {
+  // Called with mutex_ held.
+  const double dur = t1 > t0 ? t1 - t0 : 0.0;
+  switch (task.category) {
+    case TaskCategory::Urgent: stats_.urgent_busy_s += dur; break;
+    case TaskCategory::Lazy: stats_.lazy_busy_s += dur; break;
+    case TaskCategory::Other: stats_.other_busy_s += dur; break;
+  }
+  ++stats_.tasks_run;
+  if (recording_) {
+    TaskSlice s;
+    s.name = task.name;
+    s.category = task.category;
+    s.step = task.step;
+    s.worker = worker_index;
+    s.start_s = t0;
+    s.end_s = t1;
+    slices_.push_back(std::move(s));
+  }
+  bool woke_ready = false;
+  for (TaskId dep : task.dependents) {
+    auto it = tasks_.find(dep);
+    if (it == tasks_.end()) continue;
+    if (--it->second.pending_deps == 0) {
+      (it->second.category == TaskCategory::Lazy ? ready_lazy_ : ready_)
+          .push_back(dep);
+      woke_ready = true;
+    }
+  }
+  tasks_.erase(id);
+  --live_tasks_;
+  if (woke_ready) work_cv_.notify_all();
+}
+
+void TaskPool::execute_task(TaskId id, Task&& task, int worker_index) {
+  // Called WITHOUT the lock: the caller popped `id` from a ready queue and
+  // moved the map entry's body out (the entry itself stays registered so
+  // wait() and dependency registration keep seeing the task as live).
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    // Pool work never forks nested BLAS teams, even when the helping
+    // master executes it (tuning.hpp, tls_thread_cap).
+    xblas::ScopedThreadCap cap(1);
+    task.fn();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Task& rec = tasks_[id];
+    rec.name = task.name;
+    rec.category = task.category;
+    rec.step = task.step;
+    // New dependents may have been registered on the entry while the task
+    // ran; merge rather than overwrite.
+    rec.dependents.insert(rec.dependents.end(), task.dependents.begin(),
+                          task.dependents.end());
+    finish_task(id, rec, worker_index,
+                std::chrono::duration<double>(t0 - record_t0_).count(),
+                std::chrono::duration<double>(t1 - record_t0_).count());
+  }
+  done_cv_.notify_all();
+}
+
+void TaskPool::wait(const TaskId* ids, std::size_t n) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    bool all_done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ids[i] != 0 && tasks_.count(ids[i]) != 0) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return;
+    // Help with ready non-lazy work instead of blocking: on a machine with
+    // few threads this is what lets the next panel's tasks run while the
+    // workers grind the previous step's lazy remainder.
+    const TaskId ready_id = pop_ready(/*allow_lazy=*/false);
+    if (ready_id != 0) {
+      auto it = tasks_.find(ready_id);
+      Task task = std::move(it->second);
+      it->second.fn = nullptr;  // entry stays until finish_task (wait() keys on it)
+      lock.unlock();
+      execute_task(ready_id, std::move(task), /*worker_index=*/0);
+      lock.lock();
+      continue;
+    }
+    done_cv_.wait(lock);
+  }
+}
+
+void TaskPool::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (live_tasks_ == 0 && job_ == nullptr) return;
+    const TaskId ready_id = pop_ready(/*allow_lazy=*/true);
+    if (ready_id != 0) {
+      auto it = tasks_.find(ready_id);
+      Task task = std::move(it->second);
+      it->second.fn = nullptr;
+      lock.unlock();
+      execute_task(ready_id, std::move(task), /*worker_index=*/0);
+      lock.lock();
+      continue;
+    }
+    done_cv_.wait(lock);
+  }
+}
+
+void TaskPool::run_parallel_job(ParallelJob& job, int team_width) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (job_ != nullptr) {
+    // Re-entrant parallel_for (a helped task spawning one): run inline.
+    lock.unlock();
+    for (index_t i = 0; i < job.total; ++i) job.run(job.ctx, i);
+    return;
+  }
+  ensure_workers(team_width - 1);
+  job_ = &job;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  // Master claims indices alongside the workers.
+  lock.lock();
+  {
+    xblas::ScopedThreadCap cap(1);
+    while (job.next < job.total) {
+      const index_t i = job.next++;
+      lock.unlock();
+      job.run(job.ctx, i);
+      lock.lock();
+      ++job.done;
+    }
+  }
+  while (job.done < job.total) done_cv_.wait(lock);
+  job_ = nullptr;
+}
+
+void TaskPool::worker_main(int worker_index) {
+  tls_on_worker = true;
+  // BLAS calls inside tasks must not spawn nested OpenMP teams: the pool
+  // itself is the parallelism. The per-thread cap also defeats an
+  // XBLAS_THREADS override, which ignores the OpenMP ICV.
+  xblas::set_tls_thread_cap(1);
+#ifdef _OPENMP
+  omp_set_num_threads(1);
+#endif
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_) return;
+    if (job_ != nullptr && job_->next < job_->total) {
+      ParallelJob& job = *job_;
+      const index_t i = job.next++;
+      lock.unlock();
+      job.run(job.ctx, i);
+      lock.lock();
+      if (++job.done == job.total) {
+        lock.unlock();
+        done_cv_.notify_all();
+        lock.lock();
+      }
+      continue;
+    }
+    const TaskId id = pop_ready(/*allow_lazy=*/true);
+    if (id != 0) {
+      auto it = tasks_.find(id);
+      Task task = std::move(it->second);
+      it->second.fn = nullptr;
+      lock.unlock();
+      execute_task(id, std::move(task), worker_index);
+      lock.lock();
+      continue;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void TaskPool::start_recording() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  recording_ = true;
+  slices_.clear();
+  record_t0_ = std::chrono::steady_clock::now();
+}
+
+std::vector<TaskSlice> TaskPool::stop_recording() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  recording_ = false;
+  return std::move(slices_);
+}
+
+void TaskPool::reset_stats() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_ = TaskPoolStats{};
+}
+
+TaskPoolStats TaskPool::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace conflux::sched

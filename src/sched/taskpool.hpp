@@ -1,0 +1,200 @@
+// Persistent dependency-driven task pool for Real-mode execution
+// (DESIGN.md "Pipelined execution and the lookahead time model").
+//
+// The per-step fork/join of the old `parallel_ranks` OpenMP fan-outs paid a
+// team spin-up per phase and — worse — forced a full barrier at every phase
+// boundary, so step t+1's tournament pivoting waited for step t's *entire*
+// Schur gemm even though it only reads the next panel's v columns. The pool
+// replaces that with:
+//
+//   - long-lived workers (std::thread, spawned once and grown on demand,
+//     never torn down between steps or factorizations);
+//   - tasks with fixed decomposition ids and a small explicit dependency
+//     list: a task becomes ready when its dependencies completed, and the
+//     factorization schedules express cross-step ordering (urgent stripe
+//     before next tournament, lazy remainder before the next gather) as
+//     dependencies instead of barriers;
+//   - a category per task (Urgent / Lazy / Other): ready urgent work is
+//     always dequeued before lazy work, so the pipeline's critical path
+//     (next panel) never queues behind bulk trailing updates;
+//   - deterministic results by construction: the pool never chooses *what*
+//     is computed, only *who* runs it — every output element is written by
+//     exactly one task whose decomposition is fixed by the schedule, the
+//     two rules of rank_parallel.hpp.
+//
+// Threading model: the calling ("master") thread is part of the team, as it
+// was under OpenMP. `parallel_for` runs the master plus up to width()-1
+// workers over a fixed index range with no heap allocation; `submit` hands
+// a task to the workers and returns immediately; `wait` blocks the master,
+// helping with ready non-lazy tasks instead of spinning (so a 2-thread
+// machine still overlaps: the worker grinds the lazy gemm while the master
+// executes the next panel's tasks). Workers pin their OpenMP ICV to one
+// thread at startup, so BLAS calls inside tasks never spawn nested teams.
+//
+// Width: omp_get_max_threads() of the calling thread at each use (so
+// omp_set_num_threads keeps working as the knob it always was), overridable
+// via CONFLUX_POOL_THREADS; in non-OpenMP builds the env variable is the
+// only knob and the default width is 1 (serial, matching the old behavior).
+// Width 1 short-circuits everything: parallel_for runs inline and submit
+// executes the task immediately on the caller — the explicit fast path that
+// skips all team machinery for single-chunk work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace conflux::sched {
+
+using TaskId = std::uint64_t;  ///< 0 is never a valid id ("no task")
+
+enum class TaskCategory : std::uint8_t { Other = 0, Urgent = 1, Lazy = 2 };
+
+/// One executed task interval, recorded when tracing is enabled
+/// (wall-clock seconds relative to the recording start).
+struct TaskSlice {
+  std::string name;
+  TaskCategory category = TaskCategory::Other;
+  long long step = -1;     ///< schedule step the task belongs to (-1 = none)
+  int worker = 0;          ///< 0 = master thread, 1.. = pool workers
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Aggregate busy-time accounting since the last reset (always on; two
+/// clock reads per task against task bodies that are whole BLAS calls).
+struct TaskPoolStats {
+  double urgent_busy_s = 0.0;
+  double lazy_busy_s = 0.0;
+  double other_busy_s = 0.0;
+  long long tasks_run = 0;
+  double busy_total_s() const { return urgent_busy_s + lazy_busy_s + other_busy_s; }
+};
+
+class TaskPool {
+ public:
+  /// The process-wide pool (workers are shared across factorizations).
+  static TaskPool& instance();
+
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Team width for work issued right now: env override, else the calling
+  /// thread's omp_get_max_threads() (1 in non-OpenMP builds). Always >= 1.
+  int width() const;
+
+  /// True on a pool worker thread (used by parallel_for to run nested
+  /// parallelism inline, mirroring the old omp_in_parallel() check).
+  static bool on_worker_thread();
+
+  /// Submit a task with explicit dependencies. Completed (or unknown)
+  /// dependency ids are ignored, so callers can pass stale ids freely.
+  /// With width() == 1 the task runs inline before returning (after its
+  /// dependencies, which are then complete by construction).
+  TaskId submit(std::function<void()> fn, const char* name,
+                TaskCategory category, long long step,
+                const TaskId* deps, std::size_t ndeps);
+  TaskId submit(std::function<void()> fn, const char* name,
+                TaskCategory category, long long step,
+                const std::vector<TaskId>& deps) {
+    return submit(std::move(fn), name, category, step, deps.data(), deps.size());
+  }
+
+  /// Block until the given tasks completed; the caller helps execute ready
+  /// Urgent/Other tasks while it waits (never Lazy ones: getting stuck in a
+  /// long trailing update would defeat the lookahead).
+  void wait(const TaskId* ids, std::size_t n);
+  void wait(TaskId id) { wait(&id, 1); }
+  void wait(const std::vector<TaskId>& ids) { wait(ids.data(), ids.size()); }
+  /// Block until every submitted task completed.
+  void wait_all();
+
+  /// Deterministic team execution of body(i) for i in [0, n): the fixed
+  /// chunk decomposition is "one index per task", indices are claimed
+  /// atomically by the master and the workers, and the call returns when
+  /// all n finished. Allocation-free. Runs inline when the width is 1, the
+  /// caller is itself a pool worker, or n < 2.
+  template <typename Body>
+  void parallel_for(index_t n, Body&& body) {
+    if (n <= 0) return;
+    const int w = (n > 1 && !on_worker_thread()) ? width() : 1;
+    if (w <= 1) {
+      for (index_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    ParallelJob job;
+    using B = std::remove_reference_t<Body>;
+    job.run = [](void* ctx, index_t i) { (*static_cast<B*>(ctx))(i); };
+    job.ctx = const_cast<void*>(static_cast<const void*>(std::addressof(body)));
+    job.total = n;
+    run_parallel_job(job, w);
+  }
+
+  /// Start recording executed-task slices (clears any previous recording).
+  void start_recording();
+  /// Stop recording and hand back the slices, ordered by completion.
+  std::vector<TaskSlice> stop_recording();
+
+  void reset_stats();
+  TaskPoolStats stats() const;
+
+ private:
+  TaskPool() = default;
+
+  struct Task {
+    std::function<void()> fn;
+    const char* name = "";
+    TaskCategory category = TaskCategory::Other;
+    long long step = -1;
+    int pending_deps = 0;
+    std::vector<TaskId> dependents;
+  };
+
+  /// Type-erased allocation-free parallel-for job (claimed index by index).
+  struct ParallelJob {
+    void (*run)(void*, index_t) = nullptr;
+    void* ctx = nullptr;
+    index_t total = 0;
+    index_t next = 0;  // next unclaimed index (guarded by mutex_)
+    index_t done = 0;  // completed indices (guarded by mutex_)
+  };
+
+  void run_parallel_job(ParallelJob& job, int team_width);
+  void ensure_workers(int want);  // callers hold mutex_
+  void worker_main(int worker_index);
+  /// Pop the best ready task id (urgent/other before lazy); 0 if none.
+  TaskId pop_ready(bool allow_lazy);
+  void execute_task(TaskId id, Task&& task, int worker_index);
+  void finish_task(TaskId id, Task& task, int worker_index, double t0, double t1);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: new ready work / shutdown
+  std::condition_variable done_cv_;  ///< waiters: a task or job index finished
+  std::vector<std::thread> workers_;
+  std::unordered_map<TaskId, Task> tasks_;  ///< submitted, not yet completed
+  std::deque<TaskId> ready_;       ///< ready Urgent/Other tasks (FIFO)
+  std::deque<TaskId> ready_lazy_;  ///< ready Lazy tasks (FIFO)
+  ParallelJob* job_ = nullptr;     ///< active parallel_for, if any
+  TaskId next_id_ = 1;
+  long long live_tasks_ = 0;  ///< submitted and not yet finished
+  bool stop_ = false;
+
+  bool recording_ = false;
+  std::vector<TaskSlice> slices_;
+  std::chrono::steady_clock::time_point record_t0_;
+  TaskPoolStats stats_;
+};
+
+}  // namespace conflux::sched

@@ -11,11 +11,13 @@ namespace {
 
 /// Per-rank replay state: a CPU clock (program order), one clock per link
 /// direction, the bounded in-flight send window, plus the step and total
-/// accumulators used to re-derive the two machine bounds.
+/// accumulators used to re-derive the two machine bounds. `backlog` is the
+/// lookahead pass's deferred lazy compute (seconds).
 struct RankState {
   double cpu = 0.0;
   double nic_out = 0.0;
   double nic_in = 0.0;
+  double backlog = 0.0;
   std::deque<double> inflight;  // completion times of in-flight sends
 
   // Superstep accumulators (mirror Machine::StepCounters).
@@ -39,14 +41,56 @@ Timeline::Timeline(const EventLog& log, const xsim::MachineSpec& spec,
   expects(spec.num_ranks >= 1, "need at least one rank");
   usage_.assign(static_cast<std::size_t>(spec.num_ranks), RankUsage{});
   labels_ = log.labels();
-  replay(log, opt);
+  raw_ = replay(log, opt, /*lookahead_mode=*/false);
+  {
+    const double lo = std::min(overlap_, bsp_);
+    const double hi = std::max(overlap_, bsp_);
+    modeled_ = std::clamp(raw_, lo, hi);
+  }
+  // Second pass with lazy-phase deferral; clamping into
+  // [overlap, modeled] keeps the four-model ordering by construction. A
+  // log with no "-lazy" phase at all (baselines, micro-logs) would replay
+  // identically, so skip the pass and reuse the primary result.
+  const bool has_lazy = std::any_of(
+      labels_.begin(), labels_.end(),
+      [](const std::string& l) { return l.ends_with("-lazy"); });
+  if (opt.model_lookahead && has_lazy) {
+    raw_lookahead_ = replay(log, opt, /*lookahead_mode=*/true);
+    lookahead_ = std::clamp(raw_lookahead_, std::min(overlap_, modeled_), modeled_);
+  } else {
+    raw_lookahead_ = raw_;
+    lookahead_ = modeled_;
+  }
 }
 
-void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
+double Timeline::replay(const EventLog& log, const TimelineOptions& opt,
+                        bool lookahead_mode) {
   const double alpha = spec_.alpha_s;
   const double beta = spec_.beta_words_per_s;
   const double gamma = spec_.gamma_flops_per_s;
   const int p = spec_.num_ranks;
+  const bool primary = !lookahead_mode;
+
+  // Which interned labels mark the lookahead split's phases.
+  std::vector<std::uint8_t> lazy_label, urgent_label;
+  if (lookahead_mode) {
+    lazy_label.resize(labels_.size(), 0);
+    urgent_label.resize(labels_.size(), 0);
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      lazy_label[i] = labels_[i].ends_with("-lazy") ? 1 : 0;
+      urgent_label[i] = labels_[i].ends_with("-urgent") ? 1 : 0;
+    }
+  }
+  const auto is_lazy = [&](std::int32_t label) {
+    return lookahead_mode && label >= 0 &&
+           static_cast<std::size_t>(label) < lazy_label.size() &&
+           lazy_label[static_cast<std::size_t>(label)] != 0;
+  };
+  const auto is_urgent = [&](std::int32_t label) {
+    return lookahead_mode && label >= 0 &&
+           static_cast<std::size_t>(label) < urgent_label.size() &&
+           urgent_label[static_cast<std::size_t>(label)] != 0;
+  };
 
   std::vector<RankState> rank(static_cast<std::size_t>(p));
   std::vector<int> touched;
@@ -64,6 +108,18 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
   // applied lazily when a rank is first touched in the next step.
   double global_floor = 0.0;
   double chain_rounds = 0.0;
+  double bsp_acc = 0.0;
+  long long steps_acc = 0;
+
+  // Raise a rank's CPU clock to a wait target: in the lookahead pass the
+  // stall first drains deferred lazy work "for free" (the pipelined
+  // executor fills exactly these gaps with the lazy remainder).
+  const auto raise_cpu = [&](RankState& s, double target) {
+    if (target <= s.cpu) return;
+    const double absorb = std::min(target - s.cpu, s.backlog);
+    s.backlog -= absorb;
+    s.cpu = target;
+  };
 
   const auto touch = [&](int r) -> RankState& {
     expects(r >= 0 && r < p, "event rank out of range");
@@ -71,14 +127,14 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
     if (!s.touched) {
       s.touched = true;
       touched.push_back(r);
-      if (opt.global_barriers) s.cpu = std::max(s.cpu, global_floor);
+      if (opt.global_barriers) raise_cpu(s, global_floor);
     }
     return s;
   };
 
   const auto add_slice = [&](std::int32_t r, Slice::Track track, const Event& e,
                              double start, double dur) {
-    if (!opt.record_slices) return;
+    if (!primary || !opt.record_slices) return;
     Slice s;
     s.rank = r;
     s.track = track;
@@ -88,7 +144,7 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
     s.duration_s = dur;
     s.words = e.words;
     s.flops = e.flops;
-    s.step = steps_;
+    s.step = steps_acc;
     slices_.push_back(s);
   };
 
@@ -99,11 +155,11 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
     const double done = start + cost;
     s.nic_out = done;
     if (opt.max_outstanding <= 0) {
-      s.cpu = std::max(s.cpu, done);
+      raise_cpu(s, done);
     } else {
       s.inflight.push_back(done);
       while (static_cast<int>(s.inflight.size()) > opt.max_outstanding) {
-        s.cpu = std::max(s.cpu, s.inflight.front());
+        raise_cpu(s, s.inflight.front());
         s.inflight.pop_front();
       }
     }
@@ -120,7 +176,7 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
       const double start = std::max(s.nic_in, send_frontier);
       s.nic_in = start + cost;
       add_slice(e.rank, Slice::Track::In, e, start, cost);
-      usage_[static_cast<std::size_t>(e.rank)].recv_busy_s += cost;
+      if (primary) usage_[static_cast<std::size_t>(e.rank)].recv_busy_s += cost;
       s.step_recv += e.words;
       s.step_msgs += e.messages;
       s.total_recv += e.words;
@@ -133,11 +189,25 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
       case EventKind::Compute: {
         RankState& s = touch(e.rank);
         const double cost = e.flops / gamma;
-        add_slice(e.rank, Slice::Track::Cpu, e, s.cpu, cost);
-        s.cpu += cost;
+        if (is_lazy(e.label)) {
+          // Deferred: the lazy remainder runs whenever this rank would
+          // otherwise idle; it never delays the events that follow it.
+          s.backlog += cost;
+        } else {
+          if (is_urgent(e.label)) {
+            // The urgent stripe of the next step writes cells the lazy
+            // remainder also writes: the pipelined executor orders them, so
+            // the model pays any leftover backlog first.
+            s.cpu += s.backlog;
+            s.backlog = 0.0;
+          }
+          add_slice(e.rank, Slice::Track::Cpu, e, s.cpu, cost);
+          s.cpu += cost;
+        }
         s.step_flops += e.flops;
         s.total_flops += e.flops;
-        usage_[static_cast<std::size_t>(e.rank)].compute_busy_s += cost;
+        if (primary)
+          usage_[static_cast<std::size_t>(e.rank)].compute_busy_s += cost;
         break;
       }
       case EventKind::Transfer: {
@@ -147,7 +217,7 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
         const double send_start = std::max(src.nic_out, src.cpu);
         const double done = push_send(src, cost);
         add_slice(e.rank, Slice::Track::Out, e, send_start, cost);
-        usage_[static_cast<std::size_t>(e.rank)].send_busy_s += cost;
+        if (primary) usage_[static_cast<std::size_t>(e.rank)].send_busy_s += cost;
         // Matched ingress, cut-through: the receiver's link streams the
         // words while the sender pushes them (first byte after alpha), so an
         // uncontended receive finishes with the send; a busy ingress link
@@ -157,7 +227,8 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
         const double in_done = std::max(in_start + in_cost, done);
         dst.nic_in = in_done;
         add_slice(e.peer, Slice::Track::In, e, in_start, in_done - in_start);
-        usage_[static_cast<std::size_t>(e.peer)].recv_busy_s += in_cost;
+        if (primary)
+          usage_[static_cast<std::size_t>(e.peer)].recv_busy_s += in_cost;
         src.step_sent += e.words;
         src.step_msgs += 1;
         dst.step_recv += e.words;
@@ -172,7 +243,7 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
         const double start = std::max(s.nic_out, s.cpu);
         push_send(s, cost);
         add_slice(e.rank, Slice::Track::Out, e, start, cost);
-        usage_[static_cast<std::size_t>(e.rank)].send_busy_s += cost;
+        if (primary) usage_[static_cast<std::size_t>(e.rank)].send_busy_s += cost;
         s.step_sent += e.words;
         s.step_msgs += e.messages;
         s.total_sent += e.words;
@@ -197,8 +268,11 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
           const double t = alpha * static_cast<double>(s.step_msgs) +
                            comm_words / beta + s.step_flops / gamma;
           step_bsp = std::max(step_bsp, t);
-          // Event semantics: the rank drains its own links, then proceeds.
-          s.cpu = std::max({s.cpu, s.nic_out, s.nic_in});
+          // Event semantics: the rank drains its own links, then proceeds
+          // (in the lookahead pass the drain soaks up deferred lazy work;
+          // the backlog itself survives the barrier — lazy remainders run
+          // past their own superstep, that is the whole point).
+          raise_cpu(s, std::max(s.nic_out, s.nic_in));
           s.inflight.clear();
           step_end = std::max(step_end, s.cpu);
           s.step_sent = s.step_recv = s.step_flops = 0.0;
@@ -206,19 +280,19 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
           s.touched = false;
         }
         touched.clear();
-        bsp_ += step_bsp;
+        bsp_acc += step_bsp;
         if (opt.global_barriers) global_floor = std::max(global_floor, step_end);
         send_frontier = 0.0;
-        if (opt.record_slices) {
+        if (primary && opt.record_slices) {
           Slice s;
           s.rank = -1;  // machine-wide step marker
           s.kind = EventKind::Barrier;
           s.label = e.label;
           s.start_s = step_end;
-          s.step = steps_;
+          s.step = steps_acc;
           slices_.push_back(s);
         }
-        ++steps_;
+        ++steps_acc;
         break;
       }
     }
@@ -229,20 +303,24 @@ void Timeline::replay(const EventLog& log, const TimelineOptions& opt) {
   flush_recvs();
 
   // Finish times and the two analytic bounds.
+  double raw = 0.0;
   double overlap_worst = 0.0;
   for (int r = 0; r < p; ++r) {
-    const RankState& s = rank[static_cast<std::size_t>(r)];
-    RankUsage& u = usage_[static_cast<std::size_t>(r)];
-    u.finish_s = std::max({s.cpu, s.nic_out, s.nic_in});
-    raw_ = std::max(raw_, u.finish_s);
+    RankState& s = rank[static_cast<std::size_t>(r)];
+    s.cpu += s.backlog;  // residual deferred lazy work is paid at the end
+    s.backlog = 0.0;
+    const double finish = std::max({s.cpu, s.nic_out, s.nic_in});
+    raw = std::max(raw, finish);
+    if (primary) usage_[static_cast<std::size_t>(r)].finish_s = finish;
     const double vol = std::max(s.total_sent, s.total_recv);
     overlap_worst = std::max(overlap_worst, vol / beta + s.total_flops / gamma);
   }
-  overlap_ = overlap_worst + alpha * chain_rounds;
-
-  const double lo = std::min(overlap_, bsp_);
-  const double hi = std::max(overlap_, bsp_);
-  modeled_ = std::clamp(raw_, lo, hi);
+  if (primary) {
+    bsp_ = bsp_acc;
+    steps_ = steps_acc;
+    overlap_ = overlap_worst + alpha * chain_rounds;
+  }
+  return raw;
 }
 
 }  // namespace conflux::sched

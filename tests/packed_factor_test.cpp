@@ -1,17 +1,25 @@
 // Regression coverage for the packed trailing-workspace Real-mode data path
-// (DESIGN.md "Packed trailing workspace"):
+// (DESIGN.md "Packed trailing workspace" / "Pipelined execution"):
 //  - factors are bitwise identical to a serial golden-path recomputation
 //    that mirrors the schedule's arithmetic step by step (dominant matrices
 //    pin the tournament to the natural pivot order, so the golden path is
 //    an ordinary blocked right-looking factorization with the schedule's
-//    exact call shapes);
-//  - factors are bitwise identical across OMP thread counts and across
-//    replication depths pz (the packed path's arithmetic is z-fused, so pz
-//    affects only the cost counters);
+//    exact call shapes — including the urgent/lazy Schur split);
+//  - factors are bitwise identical across OMP thread counts, across
+//    replication depths pz, and with lookahead pipelining on vs off (the
+//    task decomposition is fixed; only who-runs-when changes);
 //  - the recorded peak workspace stays near npad^2-scale (LU: trail +
-//    lstore; Cholesky: the single fused buffer), not (pz + 1) * npad^2.
+//    lstore + the double-buffered pivot-row panel; Cholesky: the single
+//    fused buffer), not (pz + 1) * npad^2;
+//  - the steady state allocates nothing: the per-run scratch (tournament
+//    gathers, retirement pairs, grid-line caches) is sized once, so the
+//    heap-allocation count of a run does not depend on the step count.
 // Shapes are deliberately ragged (n not a multiple of v) and pz in {1,2,4}.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
@@ -23,6 +31,27 @@
 #ifdef _OPENMP
 #include <omp.h>
 #endif
+
+// Global allocation counter: the replaceable ordinary operator new/delete
+// pair is overridden for this test binary only, so the steady-state test
+// below can assert that a factorization's allocation count is independent
+// of its step count. (The default array and nothrow forms forward to the
+// ordinary form, so counting here covers them too.)
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace conflux::factor {
 namespace {
@@ -80,9 +109,27 @@ MatrixD golden_lu(const MatrixD& a, index_t n, index_t v, int ranks) {
       xblas::trsm(Side::Left, UpLo::Lower, Trans::None, Diag::Unit, 1.0,
                   a00.view(), w.block(o, o + v + lo, v, cnt));
     }
-    xblas::gemm(Trans::None, Trans::None, -1.0, w.block(o + v, o, arows, v),
-                w.block(o, o + v, v, ncols), 1.0,
-                w.block(o + v, o + v, arows, ncols));
+    // Schur update in the schedule's canonical decomposition: the urgent
+    // stripe (the next panel's v columns), then the lazy remainder, each in
+    // fixed kRowBlock row-block pieces (conflux_lu.cpp update_a11).
+    const index_t nblocks = sched::num_row_blocks(arows);
+    for (index_t blk = 0; blk < nblocks; ++blk) {
+      const index_t i0 = blk * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, arows - i0);
+      xblas::gemm(Trans::None, Trans::None, -1.0,
+                  w.block(o + v + i0, o, bn, v), w.block(o, o + v, v, v), 1.0,
+                  w.block(o + v + i0, o + v, bn, v));
+    }
+    if (ncols > v) {
+      for (index_t blk = 0; blk < nblocks; ++blk) {
+        const index_t i0 = blk * sched::kRowBlock;
+        const index_t bn = std::min(sched::kRowBlock, arows - i0);
+        xblas::gemm(Trans::None, Trans::None, -1.0,
+                    w.block(o + v + i0, o, bn, v),
+                    w.block(o, o + 2 * v, v, ncols - v), 1.0,
+                    w.block(o + v + i0, o + 2 * v, bn, ncols - v));
+      }
+    }
   }
   MatrixD out(n, n);
   copy<double>(w.block(0, 0, n, n), out.view());
@@ -121,18 +168,48 @@ MatrixD golden_chol(const MatrixD& a, index_t n, index_t v, int ranks) {
       xblas::trsm(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit,
                   1.0, a00.view(), w.block(o + v + lo, o, cnt, v));
     }
+    // Symmetric Schur update in the schedule's canonical decomposition:
+    // per fixed kRowBlock row block, the urgent piece (its cells in the
+    // next panel's v columns) then the lazy remainder (confchox.cpp
+    // update_a11).
     const index_t off = o + v;
     const index_t nblocks = sched::num_row_blocks(panel_rows);
     for (index_t blk = 0; blk < nblocks; ++blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
-      if (i0 > 0) {
+      if (i0 == 0) {
+        const index_t dn = std::min(v, bn);
+        xblas::syrk(UpLo::Lower, Trans::None, -1.0, w.block(off, o, dn, v),
+                    1.0, w.block(off, off, dn, dn));
+        if (bn > v) {
+          xblas::gemm(Trans::None, Trans::Transpose, -1.0,
+                      w.block(off + v, o, bn - v, v), w.block(off, o, v, v),
+                      1.0, w.block(off + v, off, bn - v, v));
+        }
+      } else {
         xblas::gemm(Trans::None, Trans::Transpose, -1.0,
-                    w.block(off + i0, o, bn, v), w.block(off, o, i0, v), 1.0,
-                    w.block(off + i0, off, bn, i0));
+                    w.block(off + i0, o, bn, v), w.block(off, o, v, v), 1.0,
+                    w.block(off + i0, off, bn, v));
       }
-      xblas::syrk(UpLo::Lower, Trans::None, -1.0, w.block(off + i0, o, bn, v),
-                  1.0, w.block(off + i0, off + i0, bn, bn));
+    }
+    for (index_t blk = 0; blk < nblocks; ++blk) {
+      const index_t i0 = blk * sched::kRowBlock;
+      const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
+      if (i0 == 0) {
+        if (bn > v) {
+          xblas::syrk(UpLo::Lower, Trans::None, -1.0,
+                      w.block(off + v, o, bn - v, v), 1.0,
+                      w.block(off + v, off + v, bn - v, bn - v));
+        }
+      } else {
+        if (i0 > v) {
+          xblas::gemm(Trans::None, Trans::Transpose, -1.0,
+                      w.block(off + i0, o, bn, v), w.block(off + v, o, i0 - v, v),
+                      1.0, w.block(off + i0, off + v, bn, i0 - v));
+        }
+        xblas::syrk(UpLo::Lower, Trans::None, -1.0, w.block(off + i0, o, bn, v),
+                    1.0, w.block(off + i0, off + i0, bn, bn));
+      }
     }
   }
   MatrixD out(n, n, 0.0);
@@ -321,17 +398,110 @@ TEST(PackedFp32, WorkspaceReportsHalvedFootprint) {
 
 TEST(PackedWorkspace, PeakWordsStayNearTwoMatricesForLu) {
   // Old data path: (pz + 1) * npad^2 resident words. Packed path: trail +
-  // lstore + the pivot-row arena, independent of pz.
+  // lstore + the double-buffered pivot-row arena (two O(npad * v) slots so
+  // lookahead's lazy tasks can outlive the step), independent of pz.
   const index_t n = 96, v = 16;
   const double npad2 = static_cast<double>(n) * static_cast<double>(n);
+  const double slots = 2.5 * static_cast<double>(n) * static_cast<double>(v);
   for (const int pz : {1, 4}) {
     const grid::Grid3D g(2, 2, pz);
     xsim::Machine m = make_machine(g, n);
     const MatrixD a = random_matrix(n, n, 71);
     const LuResult lu = conflux_lu(m, g, a.view(), FactorOptions{.block_size = v});
     EXPECT_GE(lu.workspace_words, 2.0 * npad2) << "pz=" << pz;
-    EXPECT_LE(lu.workspace_words, 2.2 * npad2) << "pz=" << pz;
+    EXPECT_LE(lu.workspace_words, 2.0 * npad2 + slots) << "pz=" << pz;
   }
+}
+
+// ------------------------------------------------ lookahead invariance ----
+
+TEST(Lookahead, FactorsBitwiseIdenticalWithLookaheadOnAndOff) {
+  // The urgent/lazy task decomposition is fixed; lookahead only changes
+  // which worker runs a task when, so every factor bit must agree across
+  // lookahead on/off, thread counts, and replication depths.
+  const index_t n = 100, v = 16;
+  const MatrixD a = random_matrix(n, n, 91);
+  const MatrixD spd = random_spd_matrix(n, 97);
+
+  LuResult lu_ref;
+  CholResult ch_ref;
+  bool have_ref = false;
+  for (const int pz : {1, 2}) {
+    for (const int threads : {1, 4}) {
+      for (const int lookahead : {0, 1}) {
+        const grid::Grid3D g(2, 2, pz);
+#ifdef _OPENMP
+        const int saved = omp_get_max_threads();
+        omp_set_num_threads(threads);
+#else
+        (void)threads;
+#endif
+        FactorOptions opt;
+        opt.block_size = v;
+        opt.lookahead = lookahead;
+        xsim::Machine mlu = make_machine(g, n);
+        xsim::Machine mch = make_machine(g, n);
+        LuResult lu = conflux_lu(mlu, g, a.view(), opt);
+        CholResult ch = confchox(mch, g, spd.view(), opt);
+#ifdef _OPENMP
+        omp_set_num_threads(saved);
+#endif
+        if (!have_ref) {
+          lu_ref = std::move(lu);
+          ch_ref = std::move(ch);
+          have_ref = true;
+          continue;
+        }
+        EXPECT_EQ(lu_ref.perm, lu.perm)
+            << "pz=" << pz << " threads=" << threads << " la=" << lookahead;
+        EXPECT_EQ(lu_ref.factors, lu.factors)
+            << "pz=" << pz << " threads=" << threads << " la=" << lookahead;
+        EXPECT_EQ(ch_ref.factors, ch.factors)
+            << "pz=" << pz << " threads=" << threads << " la=" << lookahead;
+      }
+    }
+  }
+}
+
+// ------------------------------------------- steady-state allocations ----
+
+TEST(PackedWorkspace, SteadyStateAllocationCountIsStepIndependent) {
+  // Every per-step buffer — tournament gathers, candidate sets, retirement
+  // pairs, pivot-row panels, grid-line groups — lives in per-run scratch
+  // sized at its step-0 high-water mark, so the number of heap allocations
+  // a run performs must not depend on how many steps it has. Single thread
+  // and lookahead off: task submission boxes closures on the heap by
+  // design, and worker TLS warm-up is thread-assignment dependent (the
+  // CONFLUX_LOOKAHEAD CI legs cover the pipelined path's correctness).
+  const index_t v = 16;
+  const grid::Grid3D g(2, 2, 2);
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const auto allocs_for = [&](index_t n) {
+    const MatrixD a =
+        random_dominant_matrix(n, 200 + static_cast<std::uint64_t>(n));
+    xsim::Machine m = make_machine(g, n);
+    FactorOptions opt;
+    opt.block_size = v;
+    opt.lookahead = 0;
+    const long long before = g_alloc_count.load(std::memory_order_relaxed);
+    const LuResult lu = conflux_lu(m, g, a.view(), opt);
+    const long long during =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(lu.factors.rows(), n);
+    return during;
+  };
+  // Warm up at the LARGEST size so the BLAS thread-local pack buffers are
+  // already at their high-water marks for both measured runs.
+  allocs_for(10 * v);
+  const long long steps8 = allocs_for(8 * v);
+  const long long steps10 = allocs_for(10 * v);
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+  EXPECT_EQ(steps8, steps10);
 }
 
 TEST(PackedWorkspace, PeakWordsStayNearOneMatrixForCholesky) {
