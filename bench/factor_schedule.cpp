@@ -82,6 +82,12 @@ struct Row {
   double ir_backward_error = 0.0;
   double direct_backward_error = 0.0;
   double fp32_wall_s = 0.0;  // fp32 factorization wall time (same schedule)
+  // Degradation-ladder record (ISSUE 6): the solve leg runs through the
+  // _ex ladder driver, so fallback engagement is measured, and the healthy
+  // gate below asserts it stays at zero on these well-conditioned inputs.
+  long long ladder_solves = 0;
+  long long ladder_fp64_fallbacks = 0;
+  bool fallback_engaged = false;
 };
 
 xsim::MachineSpec spec_for(const Cell& c) {
@@ -203,12 +209,23 @@ Row run_cell(const std::string& algo, const Cell& c, int reps, bool serial_basel
       }
     };
     row.fp32_wall_s = best_wall(reps, fp32_run);
+    // The solve goes through the degradation-ladder driver with the fp64
+    // fallback armed: on these healthy inputs the fp32 + refinement rung
+    // must deliver, and the counters prove it (zero-fallbacks gate below).
+    factor::reset_mixed_counters();
     MatrixD bx = b0;
-    const factor::RefineReport rep =
-        lu ? factor::refine_lu(luf, a.view(), bx.view())
-           : factor::refine_cholesky(cholf, a.view(), bx.view());
-    row.ir_steps = rep.steps;
-    row.ir_backward_error = rep.backward_error;
+    factor::MixedSolveOptions mopt;
+    mopt.factor = opt;
+    xsim::Machine ms(spec, xsim::ExecMode::Real);
+    const factor::MixedSolveReport mrep =
+        lu ? factor::conflux_lu_solve_mixed_ex(ms, g, a.view(), bx.view(), mopt)
+           : factor::confchox_solve_mixed_ex(ms, g, a.view(), bx.view(), mopt);
+    row.ir_steps = mrep.refine.steps;
+    row.ir_backward_error = mrep.refine.backward_error;
+    row.fallback_engaged = mrep.fp64_fallback;
+    const factor::MixedCounters mc = factor::mixed_counters();
+    row.ladder_solves = mc.solves;
+    row.ladder_fp64_fallbacks = mc.fp64_fallbacks;
 
     MatrixD bd = b0;
     if (lu) {
@@ -263,9 +280,11 @@ void print_row(const Row& r) {
       r.lookahead_wall_s > 0.0 ? r.lookahead_wall_s / r.real_wall_s : 0.0,
       r.la_urgent_busy_s, r.la_lazy_busy_s, r.la_other_busy_s, r.la_idle_s);
   std::printf(
-      "            fp32 factor %.3fs (%.2fx) | IR %d steps, berr %.2e vs direct %.2e\n",
+      "            fp32 factor %.3fs (%.2fx) | IR %d steps, berr %.2e vs direct"
+      " %.2e | fp64 fallbacks %lld/%lld\n",
       r.fp32_wall_s, r.fp32_wall_s > 0.0 ? r.real_wall_s / r.fp32_wall_s : 0.0,
-      r.ir_steps, r.ir_backward_error, r.direct_backward_error);
+      r.ir_steps, r.ir_backward_error, r.direct_backward_error,
+      r.ladder_fp64_fallbacks, r.ladder_solves);
 }
 
 bool write_json(const std::string& path, const std::vector<Row>& rows) {
@@ -293,6 +312,8 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
         << ", \"ir_steps\": " << r.ir_steps
         << ", \"ir_backward_error\": " << r.ir_backward_error
         << ", \"direct_backward_error\": " << r.direct_backward_error
+        << ", \"ladder_solves\": " << r.ladder_solves
+        << ", \"fp64_fallbacks\": " << r.ladder_fp64_fallbacks
         << ", \"threads\": " << r.threads << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -401,6 +422,17 @@ int main(int argc, char** argv) {
                    "(steps %d, berr %.3e vs direct %.3e)\n",
                    r.algo.c_str(), static_cast<long long>(r.cell.n), r.ir_steps,
                    r.ir_backward_error, r.direct_backward_error);
+      return 1;
+    }
+    // Degradation-ladder gate (ISSUE 6): the bench inputs are healthy and
+    // well conditioned, so the fp64 rung engaging would mean either a
+    // numerics regression or an over-eager breakdown classifier.
+    if (r.fallback_engaged || r.ladder_fp64_fallbacks != 0) {
+      std::fprintf(stderr,
+                   "error: fp64 fallback engaged on a healthy input for %s "
+                   "n=%lld (%lld of %lld solves)\n",
+                   r.algo.c_str(), static_cast<long long>(r.cell.n),
+                   r.ladder_fp64_fallbacks, r.ladder_solves);
       return 1;
     }
   }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
 #include "support/check.hpp"
+#include "support/status.hpp"
 #include "xsim/comm.hpp"
 
 namespace conflux::baselines {
@@ -29,6 +31,7 @@ struct Run2D {
   bool real;
   Matrix<T> a;  // Real mode: the global matrix, factored in place
   Rng rng{42};  // Trace mode: pivot positions drawn uniformly
+  factor::FactorHealth health;  // Real mode: soft-breakdown classification
 
   int prow_of_row(index_t i) const { return static_cast<int>((i / nb) % g.pr); }
   int pcol_of_col(index_t j) const { return static_cast<int>((j / nb) % g.pc); }
@@ -115,10 +118,21 @@ void lu_panel(Run2D<T>& run, index_t k0, index_t kb, std::vector<index_t>& ipiv,
     if (run.real) {
       const T pivval = run.a(j, j);
       if (pivval != T{}) {
+        const double d = std::abs(static_cast<double>(pivval));
+        if (d < run.health.min_pivot) run.health.min_pivot = d;
         for (index_t i = j + 1; i < run.n; ++i) {
           const T lij = run.a(i, j) / pivval;
           run.a(i, j) = lij;
           for (index_t c = j + 1; c < k0 + kb; ++c) run.a(i, c) -= lij * run.a(j, c);
+        }
+      } else {
+        // LAPACK dgetrf info semantics: the elimination is skipped, the
+        // factors stay finite, and the breakdown is soft.
+        ++run.health.singular_pivots;
+        run.health.min_pivot = 0.0;
+        run.health.code = StatusCode::kSingularPivot;
+        if (run.health.first_breakdown_step < 0) {
+          run.health.first_breakdown_step = static_cast<long long>(k0 / run.nb);
         }
       }
     }
@@ -231,8 +245,18 @@ Lu2DResultT<T> run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n,
   Run2D<T> run{m, g, n, nb, m.real(), Matrix<T>()};
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.health.min_pivot = std::numeric_limits<double>::infinity();
     run.a = Matrix<T>(n, n);
-    copy<T>(a, run.a.view());
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        const T val = a(i, j);
+        if (!std::isfinite(static_cast<double>(val))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite, "input matrix contains a non-finite value"));
+        }
+        run.a(i, j) = val;
+      }
+    }
   }
   // Per-rank memory: the local 2D share plus panel buffers.
   const double local_words =
@@ -260,7 +284,11 @@ Lu2DResultT<T> run_lu(xsim::Machine& m, const grid::Grid2D& g, index_t n,
     lu_update(run, k0, kb);
   }
   for (int r = 0; r < m.ranks(); ++r) m.release(r, local_words);
-  if (run.real) result.factors = std::move(run.a);
+  if (run.real) {
+    result.factors = std::move(run.a);
+    if (!std::isfinite(run.health.min_pivot)) run.health.min_pivot = 0.0;
+    result.health = run.health;
+  }
   return result;
 }
 
@@ -279,8 +307,22 @@ void chol_update(Run2D<T>& run, index_t k0, index_t kb) {
                           static_cast<double>(kb * kb));
   }
   if (run.real) {
-    check(xblas::potrf<T>(run.a.block(k0, k0, kb, kb)) == 0,
-          "matrix is not positive definite at this block");
+    for (index_t i = 0; i < kb; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        if (!std::isfinite(static_cast<double>(run.a(k0 + i, k0 + j)))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite,
+              "non-finite value in the diagonal block entering potrf",
+              static_cast<long long>(k0 / run.nb)));
+        }
+      }
+    }
+    if (xblas::potrf<T>(run.a.block(k0, k0, kb, kb)) != 0) {
+      throw status_error(Status(
+          StatusCode::kNotPositiveDefinite,
+          "diagonal block is not positive definite",
+          static_cast<long long>(k0 / run.nb)));
+    }
   }
   if (rest > 0) {
     // Panel trsm L21 = A21 L11^{-T} on the owner process column.
@@ -341,7 +383,14 @@ Matrix<T> run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n,
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
     run.a = Matrix<T>(n, n, T{});
     for (index_t i = 0; i < n; ++i) {
-      for (index_t j = 0; j <= i; ++j) run.a(i, j) = a(i, j);
+      for (index_t j = 0; j <= i; ++j) {
+        const T val = a(i, j);
+        if (!std::isfinite(static_cast<double>(val))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite, "input matrix contains a non-finite value"));
+        }
+        run.a(i, j) = val;
+      }
     }
   }
   const double local_words =
@@ -353,10 +402,15 @@ Matrix<T> run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n,
   const double panel_chain =
       2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.pr)))) +
       std::ceil(std::log2(static_cast<double>(std::max(2, g.pc))));
-  for (index_t k0 = 0; k0 < n; k0 += nb) {
-    const index_t kb = std::min(nb, n - k0);
-    m.charge_chain(panel_chain);
-    chol_update(run, k0, kb);
+  try {
+    for (index_t k0 = 0; k0 < n; k0 += nb) {
+      const index_t kb = std::min(nb, n - k0);
+      m.charge_chain(panel_chain);
+      chol_update(run, k0, kb);
+    }
+  } catch (...) {
+    for (int r = 0; r < m.ranks(); ++r) m.release(r, local_words);
+    throw;
   }
   for (int r = 0; r < m.ranks(); ++r) m.release(r, local_words);
   Matrix<T> out;
@@ -367,6 +421,38 @@ Matrix<T> run_chol(xsim::Machine& m, const grid::Grid2D& g, index_t n,
     }
   }
   return out;
+}
+
+template <typename T>
+Result<Lu2DResultT<T>> try_lu2d(xsim::Machine& m, const grid::Grid2D& g,
+                                ConstMatrixView<T> a,
+                                const Baseline2DOptions& opt) {
+  try {
+    expects(m.real(), "try_scalapack_lu requires Real mode");
+    Lu2DResultT<T> r = run_lu<T>(m, g, a.rows(), a, opt);
+    if (!r.health.ok()) {
+      Status st = r.health.to_status();
+      return Result<Lu2DResultT<T>>(std::move(st), std::move(r));
+    }
+    return std::move(r);
+  } catch (const status_error& e) {
+    return e.status();
+  } catch (const contract_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+template <typename T>
+Result<Matrix<T>> try_chol2d(xsim::Machine& m, const grid::Grid2D& g,
+                             ConstMatrixView<T> a, const Baseline2DOptions& opt) {
+  try {
+    expects(m.real(), "try_scalapack_cholesky requires Real mode");
+    return run_chol<T>(m, g, a.rows(), a, opt);
+  } catch (const status_error& e) {
+    return e.status();
+  } catch (const contract_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
 }
 
 }  // namespace
@@ -381,6 +467,16 @@ Lu2DResultF scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
                          const Baseline2DOptions& opt) {
   expects(m.real(), "scalapack_lu with a matrix requires Real mode");
   return run_lu<float>(m, g, a.rows(), a, opt);
+}
+
+Result<Lu2DResult> try_scalapack_lu(xsim::Machine& m, const grid::Grid2D& g,
+                                    ConstViewD a, const Baseline2DOptions& opt) {
+  return try_lu2d<double>(m, g, a, opt);
+}
+
+Result<Lu2DResultF> try_scalapack_lu(xsim::Machine& m, const grid::Grid2D& g,
+                                     ConstViewF a, const Baseline2DOptions& opt) {
+  return try_lu2d<float>(m, g, a, opt);
 }
 
 Lu2DResult scalapack_lu_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
@@ -399,6 +495,16 @@ MatrixF scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a
                            const Baseline2DOptions& opt) {
   expects(m.real(), "scalapack_cholesky with a matrix requires Real mode");
   return run_chol<float>(m, g, a.rows(), a, opt);
+}
+
+Result<MatrixD> try_scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g,
+                                       ConstViewD a, const Baseline2DOptions& opt) {
+  return try_chol2d<double>(m, g, a, opt);
+}
+
+Result<MatrixF> try_scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g,
+                                       ConstViewF a, const Baseline2DOptions& opt) {
+  return try_chol2d<float>(m, g, a, opt);
 }
 
 void scalapack_cholesky_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,

@@ -26,6 +26,11 @@ template <typename T>
 struct Lu2DResultT {
   std::vector<index_t> ipiv;  ///< LAPACK-style interchanges
   Matrix<T> factors;          ///< Real mode: in-place LU after swaps
+  /// Real mode: soft-breakdown classification. The right-looking panel
+  /// guards its divisions (a zero pivot skips the elimination, LAPACK
+  /// dgetrf info semantics), so exact singularity stays a SOFT breakdown
+  /// here — unlike COnfLUX, whose panel trsms would divide by the zero.
+  factor::FactorHealth health;
 };
 
 using Lu2DResult = Lu2DResultT<double>;
@@ -39,6 +44,14 @@ Lu2DResult scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a,
 Lu2DResultF scalapack_lu(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
                          const Baseline2DOptions& opt = {});
 
+/// Non-throwing variants: non-finite input comes back as a failed Result,
+/// exact singularity as a degraded Result (completed factors + health),
+/// contract violations as kInvalidArgument.
+Result<Lu2DResult> try_scalapack_lu(xsim::Machine& m, const grid::Grid2D& g,
+                                    ConstViewD a, const Baseline2DOptions& opt = {});
+Result<Lu2DResultF> try_scalapack_lu(xsim::Machine& m, const grid::Grid2D& g,
+                                     ConstViewF a, const Baseline2DOptions& opt = {});
+
 /// Trace-mode LU: charges the identical schedule without data.
 Lu2DResult scalapack_lu_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
                               const Baseline2DOptions& opt = {});
@@ -48,6 +61,16 @@ MatrixD scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewD a
                            const Baseline2DOptions& opt = {});
 MatrixF scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g, ConstViewF a,
                            const Baseline2DOptions& opt = {});
+
+/// Non-throwing Cholesky: kNotPositiveDefinite / kNonFinite as a failed
+/// Result instead of an exception.
+Result<MatrixD> try_scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g,
+                                       ConstViewD a,
+                                       const Baseline2DOptions& opt = {});
+Result<MatrixF> try_scalapack_cholesky(xsim::Machine& m, const grid::Grid2D& g,
+                                       ConstViewF a,
+                                       const Baseline2DOptions& opt = {});
+
 void scalapack_cholesky_trace(xsim::Machine& m, const grid::Grid2D& g, index_t n,
                               const Baseline2DOptions& opt = {});
 

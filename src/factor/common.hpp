@@ -8,6 +8,7 @@
 
 #include "grid/grid.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 #include "tensor/matrix.hpp"
 #include "xsim/machine.hpp"
 
@@ -30,6 +31,16 @@ struct FactorOptions {
   /// the task decomposition — and therefore every factor bit — is
   /// identical; only the execution schedule changes.
   int lookahead = -1;
+  /// Near-singular pivot threshold, relative to the input's max magnitude:
+  /// a pivot |u_kk| < pivot_tolerance * max|A| after tournament selection
+  /// flags the result kNearSingularPivot (health only — the factorization
+  /// completes). 0 disables the relative check; exact zeros are always
+  /// classified.
+  double pivot_tolerance = 0.0;
+  /// Pivot-growth limit: max|U| / max|A| beyond this flags kGrowthOverflow.
+  /// 0 = auto, 1 / (8 * eps_T) — growth that wipes out all but ~3 bits of
+  /// the working precision; partial pivoting keeps real inputs far below it.
+  double growth_limit = 0.0;
 };
 
 /// Resolve FactorOptions::lookahead against CONFLUX_LOOKAHEAD.
@@ -57,6 +68,35 @@ constexpr double words_per_scalar() {
   return static_cast<double>(sizeof(T)) / static_cast<double>(sizeof(double));
 }
 
+/// Numerical-health report of one Real-mode factorization (DESIGN.md
+/// "Failure model and degradation ladder"). Soft breakdowns — the factors
+/// exist and are bitwise identical to an unchecked run, but their quality
+/// is suspect — are recorded here rather than thrown: kSingularPivot (an
+/// exactly zero pivot survived to the final step; earlier zeros throw,
+/// since the panel trsm would divide by zero), kNearSingularPivot (below
+/// FactorOptions::pivot_tolerance), kGrowthOverflow. Hard breakdowns
+/// (non-finite values, mid-run zero pivots) throw status_error instead.
+/// Detection is read-only: a healthy run's factors are bit-for-bit those
+/// of a run with detection compiled out.
+struct FactorHealth {
+  StatusCode code = StatusCode::kOk;  ///< first (most severe) soft breakdown
+  long long first_breakdown_step = -1;
+  long long singular_pivots = 0;       ///< exactly zero pivots
+  long long near_singular_pivots = 0;  ///< below pivot_tolerance
+  double growth_factor = 0.0;          ///< max|U| / max|A| (LU only)
+  double min_pivot = 0.0;              ///< smallest |u_kk| (or l_kk^2)
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status to_status() const {
+    if (ok()) return Status();
+    return Status(code,
+                  "factorization completed with degraded factors"
+                  " (min pivot " + std::to_string(min_pivot) +
+                      ", growth " + std::to_string(growth_factor) + ")",
+                  first_breakdown_step);
+  }
+};
+
 /// LU factorization result, parameterized on the factor scalar (the
 /// schedule is precision-agnostic; Real mode exists for float and double).
 /// In Trace mode only `perm` (trace pivots) and the step costs are populated.
@@ -74,6 +114,8 @@ struct LuResultT {
   /// 8-byte words — fp32 runs report half the fp64 footprint. The per-layer
   /// dense scheme this replaced held (pz + 1) * npad^2 fp64 words.
   double workspace_words = 0.0;
+  /// Real mode: soft-breakdown classification (empty/kOk in Trace mode).
+  FactorHealth health;
 };
 
 using LuResult = LuResultT<double>;
@@ -87,6 +129,8 @@ struct CholResultT {
   std::vector<StepCosts> step_costs;
   /// Real mode: peak resident 8-byte words of the data path (see LuResultT).
   double workspace_words = 0.0;
+  /// Real mode: soft-breakdown classification (see LuResultT).
+  FactorHealth health;
 };
 
 using CholResult = CholResultT<double>;

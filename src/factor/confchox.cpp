@@ -1,12 +1,15 @@
 #include "factor/confchox.hpp"
 
 #include <cmath>
+#include <exception>
+#include <limits>
 
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
 #include "sched/rank_parallel.hpp"
 #include "sched/taskpool.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
 
@@ -61,6 +64,15 @@ struct CholRun {
   // Lookahead task handles (empty when la == false).
   std::vector<sched::TaskId> trsm_ids, urgent_ids, lazy_ids;
   std::vector<sched::TaskId> dep_scratch;
+
+  // Breakdown monitoring (DESIGN.md "Failure model"; read-only on the data
+  // path). Cholesky has no element growth, so only the input magnitude, the
+  // diagonal pivots l_kk^2, and non-finite contamination are tracked; a
+  // failed potrf is always a hard breakdown (the panel solve needs the full
+  // factored diagonal block).
+  double amax = 0.0;
+  double pivot_tol = 0.0;
+  FactorHealth health;
 
   // Grid-line cache (common.hpp): at most px*py z-lines, fetched once each.
   GridLineCache zlines;
@@ -133,8 +145,47 @@ void factor_and_broadcast_a00(CholRun<T>& run, index_t t, MatrixView<T>* a00) {
     for (index_t i = 0; i < run.v; ++i) {
       for (index_t j = 0; j <= i; ++j) (*a00)(i, j) = run.fac(o + i, o + j);
     }
-    check(xblas::potrf<T>(*a00) == 0,
-          "matrix is not positive definite at this block");
+    if (fault::enabled()) {
+      if (fault::should_inject(fault::Site::kPanelNaN)) {
+        (*a00)(run.v - 1, 0) = std::numeric_limits<T>::quiet_NaN();
+      }
+      if (fault::should_inject(fault::Site::kZeroPivot)) {
+        (*a00)(run.v - 1, run.v - 1) = T{};
+      }
+    }
+    // Read-only scan of the accumulated diagonal block: every trailing row
+    // passes through a diagonal block eventually, so non-finite Schur
+    // contamination is caught here before potrf turns it into garbage.
+    for (index_t i = 0; i < run.v; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        if (!std::isfinite(static_cast<double>((*a00)(i, j)))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite,
+              "non-finite value in the diagonal block entering potrf",
+              static_cast<long long>(t)));
+        }
+      }
+    }
+    const index_t info = xblas::potrf<T>(*a00);
+    if (info != 0) {
+      throw status_error(Status(
+          StatusCode::kNotPositiveDefinite,
+          "diagonal block is not positive definite (potrf minor " +
+              std::to_string(info) + ")",
+          static_cast<long long>(t)));
+    }
+    for (index_t k = 0; k < run.v; ++k) {
+      const double l_kk = static_cast<double>((*a00)(k, k));
+      const double d = l_kk * l_kk;  // the elimination pivot
+      if (d < run.health.min_pivot) run.health.min_pivot = d;
+      if (run.pivot_tol > 0.0 && d < run.pivot_tol * run.amax) {
+        ++run.health.near_singular_pivots;
+        if (run.health.first_breakdown_step < 0) {
+          run.health.first_breakdown_step = static_cast<long long>(t);
+        }
+        run.health.code = StatusCode::kNearSingularPivot;
+      }
+    }
     for (index_t i = 0; i < run.v; ++i) {
       for (index_t j = 0; j <= i; ++j) run.fac(o + i, o + j) = (*a00)(i, j);
     }
@@ -416,11 +467,39 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       static_cast<double>(v * v);
   for (int r = 0; r < m.ranks(); ++r) m.alloc(r, tile_words + panel_words);
 
+  // Release the memory accounting on every exit path; on an error unwind
+  // first drain the pool (in-flight lookahead tasks reference run.fac).
+  struct MachineLease {
+    xsim::Machine& m;
+    double words;
+    bool la;
+    ~MachineLease() {
+      if (la && std::uncaught_exceptions() > 0) {
+        try {
+          sched::TaskPool::instance().wait_all();
+        } catch (...) {
+        }
+      }
+      for (int r = 0; r < m.ranks(); ++r) m.release(r, words);
+    }
+  } lease{m, tile_words + panel_words, run.la};
+
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.pivot_tol = opt.pivot_tolerance;
+    run.health.min_pivot = std::numeric_limits<double>::infinity();
     run.fac = Matrix<T>(npad, npad, T{});
     for (index_t i = 0; i < n; ++i) {
-      for (index_t j = 0; j <= i; ++j) run.fac(i, j) = a(i, j);
+      for (index_t j = 0; j <= i; ++j) {
+        const T val = a(i, j);
+        if (!std::isfinite(static_cast<double>(val))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite, "input matrix contains a non-finite value"));
+        }
+        const double d = std::abs(static_cast<double>(val));
+        if (d > run.amax) run.amax = d;
+        run.fac(i, j) = val;
+      }
     }
     for (index_t r = n; r < npad; ++r) run.fac(r, r) = T{1};
   }
@@ -461,8 +540,6 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     pool.wait(run.lazy_ids);
   }
 
-  for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);
-
   if (run.real) {
     result.factors = Matrix<T>(n, n, T{});
     for (index_t i = 0; i < n; ++i) {
@@ -471,8 +548,29 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     result.workspace_words =
         static_cast<double>(run.fac.size()) * words_per_scalar<T>() +
         run.ws.words();
+    if (!std::isfinite(run.health.min_pivot)) run.health.min_pivot = 0.0;
+    result.health = run.health;
   }
   return result;
+}
+
+/// Shared body of the try_* entry points (see conflux_lu.cpp's try_lu).
+template <typename T>
+Result<CholResultT<T>> try_chol(xsim::Machine& m, const grid::Grid3D& g,
+                                ConstMatrixView<T> a, const FactorOptions& opt) {
+  try {
+    expects(m.real(), "try_confchox requires Real mode");
+    CholResultT<T> r = run_confchox<T>(m, g, a.rows(), a, opt);
+    if (!r.health.ok()) {
+      Status st = r.health.to_status();
+      return Result<CholResultT<T>>(std::move(st), std::move(r));
+    }
+    return std::move(r);
+  } catch (const status_error& e) {
+    return e.status();
+  } catch (const contract_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
 }
 
 }  // namespace
@@ -487,6 +585,16 @@ CholResultF confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
                      const FactorOptions& opt) {
   expects(m.real(), "confchox with a matrix requires Real mode");
   return run_confchox<float>(m, g, a.rows(), a, opt);
+}
+
+Result<CholResult> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                ConstViewD a, const FactorOptions& opt) {
+  return try_chol<double>(m, g, a, opt);
+}
+
+Result<CholResultF> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                 ConstViewF a, const FactorOptions& opt) {
+  return try_chol<float>(m, g, a, opt);
 }
 
 CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,

@@ -21,6 +21,17 @@ CholResult confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
 CholResultF confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
                      const FactorOptions& opt = {});
 
+/// Non-throwing variants (DESIGN.md "Failure model and degradation
+/// ladder"). Hard breakdowns — a non-positive-definite diagonal block,
+/// non-finite input or accumulator values, a failed pool task, a wedged
+/// pool — come back as a failed Result; a pivot below
+/// FactorOptions::pivot_tolerance degrades softly (completed factors plus
+/// classification). Contract violations map to kInvalidArgument.
+Result<CholResult> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                ConstViewD a, const FactorOptions& opt = {});
+Result<CholResultF> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                 ConstViewF a, const FactorOptions& opt = {});
+
 /// Trace-mode run for an n x n factorization.
 CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                           const FactorOptions& opt = {});

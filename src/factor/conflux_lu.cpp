@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <exception>
+#include <limits>
 #include <utility>
 
 #include "blas/lapack.hpp"
 #include "sched/rank_parallel.hpp"
 #include "sched/taskpool.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
 
@@ -22,6 +25,26 @@ using xblas::Trans;
 using xblas::UpLo;
 
 bool is_pow2(int n) { return std::has_single_bit(static_cast<unsigned>(n)); }
+
+/// Soft-breakdown severity order for FactorHealth::code (the health report
+/// keeps the most severe classification; counts keep the full story).
+int breakdown_severity(StatusCode code) {
+  switch (code) {
+    case StatusCode::kSingularPivot: return 3;
+    case StatusCode::kGrowthOverflow: return 2;
+    case StatusCode::kNearSingularPivot: return 1;
+    default: return 0;
+  }
+}
+
+/// Auto pivot-growth limit: growth that wipes out all but ~3 bits of the
+/// working precision. Partial pivoting keeps real inputs far below this
+/// (its worst case 2^(n-1) is pathological), so crossing it means the
+/// factors carry no accuracy.
+template <typename T>
+double default_growth_limit() {
+  return 1.0 / (8.0 * static_cast<double>(std::numeric_limits<T>::epsilon()));
+}
 
 /// Candidate set carried through the tournament: row indices plus their
 /// original (reduced) panel values. Buffers are sized once per run (rows
@@ -173,6 +196,27 @@ struct LuRun {
 
   // Lookahead task handles (empty when la == false).
   std::vector<sched::TaskId> a10_ids, urgent_ids, lazy_ids;
+
+  // Breakdown monitoring (DESIGN.md "Failure model"): strictly read-only on
+  // the data path — a healthy run's factors are bitwise those of a run with
+  // monitoring removed. amax/umax feed the growth factor; thresholds are
+  // resolved once from FactorOptions.
+  double amax = 0.0;  // max|A| over the (finite) input
+  double umax = 0.0;  // running max|U| over factored pivot rows
+  double pivot_tol = 0.0;
+  double growth_lim = 0.0;
+  FactorHealth health;
+
+  /// Record a soft breakdown: the factorization continues, the result's
+  /// health carries the most severe code and the first affected step.
+  void soft_breakdown(StatusCode code, index_t step) {
+    if (health.first_breakdown_step < 0) {
+      health.first_breakdown_step = static_cast<long long>(step);
+    }
+    if (breakdown_severity(code) > breakdown_severity(health.code)) {
+      health.code = code;
+    }
+  }
 
   // Grid-line caches (common.hpp): at most px*py z-lines and py*pz
   // x-lines, fetched once each.
@@ -336,6 +380,26 @@ void tournament_pivot(LuRun<T>& run, index_t t) {
     select_candidates<T>(rows, nrows, run.v, run.v, gather, s.rankwork[xi],
                          s.xipiv[xi], s.xperm[xi], s.sets[xi]);
   });
+  // Hard-breakdown scan of the gathered panel (read-only; the gathers are
+  // preserved — selection ranks a copy). A non-finite value here — an
+  // overflowed Schur accumulation, a contaminated input that survived to
+  // this column, or an injected poison — would otherwise rank arbitrarily
+  // and propagate silently into the factors.
+  for (int x = 0; x < px; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    const auto nrows = static_cast<index_t>(s.xrows[xi].size());
+    const Matrix<T>& gather = s.gather[xi];
+    for (index_t i = 0; i < nrows; ++i) {
+      for (index_t j = 0; j < run.v; ++j) {
+        if (!std::isfinite(static_cast<double>(gather(i, j)))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite,
+              "non-finite value in the panel entering tournament pivoting",
+              static_cast<long long>(t)));
+        }
+      }
+    }
+  }
   // Merge rounds along the accumulation tree of rank 0. The full butterfly
   // computes px/2 merges per round on every rank, but only the binomial
   // tree rooted at rank 0 ever reaches the final candidate set, and each
@@ -355,6 +419,35 @@ void tournament_pivot(LuRun<T>& run, index_t t) {
   // free, it happens during TournPivot).
   copy<T>(final_set.values.block(0, 0, run.v, run.v), run.a00.view());
   xblas::getrf<T>(run.a00.view(), s.fipiv);
+  if (fault::enabled() && fault::should_inject(fault::Site::kZeroPivot)) {
+    run.a00(run.v - 1, run.v - 1) = T{};
+  }
+  // Pivot classification on U00's diagonal. An exactly-zero pivot before
+  // the final tile is a HARD breakdown: getrf skipped that elimination and
+  // the panel trsms below would divide by zero, poisoning the trailing
+  // matrix. At the final tile no trsm follows — the zero stays on U's
+  // diagonal (LAPACK info > 0 semantics) and the run degrades softly.
+  for (index_t k = 0; k < run.v; ++k) {
+    const double d = std::abs(static_cast<double>(run.a00(k, k)));
+    if (d == 0.0) {
+      ++run.health.singular_pivots;
+      run.health.min_pivot = 0.0;
+      run.soft_breakdown(StatusCode::kSingularPivot, t);
+      if (t + 1 < run.num_tiles) {
+        throw status_error(Status(
+            StatusCode::kSingularPivot,
+            "exactly singular pivot after tournament selection; the panel "
+            "solves would divide by zero",
+            static_cast<long long>(t)));
+      }
+      continue;
+    }
+    if (d < run.health.min_pivot) run.health.min_pivot = d;
+    if (run.pivot_tol > 0.0 && d < run.pivot_tol * run.amax) {
+      ++run.health.near_singular_pivots;
+      run.soft_breakdown(StatusCode::kNearSingularPivot, t);
+    }
+  }
   xblas::ipiv_to_permutation(s.fipiv, run.v, s.fperm);
   for (index_t i = 0; i < run.v; ++i) {
     run.winners.push_back(
@@ -648,11 +741,45 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                              static_cast<double>(v * v);
   for (int r = 0; r < m.ranks(); ++r) m.alloc(r, tile_words + panel_words);
 
+  // Release the machine's memory accounting on every exit path, and on an
+  // error unwind first drain the pool: in-flight lookahead tasks reference
+  // run state (trail, a00, pivot-row workspace) that is about to be
+  // destroyed. Declared after `run`, so it drains before run's teardown.
+  struct MachineLease {
+    xsim::Machine& m;
+    double words;
+    bool la;
+    ~MachineLease() {
+      if (la && std::uncaught_exceptions() > 0) {
+        try {
+          sched::TaskPool::instance().wait_all();
+        } catch (...) {
+          // The primary error is already unwinding; pool errors were either
+          // it or its cascade.
+        }
+      }
+      for (int r = 0; r < m.ranks(); ++r) m.release(r, words);
+    }
+  } lease{m, tile_words + panel_words, run.la};
+
   if (run.real) {
     expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.pivot_tol = opt.pivot_tolerance;
+    run.growth_lim =
+        opt.growth_limit > 0.0 ? opt.growth_limit : default_growth_limit<T>();
+    run.health.min_pivot = std::numeric_limits<double>::infinity();
     run.trail = Matrix<T>(npad, npad, T{});
     for (index_t i = 0; i < n; ++i) {
-      for (index_t j = 0; j < n; ++j) run.trail(i, j) = a(i, j);
+      for (index_t j = 0; j < n; ++j) {
+        const T val = a(i, j);
+        if (!std::isfinite(static_cast<double>(val))) {
+          throw status_error(Status(
+              StatusCode::kNonFinite, "input matrix contains a non-finite value"));
+        }
+        const double d = std::abs(static_cast<double>(val));
+        if (d > run.amax) run.amax = d;
+        run.trail(i, j) = val;
+      }
     }
     for (index_t r = n; r < npad; ++r) run.trail(r, r) = T{1};
     run.lstore = Matrix<T>(npad, npad, T{});
@@ -722,6 +849,10 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     // The tournament reads only the urgent stripe the previous step's
     // urgent tasks produced; the previous lazy remainder keeps running.
     if (run.la) pool.wait(run.urgent_ids);
+    if (run.real && run.nact > 0 && fault::enabled() &&
+        fault::should_inject(fault::Site::kPanelNaN)) {
+      run.trail(0, t * v) = std::numeric_limits<T>::quiet_NaN();
+    }
     rec.measure(&StepCosts::pivoting_words, &StepCosts::pivoting_flops,
                 [&] { tournament_pivot(run, t); });
     rec.measure(&StepCosts::a00_words, &StepCosts::a00_flops,
@@ -733,6 +864,12 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       for (index_t l = 0; l < v; ++l) {
         const index_t row = run.winners[static_cast<std::size_t>(l)];
         for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = run.a00(l, j);
+      }
+      for (index_t l = 0; l < v; ++l) {
+        for (index_t j = l; j < v; ++j) {
+          const double d = std::abs(static_cast<double>(run.a00(l, j)));
+          if (d > run.umax) run.umax = d;
+        }
       }
       // Capture the winners' packed slots (the pivot-row gather reads their
       // lazy columns from here), then run the urgent retirement pass: the
@@ -839,10 +976,32 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
               run.lstore(row, (t + 1) * v + j) = pivotrows(l, j);
             }
           });
+          // Read-only scan of the factored U rows: hard error on a
+          // non-finite value, running max|U| for the growth factor.
+          double rowmax = 0.0;
+          for (index_t l = 0; l < v; ++l) {
+            const T* urow = pivotrows.row(l);
+            for (index_t j = 0; j < ncols; ++j) {
+              const double d = std::abs(static_cast<double>(urow[j]));
+              if (!std::isfinite(d)) {
+                throw status_error(Status(
+                    StatusCode::kNonFinite,
+                    "non-finite value in the factored pivot rows",
+                    static_cast<long long>(t)));
+              }
+              if (d > rowmax) rowmax = d;
+            }
+          }
+          if (rowmax > run.umax) run.umax = rowmax;
         }
       }
       m.step_barrier();
     });
+    if (run.real && run.amax > 0.0 &&
+        run.umax > run.growth_lim * run.amax &&
+        run.health.code != StatusCode::kGrowthOverflow) {
+      run.soft_breakdown(StatusCode::kGrowthOverflow, t);
+    }
 
     // Steps 8 and 10: 2.5D distribution; step 11: the Schur update.
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
@@ -857,8 +1016,6 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     pool.wait(run.urgent_ids);
     pool.wait(run.lazy_ids);
   }
-
-  for (int r = 0; r < m.ranks(); ++r) m.release(r, tile_words + panel_words);
 
   // Assemble the user-facing permutation and factors (drop the padding).
   result.perm.reserve(static_cast<std::size_t>(n));
@@ -880,8 +1037,32 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
         (static_cast<double>(run.trail.size()) +
          static_cast<double>(run.lstore.size())) * words_per_scalar<T>() +
         run.ws.words();
+    run.health.growth_factor = run.amax > 0.0 ? run.umax / run.amax : 0.0;
+    if (!std::isfinite(run.health.min_pivot)) run.health.min_pivot = 0.0;
+    result.health = run.health;
   }
   return result;
+}
+
+/// Shared body of the try_* entry points: soft breakdowns come back as a
+/// degraded Result (error + completed factors), hard ones as a failed
+/// Result, contract violations as kInvalidArgument.
+template <typename T>
+Result<LuResultT<T>> try_lu(xsim::Machine& m, const grid::Grid3D& g,
+                            ConstMatrixView<T> a, const FactorOptions& opt) {
+  try {
+    expects(m.real(), "try_conflux_lu requires Real mode");
+    LuResultT<T> r = run_conflux_lu<T>(m, g, a.rows(), a, opt);
+    if (!r.health.ok()) {
+      Status st = r.health.to_status();
+      return Result<LuResultT<T>>(std::move(st), std::move(r));
+    }
+    return std::move(r);
+  } catch (const status_error& e) {
+    return e.status();
+  } catch (const contract_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
 }
 
 }  // namespace
@@ -896,6 +1077,16 @@ LuResultF conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
                      const FactorOptions& opt) {
   expects(m.real(), "conflux_lu with a matrix requires Real mode");
   return run_conflux_lu<float>(m, g, a.rows(), a, opt);
+}
+
+Result<LuResult> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                ConstViewD a, const FactorOptions& opt) {
+  return try_lu<double>(m, g, a, opt);
+}
+
+Result<LuResultF> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                 ConstViewF a, const FactorOptions& opt) {
+  return try_lu<float>(m, g, a, opt);
 }
 
 LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,

@@ -40,6 +40,20 @@ LuResult conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
 LuResultF conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewF a,
                      const FactorOptions& opt = {});
 
+/// Non-throwing variants (DESIGN.md "Failure model and degradation
+/// ladder"). Hard breakdowns — non-finite input or panel values, an exactly
+/// singular pivot before the final tile (the panel solves would divide by
+/// zero), a failed pool task, a wedged pool — come back as a failed Result.
+/// Soft breakdowns — a zero pivot at the final tile, a pivot below
+/// FactorOptions::pivot_tolerance, growth past the limit — come back as a
+/// DEGRADED Result carrying both the completed factors (bitwise identical
+/// to an unchecked run) and their classification. Contract violations map
+/// to kInvalidArgument.
+Result<LuResult> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                ConstViewD a, const FactorOptions& opt = {});
+Result<LuResultF> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                 ConstViewF a, const FactorOptions& opt = {});
+
 /// Trace-mode run: charges the full communication/computation schedule for
 /// an n x n factorization without any matrix data.
 LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,

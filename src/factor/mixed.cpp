@@ -1,6 +1,7 @@
 #include "factor/mixed.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -12,6 +13,12 @@ namespace conflux::factor {
 namespace {
 
 using xblas::Trans;
+
+// Process-wide ladder counters (relaxed: they are statistics, not
+// synchronization; bench reads them after all solves have joined).
+std::atomic<long long> g_solves{0};
+std::atomic<long long> g_fp64_fallbacks{0};
+std::atomic<long long> g_ir_steps{0};
 
 /// ||A||_inf (max absolute row sum).
 double norm_inf(ConstViewD a) {
@@ -84,6 +91,8 @@ RefineReport refine(ConstViewD a, ViewD b, const RefineOptions& opt,
   copy<double>(b, r.view());
 
   RefineReport report;
+  // Default classification: the loop ran out of steps without converging.
+  report.code = StatusCode::kRefineStagnated;
   double prev = std::numeric_limits<double>::infinity();
   double best_err = std::numeric_limits<double>::infinity();
   // Iteration 0 is the initial fp32 solve (steps = 0); each further pass is
@@ -107,7 +116,10 @@ RefineReport refine(ConstViewD a, ViewD b, const RefineOptions& opt,
     // (std::max(0, NaN) is 0), so the error metric cannot be trusted to
     // flag the poisoning — scan the residual itself and stop immediately;
     // the best-iterate logic decides what the caller gets.
-    if (!all_finite(x.view()) || !all_finite(r.view())) break;
+    if (!all_finite(x.view()) || !all_finite(r.view())) {
+      report.code = StatusCode::kNonFinite;
+      break;
+    }
     // Near the cond(A)*eps_fp32 ~ 1 edge a correction can overshoot and
     // WORSEN the solution; the caller must never receive such an iterate,
     // so the report tracks the best one, not the last one.
@@ -119,12 +131,17 @@ RefineReport refine(ConstViewD a, ViewD b, const RefineOptions& opt,
     }
     if (err <= tol) {
       report.converged = true;
+      report.code = StatusCode::kOk;
       break;
     }
     // Stagnation guard (LAPACK dsgesv-style): if a correction failed to
     // shrink the backward error by at least 2x, fp32 information is
     // exhausted (cond(A) * eps_fp32 too large) — stop rather than loop.
-    if (pass > 0 && err > 0.5 * prev) break;
+    if (pass > 0 && err > 0.5 * prev) {
+      report.code = err > prev ? StatusCode::kRefineDiverged
+                               : StatusCode::kRefineStagnated;
+      break;
+    }
     prev = err;
   }
   report.backward_error = best_err;
@@ -133,7 +150,82 @@ RefineReport refine(ConstViewD a, ViewD b, const RefineOptions& opt,
   // the zero/NaN wreckage; report.converged stays false and
   // backward_error is inf, which is the caller's signal.
   if (std::isfinite(best_err)) copy<double>(best.view(), b);
+  else report.code = StatusCode::kNonFinite;
   return report;
+}
+
+/// The shared degradation ladder (DESIGN.md "Failure model and degradation
+/// ladder"). `factor32(af)` returns the fp32 Result, `refine_leg(f)` runs
+/// refinement against the (possibly degraded) fp32 factors, `factor64()`
+/// returns the fp64 Result, `solve64(f, b)` solves directly in fp64.
+template <typename Factor32, typename RefineLeg, typename Factor64,
+          typename Solve64>
+MixedSolveReport solve_ladder(ConstViewD a, ViewD b,
+                              const MixedSolveOptions& opt, Factor32&& factor32,
+                              RefineLeg&& refine_leg, Factor64&& factor64,
+                              Solve64&& solve64) {
+  g_solves.fetch_add(1, std::memory_order_relaxed);
+  MixedSolveReport rep;
+  MatrixD b0(b.rows(), b.cols());
+  copy<double>(b, b0.view());  // ladder restore point
+
+  // Rung 1: fp32 factorization + fp64 refinement. Degraded fp32 factors
+  // still get their refinement shot — the achieved backward error is the
+  // ground truth, and near-singular / growth flags can be pessimistic.
+  StatusCode f32_code = StatusCode::kOk;
+  {
+    MatrixF af(a.rows(), a.cols());
+    // Entries beyond fp32 range convert to inf; the factorization's input
+    // scan classifies that as kNonFinite and the ladder steps down.
+    convert<double, float>(a, af.view());
+    auto f32 = factor32(af.view());
+    f32_code = f32.status().code();
+    if (f32.has_value()) {
+      rep.refine = refine_leg(f32.value());
+      g_ir_steps.fetch_add(rep.refine.steps, std::memory_order_relaxed);
+    } else {
+      rep.refine.converged = false;
+      rep.refine.backward_error = std::numeric_limits<double>::infinity();
+      rep.refine.code = f32_code;
+    }
+  }
+  if (rep.refine.converged) {
+    rep.code = StatusCode::kOk;
+    rep.backward_error = rep.refine.backward_error;
+    return rep;
+  }
+  rep.fallback_reason =
+      f32_code != StatusCode::kOk ? f32_code : rep.refine.code;
+
+  if (!opt.allow_fp64_fallback) {
+    rep.code = rep.fallback_reason;
+    rep.backward_error = rep.refine.backward_error;
+    return rep;
+  }
+
+  // Rung 2: fp64 re-factorization + direct solve. Whatever the fp32 leg
+  // left in B is dropped first so the direct solve starts from the
+  // caller's RHS.
+  rep.fp64_fallback = true;
+  g_fp64_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  copy<double>(b0.view(), b);
+  auto f64 = factor64();
+  if (!f64.has_value()) {
+    rep.code = f64.status().code();
+    rep.backward_error = std::numeric_limits<double>::infinity();
+    return rep;
+  }
+  solve64(f64.value(), b);
+  const double berr = solve_backward_error(a, b, b0.view());
+  rep.backward_error = berr;
+  if (!std::isfinite(berr)) {
+    // Total failure keeps the "RHS untouched" contract of the fp32 leg.
+    copy<double>(b0.view(), b);
+    rep.code = StatusCode::kNonFinite;
+    return rep;
+  }
+  rep.code = f64.ok() ? StatusCode::kOk : f64.status().code();
+  return rep;
 }
 
 }  // namespace
@@ -161,24 +253,70 @@ RefineReport refine_cholesky(const CholResultF& chol, ConstViewD a, ViewD b,
   return refine(a, b, opt, [&](ViewF panel) { confchox_solve(chol, panel); });
 }
 
+MixedSolveReport conflux_lu_solve_mixed_ex(xsim::Machine& m,
+                                           const grid::Grid3D& g, ConstViewD a,
+                                           ViewD b,
+                                           const MixedSolveOptions& opt) {
+  return solve_ladder(
+      a, b, opt,
+      [&](ConstViewF af) { return try_conflux_lu(m, g, af, opt.factor); },
+      [&](const LuResultF& lu) { return refine_lu(lu, a, b, opt.refine); },
+      [&] { return try_conflux_lu(m, g, a, opt.factor); },
+      [](const LuResult& lu, ViewD rhs) { conflux_lu_solve(lu, rhs); });
+}
+
+MixedSolveReport confchox_solve_mixed_ex(xsim::Machine& m,
+                                         const grid::Grid3D& g, ConstViewD a,
+                                         ViewD b,
+                                         const MixedSolveOptions& opt) {
+  return solve_ladder(
+      a, b, opt,
+      [&](ConstViewF af) { return try_confchox(m, g, af, opt.factor); },
+      [&](const CholResultF& ch) {
+        return refine_cholesky(ch, a, b, opt.refine);
+      },
+      [&] { return try_confchox(m, g, a, opt.factor); },
+      [](const CholResult& ch, ViewD rhs) { confchox_solve(ch, rhs); });
+}
+
+// Legacy one-call drivers: the fp32 + refinement rung only, with the
+// original RefineReport shape. A hard fp32 factorization failure comes back
+// as a non-converged report (backward_error = inf, code = the
+// classification) instead of an exception.
 RefineReport conflux_lu_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
                                     ConstViewD a, ViewD b,
                                     const FactorOptions& fopt,
                                     const RefineOptions& ropt) {
-  MatrixF af(a.rows(), a.cols());
-  convert<double, float>(a, af.view());
-  const LuResultF lu = conflux_lu(m, g, af.view(), fopt);
-  return refine_lu(lu, a, b, ropt);
+  MixedSolveOptions opt;
+  opt.factor = fopt;
+  opt.refine = ropt;
+  opt.allow_fp64_fallback = false;
+  return conflux_lu_solve_mixed_ex(m, g, a, b, opt).refine;
 }
 
 RefineReport confchox_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
                                   ConstViewD a, ViewD b,
                                   const FactorOptions& fopt,
                                   const RefineOptions& ropt) {
-  MatrixF af(a.rows(), a.cols());
-  convert<double, float>(a, af.view());
-  const CholResultF chol = confchox(m, g, af.view(), fopt);
-  return refine_cholesky(chol, a, b, ropt);
+  MixedSolveOptions opt;
+  opt.factor = fopt;
+  opt.refine = ropt;
+  opt.allow_fp64_fallback = false;
+  return confchox_solve_mixed_ex(m, g, a, b, opt).refine;
+}
+
+MixedCounters mixed_counters() {
+  MixedCounters c;
+  c.solves = g_solves.load(std::memory_order_relaxed);
+  c.fp64_fallbacks = g_fp64_fallbacks.load(std::memory_order_relaxed);
+  c.ir_steps = g_ir_steps.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_mixed_counters() {
+  g_solves.store(0, std::memory_order_relaxed);
+  g_fp64_fallbacks.store(0, std::memory_order_relaxed);
+  g_ir_steps.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace conflux::factor

@@ -42,6 +42,11 @@ struct RefineReport {
   /// True when backward_error <= the (auto or explicit) tolerance; false
   /// when the loop hit max_steps or stagnated first (ill conditioning).
   bool converged = false;
+  /// Why the loop ended: kOk (converged), kRefineStagnated (corrections
+  /// stopped shrinking the error, or max_steps ran out), kRefineDiverged
+  /// (a correction made it worse), kNonFinite (the iterate or residual
+  /// left the finite range — singular or overflowed fp32 factors).
+  StatusCode code = StatusCode::kOk;
 };
 
 /// Normwise backward error of X against A X = B: the refinement convergence
@@ -70,5 +75,65 @@ RefineReport confchox_solve_mixed(xsim::Machine& m, const grid::Grid3D& g,
                                   ConstViewD a, ViewD b,
                                   const FactorOptions& fopt = {},
                                   const RefineOptions& ropt = {});
+
+// ---------------------------------------------------------------------------
+// Degradation ladder (DESIGN.md "Failure model and degradation ladder").
+//
+// The happy path is fp32 factorization + fp64 iterative refinement. When
+// that leg cannot deliver — the fp32 conversion overflowed, the fp32
+// factorization broke down, or refinement stagnated/diverged because
+// cond(A) * eps_fp32 is too large — the ladder automatically re-factors in
+// fp64 and solves directly, trading the fp32 bandwidth win for an answer.
+// Every rung is classified: the report says which leg produced the
+// solution, why the ladder stepped down, and what backward error the caller
+// actually got. Nothing falls through silently.
+// ---------------------------------------------------------------------------
+
+struct MixedSolveOptions {
+  FactorOptions factor;
+  RefineOptions refine;
+  /// Re-factor in fp64 and solve directly when the fp32 + refinement leg
+  /// fails to converge. Off = report the fp32 leg's outcome as final (the
+  /// legacy conflux_lu_solve_mixed behavior).
+  bool allow_fp64_fallback = true;
+};
+
+struct MixedSolveReport {
+  /// The fp32 + refinement leg (steps = 0 and backward_error = inf when the
+  /// fp32 factorization itself failed and the loop never ran).
+  RefineReport refine;
+  /// Final outcome of the whole ladder: kOk when either leg delivered a
+  /// solution within tolerance (refinement) or with finite backward error
+  /// (fp64 direct); otherwise the failure classification of the last leg.
+  StatusCode code = StatusCode::kOk;
+  /// True when the fp64 re-factorization leg ran.
+  bool fp64_fallback = false;
+  /// Why the ladder left the fp32 leg (kOk when it never had to).
+  StatusCode fallback_reason = StatusCode::kOk;
+  /// Backward error of the solution actually left in B.
+  double backward_error = 0.0;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// Ladder drivers: solve A X = B at fp64 accuracy, preferring the fp32 +
+/// refinement leg. B is overwritten with the best solution; when no leg
+/// produced a finite iterate, B is left untouched.
+MixedSolveReport conflux_lu_solve_mixed_ex(xsim::Machine& m, const grid::Grid3D& g,
+                                           ConstViewD a, ViewD b,
+                                           const MixedSolveOptions& opt = {});
+MixedSolveReport confchox_solve_mixed_ex(xsim::Machine& m, const grid::Grid3D& g,
+                                         ConstViewD a, ViewD b,
+                                         const MixedSolveOptions& opt = {});
+
+/// Process-wide ladder counters (bench/factor_schedule surfaces these in
+/// BENCH_factor.json; the healthy-input gate asserts fp64_fallbacks == 0).
+struct MixedCounters {
+  long long solves = 0;          ///< _ex ladder invocations
+  long long fp64_fallbacks = 0;  ///< times the fp64 leg ran
+  long long ir_steps = 0;        ///< total refinement corrections applied
+};
+MixedCounters mixed_counters();
+void reset_mixed_counters();
 
 }  // namespace conflux::factor

@@ -1,8 +1,11 @@
 #include "sched/taskpool.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "blas/tuning.hpp"
+#include "support/fault.hpp"
+#include "support/status.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -24,6 +27,36 @@ int env_pool_threads() {
   return value;
 }
 
+double env_watchdog_seconds() {
+  static const double value = [] {
+    const char* s = std::getenv("CONFLUX_WATCHDOG_S");
+    if (s == nullptr || *s == '\0') return 300.0;
+    const double v = std::strtod(s, nullptr);
+    return v > 0.0 ? v : 300.0;
+  }();
+  return value;
+}
+
+/// Classify the in-flight exception (must be called inside a catch block):
+/// status_error passes through untouched; anything else is wrapped into a
+/// classified kTaskFailed carrying the original message.
+std::exception_ptr classify_current_exception(const char* name, long long step) {
+  try {
+    throw;
+  } catch (const status_error&) {
+    return std::current_exception();
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(status_error(
+        Status(StatusCode::kTaskFailed,
+               std::string("task '") + name + "' threw: " + e.what(), step)));
+  } catch (...) {
+    return std::make_exception_ptr(status_error(
+        Status(StatusCode::kTaskFailed,
+               std::string("task '") + name + "' threw a non-std exception",
+               step)));
+  }
+}
+
 }  // namespace
 
 TaskPool& TaskPool::instance() {
@@ -32,11 +65,20 @@ TaskPool& TaskPool::instance() {
 }
 
 TaskPool::~TaskPool() {
+  // Shutdown ordering: mark the pool stopped AND cancelled, and empty the
+  // ready queues under the lock, so no task body starts once destruction
+  // begins — a task queued behind an error unwind must not race the member
+  // teardown below. Workers mid-task finish that task (join waits), then
+  // see stop_ and exit; only then are the queues/map destroyed.
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stop_ = true;
+    cancelled_ = true;
+    ready_.clear();
+    ready_lazy_.clear();
   }
   work_cv_.notify_all();
+  done_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -53,11 +95,62 @@ int TaskPool::width() const {
 
 bool TaskPool::on_worker_thread() { return tls_on_worker; }
 
+void TaskPool::set_watchdog_seconds(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  watchdog_override_ = seconds;
+}
+
+double TaskPool::watchdog_seconds() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return watchdog_override_ > 0.0 ? watchdog_override_ : env_watchdog_seconds();
+}
+
 void TaskPool::ensure_workers(int want) {
   while (static_cast<int>(workers_.size()) < want) {
     const int index = static_cast<int>(workers_.size()) + 1;  // 0 = master
     workers_.emplace_back([this, index] { worker_main(index); });
   }
+}
+
+void TaskPool::stall_cooperatively(double seconds) {
+  // Injected worker stall: sleep in short slices, aborting as soon as the
+  // pool cancels (so a watchdog-initiated unwind drains promptly instead of
+  // waiting out the full stall).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cancelled_ || stop_) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void TaskPool::run_task_body(const std::function<void()>& fn) {
+  if (fault::enabled()) {
+    if (fault::should_inject(fault::Site::kWorkerStall)) {
+      stall_cooperatively(fault::config().stall_s);
+    }
+    if (fault::should_inject(fault::Site::kTaskThrow)) {
+      throw std::runtime_error("injected pool-task fault");
+    }
+  }
+  // Pool work never forks nested BLAS teams, even when the helping master
+  // executes it (tuning.hpp, tls_thread_cap).
+  xblas::ScopedThreadCap cap(1);
+  fn();
+}
+
+void TaskPool::capture_failure(const char* name, long long step) {
+  std::exception_ptr ep = classify_current_exception(name, step);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!error_) error_ = ep;  // first failure wins; later ones were cascade
+    cancelled_ = true;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
 }
 
 TaskId TaskPool::submit(std::function<void()> fn, const char* name,
@@ -67,12 +160,22 @@ TaskId TaskPool::submit(std::function<void()> fn, const char* name,
   if (w <= 1 && !on_worker_thread()) {
     // Single-thread fast path: honor the dependencies (they may still be
     // running on workers spawned under an earlier, wider configuration),
-    // then run inline with no queue traffic at all.
-    wait(deps, ndeps);
-    const auto t0 = std::chrono::steady_clock::now();
+    // then run inline with no queue traffic at all. A pending error is NOT
+    // rethrown here — the task is skipped (cancelled) and the error
+    // surfaces at the caller's next wait, the same as the threaded path.
+    wait_impl(deps, ndeps);
+    bool skip;
     {
-      xblas::ScopedThreadCap cap(1);
-      fn();
+      std::unique_lock<std::mutex> lock(mutex_);
+      skip = cancelled_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!skip) {
+      try {
+        run_task_body(fn);
+      } catch (...) {
+        capture_failure(name, step);
+      }
     }
     const auto t1 = std::chrono::steady_clock::now();
     Task done;
@@ -168,6 +271,12 @@ void TaskPool::finish_task(TaskId id, Task& task, int worker_index, double t0,
   }
   tasks_.erase(id);
   --live_tasks_;
+  ++retired_;
+  // A cancellation whose error was already consumed (a wedge that later
+  // resolved, the give-up drain having unwound first) must not poison the
+  // pool forever: once the graph is empty with no error pending, new work
+  // is accepted again.
+  if (live_tasks_ == 0 && !error_) cancelled_ = false;
   if (woke_ready) work_cv_.notify_all();
 }
 
@@ -175,12 +284,22 @@ void TaskPool::execute_task(TaskId id, Task&& task, int worker_index) {
   // Called WITHOUT the lock: the caller popped `id` from a ready queue and
   // moved the map entry's body out (the entry itself stays registered so
   // wait() and dependency registration keep seeing the task as live).
-  const auto t0 = std::chrono::steady_clock::now();
+  bool skip;
   {
-    // Pool work never forks nested BLAS teams, even when the helping
-    // master executes it (tuning.hpp, tls_thread_cap).
-    xblas::ScopedThreadCap cap(1);
-    task.fn();
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A prior failure cancels the rest of the graph: the task still
+    // "finishes" (so dependents unblock and waiters make progress) but its
+    // body never runs — the drain that prevents both deadlock and
+    // use-after-unwind.
+    skip = cancelled_;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!skip) {
+    try {
+      run_task_body(task.fn);
+    } catch (...) {
+      capture_failure(task.name, task.step);
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
   {
@@ -200,9 +319,81 @@ void TaskPool::execute_task(TaskId id, Task&& task, int worker_index) {
   done_cv_.notify_all();
 }
 
-void TaskPool::wait(const TaskId* ids, std::size_t n) {
+std::string TaskPool::dump_state_locked() const {
+  // Called with mutex_ held. A popped-but-running task has fn == nullptr;
+  // a dependency-blocked one has pending_deps > 0; the rest sit in a ready
+  // queue.
+  std::string out = "live tasks: " + std::to_string(live_tasks_);
+  int listed = 0;
+  for (const auto& [id, task] : tasks_) {
+    if (listed++ == 32) {
+      out += " ...";
+      break;
+    }
+    out += " [#" + std::to_string(id) + " " + task.name +
+           " step=" + std::to_string(task.step) +
+           (task.pending_deps > 0
+                ? " blocked(" + std::to_string(task.pending_deps) + " deps)"
+                : (task.fn == nullptr ? " running" : " ready")) +
+           "]";
+  }
+  return out;
+}
+
+bool TaskPool::blocked_wait(std::unique_lock<std::mutex>& lock,
+                            std::chrono::steady_clock::time_point& give_up) {
+  // Called with mutex_ held, nothing helpable in the queues. Watchdog
+  // accounting: a full interval with zero retirements while we are blocked
+  // means the pool is wedged (a stuck worker or an unsatisfiable
+  // dependency) — classify, cancel, and keep draining. Cooperative stalls
+  // abort on cancellation; if the pool STILL makes no progress for a grace
+  // interval after being declared wedged, give up on waiting entirely
+  // (best effort: the caller throws the wedge error with the state dump).
+  const double interval = watchdog_override_ > 0.0 ? watchdog_override_
+                                                   : env_watchdog_seconds();
+  const long long before = retired_;
+  const auto status =
+      done_cv_.wait_for(lock, std::chrono::duration<double>(interval));
+  if (status != std::cv_status::timeout || retired_ != before ||
+      live_tasks_ == 0) {
+    return true;  // progress (or at least a wakeup): keep waiting normally
+  }
+  if (!error_) {
+    const std::string dump = dump_state_locked();
+    error_ = std::make_exception_ptr(status_error(
+        Status(StatusCode::kPoolWedged,
+               "no task retired within the watchdog interval (" +
+                   std::to_string(interval) + " s); " + dump)));
+    cancelled_ = true;
+    give_up = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(2.0 * interval));
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+    return true;
+  }
+  if (give_up == std::chrono::steady_clock::time_point{}) {
+    // The failure was captured elsewhere (another waiter's watchdog, or a
+    // thrown task) and THIS drain loop started with an unarmed deadline:
+    // arm it now so a permanently stuck worker cannot pin the waiter
+    // forever.
+    give_up = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(2.0 * interval));
+    return true;
+  }
+  if (std::chrono::steady_clock::now() >= give_up) {
+    std::fprintf(stderr, "conflux: task pool wedged beyond recovery: %s\n",
+                 dump_state_locked().c_str());
+    return false;
+  }
+  return true;
+}
+
+void TaskPool::wait_impl(const TaskId* ids, std::size_t n) {
   if (n == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
+  auto give_up = std::chrono::steady_clock::time_point{};
   for (;;) {
     bool all_done = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -214,8 +405,9 @@ void TaskPool::wait(const TaskId* ids, std::size_t n) {
     if (all_done) return;
     // Help with ready non-lazy work instead of blocking: on a machine with
     // few threads this is what lets the next panel's tasks run while the
-    // workers grind the previous step's lazy remainder.
-    const TaskId ready_id = pop_ready(/*allow_lazy=*/false);
+    // workers grind the previous step's lazy remainder. Once cancelled,
+    // help with lazy work too — draining is all that is left to do.
+    const TaskId ready_id = pop_ready(/*allow_lazy=*/cancelled_);
     if (ready_id != 0) {
       auto it = tasks_.find(ready_id);
       Task task = std::move(it->second);
@@ -225,26 +417,73 @@ void TaskPool::wait(const TaskId* ids, std::size_t n) {
       lock.lock();
       continue;
     }
-    done_cv_.wait(lock);
+    if (!blocked_wait(lock, give_up)) return;
   }
 }
 
-void TaskPool::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    if (live_tasks_ == 0 && job_ == nullptr) return;
-    const TaskId ready_id = pop_ready(/*allow_lazy=*/true);
-    if (ready_id != 0) {
-      auto it = tasks_.find(ready_id);
-      Task task = std::move(it->second);
-      it->second.fn = nullptr;
-      lock.unlock();
-      execute_task(ready_id, std::move(task), /*worker_index=*/0);
-      lock.lock();
-      continue;
-    }
-    done_cv_.wait(lock);
+void TaskPool::rethrow_if_failed() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!error_) return;
   }
+  // Drain EVERYTHING before unwinding the caller: live tasks may reference
+  // state the caller is about to destroy. Cancelled bodies are no-ops, so
+  // this is fast unless a worker is genuinely stuck — then blocked_wait's
+  // give-up path bounds the drain.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto give_up = std::chrono::steady_clock::time_point{};
+    while (live_tasks_ > 0) {
+      const TaskId ready_id = pop_ready(/*allow_lazy=*/true);
+      if (ready_id != 0) {
+        auto it = tasks_.find(ready_id);
+        Task task = std::move(it->second);
+        it->second.fn = nullptr;
+        lock.unlock();
+        execute_task(ready_id, std::move(task), /*worker_index=*/0);
+        lock.lock();
+        continue;
+      }
+      if (!blocked_wait(lock, give_up)) break;
+    }
+  }
+  std::exception_ptr ep;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ep = error_;
+    error_ = nullptr;
+    // Only lift the cancellation once the graph is empty: a task submitted
+    // before the failure must never run its body after the unwind.
+    if (live_tasks_ == 0) cancelled_ = false;
+  }
+  std::rethrow_exception(ep);
+}
+
+void TaskPool::wait(const TaskId* ids, std::size_t n) {
+  wait_impl(ids, n);
+  rethrow_if_failed();
+}
+
+void TaskPool::wait_all() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto give_up = std::chrono::steady_clock::time_point{};
+    for (;;) {
+      if (live_tasks_ == 0 && job_ == nullptr) break;
+      const TaskId ready_id = pop_ready(/*allow_lazy=*/true);
+      if (ready_id != 0) {
+        auto it = tasks_.find(ready_id);
+        Task task = std::move(it->second);
+        it->second.fn = nullptr;
+        lock.unlock();
+        execute_task(ready_id, std::move(task), /*worker_index=*/0);
+        lock.lock();
+        continue;
+      }
+      if (!blocked_wait(lock, give_up)) break;
+    }
+  }
+  rethrow_if_failed();
 }
 
 void TaskPool::run_parallel_job(ParallelJob& job, int team_width) {
@@ -260,20 +499,36 @@ void TaskPool::run_parallel_job(ParallelJob& job, int team_width) {
   lock.unlock();
   work_cv_.notify_all();
 
-  // Master claims indices alongside the workers.
+  // Master claims indices alongside the workers. A body that throws (on
+  // either side) records the pool error and abandons the unclaimed tail —
+  // `skipped` keeps the completion accounting exact.
   lock.lock();
   {
     xblas::ScopedThreadCap cap(1);
     while (job.next < job.total) {
       const index_t i = job.next++;
       lock.unlock();
-      job.run(job.ctx, i);
+      try {
+        job.run(job.ctx, i);
+      } catch (...) {
+        capture_failure("parallel-for", -1);
+        lock.lock();
+        job.skipped += job.total - job.next;
+        job.next = job.total;
+        ++job.done;
+        continue;
+      }
       lock.lock();
       ++job.done;
     }
   }
-  while (job.done < job.total) done_cv_.wait(lock);
+  auto give_up = std::chrono::steady_clock::time_point{};
+  while (job.done + job.skipped < job.total) {
+    if (!blocked_wait(lock, give_up)) break;
+  }
   job_ = nullptr;
+  lock.unlock();
+  rethrow_if_failed();
 }
 
 void TaskPool::worker_main(int worker_index) {
@@ -292,9 +547,19 @@ void TaskPool::worker_main(int worker_index) {
       ParallelJob& job = *job_;
       const index_t i = job.next++;
       lock.unlock();
-      job.run(job.ctx, i);
+      bool failed = false;
+      try {
+        job.run(job.ctx, i);
+      } catch (...) {
+        capture_failure("parallel-for", -1);
+        failed = true;
+      }
       lock.lock();
-      if (++job.done == job.total) {
+      if (failed) {
+        job.skipped += job.total - job.next;
+        job.next = job.total;
+      }
+      if (++job.done + job.skipped >= job.total) {
         lock.unlock();
         done_cv_.notify_all();
         lock.lock();

@@ -38,12 +38,30 @@
 // Width 1 short-circuits everything: parallel_for runs inline and submit
 // executes the task immediately on the caller — the explicit fast path that
 // skips all team machinery for single-chunk work.
+// Failure semantics (DESIGN.md "Failure model and degradation ladder"):
+// an exception thrown inside a task no longer terminates the worker — it is
+// captured (non-status exceptions are wrapped into a classified
+// status_error with StatusCode::kTaskFailed), the pool cancels the
+// remaining graph (pending tasks drain as no-ops, so dependents never
+// deadlock on a task that will not produce), and the first captured error
+// rethrows on the master at its next wait()/wait_all()/parallel_for() —
+// after every live task has drained, so nothing still references the
+// master's unwinding state. A watchdog detects a wedged pool: if the master
+// blocks for a full interval (CONFLUX_WATCHDOG_S, default 300 s; must
+// exceed the longest single task) during which no task retires, the pool
+// raises StatusCode::kPoolWedged carrying a dump of the ready/running/
+// blocked task ids, cancels, and unwinds — replacing the ctest timeout as
+// the deadlock detector. Cancellation is cooperative: injected worker
+// stalls (support/fault.hpp) abort when the pool cancels; a genuinely stuck
+// worker cannot be unwound safely, so after a grace period the pool throws
+// anyway (best effort, dump on stderr) rather than hanging forever.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -114,12 +132,19 @@ class TaskPool {
 
   /// Block until the given tasks completed; the caller helps execute ready
   /// Urgent/Other tasks while it waits (never Lazy ones: getting stuck in a
-  /// long trailing update would defeat the lookahead).
+  /// long trailing update would defeat the lookahead). If any task failed
+  /// (or the watchdog fired) since the last rethrow, drains every live task
+  /// and rethrows the first captured error.
   void wait(const TaskId* ids, std::size_t n);
   void wait(TaskId id) { wait(&id, 1); }
   void wait(const std::vector<TaskId>& ids) { wait(ids.data(), ids.size()); }
-  /// Block until every submitted task completed.
+  /// Block until every submitted task completed (same error semantics).
   void wait_all();
+
+  /// Watchdog interval override for tests; <= 0 restores CONFLUX_WATCHDOG_S
+  /// (default 300 s). The interval must exceed the longest single task.
+  void set_watchdog_seconds(double seconds);
+  double watchdog_seconds() const;
 
   /// Deterministic team execution of body(i) for i in [0, n): the fixed
   /// chunk decomposition is "one index per task", indices are claimed
@@ -167,8 +192,9 @@ class TaskPool {
     void (*run)(void*, index_t) = nullptr;
     void* ctx = nullptr;
     index_t total = 0;
-    index_t next = 0;  // next unclaimed index (guarded by mutex_)
-    index_t done = 0;  // completed indices (guarded by mutex_)
+    index_t next = 0;     // next unclaimed index (guarded by mutex_)
+    index_t done = 0;     // completed indices (guarded by mutex_)
+    index_t skipped = 0;  // indices abandoned after a body threw
   };
 
   void run_parallel_job(ParallelJob& job, int team_width);
@@ -178,6 +204,23 @@ class TaskPool {
   TaskId pop_ready(bool allow_lazy);
   void execute_task(TaskId id, Task&& task, int worker_index);
   void finish_task(TaskId id, Task& task, int worker_index, double t0, double t1);
+  /// Run one task body through the fault-injection sites and the BLAS
+  /// thread cap. Throws whatever the body (or an injected fault) throws.
+  void run_task_body(const std::function<void()>& fn);
+  /// Record the in-flight exception (call inside a catch block) as the
+  /// pool's first error and cancel the remaining graph.
+  void capture_failure(const char* name, long long step);
+  /// wait() without the error rethrow (used for dependency waits).
+  void wait_impl(const TaskId* ids, std::size_t n);
+  /// If an error is pending: drain every live task, clear the cancelled
+  /// state, and rethrow the first captured error.
+  void rethrow_if_failed();
+  /// One blocked-master wait slice with watchdog accounting; returns false
+  /// when the caller should give up waiting (unrecoverable wedge).
+  bool blocked_wait(std::unique_lock<std::mutex>& lock,
+                    std::chrono::steady_clock::time_point& give_up);
+  std::string dump_state_locked() const;
+  void stall_cooperatively(double seconds);
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: new ready work / shutdown
@@ -189,7 +232,11 @@ class TaskPool {
   ParallelJob* job_ = nullptr;     ///< active parallel_for, if any
   TaskId next_id_ = 1;
   long long live_tasks_ = 0;  ///< submitted and not yet finished
+  long long retired_ = 0;     ///< total finished tasks (watchdog progress)
   bool stop_ = false;
+  bool cancelled_ = false;          ///< pending task bodies are skipped
+  std::exception_ptr error_;        ///< first captured failure
+  double watchdog_override_ = 0.0;  ///< tests; <= 0 = env/default
 
   bool recording_ = false;
   std::vector<TaskSlice> slices_;

@@ -46,3 +46,16 @@ inline void check(bool cond, std::string_view msg = "invariant violated",
 }
 
 }  // namespace conflux
+
+/// Hot-loop precondition check: a classified contract_error in Debug and
+/// sanitizer builds (CMake defines CONFLUX_ENABLE_CHECKS there), compiled
+/// out entirely in Release. Use for per-element/per-view geometry guards on
+/// the factorization's inner paths — anything whose cost would show up in a
+/// profile; entry-point argument validation stays on the always-on
+/// expects()/check() calls. This has to be a macro (not an inline function)
+/// so Release builds do not even evaluate the condition.
+#if defined(CONFLUX_ENABLE_CHECKS)
+#define CONFLUX_CHECK(cond, msg) ::conflux::check((cond), (msg))
+#else
+#define CONFLUX_CHECK(cond, msg) ((void)0)
+#endif

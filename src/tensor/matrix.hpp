@@ -70,7 +70,7 @@ class MatrixView {
   MatrixView() = default;
   MatrixView(T* data, index_t rows, index_t cols, index_t ld)
       : data_(data), rows_(rows), cols_(cols), ld_(ld) {
-    expects(rows >= 0 && cols >= 0 && ld >= cols, "invalid view geometry");
+    CONFLUX_CHECK(rows >= 0 && cols >= 0 && ld >= cols, "invalid view geometry");
   }
 
   index_t rows() const { return rows_; }
@@ -85,8 +85,8 @@ class MatrixView {
   T* row(index_t i) const { return data_ + i * ld_; }
 
   MatrixView block(index_t i0, index_t j0, index_t nrows, index_t ncols) const {
-    expects(i0 >= 0 && j0 >= 0 && i0 + nrows <= rows_ && j0 + ncols <= cols_,
-            "block out of range");
+    CONFLUX_CHECK(i0 >= 0 && j0 >= 0 && i0 + nrows <= rows_ && j0 + ncols <= cols_,
+                  "block out of range");
     return MatrixView(data_ + i0 * ld_ + j0, nrows, ncols, ld_);
   }
 
@@ -106,7 +106,7 @@ class ConstMatrixView {
   ConstMatrixView() = default;
   ConstMatrixView(const T* data, index_t rows, index_t cols, index_t ld)
       : data_(data), rows_(rows), cols_(cols), ld_(ld) {
-    expects(rows >= 0 && cols >= 0 && ld >= cols, "invalid view geometry");
+    CONFLUX_CHECK(rows >= 0 && cols >= 0 && ld >= cols, "invalid view geometry");
   }
 
   index_t rows() const { return rows_; }
@@ -121,8 +121,8 @@ class ConstMatrixView {
   const T* row(index_t i) const { return data_ + i * ld_; }
 
   ConstMatrixView block(index_t i0, index_t j0, index_t nrows, index_t ncols) const {
-    expects(i0 >= 0 && j0 >= 0 && i0 + nrows <= rows_ && j0 + ncols <= cols_,
-            "block out of range");
+    CONFLUX_CHECK(i0 >= 0 && j0 >= 0 && i0 + nrows <= rows_ && j0 + ncols <= cols_,
+                  "block out of range");
     return ConstMatrixView(data_ + i0 * ld_ + j0, nrows, ncols, ld_);
   }
 

@@ -364,7 +364,21 @@ TEST(Confchox, IndefiniteMatrixRejected) {
   xsim::Machine m = make_machine(4, machine_memory(n, g), xsim::ExecMode::Real);
   FactorOptions opt;
   opt.block_size = 8;
-  EXPECT_THROW(confchox(m, g, a.view(), opt), contract_error);
+  // Non-positive-definite is a classified numerical breakdown (data defeated
+  // the algorithm), not a caller contract violation.
+  try {
+    confchox(m, g, a.view(), opt);
+    FAIL() << "indefinite matrix must not factor";
+  } catch (const conflux::status_error& e) {
+    EXPECT_EQ(e.code(), conflux::StatusCode::kNotPositiveDefinite);
+  }
+  // The non-throwing variant classifies the same breakdown as a failed
+  // Result instead.
+  xsim::Machine m2 = make_machine(4, machine_memory(n, g), xsim::ExecMode::Real);
+  const auto r = try_confchox(m2, g, a.view(), opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), conflux::StatusCode::kNotPositiveDefinite);
 }
 
 // ------------------------------------------------- Trace/Real equality -----

@@ -258,13 +258,30 @@ TEST(FailureInjection, SingularMatrixStillTerminates) {
 }
 
 TEST(FailureInjection, ZeroMatrixLuTerminates) {
+  // A zero matrix hits an exactly-zero pivot at the FIRST step with trailing
+  // tiles still pending — a HARD breakdown (the panel trsms would divide by
+  // zero). The factorization must terminate promptly with a classified
+  // failure, not hang or return NaN wreckage.
   const index_t n = 32;
   const MatrixD a(n, n, 0.0);
   const grid::Grid3D g(2, 2, 1);
   xsim::Machine m = make_machine(4, 1e9, xsim::ExecMode::Real);
   factor::FactorOptions fopt;
   fopt.block_size = 8;
-  EXPECT_NO_THROW(factor::conflux_lu(m, g, a.view(), fopt));
+  try {
+    factor::conflux_lu(m, g, a.view(), fopt);
+    FAIL() << "mid-run zero pivot must be a hard breakdown";
+  } catch (const status_error& e) {
+    EXPECT_EQ(e.code(), StatusCode::kSingularPivot);
+    EXPECT_EQ(e.status().step(), 0);
+  }
+  // Same classification through the non-throwing API, and the machine is
+  // reusable afterwards (the pool drained cleanly on unwind).
+  const auto r = factor::try_conflux_lu(m, g, a.view(), fopt);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), StatusCode::kSingularPivot);
+  const MatrixD healthy = random_dominant_matrix(n, 41);
+  EXPECT_NO_THROW(factor::conflux_lu(m, g, healthy.view(), fopt));
 }
 
 TEST(FailureInjection, TinyMatrixOnBigGridWorks) {

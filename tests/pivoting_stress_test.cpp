@@ -13,6 +13,7 @@
 
 #include "blas/lapack.hpp"
 #include "factor/conflux_lu.hpp"
+#include "factor/mixed.hpp"
 #include "tensor/random_matrix.hpp"
 
 namespace conflux {
@@ -77,6 +78,15 @@ LuResultT<T> factor_3d(ConstMatrixView<T> a, int px, int py, int pz, index_t v) 
   FactorOptions opt;
   opt.block_size = v;
   return factor::conflux_lu(m, g, a, opt);
+}
+
+template <typename T>
+Result<LuResultT<T>> try_factor_3d(ConstMatrixView<T> a, int px, int py, int pz,
+                                   index_t v, FactorOptions opt = {}) {
+  const grid::Grid3D g(px, py, pz);
+  xsim::Machine m = real_machine(g.ranks());
+  opt.block_size = v;
+  return factor::try_conflux_lu(m, g, a, opt);
 }
 
 // ----------------------------------------------------- Wilkinson growth ----
@@ -151,6 +161,149 @@ TEST(PivotingStress, ExactlySingularStillFactors) {
     seen[static_cast<std::size_t>(r)] = true;
   }
   EXPECT_LT(xblas::lu_residual(a.view(), lu.factors.view(), lu.perm), 500.0);
+}
+
+// --------------------------------------- breakdown classification (ISSUE 6) --
+
+TEST(PivotingStress, NanInputClassifiedNonFinite) {
+  // NaN contamination must be caught by the input scan — a HARD failure with
+  // a precise code, never a silently-NaN factorization.
+  const index_t n = 64;
+  MatrixD a = random_matrix(n, n, 777);
+  a(n / 2, n / 3) = std::numeric_limits<double>::quiet_NaN();
+  const auto r = try_factor_3d<double>(a.view(), 2, 2, 1, 16);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), StatusCode::kNonFinite);
+
+  // Inf classifies identically (the scan is !isfinite, not isnan).
+  MatrixD b = random_matrix(n, n, 778);
+  b(0, 0) = std::numeric_limits<double>::infinity();
+  const auto r2 = try_factor_3d<double>(b.view(), 2, 2, 1, 16);
+  EXPECT_FALSE(r2.has_value());
+  EXPECT_EQ(r2.status().code(), StatusCode::kNonFinite);
+}
+
+TEST(PivotingStress, ExactSingularityPinsStatusAndHealth) {
+  // Duplicate row (rank n-1): the zero pivot surfaces at the LAST
+  // elimination step, so the breakdown is SOFT — completed factors plus a
+  // kSingularPivot classification, LAPACK info > 0 semantics.
+  const index_t n = 64;
+  MatrixD a = random_matrix(n, n, 555);
+  for (index_t j = 0; j < n; ++j) a(n - 1, j) = a(3, j);
+  const auto r = try_factor_3d<double>(a.view(), 2, 2, 2, 16);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r.ok());  // degraded, not failed
+  EXPECT_EQ(r.status().code(), StatusCode::kSingularPivot);
+  const auto& health = r.value().health;
+  EXPECT_EQ(health.code, StatusCode::kSingularPivot);
+  EXPECT_EQ(health.singular_pivots, 1);
+  EXPECT_EQ(health.min_pivot, 0.0);
+  EXPECT_EQ(health.first_breakdown_step, (n / 16) - 1);  // last outer step
+  // The degraded factors are still backward-stable.
+  EXPECT_LT(xblas::lu_residual(a.view(), r.value().factors.view(),
+                               r.value().perm),
+            500.0);
+}
+
+TEST(PivotingStress, NearSingularToleranceIsOptIn) {
+  // Default (tolerance 0): only exact zeros flag, so the 1e-13-perturbed
+  // system stays kOk. With an explicit pivot_tolerance the same run degrades
+  // to kNearSingularPivot — detection must be read-only (identical factors).
+  const index_t n = 96;
+  MatrixD a = random_matrix(n, n, 4242);
+  for (index_t j = 0; j < n; ++j) {
+    a(n - 1, j) = 0.5 * a(0, j) - 2.0 * a(1, j) + 1e-13 * a(2, j);
+  }
+  const auto r_default = try_factor_3d<double>(a.view(), 2, 2, 1, 16);
+  ASSERT_TRUE(r_default.has_value());
+  EXPECT_TRUE(r_default.ok());
+  EXPECT_GT(r_default.value().health.min_pivot, 0.0);
+
+  FactorOptions opt;
+  opt.pivot_tolerance = 1e-8;  // relative to max|A|; cond ~ 1e13 trips this
+  const auto r_tol = try_factor_3d<double>(a.view(), 2, 2, 1, 16, opt);
+  ASSERT_TRUE(r_tol.has_value());
+  EXPECT_FALSE(r_tol.ok());
+  EXPECT_EQ(r_tol.status().code(), StatusCode::kNearSingularPivot);
+  EXPECT_GE(r_tol.value().health.near_singular_pivots, 1);
+  // Read-only detection: bitwise-identical factors with and without it.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_EQ(r_default.value().factors(i, j), r_tol.value().factors(i, j));
+    }
+  }
+}
+
+TEST(PivotingStress, GrowthOverflowClassifiedSoftly) {
+  // Wilkinson growth 2^15 ~ 3.3e4 stays below the auto fp32 limit
+  // (1/(8 eps32) ~ 1e6) but trips an explicit 1e3 budget: completed factors
+  // plus kGrowthOverflow, with the measured growth surfaced in health.
+  const index_t n = 16;
+  MatrixF a(n, n);
+  const MatrixD a64 = wilkinson_matrix(n);
+  convert<double, float>(a64.view(), a.view());
+  const auto r_auto = try_factor_3d<float>(a.view(), 2, 2, 1, 8);
+  ASSERT_TRUE(r_auto.has_value());
+  EXPECT_TRUE(r_auto.ok());
+
+  FactorOptions opt;
+  opt.growth_limit = 1e3;
+  const auto r = try_factor_3d<float>(a.view(), 2, 2, 1, 8, opt);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kGrowthOverflow);
+  EXPECT_GT(r.value().health.growth_factor, 1e3);
+}
+
+// ----------------------------------------- degradation ladder (ISSUE 6) ----
+
+TEST(PivotingStress, IllConditionedSolveFallsBackToFp64) {
+  // cond(A) ~ 1e10: fp32 refinement stagnates (cond * eps32 ~ 1e3 >> 1) but
+  // the fp64 direct solve is backward-stable. The ladder must detect the
+  // stagnation, engage the fp64 rung, and report both legs faithfully.
+  const index_t n = 96;
+  MatrixD a = random_matrix(n, n, 8080);
+  for (index_t j = 0; j < n; ++j) {
+    a(n - 1, j) = 0.5 * a(0, j) - 2.0 * a(1, j) + 1e-10 * a(2, j);
+  }
+  MatrixD b = random_matrix(n, 2, 8081);
+  const MatrixD b0 = b;
+  const grid::Grid3D g(2, 2, 1);
+  xsim::Machine m = real_machine(g.ranks());
+  factor::MixedSolveOptions opt;
+  opt.factor.block_size = 16;
+
+  factor::reset_mixed_counters();
+  const auto rep = factor::conflux_lu_solve_mixed_ex(m, g, a.view(), b.view(), opt);
+  EXPECT_TRUE(rep.fp64_fallback);
+  EXPECT_FALSE(rep.refine.converged);
+  EXPECT_NE(rep.fallback_reason, StatusCode::kOk);
+  EXPECT_EQ(rep.code, StatusCode::kOk);  // the fp64 rung delivered
+  EXPECT_LT(rep.backward_error, 1e-12);
+  EXPECT_LT(factor::solve_backward_error(a.view(), b.view(), b0.view()), 1e-12);
+
+  const auto counters = factor::mixed_counters();
+  EXPECT_EQ(counters.solves, 1);
+  EXPECT_EQ(counters.fp64_fallbacks, 1);
+}
+
+TEST(PivotingStress, HealthySolveNeverFallsBack) {
+  // The zero-fallbacks-on-healthy gate (also enforced in bench): a well
+  // conditioned system must converge on the fp32 rung.
+  const index_t n = 96;
+  const MatrixD a = random_matrix(n, n, 9090);
+  MatrixD b = random_matrix(n, 2, 9091);
+  const grid::Grid3D g(2, 2, 1);
+  xsim::Machine m = real_machine(g.ranks());
+  factor::MixedSolveOptions opt;
+  opt.factor.block_size = 16;
+
+  factor::reset_mixed_counters();
+  const auto rep = factor::conflux_lu_solve_mixed_ex(m, g, a.view(), b.view(), opt);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.refine.converged);
+  EXPECT_FALSE(rep.fp64_fallback);
+  EXPECT_EQ(factor::mixed_counters().fp64_fallbacks, 0);
 }
 
 // ---------------------------------------------------- badly scaled rows ----

@@ -638,6 +638,99 @@ TEST(TaskPool, DependenciesOrderExecution) {
   EXPECT_EQ(stage.load(), 3);
 }
 
+// ------------------------------------------ failure semantics (ISSUE 6) ----
+
+TEST(TaskPool, TaskExceptionPropagatesToWait) {
+  // A task body that throws must surface on the master as a classified
+  // status_error at its next wait — never terminate() on a worker, never
+  // vanish.
+  TaskPool& pool = TaskPool::instance();
+  const TaskId t = pool.submit([] { throw std::runtime_error("boom"); },
+                               "thrower", TaskCategory::Other, 7, nullptr, 0);
+  try {
+    pool.wait(t);
+    FAIL() << "task exception must surface at wait";
+  } catch (const status_error& e) {
+    EXPECT_EQ(e.code(), StatusCode::kTaskFailed);
+    EXPECT_EQ(e.status().step(), 7);
+    EXPECT_NE(e.status().message().find("thrower"), std::string::npos);
+    EXPECT_NE(e.status().message().find("boom"), std::string::npos);
+  }
+  // Consuming the error resets the pool: fresh work runs normally.
+  std::atomic<int> ran{0};
+  const TaskId u =
+      pool.submit([&] { ran = 1; }, "after", TaskCategory::Other, 0, nullptr, 0);
+  pool.wait(u);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskPool, FailedTaskCancelsDependents) {
+  // Cooperative cancellation: after a failure the rest of the graph drains
+  // without running bodies — dependents "finish" (no deadlock) but their
+  // side effects never happen.
+  TaskPool& pool = TaskPool::instance();
+  std::atomic<bool> dependent_ran{false};
+  const TaskId bad =
+      pool.submit([] { throw std::runtime_error("first failure"); }, "bad",
+                  TaskCategory::Other, 1, nullptr, 0);
+  const TaskId dep = pool.submit([&] { dependent_ran = true; }, "dep",
+                                 TaskCategory::Other, 2, &bad, 1);
+  try {
+    pool.wait(dep);
+    FAIL() << "waiting on a cancelled dependent must rethrow the root cause";
+  } catch (const status_error& e) {
+    EXPECT_EQ(e.code(), StatusCode::kTaskFailed);
+    EXPECT_EQ(e.status().step(), 1);  // the ROOT failure, not the cascade
+  }
+  EXPECT_FALSE(dependent_ran.load());
+  std::atomic<bool> ok{false};
+  const TaskId next = pool.submit([&] { ok = true; }, "recover",
+                                  TaskCategory::Other, 0, nullptr, 0);
+  pool.wait(next);
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(TaskPool, WatchdogDetectsWedgedPool) {
+#ifndef _OPENMP
+  GTEST_SKIP() << "needs OpenMP to configure a 2-thread pool";
+#else
+  // A worker stuck in a task (here: spinning until released) must not hang
+  // the blocked master forever: after a full watchdog interval with zero
+  // retirements the wait fails fast with kPoolWedged and a task-id dump.
+  // The task is Lazy so the helping master cannot pick it up itself and
+  // block in its body.
+  TaskPool& pool = TaskPool::instance();
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(2);
+  pool.set_watchdog_seconds(0.2);
+  std::atomic<bool> release{false};
+  const TaskId wedged = pool.submit(
+      [&] {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      "wedged-task", TaskCategory::Lazy, 3, nullptr, 0);
+  try {
+    pool.wait(wedged);
+    FAIL() << "a wedged pool must fail fast, not block";
+  } catch (const status_error& e) {
+    EXPECT_EQ(e.code(), StatusCode::kPoolWedged);
+    EXPECT_NE(e.status().message().find("wedged-task"), std::string::npos);
+  }
+  // Resolve the wedge; the pool must drain and accept work again.
+  release = true;
+  pool.wait_all();
+  std::atomic<bool> ok{false};
+  const TaskId next = pool.submit([&] { ok = true; }, "after-wedge",
+                                  TaskCategory::Other, 0, nullptr, 0);
+  pool.wait(next);
+  EXPECT_TRUE(ok.load());
+  pool.set_watchdog_seconds(0.0);  // back to the env/default interval
+  omp_set_num_threads(saved);
+#endif
+}
+
 TEST(RankParallel, SingleChunkAndSingleThreadRunInline) {
   // The explicit fast path: n == 1, or only one thread configured, executes
   // on the calling thread with no team machinery at all.
