@@ -33,11 +33,16 @@
 #include "factor/confchox.hpp"
 #include "factor/conflux_lu.hpp"
 #include "factor/mixed.hpp"
+#include "models/models.hpp"
+#include "obs/audit.hpp"
 #include "sched/chrome_trace.hpp"
 #include "sched/event.hpp"
 #include "sched/taskpool.hpp"
 #include "sched/timeline.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/stopwatch.hpp"
 #include "tensor/random_matrix.hpp"
 
@@ -88,6 +93,24 @@ struct Row {
   long long ladder_solves = 0;
   long long ladder_fp64_fallbacks = 0;
   bool fallback_engaged = false;
+  // Metrics leg (tentpole): the same lookahead run with the registry armed.
+  // metrics_off_wall_s re-times the disarmed run adjacent to the armed one,
+  // so the <= 1.02x overhead gate compares back-to-back measurements.
+  double metrics_wall_s = 0.0;
+  double metrics_off_wall_s = 0.0;
+  // min over interleaved (disarmed, armed) pairs of armed/disarmed — the
+  // overhead estimate the gate uses (drift-immune: both runs of a pair
+  // execute back to back).
+  double metrics_pair_ratio = 0.0;
+  obs::DataMovementAudit audit;
+  // Task-pool runtime metrics over the audited run.
+  double pool_tasks_run = 0.0;
+  long long lat_urgent_count = 0;
+  double lat_urgent_sum_s = 0.0;
+  long long lat_lazy_count = 0;
+  double lat_lazy_sum_s = 0.0;
+  double ready_depth_max = 0.0;
+  double ready_lazy_depth_max = 0.0;
 };
 
 xsim::MachineSpec spec_for(const Cell& c) {
@@ -189,6 +212,86 @@ Row run_cell(const std::string& algo, const Cell& c, int reps, bool serial_basel
     row.la_idle_s = capacity > busy ? capacity - busy : 0.0;
   }
 
+  // Metrics leg (tentpole): the lookahead run with the registry armed. One
+  // audited run brackets a metrics snapshot pair — the measured dm.* bytes
+  // become the data-movement audit against the Section 6 lower bound — and
+  // the timed pair (disarmed vs armed, back to back, best-of-reps) feeds
+  // the instrumentation-overhead gate. Instrumentation is read-only on the
+  // data path, so every run here produces bitwise the same factors.
+  {
+    const bool was_enabled = metrics::enabled();
+    factor::FactorOptions la_opt = opt;
+    la_opt.lookahead = 1;
+    const auto la_run = [&] {
+      xsim::Machine m(spec, xsim::ExecMode::Real);
+      if (lu) {
+        factor::conflux_lu(m, g, a.view(), la_opt);
+      } else {
+        factor::confchox(m, g, a.view(), la_opt);
+      }
+    };
+    // Overhead measurement at the acceptance cell is best-of-5 even with
+    // --reps=1, and the disarmed/armed legs INTERLEAVE rep by rep: a 2%
+    // gate is tighter than this container's slow thermal/scheduler drift,
+    // so each leg must sample every phase of it. Disarmed runs leave the
+    // registry untouched (obs_test pins that), so the audit snapshots can
+    // bracket the whole interleaved block and still see only armed runs.
+    const int gate_reps = c.n >= 2048 ? std::max(reps, 5) : reps;
+    metrics::set_enabled(false);
+    la_run();  // warm
+    metrics::set_enabled(true);
+    const metrics::Snapshot before = metrics::snapshot();
+    row.metrics_off_wall_s = std::numeric_limits<double>::infinity();
+    row.metrics_wall_s = std::numeric_limits<double>::infinity();
+    row.metrics_pair_ratio = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < gate_reps; ++rep) {
+      metrics::set_enabled(false);
+      const double off = best_wall(1, la_run);
+      metrics::set_enabled(true);
+      const double on = best_wall(1, la_run);
+      row.metrics_off_wall_s = std::min(row.metrics_off_wall_s, off);
+      row.metrics_wall_s = std::min(row.metrics_wall_s, on);
+      // The pair ratio bounds the true overhead from above whenever ONE
+      // pair lands in a quiet scheduling window; min over pairs is the
+      // tightest such bound this container can produce.
+      if (off > 0.0) row.metrics_pair_ratio = std::min(row.metrics_pair_ratio, on / off);
+    }
+    const metrics::Snapshot after = metrics::snapshot();
+    metrics::set_enabled(was_enabled);
+    // The dm.* counters accumulated over gate_reps identical runs.
+    const double per_run = 1.0 / static_cast<double>(gate_reps);
+    const double modeled_words =
+        lu ? models::conflux_lu_volume_exact(c.n, g, c.v)
+           : models::confchox_volume_exact(c.n, g, c.v);
+    row.audit = obs::audit_data_movement(
+        lu ? obs::Kernel::kLu : obs::Kernel::kCholesky, before, after,
+        static_cast<double>(c.n), static_cast<double>(spec.num_ranks),
+        spec.memory_words, modeled_words);
+    row.audit.measured_bytes *= per_run;
+    row.audit.measured_words_per_rank *= per_run;
+    row.audit.measured_ratio *= per_run;
+    for (auto& b : row.audit.breakdown) b.bytes *= per_run;
+    row.pool_tasks_run =
+        (after.value("pool.tasks_run") - before.value("pool.tasks_run")) *
+        per_run;
+    if (const metrics::MetricValue* h = after.find("pool.latency_urgent_s")) {
+      const metrics::MetricValue* h0 = before.find("pool.latency_urgent_s");
+      row.lat_urgent_count = h->count - (h0 != nullptr ? h0->count : 0);
+      row.lat_urgent_sum_s = h->sum - (h0 != nullptr ? h0->sum : 0.0);
+    }
+    if (const metrics::MetricValue* h = after.find("pool.latency_lazy_s")) {
+      const metrics::MetricValue* h0 = before.find("pool.latency_lazy_s");
+      row.lat_lazy_count = h->count - (h0 != nullptr ? h0->count : 0);
+      row.lat_lazy_sum_s = h->sum - (h0 != nullptr ? h0->sum : 0.0);
+    }
+    if (const metrics::MetricValue* g2 = after.find("pool.ready_depth")) {
+      row.ready_depth_max = g2->max;
+    }
+    if (const metrics::MetricValue* g2 = after.find("pool.ready_lazy_depth")) {
+      row.ready_lazy_depth_max = g2->max;
+    }
+  }
+
   // Mixed-precision solve: fp32 factorization (timed with the same
   // best-of-reps harness as the fp64 wall above, so the published ratio
   // compares equal footing) + blocked fp64 refinement over an 8-column RHS
@@ -285,39 +388,75 @@ void print_row(const Row& r) {
       r.fp32_wall_s, r.fp32_wall_s > 0.0 ? r.real_wall_s / r.fp32_wall_s : 0.0,
       r.ir_steps, r.ir_backward_error, r.direct_backward_error,
       r.ladder_fp64_fallbacks, r.ladder_solves);
+  std::printf(
+      "            metrics on %.3fs vs off %.3fs (%.3fx) | measured %.3gM"
+      " words/rank vs bound %.3gM (%.1fx, model %.1fx) | %lld urgent /"
+      " %lld lazy tasks\n",
+      r.metrics_wall_s, r.metrics_off_wall_s, r.metrics_pair_ratio,
+      r.audit.measured_words_per_rank / 1e6, r.audit.lower_bound_words / 1e6,
+      r.audit.measured_ratio, r.audit.model_ratio, r.lat_urgent_count,
+      r.lat_lazy_count);
 }
 
 bool write_json(const std::string& path, const std::vector<Row>& rows) {
   std::ofstream out(path);
-  out << "[\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "  {\"algo\": \"" << r.algo << "\", \"n\": " << r.cell.n
-        << ", \"px\": " << r.cell.px << ", \"py\": " << r.cell.py
-        << ", \"pz\": " << r.cell.pz << ", \"v\": " << r.cell.v
-        << ", \"real_wall_s\": " << r.real_wall_s
-        << ", \"serial_wall_s\": " << r.serial_wall_s
-        << ", \"real_gflops\": " << r.real_gflops
-        << ", \"workspace_peak_words\": " << r.workspace_peak_words
-        << ", \"model_bsp_s\": " << r.t_bsp
-        << ", \"model_timeline_s\": " << r.t_timeline
-        << ", \"model_lookahead_s\": " << r.t_lookahead
-        << ", \"model_overlap_s\": " << r.t_overlap
-        << ", \"lookahead_wall_s\": " << r.lookahead_wall_s
-        << ", \"la_urgent_busy_s\": " << r.la_urgent_busy_s
-        << ", \"la_lazy_busy_s\": " << r.la_lazy_busy_s
-        << ", \"la_other_busy_s\": " << r.la_other_busy_s
-        << ", \"la_idle_s\": " << r.la_idle_s
-        << ", \"fp32_wall_s\": " << r.fp32_wall_s
-        << ", \"ir_steps\": " << r.ir_steps
-        << ", \"ir_backward_error\": " << r.ir_backward_error
-        << ", \"direct_backward_error\": " << r.direct_backward_error
-        << ", \"ladder_solves\": " << r.ladder_solves
-        << ", \"fp64_fallbacks\": " << r.ladder_fp64_fallbacks
-        << ", \"threads\": " << r.threads << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  json::Writer w(out);
+  w.begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.field("algo", std::string_view(r.algo));
+    w.field("n", static_cast<long long>(r.cell.n));
+    w.field("px", r.cell.px);
+    w.field("py", r.cell.py);
+    w.field("pz", r.cell.pz);
+    w.field("v", static_cast<long long>(r.cell.v));
+    w.field("real_wall_s", r.real_wall_s);
+    w.field("serial_wall_s", r.serial_wall_s);
+    w.field("real_gflops", r.real_gflops);
+    w.field("workspace_peak_words", r.workspace_peak_words);
+    w.field("model_bsp_s", r.t_bsp);
+    w.field("model_timeline_s", r.t_timeline);
+    w.field("model_lookahead_s", r.t_lookahead);
+    w.field("model_overlap_s", r.t_overlap);
+    w.field("lookahead_wall_s", r.lookahead_wall_s);
+    w.field("la_urgent_busy_s", r.la_urgent_busy_s);
+    w.field("la_lazy_busy_s", r.la_lazy_busy_s);
+    w.field("la_other_busy_s", r.la_other_busy_s);
+    w.field("la_idle_s", r.la_idle_s);
+    w.field("fp32_wall_s", r.fp32_wall_s);
+    w.field("ir_steps", r.ir_steps);
+    w.field("ir_backward_error", r.ir_backward_error);
+    w.field("direct_backward_error", r.direct_backward_error);
+    w.field("ladder_solves", r.ladder_solves);
+    w.field("fp64_fallbacks", r.ladder_fp64_fallbacks);
+    w.field("threads", r.threads);
+    // Metrics section: overhead pair, the measured data-movement audit,
+    // and the task-pool runtime metrics of the audited lookahead run.
+    w.key("metrics");
+    w.begin_object();
+    w.field("metrics_wall_s", r.metrics_wall_s);
+    w.field("metrics_off_wall_s", r.metrics_off_wall_s);
+    w.field("overhead_ratio", r.metrics_off_wall_s > 0.0
+                                  ? r.metrics_wall_s / r.metrics_off_wall_s
+                                  : 0.0);
+    w.field("overhead_pair_ratio", r.metrics_pair_ratio);
+    w.key("data_movement_audit");
+    obs::write_json(w, r.audit);
+    w.key("pool");
+    w.begin_object();
+    w.field("tasks_run", r.pool_tasks_run);
+    w.field("latency_urgent_count", r.lat_urgent_count);
+    w.field("latency_urgent_sum_s", r.lat_urgent_sum_s);
+    w.field("latency_lazy_count", r.lat_lazy_count);
+    w.field("latency_lazy_sum_s", r.lat_lazy_sum_s);
+    w.field("ready_depth_max", r.ready_depth_max);
+    w.field("ready_lazy_depth_max", r.ready_lazy_depth_max);
+    w.end_object();
+    w.end_object();
+    w.end_object();
   }
-  out << "]\n";
+  w.end_array();
+  out << "\n";
   return out.good();
 }
 
@@ -349,6 +488,39 @@ int main(int argc, char** argv) {
                               trace_path.empty() ? nullptr : &last_lu_log,
                               &last_lu_spec));
       print_row(rows.back());
+    }
+  }
+
+  // CONFLUX_TRACE=<file>: one merged Chrome trace of the first cell's LU
+  // lookahead run — task-pool worker slices, the factor core's annotated
+  // phase spans, and the sampled counter tracks, in a single timeline.
+  if (const std::string& unified_path = prof::trace_path(); !unified_path.empty()) {
+    const Cell& c = cells.front();
+    const grid::Grid3D g(c.px, c.py, c.pz);
+    const MatrixD a = random_matrix(c.n, c.n, 1);
+    factor::FactorOptions opt;
+    opt.block_size = c.v;
+    opt.lookahead = 1;
+    const bool was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    sched::TaskPool& pool = sched::TaskPool::instance();
+    pool.start_recording();
+    prof::start_capture();
+    {
+      xsim::Machine m(spec_for(c), xsim::ExecMode::Real);
+      factor::conflux_lu(m, g, a.view(), opt);
+    }
+    const prof::Capture capture = prof::stop_capture();
+    const std::vector<sched::TaskSlice> slices = pool.stop_recording();
+    metrics::set_enabled(was_enabled);
+    if (sched::write_unified_trace_file(unified_path, slices, capture)) {
+      std::printf(
+          "wrote unified trace %s (%zu task slices, %zu spans, %zu samples)\n",
+          unified_path.c_str(), slices.size(), capture.spans.size(),
+          capture.samples.size());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", unified_path.c_str());
+      return 1;
     }
   }
 
@@ -433,6 +605,44 @@ int main(int argc, char** argv) {
                    "n=%lld (%lld of %lld solves)\n",
                    r.algo.c_str(), static_cast<long long>(r.cell.n),
                    r.ladder_fp64_fallbacks, r.ladder_solves);
+      return 1;
+    }
+    // Data-movement audit gate: the measured per-rank volume must exceed
+    // the lower bound (counting every workspace touch, it cannot be below
+    // a valid bound) and stay within a fixed constant factor of it — the
+    // implementation moves O(lower bound) data. The constant covers the
+    // shared-memory accounting (each operand touch counted, both sides of
+    // every copy) across all bench cells; a regression that loses the
+    // asymptotics (for example re-reading the trailing matrix per step
+    // without blocking) overshoots it by orders of magnitude.
+    const bool audit_ok = std::isfinite(r.audit.measured_ratio) &&
+                          r.audit.measured_ratio >= 1.0 &&
+                          r.audit.measured_ratio <= 80.0;
+    if (!audit_ok) {
+      std::fprintf(stderr,
+                   "error: measured data movement off the bound for %s "
+                   "n=%lld (%.3g words/rank vs bound %.3g, ratio %.2f)\n",
+                   r.algo.c_str(), static_cast<long long>(r.cell.n),
+                   r.audit.measured_words_per_rank, r.audit.lower_bound_words,
+                   r.audit.measured_ratio);
+      return 1;
+    }
+    // Instrumentation-overhead gate (acceptance): at the n=2048 P=64 cell
+    // the armed run must cost at most 2% over the disarmed run. The gated
+    // statistic is the min over interleaved back-to-back (disarmed, armed)
+    // pairs: the registry's overhead is deterministic (one TLS add per
+    // record), while this container's scheduling noise is several percent
+    // between runs minutes apart — a single quiet pair bounds the true
+    // overhead from above, where min-per-leg over independent runs does
+    // not.
+    if (r.cell.n == 2048 && r.cell.px * r.cell.py * r.cell.pz == 64 &&
+        r.metrics_pair_ratio > 1.02) {
+      std::fprintf(stderr,
+                   "error: metrics overhead above 2%% for %s n=%lld "
+                   "(best pair %.3fx; best %.3fs armed vs %.3fs disarmed)\n",
+                   r.algo.c_str(), static_cast<long long>(r.cell.n),
+                   r.metrics_pair_ratio, r.metrics_wall_s,
+                   r.metrics_off_wall_s);
       return 1;
     }
   }

@@ -25,6 +25,7 @@
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
 #include "blas/tuning.hpp"
+#include "support/json.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -152,15 +153,20 @@ void print_result(const Result& r) {
 
 bool write_json(const std::string& path, const std::vector<Result>& results) {
   std::ofstream out(path);
-  out << "[\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    out << "  {\"kernel\": \"" << r.kernel << "\", \"n\": " << r.n
-        << ", \"gflops\": " << r.gflops << ", \"best_seconds\": " << r.seconds
-        << ", \"reps\": " << r.reps << ", \"threads\": " << g_threads << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+  conflux::json::Writer w(out);
+  w.begin_array();
+  for (const Result& r : results) {
+    w.begin_object();
+    w.field("kernel", std::string_view(r.kernel));
+    w.field("n", static_cast<long long>(r.n));
+    w.field("gflops", r.gflops);
+    w.field("best_seconds", r.seconds);
+    w.field("reps", r.reps);
+    w.field("threads", g_threads);
+    w.end_object();
   }
-  out << "]\n";
+  w.end_array();
+  out << "\n";
   return out.good();
 }
 

@@ -39,6 +39,7 @@
 #include "blas/blas.hpp"
 #include "blas/tuning.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -50,6 +51,14 @@ namespace {
 
 inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 inline index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
+
+// Measured data movement (DESIGN.md "Observability"): bytes written into
+// the pack buffers, accumulated once per gemm call from the loop-nest trip
+// counts (every (jc, pc) block packs nc*kc of B once and re-packs m*kc of
+// A, per the Goto loop structure above) — no per-block work on the hot
+// path beyond the registry's single-branch gate.
+const metrics::Counter g_pack_a_bytes("dm.pack_a.bytes");
+const metrics::Counter g_pack_b_bytes("dm.pack_b.bytes");
 
 // C[mr x nr] += packed-A micro-panel * op(B) stripe, kc deep.
 //   ap: kc slices of MR values (column of op(A), zero-padded past mr)
@@ -296,6 +305,17 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
   // instead of packing them (transb == None keeps rows contiguous).
   const bool strided_b =
       transb == Trans::None && tu.small_k > 0 && k <= tu.small_k;
+
+  if (metrics::enabled()) {
+    const double scalar_bytes = static_cast<double>(sizeof(T));
+    g_pack_a_bytes.add(static_cast<double>(ceil_div(n, nc_blk)) *
+                       static_cast<double>(m) * static_cast<double>(k) *
+                       scalar_bytes);
+    if (!strided_b) {
+      g_pack_b_bytes.add(static_cast<double>(n) * static_cast<double>(k) *
+                         scalar_bytes);
+    }
+  }
 
   std::vector<T>& bpack = TlsBufs<T>::bpack();
   if (!strided_b && static_cast<index_t>(bpack.size()) < nc_blk * kc_blk)

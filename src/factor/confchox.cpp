@@ -10,6 +10,8 @@
 #include "sched/taskpool.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
 
@@ -21,6 +23,14 @@ using xblas::Diag;
 using xblas::Side;
 using xblas::Trans;
 using xblas::UpLo;
+
+// Measured data movement (DESIGN.md "Observability"); same counter names
+// as conflux_lu.cpp — registration is idempotent by name, so both factor
+// cores feed one per-phase taxonomy. Read-only on the data path.
+const metrics::Counter g_dm_panel_gather("dm.panel_gather.bytes");
+const metrics::Counter g_dm_panel_solve("dm.panel_solve.bytes");
+const metrics::Counter g_dm_schur_operand("dm.schur_operand.bytes");
+const metrics::Counter g_dm_schur_update("dm.schur_update.bytes");
 
 /// Workspace slot ids (tensor/workspace.hpp arena).
 enum WsSlot : std::size_t { kA00 = 0 };
@@ -107,6 +117,7 @@ long long approx_msgs(index_t items, int peers) {
 // nothing to execute: the trailing accumulator already holds the sums.
 template <typename T>
 void reduce_block_column(CholRun<T>& run, index_t t) {
+  prof::ScopedSpan span("reduce-column", static_cast<long long>(t));
   run.m.annotate("reduce-column");
   const int pz = run.g.pz();
   const int y_t = static_cast<int>(t) % run.g.py();
@@ -129,6 +140,7 @@ void reduce_block_column(CholRun<T>& run, index_t t) {
 // the previous lazy remainder keeps running on the pool.
 template <typename T>
 void factor_and_broadcast_a00(CholRun<T>& run, index_t t, MatrixView<T>* a00) {
+  prof::ScopedSpan span("potrf-a00", static_cast<long long>(t));
   if (run.la) sched::TaskPool::instance().wait(run.urgent_ids);
   run.m.annotate("potrf-a00");
   const int x_t = static_cast<int>(t) % run.g.px();
@@ -189,6 +201,11 @@ void factor_and_broadcast_a00(CholRun<T>& run, index_t t, MatrixView<T>* a00) {
     for (index_t i = 0; i < run.v; ++i) {
       for (index_t j = 0; j <= i; ++j) run.fac(o + i, o + j) = (*a00)(i, j);
     }
+    // Diagonal triangle out of the accumulator and factored back in (two
+    // read+write passes over v(v+1)/2 elements).
+    g_dm_panel_gather.add(2.0 * static_cast<double>(run.v) *
+                          static_cast<double>(run.v + 1) *
+                          static_cast<double>(sizeof(T)));
   }
   run.m.step_barrier();
 }
@@ -196,6 +213,7 @@ void factor_and_broadcast_a00(CholRun<T>& run, index_t t, MatrixView<T>* a00) {
 // Step 4: scatter the sub-diagonal panel into 1D row chunks over all ranks.
 template <typename T>
 void scatter_panel_1d(CholRun<T>& run, index_t t, index_t panel_rows) {
+  prof::ScopedSpan span("scatter-panel", static_cast<long long>(t));
   run.m.annotate("scatter-panel");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -225,6 +243,7 @@ void scatter_panel_1d(CholRun<T>& run, index_t t, index_t panel_rows) {
 template <typename T>
 void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
                 ConstMatrixView<T> a00) {
+  prof::ScopedSpan span("panel-trsm", static_cast<long long>(t));
   run.m.annotate("panel-trsm");
   const auto vv = static_cast<double>(run.v);
   const int p = run.m.ranks();
@@ -242,6 +261,11 @@ void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
       if (cnt == 0) return;
       xblas::trsm<T>(Side::Right, UpLo::Lower, Trans::Transpose, Diag::NonUnit,
                      T{1}, a00, panel.block(lo, 0, cnt, v));
+      // In-place trsm read+write of the chunk plus the L00 operand.
+      g_dm_panel_solve.add(
+          (2.0 * static_cast<double>(cnt) * static_cast<double>(v) +
+           static_cast<double>(v) * static_cast<double>(v)) *
+          static_cast<double>(sizeof(T)));
     };
     if (run.la) {
       sched::TaskPool& pool = sched::TaskPool::instance();
@@ -263,6 +287,7 @@ void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
 // LU here despite half the flops (Table 1).
 template <typename T>
 void distribute_panel_2p5d(CholRun<T>& run, index_t t, index_t panel_rows) {
+  prof::ScopedSpan span("distribute-2.5d", static_cast<long long>(t));
   run.m.annotate("distribute-2.5d");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -308,6 +333,7 @@ void distribute_panel_2p5d(CholRun<T>& run, index_t t, index_t panel_rows) {
 // inside a later block's diagonal.
 template <typename T>
 void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
+  prof::ScopedSpan span("schur-update", static_cast<long long>(t));
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -357,18 +383,36 @@ void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
     ConstMatrixView<T> panel = run.fac.block(off, t * run.v, panel_rows, v);
     const index_t nblocks = sched::num_row_blocks(panel_rows);
 
+    // Measured Schur traffic per gemm/syrk call: operand reads (`a` and
+    // `b` element counts; a syrk's single operand goes in `a`) and the
+    // beta=1 read+write of the `c` output cells. Counted per call — the
+    // re-reads of shared panel blocks across tasks are real traffic.
+    const auto count_schur = [](double a_el, double b_el, double c_el) {
+      if (!metrics::enabled()) return;
+      const double sb = static_cast<double>(sizeof(T));
+      g_dm_schur_operand.add((a_el + b_el) * sb);
+      g_dm_schur_update.add(2.0 * c_el * sb);
+    };
+    const auto tri = [](index_t k) {
+      return static_cast<double>(k) * static_cast<double>(k + 1) / 2.0;
+    };
+    const auto el = [](index_t r, index_t c) {
+      return static_cast<double>(r) * static_cast<double>(c);
+    };
     // Urgent piece of row block blk: its cells in columns [off, off + v)
     // (the whole block when the split is off).
-    const auto urgent_block = [&run, panel, panel_rows, off, v,
-                               split](index_t blk) {
+    const auto urgent_block = [&run, panel, panel_rows, off, v, split,
+                               count_schur, tri, el](index_t blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
       if (!split) {
         if (i0 > 0) {
+          count_schur(el(bn, v), el(i0, v), el(bn, i0));
           xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
                          panel.block(i0, 0, bn, v), panel.block(0, 0, i0, v),
                          T{1}, run.fac.block(off + i0, off, bn, i0));
         }
+        count_schur(el(bn, v), 0.0, tri(bn));
         xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
                        panel.block(i0, 0, bn, v), T{1},
                        run.fac.block(off + i0, off + i0, bn, bn));
@@ -376,15 +420,18 @@ void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
       }
       if (i0 == 0) {
         const index_t dn = std::min(v, bn);
+        count_schur(el(dn, v), 0.0, tri(dn));
         xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
                        panel.block(0, 0, dn, v), T{1},
                        run.fac.block(off, off, dn, dn));
         if (bn > v) {
+          count_schur(el(bn - v, v), el(v, v), el(bn - v, v));
           xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
                          panel.block(v, 0, bn - v, v), panel.block(0, 0, v, v),
                          T{1}, run.fac.block(off + v, off, bn - v, v));
         }
       } else {
+        count_schur(el(bn, v), el(v, v), el(bn, v));
         xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
                        panel.block(i0, 0, bn, v), panel.block(0, 0, v, v),
                        T{1}, run.fac.block(off + i0, off, bn, v));
@@ -393,21 +440,25 @@ void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
     // Lazy piece of row block blk: everything right of the urgent cut —
     // the remaining sub-diagonal stripe plus the block's diagonal syrk.
     // Empty when the split is off.
-    const auto lazy_block = [&run, panel, panel_rows, off, v](index_t blk) {
+    const auto lazy_block = [&run, panel, panel_rows, off, v, count_schur,
+                             tri, el](index_t blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, panel_rows - i0);
       if (i0 == 0) {
         if (bn > v) {
+          count_schur(el(bn - v, v), 0.0, tri(bn - v));
           xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
                          panel.block(v, 0, bn - v, v), T{1},
                          run.fac.block(off + v, off + v, bn - v, bn - v));
         }
       } else {
         if (i0 > v) {
+          count_schur(el(bn, v), el(i0 - v, v), el(bn, i0 - v));
           xblas::gemm<T>(Trans::None, Trans::Transpose, T{-1},
                          panel.block(i0, 0, bn, v), panel.block(v, 0, i0 - v, v),
                          T{1}, run.fac.block(off + i0, off + v, bn, i0 - v));
         }
+        count_schur(el(bn, v), 0.0, tri(bn));
         xblas::syrk<T>(UpLo::Lower, Trans::None, T{-1},
                        panel.block(i0, 0, bn, v), T{1},
                        run.fac.block(off + i0, off + i0, bn, bn));

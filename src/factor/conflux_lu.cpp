@@ -12,6 +12,8 @@
 #include "sched/taskpool.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "tensor/workspace.hpp"
 #include "xsim/comm.hpp"
 
@@ -25,6 +27,20 @@ using xblas::Trans;
 using xblas::UpLo;
 
 bool is_pow2(int n) { return std::has_single_bit(static_cast<unsigned>(n)); }
+
+// Measured data movement at the Real-path hot spots (DESIGN.md
+// "Observability"): bytes actually moved by this schedule's workspace
+// machinery, each operand touch counted once per use. The Schur gemm's
+// pack-buffer traffic is counted inside xblas::gemm; these cover the
+// copies around it. Every add is strictly read-only on the data path —
+// a healthy run's factors are bitwise those of a metrics-disabled run.
+const metrics::Counter g_dm_panel_gather("dm.panel_gather.bytes");
+const metrics::Counter g_dm_pivot_merge("dm.pivot_merge.bytes");
+const metrics::Counter g_dm_pivot_rows_gather("dm.pivot_rows_gather.bytes");
+const metrics::Counter g_dm_pivot_retire("dm.pivot_retire.bytes");
+const metrics::Counter g_dm_panel_solve("dm.panel_solve.bytes");
+const metrics::Counter g_dm_schur_operand("dm.schur_operand.bytes");
+const metrics::Counter g_dm_schur_update("dm.schur_update.bytes");
 
 /// Soft-breakdown severity order for FactorHealth::code (the health report
 /// keeps the most severe classification; counts keep the full story).
@@ -111,6 +127,8 @@ void merge_candidates(CandSet<T>& a, const CandSet<T>& b, index_t v,
   if (na == 0) {
     a.rows.assign(b.rows.begin(), b.rows.end());
     copy<T>(b.values.block(0, 0, nb, v), a.values.block(0, 0, nb, v));
+    g_dm_pivot_merge.add(static_cast<double>(nb * v) *
+                         static_cast<double>(sizeof(T)));
     return;
   }
   if (nb == 0) return;
@@ -124,6 +142,9 @@ void merge_candidates(CandSet<T>& a, const CandSet<T>& b, index_t v,
   xblas::getrf<T>(ranked, s.mipiv);
   xblas::ipiv_to_permutation(s.mipiv, na + nb, s.mperm);
   const index_t take = std::min(keep, na + nb);
+  // Stack (na+nb rows), re-rank copy (na+nb rows), keep-back (take rows).
+  g_dm_pivot_merge.add(static_cast<double>((2 * (na + nb) + take) * v) *
+                       static_cast<double>(sizeof(T)));
   a.rows.resize(static_cast<std::size_t>(take));
   for (index_t i = 0; i < take; ++i) {
     const auto src = s.mperm[static_cast<std::size_t>(i)];
@@ -266,6 +287,9 @@ struct LuRun {
       rowpos[static_cast<std::size_t>(w)] = -1;
       rowmap[static_cast<std::size_t>(last)] = -1;
     }
+    g_dm_pivot_retire.add(static_cast<double>(retire_pairs.size()) * 2.0 *
+                          static_cast<double>(v) *
+                          static_cast<double>(sizeof(T)));
   }
 
   /// Retirement pass 2: replay the recorded swaps, in order, on the lazy
@@ -277,6 +301,9 @@ struct LuRun {
       const T* s = &trail(src, col1);
       std::copy(s, s + (npad - col1), &trail(dst, col1));
     }
+    g_dm_pivot_retire.add(static_cast<double>(retire_pairs.size()) * 2.0 *
+                          static_cast<double>(npad - col1) *
+                          static_cast<double>(sizeof(T)));
   }
 };
 
@@ -293,6 +320,7 @@ long long approx_msgs(index_t items, int peers) {
 // ---------------------------------------------------------------------------
 template <typename T>
 void reduce_block_column(LuRun<T>& run, index_t t) {
+  prof::ScopedSpan span("reduce-column", static_cast<long long>(t));
   run.m.annotate("reduce-column");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -321,6 +349,7 @@ void reduce_block_column(LuRun<T>& run, index_t t) {
 // ---------------------------------------------------------------------------
 template <typename T>
 void tournament_pivot(LuRun<T>& run, index_t t) {
+  prof::ScopedSpan span("tournament-pivot", static_cast<long long>(t));
   run.m.annotate("tournament-pivot");
   const int px = run.g.px();
   const int py = run.g.py();
@@ -377,6 +406,10 @@ void tournament_pivot(LuRun<T>& run, index_t t) {
         gather(i, j) = run.trail(pi, t * run.v + j);
       }
     }
+    // Panel columns read out of the trailing accumulator + gather write.
+    g_dm_panel_gather.add(static_cast<double>(nrows) * 2.0 *
+                          static_cast<double>(run.v) *
+                          static_cast<double>(sizeof(T)));
     select_candidates<T>(rows, nrows, run.v, run.v, gather, s.rankwork[xi],
                          s.xipiv[xi], s.xperm[xi], s.sets[xi]);
   });
@@ -461,6 +494,7 @@ void tournament_pivot(LuRun<T>& run, index_t t) {
 // ---------------------------------------------------------------------------
 template <typename T>
 void broadcast_a00(LuRun<T>& run, index_t t) {
+  prof::ScopedSpan span("bcast-a00", static_cast<long long>(t));
   run.m.annotate("bcast-a00");
   const int y_t = static_cast<int>(t) % run.g.py();
   const int l_t = static_cast<int>(t) % run.g.pz();
@@ -478,6 +512,8 @@ void broadcast_a00(LuRun<T>& run, index_t t) {
 template <typename T>
 void scatter_panel_1d(LuRun<T>& run, index_t t, bool row_panel, index_t items,
                       const std::vector<index_t>& pivots_per_x) {
+  prof::ScopedSpan span(row_panel ? "scatter-a10" : "scatter-a01",
+                        static_cast<long long>(t));
   run.m.annotate(row_panel ? "scatter-a10" : "scatter-a01");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -529,6 +565,7 @@ void scatter_panel_1d(LuRun<T>& run, index_t t, bool row_panel, index_t items,
 // ---------------------------------------------------------------------------
 template <typename T>
 void reduce_pivot_rows(LuRun<T>& run, index_t t, MatrixView<T>* pivotrows) {
+  prof::ScopedSpan span("reduce-pivot-rows", static_cast<long long>(t));
   run.m.annotate("reduce-pivot-rows");
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -557,6 +594,10 @@ void reduce_pivot_rows(LuRun<T>& run, index_t t, MatrixView<T>* pivotrows) {
       const T* src = &run.trail(pi, (t + 1) * run.v);
       std::copy(src, src + ncols, pivotrows->row(l));
     });
+    // Winners' trailing rows read from the accumulator + workspace write.
+    g_dm_pivot_rows_gather.add(static_cast<double>(run.v) * 2.0 *
+                               static_cast<double>(ncols) *
+                               static_cast<double>(sizeof(T)));
   }
   run.m.step_barrier();
 }
@@ -567,6 +608,7 @@ void reduce_pivot_rows(LuRun<T>& run, index_t t, MatrixView<T>* pivotrows) {
 // ---------------------------------------------------------------------------
 template <typename T>
 void distribute_panels_2p5d(LuRun<T>& run, index_t t, index_t a10_rows) {
+  prof::ScopedSpan span("distribute-2.5d", static_cast<long long>(t));
   run.m.annotate("distribute-2.5d");
   const int p = run.m.ranks();
   const int px = run.g.px();
@@ -631,6 +673,7 @@ void distribute_panels_2p5d(LuRun<T>& run, index_t t, index_t a10_rows) {
 // ---------------------------------------------------------------------------
 template <typename T>
 void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
+  prof::ScopedSpan span("schur-update", static_cast<long long>(t));
   const int px = run.g.px();
   const int py = run.g.py();
   const int pz = run.g.pz();
@@ -674,17 +717,34 @@ void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
     ConstMatrixView<T> a10 = run.trail.block(0, t * run.v, nact, run.v);
     const index_t nblocks = sched::num_row_blocks(nact);
     const index_t lcols = ncols - run.v;
-    const auto urgent_block = [&run, t, a10, pivotrows, nact](index_t blk) {
+    // Measured Schur traffic per row-block task: each task reads its A10
+    // block and the full right operand, and reads + writes its accumulator
+    // block (beta = 1). The re-read of the shared right operand by every
+    // block is real traffic, so it is counted per task, not once.
+    const auto count_schur = [](index_t bn, index_t v, index_t cols) {
+      if (!metrics::enabled()) return;
+      const double sb = static_cast<double>(sizeof(T));
+      g_dm_schur_operand.add(
+          (static_cast<double>(bn) * static_cast<double>(v) +
+           static_cast<double>(v) * static_cast<double>(cols)) * sb);
+      g_dm_schur_update.add(2.0 * static_cast<double>(bn) *
+                            static_cast<double>(cols) * sb);
+    };
+    const auto urgent_block = [&run, t, a10, pivotrows, nact,
+                               count_schur](index_t blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, nact - i0);
+      count_schur(bn, run.v, run.v);
       xblas::gemm<T>(Trans::None, Trans::None, T{-1},
                      a10.block(i0, 0, bn, run.v),
                      pivotrows.block(0, 0, run.v, run.v), T{1},
                      run.trail.block(i0, (t + 1) * run.v, bn, run.v));
     };
-    const auto lazy_block = [&run, t, a10, pivotrows, nact, lcols](index_t blk) {
+    const auto lazy_block = [&run, t, a10, pivotrows, nact, lcols,
+                             count_schur](index_t blk) {
       const index_t i0 = blk * sched::kRowBlock;
       const index_t bn = std::min(sched::kRowBlock, nact - i0);
+      count_schur(bn, run.v, lcols);
       xblas::gemm<T>(Trans::None, Trans::None, T{-1},
                      a10.block(i0, 0, bn, run.v),
                      pivotrows.block(0, run.v, run.v, lcols), T{1},
@@ -865,6 +925,9 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
         const index_t row = run.winners[static_cast<std::size_t>(l)];
         for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = run.a00(l, j);
       }
+      g_dm_panel_solve.add(2.0 * static_cast<double>(v) *
+                           static_cast<double>(v) *
+                           static_cast<double>(sizeof(T)));
       for (index_t l = 0; l < v; ++l) {
         for (index_t j = l; j < v; ++j) {
           const double d = std::abs(static_cast<double>(run.a00(l, j)));
@@ -918,6 +981,11 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
         const index_t row = run.rowmap[static_cast<std::size_t>(i)];
         for (index_t j = 0; j < v; ++j) run.lstore(row, t * v + j) = a10(i, j);
       }
+      // trsm read+write of the chunk, the U00 operand, and the lstore copy.
+      g_dm_panel_solve.add(
+          (4.0 * static_cast<double>(cnt) * static_cast<double>(v) +
+           static_cast<double>(v) * static_cast<double>(v)) *
+          static_cast<double>(sizeof(T)));
     };
     run.a10_ids.clear();
     if (run.real && run.la && a10_rows > 0) {
@@ -949,6 +1017,7 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
     // Steps 7 and 9 (charges): the two panel trsms.
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops, [&] {
+      prof::ScopedSpan span("panel-trsm", static_cast<long long>(t));
       m.annotate("panel-trsm");
       for (int r = 0; r < p; ++r) {
         const double rows_r = static_cast<double>(chunk_size(a10_rows, p, r));
@@ -976,6 +1045,11 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
               run.lstore(row, (t + 1) * v + j) = pivotrows(l, j);
             }
           });
+          // A01 trsm read+write, the L00 operand, and the lstore copy.
+          g_dm_panel_solve.add(
+              (4.0 * static_cast<double>(v) * static_cast<double>(ncols) +
+               static_cast<double>(v) * static_cast<double>(v)) *
+              static_cast<double>(sizeof(T)));
           // Read-only scan of the factored U rows: hard error on a
           // non-finite value, running max|U| for the growth factor.
           double rowmax = 0.0;

@@ -2,7 +2,17 @@
 
 #include <map>
 
+#include "support/metrics.hpp"
+
 namespace conflux::layout {
+
+namespace {
+
+// Measured layout-redistribution traffic: bytes actually copied between
+// local stores in Real mode (DESIGN.md "Observability").
+const metrics::Counter g_redistribute_bytes("dm.layout_redistribute.bytes");
+
+}  // namespace
 
 index_t BlockCyclicLayout::numroc(index_t n, index_t blk, int p, int procs) {
   expects(n >= 0 && blk >= 1 && p >= 0 && p < procs, "bad numroc arguments");
@@ -149,13 +159,16 @@ DistMatrix redistribute(xsim::Machine& m, const DistMatrix& src,
   // Aggregate words per communicating pair so each pair is charged one
   // message (COSTA packs all blocks for a peer into one transfer).
   std::map<std::pair<int, int>, double> words;
+  double moved = 0.0;
   for_each_run(src.layout(), target, [&](index_t i, index_t j0, index_t j1, int s,
                                          int d) {
     if (s != d) words[{s, d}] += static_cast<double>(j1 - j0);
     if (m.real()) {
       for (index_t j = j0; j < j1; ++j) dst.set(i, j, src.get(i, j));
+      moved += static_cast<double>(j1 - j0);
     }
   });
+  g_redistribute_bytes.add(moved * static_cast<double>(sizeof(double)));
   for (const auto& [pair, count] : words) {
     m.charge_transfer(pair.first, pair.second, count);
   }

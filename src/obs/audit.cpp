@@ -1,0 +1,94 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "models/models.hpp"
+#include "support/check.hpp"
+
+namespace conflux::obs {
+
+namespace {
+
+constexpr std::string_view kPrefix = "dm.";
+
+double counter_value(const metrics::Snapshot& snap, std::string_view name) {
+  return snap.value(name);
+}
+
+}  // namespace
+
+DataMovementAudit audit_data_movement(Kernel kernel,
+                                      const metrics::Snapshot& before,
+                                      const metrics::Snapshot& after,
+                                      double n, double p, double memory_words,
+                                      double modeled_words_per_rank,
+                                      double bytes_per_word) {
+  expects(n > 0.0 && p > 0.0 && memory_words > 0.0, "bad audit dimensions");
+  expects(bytes_per_word > 0.0, "bad bytes_per_word");
+
+  DataMovementAudit audit;
+  audit.kernel = kernel;
+  audit.n = n;
+  audit.p = p;
+  audit.memory_words = memory_words;
+
+  // Every dm.* counter registered by `after` (the superset: registration
+  // only grows); the delta vs `before` isolates the bracketed run from any
+  // earlier activity without requiring a reset.
+  for (const metrics::MetricValue& mv : after.values) {
+    if (mv.kind != metrics::Kind::Counter) continue;
+    if (mv.name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    const double delta = mv.value - counter_value(before, mv.name);
+    if (delta <= 0.0) continue;
+    audit.breakdown.push_back({mv.name, delta});
+    audit.measured_bytes += delta;
+  }
+  std::sort(audit.breakdown.begin(), audit.breakdown.end(),
+            [](const CounterDelta& a, const CounterDelta& b) {
+              return a.name < b.name;
+            });
+
+  audit.measured_words_per_rank = audit.measured_bytes / bytes_per_word / p;
+  audit.lower_bound_words =
+      kernel == Kernel::kLu ? models::lu_lower_bound(n, p, memory_words)
+                            : models::cholesky_lower_bound(n, p, memory_words);
+  audit.modeled_words_per_rank = modeled_words_per_rank;
+  if (audit.lower_bound_words > 0.0) {
+    audit.measured_ratio = audit.measured_words_per_rank / audit.lower_bound_words;
+    if (modeled_words_per_rank > 0.0) {
+      audit.model_ratio = modeled_words_per_rank / audit.lower_bound_words;
+    }
+  }
+  return audit;
+}
+
+void write_json(json::Writer& w, const DataMovementAudit& audit) {
+  w.begin_object();
+  w.field("kernel", audit.kernel == Kernel::kLu ? "lu" : "cholesky");
+  w.field("n", audit.n);
+  w.field("p", audit.p);
+  w.field("memory_words", audit.memory_words);
+  w.field("measured_bytes", audit.measured_bytes);
+  w.field("measured_words_per_rank", audit.measured_words_per_rank);
+  w.field("lower_bound_words", audit.lower_bound_words);
+  w.field("modeled_words_per_rank", audit.modeled_words_per_rank);
+  w.field("measured_ratio", audit.measured_ratio);
+  w.field("model_ratio", audit.model_ratio);
+  w.key("breakdown");
+  w.begin_object();
+  for (const CounterDelta& c : audit.breakdown) w.field(c.name, c.bytes);
+  w.end_object();
+  w.end_object();
+}
+
+std::string to_string(const DataMovementAudit& audit) {
+  std::ostringstream os;
+  os << (audit.kernel == Kernel::kLu ? "lu" : "cholesky") << " n=" << audit.n
+     << " P=" << audit.p << ": measured " << audit.measured_words_per_rank
+     << " words/rank, bound " << audit.lower_bound_words << " (ratio "
+     << audit.measured_ratio << ")";
+  return os.str();
+}
+
+}  // namespace conflux::obs

@@ -1,0 +1,71 @@
+// Measured data-movement audit against the Section 6 I/O lower bounds
+// (DESIGN.md "Observability").
+//
+// The metrics registry accumulates MEASURED bytes at the Real-path hot
+// spots under the "dm." prefix (gemm pack-buffer fills, trailing-
+// accumulator reads/writes, pivot-row gathers and retirement swaps, layout
+// redistribution, tournament butterfly merges). This audit turns two
+// snapshots bracketing a factorization into per-rank words and compares
+// them against the same closed-form lower bound the Trace-mode tables use:
+//
+//   measured_ratio = (sum of dm.* deltas / bytes_per_word / P)
+//                    / lower_bound(N, P, M)
+//
+// The measured volume counts every workspace touch of the shared-memory
+// execution (each operand touched once per use), so it sits a constant
+// factor ABOVE both the bound and the modeled per-rank communication
+// volume — the audit's invariant, gated in the benches, is that this
+// factor stays bounded: the implementation moves O(lower bound) data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+
+namespace conflux::obs {
+
+enum class Kernel { kLu, kCholesky };
+
+/// One "dm." counter's contribution to the audited window.
+struct CounterDelta {
+  std::string name;
+  double bytes = 0.0;
+};
+
+struct DataMovementAudit {
+  Kernel kernel = Kernel::kLu;
+  double n = 0.0;
+  double p = 0.0;
+  double memory_words = 0.0;
+
+  double measured_bytes = 0.0;           ///< total dm.* delta, all ranks
+  double measured_words_per_rank = 0.0;  ///< measured_bytes / word / P
+  double lower_bound_words = 0.0;        ///< Section 6 closed form, per rank
+  double modeled_words_per_rank = 0.0;   ///< caller-provided model volume (0 = none)
+  double measured_ratio = 0.0;           ///< measured / lower bound
+  double model_ratio = 0.0;              ///< modeled / lower bound (0 = none)
+  std::vector<CounterDelta> breakdown;   ///< per-counter, sorted by name
+};
+
+/// Aggregate the "dm." counter deltas between two snapshots into an audit
+/// record. `modeled_words_per_rank` is the analytic per-rank volume (e.g.
+/// models::conflux_lu_volume_exact) when the caller has one; 0 omits the
+/// model comparison. `bytes_per_word` converts the byte counters into the
+/// bound's word unit (8 for the fp64 path, 4 for fp32).
+DataMovementAudit audit_data_movement(Kernel kernel,
+                                      const metrics::Snapshot& before,
+                                      const metrics::Snapshot& after,
+                                      double n, double p, double memory_words,
+                                      double modeled_words_per_rank = 0.0,
+                                      double bytes_per_word = 8.0);
+
+/// Write the audit as one JSON object value (the caller has positioned the
+/// writer — typically right after w.key("data_movement_audit")).
+void write_json(json::Writer& w, const DataMovementAudit& audit);
+
+/// Human-readable one-liner for logs and bench stdout.
+std::string to_string(const DataMovementAudit& audit);
+
+}  // namespace conflux::obs

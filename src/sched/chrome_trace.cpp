@@ -5,25 +5,13 @@
 #include <ostream>
 #include <vector>
 
+#include "support/json.hpp"
+
 namespace conflux::sched {
 
 namespace {
 
 constexpr double kSecondsToUs = 1e6;
-
-void write_escaped(std::ostream& os, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) break;  // drop control chars
-        os << c;
-    }
-  }
-}
 
 int tid_of(Slice::Track track) {
   switch (track) {
@@ -43,15 +31,82 @@ const char* track_name(Slice::Track track) {
   return "?";
 }
 
+const char* category_name(TaskCategory c) {
+  switch (c) {
+    case TaskCategory::Urgent: return "urgent";
+    case TaskCategory::Lazy: return "lazy";
+    case TaskCategory::Other: return "other";
+  }
+  return "?";
+}
+
+/// Metadata event naming a trace process or thread.
+void write_meta(json::Writer& w, const char* what, int pid, int tid,
+                const std::string& name) {
+  w.begin_object();
+  w.field("name", what);
+  w.field("ph", "M");
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.field("name", std::string_view(name));
+  w.end_object();
+  w.end_object();
+}
+
+/// Complete-event ("X") header up to its args (caller writes args + closes).
+void begin_complete(json::Writer& w, std::string_view name, const char* cat,
+                    int pid, int tid, double start_s, double dur_s) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("cat", cat);
+  w.field("ph", "X");
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.field("ts", start_s * kSecondsToUs);
+  w.field("dur", dur_s * kSecondsToUs);
+}
+
+/// The task-pool process (pid `pid`): one thread per worker, one "X" event
+/// per executed task. Shared by the task trace and the unified trace.
+std::size_t write_task_events(json::Writer& w, int pid,
+                              const std::vector<TaskSlice>& slices) {
+  std::size_t count = 0;
+  int max_worker = 0;
+  for (const TaskSlice& s : slices) max_worker = std::max(max_worker, s.worker);
+  write_meta(w, "process_name", pid, 0, "task pool");
+  ++count;
+  for (int worker = 0; worker <= max_worker; ++worker) {
+    write_meta(w, "thread_name", pid, worker,
+               worker == 0 ? std::string("master")
+                           : "worker " + std::to_string(worker));
+    ++count;
+  }
+  for (const TaskSlice& s : slices) {
+    begin_complete(w, s.name, category_name(s.category), pid, s.worker,
+                   s.start_s, s.end_s - s.start_s);
+    w.key("args");
+    w.begin_object();
+    w.field("step", s.step);
+    w.end_object();
+    w.end_object();
+    ++count;
+  }
+  return count;
+}
+
 }  // namespace
 
 std::size_t write_chrome_trace(std::ostream& os, const Timeline& timeline) {
   const int p = timeline.spec().num_ranks;
   const int machine_pid = p;  // the step markers' synthetic process
-  const auto old_precision = os.precision(15);
   std::size_t count = 0;
-  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  const auto sep = [&] { os << (count == 0 ? "\n" : ",\n"); };
+  json::Writer w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
 
   // Metadata: name only the processes/threads that actually have slices.
   std::vector<bool> seen(static_cast<std::size_t>(p) * 3, false);
@@ -68,23 +123,17 @@ std::size_t write_chrome_trace(std::ostream& os, const Timeline& timeline) {
     bool any = false;
     for (int t = 0; t < 3; ++t) any = any || seen[static_cast<std::size_t>(r) * 3 + t];
     if (!any) continue;
-    sep();
-    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << r
-       << ", \"tid\": 0, \"args\": {\"name\": \"rank " << r << "\"}}";
+    write_meta(w, "process_name", r, 0, "rank " + std::to_string(r));
     ++count;
     for (int t = 0; t < 3; ++t) {
       if (!seen[static_cast<std::size_t>(r) * 3 + t]) continue;
-      sep();
-      os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << r
-         << ", \"tid\": " << t << ", \"args\": {\"name\": \""
-         << track_name(static_cast<Slice::Track>(t)) << "\"}}";
+      write_meta(w, "thread_name", r, t,
+                 track_name(static_cast<Slice::Track>(t)));
       ++count;
     }
   }
   if (machine_seen) {
-    sep();
-    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << machine_pid
-       << ", \"tid\": 0, \"args\": {\"name\": \"machine\"}}";
+    write_meta(w, "process_name", machine_pid, 0, "machine");
     ++count;
   }
 
@@ -92,29 +141,35 @@ std::size_t write_chrome_trace(std::ostream& os, const Timeline& timeline) {
   for (const Slice& s : timeline.slices()) {
     if (s.rank < 0) {
       // Superstep barrier: a machine-global instant marker.
-      sep();
-      os << "  {\"name\": \"step " << s.step << "\", \"ph\": \"i\", \"s\": \"g\", "
-         << "\"pid\": " << machine_pid << ", \"tid\": 0, \"ts\": "
-         << s.start_s * kSecondsToUs << "}";
+      w.begin_object();
+      w.field("name", "step " + std::to_string(s.step));
+      w.field("ph", "i");
+      w.field("s", "g");
+      w.field("pid", machine_pid);
+      w.field("tid", 0);
+      w.field("ts", s.start_s * kSecondsToUs);
+      w.end_object();
       ++count;
       continue;
     }
-    sep();
-    os << "  {\"name\": \"";
-    if (s.label >= 0 && static_cast<std::size_t>(s.label) < labels.size()) {
-      write_escaped(os, labels[static_cast<std::size_t>(s.label)]);
-    } else {
-      os << kind_name(s.kind);
-    }
-    os << "\", \"cat\": \"" << kind_name(s.kind) << "\", \"ph\": \"X\", \"pid\": "
-       << s.rank << ", \"tid\": " << tid_of(s.track) << ", \"ts\": "
-       << s.start_s * kSecondsToUs << ", \"dur\": " << s.duration_s * kSecondsToUs
-       << ", \"args\": {\"step\": " << s.step << ", \"words\": " << s.words
-       << ", \"flops\": " << s.flops << "}}";
+    const std::string_view name =
+        (s.label >= 0 && static_cast<std::size_t>(s.label) < labels.size())
+            ? std::string_view(labels[static_cast<std::size_t>(s.label)])
+            : std::string_view(kind_name(s.kind));
+    begin_complete(w, name, kind_name(s.kind), s.rank, tid_of(s.track),
+                   s.start_s, s.duration_s);
+    w.key("args");
+    w.begin_object();
+    w.field("step", s.step);
+    w.field("words", s.words);
+    w.field("flops", s.flops);
+    w.end_object();
+    w.end_object();
     ++count;
   }
-  os << "\n]}\n";
-  os.precision(old_precision);
+  w.end_array();
+  w.end_object();
+  os << "\n";
   return count;
 }
 
@@ -125,58 +180,17 @@ bool write_chrome_trace_file(const std::string& path, const Timeline& timeline) 
   return out.good();
 }
 
-namespace {
-
-const char* category_name(TaskCategory c) {
-  switch (c) {
-    case TaskCategory::Urgent: return "urgent";
-    case TaskCategory::Lazy: return "lazy";
-    case TaskCategory::Other: return "other";
-  }
-  return "?";
-}
-
-}  // namespace
-
 std::size_t write_task_trace(std::ostream& os,
                              const std::vector<TaskSlice>& slices) {
-  const auto old_precision = os.precision(15);
-  std::size_t count = 0;
-  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  const auto sep = [&] { os << (count == 0 ? "\n" : ",\n"); };
-
-  int max_worker = 0;
-  for (const TaskSlice& s : slices) max_worker = std::max(max_worker, s.worker);
-  sep();
-  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, "
-     << "\"args\": {\"name\": \"task pool\"}}";
-  ++count;
-  for (int w = 0; w <= max_worker; ++w) {
-    sep();
-    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
-       << w << ", \"args\": {\"name\": \"";
-    if (w == 0) {
-      os << "master";
-    } else {
-      os << "worker " << w;
-    }
-    os << "\"}}";
-    ++count;
-  }
-
-  for (const TaskSlice& s : slices) {
-    sep();
-    os << "  {\"name\": \"";
-    write_escaped(os, s.name);
-    os << "\", \"cat\": \"" << category_name(s.category)
-       << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << s.worker
-       << ", \"ts\": " << s.start_s * kSecondsToUs
-       << ", \"dur\": " << (s.end_s - s.start_s) * kSecondsToUs
-       << ", \"args\": {\"step\": " << s.step << "}}";
-    ++count;
-  }
-  os << "\n]}\n";
-  os.precision(old_precision);
+  json::Writer w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  const std::size_t count = write_task_events(w, 0, slices);
+  w.end_array();
+  w.end_object();
+  os << "\n";
   return count;
 }
 
@@ -185,6 +199,82 @@ bool write_task_trace_file(const std::string& path,
   std::ofstream out(path);
   if (!out) return false;
   write_task_trace(out, slices);
+  return out.good();
+}
+
+std::size_t write_unified_trace(std::ostream& os,
+                                const std::vector<TaskSlice>& task_slices,
+                                const prof::Capture& capture) {
+  constexpr int kPoolPid = 0;
+  constexpr int kPhasePid = 1;
+  constexpr int kCounterPid = 2;
+  json::Writer w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  std::size_t count = write_task_events(w, kPoolPid, task_slices);
+
+  // Phase spans: one trace thread per annotating thread. Span and task
+  // timestamps come from two recordings started back-to-back by the same
+  // caller, so the epochs line up to within the start-call skew.
+  if (!capture.spans.empty()) {
+    int max_thread = 0;
+    for (const prof::SpanRecord& s : capture.spans) {
+      max_thread = std::max(max_thread, s.thread);
+    }
+    write_meta(w, "process_name", kPhasePid, 0, "phases");
+    ++count;
+    for (int t = 0; t <= max_thread; ++t) {
+      write_meta(w, "thread_name", kPhasePid, t,
+                 t == 0 ? std::string("main") : "thread " + std::to_string(t));
+      ++count;
+    }
+    for (const prof::SpanRecord& s : capture.spans) {
+      begin_complete(w, s.name, "phase", kPhasePid, s.thread, s.t0,
+                     s.t1 - s.t0);
+      w.key("args");
+      w.begin_object();
+      w.field("step", s.step);
+      w.end_object();
+      w.end_object();
+      ++count;
+    }
+  }
+
+  // Counter tracks: Chrome "C" events render as stacked area charts.
+  if (!capture.samples.empty()) {
+    write_meta(w, "process_name", kCounterPid, 0, "counters");
+    ++count;
+    for (const prof::CounterSample& s : capture.samples) {
+      w.begin_object();
+      w.field("name", std::string_view(s.name));
+      w.field("ph", "C");
+      w.field("pid", kCounterPid);
+      w.field("tid", 0);
+      w.field("ts", s.t * kSecondsToUs);
+      w.key("args");
+      w.begin_object();
+      w.field("value", s.value);
+      w.end_object();
+      w.end_object();
+      ++count;
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  return count;
+}
+
+bool write_unified_trace_file(const std::string& path,
+                              const std::vector<TaskSlice>& task_slices,
+                              const prof::Capture& capture) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_unified_trace(out, task_slices, capture);
   return out.good();
 }
 

@@ -16,6 +16,7 @@
 
 #include "sched/taskpool.hpp"
 #include "sched/timeline.hpp"
+#include "support/profile.hpp"
 
 namespace conflux::sched {
 
@@ -35,5 +36,18 @@ std::size_t write_task_trace(std::ostream& os,
                              const std::vector<TaskSlice>& slices);
 bool write_task_trace_file(const std::string& path,
                            const std::vector<TaskSlice>& slices);
+
+/// The merged observability trace (CONFLUX_TRACE): the task-pool worker
+/// timeline (pid 0), the factor cores' annotated phase spans (pid 1, one
+/// thread per annotating thread) and the sampled counter tracks as Chrome
+/// "C" counter events (pid 2), in one trace-event file. The caller starts
+/// TaskPool::start_recording() and prof::start_capture() back-to-back so
+/// the two wall-clock epochs line up.
+std::size_t write_unified_trace(std::ostream& os,
+                                const std::vector<TaskSlice>& task_slices,
+                                const prof::Capture& capture);
+bool write_unified_trace_file(const std::string& path,
+                              const std::vector<TaskSlice>& task_slices,
+                              const prof::Capture& capture);
 
 }  // namespace conflux::sched

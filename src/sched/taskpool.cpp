@@ -5,6 +5,7 @@
 
 #include "blas/tuning.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 #include "support/status.hpp"
 
 #ifdef _OPENMP
@@ -16,6 +17,20 @@ namespace conflux::sched {
 namespace {
 
 thread_local bool tls_on_worker = false;
+
+// Pool runtime metrics (DESIGN.md "Observability"): queue-depth gauges set
+// under the pool mutex on every transition, sojourn-latency histograms
+// (submit -> completion, so queueing delay counts — the number that shows
+// lazy work yielding to urgent work) and a task counter. All behind the
+// registry's single relaxed-load branch.
+const metrics::Gauge g_ready_depth("pool.ready_depth");
+const metrics::Gauge g_ready_lazy_depth("pool.ready_lazy_depth");
+const metrics::Counter g_tasks_run("pool.tasks_run");
+constexpr std::initializer_list<double> kLatencyBounds = {
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+const metrics::Histogram g_latency_urgent("pool.latency_urgent_s", kLatencyBounds);
+const metrics::Histogram g_latency_lazy("pool.latency_lazy_s", kLatencyBounds);
+const metrics::Histogram g_latency_other("pool.latency_other_s", kLatencyBounds);
 
 int env_pool_threads() {
   static const int value = [] {
@@ -187,6 +202,10 @@ TaskId TaskPool::submit(std::function<void()> fn, const char* name,
       std::unique_lock<std::mutex> lock(mutex_);
       id = next_id_++;
       ++live_tasks_;
+      if (metrics::enabled()) {
+        // Inline execution: the task was "submitted" when it started.
+        done.submit_s = std::chrono::duration<double>(t0 - record_t0_).count();
+      }
       auto [it, inserted] = tasks_.emplace(id, std::move(done));
       finish_task(id, it->second, /*worker_index=*/0,
                   std::chrono::duration<double>(t0 - record_t0_).count(),
@@ -204,6 +223,11 @@ TaskId TaskPool::submit(std::function<void()> fn, const char* name,
   task.name = name;
   task.category = category;
   task.step = step;
+  if (metrics::enabled()) {
+    task.submit_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - record_t0_)
+                        .count();
+  }
   for (std::size_t i = 0; i < ndeps; ++i) {
     // A still-pending or currently-running dependency blocks the new task
     // (running tasks keep their map entry until finish_task); a completed
@@ -219,6 +243,10 @@ TaskId TaskPool::submit(std::function<void()> fn, const char* name,
   tasks_.emplace(id, std::move(task));
   if (ready) {
     (category == TaskCategory::Lazy ? ready_lazy_ : ready_).push_back(id);
+    if (metrics::enabled()) {
+      g_ready_depth.set(static_cast<double>(ready_.size()));
+      g_ready_lazy_depth.set(static_cast<double>(ready_lazy_.size()));
+    }
     lock.unlock();
     work_cv_.notify_one();
   }
@@ -229,11 +257,15 @@ TaskId TaskPool::pop_ready(bool allow_lazy) {
   if (!ready_.empty()) {
     const TaskId id = ready_.front();
     ready_.pop_front();
+    if (metrics::enabled()) g_ready_depth.set(static_cast<double>(ready_.size()));
     return id;
   }
   if (allow_lazy && !ready_lazy_.empty()) {
     const TaskId id = ready_lazy_.front();
     ready_lazy_.pop_front();
+    if (metrics::enabled()) {
+      g_ready_lazy_depth.set(static_cast<double>(ready_lazy_.size()));
+    }
     return id;
   }
   return 0;
@@ -249,6 +281,24 @@ void TaskPool::finish_task(TaskId id, Task& task, int worker_index, double t0,
     case TaskCategory::Other: stats_.other_busy_s += dur; break;
   }
   ++stats_.tasks_run;
+  if (static_cast<int>(stats_.worker_busy_s.size()) <= worker_index) {
+    stats_.worker_busy_s.resize(static_cast<std::size_t>(worker_index) + 1, 0.0);
+  }
+  stats_.worker_busy_s[static_cast<std::size_t>(worker_index)] += dur;
+  if (metrics::enabled()) {
+    g_tasks_run.add(1.0);
+    // Sojourn latency (submit -> completion); only tasks stamped at submit
+    // time count, so an enable mid-flight cannot fabricate epoch-sized
+    // latencies.
+    if (task.submit_s >= 0.0 && t1 >= task.submit_s) {
+      const double sojourn = t1 - task.submit_s;
+      switch (task.category) {
+        case TaskCategory::Urgent: g_latency_urgent.record(sojourn); break;
+        case TaskCategory::Lazy: g_latency_lazy.record(sojourn); break;
+        case TaskCategory::Other: g_latency_other.record(sojourn); break;
+      }
+    }
+  }
   if (recording_) {
     TaskSlice s;
     s.name = task.name;
@@ -268,6 +318,10 @@ void TaskPool::finish_task(TaskId id, Task& task, int worker_index, double t0,
           .push_back(dep);
       woke_ready = true;
     }
+  }
+  if (woke_ready && metrics::enabled()) {
+    g_ready_depth.set(static_cast<double>(ready_.size()));
+    g_ready_lazy_depth.set(static_cast<double>(ready_lazy_.size()));
   }
   tasks_.erase(id);
   --live_tasks_;
@@ -308,6 +362,7 @@ void TaskPool::execute_task(TaskId id, Task&& task, int worker_index) {
     rec.name = task.name;
     rec.category = task.category;
     rec.step = task.step;
+    rec.submit_s = task.submit_s;
     // New dependents may have been registered on the entry while the task
     // ran; merge rather than overwrite.
     rec.dependents.insert(rec.dependents.end(), task.dependents.begin(),
@@ -336,6 +391,18 @@ std::string TaskPool::dump_state_locked() const {
                 ? " blocked(" + std::to_string(task.pending_deps) + " deps)"
                 : (task.fn == nullptr ? " running" : " ready")) +
            "]";
+  }
+  for (std::size_t w = 0; w < stats_.worker_busy_s.size(); ++w) {
+    out += (w == 0 ? "; busy_s master=" : " w" + std::to_string(w) + "=") +
+           std::to_string(stats_.worker_busy_s[w]);
+  }
+  // A wedge dump with metrics armed carries the full runtime picture —
+  // counters, queue depths, latency histograms — of the state that led up
+  // to the hang (the registry mutex is below the pool mutex in the lock
+  // order: metrics calls never wait on the pool).
+  if (metrics::enabled()) {
+    const std::string m = metrics::debug_string();
+    if (!m.empty()) out += "; metrics: " + m;
   }
   return out;
 }
@@ -596,6 +663,7 @@ std::vector<TaskSlice> TaskPool::stop_recording() {
 void TaskPool::reset_stats() {
   std::unique_lock<std::mutex> lock(mutex_);
   stats_ = TaskPoolStats{};
+  stats_.worker_busy_s.clear();
 }
 
 TaskPoolStats TaskPool::stats() const {

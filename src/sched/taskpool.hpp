@@ -97,6 +97,10 @@ struct TaskPoolStats {
   double lazy_busy_s = 0.0;
   double other_busy_s = 0.0;
   long long tasks_run = 0;
+  /// Per-worker busy seconds (index 0 = the master thread when it helps);
+  /// a worker's idle time over an interval is elapsed - busy. Feeds the
+  /// metrics section of BENCH_factor.json and the watchdog's wedge dump.
+  std::vector<double> worker_busy_s;
   double busy_total_s() const { return urgent_busy_s + lazy_busy_s + other_busy_s; }
 };
 
@@ -185,6 +189,10 @@ class TaskPool {
     long long step = -1;
     int pending_deps = 0;
     std::vector<TaskId> dependents;
+    /// Submit time (seconds, record_t0_ epoch), stamped only while the
+    /// metrics registry is enabled; < 0 = unstamped. Feeds the urgent/lazy
+    /// sojourn-latency histograms (submit -> completion).
+    double submit_s = -1.0;
   };
 
   /// Type-erased allocation-free parallel-for job (claimed index by index).

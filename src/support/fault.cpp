@@ -6,9 +6,25 @@
 #include <mutex>
 #include <string>
 
+#include "support/metrics.hpp"
+
 namespace conflux::fault {
 
 namespace {
+
+/// Injected-fault FIRE counts per site, mirrored into the metrics registry
+/// (behind its enabled() gate) so fault observability rides the same
+/// snapshot/export path as everything else; fault_injection_test reconciles
+/// these against the classified Statuses each run produces.
+const metrics::Counter& fired_counter(Site site) {
+  static const metrics::Counter counters[kSiteCount] = {
+      metrics::Counter("fault.fired.panel-nan"),
+      metrics::Counter("fault.fired.zero-pivot"),
+      metrics::Counter("fault.fired.task-throw"),
+      metrics::Counter("fault.fired.worker-stall"),
+  };
+  return counters[static_cast<int>(site)];
+}
 
 /// splitmix64: the standard 64-bit finalizer-style mixer — full avalanche,
 /// so consecutive counter values decorrelate completely.
@@ -154,6 +170,7 @@ bool should_inject(Site site) {
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   if (u >= cfg.rate) return false;
   s.injected.fetch_add(1, std::memory_order_relaxed);
+  fired_counter(site).add(1.0);
   return true;
 }
 

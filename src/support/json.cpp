@@ -1,0 +1,129 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace conflux::json {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os.write(buf, res.ptr - buf);
+}
+
+void write_number(std::ostream& os, long long v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os.write(buf, res.ptr - buf);
+}
+
+void Writer::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) os_ << ", ";
+    stack_.back().has_items = true;
+  }
+}
+
+void Writer::begin_object() {
+  pre_value();
+  os_ << "{";
+  stack_.push_back({/*array=*/false, /*has_items=*/false});
+}
+
+void Writer::end_object() {
+  os_ << "}";
+  stack_.pop_back();
+}
+
+void Writer::begin_array() {
+  pre_value();
+  os_ << "[";
+  stack_.push_back({/*array=*/true, /*has_items=*/false});
+}
+
+void Writer::end_array() {
+  os_ << "]";
+  stack_.pop_back();
+}
+
+void Writer::key(std::string_view k) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) os_ << ", ";
+    stack_.back().has_items = true;
+  }
+  os_ << '"';
+  write_escaped(os_, k);
+  os_ << "\": ";
+  after_key_ = true;
+}
+
+void Writer::value(std::string_view s) {
+  pre_value();
+  os_ << '"';
+  write_escaped(os_, s);
+  os_ << '"';
+}
+
+void Writer::value(double v) {
+  pre_value();
+  write_number(os_, v);
+}
+
+void Writer::value(long long v) {
+  pre_value();
+  write_number(os_, v);
+}
+
+void Writer::value(unsigned long long v) {
+  pre_value();
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os_.write(buf, res.ptr - buf);
+}
+
+void Writer::value(bool b) {
+  pre_value();
+  os_ << (b ? "true" : "false");
+}
+
+void Writer::null() {
+  pre_value();
+  os_ << "null";
+}
+
+void Writer::raw(std::string_view json_text) {
+  pre_value();
+  os_ << json_text;
+}
+
+}  // namespace conflux::json

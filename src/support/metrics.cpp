@@ -1,0 +1,459 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/profile.hpp"
+
+namespace conflux::metrics {
+
+namespace {
+
+/// Counter slots are a fixed-capacity array per thread sink so the hot
+/// add path indexes without any resize (a growing vector would race the
+/// snapshot reader). A few dozen counters exist; 256 is headroom.
+constexpr int kMaxCounterSlots = 256;
+
+struct ThreadSink {
+  std::atomic<double> cells[kMaxCounterSlots];
+  ThreadSink() {
+    for (auto& c : cells) c.store(0.0, std::memory_order_relaxed);
+  }
+};
+
+/// Relaxed add on an atomic double via CAS (fetch_add on floating-point
+/// atomics is C++20; the CAS loop is portable and these are cold paths).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct GaugeMeta {
+  std::string name;
+  std::atomic<double> value{0.0};
+  std::atomic<double> max{0.0};
+};
+
+struct HistMeta {
+  std::string name;
+  std::vector<double> bounds;  // ascending upper bounds
+  std::unique_ptr<std::atomic<long long>[]> buckets;  // bounds.size()+1
+  std::atomic<long long> count{0};
+  std::atomic<double> sum{0.0};
+  // reset() baselines (registry mutex)
+  std::vector<long long> base_buckets;
+  long long base_count = 0;
+  double base_sum = 0.0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Counters: name per slot; per-thread cells live in the sinks.
+  std::vector<std::string> counter_names;
+  std::vector<double> counter_base;  // reset() baseline per slot
+  std::deque<GaugeMeta> gauges;      // deque: stable addresses, atomics
+  std::deque<HistMeta> hists;
+  // The registry owns every sink and never frees one before process exit:
+  // a worker thread's thread_local pointer stays valid for the thread's
+  // whole life, and a dead thread's final counts keep being summed.
+  std::vector<std::unique_ptr<ThreadSink>> sinks;
+
+  // Phase-span capture (support/profile.hpp).
+  std::mutex span_mu;
+  bool capturing = false;
+  std::chrono::steady_clock::time_point capture_t0;
+  std::vector<prof::SpanRecord> spans;
+  std::vector<prof::CounterSample> samples;
+  std::atomic<int> next_span_thread{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  // CONFLUX_METRICS arms the fast-path flag the first time the registry is
+  // touched — which is during static initialization of any instrumented
+  // translation unit, i.e. before main().
+  static const bool env_armed = [] {
+    const char* s = std::getenv("CONFLUX_METRICS");
+    if (s != nullptr && *s != '\0' && std::string_view(s) != "0") {
+      detail::g_enabled.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)env_armed;
+  return r;
+}
+
+thread_local ThreadSink* t_sink = nullptr;
+
+ThreadSink* acquire_sink() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sinks.push_back(std::make_unique<ThreadSink>());
+  return r.sinks.back().get();
+}
+
+double raw_counter_total_locked(const Registry& r, int slot) {
+  double total = 0.0;
+  for (const auto& sink : r.sinks) {
+    total += sink->cells[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int bucket_of(const std::vector<double>& bounds, double v) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<int>(it - bounds.begin());
+}
+
+}  // namespace
+
+namespace detail {
+
+int register_counter(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    if (r.counter_names[i] == name) return static_cast<int>(i);
+  }
+  if (r.counter_names.size() >= kMaxCounterSlots) {
+    std::fprintf(stderr, "conflux: metrics counter capacity exceeded at '%s'\n",
+                 name);
+    std::abort();
+  }
+  r.counter_names.emplace_back(name);
+  r.counter_base.push_back(0.0);
+  return static_cast<int>(r.counter_names.size()) - 1;
+}
+
+int register_gauge(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < r.gauges.size(); ++i) {
+    if (r.gauges[i].name == name) return static_cast<int>(i);
+  }
+  r.gauges.emplace_back();
+  r.gauges.back().name = name;
+  return static_cast<int>(r.gauges.size()) - 1;
+}
+
+int register_histogram(const char* name, const double* bounds, int nbounds) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < r.hists.size(); ++i) {
+    if (r.hists[i].name == name) return static_cast<int>(i);
+  }
+  r.hists.emplace_back();
+  HistMeta& h = r.hists.back();
+  h.name = name;
+  h.bounds.assign(bounds, bounds + nbounds);
+  std::sort(h.bounds.begin(), h.bounds.end());
+  const std::size_t nb = h.bounds.size() + 1;
+  h.buckets = std::make_unique<std::atomic<long long>[]>(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    h.buckets[i].store(0, std::memory_order_relaxed);
+  }
+  h.base_buckets.assign(nb, 0);
+  return static_cast<int>(r.hists.size()) - 1;
+}
+
+void counter_add(int id, double delta) {
+  if (t_sink == nullptr) t_sink = acquire_sink();
+  // Owner-only read-modify-write: this thread is the cell's only writer,
+  // so the non-atomic-looking load+store loses nothing; the atomic type
+  // keeps concurrent snapshot reads un-torn.
+  std::atomic<double>& cell = t_sink->cells[id];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void gauge_set(int id, double v) {
+  Registry& r = registry();
+  GaugeMeta& g = r.gauges[static_cast<std::size_t>(id)];
+  g.value.store(v, std::memory_order_relaxed);
+  atomic_max(g.max, v);
+}
+
+void histogram_record(int id, double v) {
+  Registry& r = registry();
+  HistMeta& h = r.hists[static_cast<std::size_t>(id)];
+  h.buckets[bucket_of(h.bounds, v)].fetch_add(1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(h.sum, v);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  registry();  // make sure the env arming ran first (so it cannot re-arm later)
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot snap;
+  snap.values.reserve(r.counter_names.size() + r.gauges.size() + r.hists.size());
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    MetricValue m;
+    m.name = r.counter_names[i];
+    m.kind = Kind::Counter;
+    m.value = raw_counter_total_locked(r, static_cast<int>(i)) - r.counter_base[i];
+    if (m.value < 0.0) m.value = 0.0;
+    snap.values.push_back(std::move(m));
+  }
+  for (const GaugeMeta& g : r.gauges) {
+    MetricValue m;
+    m.name = g.name;
+    m.kind = Kind::Gauge;
+    m.value = g.value.load(std::memory_order_relaxed);
+    m.max = g.max.load(std::memory_order_relaxed);
+    snap.values.push_back(std::move(m));
+  }
+  for (const HistMeta& h : r.hists) {
+    MetricValue m;
+    m.name = h.name;
+    m.kind = Kind::Histogram;
+    m.bounds = h.bounds;
+    m.count = h.count.load(std::memory_order_relaxed) - h.base_count;
+    m.sum = h.sum.load(std::memory_order_relaxed) - h.base_sum;
+    m.buckets.resize(h.bounds.size() + 1);
+    for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+      m.buckets[b] =
+          h.buckets[b].load(std::memory_order_relaxed) - h.base_buckets[b];
+      if (m.buckets[b] < 0) m.buckets[b] = 0;
+    }
+    if (m.count < 0) m.count = 0;
+    snap.values.push_back(std::move(m));
+  }
+  std::sort(snap.values.begin(), snap.values.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    r.counter_base[i] = raw_counter_total_locked(r, static_cast<int>(i));
+  }
+  for (GaugeMeta& g : r.gauges) {
+    // A new epoch's high-water mark starts from the current level.
+    g.max.store(g.value.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  for (HistMeta& h : r.hists) {
+    for (std::size_t b = 0; b < h.bounds.size() + 1; ++b) {
+      h.base_buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+    }
+    h.base_count = h.count.load(std::memory_order_relaxed);
+    h.base_sum = h.sum.load(std::memory_order_relaxed);
+  }
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  for (const MetricValue& m : values) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+double Snapshot::value(std::string_view name) const {
+  const MetricValue* m = find(name);
+  return m != nullptr ? m->value : 0.0;
+}
+
+double Snapshot::sum_prefix(std::string_view prefix) const {
+  double total = 0.0;
+  for (const MetricValue& m : values) {
+    if (m.name.size() >= prefix.size() &&
+        std::string_view(m.name).substr(0, prefix.size()) == prefix) {
+      total += m.value;
+    }
+  }
+  return total;
+}
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  json::Writer w(os);
+  w.begin_object();
+  for (const MetricValue& m : snap.values) {
+    w.key(m.name);
+    w.begin_object();
+    switch (m.kind) {
+      case Kind::Counter:
+        w.field("kind", "counter");
+        w.field("value", m.value);
+        break;
+      case Kind::Gauge:
+        w.field("kind", "gauge");
+        w.field("value", m.value);
+        w.field("max", m.max);
+        break;
+      case Kind::Histogram:
+        w.field("kind", "histogram");
+        w.field("count", m.count);
+        w.field("sum", m.sum);
+        w.key("bounds");
+        w.begin_array();
+        for (double b : m.bounds) w.value(b);
+        w.end_array();
+        w.key("buckets");
+        w.begin_array();
+        for (long long b : m.buckets) w.value(b);
+        w.end_array();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_json(std::ostream& os) { write_json(os, snapshot()); }
+
+std::string debug_string() {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  bool first = true;
+  for (const MetricValue& m : snap.values) {
+    const bool nonzero =
+        m.kind == Kind::Histogram ? m.count != 0 : m.value != 0.0;
+    if (!nonzero) continue;
+    if (!first) os << ' ';
+    first = false;
+    os << m.name << '=';
+    if (m.kind == Kind::Histogram) {
+      os << m.count << "x(mean "
+         << (m.count > 0 ? m.sum / static_cast<double>(m.count) : 0.0) << ")";
+    } else {
+      os << m.value;
+      if (m.kind == Kind::Gauge && m.max > m.value) os << "(max " << m.max << ')';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace conflux::metrics
+
+// ---------------------------------------------------------------------------
+// Phase-span capture (support/profile.hpp): spans and counter samples for
+// the unified Chrome-trace export. Implemented here so the profile header
+// stays declaration-only and span ends can sample registry state (the
+// anonymous-namespace Registry above is reachable as conflux::metrics::
+// members within this translation unit).
+namespace conflux::prof {
+
+namespace {
+
+thread_local int t_span_thread = -1;
+
+/// Counter-track samples appended at every span end: each gauge's current
+/// value plus the raw total of the data-movement byte counters. Raw (not
+/// baseline-adjusted) totals are fine — the trace viewer shows deltas.
+void sample_counters_locked(metrics::Registry& r, double t) {
+  for (const auto& g : r.gauges) {
+    r.samples.push_back(
+        {t, g.name, g.value.load(std::memory_order_relaxed)});
+  }
+  double dm_bytes = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+      if (r.counter_names[i].rfind("dm.", 0) == 0) {
+        dm_bytes += metrics::raw_counter_total_locked(r, static_cast<int>(i));
+      }
+    }
+  }
+  r.samples.push_back({t, "dm.bytes", dm_bytes});
+}
+
+}  // namespace
+
+void start_capture() {
+  metrics::Registry& r = metrics::registry();
+  std::lock_guard<std::mutex> lock(r.span_mu);
+  r.spans.clear();
+  r.samples.clear();
+  r.capture_t0 = std::chrono::steady_clock::now();
+  r.capturing = true;
+  detail::g_capturing.store(true, std::memory_order_relaxed);
+}
+
+Capture stop_capture() {
+  metrics::Registry& r = metrics::registry();
+  std::lock_guard<std::mutex> lock(r.span_mu);
+  detail::g_capturing.store(false, std::memory_order_relaxed);
+  r.capturing = false;
+  Capture c;
+  c.spans = std::move(r.spans);
+  c.samples = std::move(r.samples);
+  r.spans.clear();
+  r.samples.clear();
+  return c;
+}
+
+const std::string& trace_path() {
+  static const std::string path = [] {
+    const char* s = std::getenv("CONFLUX_TRACE");
+    return std::string(s != nullptr ? s : "");
+  }();
+  return path;
+}
+
+namespace detail {
+
+int span_begin(const char* name, long long step) {
+  metrics::Registry& r = metrics::registry();
+  std::lock_guard<std::mutex> lock(r.span_mu);
+  if (!r.capturing) return -1;
+  if (t_span_thread < 0) {
+    t_span_thread = r.next_span_thread.fetch_add(1, std::memory_order_relaxed);
+  }
+  SpanRecord rec;
+  rec.name = name;
+  rec.step = step;
+  rec.thread = t_span_thread;
+  rec.t0 = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         r.capture_t0)
+               .count();
+  rec.t1 = rec.t0;
+  r.spans.push_back(std::move(rec));
+  return static_cast<int>(r.spans.size()) - 1;
+}
+
+void span_end(int index) {
+  metrics::Registry& r = metrics::registry();
+  std::lock_guard<std::mutex> lock(r.span_mu);
+  // The capture may have been stopped (and the buffer reclaimed) between
+  // this span's begin and end; the stale index must not touch it.
+  if (!r.capturing || index < 0 ||
+      static_cast<std::size_t>(index) >= r.spans.size()) {
+    return;
+  }
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - r.capture_t0)
+                       .count();
+  r.spans[static_cast<std::size_t>(index)].t1 = t;
+  sample_counters_locked(r, t);
+}
+
+}  // namespace detail
+
+}  // namespace conflux::prof

@@ -1,0 +1,82 @@
+// Wall-clock phase-span capture for the unified Chrome-trace export
+// (DESIGN.md "Observability"). The factor cores mark each schedule phase
+// (tournament pivoting, A00 factorization, panel solves, Schur update ...)
+// with a ScopedSpan; while a capture is armed the spans record real begin/
+// end times per host thread, and every span end also samples the metrics
+// registry's gauges and data-movement totals as counter-track points. The
+// capture merges with the TaskPool's wall-clock task slices into one trace
+// file via sched::write_unified_trace (chrome_trace.hpp), armed by
+// CONFLUX_TRACE=<file> in the benches.
+//
+// Cost model mirrors support/metrics.hpp: a disarmed ScopedSpan is one
+// relaxed atomic load and branch; spans only exist while a capture is
+// running (benches and tests), never on the default path.
+//
+// Implemented in metrics.cpp — the span buffer samples registry state.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace conflux::prof {
+
+/// One annotated phase interval (seconds relative to the capture start).
+struct SpanRecord {
+  std::string name;
+  long long step = -1;  ///< schedule step (-1 = none / unknown)
+  int thread = 0;       ///< dense capture-local host-thread index
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// One counter-track point: `name` held `value` at time `t`.
+struct CounterSample {
+  double t = 0.0;
+  std::string name;
+  double value = 0.0;
+};
+
+struct Capture {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterSample> samples;
+};
+
+namespace detail {
+inline constinit std::atomic<bool> g_capturing{false};
+/// Returns the span index, or -1 when no capture is armed.
+int span_begin(const char* name, long long step);
+void span_end(int index);
+}  // namespace detail
+
+/// The one hot-path branch (same pattern as metrics::enabled()).
+inline bool capturing() {
+  return detail::g_capturing.load(std::memory_order_relaxed);
+}
+
+/// Arm a capture (clears any previous one).
+void start_capture();
+/// Disarm and hand back the recorded spans and counter samples.
+Capture stop_capture();
+
+/// The CONFLUX_TRACE environment value ("" when unset): the file path the
+/// benches write the merged Chrome trace to.
+const std::string& trace_path();
+
+/// RAII phase span: records only while a capture is armed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, long long step = -1) {
+    if (capturing()) index_ = detail::span_begin(name, step);
+  }
+  ~ScopedSpan() {
+    if (index_ >= 0) detail::span_end(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  int index_ = -1;
+};
+
+}  // namespace conflux::prof

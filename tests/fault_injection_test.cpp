@@ -21,6 +21,7 @@
 #include "factor/conflux_lu.hpp"
 #include "sched/taskpool.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 #include "tensor/random_matrix.hpp"
 
 namespace conflux {
@@ -96,15 +97,56 @@ struct SoakTally {
   int classified = 0;
 };
 
+/// The metrics registry's per-site fire counter (fault.cpp increments it in
+/// should_inject's success path), used to reconcile observed outcomes
+/// against injection activity.
+const char* fired_counter_name(fault::Site site) {
+  switch (site) {
+    case fault::Site::kPanelNaN: return "fault.fired.panel-nan";
+    case fault::Site::kZeroPivot: return "fault.fired.zero-pivot";
+    case fault::Site::kTaskThrow: return "fault.fired.task-throw";
+    case fault::Site::kWorkerStall: return "fault.fired.worker-stall";
+  }
+  return "?";
+}
+
+double fired_count(fault::Site site) {
+  return metrics::snapshot().value(fired_counter_name(site));
+}
+
+/// Reconcile one run's outcome against the site's fire count delta:
+///   - sites whose fault always corrupts the run (NaN, zero pivot, task
+///     throw): classified <=> fired >= 1, clean <=> fired == 0;
+///   - worker stall: the fault is timing-only, so only classified => fired
+///     holds (a fired stall may still finish before the watchdog).
+void reconcile_fired(fault::Site site, bool classified, double fired_delta,
+                     std::uint64_t seed) {
+  if (classified) {
+    EXPECT_GE(fired_delta, 1.0)
+        << "seed " << seed << ": run classified but "
+        << fired_counter_name(site) << " never fired";
+  } else if (site != fault::Site::kWorkerStall) {
+    EXPECT_EQ(fired_delta, 0.0)
+        << "seed " << seed << ": " << fired_counter_name(site)
+        << " fired but the run came back clean";
+  }
+}
+
 /// One LU soak run under `cfg`: returns via EXPECT/ASSERT; tallies whether
 /// the run was clean or classified.
-void soak_lu_once(const fault::Config& cfg, const std::set<StatusCode>& allowed,
-                  SoakTally& tally) {
+void soak_lu_once(fault::Site site, const fault::Config& cfg,
+                  const std::set<StatusCode>& allowed, SoakTally& tally) {
   golden_lu();  // force the fault-free golden BEFORE arming injection
+  const bool metrics_was = metrics::enabled();
+  metrics::set_enabled(true);
+  const double fired0 = fired_count(site);
   fault::ScopedConfig scoped(cfg);
   xsim::Machine m = fresh_machine();
   const grid::Grid3D g(2, 2, 1);
   const auto r = factor::try_conflux_lu(m, g, lu_input().view(), lu_options());
+  const double fired_delta = fired_count(site) - fired0;
+  metrics::set_enabled(metrics_was);
+  reconcile_fired(site, !r.ok(), fired_delta, cfg.seed);
   ++tally.runs;
   if (r.ok()) {
     // Nothing fired, or the fault was harmless (a worker stall that beat
@@ -139,7 +181,8 @@ fault::Config site_config(fault::Site site, std::uint64_t seed, double rate) {
 TEST(FaultSoak, PanelNanAlwaysClassifiedNonFinite) {
   SoakTally tally;
   for (std::uint64_t seed = 0; seed < 60; ++seed) {
-    soak_lu_once(site_config(fault::Site::kPanelNaN, seed, 0.5),
+    soak_lu_once(fault::Site::kPanelNaN,
+                 site_config(fault::Site::kPanelNaN, seed, 0.5),
                  {StatusCode::kNonFinite}, tally);
   }
   // Rate 0.5 over 4 steps per run: overwhelmingly most seeds must fire.
@@ -150,7 +193,8 @@ TEST(FaultSoak, PanelNanAlwaysClassifiedNonFinite) {
 TEST(FaultSoak, ForcedZeroPivotClassifiedSingular) {
   SoakTally tally;
   for (std::uint64_t seed = 0; seed < 60; ++seed) {
-    soak_lu_once(site_config(fault::Site::kZeroPivot, seed, 0.5),
+    soak_lu_once(fault::Site::kZeroPivot,
+                 site_config(fault::Site::kZeroPivot, seed, 0.5),
                  {StatusCode::kSingularPivot}, tally);
   }
   EXPECT_GE(tally.classified, 40) << "injection harness looks dead";
@@ -159,7 +203,8 @@ TEST(FaultSoak, ForcedZeroPivotClassifiedSingular) {
 TEST(FaultSoak, TaskThrowClassifiedTaskFailed) {
   SoakTally tally;
   for (std::uint64_t seed = 0; seed < 60; ++seed) {
-    soak_lu_once(site_config(fault::Site::kTaskThrow, seed, 0.05),
+    soak_lu_once(fault::Site::kTaskThrow,
+                 site_config(fault::Site::kTaskThrow, seed, 0.05),
                  {StatusCode::kTaskFailed}, tally);
   }
   // 5% per pool task over dozens of tasks: a healthy majority must fire,
@@ -177,7 +222,7 @@ TEST(FaultSoak, WorkerStallWedgesOrCompletesCorrectly) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     fault::Config cfg = site_config(fault::Site::kWorkerStall, seed, 0.02);
     cfg.stall_s = 0.6;
-    soak_lu_once(cfg, {StatusCode::kPoolWedged}, tally);
+    soak_lu_once(fault::Site::kWorkerStall, cfg, {StatusCode::kPoolWedged}, tally);
   }
   sched::TaskPool::instance().set_watchdog_seconds(0.0);
   EXPECT_EQ(tally.runs, 10);
