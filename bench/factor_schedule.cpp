@@ -35,6 +35,8 @@
 #include "factor/mixed.hpp"
 #include "models/models.hpp"
 #include "obs/audit.hpp"
+#include "recover/options.hpp"
+#include "recover/snapshot.hpp"
 #include "sched/chrome_trace.hpp"
 #include "sched/event.hpp"
 #include "sched/taskpool.hpp"
@@ -102,6 +104,21 @@ struct Row {
   // overhead estimate the gate uses (drift-immune: both runs of a pair
   // execute back to back).
   double metrics_pair_ratio = 0.0;
+  // Recovery legs (ISSUE 8): the lookahead run re-timed with (a) step
+  // checkpointing at the recommended default interval and (b) ABFT checksum
+  // verification armed. Both are bitwise inert on healthy runs
+  // (recover_test pins that), so only time is at stake; the pair ratios
+  // follow the same interleaved min-over-pairs scheme as the metrics gate.
+  double ckpt_wall_s = 0.0;
+  double ckpt_off_wall_s = 0.0;
+  double ckpt_pair_ratio = 0.0;
+  double ckpt_saves_per_run = 0.0;   // recover.ckpt.saves per armed run
+  double ckpt_bytes_per_run = 0.0;   // recover.ckpt.bytes per armed run
+  double ckpt_seconds_per_run = 0.0;  // serialization time per armed run
+  double abft_wall_s = 0.0;
+  double abft_off_wall_s = 0.0;
+  double abft_pair_ratio = 0.0;
+  double abft_verified_per_run = 0.0;  // recover.abft.verified per armed run
   obs::DataMovementAudit audit;
   // Task-pool runtime metrics over the audited run.
   double pool_tasks_run = 0.0;
@@ -292,6 +309,80 @@ Row run_cell(const std::string& algo, const Cell& c, int reps, bool serial_basel
     }
   }
 
+  // Recovery legs (ISSUE 8): re-time the lookahead run with checkpointing
+  // at the recommended default interval, then with ABFT verification armed.
+  // Interleaved back-to-back (off, on) pairs, min pair ratio — same drift
+  // rationale as the metrics gate. The registry stays armed across both
+  // legs so the recover.* counters record what each armed run actually did
+  // (saves, bytes, verified steps); both sides of every pair see the same
+  // registry state, so the comparison stays fair.
+  {
+    const bool was_enabled = metrics::enabled();
+    factor::FactorOptions la_opt = opt;
+    la_opt.lookahead = 1;
+    const auto la_run = [&] {
+      xsim::Machine m(spec, xsim::ExecMode::Real);
+      if (lu) {
+        factor::conflux_lu(m, g, a.view(), la_opt);
+      } else {
+        factor::confchox(m, g, a.view(), la_opt);
+      }
+    };
+    const int gate_reps = c.n >= 2048 ? std::max(reps, 5) : reps;
+    metrics::set_enabled(true);
+
+    recover::Options ckpt_on;
+    ckpt_on.ckpt_every = recover::kDefaultCkptEvery;
+    const metrics::Snapshot ck0 = metrics::snapshot();
+    row.ckpt_off_wall_s = std::numeric_limits<double>::infinity();
+    row.ckpt_wall_s = std::numeric_limits<double>::infinity();
+    row.ckpt_pair_ratio = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < gate_reps; ++rep) {
+      recover::reset();
+      const double off = best_wall(1, la_run);
+      recover::configure(ckpt_on);
+      const double on = best_wall(1, la_run);
+      recover::reset();
+      row.ckpt_off_wall_s = std::min(row.ckpt_off_wall_s, off);
+      row.ckpt_wall_s = std::min(row.ckpt_wall_s, on);
+      if (off > 0.0) row.ckpt_pair_ratio = std::min(row.ckpt_pair_ratio, on / off);
+    }
+    const metrics::Snapshot ck1 = metrics::snapshot();
+    const double per_run = 1.0 / static_cast<double>(gate_reps);
+    row.ckpt_saves_per_run =
+        (ck1.value("recover.ckpt.saves") - ck0.value("recover.ckpt.saves")) *
+        per_run;
+    row.ckpt_bytes_per_run =
+        (ck1.value("recover.ckpt.bytes") - ck0.value("recover.ckpt.bytes")) *
+        per_run;
+    row.ckpt_seconds_per_run =
+        (ck1.value("recover.ckpt.seconds") - ck0.value("recover.ckpt.seconds")) *
+        per_run;
+
+    recover::Options abft_on;
+    abft_on.abft = true;
+    const metrics::Snapshot ab0 = metrics::snapshot();
+    row.abft_off_wall_s = std::numeric_limits<double>::infinity();
+    row.abft_wall_s = std::numeric_limits<double>::infinity();
+    row.abft_pair_ratio = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < gate_reps; ++rep) {
+      recover::reset();
+      const double off = best_wall(1, la_run);
+      recover::configure(abft_on);
+      const double on = best_wall(1, la_run);
+      recover::reset();
+      row.abft_off_wall_s = std::min(row.abft_off_wall_s, off);
+      row.abft_wall_s = std::min(row.abft_wall_s, on);
+      if (off > 0.0) row.abft_pair_ratio = std::min(row.abft_pair_ratio, on / off);
+    }
+    const metrics::Snapshot ab1 = metrics::snapshot();
+    row.abft_verified_per_run =
+        (ab1.value("recover.abft.verified") - ab0.value("recover.abft.verified")) *
+        per_run;
+    metrics::set_enabled(was_enabled);
+    recover::clear();  // drop this cell's snapshots before the next one
+  }
+
   // Mixed-precision solve: fp32 factorization (timed with the same
   // best-of-reps harness as the fp64 wall above, so the published ratio
   // compares equal footing) + blocked fp64 refinement over an 8-column RHS
@@ -396,6 +487,12 @@ void print_row(const Row& r) {
       r.audit.measured_words_per_rank / 1e6, r.audit.lower_bound_words / 1e6,
       r.audit.measured_ratio, r.audit.model_ratio, r.lat_urgent_count,
       r.lat_lazy_count);
+  std::printf(
+      "            ckpt on %.3fs vs off %.3fs (%.3fx, %.0f saves %.2gMB"
+      " %.3fs/run) | abft on %.3fs vs off %.3fs (%.3fx, %.0f steps verified)\n",
+      r.ckpt_wall_s, r.ckpt_off_wall_s, r.ckpt_pair_ratio, r.ckpt_saves_per_run,
+      r.ckpt_bytes_per_run / 1e6, r.ckpt_seconds_per_run, r.abft_wall_s,
+      r.abft_off_wall_s, r.abft_pair_ratio, r.abft_verified_per_run);
 }
 
 bool write_json(const std::string& path, const std::vector<Row>& rows) {
@@ -452,6 +549,21 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
     w.field("ready_depth_max", r.ready_depth_max);
     w.field("ready_lazy_depth_max", r.ready_lazy_depth_max);
     w.end_object();
+    w.end_object();
+    // Recovery section: checkpoint and ABFT overhead pairs plus the
+    // per-run recover.* counter deltas of the armed legs.
+    w.key("recovery");
+    w.begin_object();
+    w.field("ckpt_wall_s", r.ckpt_wall_s);
+    w.field("ckpt_off_wall_s", r.ckpt_off_wall_s);
+    w.field("ckpt_overhead_pair_ratio", r.ckpt_pair_ratio);
+    w.field("ckpt_saves_per_run", r.ckpt_saves_per_run);
+    w.field("ckpt_bytes_per_run", r.ckpt_bytes_per_run);
+    w.field("ckpt_seconds_per_run", r.ckpt_seconds_per_run);
+    w.field("abft_wall_s", r.abft_wall_s);
+    w.field("abft_off_wall_s", r.abft_off_wall_s);
+    w.field("abft_overhead_pair_ratio", r.abft_pair_ratio);
+    w.field("abft_verified_per_run", r.abft_verified_per_run);
     w.end_object();
     w.end_object();
   }
@@ -643,6 +755,28 @@ int main(int argc, char** argv) {
                    r.algo.c_str(), static_cast<long long>(r.cell.n),
                    r.metrics_pair_ratio, r.metrics_wall_s,
                    r.metrics_off_wall_s);
+      return 1;
+    }
+    // Recovery-overhead gates (ISSUE 8, acceptance): at the n=2048 P=64
+    // cell, checkpointing at the default interval costs at most 5% and
+    // per-step ABFT verification at most 10% over the plain lookahead run.
+    // Same min-over-interleaved-pairs statistic as the metrics gate.
+    if (r.cell.n == 2048 && r.cell.px * r.cell.py * r.cell.pz == 64 &&
+        r.ckpt_pair_ratio > 1.05) {
+      std::fprintf(stderr,
+                   "error: checkpoint overhead above 5%% for %s n=%lld "
+                   "(best pair %.3fx; best %.3fs armed vs %.3fs off)\n",
+                   r.algo.c_str(), static_cast<long long>(r.cell.n),
+                   r.ckpt_pair_ratio, r.ckpt_wall_s, r.ckpt_off_wall_s);
+      return 1;
+    }
+    if (r.cell.n == 2048 && r.cell.px * r.cell.py * r.cell.pz == 64 &&
+        r.abft_pair_ratio > 1.10) {
+      std::fprintf(stderr,
+                   "error: ABFT overhead above 10%% for %s n=%lld "
+                   "(best pair %.3fx; best %.3fs armed vs %.3fs off)\n",
+                   r.algo.c_str(), static_cast<long long>(r.cell.n),
+                   r.abft_pair_ratio, r.abft_wall_s, r.abft_off_wall_s);
       return 1;
     }
   }

@@ -1,11 +1,16 @@
 #include "factor/confchox.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <limits>
 
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
+#include "recover/abft.hpp"
+#include "recover/options.hpp"
+#include "recover/snapshot.hpp"
 #include "sched/rank_parallel.hpp"
 #include "sched/taskpool.hpp"
 #include "support/check.hpp"
@@ -31,6 +36,17 @@ const metrics::Counter g_dm_panel_gather("dm.panel_gather.bytes");
 const metrics::Counter g_dm_panel_solve("dm.panel_solve.bytes");
 const metrics::Counter g_dm_schur_operand("dm.schur_operand.bytes");
 const metrics::Counter g_dm_schur_update("dm.schur_update.bytes");
+
+// Recovery counters (DESIGN.md "Recovery model"); shared by name with
+// conflux_lu.cpp so both factor cores feed one recover.* ledger.
+const metrics::Counter g_ckpt_seconds("recover.ckpt.seconds");
+const metrics::Counter g_ckpt_restores("recover.ckpt.restores");
+const metrics::Counter g_abft_verified("recover.abft.verified");
+const metrics::Counter g_abft_detected("recover.abft.detected");
+const metrics::Counter g_abft_reexec("recover.abft.reexec");
+
+/// ABFT re-execution budget per run (see conflux_lu.cpp).
+constexpr int kMaxAbftReexecs = 8;
 
 /// Workspace slot ids (tensor/workspace.hpp arena).
 enum WsSlot : std::size_t { kA00 = 0 };
@@ -84,6 +100,17 @@ struct CholRun {
   double pivot_tol = 0.0;
   FactorHealth health;
 
+  // ABFT checksum state (DESIGN.md "Recovery model"): abft_sum[r] is the
+  // PREDICTED sum of global row r's live lower-triangle cells, columns
+  // [t*v, r], kept in double regardless of T. Cholesky never moves rows, so
+  // the vector is indexed by global row and entries simply fall out of use
+  // as the frontier passes them. Verification is read-only: healthy factors
+  // are bitwise identical with ABFT on or off.
+  bool abft = false;
+  std::vector<double> abft_sum;    // predicted live row sums, global rows
+  std::vector<double> abft_panel;  // this step's panel row sums, pre-trsm
+  std::vector<double> abft_cum;    // prefix column-sum scratch, length v
+
   // Grid-line cache (common.hpp): at most px*py z-lines, fetched once each.
   GridLineCache zlines;
 
@@ -110,6 +137,224 @@ struct CholRun {
 long long approx_msgs(index_t items, int peers) {
   return std::min<long long>(static_cast<long long>(std::max<index_t>(items, 0)),
                              static_cast<long long>(peers));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart (DESIGN.md "Recovery model"). Cholesky's entire mutable
+// state is the one `fac` buffer plus the scalar trackers — rows never move,
+// so unlike LU there are no maps or elimination records to capture, and the
+// snapshot is the buffer in bulk at a drained step boundary. Restoring it
+// and re-executing the remaining steps is bitwise identical to the
+// uninterrupted run.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+recover::SnapshotKey chol_snapshot_key(const CholRun<T>& run) {
+  recover::SnapshotKey key;
+  key.kind = recover::FactorKind::kCholesky;
+  key.scalar = sizeof(T) == sizeof(double) ? 'd' : 'f';
+  key.n = static_cast<std::int64_t>(run.n);
+  key.v = static_cast<std::int64_t>(run.v);
+  key.px = run.g.px();
+  key.py = run.g.py();
+  key.pz = run.g.pz();
+  return key;
+}
+
+template <typename T>
+void save_chol_snapshot(CholRun<T>& run, index_t t) {
+  recover::SnapshotWriter w(chol_snapshot_key(run),
+                            static_cast<std::int64_t>(t));
+  // Step 0 is a pure function of the input the resume entry point is handed
+  // anyway: an empty marker proves resumability without serializing the
+  // matrix (see save_lu_snapshot).
+  if (t == 0) {
+    recover::store_blob(chol_snapshot_key(run), std::move(w).seal());
+    return;
+  }
+  w.put_f64(run.amax);
+  w.put_i64(static_cast<std::int64_t>(run.health.code));
+  w.put_i64(run.health.first_breakdown_step);
+  w.put_i64(run.health.singular_pivots);
+  w.put_i64(run.health.near_singular_pivots);
+  w.put_f64(run.health.growth_factor);
+  w.put_f64(run.health.min_pivot);
+  // Only the lower triangle (diagonal included): init_state never fills the
+  // strict upper triangle and no phase of the factorization reads or writes
+  // it, so restoring the lower rows onto a freshly initialized `fac` is
+  // bitwise complete — at half the serialization volume.
+  for (index_t r = 0; r < run.npad; ++r) {
+    w.put_bytes(&run.fac(r, 0), static_cast<std::size_t>(r + 1) * sizeof(T));
+  }
+  recover::store_blob(chol_snapshot_key(run), std::move(w).seal());
+}
+
+/// Restore the latest snapshot into `run` (whose `fac` was freshly
+/// initialized from the input — the strict upper triangle is NOT in the
+/// payload) and return the step to resume from; a corrupt or inconsistent
+/// snapshot throws kCheckpointInvalid.
+template <typename T>
+index_t restore_chol_snapshot(CholRun<T>& run) {
+  const recover::SnapshotKey key = chol_snapshot_key(run);
+  const auto bad = [](const std::string& what) {
+    throw status_error(Status(StatusCode::kCheckpointInvalid, what));
+  };
+  const recover::Blob blob = recover::latest_blob(key);
+  if (blob.empty()) bad("no checkpoint to resume " + key.to_string() + " from");
+  recover::SnapshotReader r(key, blob);
+  const auto t = static_cast<index_t>(r.step());
+  if (t >= run.num_tiles) bad("snapshot step past the end of the schedule");
+  // A step-0 snapshot is an empty marker: the caller re-derives the state
+  // from the input (see restore_lu_snapshot).
+  if (t == 0) {
+    if (r.remaining() != 0) bad("step-0 snapshot must be an empty marker");
+    return 0;
+  }
+  run.amax = r.get_f64();
+  const auto code = static_cast<StatusCode>(r.get_i64());
+  // kNearSingularPivot is the only soft breakdown Cholesky ever records
+  // (everything else is a hard throw that leaves no snapshot behind).
+  if (code != StatusCode::kOk && code != StatusCode::kNearSingularPivot) {
+    bad("snapshot health carries a code no factorization records");
+  }
+  run.health.code = code;
+  run.health.first_breakdown_step = r.get_i64();
+  run.health.singular_pivots = r.get_i64();
+  run.health.near_singular_pivots = r.get_i64();
+  run.health.growth_factor = r.get_f64();
+  run.health.min_pivot = r.get_f64();
+  for (index_t row = 0; row < run.npad; ++row) {
+    r.get_bytes(&run.fac(row, 0), static_cast<std::size_t>(row + 1) * sizeof(T));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ABFT maintenance. Invariant at the top of step t: abft_sum[r] equals the
+// sum of fac(r, t*v .. r) — row r's live lower-triangle cells — up to the
+// rounding drift between the double-precision prediction and the
+// T-precision Schur arithmetic. One step advances it as
+//   sum_{t+1}[r] = sum_t[r] - panel_t[r] - sum_{j in [off, r]} L(r,:)·L(j,:)
+// where panel_t[r] is the pre-trsm panel row sum (those v columns leave the
+// live region) and the last term is the symmetric Schur update restricted
+// to row sums. Factoring out L(r,k) turns it into one dot with a running
+// prefix of the panel's column sums — O(panel_rows * v), same as LU.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void init_chol_abft(CholRun<T>& run, index_t t) {
+  run.abft_sum.assign(static_cast<std::size_t>(run.npad), 0.0);
+  run.abft_panel.assign(static_cast<std::size_t>(run.npad), 0.0);
+  run.abft_cum.assign(static_cast<std::size_t>(run.v), 0.0);
+  const index_t col0 = t * run.v;
+  for (index_t r = col0; r < run.npad; ++r) {
+    double s = 0.0;
+    for (index_t j = col0; j <= r; ++j) {
+      s += static_cast<double>(run.fac(r, j));
+    }
+    run.abft_sum[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+template <typename T>
+void capture_chol_abft_panel(CholRun<T>& run, index_t t) {
+  const index_t col0 = t * run.v;
+  for (index_t r = col0 + run.v; r < run.npad; ++r) {
+    const T* row = &run.fac(r, col0);
+    double s = 0.0;
+    for (index_t j = 0; j < run.v; ++j) s += static_cast<double>(row[j]);
+    run.abft_panel[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+/// Roll the predicted sums forward across this step's Schur update. Must run
+/// after the panel trsm (the panel columns now hold the solved L10 values).
+template <typename T>
+void apply_chol_abft_update(CholRun<T>& run, index_t t, index_t panel_rows) {
+  const index_t off = (t + 1) * run.v;
+  std::fill(run.abft_cum.begin(), run.abft_cum.end(), 0.0);
+  for (index_t p = 0; p < panel_rows; ++p) {
+    const T* lrow = &run.fac(off + p, t * run.v);
+    double upd = 0.0;
+    for (index_t k = 0; k < run.v; ++k) {
+      const double lv = static_cast<double>(lrow[k]);
+      // The prefix includes row p itself: the diagonal cell fac(r, r) is
+      // part of the live lower triangle.
+      run.abft_cum[static_cast<std::size_t>(k)] += lv;
+      upd += lv * run.abft_cum[static_cast<std::size_t>(k)];
+    }
+    run.abft_sum[static_cast<std::size_t>(off + p)] -=
+        run.abft_panel[static_cast<std::size_t>(off + p)] + upd;
+  }
+}
+
+/// One row's verification scan; unrolled accumulators as in conflux_lu.cpp's
+/// abft_row_ok (the comparison is tolerance-based, never bitwise).
+template <typename T>
+bool chol_abft_row_ok(const T* row, index_t width, double predicted) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  index_t j = 0;
+  for (; j + 4 <= width; j += 4) {
+    const double x0 = static_cast<double>(row[j]);
+    const double x1 = static_cast<double>(row[j + 1]);
+    const double x2 = static_cast<double>(row[j + 2]);
+    const double x3 = static_cast<double>(row[j + 3]);
+    a0 += x0;
+    a1 += x1;
+    a2 += x2;
+    a3 += x3;
+    m0 += std::abs(x0);
+    m1 += std::abs(x1);
+    m2 += std::abs(x2);
+    m3 += std::abs(x3);
+  }
+  for (; j < width; ++j) {
+    const double x = static_cast<double>(row[j]);
+    a0 += x;
+    m0 += std::abs(x);
+  }
+  const double actual = (a0 + a1) + (a2 + a3);
+  const double mag = (m0 + m1) + (m2 + m3);
+  return std::abs(actual - predicted) <= 0.05 * (mag + 1.0);
+}
+
+/// Read-only verification of the invariant (tolerance rationale in
+/// conflux_lu.cpp's verify_abft). Parallel row chunks over the drained pool,
+/// one task per row scan, so the verdict is thread-count independent; the
+/// lowest bad row is reported.
+template <typename T>
+void verify_chol_abft(CholRun<T>& run, index_t t) {
+  g_abft_verified.add(1.0);
+  const index_t col0 = t * run.v;
+  const index_t live = run.npad - col0;
+  constexpr index_t kRowsPerChunk = 128;
+  const index_t nchunks = (live + kRowsPerChunk - 1) / kRowsPerChunk;
+  std::atomic<index_t> bad{run.npad};
+  sched::parallel_ranks(nchunks, [&](index_t c) {
+    const index_t lo = col0 + c * kRowsPerChunk;
+    const index_t hi = std::min(run.npad, lo + kRowsPerChunk);
+    for (index_t r = lo; r < hi; ++r) {
+      if (chol_abft_row_ok(&run.fac(r, col0), r - col0 + 1,
+                           run.abft_sum[static_cast<std::size_t>(r)])) {
+        continue;
+      }
+      index_t seen = bad.load(std::memory_order_relaxed);
+      while (r < seen &&
+             !bad.compare_exchange_weak(seen, r, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+  });
+  const index_t bad_row = bad.load(std::memory_order_relaxed);
+  if (bad_row < run.npad) {
+    g_abft_detected.add(1.0);
+    throw status_error(Status(
+        StatusCode::kDataCorruption,
+        "ABFT row-sum mismatch in the trailing accumulator (row " +
+            std::to_string(bad_row) + ")",
+        static_cast<long long>(t)));
+  }
 }
 
 // Step 1: reduce the trailing block column (rows t*v.., width v) onto layer
@@ -270,9 +515,13 @@ void trsm_panel(CholRun<T>& run, index_t t, index_t panel_rows,
     if (run.la) {
       sched::TaskPool& pool = sched::TaskPool::instance();
       for (int r = 0; r < p; ++r) {
+        // Retryable: the injected transient fault fires before the body
+        // runs, so the in-place solve has not happened on a retried attempt
+        // and re-running it is exact (same for the Schur pieces below).
         run.trsm_ids.push_back(pool.submit(
             [chunk, r] { chunk(static_cast<index_t>(r)); }, "panel-trsm",
-            sched::TaskCategory::Other, static_cast<long long>(t), nullptr, 0));
+            sched::TaskCategory::Other, static_cast<long long>(t), nullptr, 0,
+            /*retryable=*/true));
       }
     } else {
       sched::parallel_ranks(p, chunk);
@@ -477,7 +726,8 @@ void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
         run.urgent_ids.push_back(
             pool.submit([urgent_block, blk] { urgent_block(blk); },
                         "schur-urgent", sched::TaskCategory::Urgent,
-                        static_cast<long long>(t), run.dep_scratch));
+                        static_cast<long long>(t), run.dep_scratch,
+                        /*retryable=*/true));
       }
       if (split) {
         for (index_t blk = 0; blk < nblocks; ++blk) {
@@ -485,7 +735,7 @@ void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
           run.lazy_ids.push_back(
               pool.submit([lazy_block, blk] { lazy_block(blk); }, "schur-lazy",
                           sched::TaskCategory::Lazy, static_cast<long long>(t),
-                          run.dep_scratch));
+                          run.dep_scratch, /*retryable=*/true));
         }
       }
     } else {
@@ -498,7 +748,8 @@ void update_a11(CholRun<T>& run, index_t t, index_t panel_rows) {
 
 template <typename T>
 CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
-                            ConstMatrixView<T> a, const FactorOptions& opt) {
+                            ConstMatrixView<T> a, const FactorOptions& opt,
+                            bool resume = false) {
   expects(g.ranks() == m.ranks(), "grid must match the machine");
   expects(n >= 1, "matrix must be non-empty");
   index_t v = opt.block_size > 0 ? opt.block_size : default_block_size(n, g);
@@ -535,9 +786,12 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     }
   } lease{m, tile_words + panel_words, run.la};
 
-  if (run.real) {
-    expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.pivot_tol = opt.pivot_tolerance;
+  // (Re)initialize the factor buffer from the input: also the rollback of
+  // last resort when ABFT detects corruption and no checkpoint exists — the
+  // caller's view of `a` is untouched by the run.
+  const auto init_state = [&] {
+    run.amax = 0.0;
+    run.health = FactorHealth{};
     run.health.min_pivot = std::numeric_limits<double>::infinity();
     run.fac = Matrix<T>(npad, npad, T{});
     for (index_t i = 0; i < n; ++i) {
@@ -553,10 +807,29 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       }
     }
     for (index_t r = n; r < npad; ++r) run.fac(r, r) = T{1};
+  };
+
+  if (run.real) {
+    expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.pivot_tol = opt.pivot_tolerance;
+    init_state();
   }
 
   CholResultT<T> result;
   StepCostRecorder rec(m, opt.record_step_costs);
+
+  // Recovery configuration (recover/options.hpp): resolved once per run.
+  const recover::Options ropt = recover::options();
+  const bool ckpt_on = run.real && ropt.ckpt_every > 0;
+  run.abft = run.real && ropt.abft;
+
+  index_t t0 = 0;
+  if (resume) {
+    expects(run.real, "resume requires Real mode");
+    t0 = restore_chol_snapshot(run);
+    g_ckpt_restores.add(1.0);
+  }
+  if (run.abft) init_chol_abft(run, t0);
 
   // Latency chain per iteration: one layer reduction, the A00 broadcast,
   // and the two panel hops (no pivoting chain at all).
@@ -564,10 +837,56 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       std::ceil(std::log2(static_cast<double>(std::max(2, g.pz())))) +
       std::ceil(std::log2(static_cast<double>(std::max(2, m.ranks())))) + 3.0;
 
-  for (index_t t = 0; t < num_tiles; ++t) {
+  // Step loop with in-run recovery (structure documented in
+  // conflux_lu.cpp): ABFT-detected corruption rolls back to the last
+  // checkpoint or the input, bounded by kMaxAbftReexecs; everything else
+  // unwinds, and resume_confchox restarts a crashed run from its snapshot.
+  index_t t = t0;
+  int reexecs_left = kMaxAbftReexecs;
+  while (t < num_tiles) {
+  try {
+    const index_t panel_rows = npad - (t + 1) * v;
+    if (run.real) {
+      const bool ckpt_due = ckpt_on && t % ropt.ckpt_every == 0;
+      // Checksums are maintained every step; the full sweep over the live
+      // triangle runs every abft_every steps (it re-reads everything, which
+      // at bandwidth would blow the 10% overhead budget per-step).
+      const bool verifying = run.abft && t > 0 && t % ropt.abft_every == 0;
+      if ((ckpt_due || verifying) && run.la) {
+        pool.wait(run.trsm_ids);
+        pool.wait(run.urgent_ids);
+        pool.wait(run.lazy_ids);
+      } else if (run.abft && run.la) {
+        // Maintenance-only step: capture_chol_abft_panel below reads tile
+        // column t, which is exactly the urgent piece of the previous
+        // step's Schur update; the lazy remainder keeps running behind it.
+        pool.wait(run.trsm_ids);
+        pool.wait(run.urgent_ids);
+      }
+      if (verifying) {
+        if (fault::enabled() && fault::should_inject(fault::Site::kBitflip)) {
+          run.fac(t * v, t * v) = recover::flip_high_bit(run.fac(t * v, t * v));
+        }
+        verify_chol_abft(run, t);
+      }
+      if (ckpt_due) {
+        const auto c0 = std::chrono::steady_clock::now();
+        save_chol_snapshot(run, t);
+        g_ckpt_seconds.add(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - c0)
+                               .count());
+      }
+      // Fires AFTER the save: with ckpt_every == 1 every crash is resumable.
+      if (fault::enabled() && fault::should_inject(fault::Site::kCrashAtStep)) {
+        throw status_error(Status(StatusCode::kCrashSimulated,
+                                  "injected crash at a step boundary",
+                                  static_cast<long long>(t)));
+      }
+      if (run.abft) capture_chol_abft_panel(run, t);
+    }
+
     m.charge_chain(chain_per_step);
     rec.begin_iteration();
-    const index_t panel_rows = npad - (t + 1) * v;
 
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { reduce_block_column(run, t); });
@@ -578,11 +897,33 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                 [&] { scatter_panel_1d(run, t, panel_rows); });
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
                 [&] { trsm_panel<T>(run, t, panel_rows, a00); });
+    if (run.abft && panel_rows > 0) {
+      // Advance the checksums across this step's Schur update; the solved
+      // panel is the only input, so only the trsm chunks must have landed
+      // (the Schur tasks depend on them anyway).
+      if (run.la) pool.wait(run.trsm_ids);
+      apply_chol_abft_update(run, t, panel_rows);
+    }
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { distribute_panel_2p5d(run, t, panel_rows); });
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { update_a11(run, t, panel_rows); });
     rec.end_iteration(result.step_costs);
+    ++t;
+  } catch (const status_error& e) {
+    if (e.code() != StatusCode::kDataCorruption || reexecs_left-- <= 0) throw;
+    g_abft_reexec.add(1.0);
+    if (recover::has_latest(chol_snapshot_key(run))) {
+      t = restore_chol_snapshot(run);
+      g_ckpt_restores.add(1.0);
+      // The step-0 snapshot is a marker: re-derive the state from the input.
+      if (t == 0) init_state();
+    } else {
+      init_state();
+      t = 0;
+    }
+    init_chol_abft(run, t);
+  }
   }
 
   if (run.la) {
@@ -608,10 +949,11 @@ CholResultT<T> run_confchox(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 /// Shared body of the try_* entry points (see conflux_lu.cpp's try_lu).
 template <typename T>
 Result<CholResultT<T>> try_chol(xsim::Machine& m, const grid::Grid3D& g,
-                                ConstMatrixView<T> a, const FactorOptions& opt) {
+                                ConstMatrixView<T> a, const FactorOptions& opt,
+                                bool resume = false) {
   try {
     expects(m.real(), "try_confchox requires Real mode");
-    CholResultT<T> r = run_confchox<T>(m, g, a.rows(), a, opt);
+    CholResultT<T> r = run_confchox<T>(m, g, a.rows(), a, opt, resume);
     if (!r.health.ok()) {
       Status st = r.health.to_status();
       return Result<CholResultT<T>>(std::move(st), std::move(r));
@@ -646,6 +988,28 @@ Result<CholResult> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
 Result<CholResultF> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
                                  ConstViewF a, const FactorOptions& opt) {
   return try_chol<float>(m, g, a, opt);
+}
+
+CholResult resume_confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                           const FactorOptions& opt) {
+  expects(m.real(), "resume_confchox requires Real mode");
+  return run_confchox<double>(m, g, a.rows(), a, opt, /*resume=*/true);
+}
+
+CholResultF resume_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                            ConstViewF a, const FactorOptions& opt) {
+  expects(m.real(), "resume_confchox requires Real mode");
+  return run_confchox<float>(m, g, a.rows(), a, opt, /*resume=*/true);
+}
+
+Result<CholResult> try_resume_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                       ConstViewD a, const FactorOptions& opt) {
+  return try_chol<double>(m, g, a, opt, /*resume=*/true);
+}
+
+Result<CholResultF> try_resume_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                        ConstViewF a, const FactorOptions& opt) {
+  return try_chol<float>(m, g, a, opt, /*resume=*/true);
 }
 
 CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,

@@ -32,6 +32,21 @@ Result<CholResult> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
 Result<CholResultF> try_confchox(xsim::Machine& m, const grid::Grid3D& g,
                                  ConstViewF a, const FactorOptions& opt = {});
 
+/// Restart a factorization of `a` from its latest step checkpoint (DESIGN.md
+/// "Recovery model"; see resume_conflux_lu for the contract). Throws
+/// kCheckpointInvalid if no snapshot exists or validation fails; the try_
+/// variants return it as a failed Result instead.
+CholResult resume_confchox(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                           const FactorOptions& opt = {});
+CholResultF resume_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                            ConstViewF a, const FactorOptions& opt = {});
+Result<CholResult> try_resume_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                       ConstViewD a,
+                                       const FactorOptions& opt = {});
+Result<CholResultF> try_resume_confchox(xsim::Machine& m, const grid::Grid3D& g,
+                                        ConstViewF a,
+                                        const FactorOptions& opt = {});
+
 /// Trace-mode run for an n x n factorization.
 CholResult confchox_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,
                           const FactorOptions& opt = {});

@@ -1,13 +1,18 @@
 #include "factor/conflux_lu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <limits>
 #include <utility>
 
 #include "blas/lapack.hpp"
+#include "recover/abft.hpp"
+#include "recover/options.hpp"
+#include "recover/snapshot.hpp"
 #include "sched/rank_parallel.hpp"
 #include "sched/taskpool.hpp"
 #include "support/check.hpp"
@@ -41,6 +46,23 @@ const metrics::Counter g_dm_pivot_retire("dm.pivot_retire.bytes");
 const metrics::Counter g_dm_panel_solve("dm.panel_solve.bytes");
 const metrics::Counter g_dm_schur_operand("dm.schur_operand.bytes");
 const metrics::Counter g_dm_schur_update("dm.schur_update.bytes");
+
+// Recovery instrumentation (DESIGN.md "Recovery model"): checkpoint
+// serialization time and restore count, plus the ABFT verification ledger.
+// recover_test reconciles detected/reexec against the injected bitflips.
+// Registration is idempotent by name, so the Cholesky core declaring the
+// same counters shares the cells.
+const metrics::Counter g_ckpt_seconds("recover.ckpt.seconds");
+const metrics::Counter g_ckpt_restores("recover.ckpt.restores");
+const metrics::Counter g_abft_verified("recover.abft.verified");
+const metrics::Counter g_abft_detected("recover.abft.detected");
+const metrics::Counter g_abft_reexec("recover.abft.reexec");
+
+/// In-run re-execution budget for ABFT-detected corruption: enough to ride
+/// out a noisy soak (each re-execution re-verifies everything it replays),
+/// small enough that persistent corruption — a genuinely broken machine —
+/// still surfaces as kDataCorruption instead of looping forever.
+constexpr int kMaxAbftReexecs = 8;
 
 /// Soft-breakdown severity order for FactorHealth::code (the health report
 /// keeps the most severe classification; counts keep the full story).
@@ -228,6 +250,18 @@ struct LuRun {
   double growth_lim = 0.0;
   FactorHealth health;
 
+  // ABFT checksum state (DESIGN.md "Recovery model"): abft_sum[i] is the
+  // PREDICTED row sum of packed row i's live trailing region, maintained in
+  // double regardless of T (float-precision accumulation would drift past
+  // any usable verification threshold within a few dozen steps) through the
+  // same algebra the Schur update applies. Verification recomputes the
+  // actual sums read-only, so healthy factors are bitwise identical with
+  // ABFT on or off.
+  bool abft = false;
+  std::vector<double> abft_sum;    // predicted live-region row sums
+  std::vector<double> abft_panel;  // this step's panel row sums, pre-trsm
+  std::vector<double> abft_urow;   // solved pivot-row sums, scratch
+
   /// Record a soft breakdown: the factorization continues, the result's
   /// health carries the most severe code and the first affected step.
   void soft_breakdown(StatusCode code, index_t step) {
@@ -283,6 +317,14 @@ struct LuRun {
         rowmap[static_cast<std::size_t>(i)] = moved;
         rowpos[static_cast<std::size_t>(moved)] = i;
         retire_pairs.emplace_back(i, last);
+        if (abft) {
+          // The checksum state travels with its row (the lazy columns follow
+          // in retire_rows_lazy, but the sums describe the whole row).
+          abft_sum[static_cast<std::size_t>(i)] =
+              abft_sum[static_cast<std::size_t>(last)];
+          abft_panel[static_cast<std::size_t>(i)] =
+              abft_panel[static_cast<std::size_t>(last)];
+        }
       }
       rowpos[static_cast<std::size_t>(w)] = -1;
       rowmap[static_cast<std::size_t>(last)] = -1;
@@ -306,6 +348,304 @@ struct LuRun {
                           static_cast<double>(sizeof(T)));
   }
 };
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart (DESIGN.md "Recovery model"). A snapshot captures the
+// complete mid-run state at a drained step boundary: the scalar trackers,
+// the health ledger, the elimination order so far (perm_pad — the row maps
+// and the tracker are functions of it, but the maps are stored outright and
+// the tracker replayed), the live region of the trailing accumulator, and
+// the factor rows written so far. Restoring it and re-executing the
+// remaining steps is bitwise identical to the uninterrupted run.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+recover::SnapshotKey lu_snapshot_key(const LuRun<T>& run) {
+  recover::SnapshotKey key;
+  key.kind = recover::FactorKind::kLu;
+  key.scalar = sizeof(T) == sizeof(double) ? 'd' : 'f';
+  key.n = static_cast<std::int64_t>(run.n);
+  key.v = static_cast<std::int64_t>(run.v);
+  key.px = run.g.px();
+  key.py = run.g.py();
+  key.pz = run.g.pz();
+  return key;
+}
+
+template <typename T>
+void save_lu_snapshot(LuRun<T>& run, index_t t,
+                      const std::vector<index_t>& perm_pad) {
+  recover::SnapshotWriter w(lu_snapshot_key(run), static_cast<std::int64_t>(t));
+  // At step 0 every byte of the state is a pure function of the input the
+  // resume entry point is handed anyway, so the snapshot is an empty marker
+  // — it proves "a resumable point exists" without serializing the full
+  // trailing matrix (the largest snapshot of the whole run, for free).
+  if (t == 0) {
+    recover::store_blob(lu_snapshot_key(run), std::move(w).seal());
+    return;
+  }
+  w.put_i64(static_cast<std::int64_t>(run.nact));
+  w.put_f64(run.amax);
+  w.put_f64(run.umax);
+  w.put_i64(static_cast<std::int64_t>(run.health.code));
+  w.put_i64(run.health.first_breakdown_step);
+  w.put_i64(run.health.singular_pivots);
+  w.put_i64(run.health.near_singular_pivots);
+  w.put_f64(run.health.growth_factor);
+  w.put_f64(run.health.min_pivot);
+  w.put_indices(perm_pad);
+  w.put_indices(run.rowmap);
+  w.put_indices(run.rowpos);
+  // Trailing accumulator: only the live region (packed rows 0..nact, columns
+  // t*v..npad) is ever read again.
+  const index_t col0 = t * run.v;
+  const auto live_bytes = static_cast<std::size_t>(run.npad - col0) * sizeof(T);
+  for (index_t i = 0; i < run.nact; ++i) {
+    w.put_bytes(&run.trail(i, col0), live_bytes);
+  }
+  // Factor store: an eliminated row (rowpos < 0) carries its full final row
+  // (L left of its pivot block, U from it rightwards); a surviving row has
+  // only its first t*v columns written (the L panels of past steps).
+  for (index_t r = 0; r < run.npad; ++r) {
+    const bool eliminated = run.rowpos[static_cast<std::size_t>(r)] < 0;
+    const index_t cols = eliminated ? run.npad : col0;
+    if (cols > 0) {
+      w.put_bytes(&run.lstore(r, 0), static_cast<std::size_t>(cols) * sizeof(T));
+    }
+  }
+  recover::store_blob(lu_snapshot_key(run), std::move(w).seal());
+}
+
+/// Restore the latest snapshot into `run` (whose buffers were freshly
+/// initialized from the input) and return the step to resume from. Every
+/// structural invariant of the payload is validated — a corrupt or
+/// semantically inconsistent snapshot throws kCheckpointInvalid rather than
+/// walking out of bounds later.
+template <typename T>
+index_t restore_lu_snapshot(LuRun<T>& run, std::vector<index_t>& perm_pad) {
+  const recover::SnapshotKey key = lu_snapshot_key(run);
+  const auto bad = [](const std::string& what) {
+    throw status_error(Status(StatusCode::kCheckpointInvalid, what));
+  };
+  const recover::Blob blob = recover::latest_blob(key);
+  if (blob.empty()) bad("no checkpoint to resume " + key.to_string() + " from");
+  recover::SnapshotReader r(key, blob);
+  const auto t = static_cast<index_t>(r.step());
+  if (t >= run.num_tiles) bad("snapshot step past the end of the schedule");
+  // A step-0 snapshot is an empty marker: the caller owns re-deriving the
+  // state from the input (the resume entry already initialized it; the
+  // in-run rollback path re-runs its init explicitly).
+  if (t == 0) {
+    if (r.remaining() != 0) bad("step-0 snapshot must be an empty marker");
+    return 0;
+  }
+  run.nact = static_cast<index_t>(r.get_i64());
+  if (run.nact != run.npad - t * run.v) {
+    bad("snapshot active-row count inconsistent with its step");
+  }
+  run.amax = r.get_f64();
+  run.umax = r.get_f64();
+  const auto code = static_cast<StatusCode>(r.get_i64());
+  if (code != StatusCode::kOk && breakdown_severity(code) == 0) {
+    bad("snapshot health carries a code no factorization records");
+  }
+  run.health.code = code;
+  run.health.first_breakdown_step = r.get_i64();
+  run.health.singular_pivots = r.get_i64();
+  run.health.near_singular_pivots = r.get_i64();
+  run.health.growth_factor = r.get_f64();
+  run.health.min_pivot = r.get_f64();
+  perm_pad = r.get_indices();
+  if (static_cast<index_t>(perm_pad.size()) != t * run.v) {
+    bad("snapshot elimination record does not match its step");
+  }
+  for (index_t row : perm_pad) {
+    if (row < 0 || row >= run.npad) bad("snapshot pivot row out of range");
+  }
+  run.rowmap = r.get_indices();
+  run.rowpos = r.get_indices();
+  if (static_cast<index_t>(run.rowmap.size()) != run.npad ||
+      static_cast<index_t>(run.rowpos.size()) != run.npad) {
+    bad("snapshot row maps have the wrong shape");
+  }
+  for (index_t i = 0; i < run.nact; ++i) {
+    const index_t row = run.rowmap[static_cast<std::size_t>(i)];
+    if (row < 0 || row >= run.npad ||
+        run.rowpos[static_cast<std::size_t>(row)] != i) {
+      bad("snapshot row maps are not a consistent bijection");
+    }
+  }
+  for (index_t row = 0; row < run.npad; ++row) {
+    const index_t pos = run.rowpos[static_cast<std::size_t>(row)];
+    if (pos >= run.nact) bad("snapshot row position outside the live region");
+  }
+  const index_t col0 = t * run.v;
+  const auto live_bytes = static_cast<std::size_t>(run.npad - col0) * sizeof(T);
+  for (index_t i = 0; i < run.nact; ++i) {
+    r.get_bytes(&run.trail(i, col0), live_bytes);
+  }
+  for (index_t row = 0; row < run.npad; ++row) {
+    const bool eliminated = run.rowpos[static_cast<std::size_t>(row)] < 0;
+    const index_t cols = eliminated ? run.npad : col0;
+    if (cols > 0) {
+      r.get_bytes(&run.lstore(row, 0), static_cast<std::size_t>(cols) * sizeof(T));
+    }
+  }
+  // The tracker is a pure function of the elimination order: replay it in
+  // the recorded v-row steps.
+  run.tracker = RowTracker(run.npad, run.v, run.g.px());
+  std::vector<index_t> chunk;
+  chunk.reserve(static_cast<std::size_t>(run.v));
+  for (index_t s = 0; s < t; ++s) {
+    chunk.assign(perm_pad.begin() + s * run.v,
+                 perm_pad.begin() + (s + 1) * run.v);
+    run.tracker.eliminate(chunk);
+  }
+  if (run.tracker.active_count() != run.nact) {
+    bad("snapshot elimination record inconsistent with its row maps");
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ABFT maintenance. Invariant at the top of step t: abft_sum[i] equals the
+// row sum of packed row i's live region (columns [t*v, npad)) up to the
+// rounding drift between the double-precision prediction and the
+// T-precision Schur arithmetic. One step advances the invariant as
+//   sum_{t+1}[i] = sum_t[i] - panel_t[i] - (A10_solved row i) . urow
+// where panel_t[i] is the pre-trsm panel row sum (those columns leave the
+// live region) and urow[k] sums the SOLVED pivot row k — the exact algebra
+// of trail -= A10_solved * U_panel restricted to row sums.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void init_abft_sums(LuRun<T>& run, index_t t) {
+  run.abft_sum.assign(static_cast<std::size_t>(run.npad), 0.0);
+  run.abft_panel.assign(static_cast<std::size_t>(run.npad), 0.0);
+  run.abft_urow.assign(static_cast<std::size_t>(run.v), 0.0);
+  const index_t col0 = t * run.v;
+  const index_t width = run.npad - col0;
+  for (index_t i = 0; i < run.nact; ++i) {
+    const T* row = &run.trail(i, col0);
+    double s = 0.0;
+    for (index_t j = 0; j < width; ++j) s += static_cast<double>(row[j]);
+    run.abft_sum[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+template <typename T>
+void capture_abft_panel(LuRun<T>& run, index_t t) {
+  const index_t col0 = t * run.v;
+  for (index_t i = 0; i < run.nact; ++i) {
+    const T* row = &run.trail(i, col0);
+    double s = 0.0;
+    for (index_t j = 0; j < run.v; ++j) s += static_cast<double>(row[j]);
+    run.abft_panel[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+/// Roll the predicted sums forward across this step's Schur update. Must run
+/// after the A10 trsm (the live panel columns now hold the solved L values)
+/// and after the pivot rows were solved; before the Schur tasks are REQUIRED
+/// would be wrong — they only touch columns the prediction already models.
+template <typename T>
+void apply_abft_update(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows,
+                       index_t ncols) {
+  if (ncols <= 0) return;
+  for (index_t k = 0; k < run.v; ++k) {
+    const T* row = pivotrows.row(k);
+    double s = 0.0;
+    for (index_t j = 0; j < ncols; ++j) s += static_cast<double>(row[j]);
+    run.abft_urow[static_cast<std::size_t>(k)] = s;
+  }
+  const index_t col0 = t * run.v;
+  for (index_t i = 0; i < run.nact; ++i) {
+    const T* a10row = &run.trail(i, col0);
+    double upd = 0.0;
+    for (index_t k = 0; k < run.v; ++k) {
+      upd += static_cast<double>(a10row[k]) *
+             run.abft_urow[static_cast<std::size_t>(k)];
+    }
+    run.abft_sum[static_cast<std::size_t>(i)] -=
+        run.abft_panel[static_cast<std::size_t>(i)] + upd;
+  }
+}
+
+/// Read-only verification of the invariant. The tolerance is deliberately
+/// loose — 5% of the row's absolute mass — because it only needs to separate
+/// rounding drift (orders of magnitude below it) from real corruption (the
+/// kBitflip site produces non-finite or grossly out-of-range values, which
+/// no tolerance admits; the negated comparison catches NaN).
+/// One row's verification scan. Four independent accumulator pairs break the
+/// add-latency dependency chain (the scan is bandwidth-bound, not
+/// order-sensitive: the comparison is against a 5% tolerance, never bitwise).
+template <typename T>
+bool abft_row_ok(const T* row, index_t width, double predicted) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  index_t j = 0;
+  for (; j + 4 <= width; j += 4) {
+    const double x0 = static_cast<double>(row[j]);
+    const double x1 = static_cast<double>(row[j + 1]);
+    const double x2 = static_cast<double>(row[j + 2]);
+    const double x3 = static_cast<double>(row[j + 3]);
+    a0 += x0;
+    a1 += x1;
+    a2 += x2;
+    a3 += x3;
+    m0 += std::abs(x0);
+    m1 += std::abs(x1);
+    m2 += std::abs(x2);
+    m3 += std::abs(x3);
+  }
+  for (; j < width; ++j) {
+    const double x = static_cast<double>(row[j]);
+    a0 += x;
+    m0 += std::abs(x);
+  }
+  const double actual = (a0 + a1) + (a2 + a3);
+  const double mag = (m0 + m1) + (m2 + m3);
+  return std::abs(actual - predicted) <= 0.05 * (mag + 1.0);
+}
+
+template <typename T>
+void verify_abft(LuRun<T>& run, index_t t) {
+  g_abft_verified.add(1.0);
+  const index_t col0 = t * run.v;
+  const index_t width = run.npad - col0;
+  // The scan reads the whole live region every step — serial it alone would
+  // eat the bench's ABFT overhead budget at n=2048. The pool is drained at
+  // this point (the hook waits before verifying), so row chunks fan out
+  // across it; each row is scanned by exactly one task, so the verdict is
+  // identical at any thread count. The lowest bad packed row is reported.
+  constexpr index_t kRowsPerChunk = 128;
+  const index_t nchunks = (run.nact + kRowsPerChunk - 1) / kRowsPerChunk;
+  std::atomic<index_t> bad{run.nact};
+  sched::parallel_ranks(nchunks, [&](index_t c) {
+    const index_t lo = c * kRowsPerChunk;
+    const index_t hi = std::min(run.nact, lo + kRowsPerChunk);
+    for (index_t i = lo; i < hi; ++i) {
+      if (abft_row_ok(&run.trail(i, col0), width,
+                      run.abft_sum[static_cast<std::size_t>(i)])) {
+        continue;
+      }
+      index_t seen = bad.load(std::memory_order_relaxed);
+      while (i < seen &&
+             !bad.compare_exchange_weak(seen, i, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+  });
+  const index_t bad_row = bad.load(std::memory_order_relaxed);
+  if (bad_row < run.nact) {
+    g_abft_detected.add(1.0);
+    throw status_error(Status(
+        StatusCode::kDataCorruption,
+        "ABFT row-sum mismatch in the trailing accumulator (packed row " +
+            std::to_string(bad_row) + ")",
+        static_cast<long long>(t)));
+  }
+}
 
 // Approximate peer counts for the latency term of aggregated charges
 // (documented in DESIGN.md; only alpha-cost, not volume, depends on these).
@@ -753,11 +1093,14 @@ void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
     if (run.la) {
       sched::TaskPool& pool = sched::TaskPool::instance();
       for (index_t blk = 0; blk < nblocks; ++blk) {
+        // Retryable: the injected transient fault fires before the body
+        // runs, so the beta=1 accumulation has not happened on a retried
+        // attempt and re-running it is exact.
         run.urgent_ids.push_back(pool.submit([urgent_block, blk] { urgent_block(blk); },
                                              "schur-urgent",
                                              sched::TaskCategory::Urgent,
                                              static_cast<long long>(t),
-                                             run.a10_ids));
+                                             run.a10_ids, /*retryable=*/true));
       }
       if (lcols > 0) {
         for (index_t blk = 0; blk < nblocks; ++blk) {
@@ -765,7 +1108,7 @@ void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
                                              "schur-lazy",
                                              sched::TaskCategory::Lazy,
                                              static_cast<long long>(t),
-                                             run.a10_ids));
+                                             run.a10_ids, /*retryable=*/true));
         }
       }
     } else {
@@ -778,7 +1121,8 @@ void update_a11(LuRun<T>& run, index_t t, ConstMatrixView<T> pivotrows) {
 
 template <typename T>
 LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
-                            ConstMatrixView<T> a, const FactorOptions& opt) {
+                            ConstMatrixView<T> a, const FactorOptions& opt,
+                            bool resume = false) {
   expects(g.ranks() == m.ranks(), "grid must match the machine");
   expects(n >= 1, "matrix must be non-empty");
   index_t v = opt.block_size > 0 ? opt.block_size : default_block_size(n, g);
@@ -822,11 +1166,16 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     }
   } lease{m, tile_words + panel_words, run.la};
 
-  if (run.real) {
-    expects(a.rows() == n && a.cols() == n, "matrix must be square");
-    run.pivot_tol = opt.pivot_tolerance;
-    run.growth_lim =
-        opt.growth_limit > 0.0 ? opt.growth_limit : default_growth_limit<T>();
+  std::vector<index_t> perm_pad;
+  perm_pad.reserve(static_cast<std::size_t>(npad));
+
+  // (Re)initialize the whole packed data path from the input: also the
+  // rollback of last resort when ABFT detects corruption and no checkpoint
+  // exists — the caller's view of `a` is untouched by the run.
+  const auto init_packed_state = [&] {
+    run.amax = 0.0;
+    run.umax = 0.0;
+    run.health = FactorHealth{};
     run.health.min_pivot = std::numeric_limits<double>::infinity();
     run.trail = Matrix<T>(npad, npad, T{});
     for (index_t i = 0; i < n; ++i) {
@@ -850,6 +1199,16 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       run.rowmap[static_cast<std::size_t>(i)] = i;
       run.rowpos[static_cast<std::size_t>(i)] = i;
     }
+    run.tracker = RowTracker(npad, v, g.px());
+    perm_pad.clear();
+  };
+
+  if (run.real) {
+    expects(a.rows() == n && a.cols() == n, "matrix must be square");
+    run.pivot_tol = opt.pivot_tolerance;
+    run.growth_lim =
+        opt.growth_limit > 0.0 ? opt.growth_limit : default_growth_limit<T>();
+    init_packed_state();
     // Size every per-step scratch buffer at its step-0 high-water mark:
     // the steady state of the factorization allocates nothing (asserted in
     // packed_factor_test).
@@ -888,8 +1247,20 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 
   LuResultT<T> result;
   StepCostRecorder rec(m, opt.record_step_costs);
-  std::vector<index_t> perm_pad;
-  perm_pad.reserve(static_cast<std::size_t>(npad));
+
+  // Recovery configuration (recover/options.hpp): resolved once per run, so
+  // a mid-run configure() cannot tear the checkpoint cadence.
+  const recover::Options ropt = recover::options();
+  const bool ckpt_on = run.real && ropt.ckpt_every > 0;
+  run.abft = run.real && ropt.abft;
+
+  index_t t0 = 0;
+  if (resume) {
+    expects(run.real, "resume requires Real mode");
+    t0 = restore_lu_snapshot(run, perm_pad);
+    g_ckpt_restores.add(1.0);
+  }
+  if (run.abft) init_abft_sums(run, t0);
 
   // Dependency-chain rounds per outer iteration (latency model): two layer
   // reductions, the tournament butterfly, the A00 broadcast, and the four
@@ -900,7 +1271,60 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
       2.0 * std::ceil(std::log2(static_cast<double>(std::max(2, g.px())))) +
       std::ceil(std::log2(static_cast<double>(std::max(2, m.ranks())))) + 4.0;
 
-  for (index_t t = 0; t < num_tiles; ++t) {
+  // Step loop with in-run recovery: ABFT-detected corruption rolls back to
+  // the last checkpoint (or to the input) and re-executes — bounded by
+  // kMaxAbftReexecs so persistent corruption still surfaces. Every other
+  // error, including the injected kCrashSimulated, unwinds normally; the
+  // resume_* entry points restart a crashed run from its snapshot.
+  index_t t = t0;
+  int reexecs_left = kMaxAbftReexecs;
+  while (t < num_tiles) {
+  try {
+    if (run.real) {
+      // Step-boundary recovery hook. Checkpoint and verification both need
+      // the state they read to be quiescent, so with lookahead the pipeline
+      // drains first — the one scheduling difference ABFT/checkpointing
+      // introduce; the computed values are untouched, so healthy factors
+      // stay bitwise identical with either feature on or off.
+      const bool ckpt_due = ckpt_on && t % ropt.ckpt_every == 0;
+      // Checksums are maintained every step, but the full sweep re-reads the
+      // whole live region — at bandwidth that alone can cost more than the
+      // 10% overhead budget — so verification runs every abft_every steps.
+      const bool verifying = run.abft && t > 0 && t % ropt.abft_every == 0;
+      if ((ckpt_due || verifying) && run.la) {
+        pool.wait(run.a10_ids);
+        pool.wait(run.urgent_ids);
+        pool.wait(run.lazy_ids);
+      } else if (run.abft && run.la) {
+        // Maintenance-only step: capture_abft_panel below reads just the
+        // urgent stripe, produced by the previous step's urgent tasks; the
+        // lazy remainder and A10 solves keep running behind it.
+        pool.wait(run.urgent_ids);
+      }
+      if (verifying) {
+        if (fault::enabled() && run.nact > 0 &&
+            fault::should_inject(fault::Site::kBitflip)) {
+          run.trail(0, t * v) = recover::flip_high_bit(run.trail(0, t * v));
+        }
+        verify_abft(run, t);
+      }
+      if (ckpt_due) {
+        const auto c0 = std::chrono::steady_clock::now();
+        save_lu_snapshot(run, t, perm_pad);
+        g_ckpt_seconds.add(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - c0)
+                               .count());
+      }
+      // The crash fires AFTER the save, so with ckpt_every == 1 every crash
+      // step is resumable — the save->kill->resume loop of recover_test.
+      if (fault::enabled() && fault::should_inject(fault::Site::kCrashAtStep)) {
+        throw status_error(Status(StatusCode::kCrashSimulated,
+                                  "injected crash at a step boundary",
+                                  static_cast<long long>(t)));
+      }
+      if (run.abft) capture_abft_panel(run, t);
+    }
+
     m.charge_chain(chain_per_step);
     rec.begin_iteration();
     rec.measure(&StepCosts::panels_words, &StepCosts::panels_flops,
@@ -993,7 +1417,7 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
         run.a10_ids.push_back(pool.submit(
             [a10_chunk, r] { a10_chunk(static_cast<index_t>(r)); },
             "panel-trsm-a10", sched::TaskCategory::Other,
-            static_cast<long long>(t), nullptr, 0));
+            static_cast<long long>(t), nullptr, 0, /*retryable=*/true));
       }
     }
 
@@ -1076,6 +1500,14 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
         run.health.code != StatusCode::kGrowthOverflow) {
       run.soft_breakdown(StatusCode::kGrowthOverflow, t);
     }
+    if (run.abft) {
+      // Advance the row-sum checksums to cover the post-update trailing
+      // accumulator: sum'[i] = sum[i] - panel[i] - (solved A10 row i)·urow.
+      // The solved A10 chunks feed both this and the Schur tasks, so with
+      // lookahead they must all have landed in lstore first.
+      if (run.la) pool.wait(run.a10_ids);
+      apply_abft_update<T>(run, t, pivotrows, ncols);
+    }
 
     // Steps 8 and 10: 2.5D distribution; step 11: the Schur update.
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
@@ -1083,6 +1515,25 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
     rec.measure(&StepCosts::a11_words, &StepCosts::a11_flops,
                 [&] { update_a11<T>(run, t, pivotrows); });
     rec.end_iteration(result.step_costs);
+    ++t;
+  } catch (const status_error& e) {
+    // Only ABFT-detected corruption is recoverable in-run; everything else
+    // (including the injected crash) unwinds to the caller. The budget
+    // bounds re-execution so persistent corruption still surfaces as an
+    // error instead of an infinite rollback loop.
+    if (e.code() != StatusCode::kDataCorruption || reexecs_left-- <= 0) throw;
+    g_abft_reexec.add(1.0);
+    if (recover::has_latest(lu_snapshot_key(run))) {
+      t = restore_lu_snapshot(run, perm_pad);
+      g_ckpt_restores.add(1.0);
+      // The step-0 snapshot is a marker: re-derive the state from the input.
+      if (t == 0) init_packed_state();
+    } else {
+      init_packed_state();
+      t = 0;
+    }
+    init_abft_sums(run, t);
+  }
   }
 
   if (run.la) {
@@ -1123,10 +1574,11 @@ LuResultT<T> run_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, index_t n,
 /// Result, contract violations as kInvalidArgument.
 template <typename T>
 Result<LuResultT<T>> try_lu(xsim::Machine& m, const grid::Grid3D& g,
-                            ConstMatrixView<T> a, const FactorOptions& opt) {
+                            ConstMatrixView<T> a, const FactorOptions& opt,
+                            bool resume = false) {
   try {
     expects(m.real(), "try_conflux_lu requires Real mode");
-    LuResultT<T> r = run_conflux_lu<T>(m, g, a.rows(), a, opt);
+    LuResultT<T> r = run_conflux_lu<T>(m, g, a.rows(), a, opt, resume);
     if (!r.health.ok()) {
       Status st = r.health.to_status();
       return Result<LuResultT<T>>(std::move(st), std::move(r));
@@ -1161,6 +1613,28 @@ Result<LuResult> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
 Result<LuResultF> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
                                  ConstViewF a, const FactorOptions& opt) {
   return try_lu<float>(m, g, a, opt);
+}
+
+LuResult resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                           const FactorOptions& opt) {
+  expects(m.real(), "resume_conflux_lu requires Real mode");
+  return run_conflux_lu<double>(m, g, a.rows(), a, opt, /*resume=*/true);
+}
+
+LuResultF resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                            ConstViewF a, const FactorOptions& opt) {
+  expects(m.real(), "resume_conflux_lu requires Real mode");
+  return run_conflux_lu<float>(m, g, a.rows(), a, opt, /*resume=*/true);
+}
+
+Result<LuResult> try_resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                       ConstViewD a, const FactorOptions& opt) {
+  return try_lu<double>(m, g, a, opt, /*resume=*/true);
+}
+
+Result<LuResultF> try_resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                        ConstViewF a, const FactorOptions& opt) {
+  return try_lu<float>(m, g, a, opt, /*resume=*/true);
 }
 
 LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,

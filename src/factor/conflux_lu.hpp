@@ -54,6 +54,25 @@ Result<LuResult> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
 Result<LuResultF> try_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
                                  ConstViewF a, const FactorOptions& opt = {});
 
+/// Restart a factorization of `a` from its latest step checkpoint (DESIGN.md
+/// "Recovery model"). The snapshot registry is keyed on (kind, scalar, n, v,
+/// grid), so `a`, `g`, and `opt` must match the interrupted run; the
+/// completed factorization is bitwise identical to an uninterrupted one.
+/// Throws kCheckpointInvalid if no snapshot exists or the stored one fails
+/// validation (the try_ variants return it as a failed Result instead).
+/// Checkpoints are written when CONFLUX_CKPT_EVERY (or
+/// recover::configure) enables them.
+LuResult resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g, ConstViewD a,
+                           const FactorOptions& opt = {});
+LuResultF resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                            ConstViewF a, const FactorOptions& opt = {});
+Result<LuResult> try_resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                       ConstViewD a,
+                                       const FactorOptions& opt = {});
+Result<LuResultF> try_resume_conflux_lu(xsim::Machine& m, const grid::Grid3D& g,
+                                        ConstViewF a,
+                                        const FactorOptions& opt = {});
+
 /// Trace-mode run: charges the full communication/computation schedule for
 /// an n x n factorization without any matrix data.
 LuResult conflux_lu_trace(xsim::Machine& m, const grid::Grid3D& g, index_t n,

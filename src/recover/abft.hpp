@@ -1,0 +1,34 @@
+// ABFT support: the bit-corruption primitive used by the kBitflip fault
+// site. The injected corruption must be *detectable* — a flip in a low
+// mantissa bit of a small element would sit inside the checksum tolerance
+// and the test could not distinguish "ABFT missed it" from "the flip was
+// benign". flip_high_bit therefore flips an exponent bit, scanning from the
+// highest downwards until the result is either non-finite or grossly larger
+// than the original, which every tolerance in the verifier rejects.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace conflux::recover {
+
+inline double flip_high_bit(double x) {
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  for (int b = 62; b >= 52; --b) {
+    const double y = std::bit_cast<double>(bits ^ (std::uint64_t{1} << b));
+    if (!std::isfinite(y) || std::abs(y) > 2.0 * std::abs(x) + 1.0) return y;
+  }
+  return std::bit_cast<double>(bits ^ (std::uint64_t{1} << 62));
+}
+
+inline float flip_high_bit(float x) {
+  const auto bits = std::bit_cast<std::uint32_t>(x);
+  for (int b = 30; b >= 23; --b) {
+    const float y = std::bit_cast<float>(bits ^ (std::uint32_t{1} << b));
+    if (!std::isfinite(y) || std::abs(y) > 2.0f * std::abs(x) + 1.0f) return y;
+  }
+  return std::bit_cast<float>(bits ^ (std::uint32_t{1} << 30));
+}
+
+}  // namespace conflux::recover

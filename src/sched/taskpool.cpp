@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "blas/tuning.hpp"
+#include "recover/options.hpp"
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/status.hpp"
@@ -31,6 +32,12 @@ constexpr std::initializer_list<double> kLatencyBounds = {
 const metrics::Histogram g_latency_urgent("pool.latency_urgent_s", kLatencyBounds);
 const metrics::Histogram g_latency_lazy("pool.latency_lazy_s", kLatencyBounds);
 const metrics::Histogram g_latency_other("pool.latency_other_s", kLatencyBounds);
+// Bounded-retry accounting (DESIGN.md "Recovery model"): re-enqueues of
+// retryable tasks after a transient failure, and budget exhaustions (the
+// transient error then surfaces through first-error-wins). recover_test
+// reconciles these against the injected transient-task-throw count.
+const metrics::Counter g_task_retries("recover.task_retries");
+const metrics::Counter g_task_retry_exhausted("recover.task_retry_exhausted");
 
 int env_pool_threads() {
   static const int value = [] {
@@ -70,6 +77,30 @@ std::exception_ptr classify_current_exception(const char* name, long long step) 
                std::string("task '") + name + "' threw a non-std exception",
                step)));
   }
+}
+
+/// True when the in-flight exception (must be called inside a catch block)
+/// is a transient-classified task failure — the only class bounded retry
+/// absorbs. Everything else (numerical breakdown, plain kTaskFailed,
+/// cancellation) surfaces immediately: re-running a task that divides by a
+/// zero pivot produces the same zero pivot.
+bool current_exception_is_transient() {
+  try {
+    throw;
+  } catch (const status_error& e) {
+    return e.code() == StatusCode::kTransientTaskFailure;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Deterministic exponential backoff before a retry: long enough to let a
+/// contended resource clear, short enough (6.4 ms cap) to stay far below
+/// any watchdog interval.
+void retry_backoff(int completed_attempts) {
+  const int shift = completed_attempts < 5 ? completed_attempts : 5;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(0.0002 * static_cast<double>(1 << shift)));
 }
 
 }  // namespace
@@ -142,13 +173,22 @@ void TaskPool::stall_cooperatively(double seconds) {
   }
 }
 
-void TaskPool::run_task_body(const std::function<void()>& fn) {
+void TaskPool::run_task_body(const std::function<void()>& fn, bool retryable) {
   if (fault::enabled()) {
     if (fault::should_inject(fault::Site::kWorkerStall)) {
       stall_cooperatively(fault::config().stall_s);
     }
     if (fault::should_inject(fault::Site::kTaskThrow)) {
       throw std::runtime_error("injected pool-task fault");
+    }
+    // Transient faults are only injected into tasks that opted into retry:
+    // the site exists to exercise the retry machinery, and a non-retryable
+    // body (a parallel_for index, a one-shot reduction) has no re-execution
+    // contract to test. The per-site counter advances on every opportunity,
+    // so a re-executed task draws a fresh decision and eventually succeeds.
+    if (retryable && fault::should_inject(fault::Site::kTransientTaskThrow)) {
+      throw status_error(Status(StatusCode::kTransientTaskFailure,
+                                "injected transient task fault"));
     }
   }
   // Pool work never forks nested BLAS teams, even when the helping master
@@ -170,7 +210,8 @@ void TaskPool::capture_failure(const char* name, long long step) {
 
 TaskId TaskPool::submit(std::function<void()> fn, const char* name,
                         TaskCategory category, long long step,
-                        const TaskId* deps, std::size_t ndeps) {
+                        const TaskId* deps, std::size_t ndeps,
+                        bool retryable) {
   const int w = width();
   if (w <= 1 && !on_worker_thread()) {
     // Single-thread fast path: honor the dependencies (they may still be
@@ -186,10 +227,35 @@ TaskId TaskPool::submit(std::function<void()> fn, const char* name,
     }
     const auto t0 = std::chrono::steady_clock::now();
     if (!skip) {
-      try {
-        run_task_body(fn);
-      } catch (...) {
-        capture_failure(name, step);
+      // Inline retry loop, mirroring retry_task() on the threaded path:
+      // transient failures of a retryable task re-run in place (there is no
+      // queue to re-enqueue into) until success or budget exhaustion.
+      int attempts = 0;
+      for (;;) {
+        try {
+          run_task_body(fn, retryable);
+          break;
+        } catch (...) {
+          if (retryable && current_exception_is_transient()) {
+            if (attempts < recover::options().task_retries) {
+              {
+                std::unique_lock<std::mutex> lock(mutex_);
+                ++stats_.retries;
+              }
+              if (metrics::enabled()) g_task_retries.add(1.0);
+              retry_backoff(attempts);
+              ++attempts;
+              continue;
+            }
+            {
+              std::unique_lock<std::mutex> lock(mutex_);
+              ++stats_.retry_exhausted;
+            }
+            if (metrics::enabled()) g_task_retry_exhausted.add(1.0);
+          }
+          capture_failure(name, step);
+          break;
+        }
       }
     }
     const auto t1 = std::chrono::steady_clock::now();
@@ -223,6 +289,7 @@ TaskId TaskPool::submit(std::function<void()> fn, const char* name,
   task.name = name;
   task.category = category;
   task.step = step;
+  task.retryable = retryable;
   if (metrics::enabled()) {
     task.submit_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - record_t0_)
@@ -350,8 +417,13 @@ void TaskPool::execute_task(TaskId id, Task&& task, int worker_index) {
   const auto t0 = std::chrono::steady_clock::now();
   if (!skip) {
     try {
-      run_task_body(task.fn);
+      run_task_body(task.fn, task.retryable);
     } catch (...) {
+      // Bounded retry: a transient failure of a retryable task re-enqueues
+      // it (dependents stay blocked, nothing finishes) instead of failing
+      // the graph. retry_task() owns that decision; on false the error
+      // surfaces through the normal first-error-wins capture.
+      if (retry_task(id, std::move(task))) return;
       capture_failure(task.name, task.step);
     }
   }
@@ -374,23 +446,80 @@ void TaskPool::execute_task(TaskId id, Task&& task, int worker_index) {
   done_cv_.notify_all();
 }
 
+bool TaskPool::retry_task(TaskId id, Task&& task) {
+  // Called inside execute_task's catch block, WITHOUT the lock. Only a
+  // transient-classified failure of a retryable task within budget is
+  // absorbed; everything else falls through to capture_failure. The moved-in
+  // task still owns the body (the map entry's fn was nulled when the task
+  // was popped), so on retry it is simply put back and re-enqueued.
+  if (!task.retryable || !current_exception_is_transient()) return false;
+  const int budget = recover::options().task_retries;
+  if (task.attempts >= budget) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++stats_.retry_exhausted;
+    }
+    if (metrics::enabled()) g_task_retry_exhausted.add(1.0);
+    return false;
+  }
+  retry_backoff(task.attempts);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A failure elsewhere cancelled the graph while this body ran (or the
+    // pool is shutting down): a retry would be skipped anyway, so let the
+    // transient error surface instead — first error wins as usual.
+    if (cancelled_ || stop_) return false;
+    Task& rec = tasks_[id];
+    rec.fn = std::move(task.fn);
+    rec.name = task.name;
+    rec.category = task.category;
+    rec.step = task.step;
+    rec.submit_s = task.submit_s;
+    rec.retryable = true;
+    rec.attempts = task.attempts + 1;
+    // Dependents registered on the entry while the failed run executed are
+    // already on rec; merge the ones carried by the popped copy.
+    rec.dependents.insert(rec.dependents.end(), task.dependents.begin(),
+                          task.dependents.end());
+    (rec.category == TaskCategory::Lazy ? ready_lazy_ : ready_).push_back(id);
+    ++stats_.retries;
+    if (metrics::enabled()) {
+      g_task_retries.add(1.0);
+      g_ready_depth.set(static_cast<double>(ready_.size()));
+      g_ready_lazy_depth.set(static_cast<double>(ready_lazy_.size()));
+    }
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
 std::string TaskPool::dump_state_locked() const {
   // Called with mutex_ held. A popped-but-running task has fn == nullptr;
   // a dependency-blocked one has pending_deps > 0; the rest sit in a ready
   // queue.
   std::string out = "live tasks: " + std::to_string(live_tasks_);
   int listed = 0;
+  long long retry_backlog = 0;
   for (const auto& [id, task] : tasks_) {
-    if (listed++ == 32) {
-      out += " ...";
-      break;
-    }
+    if (task.attempts > 0) ++retry_backlog;
+    if (listed == 32) out += " ...";
+    if (listed++ >= 32) continue;  // keep counting the retry backlog
     out += " [#" + std::to_string(id) + " " + task.name +
            " step=" + std::to_string(task.step) +
            (task.pending_deps > 0
                 ? " blocked(" + std::to_string(task.pending_deps) + " deps)"
                 : (task.fn == nullptr ? " running" : " ready")) +
+           (task.attempts > 0 ? " attempts=" + std::to_string(task.attempts)
+                              : "") +
            "]";
+  }
+  // Retry state distinguishes a retry storm (tasks failing transiently over
+  // and over — live work with nonzero attempts, a climbing retry total)
+  // from a genuine dependency deadlock (no retries, nothing running).
+  if (stats_.retries > 0 || stats_.retry_exhausted > 0 || retry_backlog > 0) {
+    out += "; retries=" + std::to_string(stats_.retries) +
+           " exhausted=" + std::to_string(stats_.retry_exhausted) +
+           " retry_backlog=" + std::to_string(retry_backlog);
   }
   for (std::size_t w = 0; w < stats_.worker_busy_s.size(); ++w) {
     out += (w == 0 ? "; busy_s master=" : " w" + std::to_string(w) + "=") +

@@ -97,6 +97,11 @@ struct TaskPoolStats {
   double lazy_busy_s = 0.0;
   double other_busy_s = 0.0;
   long long tasks_run = 0;
+  /// Transient-failure re-executions of retryable tasks (each re-enqueue
+  /// counts once) and tasks whose retry budget ran out (the transient
+  /// error then surfaces through the normal first-error-wins path).
+  long long retries = 0;
+  long long retry_exhausted = 0;
   /// Per-worker busy seconds (index 0 = the master thread when it helps);
   /// a worker's idle time over an interval is elapsed - busy. Feeds the
   /// metrics section of BENCH_factor.json and the watchdog's wedge dump.
@@ -125,13 +130,24 @@ class TaskPool {
   /// dependency ids are ignored, so callers can pass stale ids freely.
   /// With width() == 1 the task runs inline before returning (after its
   /// dependencies, which are then complete by construction).
+  ///
+  /// A `retryable` task opts into bounded transient-failure retry
+  /// (DESIGN.md "Recovery model"): when its body throws a status_error
+  /// classified kTransientTaskFailure, the pool re-enqueues it — up to
+  /// recover::Options::task_retries times, with a short deterministic
+  /// backoff — instead of failing the graph; dependents stay blocked until
+  /// a run succeeds, so the retry is invisible to the schedule. Only tasks
+  /// whose body is idempotent over preserved inputs (the factorization's
+  /// fixed-decomposition gemm/trsm blocks) may set it.
   TaskId submit(std::function<void()> fn, const char* name,
                 TaskCategory category, long long step,
-                const TaskId* deps, std::size_t ndeps);
+                const TaskId* deps, std::size_t ndeps,
+                bool retryable = false);
   TaskId submit(std::function<void()> fn, const char* name,
                 TaskCategory category, long long step,
-                const std::vector<TaskId>& deps) {
-    return submit(std::move(fn), name, category, step, deps.data(), deps.size());
+                const std::vector<TaskId>& deps, bool retryable = false) {
+    return submit(std::move(fn), name, category, step, deps.data(), deps.size(),
+                  retryable);
   }
 
   /// Block until the given tasks completed; the caller helps execute ready
@@ -188,6 +204,8 @@ class TaskPool {
     TaskCategory category = TaskCategory::Other;
     long long step = -1;
     int pending_deps = 0;
+    bool retryable = false;  ///< transient failures re-enqueue (bounded)
+    int attempts = 0;        ///< completed runs that failed transiently
     std::vector<TaskId> dependents;
     /// Submit time (seconds, record_t0_ epoch), stamped only while the
     /// metrics registry is enabled; < 0 = unstamped. Feeds the urgent/lazy
@@ -214,7 +232,15 @@ class TaskPool {
   void finish_task(TaskId id, Task& task, int worker_index, double t0, double t1);
   /// Run one task body through the fault-injection sites and the BLAS
   /// thread cap. Throws whatever the body (or an injected fault) throws.
-  void run_task_body(const std::function<void()>& fn);
+  /// Retryable tasks additionally pass the transient-task-throw site (the
+  /// "fails N times, then succeeds" soak for bounded retry).
+  void run_task_body(const std::function<void()>& fn, bool retryable);
+  /// Handle a retryable task whose body just threw (call inside the catch
+  /// block): if the failure is transient and the retry budget allows,
+  /// restore the body into the live map entry, re-enqueue after a short
+  /// deterministic backoff, and return true — the caller must then NOT
+  /// finish the task. Returns false when the error should surface normally.
+  bool retry_task(TaskId id, Task&& task);
   /// Record the in-flight exception (call inside a catch block) as the
   /// pool's first error and cancel the remaining graph.
   void capture_failure(const char* name, long long step);

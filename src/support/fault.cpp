@@ -22,6 +22,9 @@ const metrics::Counter& fired_counter(Site site) {
       metrics::Counter("fault.fired.zero-pivot"),
       metrics::Counter("fault.fired.task-throw"),
       metrics::Counter("fault.fired.worker-stall"),
+      metrics::Counter("fault.fired.transient-task-throw"),
+      metrics::Counter("fault.fired.crash-at-step"),
+      metrics::Counter("fault.fired.bitflip"),
   };
   return counters[static_cast<int>(site)];
 }
@@ -119,6 +122,9 @@ const char* site_name(Site site) {
     case Site::kZeroPivot: return "zero-pivot";
     case Site::kTaskThrow: return "task-throw";
     case Site::kWorkerStall: return "worker-stall";
+    case Site::kTransientTaskThrow: return "transient-task-throw";
+    case Site::kCrashAtStep: return "crash-at-step";
+    case Site::kBitflip: return "bitflip";
   }
   return "unknown";
 }

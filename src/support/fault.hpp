@@ -15,7 +15,8 @@
 //   CONFLUX_FAULT_SEED     decision seed (default 0)
 //   CONFLUX_FAULT_RATE     injection probability per opportunity (default 0)
 //   CONFLUX_FAULT_SITES    comma list of sites to arm (default: all):
-//                          panel-nan, zero-pivot, task-throw, worker-stall
+//                          panel-nan, zero-pivot, task-throw, worker-stall,
+//                          transient-task-throw, crash-at-step, bitflip
 //   CONFLUX_FAULT_STALL_S  injected worker-stall duration in seconds
 //
 // Sites:
@@ -25,6 +26,17 @@
 //   kTaskThrow   throw std::runtime_error from inside a pool task
 //   kWorkerStall sleep a pool worker for stall_s before running its task
 //                (cooperative: the stall aborts when the pool cancels)
+//   kTransientTaskThrow
+//                throw a transient-classified status_error from inside a
+//                retryable pool task; the per-site counter advances on
+//                every opportunity, so a re-executed task draws a fresh
+//                decision and (at rate < 1) eventually succeeds — the
+//                "fails N times, then succeeds" soak for bounded retry
+//   kCrashAtStep abort the factorization at a step boundary exactly as a
+//                killed process would (kCrashSimulated status), leaving
+//                the last checkpoint behind for the resume_* entry points
+//   kBitflip     flip one bit of one scalar in the trailing accumulator
+//                after a Schur update — the corruption ABFT must catch
 #pragma once
 
 #include <cstdint>
@@ -36,8 +48,11 @@ enum class Site : int {
   kZeroPivot = 1,
   kTaskThrow = 2,
   kWorkerStall = 3,
+  kTransientTaskThrow = 4,
+  kCrashAtStep = 5,
+  kBitflip = 6,
 };
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 7;
 
 /// Stable site name ("panel-nan", ...), the CONFLUX_FAULT_SITES vocabulary.
 const char* site_name(Site site);

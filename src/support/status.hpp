@@ -61,6 +61,22 @@ enum class StatusCode : int {
   kPoolWedged,
   /// Work was skipped because a prior failure cancelled the step.
   kCancelled,
+  /// A pool task failed in a way classified as transient (lost work, an
+  /// injected transient-task-throw): retryable, and surfaced only after the
+  /// bounded retry budget is exhausted.
+  kTransientTaskFailure,
+  /// A checkpoint snapshot failed validation: bad magic, version mismatch,
+  /// truncated payload, or checksum mismatch. Never undefined behaviour —
+  /// a corrupt snapshot is rejected before any byte is interpreted.
+  kCheckpointInvalid,
+  /// An ABFT checksum verification over the trailing accumulator failed:
+  /// the in-memory data was corrupted after it was last written (e.g. an
+  /// injected bitflip). Recoverable by re-executing from the last snapshot.
+  kDataCorruption,
+  /// The crash-at-step fault site fired: the run aborted mid-factorization
+  /// exactly as a killed process would, leaving the last checkpoint behind
+  /// for resume_*() to pick up. Only ever raised by the injection harness.
+  kCrashSimulated,
 };
 
 /// Stable lowercase-kebab name for logs and JSON ("singular-pivot", ...).

@@ -19,6 +19,7 @@
 
 #include "factor/confchox.hpp"
 #include "factor/conflux_lu.hpp"
+#include "recover/options.hpp"
 #include "sched/taskpool.hpp"
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
@@ -97,35 +98,63 @@ struct SoakTally {
   int classified = 0;
 };
 
+/// Seed sweep bounds, overridable from the environment so a CI leg (or a
+/// developer chasing one seed) can replay or widen the sweep without a
+/// rebuild:
+///   CONFLUX_FAULT_SOAK_SEED_BASE  first seed (default 0 / the test's base)
+///   CONFLUX_FAULT_SOAK_SEEDS      number of seeds (default: the test's)
+std::uint64_t soak_seed_base(std::uint64_t def) {
+  const char* e = std::getenv("CONFLUX_FAULT_SOAK_SEED_BASE");
+  return e != nullptr ? std::strtoull(e, nullptr, 10) : def;
+}
+
+int soak_seed_count(int def) {
+  const char* e = std::getenv("CONFLUX_FAULT_SOAK_SEEDS");
+  if (e == nullptr) return def;
+  const int v = std::atoi(e);
+  return v > 0 ? v : def;
+}
+
+/// The exact environment that replays one failing soak run; attached to
+/// every assertion via SCOPED_TRACE so any failure prints its repro line.
+std::string repro_line(const fault::Config& cfg, fault::Site site) {
+  return "repro: CONFLUX_FAULT_SEED=" + std::to_string(cfg.seed) +
+         " CONFLUX_FAULT_RATE=" + std::to_string(cfg.rate) +
+         " CONFLUX_FAULT_SITES=" + fault::site_name(site);
+}
+
 /// The metrics registry's per-site fire counter (fault.cpp increments it in
 /// should_inject's success path), used to reconcile observed outcomes
 /// against injection activity.
-const char* fired_counter_name(fault::Site site) {
-  switch (site) {
-    case fault::Site::kPanelNaN: return "fault.fired.panel-nan";
-    case fault::Site::kZeroPivot: return "fault.fired.zero-pivot";
-    case fault::Site::kTaskThrow: return "fault.fired.task-throw";
-    case fault::Site::kWorkerStall: return "fault.fired.worker-stall";
-  }
-  return "?";
+std::string fired_counter_name(fault::Site site) {
+  return std::string("fault.fired.") + fault::site_name(site);
 }
 
 double fired_count(fault::Site site) {
-  return metrics::snapshot().value(fired_counter_name(site));
+  return metrics::snapshot().value(fired_counter_name(site).c_str());
+}
+
+/// True when a fired fault may legitimately leave the run clean: a worker
+/// stall can finish before the watchdog, a transient task throw is absorbed
+/// by bounded retry, and an ABFT-detected bitflip is rolled back and
+/// re-executed inside the run.
+bool site_absorbable(fault::Site site) {
+  return site == fault::Site::kWorkerStall ||
+         site == fault::Site::kTransientTaskThrow ||
+         site == fault::Site::kBitflip;
 }
 
 /// Reconcile one run's outcome against the site's fire count delta:
 ///   - sites whose fault always corrupts the run (NaN, zero pivot, task
-///     throw): classified <=> fired >= 1, clean <=> fired == 0;
-///   - worker stall: the fault is timing-only, so only classified => fired
-///     holds (a fired stall may still finish before the watchdog).
+///     throw, crash): classified <=> fired >= 1, clean <=> fired == 0;
+///   - absorbable sites: only classified => fired holds.
 void reconcile_fired(fault::Site site, bool classified, double fired_delta,
                      std::uint64_t seed) {
   if (classified) {
     EXPECT_GE(fired_delta, 1.0)
         << "seed " << seed << ": run classified but "
         << fired_counter_name(site) << " never fired";
-  } else if (site != fault::Site::kWorkerStall) {
+  } else if (!site_absorbable(site)) {
     EXPECT_EQ(fired_delta, 0.0)
         << "seed " << seed << ": " << fired_counter_name(site)
         << " fired but the run came back clean";
@@ -136,6 +165,7 @@ void reconcile_fired(fault::Site site, bool classified, double fired_delta,
 /// the run was clean or classified.
 void soak_lu_once(fault::Site site, const fault::Config& cfg,
                   const std::set<StatusCode>& allowed, SoakTally& tally) {
+  SCOPED_TRACE(repro_line(cfg, site));
   golden_lu();  // force the fault-free golden BEFORE arming injection
   const bool metrics_was = metrics::enabled();
   metrics::set_enabled(true);
@@ -180,36 +210,42 @@ fault::Config site_config(fault::Site site, std::uint64_t seed, double rate) {
 
 TEST(FaultSoak, PanelNanAlwaysClassifiedNonFinite) {
   SoakTally tally;
-  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(60);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
     soak_lu_once(fault::Site::kPanelNaN,
                  site_config(fault::Site::kPanelNaN, seed, 0.5),
                  {StatusCode::kNonFinite}, tally);
   }
   // Rate 0.5 over 4 steps per run: overwhelmingly most seeds must fire.
-  EXPECT_GE(tally.classified, 40) << "injection harness looks dead";
-  EXPECT_EQ(tally.runs, 60);
+  EXPECT_GE(tally.classified, (2 * count) / 3) << "injection harness looks dead";
+  EXPECT_EQ(tally.runs, count);
 }
 
 TEST(FaultSoak, ForcedZeroPivotClassifiedSingular) {
   SoakTally tally;
-  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(60);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
     soak_lu_once(fault::Site::kZeroPivot,
                  site_config(fault::Site::kZeroPivot, seed, 0.5),
                  {StatusCode::kSingularPivot}, tally);
   }
-  EXPECT_GE(tally.classified, 40) << "injection harness looks dead";
+  EXPECT_GE(tally.classified, (2 * count) / 3) << "injection harness looks dead";
 }
 
 TEST(FaultSoak, TaskThrowClassifiedTaskFailed) {
   SoakTally tally;
-  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(60);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
     soak_lu_once(fault::Site::kTaskThrow,
                  site_config(fault::Site::kTaskThrow, seed, 0.05),
                  {StatusCode::kTaskFailed}, tally);
   }
-  // 5% per pool task over dozens of tasks: a healthy majority must fire,
+  // 5% per pool task over dozens of tasks: a healthy minority must fire,
   // and the rest prove the fault-free path is bitwise untouched.
-  EXPECT_GE(tally.classified, 10) << "injection harness looks dead";
+  EXPECT_GE(tally.classified, count / 6) << "injection harness looks dead";
   EXPECT_GE(tally.clean, 1) << "rate 0.05 should leave some runs clean";
 }
 
@@ -219,21 +255,101 @@ TEST(FaultSoak, WorkerStallWedgesOrCompletesCorrectly) {
   // result. Both are acceptable; a hang or wrong answer is not.
   sched::TaskPool::instance().set_watchdog_seconds(0.25);
   SoakTally tally;
-  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(10);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
     fault::Config cfg = site_config(fault::Site::kWorkerStall, seed, 0.02);
     cfg.stall_s = 0.6;
     soak_lu_once(fault::Site::kWorkerStall, cfg, {StatusCode::kPoolWedged}, tally);
   }
   sched::TaskPool::instance().set_watchdog_seconds(0.0);
-  EXPECT_EQ(tally.runs, 10);
+  EXPECT_EQ(tally.runs, count);
+}
+
+TEST(FaultSoak, TransientTaskThrowAbsorbedByRetryOrClassified) {
+  // Transient task failures are absorbed by the pool's bounded retry
+  // (DESIGN.md "Recovery model" layer 1): fired faults re-enqueue the task
+  // and the run completes bitwise golden. Only an exhausted retry budget
+  // (vanishingly rare at the default budget) may classify — and then only
+  // with the transient code.
+  SoakTally tally;
+  const bool metrics_was = metrics::enabled();
+  metrics::set_enabled(true);
+  const double fired0 = fired_count(fault::Site::kTransientTaskThrow);
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(20);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    soak_lu_once(fault::Site::kTransientTaskThrow,
+                 site_config(fault::Site::kTransientTaskThrow, seed, 0.05),
+                 {StatusCode::kTransientTaskFailure}, tally);
+  }
+  const double fired = fired_count(fault::Site::kTransientTaskThrow) - fired0;
+  metrics::set_enabled(metrics_was);
+  EXPECT_GE(fired, static_cast<double>(count) / 4)
+      << "injection harness looks dead";
+  EXPECT_GE(tally.clean, (3 * count) / 4)
+      << "retry should absorb nearly all transient faults at the default budget";
+}
+
+TEST(FaultSoak, CrashAtStepClassifiedCrashSimulated) {
+  // With checkpointing armed, a simulated crash surfaces as the typed
+  // kCrashSimulated status (resumability itself is recover_test's job; here
+  // the soak proves classification and that a fresh run is unpolluted).
+  recover::Options ropt;
+  ropt.ckpt_every = 1;
+  recover::ScopedOptions scoped_ropt(ropt);
+  SoakTally tally;
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(20);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    soak_lu_once(fault::Site::kCrashAtStep,
+                 site_config(fault::Site::kCrashAtStep, seed, 0.5),
+                 {StatusCode::kCrashSimulated}, tally);
+  }
+  EXPECT_GE(tally.classified, count / 2) << "injection harness looks dead";
+  EXPECT_EQ(tally.runs, count);
+}
+
+TEST(FaultSoak, BitflipUnderAbftIsAbsorbedBitwise) {
+  // An injected accumulator bitflip only exists when ABFT verification is
+  // on (the site lives in the verify hook); detection rolls back to the
+  // last checkpoint and re-executes, so every run must still come back
+  // bitwise golden. kDataCorruption may classify only if the re-execution
+  // budget is exhausted.
+  recover::Options ropt;
+  ropt.ckpt_every = 1;
+  ropt.abft = true;
+  ropt.abft_every = 1;  // small runs: verify every step so fires are caught
+  recover::ScopedOptions scoped_ropt(ropt);
+  SoakTally tally;
+  const bool metrics_was = metrics::enabled();
+  metrics::set_enabled(true);
+  const double fired0 = fired_count(fault::Site::kBitflip);
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(12);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    soak_lu_once(fault::Site::kBitflip,
+                 site_config(fault::Site::kBitflip, seed, 0.25),
+                 {StatusCode::kDataCorruption}, tally);
+  }
+  const double fired = fired_count(fault::Site::kBitflip) - fired0;
+  metrics::set_enabled(metrics_was);
+  EXPECT_GE(fired, static_cast<double>(count) / 4)
+      << "injection harness looks dead";
+  EXPECT_GE(tally.clean, count - 1)
+      << "ABFT re-execution should absorb detected bitflips";
 }
 
 TEST(FaultSoak, CholeskyPanelNanClassified) {
   SoakTally tally;
   const grid::Grid3D g(2, 2, 1);
   golden_chol();  // force the fault-free golden BEFORE arming injection
-  for (std::uint64_t seed = 0; seed < 20; ++seed) {
-    fault::ScopedConfig scoped(site_config(fault::Site::kPanelNaN, seed, 0.5));
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(20);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const fault::Config cfg = site_config(fault::Site::kPanelNaN, seed, 0.5);
+    SCOPED_TRACE(repro_line(cfg, fault::Site::kPanelNaN));
+    fault::ScopedConfig scoped(cfg);
     xsim::Machine m = fresh_machine();
     const auto r = factor::try_confchox(m, g, chol_input().view(), lu_options());
     ++tally.runs;
@@ -246,15 +362,19 @@ TEST(FaultSoak, CholeskyPanelNanClassified) {
       ++tally.classified;
     }
   }
-  EXPECT_GE(tally.classified, 10);
+  EXPECT_GE(tally.classified, count / 2);
 }
 
 TEST(FaultSoak, CholeskyForcedZeroDiagonalClassifiedNotPd) {
   SoakTally tally;
   const grid::Grid3D g(2, 2, 1);
   golden_chol();  // force the fault-free golden BEFORE arming injection
-  for (std::uint64_t seed = 0; seed < 20; ++seed) {
-    fault::ScopedConfig scoped(site_config(fault::Site::kZeroPivot, seed, 0.5));
+  const std::uint64_t base = soak_seed_base(0);
+  const int count = soak_seed_count(20);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const fault::Config cfg = site_config(fault::Site::kZeroPivot, seed, 0.5);
+    SCOPED_TRACE(repro_line(cfg, fault::Site::kZeroPivot));
+    fault::ScopedConfig scoped(cfg);
     xsim::Machine m = fresh_machine();
     const auto r = factor::try_confchox(m, g, chol_input().view(), lu_options());
     ++tally.runs;
@@ -267,7 +387,7 @@ TEST(FaultSoak, CholeskyForcedZeroDiagonalClassifiedNotPd) {
       ++tally.classified;
     }
   }
-  EXPECT_GE(tally.classified, 10);
+  EXPECT_GE(tally.classified, count / 2);
 }
 
 TEST(FaultSoak, EnvironmentConfigurationParses) {

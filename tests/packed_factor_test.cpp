@@ -25,6 +25,8 @@
 #include "blas/lapack.hpp"
 #include "factor/confchox.hpp"
 #include "factor/conflux_lu.hpp"
+#include "recover/options.hpp"
+#include "recover/snapshot.hpp"
 #include "sched/rank_parallel.hpp"
 #include "tensor/random_matrix.hpp"
 
@@ -461,6 +463,118 @@ TEST(Lookahead, FactorsBitwiseIdenticalWithLookaheadOnAndOff) {
       }
     }
   }
+}
+
+// --------------------------------------------- checkpoint save/restore ----
+
+TEST(Recovery, SaveThenRestoreIsBitwiseAcrossConfigurations) {
+  // A checkpointed run followed by a resume from its LAST snapshot must
+  // reproduce the uninterrupted factors bitwise, in every execution
+  // configuration the other invariance tests cover: replication depth,
+  // OMP thread count, and lookahead on/off, for both factor cores. The
+  // interval (4 of 7 tiles) leaves a multi-step tail to re-execute.
+  const index_t n = 100, v = 16;
+  const MatrixD a = random_matrix(n, n, 107);
+  const MatrixD spd = random_spd_matrix(n, 109);
+  recover::Options ro;
+  ro.ckpt_every = 4;
+  recover::ScopedOptions so(ro);
+  for (const int pz : {1, 2, 4}) {
+    for (const int threads : {1, 4}) {
+      for (const int lookahead : {0, 1}) {
+        const grid::Grid3D g(2, 2, pz);
+#ifdef _OPENMP
+        const int saved = omp_get_max_threads();
+        omp_set_num_threads(threads);
+#else
+        (void)threads;
+#endif
+        FactorOptions opt;
+        opt.block_size = v;
+        opt.lookahead = lookahead;
+        recover::clear();
+        xsim::Machine mlu = make_machine(g, n);
+        const LuResult lu = conflux_lu(mlu, g, a.view(), opt);
+        xsim::Machine mlu2 = make_machine(g, n);
+        const LuResult lu2 = resume_conflux_lu(mlu2, g, a.view(), opt);
+        recover::clear();
+        xsim::Machine mch = make_machine(g, n);
+        const CholResult ch = confchox(mch, g, spd.view(), opt);
+        xsim::Machine mch2 = make_machine(g, n);
+        const CholResult ch2 = resume_confchox(mch2, g, spd.view(), opt);
+#ifdef _OPENMP
+        omp_set_num_threads(saved);
+#endif
+        EXPECT_EQ(lu.perm, lu2.perm)
+            << "pz=" << pz << " threads=" << threads << " la=" << lookahead;
+        EXPECT_EQ(lu.factors, lu2.factors)
+            << "pz=" << pz << " threads=" << threads << " la=" << lookahead;
+        EXPECT_EQ(ch.factors, ch2.factors)
+            << "pz=" << pz << " threads=" << threads << " la=" << lookahead;
+      }
+    }
+  }
+}
+
+TEST(Recovery, CorruptedSnapshotIsATypedFailureNeverUb) {
+  // Semantic corruption beneath an intact checksum: rewrite a snapshot's
+  // payload with a valid header but garbage structure. Every probe must
+  // come back as kCheckpointInvalid through the try_ entry point — never a
+  // crash, never a silent wrong answer.
+  const index_t n = 100, v = 16;
+  const grid::Grid3D g(2, 2, 1);
+  const MatrixD a = random_matrix(n, n, 113);
+  recover::Options ro;
+  ro.ckpt_every = 2;
+  recover::ScopedOptions so(ro);
+  recover::clear();
+  FactorOptions opt;
+  opt.block_size = v;
+  xsim::Machine m = make_machine(g, n);
+  const LuResult direct = conflux_lu(m, g, a.view(), opt);
+
+  recover::SnapshotKey key;
+  key.kind = recover::FactorKind::kLu;
+  key.scalar = 'd';
+  key.n = n;
+  key.v = v;
+  key.px = g.px();
+  key.py = g.py();
+  key.pz = g.pz();
+  const recover::Blob good = recover::latest_blob(key);
+  ASSERT_FALSE(good.empty());
+
+  // (1) Checksum-valid but structurally absurd: a fresh snapshot whose
+  // payload is one bogus length-prefixed index vector.
+  {
+    recover::SnapshotWriter w(key, /*step=*/1);
+    w.put_i64(1 << 20);  // "nact" wildly out of range for its step
+    recover::inject_blob(key, std::move(w).seal());
+    xsim::Machine m2 = make_machine(g, n);
+    const auto r = try_resume_conflux_lu(m2, g, a.view(), opt);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCheckpointInvalid)
+        << r.status().to_string();
+  }
+  // (2) Bit corruption in every span of the real blob: header, early
+  // payload (scalars/maps), deep payload (matrix data).
+  for (const std::size_t pos :
+       {std::size_t{2}, std::size_t{70}, good.size() / 2, good.size() - 3}) {
+    recover::Blob bad = good;
+    bad[pos] ^= 0x10;
+    recover::inject_blob(key, std::move(bad));
+    xsim::Machine m2 = make_machine(g, n);
+    const auto r = try_resume_conflux_lu(m2, g, a.view(), opt);
+    ASSERT_FALSE(r.ok()) << "corruption at byte " << pos;
+    EXPECT_EQ(r.status().code(), StatusCode::kCheckpointInvalid)
+        << "corruption at byte " << pos << ": " << r.status().to_string();
+  }
+  // The pristine blob still resumes to the direct result bitwise.
+  recover::inject_blob(key, recover::Blob(good));
+  xsim::Machine m3 = make_machine(g, n);
+  const LuResult resumed = resume_conflux_lu(m3, g, a.view(), opt);
+  EXPECT_EQ(direct.perm, resumed.perm);
+  EXPECT_EQ(direct.factors, resumed.factors);
 }
 
 // ------------------------------------------- steady-state allocations ----
