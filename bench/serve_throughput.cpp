@@ -1,0 +1,315 @@
+// Solve-service throughput bench (ISSUE 9): drive the multi-tenant
+// SolveService with an open-loop request stream and record sustained
+// throughput plus tail latency into BENCH_serve.json.
+//
+// Two workloads:
+//
+//   1. Open loop: requests arrive on a fixed schedule (arrival times are
+//      independent of completions — no coordinated omission), drawn from a
+//      mixed pool of K-FAC and DFT shaped problems (tensor/example_problems)
+//      across methods (LU / Cholesky), precisions (fp64 / mixed) and
+//      priority classes. Reported: sustained req/s, p50/p95/p99 of the
+//      end-to-end response latency, admission rejections, cache hit rate.
+//
+//   2. Repeated solve at the acceptance size (n = 1024 by default): one cold
+//      factor+solve, then the same request again off the warm cache. The
+//      acceptance gate — printed measured-vs-gated, pass or fail, like every
+//      gate in factor_schedule — requires the cache-hit solve latency to be
+//      under 0.5x the cold factor+solve latency; the hit skips the O(n^3)
+//      factorization entirely, so a ratio anywhere near 1 means the cache
+//      stopped being consulted.
+//
+// Usage:
+//   serve_throughput [--out=BENCH_serve.json] [--requests=240] [--rate=0]
+//                    [--threads=0] [--gate-n=1024] [--reps=5] [--seed=9001]
+//   --rate=0    auto: 0.7 * threads / warm mean latency, clamped [20, 2000]
+//   --threads=0 CONFLUX_SERVE_THREADS (default 2)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "tensor/example_problems.hpp"
+#include "tensor/random_matrix.hpp"
+
+using namespace conflux;
+
+namespace {
+
+struct Problem {
+  std::string name;
+  MatrixD a;
+  MatrixD b;
+};
+
+/// Nearest-rank percentile of an unsorted sample (q in (0, 1]).
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+bool g_gates_ok = true;
+
+/// Same reporting contract as factor_schedule: every gate prints measured vs
+/// gated, pass or fail, so margins are visible before they disappear.
+void gate(const char* name, const std::string& where, double measured,
+          double limit, bool pass) {
+  if (limit > 0.0 && std::isfinite(measured)) {
+    std::printf("gate %-22s %-22s measured %11.4g vs gated %11.4g "
+                "(ratio %.3fx) %s\n",
+                name, where.c_str(), measured, limit, measured / limit,
+                pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("gate %-22s %-22s measured %11.4g vs gated %11.4g %s\n", name,
+                where.c_str(), measured, limit, pass ? "PASS" : "FAIL");
+  }
+  if (!pass) g_gates_ok = false;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  Cli cli(argc, argv);
+  const std::string out_path = cli.get_string("out", "BENCH_serve.json");
+  const int requests = static_cast<int>(cli.get_int("requests", 240));
+  double rate = cli.get_double("rate", 0.0);
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
+  const index_t gate_n = static_cast<index_t>(cli.get_int("gate-n", 1024));
+  const int reps = std::max(1, static_cast<int>(cli.get_int("reps", 5)));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 9001));
+  cli.check_unused();
+
+  // ---- workload pool: the examples' K-FAC and DFT shapes, plus a few
+  // cold variants (same shapes, different seeds) so the stream keeps a
+  // trickle of cache misses among the repeated-solve traffic.
+  std::vector<Problem> pool;
+  for (index_t n : {index_t{96}, index_t{128}, index_t{160}}) {
+    pool.push_back({"kfac_n" + std::to_string(n),
+                    kfac_kronecker_factor(n, 40 + static_cast<std::uint64_t>(n)),
+                    random_matrix(n, 4, 50 + static_cast<std::uint64_t>(n))});
+  }
+  pool.push_back({"dft_a112", dft_overlap_matrix(112, 0.8, 41),
+                  random_matrix(112, 4, 51)});
+  const std::size_t hot = pool.size();
+  for (std::uint64_t v = 0; v < 3; ++v) {
+    const index_t n = 128;
+    pool.push_back({"kfac_cold" + std::to_string(v),
+                    kfac_kronecker_factor(n, 1000 + v),
+                    random_matrix(n, 4, 1100 + v)});
+  }
+
+  serve::ServiceOptions sopt;
+  sopt.threads = threads;
+  sopt.queue_depth = std::max(64, requests);  // rejections opt-in via env
+
+  std::printf("serve_throughput: open-loop stream, %d requests, %zu problems\n",
+              requests, pool.size());
+
+  serve::SolveService service(sopt);
+
+  // Warm the cache with every hot problem (both methods, both precisions)
+  // and take the warm mean latency for the auto arrival rate.
+  double warm_mean_s = 0.0;
+  int warm_count = 0;
+  for (std::size_t i = 0; i < hot; ++i) {
+    for (const serve::Method m : {serve::Method::kLu, serve::Method::kCholesky}) {
+      for (const serve::Precision p :
+           {serve::Precision::kFp64, serve::Precision::kMixed}) {
+        serve::SolveRequest req;
+        req.method = m;
+        req.precision = p;
+        req.a = pool[i].a.view();
+        req.b = pool[i].b.view();
+        const serve::SolveResponse r0 = service.solve(req);  // cold
+        if (!r0.ok()) {
+          std::fprintf(stderr, "error: warmup failed on %s (%s)\n",
+                       pool[i].name.c_str(), r0.status.message().c_str());
+          return 1;
+        }
+        const serve::SolveResponse r1 = service.solve(req);  // warm
+        if (!r1.cache_hit) {
+          std::fprintf(stderr, "error: warm repeat missed the cache on %s\n",
+                       pool[i].name.c_str());
+          return 1;
+        }
+        warm_mean_s += r1.total_s;
+        ++warm_count;
+      }
+    }
+  }
+  warm_mean_s /= std::max(1, warm_count);
+  if (rate <= 0.0) {
+    rate = std::clamp(0.7 * static_cast<double>(service.options().threads) /
+                          std::max(warm_mean_s, 1e-6),
+                      20.0, 2000.0);
+  }
+  std::printf("warm mean latency %.3f ms -> arrival rate %.1f req/s\n",
+              1e3 * warm_mean_s, rate);
+
+  // ---- open loop: submit on schedule, collect after the stream ends.
+  Rng rng(seed);
+  std::vector<serve::SolveService::Ticket> tickets;
+  tickets.reserve(static_cast<std::size_t>(requests));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(static_cast<double>(i) / rate)));
+    // 1-in-8 requests draw from the cold variants (evicted or never seen);
+    // the rest replay the warmed working set.
+    const bool cold = rng.uniform_int(8) == 0 && pool.size() > hot;
+    const std::size_t pi = cold ? hot + rng.uniform_int(pool.size() - hot)
+                                : rng.uniform_int(hot);
+    serve::SolveRequest req;
+    req.method = rng.uniform_int(4) == 0 ? serve::Method::kLu
+                                         : serve::Method::kCholesky;
+    req.precision = rng.uniform_int(4) == 0 ? serve::Precision::kMixed
+                                            : serve::Precision::kFp64;
+    req.priority = static_cast<serve::Priority>(rng.uniform_int(3));
+    req.a = pool[pi].a.view();
+    req.b = pool[pi].b.view();
+    req.tenant = static_cast<std::uint64_t>(i);
+    tickets.push_back(service.submit(req));
+  }
+  std::vector<double> latencies;
+  long long rejected = 0, hits = 0, failed = 0;
+  for (auto& t : tickets) {
+    serve::SolveResponse r = service.wait(t);
+    if (r.status.code() == StatusCode::kAdmissionRejected) {
+      ++rejected;
+      continue;
+    }
+    if (!r.ok()) {
+      ++failed;
+      continue;
+    }
+    latencies.push_back(r.total_s);
+    hits += r.cache_hit ? 1 : 0;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double sustained_rps =
+      static_cast<double>(latencies.size()) / std::max(wall_s, 1e-9);
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+  std::printf("open loop: %zu ok, %lld rejected, %lld failed, %lld cache hits; "
+              "%.1f req/s sustained; latency p50 %.3f ms  p95 %.3f ms  "
+              "p99 %.3f ms\n",
+              latencies.size(), rejected, failed, hits, sustained_rps,
+              1e3 * p50, 1e3 * p95, 1e3 * p99);
+  gate("stream-no-failures", "open-loop", static_cast<double>(failed), 0.0,
+       failed == 0);
+
+  // ---- repeated solve at the acceptance size: cold factor+solve once,
+  // then the identical request off the warm cache.
+  const MatrixD ga = kfac_kronecker_factor(gate_n, 31);
+  const MatrixD gb = random_matrix(gate_n, 4, 32);
+  serve::ServiceOptions gopt;
+  gopt.threads = threads;
+  serve::SolveService gservice(gopt);
+  serve::SolveRequest greq;
+  greq.method = serve::Method::kCholesky;
+  greq.a = ga.view();
+  greq.b = gb.view();
+  const serve::SolveResponse gcold = gservice.solve(greq);
+  if (!gcold.ok() || gcold.cache_hit) {
+    std::fprintf(stderr, "error: cold gate request invalid (ok=%d hit=%d)\n",
+                 gcold.ok() ? 1 : 0, gcold.cache_hit ? 1 : 0);
+    return 1;
+  }
+  double hit_s = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const serve::SolveResponse gh = gservice.solve(greq);
+    if (!gh.ok() || !gh.cache_hit) {
+      std::fprintf(stderr, "error: gate repeat was not a cache hit\n");
+      return 1;
+    }
+    hit_s = std::min(hit_s, gh.total_s);
+  }
+  const std::string gate_where = "n=" + std::to_string(gate_n);
+  // Acceptance (ISSUE 9): a cache hit answers in under half the cold
+  // factor+solve latency — the factorization is actually being skipped.
+  gate("cache-hit-latency", gate_where, hit_s, 0.5 * gcold.total_s,
+       hit_s < 0.5 * gcold.total_s);
+  std::printf("repeated solve %s: cold %.3f ms (factor %.3f ms), best hit "
+              "%.3f ms\n",
+              gate_where.c_str(), 1e3 * gcold.total_s, 1e3 * gcold.factor_s,
+              1e3 * hit_s);
+
+  // ---- BENCH_serve.json (schema documented in README.md).
+  const serve::SolveService::Stats st = service.stats();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  {
+    json::Writer w(out);
+    w.begin_object();
+    w.field("bench", "serve_throughput");
+    w.field("threads", service.options().threads);
+    w.field("queue_depth", service.options().queue_depth);
+    w.key("open_loop");
+    w.begin_object();
+    w.field("requests", requests);
+    w.field("arrival_rate_rps", rate);
+    w.field("sustained_rps", sustained_rps);
+    w.field("completed", static_cast<long long>(latencies.size()));
+    w.field("rejected", rejected);
+    w.field("failed", failed);
+    w.field("cache_hits", hits);
+    w.field("cache_hit_rate",
+            latencies.empty() ? 0.0
+                              : static_cast<double>(hits) /
+                                    static_cast<double>(latencies.size()));
+    w.key("latency_s");
+    w.begin_object();
+    w.field("p50", p50);
+    w.field("p95", p95);
+    w.field("p99", p99);
+    w.end_object();
+    w.key("service_stats");
+    w.begin_object();
+    w.field("submitted", st.submitted);
+    w.field("ok", st.ok);
+    w.field("degraded", st.degraded);
+    w.field("failed", st.failed);
+    w.field("queue_high_water", st.queue_high_water);
+    w.field("cache_insertions", st.cache.insertions);
+    w.field("cache_evictions", st.cache.evictions);
+    w.end_object();
+    w.end_object();
+    w.key("repeated_solve");
+    w.begin_object();
+    w.field("n", static_cast<long long>(gate_n));
+    w.field("cold_total_s", gcold.total_s);
+    w.field("cold_factor_s", gcold.factor_s);
+    w.field("hit_total_s", hit_s);
+    w.field("hit_over_cold", hit_s / gcold.total_s);
+    w.field("gate_limit", 0.5);
+    w.field("gate_pass", hit_s < 0.5 * gcold.total_s);
+    w.end_object();
+    w.end_object();
+  }
+  out << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return g_gates_ok ? 0 : 1;
+}

@@ -2,10 +2,17 @@
 // motivation, Section 9: "simulations require factorizing matrices of atom
 // interactions, with sizes from N = 1,024 up to N = 131,072").
 //
-// We build a synthetic overlap/interaction matrix S for a set of atoms with
-// a Gaussian-decay interaction (SPD by construction), factor it with
-// COnfCHOX, and solve for the response to a set of perturbation vectors —
-// the inner kernel of RPA-class calculations.
+// The synthetic overlap/interaction matrix S (Gaussian-decay interactions
+// over a random atom cloud, SPD by construction) comes from the shared
+// generator in tensor/example_problems.hpp — the same matrices the
+// solve-service tests and the serve-throughput bench run. COnfCHOX factors
+// it, then solves for the response to a set of perturbation vectors — the
+// inner kernel of RPA-class calculations.
+//
+// This example ASSERTS its numerics: a factorization residual past
+// kExampleResidualBound or a solve error past example_solve_bound exits
+// nonzero, so the smoke-test run in CI is a real end-to-end check, not a
+// demo that can rot silently.
 //
 //   build/examples/dft_cholesky_solver [--atoms=400] [--p=16]
 #include <cmath>
@@ -17,39 +24,9 @@
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
+#include "tensor/example_problems.hpp"
 
 using namespace conflux;
-
-namespace {
-
-/// Synthetic atom cloud + Gaussian overlap matrix S_ij = exp(-|r_i - r_j|^2
-/// / 2 sigma^2) + diagonal regularization: SPD, with the decaying structure
-/// of real basis-set overlap matrices.
-MatrixD overlap_matrix(index_t atoms, double sigma, Rng& rng) {
-  std::vector<std::array<double, 3>> pos(static_cast<std::size_t>(atoms));
-  const double box = std::cbrt(static_cast<double>(atoms));
-  for (auto& r : pos) {
-    r = {rng.uniform(0.0, box), rng.uniform(0.0, box), rng.uniform(0.0, box)};
-  }
-  MatrixD s(atoms, atoms);
-  for (index_t i = 0; i < atoms; ++i) {
-    for (index_t j = 0; j <= i; ++j) {
-      double d2 = 0.0;
-      for (int k = 0; k < 3; ++k) {
-        const double d = pos[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] -
-                         pos[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
-        d2 += d * d;
-      }
-      const double v = std::exp(-d2 / (2.0 * sigma * sigma));
-      s(i, j) = v;
-      s(j, i) = v;
-    }
-    s(i, i) += 0.1;  // basis regularization keeps S well-conditioned
-  }
-  return s;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -58,9 +35,8 @@ int main(int argc, char** argv) {
   const index_t nrhs = cli.get_int("nrhs", 8);
   cli.check_unused();
 
-  Rng rng(2024);
   std::cout << "Building synthetic overlap matrix for " << atoms << " atoms...\n";
-  const MatrixD s = overlap_matrix(atoms, /*sigma=*/0.8, rng);
+  const MatrixD s = dft_overlap_matrix(atoms, /*sigma=*/0.8, /*seed=*/2024);
 
   const double memory =
       4.0 * static_cast<double>(atoms) * static_cast<double>(atoms) / p;
@@ -72,11 +48,17 @@ int main(int argc, char** argv) {
 
   Stopwatch wall;
   const factor::CholResult chol = factor::confchox(machine, g, s.view());
+  const double residual = xblas::cholesky_residual(s.view(), chol.factors.view());
   std::cout << "COnfCHOX on grid " << g.px() << "x" << g.py() << "x" << g.pz()
-            << ": residual " << xblas::cholesky_residual(s.view(), chol.factors.view())
-            << " (wall " << wall.seconds() << " s)\n";
+            << ": residual " << residual << " (bound " << kExampleResidualBound
+            << ", wall " << wall.seconds() << " s)\n";
+  if (!(residual <= kExampleResidualBound)) {
+    std::cerr << "FAIL: factorization residual exceeds the bound\n";
+    return 1;
+  }
 
   // Solve S X = B for a block of perturbation vectors.
+  Rng rng(4242);
   MatrixD b(atoms, nrhs);
   for (index_t i = 0; i < atoms; ++i) {
     for (index_t j = 0; j < nrhs; ++j) b(i, j) = rng.normal();
@@ -93,8 +75,14 @@ int main(int argc, char** argv) {
       err = std::max(err, std::abs(check_b(i, j) - b0(i, j)));
     }
   }
+  const double bound = example_solve_bound(s.view());
   std::cout << "Solved " << nrhs << " response vectors; max |S x - b| = " << err
-            << "\nSimulated machine: " << machine.avg_comm_volume()
-            << " words/rank moved, modeled time " << machine.elapsed_time() << " s\n";
+            << " (bound " << bound << ")\nSimulated machine: "
+            << machine.avg_comm_volume() << " words/rank moved, modeled time "
+            << machine.elapsed_time() << " s\n";
+  if (!(err <= bound)) {
+    std::cerr << "FAIL: solve error exceeds the bound\n";
+    return 1;
+  }
   return 0;
 }

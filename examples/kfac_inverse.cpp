@@ -3,10 +3,17 @@
 // factors, whose sizes are usually around N = 4,096" (K-FAC second-order
 // optimization).
 //
-// We form a damped empirical covariance factor A = G G^T / m + lambda I
-// (exactly the Kronecker-factor shape K-FAC maintains per layer), factor it
-// with COnfCHOX, and apply the inverse to a gradient block — comparing the
+// The damped empirical covariance factor A = G G^T / m + lambda I (exactly
+// the Kronecker-factor shape K-FAC maintains per layer) comes from the
+// shared generator in tensor/example_problems.hpp — the same matrices the
+// solve-service tests and the serve-throughput bench run — gets factored
+// with COnfCHOX, and the inverse is applied to a gradient block, comparing
 // communication against the 2D baseline a stock ScaLAPACK pdpotrf would use.
+//
+// This example ASSERTS its numerics: a factorization residual past
+// kExampleResidualBound or a solve error past example_solve_bound exits
+// nonzero, so the smoke-test run in CI is a real end-to-end check, not a
+// demo that can rot silently.
 //
 //   build/examples/kfac_inverse [--n=1024] [--p=16]
 #include <cmath>
@@ -18,7 +25,7 @@
 #include "models/models.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
-#include "tensor/random_matrix.hpp"
+#include "tensor/example_problems.hpp"
 
 using namespace conflux;
 
@@ -28,16 +35,7 @@ int main(int argc, char** argv) {
   const int p = static_cast<int>(cli.get_int("p", 16));
   cli.check_unused();
 
-  // Kronecker factor: damped activation covariance.
-  const index_t batch = n / 2;
-  const MatrixD gradients = random_matrix(n, batch, 7);
-  MatrixD a(n, n, 0.0);
-  xblas::syrk(xblas::UpLo::Lower, xblas::Trans::None, 1.0 / static_cast<double>(batch),
-              gradients.view(), 0.0, a.view());
-  for (index_t i = 0; i < n; ++i) {
-    a(i, i) += 1e-2;  // Tikhonov damping, as K-FAC uses
-    for (index_t j = i + 1; j < n; ++j) a(i, j) = a(j, i);
-  }
+  const MatrixD a = kfac_kronecker_factor(n, /*seed=*/7);
 
   const double memory = 4.0 * static_cast<double>(n) * static_cast<double>(n) / p;
   const grid::Grid3D g = models::best_conflux_grid(n, p, memory);
@@ -47,8 +45,14 @@ int main(int argc, char** argv) {
   spec.memory_words = memory;
   xsim::Machine machine(spec, xsim::ExecMode::Real);
   const factor::CholResult chol = factor::confchox(machine, g, a.view());
-  std::cout << "K-FAC factor " << n << "x" << n << " factored; residual = "
-            << xblas::cholesky_residual(a.view(), chol.factors.view()) << "\n";
+  const double residual = xblas::cholesky_residual(a.view(), chol.factors.view());
+  std::cout << "K-FAC factor " << n << "x" << n
+            << " factored; residual = " << residual << " (bound "
+            << kExampleResidualBound << ")\n";
+  if (!(residual <= kExampleResidualBound)) {
+    std::cerr << "FAIL: factorization residual exceeds the bound\n";
+    return 1;
+  }
 
   // Precondition a gradient: solve A^{-1} grad.
   Rng rng(99);
@@ -61,7 +65,13 @@ int main(int argc, char** argv) {
               0.0, back.view());
   double err = 0.0;
   for (index_t i = 0; i < n; ++i) err = std::max(err, std::abs(back(i, 0) - grad0(i, 0)));
-  std::cout << "Natural-gradient solve: max |A x - g| = " << err << "\n";
+  const double bound = example_solve_bound(a.view());
+  std::cout << "Natural-gradient solve: max |A x - g| = " << err << " (bound "
+            << bound << ")\n";
+  if (!(err <= bound)) {
+    std::cerr << "FAIL: solve error exceeds the bound\n";
+    return 1;
+  }
 
   // Communication comparison against the 2D baseline at the same size.
   xsim::Machine machine2d(spec, xsim::ExecMode::Real);

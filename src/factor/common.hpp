@@ -116,6 +116,16 @@ struct LuResultT {
   double workspace_words = 0.0;
   /// Real mode: soft-breakdown classification (empty/kOk in Trace mode).
   FactorHealth health;
+
+  /// 8-byte words this handle keeps resident after the factorization
+  /// returned (factor store + permutation) — what a factorization cache
+  /// must budget per retained entry. Distinct from workspace_words, the
+  /// transient peak DURING the run.
+  double resident_words() const {
+    return static_cast<double>(factors.size()) * words_per_scalar<T>() +
+           static_cast<double>(perm.size()) *
+               (static_cast<double>(sizeof(index_t)) / sizeof(double));
+  }
 };
 
 using LuResult = LuResultT<double>;
@@ -131,6 +141,11 @@ struct CholResultT {
   double workspace_words = 0.0;
   /// Real mode: soft-breakdown classification (see LuResultT).
   FactorHealth health;
+
+  /// Resident 8-byte words of the retained handle (see LuResultT).
+  double resident_words() const {
+    return static_cast<double>(factors.size()) * words_per_scalar<T>();
+  }
 };
 
 using CholResult = CholResultT<double>;

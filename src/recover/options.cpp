@@ -50,11 +50,35 @@ void load_env_locked(State& s) {
 
 }  // namespace
 
+namespace {
+// Nesting depth, not a flag: a suppressed executor calling a helper that
+// suppresses again must not re-enable checkpoints on inner-guard exit.
+thread_local int tls_ckpt_suppressed = 0;
+}  // namespace
+
+bool checkpoints_suppressed() { return tls_ckpt_suppressed > 0; }
+
+ScopedCheckpointSuppression::ScopedCheckpointSuppression() {
+  ++tls_ckpt_suppressed;
+}
+
+ScopedCheckpointSuppression::~ScopedCheckpointSuppression() {
+  --tls_ckpt_suppressed;
+}
+
 Options options() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
-  load_env_locked(s);
-  return s.opt;
+  Options opt;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    load_env_locked(s);
+    opt = s.opt;
+  }
+  if (checkpoints_suppressed()) {
+    opt.ckpt_every = 0;
+    opt.ckpt_dir.clear();
+  }
+  return opt;
 }
 
 void configure(const Options& opt) {

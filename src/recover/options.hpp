@@ -58,6 +58,28 @@ void configure(const Options& opt);
 /// Drop any programmatic configuration and return to the environment's.
 void reset();
 
+/// Thread-local checkpoint suppression (DESIGN.md "Solve service"). The
+/// snapshot registry keys on (kind, scalar, n, v, grid) — deliberately, so
+/// resume_*() can find an interrupted run's state without the caller
+/// naming it — but that key is NOT tenant-aware: two service requests
+/// factoring same-shaped matrices would overwrite each other's snapshots,
+/// and a service churning through requests would clobber a checkpoint a
+/// crashed batch run left behind for resume. Service executor threads
+/// therefore suppress checkpoint WRITES for the requests they run (ABFT
+/// and task retry stay as configured: both are confined to one run).
+/// options() reports ckpt_every = 0 / ckpt_dir = "" while a suppression
+/// guard is live on the calling thread.
+bool checkpoints_suppressed();
+
+class ScopedCheckpointSuppression {
+ public:
+  ScopedCheckpointSuppression();
+  ~ScopedCheckpointSuppression();
+  ScopedCheckpointSuppression(const ScopedCheckpointSuppression&) = delete;
+  ScopedCheckpointSuppression& operator=(const ScopedCheckpointSuppression&) =
+      delete;
+};
+
 /// RAII programmatic configuration for tests.
 class ScopedOptions {
  public:

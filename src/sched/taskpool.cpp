@@ -776,6 +776,43 @@ void TaskPool::worker_main(int worker_index) {
   }
 }
 
+void TaskPool::Lease::release() {
+  if (pool_ != nullptr) {
+    pool_->release_lease();
+    pool_ = nullptr;
+  }
+}
+
+TaskPool::Lease TaskPool::acquire_lease(int priority) {
+  std::unique_lock<std::mutex> lock(lease_mutex_);
+  const std::pair<int, std::uint64_t> me{priority, lease_next_seq_++};
+  lease_waiters_.push_back(me);
+  lease_cv_.wait(lock, [&] {
+    if (lease_held_) return false;
+    // Granted only when no waiter outranks us: lowest (priority, seq) wins.
+    for (const auto& w : lease_waiters_) {
+      if (w < me) return false;
+    }
+    return true;
+  });
+  lease_held_ = true;
+  for (std::size_t i = 0; i < lease_waiters_.size(); ++i) {
+    if (lease_waiters_[i] == me) {
+      lease_waiters_.erase(lease_waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  return Lease(this);
+}
+
+void TaskPool::release_lease() {
+  {
+    std::unique_lock<std::mutex> lock(lease_mutex_);
+    lease_held_ = false;
+  }
+  lease_cv_.notify_all();
+}
+
 void TaskPool::start_recording() {
   std::unique_lock<std::mutex> lock(mutex_);
   recording_ = true;

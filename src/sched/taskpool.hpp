@@ -57,6 +57,7 @@
 // anyway (best effort, dump on stderr) rather than hanging forever.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -76,6 +77,24 @@
 namespace conflux::sched {
 
 using TaskId = std::uint64_t;  ///< 0 is never a valid id ("no task")
+
+/// Cooperative per-request cancellation flag (DESIGN.md "Solve service").
+/// The pool's own cancel drain (below) is graph-wide — one failure cancels
+/// every pending task, the right semantics WITHIN one factorization. A
+/// multi-tenant caller needs the opposite granularity: cancelling one
+/// request must not disturb the rest. A CancelToken is that per-request
+/// flag: the owner sets it, the executing side polls it at its work
+/// boundaries (admission, pre-factor, pre-solve) and drains the request as
+/// kCancelled without ever entering the pool — so a cancelled request can
+/// never trip the pool's graph-wide unwind. Shared by pointer; thread-safe.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 enum class TaskCategory : std::uint8_t { Other = 0, Urgent = 1, Lazy = 2 };
 
@@ -187,6 +206,48 @@ class TaskPool {
     run_parallel_job(job, w);
   }
 
+  /// Exclusive, priority-ordered lease on the pool for multi-tenant
+  /// masters (DESIGN.md "Solve service"). The pool's failure semantics are
+  /// graph-wide — first error wins, every pending task drains — which is
+  /// correct within ONE factorization but poison across tenants: tenant A's
+  /// injected fault must never unwind tenant B's schedule, and a rethrow
+  /// must land on the master that owns the failing graph. The lease
+  /// serializes pool-using masters so exactly one factorization's graph is
+  /// live at a time; contending requests queue by (priority, arrival) —
+  /// lower priority value first, FIFO within a class — which is what makes
+  /// the service's submission priority-aware all the way down to the pool.
+  /// Masters that never touch the pool (cache-hit solves) need no lease.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept : pool_(other.pool_) { other.pool_ = nullptr; }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    bool held() const { return pool_ != nullptr; }
+    void release();
+
+   private:
+    friend class TaskPool;
+    explicit Lease(TaskPool* pool) : pool_(pool) {}
+    TaskPool* pool_ = nullptr;
+  };
+
+  /// Block until the pool is exclusively ours; contenders are granted in
+  /// ascending (priority, arrival-order). Re-entrant acquisition from the
+  /// thread that already holds the lease would self-deadlock — the caller
+  /// owns that invariant (the service acquires once per request).
+  Lease acquire_lease(int priority);
+
   /// Start recording executed-task slices (clears any previous recording).
   void start_recording();
   /// Stop recording and hand back the slices, ordered by completion.
@@ -276,6 +337,17 @@ class TaskPool {
   std::vector<TaskSlice> slices_;
   std::chrono::steady_clock::time_point record_t0_;
   TaskPoolStats stats_;
+
+  // Lease state (separate lock: lease waits are long — a whole
+  // factorization — and must not interact with the watchdog's blocked-wait
+  // accounting on mutex_).
+  void release_lease();
+  mutable std::mutex lease_mutex_;
+  std::condition_variable lease_cv_;
+  bool lease_held_ = false;
+  std::uint64_t lease_next_seq_ = 0;
+  /// Waiting acquirers as (priority, arrival seq); the minimum is granted.
+  std::vector<std::pair<int, std::uint64_t>> lease_waiters_;
 };
 
 }  // namespace conflux::sched

@@ -1,0 +1,120 @@
+#include "serve/cache.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/check.hpp"
+#include "support/metrics.hpp"
+
+namespace conflux::serve {
+
+namespace {
+
+const metrics::Counter g_cache_hits("serve.cache.hits");
+const metrics::Counter g_cache_misses("serve.cache.misses");
+const metrics::Counter g_cache_insertions("serve.cache.insertions");
+const metrics::Counter g_cache_evictions("serve.cache.evictions");
+const metrics::Counter g_cache_invalidations("serve.cache.invalidations");
+const metrics::Gauge g_cache_words("serve.cache.words");
+const metrics::Gauge g_cache_entries("serve.cache.entries");
+
+double resolve_budget(double budget_words) {
+  if (budget_words > 0.0) return budget_words;
+  if (const char* s = std::getenv("CONFLUX_SERVE_CACHE_WORDS");
+      s != nullptr && *s != '\0') {
+    const double v = std::strtod(s, nullptr);
+    if (v > 0.0) return v;
+  }
+  return 64.0 * 1024.0 * 1024.0;  // 64 Mi words = 512 MiB of fp64 factors
+}
+
+}  // namespace
+
+FactorCache::FactorCache(double budget_words)
+    : budget_words_(resolve_budget(budget_words)) {}
+
+std::shared_ptr<const CachedFactor> FactorCache::lookup(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    g_cache_misses.add(1.0);
+    return nullptr;
+  }
+  ++stats_.hits;
+  g_cache_hits.add(1.0);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.entry;
+}
+
+void FactorCache::insert(const Fingerprint& key,
+                         std::shared_ptr<const CachedFactor> entry) {
+  expects(entry != nullptr, "cache entries must exist");
+  expects(entry->health().ok(),
+          "degraded or failed factors must not enter the cache");
+  const double words = entry->resident_words();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Same content re-factored (e.g. after an invalidation raced a second
+    // cold miss): replace and refresh.
+    stats_.resident_words -= it->second.entry->resident_words();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.entry = std::move(entry);
+  } else {
+    lru_.push_front(key);
+    map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+    ++stats_.entries;
+  }
+  stats_.resident_words += words;
+  ++stats_.insertions;
+  g_cache_insertions.add(1.0);
+  evict_lru_locked(key);
+  g_cache_words.set(stats_.resident_words);
+  g_cache_entries.set(static_cast<double>(stats_.entries));
+}
+
+void FactorCache::evict_lru_locked(const Fingerprint& keep) {
+  while (stats_.resident_words > budget_words_ && !lru_.empty()) {
+    const Fingerprint victim = lru_.back();
+    if (victim == keep) break;  // never evict the entry being inserted
+    auto it = map_.find(victim);
+    stats_.resident_words -= it->second.entry->resident_words();
+    lru_.pop_back();
+    map_.erase(it);
+    --stats_.entries;
+    ++stats_.evictions;
+    g_cache_evictions.add(1.0);
+  }
+}
+
+void FactorCache::invalidate(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  stats_.resident_words -= it->second.entry->resident_words();
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+  --stats_.entries;
+  ++stats_.invalidations;
+  g_cache_invalidations.add(1.0);
+  g_cache_words.set(stats_.resident_words);
+  g_cache_entries.set(static_cast<double>(stats_.entries));
+}
+
+void FactorCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  stats_.resident_words = 0.0;
+  stats_.entries = 0;
+  g_cache_words.set(0.0);
+  g_cache_entries.set(0.0);
+}
+
+FactorCache::Stats FactorCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace conflux::serve

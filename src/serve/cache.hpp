@@ -1,0 +1,109 @@
+// Fingerprint-keyed LRU cache of completed factorizations (DESIGN.md
+// "Solve service").
+//
+// Repeated-solve traffic — the K-FAC optimizer re-preconditioning against
+// the same Kronecker factor, a DFT code solving new response vectors
+// against one overlap matrix — pays O(n^3) to factor and O(n^2 nrhs) to
+// solve. Caching the factor handle under the matrix's content fingerprint
+// turns every repeat into a pure solve.
+//
+// Lifecycle rules (each is load-bearing for the concurrency story):
+//
+//   - entries are shared_ptr<const CachedFactor>: a lookup pins the handle
+//     for the duration of the client's solve, so EVICTION NEVER INVALIDATES
+//     AN IN-FLIGHT SOLVE — the map drops its reference and the memory is
+//     reclaimed when the last solver finishes (the refcount IS the
+//     in-flight-solve count);
+//   - only healthy factors are admitted: a degraded or failed FactorHealth
+//     means the factors carry no reusable accuracy, so the request is
+//     answered (with its classification) but never cached, and a key that
+//     turns unhealthy is invalidated;
+//   - the budget is a word count (CONFLUX_SERVE_CACHE_WORDS), accounted
+//     through the factor handles' resident_words(); insertion evicts
+//     least-recently-used entries until the new entry fits, but never the
+//     entry being inserted — a cache too small for one working-set matrix
+//     still serves that matrix;
+//   - all operations are O(1) under one mutex; the cache never computes,
+//     so the lock is never held across a factorization or solve.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <variant>
+
+#include "factor/common.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace conflux::serve {
+
+/// One cached factorization: the handle variant covers both kinds in both
+/// storage precisions (mixed-precision requests cache fp32 factors and
+/// refine against them per solve).
+struct CachedFactor {
+  std::variant<factor::LuResult, factor::CholResult, factor::LuResultF,
+               factor::CholResultF>
+      handle;
+
+  const factor::FactorHealth& health() const {
+    return std::visit([](const auto& h) -> const factor::FactorHealth& {
+      return h.health;
+    }, handle);
+  }
+  double resident_words() const {
+    return std::visit([](const auto& h) { return h.resident_words(); }, handle);
+  }
+};
+
+class FactorCache {
+ public:
+  /// budget_words <= 0 resolves CONFLUX_SERVE_CACHE_WORDS (default 64 Mi
+  /// words = 512 MiB of fp64 factors).
+  explicit FactorCache(double budget_words = 0.0);
+
+  /// Pin and return the entry for `key`, refreshing its recency; null on
+  /// miss. Counted under serve.cache.hits / serve.cache.misses.
+  std::shared_ptr<const CachedFactor> lookup(const Fingerprint& key);
+
+  /// Admit a healthy factorization (callers must not insert degraded
+  /// handles — enforced), evicting LRU entries (never `key` itself) until
+  /// the budget holds. Re-inserting an existing key refreshes the entry.
+  void insert(const Fingerprint& key, std::shared_ptr<const CachedFactor> entry);
+
+  /// Drop `key` if present (a factorization of this content turned
+  /// unhealthy, e.g. under fault injection). In-flight pins stay valid.
+  void invalidate(const Fingerprint& key);
+
+  /// Drop everything (tests; in-flight pins stay valid).
+  void clear();
+
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long insertions = 0;
+    long long evictions = 0;
+    long long invalidations = 0;
+    double resident_words = 0.0;  ///< words currently mapped
+    long long entries = 0;
+  };
+  Stats stats() const;
+
+  double budget_words() const { return budget_words_; }
+
+ private:
+  void evict_lru_locked(const Fingerprint& keep);
+
+  struct Slot {
+    std::shared_ptr<const CachedFactor> entry;
+    std::list<Fingerprint>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  double budget_words_;
+  std::list<Fingerprint> lru_;  ///< front = most recently used
+  std::unordered_map<Fingerprint, Slot> map_;
+  Stats stats_;
+};
+
+}  // namespace conflux::serve

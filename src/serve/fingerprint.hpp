@@ -1,0 +1,62 @@
+// Matrix fingerprints: the content key of the solve service's
+// factorization cache (DESIGN.md "Solve service").
+//
+// A fingerprint is a 128-bit content hash over a matrix view's LOGICAL
+// elements — dimensions first, then every entry in row-major order, each
+// hashed from its exact bit pattern. Properties the cache depends on:
+//
+//   - content-only: two views with the same shape and the same element bits
+//     hash identically regardless of leading dimension (a strided client
+//     view and its packed copy are the same matrix), and regardless of
+//     thread count, pool width or grid shape — the hash is a single-thread,
+//     single-pass fold with no execution-dependent input;
+//   - bit-sensitive: the hash folds raw scalar bit patterns, so a one-ulp
+//     perturbation (or a signed zero flip) changes the key — exactly the
+//     granularity at which the cached factors would stop being bitwise
+//     reusable;
+//   - O(n^2) single pass: each element is read once; the cost is metered
+//     under serve.fingerprint.* so traffic-level hashing shows up in the
+//     observability layer instead of hiding inside request latency.
+//
+// 128 bits because the cache equates keys WITHOUT comparing matrices: at
+// 64 bits a few billion distinct matrices reach birthday range, and a
+// collision silently serves tenant A a solve through tenant B's factors.
+// Two independently-seeded 64-bit folds push that risk below hardware
+// error rates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace conflux::serve {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex digits (hi then lo) for logs and JSON.
+  std::string hex() const;
+};
+
+/// Hash the logical contents of `a` (see file comment for the contract).
+Fingerprint fingerprint(ConstMatrixView<double> a);
+Fingerprint fingerprint(ConstMatrixView<float> a);
+
+/// Fold extra key material (an options word, a method discriminant) into an
+/// existing fingerprint. Order-sensitive, as key derivation should be.
+Fingerprint fingerprint_combine(const Fingerprint& fp, std::uint64_t word);
+
+}  // namespace conflux::serve
+
+template <>
+struct std::hash<conflux::serve::Fingerprint> {
+  std::size_t operator()(const conflux::serve::Fingerprint& fp) const noexcept {
+    // hi and lo are already avalanched; xor-fold is enough for bucketing.
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
+  }
+};

@@ -20,6 +20,7 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kCheckpointInvalid: return "checkpoint-invalid";
     case StatusCode::kDataCorruption: return "data-corruption";
     case StatusCode::kCrashSimulated: return "crash-simulated";
+    case StatusCode::kAdmissionRejected: return "admission-rejected";
   }
   return "unknown";
 }

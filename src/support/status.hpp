@@ -77,6 +77,10 @@ enum class StatusCode : int {
   /// exactly as a killed process would, leaving the last checkpoint behind
   /// for resume_*() to pick up. Only ever raised by the injection harness.
   kCrashSimulated,
+  /// A solve-service request was turned away at admission: the bounded
+  /// queue for its priority class was full (DESIGN.md "Solve service").
+  /// Back-pressure, not failure — the client retries or sheds load.
+  kAdmissionRejected,
 };
 
 /// Stable lowercase-kebab name for logs and JSON ("singular-pivot", ...).

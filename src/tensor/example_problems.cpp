@@ -1,0 +1,63 @@
+#include "tensor/example_problems.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "support/rng.hpp"
+#include "tensor/random_matrix.hpp"
+
+namespace conflux {
+
+MatrixD kfac_kronecker_factor(index_t n, std::uint64_t seed) {
+  const index_t batch = n / 2;
+  const MatrixD gradients = random_matrix(n, batch, seed);
+  MatrixD a(n, n, 0.0);
+  xblas::syrk(xblas::UpLo::Lower, xblas::Trans::None,
+              1.0 / static_cast<double>(batch), gradients.view(), 0.0, a.view());
+  for (index_t i = 0; i < n; ++i) {
+    a(i, i) += 1e-2;  // Tikhonov damping, as K-FAC uses
+    for (index_t j = i + 1; j < n; ++j) a(i, j) = a(j, i);
+  }
+  return a;
+}
+
+MatrixD dft_overlap_matrix(index_t atoms, double sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::array<double, 3>> pos(static_cast<std::size_t>(atoms));
+  const double box = std::cbrt(static_cast<double>(atoms));
+  for (auto& r : pos) {
+    r = {rng.uniform(0.0, box), rng.uniform(0.0, box), rng.uniform(0.0, box)};
+  }
+  MatrixD s(atoms, atoms);
+  for (index_t i = 0; i < atoms; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      double d2 = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        const double d = pos[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] -
+                         pos[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+        d2 += d * d;
+      }
+      const double v = std::exp(-d2 / (2.0 * sigma * sigma));
+      s(i, j) = v;
+      s(j, i) = v;
+    }
+    s(i, i) += 0.1;  // basis regularization keeps S well-conditioned
+  }
+  return s;
+}
+
+double example_solve_bound(ConstMatrixView<double> a) {
+  double amax = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      amax = std::max(amax, std::abs(a(i, j)));
+    }
+  }
+  return 1e4 * static_cast<double>(a.rows()) * amax *
+         std::numeric_limits<double>::epsilon();
+}
+
+}  // namespace conflux

@@ -1,0 +1,43 @@
+// Workload-shaped problem generators from the paper's Section 9
+// motivations, shared by the examples, the solve-service tests, and the
+// serve-throughput bench (so the traffic they model is literally the same
+// matrices the examples document).
+//
+//  - K-FAC (machine learning): a damped empirical covariance Kronecker
+//    factor A = G G^T / m + lambda I — SPD, moderately conditioned, the
+//    repeated-inversion workload of second-order optimizers.
+//  - DFT (physical chemistry): a Gaussian-decay synthetic overlap matrix
+//    S_ij = exp(-|r_i - r_j|^2 / 2 sigma^2) + 0.1 I over a random atom
+//    cloud — SPD with the decaying structure of real basis-set overlaps.
+//
+// Both are deterministic in (size, seed): the service tests rely on that to
+// recompute serial goldens bitwise.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace conflux {
+
+/// K-FAC Kronecker factor: G is n x (n/2) uniform, A = G G^T / (n/2) +
+/// 1e-2 I, symmetrized. SPD by construction.
+MatrixD kfac_kronecker_factor(index_t n, std::uint64_t seed);
+
+/// DFT overlap matrix for `atoms` atoms in a unit-density box with Gaussian
+/// width `sigma` (the examples use 0.8). SPD by construction.
+MatrixD dft_overlap_matrix(index_t atoms, double sigma, std::uint64_t seed);
+
+/// Residual bound both examples (and the example smoke tests) assert on
+/// their Cholesky factors: xblas::cholesky_residual is already n*eps-scaled
+/// (a normwise backward-error ratio), so a healthy factorization sits at
+/// O(1) and anything past the bound means the factorization rotted.
+inline constexpr double kExampleResidualBound = 300.0;
+
+/// Max-norm bound for an example's solve check max_ij |A x - b|_ij, scaled
+/// by n * ||A||_max * eps: loose enough for the examples' moderately
+/// conditioned SPD systems, tight enough that a broken solve (wrong
+/// triangle, stale factors) overshoots it by orders of magnitude.
+double example_solve_bound(ConstMatrixView<double> a);
+
+}  // namespace conflux

@@ -28,6 +28,7 @@
 #include "blas/tuning.hpp"
 #include "factor/confchox.hpp"
 #include "factor/conflux_lu.hpp"
+#include "factor/mixed.hpp"
 #include "tensor/random_matrix.hpp"
 
 namespace conflux {
@@ -269,6 +270,79 @@ TEST(CrossPrecision, LuFactorsAgreeToFp32Accuracy) {
   }
   EXPECT_LT(worst, 100.0 * static_cast<double>(n) *
                        static_cast<double>(std::numeric_limits<float>::epsilon()));
+}
+
+// ------------------------------------------- mixed-ladder RHS edge cases ----
+// The degradation ladder must be shape-robust at the same boundaries the
+// direct solves are (ISSUE 9 satellite): an empty RHS block, one column,
+// more columns than the matrix order, and strided client views.
+
+TEST(MixedLadderEdges, ZeroAndSingleAndWideRhsAllConverge) {
+  const index_t n = 64;
+  const grid::Grid3D g(2, 2, 1);
+  const MatrixD a = random_dominant_matrix(n, 301);
+  const MatrixD spd = random_spd_matrix(n, 302);
+  factor::FactorOptions fopt;
+  fopt.block_size = 16;
+
+  for (const index_t nrhs : {index_t{0}, index_t{1}, n + 9}) {
+    MatrixD b = nrhs > 0 ? random_matrix(n, nrhs, 303 + nrhs) : MatrixD(n, 0);
+    xsim::Machine m = real_machine(g.ranks());
+    const auto lu_rep = factor::conflux_lu_solve_mixed_ex(
+        m, g, a.view(), b.view(), {.factor = fopt});
+    EXPECT_TRUE(lu_rep.ok()) << "LU ladder, nrhs " << nrhs;
+    EXPECT_FALSE(lu_rep.fp64_fallback) << "healthy input must stay on fp32";
+    if (nrhs > 0) {
+      EXPECT_LE(lu_rep.backward_error, 1e-12) << "nrhs " << nrhs;
+    }
+
+    MatrixD bc = nrhs > 0 ? random_matrix(n, nrhs, 313 + nrhs) : MatrixD(n, 0);
+    xsim::Machine mc = real_machine(g.ranks());
+    const auto chol_rep = factor::confchox_solve_mixed_ex(
+        mc, g, spd.view(), bc.view(), {.factor = fopt});
+    EXPECT_TRUE(chol_rep.ok()) << "Cholesky ladder, nrhs " << nrhs;
+    EXPECT_FALSE(chol_rep.fp64_fallback);
+    if (nrhs > 0) {
+      EXPECT_LE(chol_rep.backward_error, 1e-12) << "nrhs " << nrhs;
+    }
+  }
+}
+
+TEST(MixedLadderEdges, RefinementOnStridedViewMatchesPackedBitwise) {
+  // Refinement against one fixed fp32 factorization is a deterministic
+  // serial loop: handing it a strided RHS view must produce the bitwise
+  // answer of the packed copy and leave the rest of the buffer untouched.
+  const index_t n = 80;
+  const index_t nrhs = 3;
+  const index_t pad = 4;
+  const grid::Grid3D g(2, 2, 1);
+  const MatrixD a = random_dominant_matrix(n, 305);
+  MatrixF a32(n, n);
+  convert<double, float>(a.view(), a32.view());
+  factor::FactorOptions fopt;
+  fopt.block_size = 16;
+  xsim::Machine m = real_machine(g.ranks());
+  const auto lu32 = factor::conflux_lu(m, g, a32.view(), fopt);
+
+  const MatrixD rhs = random_matrix(n, nrhs, 306);
+  MatrixD packed = rhs;
+  const auto rep_packed = factor::refine_lu(lu32, a.view(), packed.view());
+  ASSERT_TRUE(rep_packed.converged);
+
+  MatrixD wide(n, nrhs + pad, -3.25);
+  copy(rhs.view(), wide.block(0, 0, n, nrhs));
+  const auto rep_strided =
+      factor::refine_lu(lu32, a.view(), wide.block(0, 0, n, nrhs));
+  EXPECT_EQ(rep_strided.steps, rep_packed.steps);
+  EXPECT_EQ(rep_strided.backward_error, rep_packed.backward_error);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      ASSERT_EQ(wide(i, j), packed(i, j)) << "strided refinement diverged";
+    }
+    for (index_t j = nrhs; j < nrhs + pad; ++j) {
+      ASSERT_EQ(wide(i, j), -3.25) << "refinement wrote outside its view";
+    }
+  }
 }
 
 }  // namespace

@@ -167,6 +167,88 @@ TEST(Confchox, MultiRhsSolvePinsSingleRhsColumns) {
   }
 }
 
+TEST(FactorSolveEdges, ZeroRhsIsANoOpAndWideRhsSolves) {
+  // nrhs boundary cases (ISSUE 9 satellite): the panel solves must accept
+  // an empty RHS block (factor-only callers, e.g. a solve-service warmup),
+  // a single column, and MORE columns than the matrix order (nrhs > n — a
+  // response-panel shape real DFT workloads produce).
+  const index_t n = 48;
+  const grid::Grid3D g(2, 2, 1);
+  xsim::Machine m = make_machine(4, machine_memory(n, g), xsim::ExecMode::Real);
+  const MatrixD a = random_matrix(n, n, 41);
+  const MatrixD spd = random_spd_matrix(n, 42);
+  FactorOptions opt;
+  opt.block_size = 16;
+  const LuResult lu = conflux_lu(m, g, a.view(), opt);
+  const CholResult chol = confchox(m, g, spd.view(), opt);
+
+  MatrixD empty(n, 0);
+  conflux_lu_solve(lu, empty.view());  // must not touch memory or throw
+  confchox_solve(chol, empty.view());
+  EXPECT_EQ(empty.cols(), 0);
+
+  for (const index_t nrhs : {index_t{1}, n + 17}) {
+    const MatrixD x_true = random_matrix(n, nrhs, 43 + nrhs);
+    MatrixD b(n, nrhs, 0.0);
+    xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0, a.view(),
+                x_true.view(), 0.0, b.view());
+    conflux_lu_solve(lu, b.view());
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < nrhs; ++j) {
+        ASSERT_NEAR(b(i, j), x_true(i, j), 1e-6) << "nrhs " << nrhs;
+      }
+    }
+  }
+}
+
+TEST(FactorSolveEdges, StridedRhsViewMatchesPackedSolveBitwise) {
+  // A client handing the solver a block of a wider buffer (ld > cols) must
+  // get the bit-identical answer a packed copy would: the panel solves may
+  // never assume contiguous rows.
+  const index_t n = 64;
+  const index_t nrhs = 3;
+  const index_t pad = 5;
+  const grid::Grid3D g(2, 2, 1);
+  xsim::Machine m = make_machine(4, machine_memory(n, g), xsim::ExecMode::Real);
+  const MatrixD a = random_matrix(n, n, 44);
+  const MatrixD spd = random_spd_matrix(n, 45);
+  FactorOptions opt;
+  opt.block_size = 16;
+  const LuResult lu = conflux_lu(m, g, a.view(), opt);
+  const CholResult chol = confchox(m, g, spd.view(), opt);
+
+  const MatrixD rhs = random_matrix(n, nrhs, 46);
+  // Embed the RHS in a wider buffer whose tail columns are canaries.
+  MatrixD wide(n, nrhs + pad, -7.5);
+  copy(rhs.view(), wide.block(0, 0, n, nrhs));
+  MatrixD packed = rhs;
+
+  conflux_lu_solve(lu, packed.view());
+  conflux_lu_solve(lu, wide.block(0, 0, n, nrhs));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      ASSERT_EQ(wide(i, j), packed(i, j)) << "strided LU solve diverged";
+    }
+    for (index_t j = nrhs; j < nrhs + pad; ++j) {
+      ASSERT_EQ(wide(i, j), -7.5) << "LU solve wrote outside its view";
+    }
+  }
+
+  MatrixD wide_c(n, nrhs + pad, -7.5);
+  copy(rhs.view(), wide_c.block(0, 0, n, nrhs));
+  MatrixD packed_c = rhs;
+  confchox_solve(chol, packed_c.view());
+  confchox_solve(chol, wide_c.block(0, 0, n, nrhs));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < nrhs; ++j) {
+      ASSERT_EQ(wide_c(i, j), packed_c(i, j)) << "strided Cholesky solve diverged";
+    }
+    for (index_t j = nrhs; j < nrhs + pad; ++j) {
+      ASSERT_EQ(wide_c(i, j), -7.5) << "Cholesky solve wrote outside its view";
+    }
+  }
+}
+
 TEST(ConfluxLu, IllScaledRowsHandledByTournament) {
   // Row scaling that breaks unpivoted LU must not break COnfLUX.
   const index_t n = 64;

@@ -24,6 +24,8 @@
 #include <array>
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <mutex>
 #include <map>
 #include <sstream>
 #include <string>
@@ -857,6 +859,59 @@ TEST(RankParallel, RealModeResultsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_EQ(lu1.perm, lu4.perm);
   EXPECT_EQ(lu1.factors, lu4.factors);
   EXPECT_EQ(ch1.factors, ch4.factors);
+}
+
+// ---------------------------------------------------------------------------
+// Pool lease (the solve service's tenant-isolation primitive)
+// ---------------------------------------------------------------------------
+
+TEST(PoolLease, GrantsByPriorityThenArrival) {
+  TaskPool& pool = TaskPool::instance();
+  std::vector<int> grant_order;
+  std::mutex order_mu;
+  std::atomic<int> blocked{0};
+
+  TaskPool::Lease held = pool.acquire_lease(0);
+  ASSERT_TRUE(held.held());
+
+  // Two contenders queue while the lease is held: the batch-priority
+  // arrival comes FIRST, the interactive one second — the grant order must
+  // invert to (priority, arrival).
+  auto contend = [&](int priority) {
+    blocked.fetch_add(1);
+    TaskPool::Lease lease = pool.acquire_lease(priority);
+    std::lock_guard<std::mutex> lock(order_mu);
+    grant_order.push_back(priority);
+  };
+  std::thread batch(contend, 2);
+  while (blocked.load() < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // batch is waiting
+  std::thread interactive(contend, 0);
+  while (blocked.load() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // both are waiting
+
+  held.release();
+  EXPECT_FALSE(held.held());
+  batch.join();
+  interactive.join();
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], 0) << "interactive must be granted first";
+  EXPECT_EQ(grant_order[1], 2);
+}
+
+TEST(PoolLease, MoveTransfersOwnershipAndReleaseIsIdempotent) {
+  TaskPool& pool = TaskPool::instance();
+  TaskPool::Lease a = pool.acquire_lease(1);
+  ASSERT_TRUE(a.held());
+  TaskPool::Lease b = std::move(a);
+  EXPECT_FALSE(a.held());
+  EXPECT_TRUE(b.held());
+  b.release();
+  b.release();  // releasing twice must be harmless
+  EXPECT_FALSE(b.held());
+  // The pool is free again: an immediate re-acquire must not block.
+  TaskPool::Lease c = pool.acquire_lease(2);
+  EXPECT_TRUE(c.held());
 }
 
 }  // namespace

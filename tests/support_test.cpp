@@ -3,10 +3,15 @@
 #include <cmath>
 #include <sstream>
 
+#include "blas/tuning.hpp"
+#include "serve/fingerprint.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random_matrix.hpp"
 
 namespace conflux {
 namespace {
@@ -160,6 +165,97 @@ TEST(Cli, CheckUnusedFlagsUnknownOptions) {
   const char* argv[] = {"prog", "--typo=3"};
   Cli cli(2, argv);
   EXPECT_THROW(cli.check_unused(), contract_error);
+}
+
+// ------------------------------------------------- matrix fingerprints ----
+// The solve service's cache key (ISSUE 9 satellite): content-only across
+// layouts and execution configuration, bit-sensitive to one-ulp changes,
+// and O(n^2) single-pass with its cost metered under serve.fingerprint.*.
+
+TEST(Fingerprint, ContentEqualMatricesHashEqualAcrossLayoutAndThreads) {
+  const index_t n = 40;
+  const MatrixD a = random_matrix(n, n, 81);
+  const serve::Fingerprint base = serve::fingerprint(a.view());
+
+  // Same content again: pure function of the bits.
+  EXPECT_EQ(base, serve::fingerprint(a.view()));
+
+  // A strided view of the same logical matrix (embedded in a wider buffer)
+  // hashes identically — the leading dimension is not content.
+  MatrixD wide(n, n + 9, 1.25);
+  copy(a.view(), wide.block(0, 0, n, n));
+  EXPECT_EQ(base, serve::fingerprint(
+                      ConstViewD(wide.block(0, 0, n, n))));
+
+  // Thread counts, pool width, pz — none of it feeds the hash: it is a
+  // single-thread fold, so exercising it under a different BLAS thread
+  // setting must change nothing.
+  {
+    xblas::ScopedThreadCap cap(1);
+    EXPECT_EQ(base, serve::fingerprint(a.view()));
+  }
+
+  // Shape is content: the transpose-shaped view of a non-square buffer and
+  // a different-size matrix must both miss.
+  const MatrixD smaller = random_matrix(n - 1, n - 1, 81);
+  EXPECT_FALSE(base == serve::fingerprint(smaller.view()));
+}
+
+TEST(Fingerprint, OneUlpPerturbationAndSignedZeroChangeTheKey) {
+  const index_t n = 24;
+  MatrixD a = random_matrix(n, n, 82);
+  const serve::Fingerprint base = serve::fingerprint(a.view());
+
+  const double saved = a(3, 5);
+  a(3, 5) = std::nextafter(saved, 2.0 * saved + 1.0);  // one ulp
+  EXPECT_FALSE(base == serve::fingerprint(a.view()))
+      << "a one-ulp perturbation must change the cache key";
+  a(3, 5) = saved;
+  EXPECT_EQ(base, serve::fingerprint(a.view()));
+
+  a(0, 0) = 0.0;
+  const serve::Fingerprint plus_zero = serve::fingerprint(a.view());
+  a(0, 0) = -0.0;
+  EXPECT_FALSE(plus_zero == serve::fingerprint(a.view()))
+      << "+0.0 and -0.0 are different bit patterns, so different keys";
+}
+
+TEST(Fingerprint, CombineIsOrderSensitiveAndPrecisionTagged) {
+  const MatrixD a = random_matrix(8, 8, 83);
+  const serve::Fingerprint base = serve::fingerprint(a.view());
+  const serve::Fingerprint ab =
+      serve::fingerprint_combine(serve::fingerprint_combine(base, 1), 2);
+  const serve::Fingerprint ba =
+      serve::fingerprint_combine(serve::fingerprint_combine(base, 2), 1);
+  EXPECT_FALSE(ab == ba) << "key derivation must be order-sensitive";
+
+  // An fp32 matrix never aliases an fp64 one, even with equal values.
+  MatrixF a32(8, 8);
+  convert<double, float>(a.view(), a32.view());
+  MatrixD back(8, 8);
+  convert<float, double>(ConstViewF(a32.view()), back.view());
+  EXPECT_FALSE(serve::fingerprint(ConstViewF(a32.view())) ==
+               serve::fingerprint(back.view()));
+
+  EXPECT_EQ(base.hex().size(), 32u);
+}
+
+TEST(Fingerprint, SinglePassCostIsMeteredPerElement) {
+  // The serve.fingerprint.elements counter must advance by exactly n*m per
+  // hash — the observable proof that hashing reads each element once.
+  const bool was_enabled = metrics::enabled();
+  metrics::set_enabled(true);
+  metrics::reset();
+  const MatrixD a = random_matrix(32, 32, 84);
+  (void)serve::fingerprint(a.view());
+  const MatrixD b = random_matrix(16, 16, 85);
+  (void)serve::fingerprint(b.view());
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(snap.value("serve.fingerprint.matrices"), 2.0);
+  EXPECT_EQ(snap.value("serve.fingerprint.elements"),
+            32.0 * 32.0 + 16.0 * 16.0);
+  EXPECT_GE(snap.value("serve.fingerprint.seconds"), 0.0);
+  metrics::set_enabled(was_enabled);
 }
 
 }  // namespace
