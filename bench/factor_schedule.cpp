@@ -42,6 +42,9 @@
 #include "sched/event.hpp"
 #include "sched/taskpool.hpp"
 #include "sched/timeline.hpp"
+#include "blas/microkernel.hpp"
+#include "blas/tuning.hpp"
+#include "support/buildinfo.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
@@ -528,6 +531,9 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
     w.field("ladder_solves", r.ladder_solves);
     w.field("fp64_fallbacks", r.ladder_fp64_fallbacks);
     w.field("threads", r.threads);
+    w.field("isa", conflux::xblas::isa_name(conflux::xblas::active_isa()));
+    w.field("tuning_source", conflux::xblas::tuning_source());
+    w.field("git_describe", conflux::git_describe());
     // Metrics section: overhead pair, the measured data-movement audit,
     // and the task-pool runtime metrics of the audited lookahead run.
     w.key("metrics");

@@ -11,20 +11,38 @@
 // Usage:
 //   micro_blas_kernels [--out=BENCH_blas.json] [--threads=1] [--large]
 //                      [--sweep] [--min-time=0.3]
-//   --large  adds n = 2048 shapes
-//   --sweep  additionally sweeps the (mc, kc, nc) cache-block tuning for
-//            gemm at the largest shape and reports the best combination
+//                      [--autotune] [--budget=60] [--require-tuning-source=SRC]
+//   --large     adds n = 2048 shapes
+//   --sweep     additionally sweeps the (mc, kc, nc) cache-block tuning for
+//               gemm at the largest shape and reports the best combination
+//   --autotune  run the install-time autotuner (src/blas/autotune.hpp) for
+//               the active ISA and persist the winners to the tuning file
+//               (XBLAS_TUNING_FILE or ~/.cache/conflux/tuning.json), then
+//               exit. --budget caps its wall-clock seconds.
+//   --require-tuning-source=default|file|env
+//               exit nonzero unless this process's Tuning::detect() resolved
+//               from the given layer — CI uses it to prove a persisted
+//               tuning file round-trips into a fresh process.
+//
+// Every row records the measured ISA, the tuning source, and git describe;
+// per-ISA gemm rows (`gemm_isa_*`) cover each kernel the host can run, and
+// the dispatched-vs-portable fp64 gate fails the run (and CI) if runtime
+// dispatch ever picks a slower kernel than the portable baseline.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cmath>
 #include <utility>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "blas/autotune.hpp"
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
+#include "blas/microkernel.hpp"
 #include "blas/tuning.hpp"
+#include "support/buildinfo.hpp"
 #include "support/json.hpp"
 
 #ifdef _OPENMP
@@ -102,6 +120,9 @@ struct Result {
   double gflops;
   double seconds;  // best single-run wall time
   int reps;
+  // Microkernel ISA active while this row was measured (rows under a
+  // ScopedIsa force record the forced ISA, not the dispatched one).
+  std::string isa = xblas::isa_name(xblas::active_isa());
 };
 
 // Thread count the whole run was measured with; recorded per JSON row so
@@ -146,9 +167,9 @@ auto timed_run(Kernel&& kernel) {
 }
 
 void print_result(const Result& r) {
-  std::printf("%-12s n=%-5lld %8.2f GF/s  (best %.4fs over %d reps)\n",
+  std::printf("%-18s n=%-5lld %8.2f GF/s  (best %.4fs over %d reps, %s)\n",
               r.kernel.c_str(), static_cast<long long>(r.n), r.gflops,
-              r.seconds, r.reps);
+              r.seconds, r.reps, r.isa.c_str());
 }
 
 bool write_json(const std::string& path, const std::vector<Result>& results) {
@@ -163,6 +184,9 @@ bool write_json(const std::string& path, const std::vector<Result>& results) {
     w.field("best_seconds", r.seconds);
     w.field("reps", r.reps);
     w.field("threads", g_threads);
+    w.field("isa", std::string_view(r.isa));
+    w.field("tuning_source", xblas::tuning_source());
+    w.field("git_describe", conflux::git_describe());
     w.end_object();
   }
   w.end_array();
@@ -201,10 +225,59 @@ int main(int argc, char** argv) {
   const double min_time = cli.get_double("min-time", 0.3);
   const bool large = cli.get_flag("large");
   const bool sweep = cli.get_flag("sweep");
+  const bool autotune = cli.get_flag("autotune");
+  const double budget = cli.get_double("budget", 60.0);
+  const std::string require_source = cli.get_string("require-tuning-source", "");
   cli.check_unused();
+
+  std::printf("isa: %s (dispatched)  tuning_source: %s  build: %s\n",
+              xblas::isa_name(xblas::active_isa()), xblas::tuning_source(),
+              conflux::git_describe());
+
+  // CI round-trip check: a fresh process must have resolved its tuning from
+  // the layer the caller expects (e.g. "file" right after --autotune wrote
+  // one). Checked before anything below mutates tuning().
+  if (!require_source.empty() && require_source != xblas::tuning_source()) {
+    std::fprintf(stderr,
+                 "error: tuning source is '%s', required '%s' (tuning file: %s)\n",
+                 xblas::tuning_source(), require_source.c_str(),
+                 xblas::autotune::default_tuning_path().c_str());
+    return 1;
+  }
 
   xblas::tuning().threads = threads;
   g_threads = threads;
+
+  if (autotune) {
+    xblas::autotune::Options opts;
+    opts.budget_seconds = budget;
+    std::printf("autotuning isa=%s (budget %.1fs)...\n",
+                xblas::isa_name(xblas::active_isa()), budget);
+    const xblas::autotune::Report rep = xblas::autotune::run(opts);
+    for (const xblas::autotune::Entry& e : rep.tuned) {
+      std::printf("  best %-4s mc=%-4lld kc=%-4lld nc=%-5lld db=%-4lld "
+                  "lu_nb=%-4lld %8.2f GF/s\n",
+                  e.type.c_str(), static_cast<long long>(e.mc),
+                  static_cast<long long>(e.kc), static_cast<long long>(e.nc),
+                  static_cast<long long>(e.db), static_cast<long long>(e.lu_nb),
+                  e.gflops);
+    }
+    std::printf("autotune timed %d candidates, skipped %d, in %.1fs\n",
+                rep.candidates_timed, rep.candidates_skipped, rep.seconds);
+    const std::string path = xblas::autotune::default_tuning_path();
+    if (path.empty()) {
+      std::printf("tuning persistence disabled (XBLAS_TUNING_FILE empty and "
+                  "no cache dir)\n");
+      return rep.tuned.empty() ? 1 : 0;
+    }
+    if (!xblas::autotune::save_report(path, rep)) {
+      std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu entries tuned)\n", path.c_str(),
+                rep.tuned.size());
+    return 0;
+  }
   std::vector<index_t> shapes = {256, 512, 1024};
   if (large) shapes.push_back(2048);
   const index_t nmax = shapes.back();
@@ -298,45 +371,108 @@ int main(int argc, char** argv) {
     print_result(results.back());
   }
 
+  // ---- per-ISA gemm rows + the dispatch regression gate ----
+  // Every kernel the host can run gets its own fp64/fp32 row at n = 1024
+  // (forced via ScopedIsa, recorded in the row's `isa` field), then runtime
+  // dispatch itself is gated: the dispatched fp64 kernel must be at least
+  // as fast as the portable baseline. Both legs interleave their reps in
+  // one loop so they see the same machine state; like the factor_schedule
+  // lookahead gate, a 5% margin covers OS-scheduler noise on shared
+  // runners — a real regression (a mis-dispatched kernel) is far larger.
+  bool gates_ok = true;
+  {
+    const index_t ni = 1024;
+    const MatrixD a = conflux::random_matrix(ni, ni, 1);
+    const MatrixD b = conflux::random_matrix(ni, ni, 2);
+    MatrixD c(ni, ni, 0.0);
+    conflux::MatrixF af(ni, ni), bf(ni, ni), cf(ni, ni, 0.0f);
+    conflux::convert<double, float>(a.view(), af.view());
+    conflux::convert<double, float>(b.view(), bf.view());
+    const double fl = xblas::gemm_flops(ni, ni, ni);
+
+    std::printf("\nPer-ISA gemm (n=%lld):\n", static_cast<long long>(ni));
+    for (int i = 0; i < xblas::kIsaCount; ++i) {
+      const xblas::Isa isa = static_cast<xblas::Isa>(i);
+      if (!xblas::isa_available(isa)) continue;
+      xblas::ScopedIsa force(isa);
+      results.push_back(time_kernel(
+          std::string("gemm_isa_") + xblas::isa_name(isa), ni, fl, timed_run([&] {
+            xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0, a.view(),
+                        b.view(), 0.0, c.view());
+          }),
+          min_time));
+      print_result(results.back());
+      results.push_back(time_kernel(
+          std::string("gemm_f32_isa_") + xblas::isa_name(isa), ni, fl,
+          timed_run([&] {
+            xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0f, af.view(),
+                        bf.view(), 0.0f, cf.view());
+          }),
+          min_time));
+      print_result(results.back());
+    }
+
+    const xblas::Isa dispatched = xblas::active_isa();
+    const auto one_rep = [&](xblas::Isa isa) {
+      xblas::ScopedIsa force(isa);
+      conflux::Stopwatch sw;
+      xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0, a.view(),
+                  b.view(), 0.0, c.view());
+      return sw.seconds();
+    };
+    one_rep(xblas::Isa::Portable);  // warm both code paths
+    one_rep(dispatched);
+    double best_port = 1e300, best_disp = 1e300, total = 0.0;
+    int reps = 0;
+    const double gate_time = 2.0 * std::max(min_time, 0.3);
+    while (total < gate_time || reps < 6) {
+      const double sp = one_rep(xblas::Isa::Portable);
+      const double sd = one_rep(dispatched);
+      best_port = std::min(best_port, sp);
+      best_disp = std::min(best_disp, sd);
+      total += sp + sd;
+      reps += 2;
+    }
+    const double gf_port = fl / best_port * 1e-9;
+    const double gf_disp = fl / best_disp * 1e-9;
+    Result rp{"gemm_gate_portable", ni, gf_port, best_port, reps / 2};
+    rp.isa = xblas::isa_name(xblas::Isa::Portable);
+    results.push_back(rp);
+    Result rd{"gemm_gate_dispatched", ni, gf_disp, best_disp, reps / 2};
+    rd.isa = xblas::isa_name(dispatched);
+    results.push_back(rd);
+    const bool pass =
+        std::isfinite(gf_disp) && gf_disp > 0.0 && 1.05 * gf_disp >= gf_port;
+    std::printf("gate %-22s %-22s measured %11.4g vs gated %11.4g "
+                "(ratio %.3fx) %s\n",
+                "dispatch-speed",
+                (std::string("gemm n=1024 ") + xblas::isa_name(dispatched))
+                    .c_str(),
+                gf_disp, gf_port, gf_disp / gf_port, pass ? "PASS" : "FAIL");
+    if (!pass) gates_ok = false;
+  }
+
   if (sweep) {
     std::printf("\nCache-block sweep (gemm, n=%lld):\n",
                 static_cast<long long>(nmax));
-    const MatrixD a = conflux::random_matrix(nmax, nmax, 1);
-    const MatrixD b = conflux::random_matrix(nmax, nmax, 2);
-    MatrixD c(nmax, nmax, 0.0);
-    const xblas::Tuning saved = xblas::tuning();
-    double best_gf = 0.0;
-    xblas::Tuning best = saved;
-    for (const index_t mc : {64, 96, 128, 192, 256}) {
-      for (const index_t kc : {128, 256, 384, 512}) {
-        for (const index_t nc : {2048, 4096}) {
-          xblas::tuning().mc = mc;
-          xblas::tuning().kc = kc;
-          xblas::tuning().nc = nc;
-          Result r = time_kernel(
-              "gemm", nmax, xblas::gemm_flops(nmax, nmax, nmax),
-              timed_run([&] {
-                xblas::gemm(xblas::Trans::None, xblas::Trans::None, 1.0,
-                            a.view(), b.view(), 0.0, c.view());
-              }),
-              std::min(min_time, 0.15));
+    // The sweep machinery lives in src/blas/autotune.cpp (shared with
+    // --autotune); the callback lands every timed point in the JSON rows.
+    const xblas::autotune::SweepBest best = xblas::autotune::sweep_gemm<double>(
+        nmax, {64, 96, 128, 192, 256}, {128, 256, 384, 512}, {2048, 4096},
+        std::min(min_time, 0.15),
+        [&](index_t mc, index_t kc, index_t nc, double gf) {
           std::printf("  mc=%-4lld kc=%-4lld nc=%-5lld %8.2f GF/s\n",
                       static_cast<long long>(mc), static_cast<long long>(kc),
-                      static_cast<long long>(nc), r.gflops);
-          r.kernel = "gemm_sweep_mc" + std::to_string(mc) + "_kc" +
-                     std::to_string(kc) + "_nc" + std::to_string(nc);
+                      static_cast<long long>(nc), gf);
+          Result r{"gemm_sweep_mc" + std::to_string(mc) + "_kc" +
+                       std::to_string(kc) + "_nc" + std::to_string(nc),
+                   nmax, gf, 0.0, 0};
+          r.seconds = xblas::gemm_flops(nmax, nmax, nmax) / gf * 1e-9;
           results.push_back(r);
-          if (r.gflops > best_gf) {
-            best_gf = r.gflops;
-            best = xblas::tuning();
-          }
-        }
-      }
-    }
-    xblas::tuning() = saved;
+        });
     std::printf("  best: mc=%lld kc=%lld nc=%lld at %.2f GF/s\n",
                 static_cast<long long>(best.mc), static_cast<long long>(best.kc),
-                static_cast<long long>(best.nc), best_gf);
+                static_cast<long long>(best.nc), best.gflops);
   }
 
   const double seed_gf = find_gflops(results, "gemm_seed", nmax);
@@ -357,5 +493,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s (%zu rows)\n", out_path.c_str(), results.size());
-  return 0;
+  return gates_ok ? 0 : 1;
 }

@@ -1,0 +1,121 @@
+// Install-time autotuner for the level-3 BLAS substrate.
+//
+// Machines differ: the Tuning defaults were swept on one AVX-512 box, and
+// the best (mc, kc, nc) for a given cache hierarchy — let alone for a
+// different microkernel tile shape — is not portable. This module sweeps
+// the cache-blocking space for the ACTIVE microkernel ISA (gemm blocks per
+// scalar type, plus the trsm/syrk diagonal block db and the getrf/potrf
+// panel width lu_nb), and persists the winners to a small JSON file keyed
+// by (isa, scalar type):
+//
+//   ~/.cache/conflux/tuning.json        default location
+//   $XDG_CACHE_HOME/conflux/tuning.json when XDG_CACHE_HOME is set
+//   $XBLAS_TUNING_FILE                  explicit override; empty disables
+//
+// Tuning::detect() loads the entry matching the active ISA at process
+// startup, between the compiled-in defaults and the XBLAS_* environment
+// overrides — so per-machine block sizes stop being hardcoded guesses
+// without taking away the env knobs.
+//
+// Entry point: `micro_blas_kernels --autotune [--budget=SECONDS]` (the
+// bench's --sweep mode reuses sweep_gemm below). The budget is honored by
+// shrinking per-candidate timing and, when exhausted, skipping remaining
+// candidates — skipped counts are reported, never silent.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blas/microkernel.hpp"
+#include "blas/tuning.hpp"
+
+namespace conflux::xblas::autotune {
+
+/// One persisted tuning record. `type` is "f64" or "f32"; kc is the
+/// EFFECTIVE kc for that type (no kc_scale applied on load). db/lu_nb are
+/// only meaningful on "f64" entries (they are scalar-type-agnostic in
+/// Tuning); 0 means "not tuned".
+struct Entry {
+  Isa isa = Isa::Portable;
+  std::string type;
+  index_t mc = 0;
+  index_t kc = 0;
+  index_t nc = 0;
+  index_t db = 0;
+  index_t lu_nb = 0;
+  double gflops = 0.0;  ///< throughput of the winning gemm configuration
+  index_t n = 0;        ///< problem size the sweep timed
+  int threads = 1;
+};
+
+/// Resolved tuning-file path: XBLAS_TUNING_FILE if set (empty value
+/// disables persistence entirely), else $XDG_CACHE_HOME/conflux/tuning.json,
+/// else $HOME/.cache/conflux/tuning.json, else "" (disabled).
+std::string default_tuning_path();
+
+/// Parse `path`. Returns false (leaving *out empty) when the file is
+/// missing, unreadable, or not a valid tuning file — a corrupt file must
+/// degrade to defaults, never crash startup.
+bool load_entries(const std::string& path, std::vector<Entry>* out);
+
+/// First entry matching (isa, type), or nullptr.
+const Entry* find_entry(const std::vector<Entry>& entries, Isa isa,
+                        std::string_view type);
+
+/// Write entries atomically (temp file + rename), creating parent
+/// directories as needed.
+bool save_entries(const std::string& path, const std::vector<Entry>& entries);
+
+/// Best block sizes found by a gemm sweep.
+struct SweepBest {
+  index_t mc = 0;
+  index_t kc = 0;
+  index_t nc = 0;
+  double gflops = 0.0;
+};
+
+/// Sweep gemm cache blocks for scalar T at size n through the ACTIVE
+/// microkernel, timing each (mc, kc, nc) candidate for ~min_time seconds.
+/// kc values are effective (applied to fp32 without rescaling). `cb`, if
+/// set, observes every timed point; `keep_going`, if set, is consulted
+/// before each candidate — returning false skips the rest (budget
+/// exhaustion). tuning() is mutated during the sweep and restored on exit.
+template <typename T>
+SweepBest sweep_gemm(
+    index_t n, const std::vector<index_t>& mcs, const std::vector<index_t>& kcs,
+    const std::vector<index_t>& ncs, double min_time,
+    const std::function<void(index_t, index_t, index_t, double)>& cb = {},
+    const std::function<bool()>& keep_going = {});
+
+struct Options {
+  /// Total wall-clock budget. Small budgets (CI smoke: a few seconds)
+  /// shrink the candidate grid, the problem size, and per-candidate timing.
+  double budget_seconds = 60.0;
+  index_t n = 1024;       ///< gemm sweep problem size (shrunk under budget)
+  double min_time = 0.08; ///< per-candidate timing floor (shrunk under budget)
+  bool tune_f32 = true;
+  bool tune_db = true;    ///< also sweep db (trsm) and lu_nb (getrf)
+  bool verbose = true;    ///< print per-candidate lines to stdout
+};
+
+struct Report {
+  Isa isa = Isa::Portable;
+  std::vector<Entry> tuned;    ///< "f64" and (if tuned) "f32" entries
+  int candidates_timed = 0;
+  int candidates_skipped = 0;  ///< dropped by budget exhaustion
+  double seconds = 0.0;
+};
+
+/// Run the full autotune for the active ISA. tuning() is restored on exit;
+/// apply the result by saving it and re-running Tuning::detect() (or a new
+/// process).
+Report run(const Options& opts);
+
+/// Merge the report into `path`: replaces entries matching (report.isa,
+/// type) and keeps everything else — tuning one machine's AVX-512 entry
+/// must not clobber its AVX2 one.
+bool save_report(const std::string& path, const Report& report);
+
+}  // namespace conflux::xblas::autotune

@@ -9,10 +9,15 @@
 //     pack alpha*op(A)(ic:, pc:) into micro-panels of MR rows
 //     jr/ir over micro-tiles, each handled by the MR x NR microkernel
 //
-// The whole driver is a template over the scalar type. The register tile is
-// per-scalar (RegTile<T> in tuning.hpp): fp64 runs 8x8, fp32 runs 16x8 with
-// the same 64-byte vector register holding twice the scalars, and fp32 also
-// doubles the runtime kc so the packed panels keep their byte footprint.
+// The whole driver is a template over the scalar type AND ISA-agnostic:
+// the register-tiled microkernel (and its MR x NR tile shape) comes from
+// the runtime dispatch in microkernel.hpp — selected once per process via
+// cpuid/getauxval or forced with XBLAS_ISA — so per-ISA tile shapes (AVX2
+// runs 8x6 fp64 where AVX-512 runs 8x8) flow through packing, loop steps,
+// and edge-tile handling without this file naming any ISA. fp32 kernels
+// hold twice the scalars per register, and fp32 also scales the runtime kc
+// (or takes its own tuned block sizes) so packed panels keep their byte
+// footprint.
 //
 // Two departures from the textbook loop nest, both motivated by the
 // factorization workloads (Schur updates with k = v in the tens, panel
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "blas/microkernel.hpp"
 #include "blas/tuning.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
@@ -60,101 +66,11 @@ inline index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
 const metrics::Counter g_pack_a_bytes("dm.pack_a.bytes");
 const metrics::Counter g_pack_b_bytes("dm.pack_b.bytes");
 
-// C[mr x nr] += packed-A micro-panel * op(B) stripe, kc deep.
-//   ap: kc slices of MR values (column of op(A), zero-padded past mr)
-//   bp: kc rows of B lanes, `bstride` apart — NR for a packed micro-panel
-//       (zero-padded past nr), or the matrix leading dimension when the
-//       small-k path streams op(B) rows in place (full stripes only:
-//       the flop loop reads NR lanes unconditionally, so a strided call
-//       requires nr == NR)
-// The fixed-size accumulator plus the compile-time MR/NR trip counts let
-// the compiler keep acc[][] entirely in vector registers and emit an FMA
-// per element; there are no branches in the flop loop, and the packed and
-// strided callers perform the identical multiply-accumulate sequence on
-// identical values, so their tiles are bitwise equal.
-#if defined(__GNUC__) || defined(__clang__)
-#define CONFLUX_HAVE_VREG 1
-
-// GCC/Clang portable vector extension: one 64-byte "register" of MR scalars
-// (8 doubles or 16 floats). The compiler lowers it to whatever the target
-// has (1 zmm on AVX-512, 2 ymm on AVX2, plain scalars elsewhere), and
-// vector*scalar broadcasts the scalar, so each p step below is one unaligned
-// load of a plus NR broadcast-FMAs. This sidesteps the auto-vectorizer
-// entirely: the accumulator layout is the vector layout, so no shuffles
-// appear in the loop. The attribute needs a literal size, hence the
-// per-scalar specializations instead of a dependent vector_size.
-template <typename T>
-struct VecOf;
-template <>
-struct VecOf<double> {
-  typedef double type __attribute__((vector_size(64)));
-};
-template <>
-struct VecOf<float> {
-  typedef float type __attribute__((vector_size(64)));
-};
-
-template <typename T>
-typename VecOf<T>::type load_vreg(const T* p) {
-  typename VecOf<T>::type v;
-  __builtin_memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-template <typename T>
-void micro_kernel(index_t kc, const T* __restrict ap, const T* __restrict bp,
-                  index_t bstride, T* __restrict c, index_t ldc, index_t mr,
-                  index_t nr) {
-  using vreg = typename VecOf<T>::type;
-  constexpr index_t MR = RegTile<T>::mr;
-  constexpr index_t NR = RegTile<T>::nr;
-  static_assert(sizeof(vreg) == MR * sizeof(T), "tile must fill the vreg");
-  // acc[j] holds column j of the MR x NR C tile.
-  vreg acc[NR] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const vreg av = load_vreg<T>(ap + p * MR);
-    const T* __restrict b = bp + p * bstride;
-    for (index_t j = 0; j < NR; ++j) acc[j] += av * b[j];
-  }
-  // Transposed store back into row-major C; O(MR*NR) work against
-  // O(kc*MR*NR) flops, so it stays off the critical path.
-  for (index_t i = 0; i < mr; ++i) {
-    T* __restrict crow = c + i * ldc;
-    for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
-  }
-}
-
-#else  // portable fallback, written so the j loop auto-vectorizes
-
-template <typename T>
-void micro_kernel(index_t kc, const T* __restrict ap, const T* __restrict bp,
-                  index_t bstride, T* __restrict c, index_t ldc, index_t mr,
-                  index_t nr) {
-  constexpr index_t MR = RegTile<T>::mr;
-  constexpr index_t NR = RegTile<T>::nr;
-  T acc[NR][MR] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const T* __restrict a = ap + p * MR;
-    const T* __restrict b = bp + p * bstride;
-    for (index_t j = 0; j < NR; ++j) {
-      const T bj = b[j];
-      for (index_t i = 0; i < MR; ++i) acc[j][i] += a[i] * bj;
-    }
-  }
-  for (index_t i = 0; i < mr; ++i) {
-    T* __restrict crow = c + i * ldc;
-    for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
-  }
-}
-
-#endif
-
 // Pack alpha*op(A)(ic:ic+mc, pc:pc+kc) as ceil(mc/MR) micro-panels, each
 // kc slices of MR contiguous values, zero-padded in the last panel.
 template <typename T>
 void pack_a(Trans trans, T alpha, ConstMatrixView<T> a, index_t ic, index_t pc,
-            index_t mc, index_t kc, T* buf) {
-  constexpr index_t MR = RegTile<T>::mr;
+            index_t mc, index_t kc, index_t MR, T* buf) {
   for (index_t ir = 0; ir < mc; ir += MR) {
     const index_t mr = std::min(MR, mc - ir);
     T* dst = buf + (ir / MR) * (MR * kc);
@@ -179,8 +95,7 @@ void pack_a(Trans trans, T alpha, ConstMatrixView<T> a, index_t ic, index_t pc,
 // kc slices of NR contiguous values, zero-padded past nr.
 template <typename T>
 void pack_b_panel(Trans trans, ConstMatrixView<T> b, index_t pc, index_t jc,
-                  index_t jr, index_t nc, index_t kc, T* dst) {
-  constexpr index_t NR = RegTile<T>::nr;
+                  index_t jr, index_t nc, index_t kc, index_t NR, T* dst) {
   const index_t nr = std::min(NR, nc - jr);
   if (nr < NR) std::fill(dst, dst + NR * kc, T{});
   if (trans == Trans::None) {
@@ -264,8 +179,11 @@ template <typename T>
 void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
           ConstMatrixView<T> a, ConstMatrixView<T> b,
           std::type_identity_t<T> beta, MatrixView<T> c) {
-  constexpr index_t MR = RegTile<T>::mr;
-  constexpr index_t NR = RegTile<T>::nr;
+  // The active microkernel fixes the register-tile geometry this call packs
+  // for; selection is per-process, so every concurrent call agrees.
+  const MicroKernel<T>& mk = active_microkernel<T>();
+  const index_t MR = mk.mr;
+  const index_t NR = mk.nr;
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = (transa == Trans::None) ? a.cols() : a.rows();
@@ -296,9 +214,20 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
     return;
   }
 
-  const index_t mc_blk = round_up(std::min(tu.mc, m), MR);
-  const index_t kc_blk = std::min(tu.kc * kc_scale<T>(), k);
-  const index_t nc_blk = round_up(std::min(tu.nc, n), NR);
+  // fp32 takes its own tuned block sizes when the autotuner provided them,
+  // else derives from the fp64 ones (same mc/nc, kc scaled to keep the
+  // packed panels' byte footprint).
+  index_t tu_mc = tu.mc;
+  index_t tu_kc = tu.kc * kc_scale<T>();
+  index_t tu_nc = tu.nc;
+  if constexpr (std::is_same_v<T, float>) {
+    if (tu.mc_f32 > 0) tu_mc = tu.mc_f32;
+    if (tu.kc_f32 > 0) tu_kc = tu.kc_f32;
+    if (tu.nc_f32 > 0) tu_nc = tu.nc_f32;
+  }
+  const index_t mc_blk = round_up(std::min(tu_mc, m), MR);
+  const index_t kc_blk = std::min(tu_kc, k);
+  const index_t nc_blk = round_up(std::min(tu_nc, n), NR);
   const index_t ni_blocks = ceil_div(m, mc_blk);
 
   // Small-k fast path: stream op(B) rows through the strided microkernel
@@ -368,15 +297,19 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
 #pragma omp for schedule(static)
 #endif
           for (index_t jp = 0; jp < nb_panels; ++jp) {
-            pack_b_panel<T>(transb, b, pc, jc, jp * NR, nc, kc,
+            pack_b_panel<T>(transb, b, pc, jc, jp * NR, nc, kc, NR,
                             bpack.data() + jp * (NR * kc));
           }
           // (implicit barrier: the packed B panel is complete here)
         }
 
         // One NR-wide stripe of C micro-tiles from a packed A block.
+        // b_next is the next packed B stripe this thread will consume (a
+        // software-prefetch hint for the microkernel; null when streaming B
+        // in place or at the last stripe), a_next likewise walks one A
+        // micro-panel ahead inside the stripe.
         const auto do_stripe = [&](const T* ap, index_t ic, index_t mc,
-                                   index_t jr) {
+                                   index_t jr, const T* b_next) {
           const index_t nr = std::min(NR, nc - jr);
           T* c0 = c.row(ic) + jc + jr;
           const T* bp;
@@ -388,7 +321,8 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
             // Edge stripe of the strided path: zero-pad into the per-thread
             // scratch so the microkernel can read full NR lanes.
             if (bedge_jc != jc || bedge_pc != pc) {
-              pack_b_panel<T>(transb, b, pc, jc, jr, nc, kc, bedge.data());
+              pack_b_panel<T>(transb, b, pc, jc, jr, nc, kc, NR,
+                              bedge.data());
               bedge_jc = jc;
               bedge_pc = pc;
             }
@@ -399,8 +333,10 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
             bstride = NR;
           }
           for (index_t ir = 0; ir < mc; ir += MR) {
-            micro_kernel<T>(kc, ap + (ir / MR) * (MR * kc), bp, bstride,
-                            c0 + ir * c.ld(), c.ld(), std::min(MR, mc - ir), nr);
+            const T* a_cur = ap + (ir / MR) * (MR * kc);
+            const T* a_next = (ir + MR < mc) ? a_cur + MR * kc : nullptr;
+            mk.fn(kc, a_cur, bp, bstride, c0 + ir * c.ld(), c.ld(),
+                  std::min(MR, mc - ir), nr, a_next, b_next);
           }
         };
 
@@ -411,9 +347,12 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
           for (index_t ib = 0; ib < ni_blocks; ++ib) {
             const index_t ic = ib * mc_blk;
             const index_t mc = std::min(mc_blk, m - ic);
-            pack_a<T>(transa, alpha, a, ic, pc, mc, kc, apack.data());
+            pack_a<T>(transa, alpha, a, ic, pc, mc, kc, MR, apack.data());
             for (index_t jr = 0; jr < nc; jr += NR) {
-              do_stripe(apack.data(), ic, mc, jr);
+              const T* b_next = (!strided_b && jr + NR < nc)
+                                    ? bpack.data() + (jr / NR + 1) * (NR * kc)
+                                    : nullptr;
+              do_stripe(apack.data(), ic, mc, jr, b_next);
             }
           }
           // (implicit barrier: everyone is done reading bpack before repack)
@@ -427,7 +366,7 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
 #endif
             for (index_t ip = 0; ip < na_panels; ++ip) {
               pack_a<T>(transa, alpha, a, ic + ip * MR, pc,
-                        std::min(MR, mc - ip * MR), kc,
+                        std::min(MR, mc - ip * MR), kc, MR,
                         ashared.data() + ip * (MR * kc));
             }
             // (implicit barrier: the shared A block is complete here)
@@ -436,7 +375,11 @@ void gemm(Trans transa, Trans transb, std::type_identity_t<T> alpha,
 #pragma omp for schedule(static)
 #endif
             for (index_t js = 0; js < nj_stripes; ++js) {
-              do_stripe(ashared.data(), ic, mc, js * NR);
+              const T* b_next =
+                  (!strided_b && (js + 1) * NR < nc)
+                      ? bpack.data() + (js + 1) * (NR * kc)
+                      : nullptr;
+              do_stripe(ashared.data(), ic, mc, js * NR, b_next);
             }
             // (implicit barrier: stripes done before the A block repacks)
           }

@@ -1,0 +1,612 @@
+// Microkernel registry: hand-scheduled per-ISA gemm register tiles behind
+// one runtime dispatch point (microkernel.hpp).
+//
+// Kernels (register tile MR x NR per scalar):
+//   portable  8x8 fp64 / 16x8 fp32 — the PR-1 GCC vector-extension kernel,
+//             lowered by the compiler to whatever the build target has.
+//             Always registered; the conformance baseline and the gate
+//             reference in bench/micro_blas_kernels.
+//   avx2      8x6 fp64 / 16x6 fp32 — two ymm per A column, six broadcast
+//             FMAs per k step; 12 accumulator + 3 operand registers fill
+//             the 16-register ymm file.
+//   avx512    8x8 fp64 / 16x8 fp32 — one zmm per A column, kc loop 2x
+//             unrolled (16 independent FMAs in flight per unrolled step
+//             against a 4-cycle FMA latency x 2/cycle throughput machine).
+//   neon      8x6 fp64 / 16x6 fp32 — four q-registers per A column,
+//             lane-broadcast FMAs; 24 accumulators of the 32-register file.
+//
+// All non-portable kernels software-prefetch the packed A/B streams a fixed
+// distance ahead inside the kc loop (the packed layouts advance by exactly
+// one cache line per fp64 k step) and touch the next micro-panels (a_next /
+// b_next driver hints) plus the C tile on entry, so the tile's write-back
+// misses overlap the flop loop instead of serializing after it.
+//
+// Bitwise contract: every kernel performs exactly one multiply-accumulate
+// per (C element, k step), in increasing k order, with fusion matching the
+// portable kernel's codegen in the SAME build: when the translation unit
+// has FMA (-march=native on an FMA host, so the compiler contracts the
+// portable kernel's `acc += a * b`), the hand kernels use fused intrinsics;
+// when it does not (e.g. the CONFLUX_MARCH_NATIVE=OFF sanitizer builds),
+// they use separate mul+add intrinsics and their target attributes
+// deliberately omit "fma", so the compiler has no fused instruction to
+// re-contract the pair into. The conformance suite (tests/blas_test.cpp)
+// asserts bitwise equality against the portable kernel for every
+// registered ISA in both build flavors.
+#include "blas/microkernel.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "blas/tuning.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define XBLAS_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define XBLAS_NEON_KERNELS 1
+#include <arm_neon.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace conflux::xblas {
+
+namespace {
+
+// ---- shared helpers -------------------------------------------------------
+
+// Non-faulting touch of the next packed micro-panels / the C tile; a null
+// hint is "nothing follows".
+inline void prefetch_lines(const void* p, int lines) {
+  if (p == nullptr) return;
+  const char* q = static_cast<const char*>(p);
+  for (int i = 0; i < lines; ++i) __builtin_prefetch(q + i * 64, 0, 3);
+}
+
+template <typename T>
+inline void prefetch_c_tile(const T* c, index_t ldc, index_t mr) {
+  for (index_t i = 0; i < mr; ++i) __builtin_prefetch(c + i * ldc, 1, 3);
+}
+
+// How far ahead (in k steps) the kc loops prefetch the packed streams. The
+// fp64 packed-A layout advances 64 bytes per step (MR=8), so this is 8
+// cache lines of lead — enough to cover an L2 hit at one line per cycle-ish
+// consumption without thrashing L1.
+constexpr index_t kPrefetchAhead = 8;
+
+// ---- portable kernel (PR 1, moved verbatim from gemm.cpp) -----------------
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// GCC/Clang portable vector extension: one 64-byte "register" of MR scalars
+// (8 doubles or 16 floats). The compiler lowers it to whatever the target
+// has (1 zmm on AVX-512, 2 ymm on AVX2, plain scalars elsewhere), and
+// vector*scalar broadcasts the scalar, so each p step below is one unaligned
+// load of a plus NR broadcast-FMAs. This sidesteps the auto-vectorizer
+// entirely: the accumulator layout is the vector layout, so no shuffles
+// appear in the loop. The attribute needs a literal size, hence the
+// per-scalar specializations instead of a dependent vector_size.
+template <typename T>
+struct VecOf;
+template <>
+struct VecOf<double> {
+  typedef double type __attribute__((vector_size(64)));
+};
+template <>
+struct VecOf<float> {
+  typedef float type __attribute__((vector_size(64)));
+};
+
+template <typename T>
+typename VecOf<T>::type load_vreg(const T* p) {
+  typename VecOf<T>::type v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <typename T>
+void ukr_portable(index_t kc, const T* __restrict ap, const T* __restrict bp,
+                  index_t bstride, T* __restrict c, index_t ldc, index_t mr,
+                  index_t nr, const T* /*a_next*/, const T* /*b_next*/) {
+  using vreg = typename VecOf<T>::type;
+  constexpr index_t MR = RegTile<T>::mr;
+  constexpr index_t NR = RegTile<T>::nr;
+  static_assert(sizeof(vreg) == MR * sizeof(T), "tile must fill the vreg");
+  // acc[j] holds column j of the MR x NR C tile.
+  vreg acc[NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const vreg av = load_vreg<T>(ap + p * MR);
+    const T* __restrict b = bp + p * bstride;
+    for (index_t j = 0; j < NR; ++j) acc[j] += av * b[j];
+  }
+  // Transposed store back into row-major C; O(MR*NR) work against
+  // O(kc*MR*NR) flops, so it stays off the critical path.
+  for (index_t i = 0; i < mr; ++i) {
+    T* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
+  }
+}
+
+#else  // portable fallback, written so the j loop auto-vectorizes
+
+template <typename T>
+void ukr_portable(index_t kc, const T* __restrict ap, const T* __restrict bp,
+                  index_t bstride, T* __restrict c, index_t ldc, index_t mr,
+                  index_t nr, const T* /*a_next*/, const T* /*b_next*/) {
+  constexpr index_t MR = RegTile<T>::mr;
+  constexpr index_t NR = RegTile<T>::nr;
+  T acc[NR][MR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* __restrict a = ap + p * MR;
+    const T* __restrict b = bp + p * bstride;
+    for (index_t j = 0; j < NR; ++j) {
+      const T bj = b[j];
+      for (index_t i = 0; i < MR; ++i) acc[j][i] += a[i] * bj;
+    }
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    T* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += acc[j][i];
+  }
+}
+
+#endif
+
+// ---- x86 kernels ----------------------------------------------------------
+
+#ifdef XBLAS_X86_KERNELS
+
+// Fusion must match what the compiler does to the portable kernel in this
+// same translation unit: contract iff the TU was built with FMA. When it
+// was not, the target attributes also omit "fma" so the mul/add intrinsic
+// pairs cannot be re-fused behind our back.
+#ifdef __FMA__
+#define XBLAS_TGT_AVX2 "avx2,fma"
+#define XBLAS_TGT_AVX512 "avx512f,fma"
+#define XBLAS_AVX512_CONTRACT_GUARD
+#define XBLAS_FMADD_256D(a, b, c) _mm256_fmadd_pd((a), (b), (c))
+#define XBLAS_FMADD_256S(a, b, c) _mm256_fmadd_ps((a), (b), (c))
+#define XBLAS_FMADD_512D(a, b, c) _mm512_fmadd_pd((a), (b), (c))
+#define XBLAS_FMADD_512S(a, b, c) _mm512_fmadd_ps((a), (b), (c))
+#else
+// No-FMA build: the AVX2 target has no fused instruction at all, so its
+// mul+add pair can never be re-contracted. The AVX-512 target DOES (zmm
+// vfmadd is part of AVX512F itself), so those kernels additionally pin
+// fp-contract off; clang ignores the optimize attribute, so a no-FMA clang
+// build registers no AVX-512 kernel rather than a non-conforming one.
+#define XBLAS_TGT_AVX2 "avx2"
+#define XBLAS_TGT_AVX512 "avx512f"
+#define XBLAS_AVX512_CONTRACT_GUARD __attribute__((optimize("fp-contract=off")))
+#define XBLAS_FMADD_256D(a, b, c) _mm256_add_pd(_mm256_mul_pd((a), (b)), (c))
+#define XBLAS_FMADD_256S(a, b, c) _mm256_add_ps(_mm256_mul_ps((a), (b)), (c))
+#define XBLAS_FMADD_512D(a, b, c) _mm512_add_pd(_mm512_mul_pd((a), (b)), (c))
+#define XBLAS_FMADD_512S(a, b, c) _mm512_add_ps(_mm512_mul_ps((a), (b)), (c))
+#endif
+
+#if defined(__FMA__) || !defined(__clang__)
+#define XBLAS_AVX512_KERNELS 1
+#endif
+
+// AVX2 fp64 8x6: A column = 2 ymm, 6 broadcast-FMA pairs per k step.
+// 12 accumulators + 2 A + 1 broadcast = 15 of 16 ymm.
+__attribute__((target(XBLAS_TGT_AVX2))) void ukr_avx2_d(
+    index_t kc, const double* __restrict ap, const double* __restrict bp,
+    index_t bstride, double* __restrict c, index_t ldc, index_t mr, index_t nr,
+    const double* a_next, const double* b_next) {
+  __m256d acc0[6], acc1[6];
+  for (int j = 0; j < 6; ++j) {
+    acc0[j] = _mm256_setzero_pd();
+    acc1[j] = _mm256_setzero_pd();
+  }
+  prefetch_c_tile(c, ldc, mr);
+  prefetch_lines(a_next, 4);
+  prefetch_lines(b_next, 2);
+  for (index_t p = 0; p < kc; ++p) {
+    __builtin_prefetch(ap + (p + kPrefetchAhead) * 8, 0, 3);
+    __builtin_prefetch(bp + (p + kPrefetchAhead) * bstride, 0, 3);
+    const __m256d a0 = _mm256_loadu_pd(ap + p * 8);
+    const __m256d a1 = _mm256_loadu_pd(ap + p * 8 + 4);
+    const double* __restrict b = bp + p * bstride;
+    for (int j = 0; j < 6; ++j) {
+      const __m256d bj = _mm256_set1_pd(b[j]);
+      acc0[j] = XBLAS_FMADD_256D(a0, bj, acc0[j]);
+      acc1[j] = XBLAS_FMADD_256D(a1, bj, acc1[j]);
+    }
+  }
+  alignas(32) double tile[6][8];
+  for (int j = 0; j < 6; ++j) {
+    _mm256_store_pd(tile[j], acc0[j]);
+    _mm256_store_pd(tile[j] + 4, acc1[j]);
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += tile[j][i];
+  }
+}
+
+// AVX2 fp32 16x6: same register shape as the fp64 kernel with twice the
+// scalars per register — the fp32-doubles-throughput invariant.
+__attribute__((target(XBLAS_TGT_AVX2))) void ukr_avx2_s(
+    index_t kc, const float* __restrict ap, const float* __restrict bp,
+    index_t bstride, float* __restrict c, index_t ldc, index_t mr, index_t nr,
+    const float* a_next, const float* b_next) {
+  __m256 acc0[6], acc1[6];
+  for (int j = 0; j < 6; ++j) {
+    acc0[j] = _mm256_setzero_ps();
+    acc1[j] = _mm256_setzero_ps();
+  }
+  prefetch_c_tile(c, ldc, mr);
+  prefetch_lines(a_next, 4);
+  prefetch_lines(b_next, 2);
+  for (index_t p = 0; p < kc; ++p) {
+    __builtin_prefetch(ap + (p + kPrefetchAhead) * 16, 0, 3);
+    __builtin_prefetch(bp + (p + kPrefetchAhead) * bstride, 0, 3);
+    const __m256 a0 = _mm256_loadu_ps(ap + p * 16);
+    const __m256 a1 = _mm256_loadu_ps(ap + p * 16 + 8);
+    const float* __restrict b = bp + p * bstride;
+    for (int j = 0; j < 6; ++j) {
+      const __m256 bj = _mm256_set1_ps(b[j]);
+      acc0[j] = XBLAS_FMADD_256S(a0, bj, acc0[j]);
+      acc1[j] = XBLAS_FMADD_256S(a1, bj, acc1[j]);
+    }
+  }
+  alignas(32) float tile[6][16];
+  for (int j = 0; j < 6; ++j) {
+    _mm256_store_ps(tile[j], acc0[j]);
+    _mm256_store_ps(tile[j] + 8, acc1[j]);
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    float* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += tile[j][i];
+  }
+}
+
+// AVX-512 fp64 8x8, kc loop 2x unrolled: A column = 1 zmm, 8 broadcast-FMAs
+// per k step, two k steps per iteration. The per-element accumulation chain
+// stays strictly k-ordered (both unrolled steps feed the SAME accumulator,
+// in order), so unrolling never changes results — it exists to halve the
+// loop-carried bookkeeping and give the scheduler 16 independent FMAs per
+// iteration.
+#ifdef XBLAS_AVX512_KERNELS
+__attribute__((target(XBLAS_TGT_AVX512))) XBLAS_AVX512_CONTRACT_GUARD void
+ukr_avx512_d(
+    index_t kc, const double* __restrict ap, const double* __restrict bp,
+    index_t bstride, double* __restrict c, index_t ldc, index_t mr, index_t nr,
+    const double* a_next, const double* b_next) {
+  __m512d acc[8];
+  for (int j = 0; j < 8; ++j) acc[j] = _mm512_setzero_pd();
+  prefetch_c_tile(c, ldc, mr);
+  prefetch_lines(a_next, 4);
+  prefetch_lines(b_next, 2);
+  index_t p = 0;
+  for (; p + 2 <= kc; p += 2) {
+    __builtin_prefetch(ap + (p + kPrefetchAhead) * 8, 0, 3);
+    __builtin_prefetch(bp + (p + kPrefetchAhead) * bstride, 0, 3);
+    const __m512d a0 = _mm512_loadu_pd(ap + p * 8);
+    const double* __restrict b0 = bp + p * bstride;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = XBLAS_FMADD_512D(a0, _mm512_set1_pd(b0[j]), acc[j]);
+    }
+    const __m512d a1 = _mm512_loadu_pd(ap + (p + 1) * 8);
+    const double* __restrict b1 = b0 + bstride;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = XBLAS_FMADD_512D(a1, _mm512_set1_pd(b1[j]), acc[j]);
+    }
+  }
+  if (p < kc) {
+    const __m512d a0 = _mm512_loadu_pd(ap + p * 8);
+    const double* __restrict b0 = bp + p * bstride;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = XBLAS_FMADD_512D(a0, _mm512_set1_pd(b0[j]), acc[j]);
+    }
+  }
+  alignas(64) double tile[8][8];
+  for (int j = 0; j < 8; ++j) _mm512_store_pd(tile[j], acc[j]);
+  for (index_t i = 0; i < mr; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += tile[j][i];
+  }
+}
+
+// AVX-512 fp32 16x8, same structure.
+__attribute__((target(XBLAS_TGT_AVX512))) XBLAS_AVX512_CONTRACT_GUARD void
+ukr_avx512_s(
+    index_t kc, const float* __restrict ap, const float* __restrict bp,
+    index_t bstride, float* __restrict c, index_t ldc, index_t mr, index_t nr,
+    const float* a_next, const float* b_next) {
+  __m512 acc[8];
+  for (int j = 0; j < 8; ++j) acc[j] = _mm512_setzero_ps();
+  prefetch_c_tile(c, ldc, mr);
+  prefetch_lines(a_next, 4);
+  prefetch_lines(b_next, 2);
+  index_t p = 0;
+  for (; p + 2 <= kc; p += 2) {
+    __builtin_prefetch(ap + (p + kPrefetchAhead) * 16, 0, 3);
+    __builtin_prefetch(bp + (p + kPrefetchAhead) * bstride, 0, 3);
+    const __m512 a0 = _mm512_loadu_ps(ap + p * 16);
+    const float* __restrict b0 = bp + p * bstride;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = XBLAS_FMADD_512S(a0, _mm512_set1_ps(b0[j]), acc[j]);
+    }
+    const __m512 a1 = _mm512_loadu_ps(ap + (p + 1) * 16);
+    const float* __restrict b1 = b0 + bstride;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = XBLAS_FMADD_512S(a1, _mm512_set1_ps(b1[j]), acc[j]);
+    }
+  }
+  if (p < kc) {
+    const __m512 a0 = _mm512_loadu_ps(ap + p * 16);
+    const float* __restrict b0 = bp + p * bstride;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = XBLAS_FMADD_512S(a0, _mm512_set1_ps(b0[j]), acc[j]);
+    }
+  }
+  alignas(64) float tile[8][16];
+  for (int j = 0; j < 8; ++j) _mm512_store_ps(tile[j], acc[j]);
+  for (index_t i = 0; i < mr; ++i) {
+    float* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += tile[j][i];
+  }
+}
+
+#endif  // XBLAS_AVX512_KERNELS
+
+#endif  // XBLAS_X86_KERNELS
+
+// ---- NEON kernels ---------------------------------------------------------
+
+#ifdef XBLAS_NEON_KERNELS
+
+// NEON fp64 8x6: A column = 4 q-registers, lane-broadcast FMAs (vfmaq_n).
+// 24 accumulators + 4 A registers of the 32-register file. aarch64 compilers
+// contract the portable kernel by default (-ffp-contract=fast), so fused
+// intrinsics here keep the bitwise contract.
+void ukr_neon_d(index_t kc, const double* __restrict ap,
+                const double* __restrict bp, index_t bstride,
+                double* __restrict c, index_t ldc, index_t mr, index_t nr,
+                const double* a_next, const double* b_next) {
+  float64x2_t acc[6][4];
+  for (int j = 0; j < 6; ++j) {
+    for (int q = 0; q < 4; ++q) acc[j][q] = vdupq_n_f64(0.0);
+  }
+  prefetch_c_tile(c, ldc, mr);
+  prefetch_lines(a_next, 4);
+  prefetch_lines(b_next, 2);
+  for (index_t p = 0; p < kc; ++p) {
+    __builtin_prefetch(ap + (p + kPrefetchAhead) * 8, 0, 3);
+    __builtin_prefetch(bp + (p + kPrefetchAhead) * bstride, 0, 3);
+    const float64x2_t a0 = vld1q_f64(ap + p * 8);
+    const float64x2_t a1 = vld1q_f64(ap + p * 8 + 2);
+    const float64x2_t a2 = vld1q_f64(ap + p * 8 + 4);
+    const float64x2_t a3 = vld1q_f64(ap + p * 8 + 6);
+    const double* __restrict b = bp + p * bstride;
+    for (int j = 0; j < 6; ++j) {
+      const double bj = b[j];
+      acc[j][0] = vfmaq_n_f64(acc[j][0], a0, bj);
+      acc[j][1] = vfmaq_n_f64(acc[j][1], a1, bj);
+      acc[j][2] = vfmaq_n_f64(acc[j][2], a2, bj);
+      acc[j][3] = vfmaq_n_f64(acc[j][3], a3, bj);
+    }
+  }
+  alignas(16) double tile[6][8];
+  for (int j = 0; j < 6; ++j) {
+    for (int q = 0; q < 4; ++q) vst1q_f64(tile[j] + 2 * q, acc[j][q]);
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += tile[j][i];
+  }
+}
+
+// NEON fp32 16x6.
+void ukr_neon_s(index_t kc, const float* __restrict ap,
+                const float* __restrict bp, index_t bstride,
+                float* __restrict c, index_t ldc, index_t mr, index_t nr,
+                const float* a_next, const float* b_next) {
+  float32x4_t acc[6][4];
+  for (int j = 0; j < 6; ++j) {
+    for (int q = 0; q < 4; ++q) acc[j][q] = vdupq_n_f32(0.0f);
+  }
+  prefetch_c_tile(c, ldc, mr);
+  prefetch_lines(a_next, 4);
+  prefetch_lines(b_next, 2);
+  for (index_t p = 0; p < kc; ++p) {
+    __builtin_prefetch(ap + (p + kPrefetchAhead) * 16, 0, 3);
+    __builtin_prefetch(bp + (p + kPrefetchAhead) * bstride, 0, 3);
+    const float32x4_t a0 = vld1q_f32(ap + p * 16);
+    const float32x4_t a1 = vld1q_f32(ap + p * 16 + 4);
+    const float32x4_t a2 = vld1q_f32(ap + p * 16 + 8);
+    const float32x4_t a3 = vld1q_f32(ap + p * 16 + 12);
+    const float* __restrict b = bp + p * bstride;
+    for (int j = 0; j < 6; ++j) {
+      const float bj = b[j];
+      acc[j][0] = vfmaq_n_f32(acc[j][0], a0, bj);
+      acc[j][1] = vfmaq_n_f32(acc[j][1], a1, bj);
+      acc[j][2] = vfmaq_n_f32(acc[j][2], a2, bj);
+      acc[j][3] = vfmaq_n_f32(acc[j][3], a3, bj);
+    }
+  }
+  alignas(16) float tile[6][16];
+  for (int j = 0; j < 6; ++j) {
+    for (int q = 0; q < 4; ++q) vst1q_f32(tile[j] + 4 * q, acc[j][q]);
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    float* __restrict crow = c + i * ldc;
+    for (index_t j = 0; j < nr; ++j) crow[j] += tile[j][i];
+  }
+}
+
+#endif  // XBLAS_NEON_KERNELS
+
+// ---- registry -------------------------------------------------------------
+
+const MicroKernel<double> k_portable_d{Isa::Portable, RegTile<double>::mr,
+                                       RegTile<double>::nr,
+                                       &ukr_portable<double>};
+const MicroKernel<float> k_portable_s{Isa::Portable, RegTile<float>::mr,
+                                      RegTile<float>::nr, &ukr_portable<float>};
+
+#ifdef XBLAS_X86_KERNELS
+const MicroKernel<double> k_avx2_d{Isa::Avx2, 8, 6, &ukr_avx2_d};
+const MicroKernel<float> k_avx2_s{Isa::Avx2, 16, 6, &ukr_avx2_s};
+#ifdef XBLAS_AVX512_KERNELS
+const MicroKernel<double> k_avx512_d{Isa::Avx512, 8, 8, &ukr_avx512_d};
+const MicroKernel<float> k_avx512_s{Isa::Avx512, 16, 8, &ukr_avx512_s};
+#endif
+#endif
+#ifdef XBLAS_NEON_KERNELS
+const MicroKernel<double> k_neon_d{Isa::Neon, 8, 6, &ukr_neon_d};
+const MicroKernel<float> k_neon_s{Isa::Neon, 16, 6, &ukr_neon_s};
+#endif
+
+bool host_supports(Isa isa) {
+  switch (isa) {
+    case Isa::Portable:
+      return true;
+#ifdef XBLAS_X86_KERNELS
+    case Isa::Avx2:
+      __builtin_cpu_init();
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::Avx512:
+      __builtin_cpu_init();
+      return __builtin_cpu_supports("avx512f");
+#endif
+#ifdef XBLAS_NEON_KERNELS
+    case Isa::Neon:
+      return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#endif
+    default:
+      return false;
+  }
+}
+
+// Selection state: -1 = not yet resolved. A benign initialization race
+// resolves to the same value on every thread.
+std::atomic<int> g_active_isa{-1};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Portable:
+      return "portable";
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Avx512:
+      return "avx512";
+    case Isa::Neon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool parse_isa(std::string_view name, Isa* out) {
+  for (int i = 0; i < kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (name == isa_name(isa)) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+template <>
+const MicroKernel<double>* registered_microkernel<double>(Isa isa) {
+  switch (isa) {
+    case Isa::Portable:
+      return &k_portable_d;
+#ifdef XBLAS_X86_KERNELS
+    case Isa::Avx2:
+      return &k_avx2_d;
+#ifdef XBLAS_AVX512_KERNELS
+    case Isa::Avx512:
+      return &k_avx512_d;
+#endif
+#endif
+#ifdef XBLAS_NEON_KERNELS
+    case Isa::Neon:
+      return &k_neon_d;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+template <>
+const MicroKernel<float>* registered_microkernel<float>(Isa isa) {
+  switch (isa) {
+    case Isa::Portable:
+      return &k_portable_s;
+#ifdef XBLAS_X86_KERNELS
+    case Isa::Avx2:
+      return &k_avx2_s;
+#ifdef XBLAS_AVX512_KERNELS
+    case Isa::Avx512:
+      return &k_avx512_s;
+#endif
+#endif
+#ifdef XBLAS_NEON_KERNELS
+    case Isa::Neon:
+      return &k_neon_s;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+bool isa_available(Isa isa) {
+  return registered_microkernel<double>(isa) != nullptr && host_supports(isa);
+}
+
+Isa detect_isa() {
+  // Highest ISA first; Neon and the x86 pair are mutually exclusive builds.
+  for (const Isa isa : {Isa::Avx512, Isa::Neon, Isa::Avx2}) {
+    if (isa_available(isa)) return isa;
+  }
+  return Isa::Portable;
+}
+
+Isa resolve_isa_from_env() {
+  const char* s = std::getenv("XBLAS_ISA");
+  if (s != nullptr && *s != '\0') {
+    Isa isa;
+    if (!parse_isa(s, &isa)) {
+      std::fprintf(stderr,
+                   "xblas: XBLAS_ISA=%s not recognized "
+                   "(portable|avx2|avx512|neon); using %s\n",
+                   s, isa_name(detect_isa()));
+    } else if (!isa_available(isa)) {
+      std::fprintf(stderr,
+                   "xblas: XBLAS_ISA=%s is not available on this host; "
+                   "using %s\n",
+                   s, isa_name(detect_isa()));
+    } else {
+      return isa;
+    }
+  }
+  return detect_isa();
+}
+
+Isa active_isa() {
+  const int v = g_active_isa.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Isa>(v);
+  const Isa resolved = resolve_isa_from_env();
+  g_active_isa.store(static_cast<int>(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+bool set_active_isa(Isa isa) {
+  if (!isa_available(isa)) return false;
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace conflux::xblas

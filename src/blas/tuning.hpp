@@ -14,6 +14,14 @@
 //   XBLAS_DB                       trsm/syrk/gemmt diagonal block size
 //   XBLAS_LU_NB                    getrf/potrf panel width
 //   XBLAS_THREADS                  OpenMP thread count (0 = library default)
+//
+// Initialization precedence (Tuning::detect(), run once at first BLAS use):
+//   1. compiled-in defaults (below), then
+//   2. the persisted autotuner file (src/blas/autotune.hpp) — the entry for
+//      the active microkernel ISA, path from XBLAS_TUNING_FILE or
+//      ~/.cache/conflux/tuning.json — then
+//   3. XBLAS_* environment overrides, which always win.
+// tuning_source() reports which layer had the last word.
 #pragma once
 
 #include "tensor/matrix.hpp"
@@ -78,16 +86,36 @@ struct Tuning {
   /// Schur updates run at k = v, typically 8..64). 0 disables the path.
   index_t small_k = 64;
 
+  /// fp32 gemm cache blocks, filled by the persisted autotuner's "f32"
+  /// entry. 0 = derive from the fp64 values (same mc/nc, kc scaled by
+  /// kc_scale<float>() so the packed panels keep their byte footprint).
+  /// kc_f32 is the EFFECTIVE fp32 kc — no kc_scale is applied on top.
+  index_t mc_f32 = 0;
+  index_t kc_f32 = 0;
+  index_t nc_f32 = 0;
+
   /// Clamp every field to a sane value (>= 1 sizes, >= 0 threads).
   void sanitize();
+
+  /// Full initialization chain: defaults -> persisted autotuner entry for
+  /// the active ISA -> XBLAS_* environment overrides. Updates the
+  /// tuning_source() record as a side effect.
+  static Tuning detect();
 };
 
-/// The process-wide tuning, initialized once from the environment. Mutable
+/// The process-wide tuning, initialized once via Tuning::detect(). Mutable
 /// so sweeps can adjust it between (not during) BLAS calls.
 Tuning& tuning();
 
-/// Read XBLAS_* environment overrides on top of the defaults.
+/// Read XBLAS_* environment overrides on top of the defaults (no tuning
+/// file involved — sweeps and benches use this for a clean baseline).
 Tuning tuning_from_env();
+
+/// Where the last Tuning::detect() got its block sizes: "default" (compiled
+/// in), "file" (persisted autotuner entry applied), or "env" (at least one
+/// XBLAS_* override applied — env always wins over the file). Recorded in
+/// every BENCH_*.json row so perf numbers stay attributable.
+const char* tuning_source();
 
 /// Per-thread cap on the gemm-family OpenMP team width (0 = no cap). The
 /// task pool (src/sched/taskpool.hpp) sets this to 1 around every task and

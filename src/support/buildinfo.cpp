@@ -1,0 +1,13 @@
+#include "support/buildinfo.hpp"
+
+// CONFLUX_GIT_DESCRIBE is injected by CMake on this one translation unit
+// (set_source_files_properties in CMakeLists.txt).
+#ifndef CONFLUX_GIT_DESCRIBE
+#define CONFLUX_GIT_DESCRIBE "unknown"
+#endif
+
+namespace conflux {
+
+const char* git_describe() { return CONFLUX_GIT_DESCRIBE; }
+
+}  // namespace conflux

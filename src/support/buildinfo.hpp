@@ -1,0 +1,11 @@
+// Build provenance for machine-readable perf records.
+#pragma once
+
+namespace conflux {
+
+/// `git describe --always --dirty --tags` of the checkout this library was
+/// configured from, or "unknown" outside a git checkout. Recorded in every
+/// BENCH_*.json row so perf numbers stay attributable to a commit.
+const char* git_describe();
+
+}  // namespace conflux

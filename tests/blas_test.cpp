@@ -4,10 +4,15 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <tuple>
 
+#include "blas/autotune.hpp"
 #include "blas/blas.hpp"
 #include "blas/lapack.hpp"
+#include "blas/microkernel.hpp"
 #include "blas/tuning.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random_matrix.hpp"
@@ -766,6 +771,385 @@ TEST(Norms, FlopFormulas) {
   EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
   EXPECT_DOUBLE_EQ(trsm_flops(4, 5, Side::Left), 80.0);
   EXPECT_DOUBLE_EQ(trsm_flops(4, 5, Side::Right), 100.0);
+}
+
+
+// ---- microkernel dispatch ----
+
+TEST(Microkernel, IsaNamesRoundTripThroughParse) {
+  for (int i = 0; i < kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    Isa parsed = Isa::Portable;
+    EXPECT_TRUE(parse_isa(isa_name(isa), &parsed)) << isa_name(isa);
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa out = Isa::Avx2;
+  EXPECT_FALSE(parse_isa("sse9", &out));
+  EXPECT_EQ(out, Isa::Avx2);  // unknown names leave *out alone
+  EXPECT_FALSE(parse_isa("", &out));
+}
+
+TEST(Microkernel, KernelsRegisterInScalarPairsAndPortableAlwaysExists) {
+  const MicroKernel<double>* pd = registered_microkernel<double>(Isa::Portable);
+  const MicroKernel<float>* pf = registered_microkernel<float>(Isa::Portable);
+  ASSERT_NE(pd, nullptr);
+  ASSERT_NE(pf, nullptr);
+  EXPECT_EQ(pd->mr, RegTile<double>::mr);
+  EXPECT_EQ(pd->nr, RegTile<double>::nr);
+  EXPECT_EQ(pf->mr, RegTile<float>::mr);
+  EXPECT_EQ(pf->nr, RegTile<float>::nr);
+  for (int i = 0; i < kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    const bool has_d = registered_microkernel<double>(isa) != nullptr;
+    const bool has_f = registered_microkernel<float>(isa) != nullptr;
+    EXPECT_EQ(has_d, has_f) << isa_name(isa);
+    if (isa_available(isa)) EXPECT_TRUE(has_d) << isa_name(isa);
+  }
+}
+
+TEST(Microkernel, ScopedIsaForcesAndRestoresSelection) {
+  const Isa before = active_isa();
+  {
+    ScopedIsa force(Isa::Portable);
+    EXPECT_EQ(active_isa(), Isa::Portable);
+    const MicroKernel<double>& mk = active_microkernel<double>();
+    EXPECT_EQ(mk.isa, Isa::Portable);
+  }
+  EXPECT_EQ(active_isa(), before);
+  // Forcing an unavailable ISA must fail without changing the selection.
+  for (int i = 0; i < kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (isa_available(isa)) continue;
+    EXPECT_FALSE(set_active_isa(isa)) << isa_name(isa);
+    EXPECT_EQ(active_isa(), before);
+  }
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Microkernel, EnvOverrideResolvesAndFallsBackWhenUnavailable) {
+  const char* saved = std::getenv("XBLAS_ISA");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("XBLAS_ISA", "portable", 1);
+  EXPECT_EQ(resolve_isa_from_env(), Isa::Portable);
+  ::setenv("XBLAS_ISA", "not-an-isa", 1);
+  EXPECT_EQ(resolve_isa_from_env(), detect_isa());  // warn + fall back
+  ::unsetenv("XBLAS_ISA");
+  EXPECT_EQ(resolve_isa_from_env(), detect_isa());
+  if (saved) ::setenv("XBLAS_ISA", saved_value.c_str(), 1);
+}
+#endif
+
+// Cross-ISA conformance: every kernel the host can run must produce results
+// bitwise identical to the portable kernel — same flop count, same k-order,
+// same contraction behavior — across ragged edge tiles (m, n, k that are
+// not multiples of any kernel's mr/nr/kc) and the small-k strided-B path.
+class MicrokernelConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(MicrokernelConformance, GemmBitwiseMatchesPortableEverywhere) {
+  const Isa isa = static_cast<Isa>(GetParam());
+  if (!isa_available(isa)) GTEST_SKIP() << isa_name(isa) << " not available";
+
+  const Tuning saved = tuning();
+  tuning().small_gemm_flops = 0.0;  // keep every shape on the kernel paths
+  struct Shape { index_t m, n, k; };
+  const Shape shapes[] = {
+      {64, 64, 64},     // all full tiles
+      {173, 159, 61},   // ragged in every dimension
+      {129, 65, 513},   // one past a block boundary, k > kc
+      {8, 200, 7},      // single row-tile, tiny k
+      {200, 200, 48},   // small-k strided-B fast path (k <= small_k)
+      {31, 17, 3},      // smaller than any register tile
+  };
+  for (const Shape& sh : shapes) {
+    const MatrixD a = random_matrix(sh.m, sh.k, 91);
+    const MatrixD b = random_matrix(sh.k, sh.n, 92);
+    const MatrixD c0 = random_matrix(sh.m, sh.n, 93);
+    MatrixD want = c0;
+    {
+      ScopedIsa force(Isa::Portable);
+      gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 1.0, want.view());
+    }
+    MatrixD got = c0;
+    {
+      ScopedIsa force(isa);
+      gemm(Trans::None, Trans::None, 1.0, a.view(), b.view(), 1.0, got.view());
+    }
+    EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                          sizeof(double) * static_cast<std::size_t>(sh.m) *
+                              static_cast<std::size_t>(sh.n)),
+              0)
+        << isa_name(isa) << " fp64 m=" << sh.m << " n=" << sh.n
+        << " k=" << sh.k;
+
+    MatrixF af(sh.m, sh.k), bf(sh.k, sh.n), cf0(sh.m, sh.n);
+    convert<double, float>(a.view(), af.view());
+    convert<double, float>(b.view(), bf.view());
+    convert<double, float>(c0.view(), cf0.view());
+    MatrixF wantf = cf0;
+    {
+      ScopedIsa force(Isa::Portable);
+      gemm(Trans::None, Trans::None, 1.0f, af.view(), bf.view(), 1.0f,
+           wantf.view());
+    }
+    MatrixF gotf = cf0;
+    {
+      ScopedIsa force(isa);
+      gemm(Trans::None, Trans::None, 1.0f, af.view(), bf.view(), 1.0f,
+           gotf.view());
+    }
+    EXPECT_EQ(std::memcmp(wantf.data(), gotf.data(),
+                          sizeof(float) * static_cast<std::size_t>(sh.m) *
+                              static_cast<std::size_t>(sh.n)),
+              0)
+        << isa_name(isa) << " fp32 m=" << sh.m << " n=" << sh.n
+        << " k=" << sh.k;
+  }
+  tuning() = saved;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, MicrokernelConformance,
+                         ::testing::Range(0, kIsaCount),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return isa_name(static_cast<Isa>(info.param));
+                         });
+
+// The factorizations must be ISA-invariant too: same pivots, same bits.
+TEST(Microkernel, GetrfBitwiseIdenticalAcrossAvailableIsas) {
+  const index_t n = 193;
+  const MatrixD a = random_matrix(n, n, 94);
+  MatrixD want(n, n);
+  std::vector<index_t> want_ipiv;
+  {
+    ScopedIsa force(Isa::Portable);
+    copy<double>(a.view(), want.view());
+    getrf(want.view(), want_ipiv);
+  }
+  for (int i = 0; i < kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (!isa_available(isa)) continue;
+    ScopedIsa force(isa);
+    MatrixD got(n, n);
+    std::vector<index_t> ipiv;
+    copy<double>(a.view(), got.view());
+    getrf(got.view(), ipiv);
+    EXPECT_EQ(ipiv, want_ipiv) << isa_name(isa);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                          sizeof(double) * static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n)),
+              0)
+        << isa_name(isa);
+  }
+}
+
+// ---- persisted autotuner ----
+
+namespace fs = std::filesystem;
+
+std::string temp_tuning_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(Autotune, SaveLoadRoundTripsEveryField) {
+  const std::string path = temp_tuning_path("conflux_tuning_roundtrip.json");
+  autotune::Entry e64;
+  e64.isa = Isa::Portable;
+  e64.type = "f64";
+  e64.mc = 128;
+  e64.kc = 384;
+  e64.nc = 4096;
+  e64.db = 48;
+  e64.lu_nb = 24;
+  e64.gflops = 41.25;
+  e64.n = 1024;
+  e64.threads = 1;
+  autotune::Entry e32 = e64;
+  e32.type = "f32";
+  e32.kc = 768;
+  e32.db = 0;
+  e32.lu_nb = 0;
+  ASSERT_TRUE(autotune::save_entries(path, {e64, e32}));
+
+  std::vector<autotune::Entry> got;
+  ASSERT_TRUE(autotune::load_entries(path, &got));
+  ASSERT_EQ(got.size(), 2u);
+  const autotune::Entry* g64 = autotune::find_entry(got, Isa::Portable, "f64");
+  const autotune::Entry* g32 = autotune::find_entry(got, Isa::Portable, "f32");
+  ASSERT_NE(g64, nullptr);
+  ASSERT_NE(g32, nullptr);
+  EXPECT_EQ(g64->mc, 128);
+  EXPECT_EQ(g64->kc, 384);
+  EXPECT_EQ(g64->nc, 4096);
+  EXPECT_EQ(g64->db, 48);
+  EXPECT_EQ(g64->lu_nb, 24);
+  EXPECT_DOUBLE_EQ(g64->gflops, 41.25);
+  EXPECT_EQ(g64->n, 1024);
+  EXPECT_EQ(g64->threads, 1);
+  EXPECT_EQ(g32->kc, 768);
+  EXPECT_EQ(g32->db, 0);
+  EXPECT_EQ(autotune::find_entry(got, Isa::Avx2, "f64"), nullptr);
+  fs::remove(path);
+}
+
+TEST(Autotune, SaveReportReplacesMatchingEntriesAndKeepsOthers) {
+  const std::string path = temp_tuning_path("conflux_tuning_merge.json");
+  autotune::Entry mine;
+  mine.isa = Isa::Portable;
+  mine.type = "f64";
+  mine.mc = 64;
+  mine.kc = 512;
+  mine.nc = 2048;
+  autotune::Entry other = mine;
+  other.isa = Isa::Neon;  // a different machine's entry must survive
+  other.mc = 96;
+  ASSERT_TRUE(autotune::save_entries(path, {mine, other}));
+
+  autotune::Report rep;
+  rep.isa = Isa::Portable;
+  autotune::Entry tuned = mine;
+  tuned.mc = 192;
+  tuned.gflops = 50.0;
+  rep.tuned.push_back(tuned);
+  ASSERT_TRUE(autotune::save_report(path, rep));
+
+  std::vector<autotune::Entry> got;
+  ASSERT_TRUE(autotune::load_entries(path, &got));
+  ASSERT_EQ(got.size(), 2u);
+  const autotune::Entry* g = autotune::find_entry(got, Isa::Portable, "f64");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->mc, 192);  // replaced
+  const autotune::Entry* o = autotune::find_entry(got, Isa::Neon, "f64");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->mc, 96);  // kept
+  fs::remove(path);
+}
+
+TEST(Autotune, CorruptOrMissingFileDegradesToEmpty) {
+  std::vector<autotune::Entry> got{autotune::Entry{}};
+  EXPECT_FALSE(
+      autotune::load_entries(temp_tuning_path("conflux_no_such.json"), &got));
+  EXPECT_TRUE(got.empty());
+
+  const std::string path = temp_tuning_path("conflux_tuning_corrupt.json");
+  for (const char* garbage :
+       {"", "not json at all", "{\"version\": 1, \"entries\": [{]}",
+        "{\"version\": 99, \"entries\": []}", "[1, 2, 3]",
+        "{\"version\": 1, \"entries\": [{\"isa\": 7}]}"}) {
+    std::ofstream(path) << garbage;
+    EXPECT_FALSE(autotune::load_entries(path, &got)) << garbage;
+    EXPECT_TRUE(got.empty()) << garbage;
+  }
+  // Entries with an unknown ISA or type are skipped, not fatal: a newer
+  // build's tuning file must not break an older one.
+  std::ofstream(path)
+      << "{\"version\": 1, \"entries\": ["
+         "{\"isa\": \"riscv-v\", \"type\": \"f64\", \"mc\": 1, \"kc\": 1, "
+         "\"nc\": 1},"
+         "{\"isa\": \"portable\", \"type\": \"f64\", \"mc\": 80, \"kc\": 256, "
+         "\"nc\": 2048}]}";
+  EXPECT_TRUE(autotune::load_entries(path, &got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].mc, 80);
+  fs::remove(path);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Autotune, DefaultPathHonorsEnvOverrides) {
+  const char* saved = std::getenv("XBLAS_TUNING_FILE");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("XBLAS_TUNING_FILE", "/some/explicit/tuning.json", 1);
+  EXPECT_EQ(autotune::default_tuning_path(), "/some/explicit/tuning.json");
+  ::setenv("XBLAS_TUNING_FILE", "", 1);
+  EXPECT_EQ(autotune::default_tuning_path(), "");  // empty disables
+  ::unsetenv("XBLAS_TUNING_FILE");
+  const std::string def = autotune::default_tuning_path();
+  if (!def.empty()) {
+    EXPECT_NE(def.find("conflux/tuning.json"), std::string::npos) << def;
+  }
+  if (saved) ::setenv("XBLAS_TUNING_FILE", saved_value.c_str(), 1);
+}
+
+TEST(Tuning, DetectPrecedenceIsDefaultsThenFileThenEnv) {
+  // Snapshot and clear everything detect() reads.
+  const char* saved_file = std::getenv("XBLAS_TUNING_FILE");
+  const std::string saved_file_value = saved_file ? saved_file : "";
+  for (const char* var : {"XBLAS_MC", "XBLAS_KC", "XBLAS_NC", "XBLAS_DB",
+                          "XBLAS_LU_NB", "XBLAS_THREADS", "XBLAS_SMALL_K"}) {
+    ::unsetenv(var);
+  }
+
+  // No file: compiled-in defaults.
+  ::setenv("XBLAS_TUNING_FILE", "", 1);
+  Tuning t = Tuning::detect();
+  EXPECT_EQ(t.mc, Tuning{}.mc);
+  EXPECT_STREQ(tuning_source(), "default");
+
+  // A file entry for the ACTIVE isa overrides the defaults.
+  const std::string path = temp_tuning_path("conflux_tuning_detect.json");
+  autotune::Entry e;
+  e.isa = active_isa();
+  e.type = "f64";
+  e.mc = 224;
+  e.kc = 320;
+  e.nc = 4096;
+  e.db = 96;
+  e.lu_nb = 48;
+  autotune::Entry ef = e;
+  ef.type = "f32";
+  ef.mc = 160;
+  ef.kc = 640;
+  ASSERT_TRUE(autotune::save_entries(path, {e, ef}));
+  ::setenv("XBLAS_TUNING_FILE", path.c_str(), 1);
+  t = Tuning::detect();
+  EXPECT_EQ(t.mc, 224);
+  EXPECT_EQ(t.kc, 320);
+  EXPECT_EQ(t.nc, 4096);
+  EXPECT_EQ(t.db, 96);
+  EXPECT_EQ(t.lu_nb, 48);
+  EXPECT_EQ(t.mc_f32, 160);
+  EXPECT_EQ(t.kc_f32, 640);
+  EXPECT_STREQ(tuning_source(), "file");
+
+  // Env beats the file, field-wise: XBLAS_MC wins, the file keeps kc.
+  ::setenv("XBLAS_MC", "72", 1);
+  t = Tuning::detect();
+  EXPECT_EQ(t.mc, 72);
+  EXPECT_EQ(t.kc, 320);
+  EXPECT_STREQ(tuning_source(), "env");
+  ::unsetenv("XBLAS_MC");
+
+  // An entry for a DIFFERENT isa must not apply.
+  if (active_isa() != Isa::Neon) {
+    autotune::Entry foreign = e;
+    foreign.isa = Isa::Neon;
+    ASSERT_TRUE(autotune::save_entries(path, {foreign}));
+    t = Tuning::detect();
+    EXPECT_EQ(t.mc, Tuning{}.mc);
+    EXPECT_STREQ(tuning_source(), "default");
+  }
+
+  fs::remove(path);
+  if (saved_file) {
+    ::setenv("XBLAS_TUNING_FILE", saved_file_value.c_str(), 1);
+  } else {
+    ::unsetenv("XBLAS_TUNING_FILE");
+  }
+  // Re-run detect so later tests see the ambient configuration, not ours.
+  Tuning::detect();
+}
+#endif
+
+TEST(Tuning, SanitizeClampsFp32OverridesWithoutInventingThem) {
+  Tuning t;
+  t.mc_f32 = -3;
+  t.kc_f32 = -1;
+  t.nc_f32 = 2;
+  t.sanitize();
+  EXPECT_EQ(t.mc_f32, 0);  // negative collapses to "derive from fp64"
+  EXPECT_EQ(t.kc_f32, 0);
+  EXPECT_GE(t.nc_f32, kNR);  // set-but-tiny clamps up, stays set
+  Tuning u;
+  u.sanitize();
+  EXPECT_EQ(u.mc_f32, 0);  // sanitize never invents an override
 }
 
 }  // namespace

@@ -23,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "baselines/scalapack2d.hpp"
 #include "blas/lapack.hpp"
+#include "blas/microkernel.hpp"
 #include "blas/tuning.hpp"
 #include "factor/confchox.hpp"
 #include "factor/conflux_lu.hpp"
@@ -342,6 +345,57 @@ TEST(MixedLadderEdges, RefinementOnStridedViewMatchesPackedBitwise) {
     for (index_t j = nrhs; j < nrhs + pad; ++j) {
       ASSERT_EQ(wide(i, j), -3.25) << "refinement wrote outside its view";
     }
+  }
+}
+
+
+// Cross-ISA conformance: the full distributed factorizations must be
+// bitwise invariant under microkernel dispatch. Every registered kernel the
+// host can run (forced via ScopedIsa, exactly what XBLAS_ISA forces at
+// startup) must reproduce the portable kernel's factors and pivots bit for
+// bit — the schedules, pivot decisions, and ABFT checksums downstream all
+// assume results never depend on which SIMD tier executed the flops.
+TEST(CrossIsa, ConfluxLuAndConfchoxFactorsBitwiseInvariant) {
+  const index_t n = 139;  // ragged against every register tile
+  const grid::Grid3D g(2, 2, 2);
+  factor::FactorOptions opt;
+  opt.block_size = 16;
+
+  const MatrixD a64 = random_matrix(n, n, 404);
+  const MatrixD spd = random_spd_matrix(n, 405);
+
+  MatrixD lu_want;
+  std::vector<index_t> perm_want;
+  MatrixD ch_want;
+  {
+    xblas::ScopedIsa force(xblas::Isa::Portable);
+    xsim::Machine m = real_machine(g.ranks());
+    auto lu = factor::conflux_lu(m, g, a64.view(), opt);
+    lu_want = std::move(lu.factors);
+    perm_want = std::move(lu.perm);
+    xsim::Machine mc = real_machine(g.ranks());
+    ch_want = factor::confchox(mc, g, spd.view(), opt).factors;
+  }
+
+  for (int i = 0; i < xblas::kIsaCount; ++i) {
+    const xblas::Isa isa = static_cast<xblas::Isa>(i);
+    if (!xblas::isa_available(isa)) continue;
+    xblas::ScopedIsa force(isa);
+    xsim::Machine m = real_machine(g.ranks());
+    const auto lu = factor::conflux_lu(m, g, a64.view(), opt);
+    EXPECT_EQ(lu.perm, perm_want) << xblas::isa_name(isa);
+    EXPECT_EQ(std::memcmp(lu.factors.data(), lu_want.data(),
+                          sizeof(double) * static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n)),
+              0)
+        << "conflux_lu factors differ under " << xblas::isa_name(isa);
+    xsim::Machine mc = real_machine(g.ranks());
+    const auto ch = factor::confchox(mc, g, spd.view(), opt);
+    EXPECT_EQ(std::memcmp(ch.factors.data(), ch_want.data(),
+                          sizeof(double) * static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n)),
+              0)
+        << "confchox factors differ under " << xblas::isa_name(isa);
   }
 }
 
